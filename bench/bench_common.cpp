@@ -1,0 +1,103 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "timezone/zone_db.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::bench {
+
+core::ActivityTrace trace_of(const synth::Dataset& dataset) {
+  core::ActivityTrace trace;
+  for (const auto& event : dataset.events) trace.add(event.user, event.time);
+  return trace;
+}
+
+core::ActivityTrace trace_of(const std::vector<forum::TimedPost>& posts) {
+  core::ActivityTrace trace;
+  for (const auto& post : posts) trace.add(post.author, post.utc_time);
+  return trace;
+}
+
+synth::DatasetOptions default_options(std::uint64_t seed) {
+  synth::DatasetOptions options;
+  options.seed = seed;
+  return options;
+}
+
+ReferenceProfiles build_reference_profiles(double scale, std::uint64_t seed) {
+  synth::DatasetOptions options = default_options(seed);
+  options.scale = scale;
+  std::vector<core::RegionalContribution> contributions;
+  for (const auto& region : synth::table1_regions()) {
+    const auto users = std::max<std::size_t>(
+        2, static_cast<std::size_t>(static_cast<double>(region.active_users) * scale));
+    const synth::Dataset dataset = synth::make_region_dataset(region, users, options);
+    core::ProfileBuildOptions build;
+    build.binning = core::HourBinning::kLocal;
+    build.zone = &tz::zone(region.zone);
+    const core::ProfileSet profiles = core::build_profiles(trace_of(dataset), build);
+    if (profiles.users.empty()) continue;
+    contributions.push_back(core::make_contribution(
+        region.name, tz::zone(region.zone).standard_offset_hours(), profiles,
+        core::HourBinning::kLocal));
+  }
+  core::TimeZoneProfiles zones = core::TimeZoneProfiles::from_regions(contributions);
+  return ReferenceProfiles{std::move(contributions), std::move(zones)};
+}
+
+core::ProfileSet profile_region(const std::string& region_name, std::size_t users,
+                                std::uint64_t seed, bool dst_normalized) {
+  const synth::RegionSpec& region = synth::table1_region(region_name);
+  const synth::Dataset dataset =
+      synth::make_region_dataset(region, users, default_options(seed));
+  core::ProfileBuildOptions build;
+  if (dst_normalized) {
+    build.binning = core::HourBinning::kUtcDstNormalized;
+    build.zone = &tz::zone(region.zone);
+  }
+  return core::build_profiles(trace_of(dataset), build);
+}
+
+void print_section(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string export_series(const std::string& experiment,
+                          const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return {};
+  const std::string path = "bench_out/" + experiment + ".csv";
+  std::ofstream out{path, std::ios::binary};
+  if (!out) return {};
+  util::CsvTable table;
+  table.header = header;
+  table.rows = rows;
+  out << util::to_csv(table);
+  return out ? path : std::string{};
+}
+
+std::string export_placement(const std::string& experiment,
+                             const std::vector<double>& distribution,
+                             const std::vector<double>& fitted_curve) {
+  std::vector<std::string> header{"zone", "crowd_fraction"};
+  if (!fitted_curve.empty()) header.push_back("fitted_curve");
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t bin = 0; bin < distribution.size(); ++bin) {
+    std::vector<std::string> row{std::to_string(core::zone_of_bin(bin)),
+                                 util::format_fixed(distribution[bin], 6)};
+    if (!fitted_curve.empty()) row.push_back(util::format_fixed(fitted_curve[bin], 6));
+    rows.push_back(std::move(row));
+  }
+  return export_series(experiment, header, rows);
+}
+
+}  // namespace tzgeo::bench

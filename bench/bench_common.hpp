@@ -1,0 +1,62 @@
+// Shared plumbing for the experiment harness.
+//
+// Every bench binary regenerates one table or figure of the paper.  They
+// all need the same scaffolding: the synthetic Twitter-equivalent ground
+// truth, the reference time-zone profiles built from it, and trace
+// conversion helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/activity.hpp"
+#include "core/geolocator.hpp"
+#include "core/profile_builder.hpp"
+#include "core/timezone_profiles.hpp"
+#include "forum/calibration.hpp"
+#include "synth/dataset.hpp"
+
+namespace tzgeo::bench {
+
+/// Converts a synthetic dataset to an activity trace.
+[[nodiscard]] core::ActivityTrace trace_of(const synth::Dataset& dataset);
+
+/// Converts scraped UTC posts to an activity trace.
+[[nodiscard]] core::ActivityTrace trace_of(const std::vector<forum::TimedPost>& posts);
+
+/// The reference ground truth: per-region contributions + zone profiles.
+struct ReferenceProfiles {
+  std::vector<core::RegionalContribution> contributions;
+  core::TimeZoneProfiles zones;
+};
+
+/// Builds the reference profiles from a scaled Table I dataset using
+/// DST-aware local binning, exactly as Section IV prescribes.
+[[nodiscard]] ReferenceProfiles build_reference_profiles(double scale = 0.15,
+                                                         std::uint64_t seed = 2016);
+
+/// Profiles one Table I region as an anonymous-but-DST-normalized crowd
+/// (the ground-truth placement experiments of Figures 3-5).
+[[nodiscard]] core::ProfileSet profile_region(const std::string& region_name, std::size_t users,
+                                              std::uint64_t seed, bool dst_normalized = true);
+
+/// Prints a banner separating experiment sections.
+void print_section(const std::string& title);
+
+/// Persists a figure/table's data series as CSV under ./bench_out/, so
+/// every regenerated result can be re-plotted outside the terminal.
+/// Returns the path written (empty string when the directory cannot be
+/// created — the bench still prints to the terminal either way).
+std::string export_series(const std::string& experiment,
+                          const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows);
+
+/// Convenience: exports a 24-bin zone distribution with optional overlay.
+std::string export_placement(const std::string& experiment,
+                             const std::vector<double>& distribution,
+                             const std::vector<double>& fitted_curve = {});
+
+/// Standard experiment-scale dataset options.
+[[nodiscard]] synth::DatasetOptions default_options(std::uint64_t seed);
+
+}  // namespace tzgeo::bench

@@ -1,0 +1,60 @@
+// Figure 6 — geographical classification of multiple-region crowds.
+//
+//   Fig. 6a: Malaysian-shaped behaviour replicated in three time zones
+//            (UTC, UTC-7, UTC+9) — the GMM must find three equal
+//            components at those zones.
+//   Fig. 6b: merge of Illinois (UTC-6), Germany (UTC+1), Malaysia (UTC+8)
+//            at their Table I sizes — three components with the Table I
+//            proportions.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "timezone/zone_db.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+void run_and_report(const std::string& caption, const std::vector<core::UserProfileEntry>& users,
+                    const core::TimeZoneProfiles& zones) {
+  const core::GeolocationResult result = core::geolocate_crowd(users, zones);
+  std::printf("%s\n", core::placement_chart(caption, result).c_str());
+  std::printf("%s\n", core::describe_geolocation(caption, result).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
+
+  bench::print_section(
+      "Fig. 6(a) — Malaysian behaviour replicated at UTC, UTC-7, UTC+9 (expect 3 equal "
+      "components)");
+  {
+    synth::DatasetOptions options = bench::default_options(9);
+    options.scale = 0.25;
+    const synth::Dataset dataset = synth::make_synthetic_mix_a(options);
+    const core::ProfileSet profiles = core::build_profiles(bench::trace_of(dataset), {});
+    run_and_report("Fig 6a: synthetic three-zone Malaysian crowd", profiles.users,
+                   reference.zones);
+  }
+
+  bench::print_section(
+      "Fig. 6(b) — Illinois + Germany + Malaysia merge (expect UTC-6 ~27%, UTC+1 ~16%, "
+      "UTC+8 ~57%)");
+  {
+    std::vector<core::UserProfileEntry> merged;
+    synth::DatasetOptions options = bench::default_options(5);
+    options.scale = 0.3;
+    for (const char* name : {"Illinois", "Germany", "Malaysia"}) {
+      const auto& region = synth::table1_region(name);
+      const auto users = static_cast<std::size_t>(
+          static_cast<double>(region.active_users) * options.scale);
+      const core::ProfileSet profiles = bench::profile_region(name, users, options.seed);
+      merged.insert(merged.end(), profiles.users.begin(), profiles.users.end());
+    }
+    run_and_report("Fig 6b: Illinois + Germany + Malaysia", merged, reference.zones);
+  }
+  return 0;
+}

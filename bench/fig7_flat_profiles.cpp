@@ -1,0 +1,72 @@
+// Figure 7 — flat profiles and the Section IV-C polishing step.
+//
+// Renders a bot's near-uniform profile (the Fig. 7 exemplar), then runs
+// the EMD-based flat filter on a mixed population and reports how many
+// bots vs. humans it removes, including the iterative re-polish loop.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+using namespace tzgeo;
+
+int main() {
+  const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
+
+  bench::print_section("Fig. 7 — example of a flat (bot) profile");
+  synth::DatasetOptions options = bench::default_options(77);
+  options.mix.bot_fraction = 0.10;  // enrich bots for the demonstration
+  options.inactive_fraction = 0.0;
+  const synth::RegionSpec region{"Mixed", "Europe/Berlin", 400};
+  const synth::Dataset dataset = synth::make_region_dataset(region, 400, options);
+
+  const synth::Persona* bot = nullptr;
+  for (const auto& user : dataset.users) {
+    if (user.kind == synth::PersonaKind::kBot) {
+      bot = &user;
+      break;
+    }
+  }
+  if (bot != nullptr) {
+    util::ChartOptions chart;
+    chart.title = "Fig 7: a bot's hourly rates (near-uniform)";
+    chart.y_label = "activity probability";
+    std::printf("%s\n",
+                util::profile_chart(std::vector<double>(bot->local_rates.begin(),
+                                                        bot->local_rates.end()),
+                                    chart)
+                    .c_str());
+  }
+
+  bench::print_section("Section IV-C — EMD flat filter on a mixed population");
+  const core::ProfileSet profiles = core::build_profiles(bench::trace_of(dataset), {});
+  std::map<std::uint64_t, synth::PersonaKind> kind_of;
+  for (const auto& user : dataset.users) kind_of[user.id] = user.kind;
+
+  const core::PolishResult polish =
+      core::polish_population(profiles.users, reference.zones);
+  std::map<synth::PersonaKind, std::size_t> removed_by_kind;
+  for (const auto& entry : polish.split.removed) ++removed_by_kind[kind_of[entry.user]];
+  std::map<synth::PersonaKind, std::size_t> kept_by_kind;
+  for (const auto& entry : polish.split.kept) ++kept_by_kind[kind_of[entry.user]];
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto kind : {synth::PersonaKind::kRegular, synth::PersonaKind::kBot,
+                          synth::PersonaKind::kShiftWorker}) {
+    rows.push_back({synth::to_string(kind), std::to_string(kept_by_kind[kind]),
+                    std::to_string(removed_by_kind[kind])});
+  }
+  std::printf("%s", util::text_table({"persona kind", "kept", "removed as flat"}, rows).c_str());
+  std::printf("\npolish converged after %d round(s)\n", polish.rounds);
+
+  const std::size_t bots_total =
+      kept_by_kind[synth::PersonaKind::kBot] + removed_by_kind[synth::PersonaKind::kBot];
+  if (bots_total > 0) {
+    std::printf("bot recall: %.0f%% of bots removed\n",
+                100.0 * static_cast<double>(removed_by_kind[synth::PersonaKind::kBot]) /
+                    static_cast<double>(bots_total));
+  }
+  return 0;
+}

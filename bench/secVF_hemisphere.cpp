@@ -1,0 +1,109 @@
+// Section V-F — telling apart the Northern and the Southern hemisphere.
+//
+// Validation: the five most active users of the United Kingdom, Germany,
+// and Italy datasets classify as Northern; the five most active Brazilians
+// as Southern.  Application: the five most active users of the Pedo
+// Support Community crowd (paper: 3 southern, 2 northern).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/flat_filter.hpp"
+#include "core/hemisphere.hpp"
+#include "core/report.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+[[nodiscard]] core::ActivityTrace region_trace(const std::string& name, std::size_t users,
+                                               std::uint64_t seed) {
+  synth::DatasetOptions options = bench::default_options(seed);
+  options.inactive_fraction = 0.0;
+  const synth::Dataset dataset =
+      synth::make_region_dataset(synth::table1_region(name), users, options);
+  return bench::trace_of(dataset);
+}
+
+/// Drops users the Section IV-C polish removes (bots/flat profiles) so the
+/// "most active" ranking matches the paper's *cleaned* datasets — on real
+/// boards the most active accounts are disproportionately bots.
+[[nodiscard]] core::ActivityTrace polished_trace(const core::ActivityTrace& trace,
+                                                 const core::TimeZoneProfiles& zones) {
+  const core::ProfileSet profiles = core::build_profiles(trace, {});
+  const core::PolishResult polish = core::polish_population(profiles.users, zones);
+  core::ActivityTrace cleaned;
+  for (const auto& entry : polish.split.kept) {
+    for (const tz::UtcSeconds t : trace.events_of(entry.user)) cleaned.add(entry.user, t);
+  }
+  return cleaned;
+}
+
+[[nodiscard]] std::string verdict_summary(const std::vector<core::RankedHemisphere>& ranked) {
+  int northern = 0;
+  int southern = 0;
+  int other = 0;
+  for (const auto& entry : ranked) {
+    switch (entry.result.verdict) {
+      case core::HemisphereVerdict::kNorthern: ++northern; break;
+      case core::HemisphereVerdict::kSouthern: ++southern; break;
+      default: ++other; break;
+    }
+  }
+  return std::to_string(northern) + " northern / " + std::to_string(southern) +
+         " southern / " + std::to_string(other) + " other";
+}
+
+}  // namespace
+
+int main() {
+  const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.1, 2016);
+
+  bench::print_section("Section V-F validation — top-5 users of UK, Germany, Italy, Brazil");
+  struct Expectation {
+    const char* region;
+    const char* expected;
+  };
+  const Expectation expectations[] = {
+      {"United Kingdom", "5 northern"},
+      {"Germany", "5 northern"},
+      {"Italy", "5 northern"},
+      {"Brazil", "5 southern"},
+  };
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [region, expected] : expectations) {
+    const core::ActivityTrace trace = polished_trace(
+        region_trace(region, 120, util::hash64(region)), reference.zones);
+    const auto ranked = core::classify_top_users(trace, 5);
+    rows.push_back({region, expected, verdict_summary(ranked)});
+  }
+  std::printf("%s", util::text_table({"dataset", "paper", "ours (top-5 most active)"}, rows)
+                        .c_str());
+
+  bench::print_section("Section V-F application — Pedo Support Community top-5");
+  synth::DatasetOptions options = bench::default_options(505);
+  const synth::Dataset crowd =
+      synth::make_forum_crowd(synth::paper_forum("Pedo Support Community"), options);
+  const core::ActivityTrace trace =
+      polished_trace(bench::trace_of(crowd), reference.zones);
+  const auto ranked = core::classify_top_users(trace, 5);
+  std::printf("%s", core::describe_hemispheres("Pedo Support Community, 5 most active users",
+                                               ranked)
+                        .c_str());
+  std::printf("summary: %s (paper: 3 southern / 2 northern)\n",
+              verdict_summary(ranked).c_str());
+
+  // Beyond the paper's top-5: the full-crowd breakdown quantifies how much
+  // of the forum the seasonal test can actually classify.
+  const core::HemisphereBreakdown breakdown = core::classify_crowd(trace);
+  std::printf(
+      "\nfull crowd: %zu northern, %zu southern, %zu no-DST, %zu with too little\n"
+      "seasonal data (crowd composition: 45%% US Pacific, 35%% South America,\n"
+      "20%% Caucasus/no-DST)\n",
+      breakdown.northern, breakdown.southern, breakdown.no_dst, breakdown.insufficient);
+  std::printf(
+      "\nThe southern users confirm the UTC-3 component lives in South America\n"
+      "(Southern Brazil / Paraguay), the only UTC-3 land in the southern\n"
+      "hemisphere that observes daylight saving time.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Bringing your own data: CSV ingestion + bootstrap confidence intervals.
+//
+// Any scraper that can produce `author,utc_time` rows can feed the
+// pipeline.  This example writes such a CSV (standing in for your own
+// scrape), loads it back through core::trace_from_csv, geolocates the
+// crowd, and bootstrap-resamples the users to put confidence intervals on
+// every component — the "how firm is this verdict?" question an
+// investigator has to answer before acting on it.
+#include <cstdio>
+
+#include "core/bootstrap.hpp"
+#include "core/ingest.hpp"
+#include "core/profile_builder.hpp"
+#include "core/report.hpp"
+#include "synth/dataset.hpp"
+#include "timezone/zone_db.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+core::TimeZoneProfiles reference_zones() {
+  std::vector<core::RegionalContribution> contributions;
+  for (const auto& region : synth::table1_regions()) {
+    synth::DatasetOptions options;
+    options.scale = 0.05;
+    const synth::Dataset dataset = synth::make_region_dataset(
+        region, std::max<std::size_t>(2, region.active_users / 20), options);
+    core::ActivityTrace trace;
+    for (const auto& event : dataset.events) trace.add(event.user, event.time);
+    core::ProfileBuildOptions build;
+    build.binning = core::HourBinning::kLocal;
+    build.zone = &tz::zone(region.zone);
+    const core::ProfileSet profiles = core::build_profiles(trace, build);
+    if (profiles.users.empty()) continue;
+    contributions.push_back(core::make_contribution(
+        region.name, tz::zone(region.zone).standard_offset_hours(), profiles,
+        core::HourBinning::kLocal));
+  }
+  return core::TimeZoneProfiles::from_regions(contributions);
+}
+
+}  // namespace
+
+int main() {
+  // 1. Pretend this CSV came from your own scraper.
+  synth::DatasetOptions options;
+  options.seed = 99;
+  options.scale = 0.8;
+  const synth::Dataset crowd =
+      synth::make_forum_crowd(synth::paper_forum("The Majestic Garden"), options);
+  core::ActivityTrace original;
+  for (const auto& event : crowd.events) original.add(event.user, event.time);
+  const std::string path = "/tmp/tzgeo_custom_dataset.csv";
+  core::trace_to_csv_file(original, path);
+  std::printf("wrote %zu posts of %zu users to %s\n", original.event_count(),
+              original.user_count(), path.c_str());
+
+  // 2. Load it back — the only input the methodology needs.
+  const core::IngestResult ingest = core::trace_from_csv_file(path);
+  std::printf("ingested %zu rows (%zu rejected as malformed)\n", ingest.rows_ok,
+              ingest.rows_rejected);
+
+  // 3. Profiles + geolocation + bootstrap.
+  const core::TimeZoneProfiles zones = reference_zones();
+  const core::ProfileSet profiles = core::build_profiles(ingest.trace, {});
+  std::printf("active users (>=30 posts): %zu\n\n", profiles.users.size());
+
+  core::BootstrapOptions bootstrap;
+  bootstrap.resamples = 300;
+  const core::BootstrapResult result =
+      core::bootstrap_geolocation(profiles.users, zones, {}, bootstrap);
+
+  std::printf("%s\n",
+              core::placement_chart("Custom dataset — placement", result.point).c_str());
+  std::printf("%s", core::describe_geolocation("Point estimate", result.point).c_str());
+  std::printf("\n%s", core::describe_bootstrap("Bootstrap (90% intervals)", result).c_str());
+  std::printf(
+      "\nA component whose interval spans several zones, or whose support is\n"
+      "low, should not direct an investigation; tight intervals with ~100%%\n"
+      "support can.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Hemisphere analysis (Section V-F): telling North from South with DST.
+//
+// Daylight saving time runs (roughly) March..October in the North and
+// October..February in the South.  A user's UTC posting profile therefore
+// shifts by one hour between seasons — in opposite directions per
+// hemisphere.  This example classifies single users of known origin, then
+// a mixed forum crowd.
+#include <cstdio>
+
+#include "core/hemisphere.hpp"
+#include "core/report.hpp"
+#include "synth/dataset.hpp"
+#include "synth/trace_gen.hpp"
+#include "timezone/zone_db.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+std::vector<tz::UtcSeconds> one_user_year(const char* zone_name, std::uint64_t seed) {
+  util::Rng rng{seed};
+  synth::PersonaMix mix;
+  mix.bot_fraction = 0.0;
+  mix.shift_worker_fraction = 0.0;
+  synth::Persona persona = synth::draw_persona(1, "demo", zone_name, mix, rng);
+  persona.posts_per_year = 2500.0;
+  const auto events = synth::generate_trace(persona, tz::zone(zone_name), {}, rng);
+  std::vector<tz::UtcSeconds> times;
+  for (const auto& event : events) times.push_back(event.time);
+  return times;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Seasonal-shift classification of single users of known origin:\n\n");
+  std::vector<std::vector<std::string>> rows;
+  const struct {
+    const char* zone;
+    const char* truth;
+  } cases[] = {
+      {"Europe/London", "northern (EU DST)"},
+      {"Europe/Berlin", "northern (EU DST)"},
+      {"America/Chicago", "northern (US DST)"},
+      {"America/Sao_Paulo", "southern (Brazil DST)"},
+      {"Australia/Sydney", "southern (AU DST)"},
+      {"America/Asuncion", "southern (Paraguay DST)"},
+      {"Asia/Tokyo", "no DST"},
+      {"Europe/Moscow", "no DST"},
+  };
+  std::uint64_t seed = 1;
+  for (const auto& test_case : cases) {
+    const auto events = one_user_year(test_case.zone, seed++);
+    const core::HemisphereResult result = core::classify_hemisphere(events);
+    rows.push_back({test_case.zone, test_case.truth, core::to_string(result.verdict),
+                    util::format_fixed(result.distance_north, 3),
+                    util::format_fixed(result.distance_south, 3),
+                    util::format_fixed(result.distance_no_dst, 3)});
+  }
+  std::printf("%s",
+              util::text_table({"zone", "ground truth", "verdict", "d_north", "d_south",
+                                "d_nodst"},
+                               rows)
+                  .c_str());
+
+  std::printf(
+      "\nNow the paper's application: the most active users of the Pedo Support\n"
+      "Community crowd (UTC-8 / UTC-3 / UTC+4 mixture).\n\n");
+  synth::DatasetOptions options;
+  options.seed = 505;
+  const synth::Dataset crowd =
+      synth::make_forum_crowd(synth::paper_forum("Pedo Support Community"), options);
+  core::ActivityTrace trace;
+  for (const auto& event : crowd.events) trace.add(event.user, event.time);
+  const auto ranked = core::classify_top_users(trace, 5);
+  std::printf("%s", core::describe_hemispheres("Top-5 most active members", ranked).c_str());
+  std::printf(
+      "\nSouthern verdicts for UTC-3 users point to Southern Brazil or Paraguay —\n"
+      "the only southern-hemisphere UTC-3 land that observes DST (Section V-F).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Monitoring a forum that hides timestamps (Discussion, Section VII).
+//
+// "Timestamps are always shown in the Dark Web forums under investigation.
+// However, the forum might remove them [...] it is enough to monitor the
+// forum, see when posts are made and timestamp them ourselves."
+//
+// The monitor polls the board on an interval, stamps newly appeared posts
+// with its own clock, and the stamped trace feeds the same geolocation
+// pipeline.  Stamping error is bounded by the poll interval (30 min here),
+// far below the one-hour bin size of the profiles.
+#include <cstdio>
+
+#include "core/geolocator.hpp"
+#include "core/incremental.hpp"
+#include "core/profile_builder.hpp"
+#include "core/report.hpp"
+#include "forum/calibration.hpp"
+#include "forum/engine.hpp"
+#include "forum/monitor.hpp"
+#include "synth/dataset.hpp"
+#include "timezone/zone_db.hpp"
+#include "util/strings.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+core::TimeZoneProfiles reference_zones() {
+  std::vector<core::RegionalContribution> contributions;
+  for (const auto& region : synth::table1_regions()) {
+    synth::DatasetOptions options;
+    options.scale = 0.05;
+    const synth::Dataset dataset = synth::make_region_dataset(
+        region, std::max<std::size_t>(2, region.active_users / 20), options);
+    core::ActivityTrace trace;
+    for (const auto& event : dataset.events) trace.add(event.user, event.time);
+    core::ProfileBuildOptions build;
+    build.binning = core::HourBinning::kLocal;
+    build.zone = &tz::zone(region.zone);
+    const core::ProfileSet profiles = core::build_profiles(trace, build);
+    if (profiles.users.empty()) continue;
+    contributions.push_back(core::make_contribution(
+        region.name, tz::zone(region.zone).standard_offset_hours(), profiles,
+        core::HourBinning::kLocal));
+  }
+  return core::TimeZoneProfiles::from_regions(contributions);
+}
+
+}  // namespace
+
+int main() {
+  const core::TimeZoneProfiles zones = reference_zones();
+
+  // A Russian-speaking forum that hides all timestamps.
+  synth::DatasetOptions options;
+  options.seed = 2020;
+  options.scale = 0.6;
+  const synth::Dataset crowd =
+      synth::make_forum_crowd(synth::paper_forum("CRD Club"), options);
+  forum::ForumConfig config;
+  config.name = "CRD Club (timestamps hidden)";
+  config.policy = forum::TimestampPolicy::kHidden;
+  forum::ForumEngine engine{config, crowd};
+
+  util::Rng consensus_rng{300};
+  const tor::Consensus consensus = tor::Consensus::synthetic(200, consensus_rng);
+  // Start the monitor at the beginning of the crowd's activity year.
+  util::SimClock clock{tz::to_utc_seconds({tz::CivilDate{2016, 1, 10}, 0, 0, 0})};
+  tor::OnionTransport transport{consensus, clock, 44};
+  const std::string onion =
+      transport.host(util::hash64("crdclub-hidden"),
+                     [&engine](const tor::Request& request, std::int64_t now) {
+                       return engine.handle(request, now);
+                     });
+
+  // Calibration fails: there is nothing to read.
+  const auto calibration = forum::calibrate_server_clock(transport, onion);
+  std::printf("calibration possible: %s -> switching to monitor mode\n",
+              calibration.has_value() ? "yes" : "no");
+
+  // Monitor in 30-day chunks and keep a *streaming* estimate alive, so the
+  // investigation reports a verdict timeline instead of one final answer.
+  core::IncrementalGeolocator streaming{zones};
+  forum::ScrapeDump dump;
+  dump.onion = onion;
+  std::printf("monitoring %s.onion in 30-day rounds (poll every 30 min)...\n\n", onion.c_str());
+  std::printf("%-12s %-10s %-14s %s\n", "days", "posts", "active users", "current verdict");
+  for (int round = 1; round <= 10; ++round) {
+    forum::MonitorOptions monitor;
+    monitor.poll_interval_seconds = 1800;
+    monitor.duration_seconds = 30 * 86400;
+    const forum::ScrapeDump chunk = forum::monitor_forum(transport, onion, monitor);
+    for (const auto& record : chunk.records) {
+      streaming.observe(record.author, record.observed_utc);
+      dump.records.push_back(record);
+    }
+    dump.pages_fetched += chunk.pages_fetched;
+
+    const auto snapshot = streaming.estimate();
+    std::string verdict = "(not enough data)";
+    if (!snapshot.components.empty()) {
+      verdict = core::zone_label(snapshot.components.front().nearest_zone) + " (center " +
+                util::format_fixed(snapshot.components.front().mean_zone, 2) + ")";
+    }
+    std::printf("%-12d %-10zu %-14zu %s\n", round * 30, snapshot.posts,
+                snapshot.active_users, verdict.c_str());
+  }
+  std::printf("\nobserved %zu new posts over %zu page fetches in total\n",
+              dump.records.size(), dump.pages_fetched);
+
+  const auto posts = forum::to_utc_posts_observed(dump);
+  core::ActivityTrace trace;
+  for (const auto& post : posts) trace.add(post.author, post.utc_time);
+  const core::ProfileSet profiles = core::build_profiles(trace, {});
+  std::printf("members with >=30 observed posts: %zu (below threshold: %zu)\n\n",
+              profiles.users.size(), profiles.filtered_inactive);
+
+  if (profiles.users.empty()) {
+    std::printf("not enough data — monitor longer (Discussion VII)\n");
+    return 1;
+  }
+  const core::GeolocationResult result = core::geolocate_crowd(profiles.users, zones);
+  std::printf("%s\n",
+              core::placement_chart("Hidden-timestamp forum — placement from monitor stamps",
+                                    result)
+                  .c_str());
+  std::printf("%s", core::describe_geolocation("Findings (expect UTC+3..+4)", result).c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "core/activity.hpp"
+
+#include "util/rng.hpp"
+
+namespace tzgeo::core {
+
+std::uint64_t user_id_of(std::string_view identity) noexcept { return util::hash64(identity); }
+
+void ActivityTrace::add(std::uint64_t user, tz::UtcSeconds time) {
+  events_[user].push_back(time);
+}
+
+void ActivityTrace::add(std::string_view identity, tz::UtcSeconds time) {
+  add(user_id_of(identity), time);
+}
+
+std::size_t ActivityTrace::event_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [user, events] : events_) total += events.size();
+  return total;
+}
+
+const std::vector<tz::UtcSeconds>& ActivityTrace::events_of(std::uint64_t user) const {
+  static const std::vector<tz::UtcSeconds> kEmpty;
+  const auto it = events_.find(user);
+  return it == events_.end() ? kEmpty : it->second;
+}
+
+ActivityTrace ActivityTrace::window(tz::UtcSeconds from, tz::UtcSeconds to) const {
+  ActivityTrace result;
+  for (const auto& [user, events] : events_) {
+    for (const tz::UtcSeconds t : events) {
+      if (t >= from && t < to) result.add(user, t);
+    }
+  }
+  return result;
+}
+
+}  // namespace tzgeo::core

@@ -1,0 +1,52 @@
+// Activity traces: the raw input of the methodology.
+//
+// "The trace can be of any kind: posts, comments to posts, messages
+// exchanged, access times, or even all the above."  (Section IV.)  A trace
+// is simply, per user, the multiset of UTC instants at which the user was
+// active.  Users are keyed by opaque 64-bit ids; string identities (forum
+// handles) hash into ids via user_id_of.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "timezone/civil.hpp"
+
+namespace tzgeo::core {
+
+/// Stable user id derived from a string identity (forum handle, nickname).
+[[nodiscard]] std::uint64_t user_id_of(std::string_view identity) noexcept;
+
+/// Per-user activity instants.
+class ActivityTrace {
+ public:
+  /// Records one activity event.
+  void add(std::uint64_t user, tz::UtcSeconds time);
+  /// Convenience for string identities.
+  void add(std::string_view identity, tz::UtcSeconds time);
+
+  /// Number of distinct users.
+  [[nodiscard]] std::size_t user_count() const noexcept { return events_.size(); }
+  /// Total number of events.
+  [[nodiscard]] std::size_t event_count() const noexcept;
+
+  /// Events of one user (unsorted); empty for unknown users.
+  [[nodiscard]] const std::vector<tz::UtcSeconds>& events_of(std::uint64_t user) const;
+
+  /// All users with their events.
+  [[nodiscard]] const std::map<std::uint64_t, std::vector<tz::UtcSeconds>>& users()
+      const noexcept {
+    return events_;
+  }
+
+  /// Keeps only events in [from, to) — used for the seasonal splits of the
+  /// hemisphere analysis.  Returns the filtered copy.
+  [[nodiscard]] ActivityTrace window(tz::UtcSeconds from, tz::UtcSeconds to) const;
+
+ private:
+  std::map<std::uint64_t, std::vector<tz::UtcSeconds>> events_;
+};
+
+}  // namespace tzgeo::core

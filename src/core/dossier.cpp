@@ -1,0 +1,103 @@
+#include "core/dossier.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "core/report.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::core {
+
+UserDossier build_dossier(std::uint64_t user, const std::vector<tz::UtcSeconds>& events,
+                          const TimeZoneProfiles& zones, const DossierOptions& options) {
+  UserDossier dossier;
+  dossier.user = user;
+  dossier.posts = events.size();
+  dossier.enough_data = events.size() >= options.min_posts;
+
+  // Equation-1 profile over (day, hour) cells.
+  std::set<std::int64_t> cells;
+  for (const tz::UtcSeconds t : events) {
+    std::int64_t day = t / tz::kSecondsPerDay;
+    std::int64_t rem = t % tz::kSecondsPerDay;
+    if (rem < 0) {
+      rem += tz::kSecondsPerDay;
+      --day;
+    }
+    cells.insert(day * 24 + rem / tz::kSecondsPerHour);
+  }
+  std::vector<double> counts(kProfileBins, 0.0);
+  for (const std::int64_t cell : cells) {
+    counts[static_cast<std::size_t>(((cell % 24) + 24) % 24)] += 1.0;
+  }
+  dossier.profile = HourlyProfile::from_counts(counts);
+
+  // Placement with margin.
+  dossier.placement.user = user;
+  dossier.placement.distance = std::numeric_limits<double>::infinity();
+  dossier.placement.runner_up_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+    const double d = placement_distance(dossier.profile, zones.all()[bin], options.metric);
+    if (d < dossier.placement.distance) {
+      dossier.placement.runner_up_distance = dossier.placement.distance;
+      dossier.placement.distance = d;
+      dossier.placement.zone_hours = zone_of_bin(bin);
+    } else if (d < dossier.placement.runner_up_distance) {
+      dossier.placement.runner_up_distance = d;
+    }
+  }
+  dossier.flat = placement_distance(dossier.profile, HourlyProfile{}, options.metric) <
+                 dossier.placement.distance;
+
+  dossier.hemisphere = classify_hemisphere(events, options.hemisphere);
+  dossier.rest_days =
+      detect_rest_days(events, dossier.placement.zone_hours, options.rest_days);
+  return dossier;
+}
+
+std::vector<UserDossier> build_top_dossiers(const ActivityTrace& trace,
+                                            const TimeZoneProfiles& zones, std::size_t top_k,
+                                            const DossierOptions& options) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(trace.user_count());
+  for (const auto& [user, events] : trace.users()) {
+    ranked.emplace_back(user, events.size());
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+
+  std::vector<UserDossier> dossiers;
+  dossiers.reserve(ranked.size());
+  for (const auto& [user, unused] : ranked) {
+    dossiers.push_back(build_dossier(user, trace.events_of(user), zones, options));
+  }
+  return dossiers;
+}
+
+std::string describe_dossier(const UserDossier& dossier) {
+  std::string out = "dossier for user " + std::to_string(dossier.user) + " (" +
+                    std::to_string(dossier.posts) + " posts";
+  if (!dossier.enough_data) out += ", BELOW the activity threshold";
+  out += ")\n";
+  if (dossier.flat) {
+    out += "  profile: FLAT (bot-like; every verdict below is unreliable)\n";
+  }
+  out += "  time zone: " + zone_label(dossier.placement.zone_hours) + " (" +
+         zone_cities(dossier.placement.zone_hours) + ")\n";
+  out += "    distance " + util::format_fixed(dossier.placement.distance, 3) +
+         ", runner-up margin " + util::format_fixed(dossier.placement.margin(), 3) + "\n";
+  out += "  hemisphere: " + std::string{to_string(dossier.hemisphere.verdict)} +
+         "  [north " + util::format_fixed(dossier.hemisphere.distance_north, 3) + ", south " +
+         util::format_fixed(dossier.hemisphere.distance_south, 3) + ", no-dst " +
+         util::format_fixed(dossier.hemisphere.distance_no_dst, 3) + "]\n";
+  out += "  rest days: " + std::string{to_string(dossier.rest_days.pattern)};
+  if (dossier.rest_days.pattern != RestPattern::kUndetected) {
+    out += " (contrast " + util::format_fixed(dossier.rest_days.contrast, 2) + ")";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace tzgeo::core

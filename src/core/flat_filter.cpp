@@ -1,0 +1,68 @@
+#include "core/flat_filter.hpp"
+
+#include <limits>
+
+namespace tzgeo::core {
+
+namespace {
+
+/// Distance from a profile to the nearest zone profile.
+[[nodiscard]] double nearest_zone_distance(const HourlyProfile& profile,
+                                           const TimeZoneProfiles& zones,
+                                           PlacementMetric metric) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& zone_profile : zones.all()) {
+    const double d = placement_distance(profile, zone_profile, metric);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+}  // namespace
+
+FlatFilterResult filter_flat_profiles(const std::vector<UserProfileEntry>& users,
+                                      const TimeZoneProfiles& zones, PlacementMetric metric) {
+  const HourlyProfile uniform;  // every value 1/24
+  FlatFilterResult result;
+  for (const auto& entry : users) {
+    const double to_uniform = placement_distance(entry.profile, uniform, metric);
+    const double to_zone = nearest_zone_distance(entry.profile, zones, metric);
+    if (to_uniform < to_zone) {
+      result.removed.push_back(entry);
+    } else {
+      result.kept.push_back(entry);
+    }
+  }
+  return result;
+}
+
+PolishResult polish_population(const std::vector<UserProfileEntry>& users,
+                               const TimeZoneProfiles& initial_zones, PlacementMetric metric,
+                               int max_rounds) {
+  PolishResult result{FlatFilterResult{users, {}}, initial_zones, 0};
+
+  for (int round = 0; round < max_rounds; ++round) {
+    FlatFilterResult split = filter_flat_profiles(result.split.kept, result.zones, metric);
+    // Carry forward previously removed users.
+    split.removed.insert(split.removed.end(), result.split.removed.begin(),
+                         result.split.removed.end());
+    const bool fixpoint = split.kept.size() == result.split.kept.size();
+    result.split = std::move(split);
+    result.rounds = round + 1;
+    if (fixpoint || result.split.kept.empty()) break;
+
+    // Rebuild the generic profile from the survivors: place each survivor,
+    // undo its zone shift, and aggregate the aligned profiles.
+    const PlacementResult placement = place_crowd(result.split.kept, result.zones, metric);
+    std::vector<HourlyProfile> aligned;
+    aligned.reserve(result.split.kept.size());
+    for (std::size_t i = 0; i < result.split.kept.size(); ++i) {
+      aligned.push_back(
+          result.split.kept[i].profile.shifted(placement.users[i].zone_hours));
+    }
+    result.zones = TimeZoneProfiles{aggregate_profiles(aligned)};
+  }
+  return result;
+}
+
+}  // namespace tzgeo::core

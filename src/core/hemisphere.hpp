@@ -1,0 +1,85 @@
+// Telling apart the Northern and the Southern hemisphere (Section V-F).
+//
+// Daylight saving time runs roughly March..October in the North and
+// October..February in the South.  For a user in a DST region the UTC-hour
+// profile therefore shifts by one hour between the two halves of the year —
+// in opposite directions depending on the hemisphere:
+//
+//   Northern: clocks are ahead Mar-Oct, so summer activity lands one hour
+//             *earlier* in UTC; the Oct-Mar profile matches the Mar-Oct
+//             profile shifted forward one hour.
+//   Southern: the opposite.
+//   No DST:   the seasonal profiles coincide.
+//
+// The test compares the seasonal profiles under the circular EMD.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/activity.hpp"
+#include "core/profile.hpp"
+
+namespace tzgeo::core {
+
+/// Verdict of the seasonal-shift test.
+enum class HemisphereVerdict : std::uint8_t {
+  kNorthern,
+  kSouthern,
+  kNoDst,        ///< no seasonal shift: a region that skips DST
+  kInsufficient, ///< not enough posts in one of the seasonal windows
+};
+
+[[nodiscard]] const char* to_string(HemisphereVerdict verdict) noexcept;
+
+/// Options for the seasonal split.
+struct HemisphereOptions {
+  std::int32_t year = 2016;       ///< the civil year analyzed
+  std::size_t min_posts_per_season = 30;
+  /// The no-shift verdict wins unless a shifted match beats it by this
+  /// relative margin (guards against noise on borderline users).
+  double margin = 0.02;
+};
+
+/// Per-user result.
+struct HemisphereResult {
+  HemisphereVerdict verdict = HemisphereVerdict::kInsufficient;
+  double distance_north = 0.0;   ///< EMD(winter, summer shifted +1)
+  double distance_south = 0.0;   ///< EMD(winter, summer shifted -1)
+  double distance_no_dst = 0.0;  ///< EMD(winter, summer)
+  std::size_t winter_posts = 0;  ///< Oct..Mar window
+  std::size_t summer_posts = 0;  ///< Mar..Oct window
+};
+
+/// Classifies one user from raw UTC activity instants.
+[[nodiscard]] HemisphereResult classify_hemisphere(const std::vector<tz::UtcSeconds>& events,
+                                                   const HemisphereOptions& options = {});
+
+/// Classifies the `top_k` most active users of a trace (the paper uses the
+/// five most active users per forum).  Returns (user, result) pairs sorted
+/// by descending activity.
+struct RankedHemisphere {
+  std::uint64_t user = 0;
+  std::size_t posts = 0;
+  HemisphereResult result;
+};
+[[nodiscard]] std::vector<RankedHemisphere> classify_top_users(
+    const ActivityTrace& trace, std::size_t top_k, const HemisphereOptions& options = {});
+
+/// Crowd-level hemisphere composition: classifies *every* user with
+/// enough seasonal data (the paper stops at the top five; the full
+/// breakdown quantifies how much of the crowd the seasonal test covers).
+struct HemisphereBreakdown {
+  std::size_t northern = 0;
+  std::size_t southern = 0;
+  std::size_t no_dst = 0;
+  std::size_t insufficient = 0;
+
+  [[nodiscard]] std::size_t classified() const noexcept {
+    return northern + southern + no_dst;
+  }
+};
+[[nodiscard]] HemisphereBreakdown classify_crowd(const ActivityTrace& trace,
+                                                 const HemisphereOptions& options = {});
+
+}  // namespace tzgeo::core

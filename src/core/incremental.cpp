@@ -1,0 +1,87 @@
+#include "core/incremental.hpp"
+
+#include <limits>
+
+#include "core/activity.hpp"
+#include "stats/histogram.hpp"
+
+namespace tzgeo::core {
+
+IncrementalGeolocator::IncrementalGeolocator(TimeZoneProfiles zones,
+                                             GeolocationOptions options,
+                                             std::size_t min_posts)
+    : zones_(std::move(zones)), options_(options), min_posts_(min_posts) {}
+
+void IncrementalGeolocator::observe(std::uint64_t user, tz::UtcSeconds when) {
+  UserState& state = users_[user];
+  std::int64_t day = when / tz::kSecondsPerDay;
+  std::int64_t rem = when % tz::kSecondsPerDay;
+  if (rem < 0) {
+    rem += tz::kSecondsPerDay;
+    --day;
+  }
+  state.cells.insert(day * 24 + rem / tz::kSecondsPerHour);
+  ++state.posts;
+  state.dirty = true;
+  ++posts_;
+}
+
+void IncrementalGeolocator::observe(std::string_view identity, tz::UtcSeconds when) {
+  observe(user_id_of(identity), when);
+}
+
+void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
+  std::vector<double> counts(kProfileBins, 0.0);
+  for (const std::int64_t cell : state.cells) {
+    counts[static_cast<std::size_t>(((cell % 24) + 24) % 24)] += 1.0;
+  }
+  const HourlyProfile profile = HourlyProfile::from_counts(counts);
+
+  state.placement.user = user;
+  state.placement.distance = std::numeric_limits<double>::infinity();
+  state.placement.runner_up_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+    const double d = placement_distance(profile, zones_.all()[bin], options_.metric);
+    if (d < state.placement.distance) {
+      state.placement.runner_up_distance = state.placement.distance;
+      state.placement.distance = d;
+      state.placement.zone_hours = zone_of_bin(bin);
+    } else if (d < state.placement.runner_up_distance) {
+      state.placement.runner_up_distance = d;
+    }
+  }
+  const double to_uniform =
+      placement_distance(profile, HourlyProfile{}, options_.metric);
+  state.flat = options_.apply_flat_filter && to_uniform < state.placement.distance;
+  state.dirty = false;
+}
+
+IncrementalGeolocator::Snapshot IncrementalGeolocator::estimate() {
+  Snapshot snapshot;
+  snapshot.total_users = users_.size();
+  snapshot.posts = posts_;
+  snapshot.counts.assign(kZoneCount, 0.0);
+
+  PlacementResult placement;
+  for (auto& [user, state] : users_) {
+    if (state.posts < min_posts_) continue;
+    if (state.dirty) refresh(user, state);
+    if (state.flat) {
+      ++snapshot.flat_users;
+      continue;
+    }
+    ++snapshot.active_users;
+    snapshot.counts[bin_of_zone(state.placement.zone_hours)] += 1.0;
+    placement.users.push_back(state.placement);
+  }
+
+  snapshot.distribution = stats::normalize(snapshot.counts);
+  if (snapshot.active_users > 0) {
+    snapshot.confidence = placement_confidence(placement);
+    const MixtureFitOutcome mixture = fit_mixture_to_counts(snapshot.counts, options_);
+    snapshot.components = mixture.components;
+  }
+  return snapshot;
+}
+
+}  // namespace tzgeo::core

@@ -1,0 +1,75 @@
+// Incremental geolocation for live monitoring.
+//
+// The monitor mode of Discussion VII produces a *stream* of observations
+// over months.  Re-running the batch pipeline after every poll is O(total
+// posts); this class keeps per-user (day, hour) cell state, re-profiles
+// and re-places only the users whose state changed since the last
+// estimate, and refits the mixture on the cached placements — so a
+// steady-state estimate costs O(changed users x 24 EMDs + one GMM fit).
+//
+// Differences from the batch pipeline, by construction:
+//  * the low-activity-day (holiday) filter is not applied — it needs the
+//    completed global day histogram, which a stream never has;
+//  * the flat filter is the one-shot rule (closer to uniform than to any
+//    zone profile), not the iterative polish — the reference profiles are
+//    fixed, so there is nothing to re-polish.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string_view>
+
+#include "core/geolocator.hpp"
+#include "core/timezone_profiles.hpp"
+
+namespace tzgeo::core {
+
+/// Streaming geolocator.
+class IncrementalGeolocator {
+ public:
+  explicit IncrementalGeolocator(TimeZoneProfiles zones, GeolocationOptions options = {},
+                                 std::size_t min_posts = 30);
+
+  /// Feeds one observation.
+  void observe(std::uint64_t user, tz::UtcSeconds when);
+  void observe(std::string_view identity, tz::UtcSeconds when);
+
+  /// The current crowd estimate.
+  struct Snapshot {
+    std::vector<GeoComponent> components;   ///< mixture, sorted by weight
+    std::vector<double> counts;             ///< per-zone active-user counts
+    std::vector<double> distribution;       ///< counts normalized
+    PlacementConfidence confidence;
+    std::size_t total_users = 0;            ///< everyone ever observed
+    std::size_t active_users = 0;           ///< >= min_posts and not flat
+    std::size_t flat_users = 0;             ///< filtered as bot-like
+    std::size_t posts = 0;                  ///< observations consumed
+  };
+
+  /// Recomputes dirty users and refits; cheap when little changed.
+  [[nodiscard]] Snapshot estimate();
+
+  [[nodiscard]] std::size_t user_count() const noexcept { return users_.size(); }
+  [[nodiscard]] std::size_t post_count() const noexcept { return posts_; }
+
+ private:
+  struct UserState {
+    std::set<std::int64_t> cells;  ///< encoded (day * 24 + hour)
+    std::size_t posts = 0;
+    bool dirty = true;
+    bool flat = false;
+    UserPlacement placement;
+  };
+
+  /// Re-profiles and re-places one user.
+  void refresh(std::uint64_t user, UserState& state);
+
+  TimeZoneProfiles zones_;
+  GeolocationOptions options_;
+  std::size_t min_posts_;
+  std::map<std::uint64_t, UserState> users_;
+  std::size_t posts_ = 0;
+};
+
+}  // namespace tzgeo::core

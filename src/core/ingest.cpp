@@ -1,0 +1,94 @@
+#include "core/ingest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::core {
+
+namespace {
+
+/// Parses "YYYY-MM-DD HH:MM:SS" or integer epoch seconds.
+[[nodiscard]] std::optional<tz::UtcSeconds> parse_time(std::string_view text) {
+  text = util::trim(text);
+  if (const auto epoch = util::parse_int(text)) return *epoch;
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  char tail = '\0';
+  const int matched = std::sscanf(std::string{text}.c_str(), "%d-%d-%d %d:%d:%d%c", &year,
+                                  &month, &day, &hour, &minute, &second, &tail);
+  if (matched != 6) return std::nullopt;
+  if (month < 1 || month > 12 || day < 1 || day > tz::days_in_month(year, month) || hour < 0 ||
+      hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 59) {
+    return std::nullopt;
+  }
+  return tz::to_utc_seconds(
+      tz::CivilDateTime{tz::CivilDate{year, month, day}, hour, minute, second});
+}
+
+/// True when the row looks like a header ("author", "user", ...).
+[[nodiscard]] bool looks_like_header(const std::vector<std::string>& row) {
+  if (row.size() < 2) return false;
+  const std::string first{util::trim(row[0])};
+  return first == "author" || first == "user" || first == "handle" || first == "member";
+}
+
+}  // namespace
+
+IngestResult trace_from_csv(std::string_view csv_text) {
+  // parse_csv treats the first row as a header; re-add it as data when it
+  // does not look like one.
+  const util::CsvTable table = util::parse_csv(csv_text);
+  if (table.header.size() < 2 && !(table.header.empty() && table.rows.empty())) {
+    throw std::invalid_argument("trace_from_csv: need at least author,utc_time columns");
+  }
+
+  IngestResult result;
+  const auto consume = [&result](const std::vector<std::string>& row) {
+    const std::string_view author = util::trim(row[0]);
+    const auto time = parse_time(row[1]);
+    if (author.empty() || !time) {
+      ++result.rows_rejected;
+      return;
+    }
+    result.trace.add(author, *time);
+    ++result.rows_ok;
+  };
+
+  if (!table.header.empty() && !looks_like_header(table.header)) {
+    consume(table.header);
+  }
+  for (const auto& row : table.rows) consume(row);
+  return result;
+}
+
+IngestResult trace_from_csv_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("trace_from_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return trace_from_csv(buffer.str());
+}
+
+std::string trace_to_csv(const ActivityTrace& trace) {
+  std::string out = "author,utc_time\n";
+  for (const auto& [user, events] : trace.users()) {
+    const std::string author = "u" + std::to_string(user);
+    for (const tz::UtcSeconds t : events) {
+      out += author + "," + std::to_string(t) + "\n";
+    }
+  }
+  return out;
+}
+
+void trace_to_csv_file(const ActivityTrace& trace, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("trace_to_csv_file: cannot open " + path);
+  out << trace_to_csv(trace);
+  if (!out) throw std::runtime_error("trace_to_csv_file: write failed for " + path);
+}
+
+}  // namespace tzgeo::core

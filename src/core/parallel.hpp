@@ -1,0 +1,23 @@
+// Multi-threaded crowd placement.
+//
+// Placement is embarrassingly parallel: each user's nearest-zone search is
+// independent.  For the Twitter-scale dataset (tens of thousands of users,
+// 24 EMDs each) the parallel variant cuts wall-clock time by roughly the
+// core count while producing *bit-identical* results to place_crowd —
+// users are partitioned deterministically and the merge preserves order.
+#pragma once
+
+#include <cstddef>
+
+#include "core/placement.hpp"
+
+namespace tzgeo::core {
+
+/// Parallel drop-in for place_crowd.  `threads` = 0 picks the hardware
+/// concurrency.  Falls back to the serial path for small crowds where
+/// thread start-up would dominate.
+[[nodiscard]] PlacementResult place_crowd_parallel(
+    const std::vector<UserProfileEntry>& users, const TimeZoneProfiles& zones,
+    PlacementMetric metric = PlacementMetric::kCircularEmd, std::size_t threads = 0);
+
+}  // namespace tzgeo::core

@@ -1,0 +1,74 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/emd.hpp"
+#include "stats/histogram.hpp"
+
+namespace tzgeo::core {
+
+double placement_distance(const HourlyProfile& profile, const HourlyProfile& zone_profile,
+                          PlacementMetric metric) {
+  switch (metric) {
+    case PlacementMetric::kEmd:
+      return profile.emd_to(zone_profile);
+    case PlacementMetric::kCircularEmd:
+      return profile.circular_emd_to(zone_profile);
+    case PlacementMetric::kTotalVariation:
+      return stats::total_variation(profile.values(), zone_profile.values());
+  }
+  return std::numeric_limits<double>::infinity();  // unreachable
+}
+
+PlacementResult place_crowd(const std::vector<UserProfileEntry>& users,
+                            const TimeZoneProfiles& zones, PlacementMetric metric) {
+  PlacementResult result;
+  result.users.reserve(users.size());
+  result.counts.assign(kZoneCount, 0.0);
+
+  for (const auto& entry : users) {
+    UserPlacement placement;
+    placement.user = entry.user;
+    placement.distance = std::numeric_limits<double>::infinity();
+    placement.runner_up_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+      const double d = placement_distance(entry.profile, zones.all()[bin], metric);
+      if (d < placement.distance) {
+        placement.runner_up_distance = placement.distance;
+        placement.distance = d;
+        placement.zone_hours = zone_of_bin(bin);
+      } else if (d < placement.runner_up_distance) {
+        placement.runner_up_distance = d;
+      }
+    }
+    result.counts[bin_of_zone(placement.zone_hours)] += 1.0;
+    result.users.push_back(placement);
+  }
+  result.distribution = stats::normalize(result.counts);
+  return result;
+}
+
+PlacementConfidence placement_confidence(const PlacementResult& placement) {
+  PlacementConfidence confidence;
+  if (placement.users.empty()) return confidence;
+
+  std::vector<double> margins;
+  margins.reserve(placement.users.size());
+  std::size_t decisive = 0;
+  for (const auto& user : placement.users) {
+    const double margin = user.margin();
+    margins.push_back(margin);
+    confidence.mean_margin += margin;
+    if (user.distance > 0.0 && margin > 0.1 * user.distance) ++decisive;
+    if (user.distance == 0.0 && margin > 0.0) ++decisive;  // exact match
+  }
+  confidence.mean_margin /= static_cast<double>(margins.size());
+  std::sort(margins.begin(), margins.end());
+  confidence.median_margin = margins[margins.size() / 2];
+  confidence.decisive_fraction =
+      static_cast<double>(decisive) / static_cast<double>(placement.users.size());
+  return confidence;
+}
+
+}  // namespace tzgeo::core

@@ -1,0 +1,108 @@
+#include "core/profile_builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace tzgeo::core {
+
+namespace {
+
+/// (serial day, hour) of an event under the chosen binning.
+struct DayHour {
+  std::int64_t day = 0;
+  std::int32_t hour = 0;
+};
+
+[[nodiscard]] DayHour bin_of(tz::UtcSeconds t, const ProfileBuildOptions& options) {
+  std::int64_t shifted = t;
+  if (options.binning == HourBinning::kLocal) {
+    shifted += options.zone->offset_at(t);
+  } else if (options.binning == HourBinning::kUtcDstNormalized) {
+    // Add the DST saving only, so a summer event lands on the UTC hour its
+    // local wall-clock time would map to in winter.
+    shifted += options.zone->offset_at(t) - options.zone->standard_offset_seconds();
+  }
+  std::int64_t day = shifted / tz::kSecondsPerDay;
+  std::int64_t rem = shifted % tz::kSecondsPerDay;
+  if (rem < 0) {
+    rem += tz::kSecondsPerDay;
+    --day;
+  }
+  return DayHour{day, static_cast<std::int32_t>(rem / tz::kSecondsPerHour)};
+}
+
+/// Median of the values of a non-empty map.
+[[nodiscard]] double median_count(const std::map<std::int64_t, std::size_t>& day_counts) {
+  std::vector<std::size_t> values;
+  values.reserve(day_counts.size());
+  for (const auto& [day, count] : day_counts) values.push_back(count);
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return static_cast<double>(values[n / 2]);
+  return 0.5 * static_cast<double>(values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+HourlyProfile ProfileSet::population_profile() const {
+  std::vector<HourlyProfile> profiles;
+  profiles.reserve(users.size());
+  for (const auto& entry : users) profiles.push_back(entry.profile);
+  return aggregate_profiles(profiles);
+}
+
+ProfileSet build_profiles(const ActivityTrace& trace, const ProfileBuildOptions& options) {
+  if (options.binning != HourBinning::kUtc && options.zone == nullptr) {
+    throw std::invalid_argument("build_profiles: zone-aware binning requires a zone");
+  }
+  if (options.min_posts == 0) {
+    throw std::invalid_argument("build_profiles: min_posts must be >= 1");
+  }
+
+  // Pass 1: site-wide activity per calendar day, for the holiday filter.
+  std::map<std::int64_t, std::size_t> day_counts;
+  for (const auto& [user, events] : trace.users()) {
+    for (const tz::UtcSeconds t : events) {
+      ++day_counts[bin_of(t, options).day];
+    }
+  }
+
+  ProfileSet result;
+  if (day_counts.empty()) return result;
+
+  std::set<std::int64_t> dropped_days;
+  if (options.filter_low_activity_days && day_counts.size() >= 7) {
+    const double threshold = options.low_activity_fraction * median_count(day_counts);
+    for (const auto& [day, count] : day_counts) {
+      if (static_cast<double>(count) < threshold) dropped_days.insert(day);
+    }
+  }
+  result.filtered_days = dropped_days.size();
+
+  // Pass 2: Equation 1 per user, over the surviving days.
+  for (const auto& [user, events] : trace.users()) {
+    std::set<std::int64_t> active_cells;  // encoded (day, hour)
+    std::size_t posts = 0;
+    for (const tz::UtcSeconds t : events) {
+      const DayHour bin = bin_of(t, options);
+      if (dropped_days.contains(bin.day)) continue;
+      ++posts;
+      active_cells.insert(bin.day * 24 + bin.hour);
+    }
+    if (posts < options.min_posts) {
+      ++result.filtered_inactive;
+      continue;
+    }
+    std::vector<double> counts(kProfileBins, 0.0);
+    for (const std::int64_t cell : active_cells) {
+      const std::int64_t hour = ((cell % 24) + 24) % 24;
+      counts[static_cast<std::size_t>(hour)] += 1.0;
+    }
+    result.users.push_back(UserProfileEntry{user, posts, HourlyProfile::from_counts(counts)});
+  }
+  return result;
+}
+
+}  // namespace tzgeo::core

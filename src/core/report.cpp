@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::core {
+
+std::string zone_label(std::int32_t zone_hours) {
+  if (zone_hours == 0) return "UTC";
+  return zone_hours > 0 ? "UTC+" + std::to_string(zone_hours)
+                        : "UTC-" + std::to_string(-zone_hours);
+}
+
+std::string zone_cities(std::int32_t zone_hours) {
+  switch (zone_hours) {
+    case -11: return "Pago Pago, Alofi";
+    case -10: return "Honolulu, Papeete";
+    case -9: return "Anchorage, Juneau";
+    case -8: return "San Francisco, Los Angeles, Las Vegas";
+    case -7: return "Denver, Phoenix, Chihuahua";
+    case -6: return "Chicago, New Orleans, Mexico City";
+    case -5: return "New York, Toronto, Bogota";
+    case -4: return "Halifax, Caracas, Asuncion";
+    case -3: return "Rio De Janeiro, Sao Paulo, Buenos Aires";
+    case -2: return "Fernando de Noronha, South Georgia";
+    case -1: return "Azores, Praia";
+    case 0: return "London, Lisbon, Accra";
+    case 1: return "Berlin, Paris, Rome";
+    case 2: return "Helsinki, Athens, Cairo";
+    case 3: return "Bucharest, Moscow, Minsk";
+    case 4: return "Abu Dhabi, Tbilisi, Yerevan";
+    case 5: return "Karachi, Tashkent";
+    case 6: return "Dhaka, Almaty";
+    case 7: return "Bangkok, Jakarta, Hanoi";
+    case 8: return "Kuala Lumpur, Singapore, Beijing";
+    case 9: return "Tokyo, Seoul";
+    case 10: return "Sydney, Brisbane";
+    case 11: return "Noumea, Honiara";
+    case 12: return "Auckland, Suva";
+    default: return "";
+  }
+}
+
+std::string describe_component(const GeoComponent& component) {
+  return util::format_fixed(component.weight * 100.0, 1) + "% @ " +
+         zone_label(component.nearest_zone) + " (" + zone_cities(component.nearest_zone) +
+         "), center " + util::format_fixed(component.mean_zone, 2) + "h, sigma " +
+         util::format_fixed(component.sigma, 2) + "h";
+}
+
+std::string describe_geolocation(const std::string& caption, const GeolocationResult& result) {
+  std::string out = caption + "\n";
+  out += "  users analyzed: " + std::to_string(result.users_analyzed) +
+         "  (flat profiles removed: " + std::to_string(result.users_filtered_flat) + ")\n";
+  out += "  components (" + std::to_string(result.components.size()) + "):\n";
+  for (const auto& component : result.components) {
+    out += "    - " + describe_component(component) + "\n";
+  }
+  out += "  fit: average distance " + util::format_fixed(result.fit_metrics.average, 3) +
+         ", standard deviation " + util::format_fixed(result.fit_metrics.stddev, 3) + "\n";
+  out += "  12h-shift baseline: average " +
+         util::format_fixed(result.baseline_metrics.average, 3) + ", standard deviation " +
+         util::format_fixed(result.baseline_metrics.stddev, 3) + "\n";
+  out += "  placement confidence: mean margin " +
+         util::format_fixed(result.confidence.mean_margin, 3) + ", decisive users " +
+         util::format_fixed(result.confidence.decisive_fraction * 100.0, 0) + "%\n";
+  return out;
+}
+
+std::string placement_chart(const std::string& caption, const GeolocationResult& result) {
+  std::vector<std::string> labels;
+  labels.reserve(kZoneCount);
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+    const std::int32_t zone = zone_of_bin(bin);
+    labels.push_back(zone == 0 ? "0" : std::to_string(zone));
+  }
+  util::ChartOptions chart;
+  chart.title = caption;
+  chart.y_label = "fraction of crowd (bars) / fitted mixture (curve)";
+  chart.height = 14;
+  util::OverlaySeries overlay{"gaussian fit", '*', result.fitted_curve};
+  return util::bar_chart_with_overlays(labels, result.placement.distribution, {overlay}, chart);
+}
+
+std::string describe_hemispheres(const std::string& caption,
+                                 const std::vector<RankedHemisphere>& users) {
+  std::string out = caption + "\n";
+  for (const auto& entry : users) {
+    out += "  user " + std::to_string(entry.user % 100000) + " (" +
+           std::to_string(entry.posts) + " posts): " + to_string(entry.result.verdict) +
+           "  [north " + util::format_fixed(entry.result.distance_north, 4) + ", south " +
+           util::format_fixed(entry.result.distance_south, 4) + ", no-dst " +
+           util::format_fixed(entry.result.distance_no_dst, 4) + "]\n";
+  }
+  return out;
+}
+
+}  // namespace tzgeo::core

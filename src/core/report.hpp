@@ -1,0 +1,41 @@
+// Human-readable investigation reports.
+//
+// Formats geolocation results the way the paper narrates them — component
+// time zones with representative cities, weights, and fit quality — so the
+// bench binaries and examples can print directly comparable output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/geolocator.hpp"
+#include "core/hemisphere.hpp"
+
+namespace tzgeo::core {
+
+/// Representative cities for a world time zone, in the style of the paper
+/// ("UTC+3 (Bucharest, Moscow, Minsk)").
+[[nodiscard]] std::string zone_cities(std::int32_t zone_hours);
+
+/// "UTC-6" / "UTC" / "UTC+3" label.
+[[nodiscard]] std::string zone_label(std::int32_t zone_hours);
+
+/// One-line description of a component:
+/// "52.3% @ UTC+1 (Berlin, Paris, Rome), sigma 2.4h".
+[[nodiscard]] std::string describe_component(const GeoComponent& component);
+
+/// Multi-line report of a geolocation result (components, fit metrics,
+/// filtering counts) under a caption.
+[[nodiscard]] std::string describe_geolocation(const std::string& caption,
+                                               const GeolocationResult& result);
+
+/// Renders the 24-bin placement distribution with the fitted mixture curve
+/// overlaid as an ASCII chart.
+[[nodiscard]] std::string placement_chart(const std::string& caption,
+                                          const GeolocationResult& result);
+
+/// Multi-line report of a top-users hemisphere analysis.
+[[nodiscard]] std::string describe_hemispheres(const std::string& caption,
+                                               const std::vector<RankedHemisphere>& users);
+
+}  // namespace tzgeo::core

@@ -1,0 +1,94 @@
+#include "core/report_json.hpp"
+
+#include "core/report.hpp"
+
+namespace tzgeo::core {
+
+namespace {
+
+[[nodiscard]] util::JsonValue component_json(const GeoComponent& component) {
+  return util::JsonValue::object()
+      .set("zone", util::JsonValue::string(zone_label(component.nearest_zone)))
+      .set("center_utc_offset", util::JsonValue::number(component.mean_zone))
+      .set("sigma_hours", util::JsonValue::number(component.sigma))
+      .set("weight", util::JsonValue::number(component.weight))
+      .set("cities", util::JsonValue::string(zone_cities(component.nearest_zone)));
+}
+
+[[nodiscard]] util::JsonValue distribution_json(const std::vector<double>& values) {
+  util::JsonValue array = util::JsonValue::array();
+  for (std::size_t bin = 0; bin < values.size(); ++bin) {
+    array.push(util::JsonValue::object()
+                   .set("zone", util::JsonValue::integer(zone_of_bin(bin)))
+                   .set("fraction", util::JsonValue::number(values[bin])));
+  }
+  return array;
+}
+
+}  // namespace
+
+util::JsonValue to_json(const GeolocationResult& result) {
+  util::JsonValue components = util::JsonValue::array();
+  for (const auto& component : result.components) components.push(component_json(component));
+
+  return util::JsonValue::object()
+      .set("users_analyzed", util::JsonValue::integer(
+                                 static_cast<std::int64_t>(result.users_analyzed)))
+      .set("users_filtered_flat", util::JsonValue::integer(static_cast<std::int64_t>(
+                                      result.users_filtered_flat)))
+      .set("components", std::move(components))
+      .set("placement", distribution_json(result.placement.distribution))
+      .set("fit", util::JsonValue::object()
+                      .set("average", util::JsonValue::number(result.fit_metrics.average))
+                      .set("stddev", util::JsonValue::number(result.fit_metrics.stddev)))
+      .set("baseline_12h",
+           util::JsonValue::object()
+               .set("average", util::JsonValue::number(result.baseline_metrics.average))
+               .set("stddev", util::JsonValue::number(result.baseline_metrics.stddev)))
+      .set("confidence",
+           util::JsonValue::object()
+               .set("mean_margin", util::JsonValue::number(result.confidence.mean_margin))
+               .set("median_margin", util::JsonValue::number(result.confidence.median_margin))
+               .set("decisive_fraction",
+                    util::JsonValue::number(result.confidence.decisive_fraction)));
+}
+
+util::JsonValue to_json(const BootstrapResult& result) {
+  util::JsonValue intervals = util::JsonValue::array();
+  for (const auto& interval : result.components) {
+    intervals.push(
+        util::JsonValue::object()
+            .set("component", component_json(interval.point))
+            .set("center_lo", util::JsonValue::number(interval.mean_lo))
+            .set("center_hi", util::JsonValue::number(interval.mean_hi))
+            .set("weight_lo", util::JsonValue::number(interval.weight_lo))
+            .set("weight_hi", util::JsonValue::number(interval.weight_hi))
+            .set("support", util::JsonValue::number(interval.support)));
+  }
+  return util::JsonValue::object()
+      .set("point", to_json(result.point))
+      .set("resamples", util::JsonValue::integer(result.resamples))
+      .set("component_count_stability",
+           util::JsonValue::number(result.component_count_stability))
+      .set("intervals", std::move(intervals));
+}
+
+util::JsonValue to_json(const UserDossier& dossier) {
+  util::JsonValue profile = util::JsonValue::array();
+  for (std::size_t h = 0; h < kProfileBins; ++h) {
+    profile.push(util::JsonValue::number(dossier.profile[h]));
+  }
+  return util::JsonValue::object()
+      .set("user", util::JsonValue::integer(static_cast<std::int64_t>(dossier.user)))
+      .set("posts", util::JsonValue::integer(static_cast<std::int64_t>(dossier.posts)))
+      .set("enough_data", util::JsonValue::boolean(dossier.enough_data))
+      .set("flat", util::JsonValue::boolean(dossier.flat))
+      .set("zone", util::JsonValue::string(zone_label(dossier.placement.zone_hours)))
+      .set("zone_distance", util::JsonValue::number(dossier.placement.distance))
+      .set("zone_margin", util::JsonValue::number(dossier.placement.margin()))
+      .set("hemisphere", util::JsonValue::string(to_string(dossier.hemisphere.verdict)))
+      .set("rest_pattern", util::JsonValue::string(to_string(dossier.rest_days.pattern)))
+      .set("profile_utc_hours", std::move(profile));
+}
+
+}  // namespace tzgeo::core

@@ -1,0 +1,23 @@
+// Machine-readable (JSON) serialization of analysis results.
+#pragma once
+
+#include <string>
+
+#include "core/bootstrap.hpp"
+#include "core/dossier.hpp"
+#include "core/geolocator.hpp"
+#include "util/json.hpp"
+
+namespace tzgeo::core {
+
+/// Full geolocation result: components, placement distribution, fit
+/// metrics, confidence summary.
+[[nodiscard]] util::JsonValue to_json(const GeolocationResult& result);
+
+/// Bootstrap result: the point estimate plus per-component intervals.
+[[nodiscard]] util::JsonValue to_json(const BootstrapResult& result);
+
+/// Per-user dossier.
+[[nodiscard]] util::JsonValue to_json(const UserDossier& dossier);
+
+}  // namespace tzgeo::core

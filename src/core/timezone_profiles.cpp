@@ -1,0 +1,92 @@
+#include "core/timezone_profiles.hpp"
+
+#include <stdexcept>
+
+namespace tzgeo::core {
+
+std::size_t bin_of_zone(std::int32_t zone_hours) {
+  if (zone_hours < kMinZone || zone_hours > kMaxZone) {
+    throw std::out_of_range("bin_of_zone: zone must be in [-11, 12]");
+  }
+  return static_cast<std::size_t>(zone_hours - kMinZone);
+}
+
+std::int32_t zone_of_bin(std::size_t bin) {
+  if (bin >= kZoneCount) throw std::out_of_range("zone_of_bin: bin must be < 24");
+  return static_cast<std::int32_t>(bin) + kMinZone;
+}
+
+TimeZoneProfiles::TimeZoneProfiles(HourlyProfile generic) : generic_(std::move(generic)) {
+  shifted_.reserve(kZoneCount);
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+    // A UTC+k crowd is active k hours earlier on the UTC axis.
+    shifted_.push_back(generic_.shifted(-zone_of_bin(bin)));
+  }
+}
+
+TimeZoneProfiles TimeZoneProfiles::from_regions(
+    const std::vector<RegionalContribution>& regions) {
+  if (regions.empty()) {
+    throw std::invalid_argument("TimeZoneProfiles::from_regions: no regions");
+  }
+  std::vector<double> sum(kProfileBins, 0.0);
+  for (const auto& region : regions) {
+    for (std::size_t h = 0; h < kProfileBins; ++h) {
+      sum[h] += static_cast<double>(region.users) * region.aligned_profile[h];
+    }
+  }
+  return TimeZoneProfiles{HourlyProfile::from_counts(sum)};
+}
+
+const HourlyProfile& TimeZoneProfiles::zone_profile(std::int32_t zone_hours) const {
+  return shifted_[bin_of_zone(zone_hours)];
+}
+
+RegionalContribution make_contribution(const std::string& region,
+                                       std::int32_t standard_offset_hours,
+                                       const ProfileSet& profiles, HourBinning binning) {
+  RegionalContribution contribution;
+  contribution.region = region;
+  contribution.standard_offset_hours = standard_offset_hours;
+  contribution.users = profiles.users.size();
+  // kLocal profiles are already the canonical local-time shape.  kUtc and
+  // kUtcDstNormalized profiles of a UTC+k crowd appear k hours early on
+  // the UTC axis; shift by +k to undo the zone.
+  contribution.aligned_profile =
+      binning == HourBinning::kLocal
+          ? profiles.population_profile()
+          : profiles.population_profile().shifted(standard_offset_hours);
+  return contribution;
+}
+
+std::vector<std::vector<double>> pearson_matrix(
+    const std::vector<RegionalContribution>& regions) {
+  const std::size_t n = regions.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 1.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r =
+          regions[i].aligned_profile.pearson_to(regions[j].aligned_profile);
+      matrix[i][j] = r;
+      matrix[j][i] = r;
+    }
+  }
+  return matrix;
+}
+
+double mean_offdiagonal(const std::vector<std::vector<double>>& matrix) {
+  const std::size_t n = matrix.size();
+  if (n < 2) throw std::invalid_argument("mean_offdiagonal: need >= 2 regions");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sum += matrix[i][j];
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace tzgeo::core

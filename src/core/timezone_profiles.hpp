@@ -1,0 +1,86 @@
+// The generic profile and its 24 time-zone shifts (Section IV).
+//
+// "We can easily build the profile for every region, even those not present
+// in Table I, by just shifting the generic profile according to the time
+// difference between the region's timezone and UTC."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/profile_builder.hpp"
+
+namespace tzgeo::core {
+
+/// World time zones span UTC-11 .. UTC+12 (24 zones).
+inline constexpr std::int32_t kMinZone = -11;
+inline constexpr std::int32_t kMaxZone = 12;
+inline constexpr std::size_t kZoneCount = 24;
+
+/// Bin index (0..23) of a zone offset (-11..+12).
+[[nodiscard]] std::size_t bin_of_zone(std::int32_t zone_hours);
+/// Zone offset (-11..+12) of a bin index (0..23).
+[[nodiscard]] std::int32_t zone_of_bin(std::size_t bin);
+
+/// One ground-truth regional population used to assemble the generic
+/// profile: its *aligned* population profile (canonical local-time shape,
+/// i.e. what the region's crowd looks like once its zone offset is undone)
+/// and its weight (user count).
+struct RegionalContribution {
+  std::string region;
+  std::int32_t standard_offset_hours = 0;
+  std::size_t users = 0;
+  HourlyProfile aligned_profile;  ///< canonical shape, zone offset removed
+};
+
+/// The generic (UTC-aligned) crowd profile plus its 24 shifts.
+class TimeZoneProfiles {
+ public:
+  /// Wraps an externally built generic profile.
+  explicit TimeZoneProfiles(HourlyProfile generic);
+
+  /// Assembles the generic profile from ground-truth regional populations:
+  /// each regional profile is shifted to UTC by its standard offset and
+  /// the shifted profiles are combined weighted by user count.
+  /// Also records the per-region aligned profiles for the Pearson matrix.
+  [[nodiscard]] static TimeZoneProfiles from_regions(
+      const std::vector<RegionalContribution>& regions);
+
+  /// The UTC-aligned generic profile (Fig. 2b): the canonical shape — what
+  /// a crowd living in the UTC zone looks like on the UTC-hour axis.
+  [[nodiscard]] const HourlyProfile& generic() const noexcept { return generic_; }
+
+  /// The UTC-hour profile of a crowd living at UTC+k (k in -11..+12).
+  /// Such a crowd is active k hours earlier in UTC terms, so this is the
+  /// generic profile shifted by -k.
+  [[nodiscard]] const HourlyProfile& zone_profile(std::int32_t zone_hours) const;
+
+  /// All 24 profiles ordered by bin (UTC-11 first).
+  [[nodiscard]] const std::vector<HourlyProfile>& all() const noexcept { return shifted_; }
+
+ private:
+  HourlyProfile generic_;
+  std::vector<HourlyProfile> shifted_;  ///< index = bin_of_zone(k)
+};
+
+/// Builds a RegionalContribution from a profiled region.  `binning` states
+/// how the profiles were built: kLocal profiles are already the canonical
+/// shape (DST normalized away); kUtc profiles must be shifted by +offset to
+/// undo the zone (UTC+k crowds appear k hours early on the UTC axis).
+[[nodiscard]] RegionalContribution make_contribution(const std::string& region,
+                                                     std::int32_t standard_offset_hours,
+                                                     const ProfileSet& profiles,
+                                                     HourBinning binning);
+
+/// Pairwise Pearson correlation matrix of UTC-aligned regional profiles
+/// (the paper reports an average of ~0.9).  Entry [i][j] is the
+/// correlation between regions i and j.
+[[nodiscard]] std::vector<std::vector<double>> pearson_matrix(
+    const std::vector<RegionalContribution>& regions);
+
+/// Mean of the off-diagonal entries of a Pearson matrix.
+[[nodiscard]] double mean_offdiagonal(const std::vector<std::vector<double>>& matrix);
+
+}  // namespace tzgeo::core

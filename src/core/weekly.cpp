@@ -1,0 +1,121 @@
+#include "core/weekly.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tzgeo::core {
+
+namespace {
+
+/// Local day-of-week (0 = Sunday) of an instant under a whole-hour zone.
+[[nodiscard]] std::int32_t local_weekday(tz::UtcSeconds t, std::int32_t zone_hours) {
+  const std::int64_t local = t + static_cast<std::int64_t>(zone_hours) * tz::kSecondsPerHour;
+  std::int64_t day = local / tz::kSecondsPerDay;
+  if (local % tz::kSecondsPerDay < 0) --day;
+  return static_cast<std::int32_t>(((day % 7) + 7 + 4) % 7);  // epoch day 0 = Thursday
+}
+
+[[nodiscard]] RestDayResult classify(std::array<double, 7> counts, std::size_t posts,
+                                     const RestDayOptions& options) {
+  RestDayResult result;
+  result.posts = posts;
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  if (total <= 0.0 || posts < options.min_posts) return result;  // kUndetected
+  for (std::size_t d = 0; d < 7; ++d) result.day_activity[d] = counts[d] / total;
+
+  // Find the busiest cyclic 2-day window.
+  double best = -1.0;
+  std::size_t best_start = 0;
+  for (std::size_t d = 0; d < 7; ++d) {
+    const double window = result.day_activity[d] + result.day_activity[(d + 1) % 7];
+    if (window > best) {
+      best = window;
+      best_start = d;
+    }
+  }
+  const double window_mean = best / 2.0;
+  const double rest_mean = (1.0 - best) / 5.0;
+  result.contrast = rest_mean > 0.0 ? window_mean / rest_mean : 99.0;
+  result.rest_day_a = static_cast<std::int32_t>(best_start);
+  result.rest_day_b = static_cast<std::int32_t>((best_start + 1) % 7);
+
+  if (result.contrast < options.min_contrast) {
+    result.pattern = RestPattern::kUndetected;
+    return result;
+  }
+  if (result.rest_day_a == 6 && result.rest_day_b == 0) {
+    result.pattern = RestPattern::kSaturdaySunday;
+  } else if (result.rest_day_a == 5 && result.rest_day_b == 6) {
+    result.pattern = RestPattern::kFridaySaturday;
+  } else if (result.rest_day_a == 4 && result.rest_day_b == 5) {
+    result.pattern = RestPattern::kThursdayFriday;
+  } else {
+    result.pattern = RestPattern::kOther;
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(RestPattern pattern) noexcept {
+  switch (pattern) {
+    case RestPattern::kSaturdaySunday: return "saturday-sunday";
+    case RestPattern::kFridaySaturday: return "friday-saturday";
+    case RestPattern::kThursdayFriday: return "thursday-friday";
+    case RestPattern::kOther: return "other";
+    case RestPattern::kUndetected: return "undetected";
+  }
+  return "unknown";
+}
+
+RestDayResult detect_rest_days(const std::vector<tz::UtcSeconds>& events,
+                               std::int32_t zone_hours, const RestDayOptions& options) {
+  std::array<double, 7> counts{};
+  for (const tz::UtcSeconds t : events) {
+    counts[static_cast<std::size_t>(local_weekday(t, zone_hours))] += 1.0;
+  }
+  return classify(counts, events.size(), options);
+}
+
+RestDayResult detect_crowd_rest_days(const ActivityTrace& trace,
+                                     const PlacementResult& placement,
+                                     const RestDayOptions& options) {
+  std::array<double, 7> counts{};
+  std::size_t posts = 0;
+  for (const auto& user : placement.users) {
+    const auto& events = trace.events_of(user.user);
+    // Each user contributes a *normalized* week so heavy posters do not
+    // dominate the crowd pattern (the Eq. 2 philosophy).
+    if (events.empty()) continue;
+    std::array<double, 7> user_counts{};
+    for (const tz::UtcSeconds t : events) {
+      user_counts[static_cast<std::size_t>(local_weekday(t, user.zone_hours))] += 1.0;
+    }
+    for (std::size_t d = 0; d < 7; ++d) {
+      counts[d] += user_counts[d] / static_cast<double>(events.size());
+    }
+    posts += events.size();
+  }
+  return classify(counts, posts, options);
+}
+
+RestPatternBreakdown rest_pattern_breakdown(const ActivityTrace& trace,
+                                            const PlacementResult& placement,
+                                            const RestDayOptions& options) {
+  RestPatternBreakdown breakdown;
+  for (const auto& user : placement.users) {
+    const RestDayResult result =
+        detect_rest_days(trace.events_of(user.user), user.zone_hours, options);
+    switch (result.pattern) {
+      case RestPattern::kSaturdaySunday: ++breakdown.saturday_sunday; break;
+      case RestPattern::kFridaySaturday: ++breakdown.friday_saturday; break;
+      case RestPattern::kThursdayFriday: ++breakdown.thursday_friday; break;
+      case RestPattern::kOther: ++breakdown.other; break;
+      case RestPattern::kUndetected: ++breakdown.undetected; break;
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace tzgeo::core

@@ -1,0 +1,81 @@
+// Weekly rest-day analysis — an extension beyond the paper.
+//
+// The paper's Dream Market verdict is honest about an ambiguity it cannot
+// resolve: "the UTC+1 time zone, aside from Europe, covers also part of
+// Africa, and actually our methodology cannot rule out the fact that part
+// of the crowd is from that part of the time zone."  Hourly profiles are
+// blind to it — but *weekly* profiles are not: most of Europe rests
+// Saturday/Sunday while much of North Africa and the Middle East rests
+// Friday/Saturday, and leisure days carry visibly more (and later) forum
+// activity.  Given a user's placed time zone, the local day-of-week
+// activity distribution reveals the rest-day pattern and separates
+// same-zone cultures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/activity.hpp"
+#include "core/placement.hpp"
+
+namespace tzgeo::core {
+
+/// Recognized rest-day patterns (local weekdays, 0 = Sunday .. 6 = Saturday).
+enum class RestPattern : std::uint8_t {
+  kSaturdaySunday,  ///< most of the world
+  kFridaySaturday,  ///< much of the Middle East / North Africa
+  kThursdayFriday,  ///< a few countries (historical)
+  kOther,           ///< two peak days that match no known pattern
+  kUndetected,      ///< no pronounced two-day peak
+};
+
+[[nodiscard]] const char* to_string(RestPattern pattern) noexcept;
+
+/// Result of a rest-day analysis.
+struct RestDayResult {
+  std::array<double, 7> day_activity{};  ///< local day-of-week distribution
+  std::int32_t rest_day_a = 0;           ///< first detected rest day
+  std::int32_t rest_day_b = 0;           ///< second (cyclically adjacent)
+  RestPattern pattern = RestPattern::kUndetected;
+  /// Mean activity of the detected 2-day window over the 5-day remainder;
+  /// > 1 means the window is busier (our leisure model), and values close
+  /// to 1 yield kUndetected.
+  double contrast = 1.0;
+  std::size_t posts = 0;
+};
+
+/// Analysis options.
+struct RestDayOptions {
+  std::size_t min_posts = 60;      ///< below this the verdict is kUndetected
+  double min_contrast = 1.08;      ///< window must stand out by this factor
+};
+
+/// Classifies one user from UTC activity instants, given the zone the
+/// placement assigned (local day boundaries depend on it).
+[[nodiscard]] RestDayResult detect_rest_days(const std::vector<tz::UtcSeconds>& events,
+                                             std::int32_t zone_hours,
+                                             const RestDayOptions& options = {});
+
+/// Crowd-level analysis: every placed user contributes its events under
+/// its own placed zone; the aggregate day distribution is classified.
+[[nodiscard]] RestDayResult detect_crowd_rest_days(const ActivityTrace& trace,
+                                                   const PlacementResult& placement,
+                                                   const RestDayOptions& options = {});
+
+/// Splits a placed crowd by rest pattern: returns, per pattern, the number
+/// of users whose individual analysis lands there.  The disambiguation
+/// tool for the Dream-Market ambiguity (same zone, different culture).
+struct RestPatternBreakdown {
+  std::size_t saturday_sunday = 0;
+  std::size_t friday_saturday = 0;
+  std::size_t thursday_friday = 0;
+  std::size_t other = 0;
+  std::size_t undetected = 0;
+};
+[[nodiscard]] RestPatternBreakdown rest_pattern_breakdown(const ActivityTrace& trace,
+                                                          const PlacementResult& placement,
+                                                          const RestDayOptions& options = {});
+
+}  // namespace tzgeo::core

@@ -1,0 +1,149 @@
+#include "forum/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "forum/model.hpp"
+#include "forum/parser.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+/// One sweep over the Welcome thread (newest page first) looking for the
+/// marker.  Returns the displayed time (possibly nullopt = no timestamp)
+/// when found; disengaged `found` when the marker is not visible yet.
+struct MarkerLookup {
+  bool found = false;
+  std::optional<tz::CivilDateTime> display_time;
+};
+
+[[nodiscard]] MarkerLookup scan_for_marker(tor::OnionTransport& transport,
+                                           const std::string& onion,
+                                           const std::string& marker) {
+  const std::string base = "/thread/" + std::to_string(kWelcomeThreadId);
+  const tor::Response first = transport.fetch(onion, tor::Request{"GET", base + "?page=1", ""});
+  if (first.status != 200) throw std::runtime_error("calibration: Welcome thread unavailable");
+  const auto parsed_first = parse_thread_page(
+      first.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
+  if (!parsed_first) throw std::runtime_error("calibration: unparsable Welcome thread");
+
+  std::size_t page = parsed_first->pages;
+  while (page >= 1) {
+    const tor::Response response = transport.fetch(
+        onion, tor::Request{"GET", base + "?page=" + std::to_string(page), ""});
+    if (response.status != 200) throw std::runtime_error("calibration: page fetch failed");
+    const auto parsed = parse_thread_page(
+        response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
+    if (!parsed) throw std::runtime_error("calibration: unparsable Welcome page");
+    for (auto it = parsed->posts.rbegin(); it != parsed->posts.rend(); ++it) {
+      if (it->body == marker) return MarkerLookup{true, it->display_time};
+    }
+    if (page == 1) break;
+    --page;
+  }
+  return MarkerLookup{};
+}
+
+/// Polls for the marker until the deadline.  A forum that delays post
+/// publication (the random-delay countermeasure) shows the marker late.
+[[nodiscard]] std::optional<tz::CivilDateTime> read_back_marker(
+    tor::OnionTransport& transport, const std::string& onion, const std::string& marker,
+    const CalibrationOptions& options) {
+  const std::int64_t deadline =
+      transport.clock().now_seconds() + options.marker_wait_seconds;
+  for (;;) {
+    const MarkerLookup lookup = scan_for_marker(transport, onion, marker);
+    if (lookup.found) return lookup.display_time;
+    if (transport.clock().now_seconds() >= deadline) {
+      throw std::runtime_error("calibration: marker post not visible before the deadline");
+    }
+    transport.clock().advance_seconds(std::max<std::int64_t>(options.marker_poll_seconds, 1));
+  }
+}
+
+[[nodiscard]] std::int64_t round_to(std::int64_t value, std::int64_t granule) {
+  if (granule <= 1) return value;
+  const double rounded = std::round(static_cast<double>(value) / static_cast<double>(granule));
+  return static_cast<std::int64_t>(rounded) * granule;
+}
+
+}  // namespace
+
+std::optional<CalibrationResult> calibrate_server_clock(tor::OnionTransport& transport,
+                                                        const std::string& onion,
+                                                        const CalibrationOptions& options) {
+  if (options.probes < 1) throw std::invalid_argument("calibration: probes must be >= 1");
+
+  // Sign up (idempotent per handle: a 409 means we already registered).
+  const tor::Response signup = transport.fetch(
+      onion, tor::Request{"POST", "/signup", "handle=" + options.handle});
+  if (signup.status != 200 && signup.status != 409) {
+    throw std::runtime_error("calibration: signup rejected with status " +
+                             std::to_string(signup.status));
+  }
+
+  std::vector<std::int64_t> offsets;
+  for (int probe = 0; probe < options.probes; ++probe) {
+    const std::string marker =
+        "calibration marker " + options.handle + " #" + std::to_string(probe);
+    const std::int64_t before = transport.clock().now_seconds();
+    const tor::Response posted = transport.fetch(
+        onion, tor::Request{"POST", "/post",
+                            "thread=" + std::to_string(kWelcomeThreadId) +
+                                "&author=" + options.handle + "&text=" + marker});
+    if (posted.status != 200) {
+      throw std::runtime_error("calibration: marker post rejected with status " +
+                               std::to_string(posted.status));
+    }
+    const std::int64_t after = transport.clock().now_seconds();
+
+    const auto displayed = read_back_marker(transport, onion, marker, options);
+    if (!displayed) return std::nullopt;  // timestamps hidden: monitor mode
+
+    // The server stamped the post somewhere within [before, after].
+    const std::int64_t own_estimate = (before + after) / 2;
+    std::int64_t offset = tz::to_utc_seconds(*displayed) - own_estimate;
+    // Relative timestamps ("today 18:03") can resolve to the wrong day
+    // around a midnight boundary; real display offsets live in
+    // [-12 h, +12 h], so fold whole-day errors away.
+    while (offset > 12 * tz::kSecondsPerHour) offset -= 24 * tz::kSecondsPerHour;
+    while (offset < -12 * tz::kSecondsPerHour) offset += 24 * tz::kSecondsPerHour;
+    offsets.push_back(offset);
+  }
+
+  const auto [min_it, max_it] = std::minmax_element(offsets.begin(), offsets.end());
+  CalibrationResult result;
+  result.probe_spread_seconds = *max_it - *min_it;
+  result.stable = result.probe_spread_seconds <= options.stability_tolerance_seconds;
+  // Use the smallest probe: under a random *additive* delay the minimum is
+  // the least-contaminated estimate.
+  result.offset_seconds = round_to(*min_it, options.round_to_seconds);
+  return result;
+}
+
+std::vector<TimedPost> to_utc_posts(const ScrapeDump& dump, std::int64_t offset_seconds) {
+  std::vector<TimedPost> posts;
+  posts.reserve(dump.records.size());
+  for (const auto& record : dump.records) {
+    TimedPost post;
+    post.author = record.author;
+    post.utc_time = record.display_time
+                        ? tz::to_utc_seconds(*record.display_time) - offset_seconds
+                        : record.observed_utc;
+    posts.push_back(std::move(post));
+  }
+  return posts;
+}
+
+std::vector<TimedPost> to_utc_posts_observed(const ScrapeDump& dump) {
+  std::vector<TimedPost> posts;
+  posts.reserve(dump.records.size());
+  for (const auto& record : dump.records) {
+    posts.push_back(TimedPost{record.author, record.observed_utc});
+  }
+  return posts;
+}
+
+}  // namespace tzgeo::forum

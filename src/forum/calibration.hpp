@@ -1,0 +1,63 @@
+// Server-clock offset calibration.
+//
+// "First, we sign up in the forum and write a post in the Welcome or Spam
+// thread to calculate the offset between the server time (the one on the
+// post) and UTC."  (Section V.)  The calibrator does exactly that: it
+// registers an account, posts a marker, reads its own post back, and
+// compares the displayed timestamp against the known (own-clock) posting
+// time.  Posting twice guards against forums that randomize displayed
+// times (Discussion VII): an unstable offset is reported as such.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "forum/crawler.hpp"
+#include "tor/transport.hpp"
+
+namespace tzgeo::forum {
+
+/// Outcome of a calibration attempt.
+struct CalibrationResult {
+  std::int64_t offset_seconds = 0;  ///< server display clock minus UTC
+  bool stable = true;               ///< false when repeated probes disagree
+  std::int64_t probe_spread_seconds = 0;  ///< disagreement between probes
+};
+
+/// Calibration tuning.
+struct CalibrationOptions {
+  std::string handle = "tzgeo_probe";
+  int probes = 2;                      ///< marker posts to submit
+  std::int64_t stability_tolerance_seconds = 90;
+  std::int64_t round_to_seconds = 60;  ///< round the offset (RTT noise)
+  /// A forum applying a random display delay publishes the marker late;
+  /// the calibrator polls for it until this deadline before giving up.
+  std::int64_t marker_wait_seconds = 24 * 3600;
+  std::int64_t marker_poll_seconds = 600;
+};
+
+/// Runs the calibration protocol.  Returns std::nullopt when the forum
+/// displays no timestamps at all (monitor mode is needed instead).
+/// Throws tor::TransportError on unrecoverable network failure.
+[[nodiscard]] std::optional<CalibrationResult> calibrate_server_clock(
+    tor::OnionTransport& transport, const std::string& onion,
+    const CalibrationOptions& options = {});
+
+/// A post record reduced to what the methodology consumes.
+struct TimedPost {
+  std::string author;
+  tz::UtcSeconds utc_time = 0;
+};
+
+/// Converts a scrape dump to UTC-timed posts using a calibrated offset.
+/// Records without a display time fall back to the observation stamp.
+[[nodiscard]] std::vector<TimedPost> to_utc_posts(const ScrapeDump& dump,
+                                                  std::int64_t offset_seconds);
+
+/// Converts a monitor-mode dump (no display times): every record uses its
+/// observation stamp.
+[[nodiscard]] std::vector<TimedPost> to_utc_posts_observed(const ScrapeDump& dump);
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,87 @@
+#include "forum/crawler.hpp"
+
+#include <stdexcept>
+
+#include "forum/parser.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+[[nodiscard]] std::string auth_suffix(const CrawlOptions& options) {
+  return options.as_handle.empty() ? std::string{} : "&as=" + options.as_handle;
+}
+
+[[nodiscard]] std::string forum_name_of(std::string_view markup) {
+  std::size_t pos = 0;
+  const auto header = tzgeo::util::extract_between(markup, "<forum ", ">", pos);
+  if (!header) return "";
+  const auto name = attribute(*header, "name");
+  return name.value_or("");
+}
+
+}  // namespace
+
+ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
+                       const CrawlOptions& options) {
+  ScrapeDump dump;
+  dump.onion = onion;
+
+  // 1. Walk the index pages and gather thread references.
+  std::vector<ThreadRef> threads;
+  std::size_t index_pages = 1;
+  for (std::size_t page = 1; page <= index_pages; ++page) {
+    if (dump.pages_fetched >= options.max_pages) {
+      throw std::runtime_error("crawl_forum: page cap reached while reading the index");
+    }
+    const tor::Response response = transport.fetch(
+        onion,
+        tor::Request{"GET", "/index?page=" + std::to_string(page) + auth_suffix(options), ""});
+    ++dump.pages_fetched;
+    if (response.status != 200) {
+      throw std::runtime_error("crawl_forum: index fetch failed with status " +
+                               std::to_string(response.status));
+    }
+    const auto parsed = parse_index_page(response.body);
+    if (!parsed) throw std::runtime_error("crawl_forum: unparsable index page");
+    index_pages = parsed->pages;
+    threads.insert(threads.end(), parsed->threads.begin(), parsed->threads.end());
+    if (dump.forum_name.empty()) dump.forum_name = forum_name_of(response.body);
+  }
+
+  // 2. Walk every page of every thread.
+  for (const auto& thread : threads) {
+    std::size_t thread_pages = thread.pages;
+    for (std::size_t page = 1; page <= thread_pages; ++page) {
+      if (dump.pages_fetched >= options.max_pages) {
+        throw std::runtime_error("crawl_forum: page cap reached while reading threads");
+      }
+      const std::string path = "/thread/" + std::to_string(thread.id) +
+                               "?page=" + std::to_string(page) + auth_suffix(options);
+      const tor::Response response = transport.fetch(onion, tor::Request{"GET", path, ""});
+      ++dump.pages_fetched;
+      if (response.status != 200) {
+        throw std::runtime_error("crawl_forum: thread fetch failed with status " +
+                                 std::to_string(response.status));
+      }
+      const auto parsed = parse_thread_page(
+          response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
+      if (!parsed) throw std::runtime_error("crawl_forum: unparsable thread page");
+      thread_pages = parsed->pages;  // the thread may have grown mid-crawl
+      dump.malformed_posts += parsed->malformed_posts;
+      for (const auto& post : parsed->posts) {
+        ScrapeRecord record;
+        record.post_id = post.id;
+        record.thread_id = parsed->thread_id;
+        record.author = post.author;
+        record.display_time = post.display_time;
+        record.observed_utc = transport.clock().now_seconds();
+        dump.records.push_back(std::move(record));
+      }
+    }
+  }
+  return dump;
+}
+
+}  // namespace tzgeo::forum

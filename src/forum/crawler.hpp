@@ -1,0 +1,55 @@
+// Full-site forum crawler.
+//
+// Walks the index and every thread page over the Tor transport and collects
+// the information the methodology needs — author handle and displayed
+// timestamp per post.  Nothing else is kept, matching the paper's data
+// policy ("only author ID and time of posting, without the body").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "timezone/civil.hpp"
+#include "tor/transport.hpp"
+
+namespace tzgeo::forum {
+
+/// One scraped post record.
+struct ScrapeRecord {
+  std::uint64_t post_id = 0;
+  std::uint64_t thread_id = 0;
+  std::string author;
+  /// Timestamp as displayed by the server (its own clock); absent when the
+  /// forum hides timestamps.
+  std::optional<tz::CivilDateTime> display_time;
+  /// When the crawler observed the post (true UTC of the simulated clock);
+  /// this is the stamp monitor mode relies on.
+  tz::UtcSeconds observed_utc = 0;
+};
+
+/// The result of a crawl.
+struct ScrapeDump {
+  std::string onion;
+  std::string forum_name;
+  std::vector<ScrapeRecord> records;
+  std::size_t pages_fetched = 0;
+  std::size_t malformed_posts = 0;  ///< skipped by the defensive parser
+};
+
+/// Crawl tuning.
+struct CrawlOptions {
+  std::size_t max_pages = 1'000'000;  ///< hard safety cap on page fetches
+  /// Crawl as this member (tier-gated sections become visible up to the
+  /// member's tier).  Empty = anonymous/public crawl.
+  std::string as_handle;
+};
+
+/// Crawls the full forum: every index page, every thread, every page.
+/// Throws tor::TransportError on unrecoverable network failure and
+/// std::runtime_error when the site structure cannot be parsed.
+[[nodiscard]] ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
+                                     const CrawlOptions& options = {});
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,350 @@
+#include "forum/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+/// Section names a typical board of the paper's corpus would carry.
+constexpr const char* kSections[] = {"Main", "Market", "Reception", "Bad Stuff", "Tech"};
+
+/// Parses "a=1&b=two" into key/value pairs.
+[[nodiscard]] std::map<std::string, std::string> parse_form(std::string_view body) {
+  std::map<std::string, std::string> form;
+  for (const auto field : util::split(body, '&')) {
+    const auto eq = field.find('=');
+    if (eq == std::string_view::npos) continue;
+    form[std::string{field.substr(0, eq)}] = std::string{field.substr(eq + 1)};
+  }
+  return form;
+}
+
+/// Splits "/thread/7?page=2&as=probe" into segments, page, requester.
+struct RoutedPath {
+  std::vector<std::string> segments;
+  std::size_t page = 1;
+  std::string as_handle;  ///< empty = anonymous (public tier)
+};
+
+[[nodiscard]] RoutedPath route(std::string_view path) {
+  RoutedPath routed;
+  std::string_view base = path;
+  if (const auto q = path.find('?'); q != std::string_view::npos) {
+    base = path.substr(0, q);
+    for (const auto param : util::split(path.substr(q + 1), '&')) {
+      if (util::starts_with(param, "page=")) {
+        if (const auto value = util::parse_int(param.substr(5)); value && *value >= 1) {
+          routed.page = static_cast<std::size_t>(*value);
+        }
+      } else if (util::starts_with(param, "as=")) {
+        routed.as_handle = std::string{param.substr(3)};
+      }
+    }
+  }
+  for (const auto segment : util::split(base, '/')) {
+    if (!segment.empty()) routed.segments.emplace_back(segment);
+  }
+  return routed;
+}
+
+[[nodiscard]] tor::Response error_response(int status, std::string message) {
+  return tor::Response{status, "<error>" + std::move(message) + "</error>\n"};
+}
+
+}  // namespace
+
+ForumEngine::ForumEngine(ForumConfig config, const synth::Dataset& crowd)
+    : config_(std::move(config)) {
+  if (config_.posts_per_page == 0 || config_.threads_per_page == 0) {
+    throw std::invalid_argument("ForumEngine: page sizes must be positive");
+  }
+
+  threads_.push_back(Thread{kWelcomeThreadId, "Welcome", "Reception", AccessTier::kPublic});
+  const std::size_t discussion_threads =
+      std::max<std::size_t>(3, crowd.users.size() / 4);
+  const auto elite_pct = static_cast<std::uint64_t>(config_.elite_thread_fraction * 100.0);
+  const auto pro_pct = static_cast<std::uint64_t>(config_.pro_thread_fraction * 100.0);
+  for (std::size_t i = 0; i < discussion_threads; ++i) {
+    Thread thread;
+    thread.id = kWelcomeThreadId + 1 + i;
+    thread.title = "discussion-" + std::to_string(i + 1);
+    thread.section = kSections[i % std::size(kSections)];
+    const std::uint64_t roll = util::hash64(config_.name + std::to_string(i)) % 100;
+    if (roll < elite_pct) {
+      thread.tier = AccessTier::kElite;
+      thread.section = "Elite";
+    } else if (roll < elite_pct + pro_pct) {
+      thread.tier = AccessTier::kPro;
+      thread.section = "Market";
+    }
+    threads_.push_back(std::move(thread));
+  }
+
+  for (const auto& persona : crowd.users) {
+    const std::uint64_t user_id = next_user_id_++;
+    const std::string handle = "member" + std::to_string(user_id);
+    users_[user_id] = ForumUser{user_id, handle};
+    by_handle_[handle] = user_id;
+    persona_handles_[persona.id] = handle;
+  }
+
+  posts_.reserve(crowd.events.size());
+  for (const auto& event : crowd.events) {
+    const auto handle_it = persona_handles_.find(event.user);
+    if (handle_it == persona_handles_.end()) continue;
+    Post post;
+    post.id = next_post_id_++;
+    post.author_id = by_handle_.at(handle_it->second);
+    post.utc_time = event.time;
+    // Spread posts across discussion threads; a sliver lands in Welcome.
+    const std::uint64_t pick = util::hash64(handle_it->second) ^ post.id * 0x9e37u;
+    post.thread_id = (pick % 100 < 2)
+                         ? kWelcomeThreadId
+                         : kWelcomeThreadId + 1 + pick % discussion_threads;
+    post.body = "post body " + std::to_string(post.id);
+    posts_.push_back(std::move(post));
+  }
+  std::sort(posts_.begin(), posts_.end(), [this](const Post& a, const Post& b) {
+    return visible_at(a) < visible_at(b);
+  });
+}
+
+std::string ForumEngine::signup(const std::string& handle) {
+  if (by_handle_.contains(handle)) {
+    throw std::invalid_argument("ForumEngine: handle already taken: " + handle);
+  }
+  const std::uint64_t user_id = next_user_id_++;
+  users_[user_id] = ForumUser{user_id, handle};
+  by_handle_[handle] = user_id;
+  return handle;
+}
+
+void ForumEngine::grant_tier(const std::string& handle, AccessTier tier) {
+  if (!by_handle_.contains(handle)) {
+    throw std::out_of_range("ForumEngine: unknown member: " + handle);
+  }
+  tiers_[handle] = tier;
+}
+
+AccessTier ForumEngine::tier_of_handle(const std::string& handle) const noexcept {
+  const auto it = tiers_.find(handle);
+  return it == tiers_.end() ? AccessTier::kPublic : it->second;
+}
+
+std::size_t ForumEngine::post_count_visible_to(AccessTier tier) const noexcept {
+  std::size_t count = 0;
+  for (const auto& post : posts_) {
+    for (const auto& thread : threads_) {
+      if (thread.id == post.thread_id) {
+        if (thread.tier <= tier) ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::int64_t ForumEngine::random_delay_of(std::uint64_t post_id) const noexcept {
+  if (config_.max_random_delay_seconds <= 0) return 0;
+  std::uint64_t state = post_id ^ config_.delay_salt;
+  return static_cast<std::int64_t>(util::splitmix64(state) %
+                                   static_cast<std::uint64_t>(config_.max_random_delay_seconds));
+}
+
+tz::UtcSeconds ForumEngine::visible_at(const Post& post) const noexcept {
+  if (config_.policy == TimestampPolicy::kRandomDelay) {
+    return post.utc_time + random_delay_of(post.id);
+  }
+  return post.utc_time;
+}
+
+std::optional<tz::CivilDateTime> ForumEngine::display_time(const Post& post) const {
+  const std::int64_t offset =
+      static_cast<std::int64_t>(config_.server_offset_minutes) * tz::kSecondsPerMinute;
+  switch (config_.policy) {
+    case TimestampPolicy::kUtc:
+      return tz::from_utc_seconds(post.utc_time);
+    case TimestampPolicy::kServerLocal:
+      return tz::from_utc_seconds(post.utc_time + offset);
+    case TimestampPolicy::kHidden:
+      return std::nullopt;
+    case TimestampPolicy::kRandomDelay:
+      return tz::from_utc_seconds(visible_at(post) + offset);
+  }
+  return std::nullopt;
+}
+
+std::vector<const Post*> ForumEngine::visible_posts(std::uint64_t thread_id,
+                                                    std::int64_t now_utc) const {
+  std::vector<const Post*> result;
+  for (const auto& post : posts_) {
+    if (visible_at(post) > now_utc) break;  // posts_ sorted by visible-at
+    if (post.thread_id == thread_id) result.push_back(&post);
+  }
+  return result;
+}
+
+bool ForumEngine::rate_limited(std::int64_t now_utc) {
+  if (config_.rate_limit_per_minute == 0) return false;
+  // Trim the rolling window, then record this request (attempts count
+  // against the limit, as real throttlers do).
+  const std::int64_t cutoff = now_utc - 60;
+  recent_requests_.erase(
+      std::remove_if(recent_requests_.begin(), recent_requests_.end(),
+                     [cutoff](std::int64_t t) { return t <= cutoff; }),
+      recent_requests_.end());
+  recent_requests_.push_back(now_utc);
+  return recent_requests_.size() > config_.rate_limit_per_minute;
+}
+
+tor::Response ForumEngine::handle(const tor::Request& request, std::int64_t now_utc) {
+  if (rate_limited(now_utc)) {
+    return tor::Response{429, "<error>rate limited, slow down</error>\n"};
+  }
+  const RoutedPath routed = route(request.path);
+  if (request.method == "POST") {
+    if (routed.segments.size() == 1 && routed.segments[0] == "post") {
+      return accept_post(request.body, now_utc);
+    }
+    if (routed.segments.size() == 1 && routed.segments[0] == "signup") {
+      const auto form = parse_form(request.body);
+      const auto handle_field = form.find("handle");
+      if (handle_field == form.end() || handle_field->second.empty()) {
+        return error_response(400, "missing handle");
+      }
+      if (by_handle_.contains(handle_field->second)) {
+        return error_response(409, "handle taken");
+      }
+      signup(handle_field->second);
+      return tor::Response{200, "<registered handle=\"" + escape_markup(handle_field->second) +
+                                    "\"/>\n"};
+    }
+    return error_response(404, "no such action");
+  }
+  const AccessTier tier = tier_of_handle(routed.as_handle);
+  if (routed.segments.empty() || routed.segments[0] == "index") {
+    return serve_index(routed.page, now_utc, tier);
+  }
+  if (routed.segments.size() == 2 && routed.segments[0] == "thread") {
+    const auto id = util::parse_int(routed.segments[1]);
+    if (!id || *id < 1) return error_response(400, "bad thread id");
+    return serve_thread(static_cast<std::uint64_t>(*id), routed.page, now_utc, tier);
+  }
+  return error_response(404, "no such page");
+}
+
+tor::Response ForumEngine::serve_index(std::size_t page, std::int64_t now_utc,
+                                       AccessTier tier) const {
+  std::vector<ThreadRef> refs;
+  refs.reserve(threads_.size());
+  for (const auto& thread : threads_) {
+    if (thread.tier > tier) continue;  // hidden sections stay invisible
+    const std::size_t visible = visible_posts(thread.id, now_utc).size();
+    ThreadRef ref;
+    ref.id = thread.id;
+    ref.title = thread.title;
+    ref.pages = std::max<std::size_t>(1, (visible + config_.posts_per_page - 1) /
+                                             config_.posts_per_page);
+    refs.push_back(std::move(ref));
+  }
+  const std::size_t pages =
+      std::max<std::size_t>(1, (refs.size() + config_.threads_per_page - 1) /
+                                   config_.threads_per_page);
+  if (page > pages) return error_response(404, "index page out of range");
+  const std::size_t begin = (page - 1) * config_.threads_per_page;
+  const std::size_t end = std::min(begin + config_.threads_per_page, refs.size());
+  const std::vector<ThreadRef> slice(refs.begin() + static_cast<std::ptrdiff_t>(begin),
+                                     refs.begin() + static_cast<std::ptrdiff_t>(end));
+  return tor::Response{200, render_index_page(config_.name, slice, page, pages)};
+}
+
+tor::Response ForumEngine::serve_thread(std::uint64_t thread_id, std::size_t page,
+                                        std::int64_t now_utc, AccessTier tier) const {
+  const auto thread_it =
+      std::find_if(threads_.begin(), threads_.end(),
+                   [thread_id](const Thread& t) { return t.id == thread_id; });
+  if (thread_it == threads_.end()) return error_response(404, "no such thread");
+  // Restricted threads are indistinguishable from nonexistent ones.
+  if (thread_it->tier > tier) return error_response(404, "no such thread");
+
+  const std::vector<const Post*> visible = visible_posts(thread_id, now_utc);
+  const std::size_t pages = std::max<std::size_t>(
+      1, (visible.size() + config_.posts_per_page - 1) / config_.posts_per_page);
+  if (page > pages) return error_response(404, "thread page out of range");
+
+  std::vector<RenderedPost> rendered;
+  const std::size_t begin = (page - 1) * config_.posts_per_page;
+  const std::size_t end = std::min(begin + config_.posts_per_page, visible.size());
+  rendered.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const Post& post = *visible[i];
+    RenderedPost out;
+    out.id = post.id;
+    out.author = users_.at(post.author_id).handle;
+    out.display_time = display_time(post);
+    out.body = post.body;
+    rendered.push_back(std::move(out));
+  }
+  // The server's "today" in its display clock (for relative timestamps).
+  const tz::CivilDate server_today =
+      tz::from_utc_seconds(now_utc + static_cast<std::int64_t>(config_.server_offset_minutes) *
+                                         tz::kSecondsPerMinute)
+          .date;
+  return tor::Response{200, render_thread_page(config_.name, *thread_it, rendered, page, pages,
+                                               config_.timestamp_format, server_today)};
+}
+
+tor::Response ForumEngine::accept_post(const std::string& body, std::int64_t now_utc) {
+  const auto form = parse_form(body);
+  const auto thread_field = form.find("thread");
+  const auto author_field = form.find("author");
+  const auto text_field = form.find("text");
+  if (thread_field == form.end() || author_field == form.end() || text_field == form.end()) {
+    return error_response(400, "missing form fields");
+  }
+  const auto thread_id = util::parse_int(thread_field->second);
+  if (!thread_id || *thread_id < 1) return error_response(400, "bad thread id");
+  const auto user_it = by_handle_.find(author_field->second);
+  if (user_it == by_handle_.end()) return error_response(403, "unknown member");
+  const auto target = std::find_if(threads_.begin(), threads_.end(), [&](const Thread& t) {
+    return t.id == static_cast<std::uint64_t>(*thread_id);
+  });
+  if (target == threads_.end()) return error_response(404, "no such thread");
+  if (target->tier > tier_of_handle(author_field->second)) {
+    return error_response(404, "no such thread");  // restricted = invisible
+  }
+
+  Post post;
+  post.id = next_post_id_++;
+  post.thread_id = static_cast<std::uint64_t>(*thread_id);
+  post.author_id = user_it->second;
+  post.utc_time = now_utc;
+  post.body = text_field->second;
+  const std::uint64_t id = post.id;
+
+  // Keep posts_ sorted by visible-at.
+  const tz::UtcSeconds when = visible_at(post);
+  const auto insert_at = std::upper_bound(
+      posts_.begin(), posts_.end(), when,
+      [this](tz::UtcSeconds t, const Post& p) { return t < visible_at(p); });
+  posts_.insert(insert_at, std::move(post));
+  return tor::Response{200, "<posted id=\"" + std::to_string(id) + "\"/>\n"};
+}
+
+tz::UtcSeconds ForumEngine::true_time_of(std::uint64_t post_id) const {
+  for (const auto& post : posts_) {
+    if (post.id == post_id) return post.utc_time;
+  }
+  throw std::out_of_range("ForumEngine: unknown post id");
+}
+
+const std::string& ForumEngine::handle_of(std::uint64_t persona_id) const {
+  return persona_handles_.at(persona_id);
+}
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,104 @@
+// The forum engine: a hidden-service discussion board.
+//
+// An engine is built from a synthetic crowd (personas + their post trace)
+// and serves rendered pages through a ServiceHandler.  It enforces the
+// observable behaviours the methodology must survive:
+//   * post timestamps are displayed in the *server's* clock, which may be
+//     offset from UTC or deliberately shifted (Section V: "the timestamp
+//     can be deliberately shifted");
+//   * posts become visible the moment they are made ("we also checked that
+//     in all of the forums the posts appear with no delay");
+//   * optional countermeasures from the Discussion: hidden timestamps and
+//     random display delays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "forum/model.hpp"
+#include "forum/render.hpp"
+#include "synth/dataset.hpp"
+#include "tor/transport.hpp"
+
+namespace tzgeo::forum {
+
+/// A forum server instance.
+class ForumEngine {
+ public:
+  /// Populates the board from a crowd: every persona becomes a member and
+  /// every trace event becomes a post in one of the discussion threads.
+  ForumEngine(ForumConfig config, const synth::Dataset& crowd);
+
+  /// Registers a brand-new member (the investigator signs up).  Returns
+  /// the member's handle; throws std::invalid_argument if taken.  New
+  /// members start at AccessTier::kPublic.
+  std::string signup(const std::string& handle);
+
+  /// Promotes a member to a tier (paying the 'Pro'/'Elite' subscription).
+  /// Throws std::out_of_range for unknown handles.
+  void grant_tier(const std::string& handle, AccessTier tier);
+
+  /// Request handler compatible with tor::ServiceHandler.  Supported:
+  ///   GET  /index?page=N[&as=<handle>]
+  ///   GET  /thread/<id>?page=N[&as=<handle>]
+  ///   POST /post   body: "thread=<id>&author=<handle>&text=<body>"
+  ///   POST /signup body: "handle=<handle>"
+  /// The optional `as` parameter authenticates the requester; restricted
+  /// threads are invisible below their tier.
+  [[nodiscard]] tor::Response handle(const tor::Request& request, std::int64_t now_utc);
+
+  // --- Introspection (tests and report generation) -----------------------
+  [[nodiscard]] const ForumConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<Thread>& threads() const noexcept { return threads_; }
+  [[nodiscard]] std::size_t post_count() const noexcept { return posts_.size(); }
+  [[nodiscard]] std::size_t user_count() const noexcept { return users_.size(); }
+  /// True posting instant of a post id (ground truth for tests).
+  [[nodiscard]] tz::UtcSeconds true_time_of(std::uint64_t post_id) const;
+  /// The handle of a crowd member by persona id (ground truth for tests).
+  [[nodiscard]] const std::string& handle_of(std::uint64_t persona_id) const;
+
+  /// The instant a post becomes visible (equals utc_time except under
+  /// kRandomDelay, where display delay also delays publication).
+  [[nodiscard]] tz::UtcSeconds visible_at(const Post& post) const noexcept;
+
+  /// The timestamp the server displays for a post (policy applied), or
+  /// nothing under kHidden.
+  [[nodiscard]] std::optional<tz::CivilDateTime> display_time(const Post& post) const;
+
+  /// Number of posts in threads at or below `tier` (ground truth for
+  /// partial-crawl tests).
+  [[nodiscard]] std::size_t post_count_visible_to(AccessTier tier) const noexcept;
+
+ private:
+  [[nodiscard]] tor::Response serve_index(std::size_t page, std::int64_t now_utc,
+                                          AccessTier tier) const;
+  [[nodiscard]] tor::Response serve_thread(std::uint64_t thread_id, std::size_t page,
+                                           std::int64_t now_utc, AccessTier tier) const;
+  [[nodiscard]] tor::Response accept_post(const std::string& body, std::int64_t now_utc);
+  [[nodiscard]] AccessTier tier_of_handle(const std::string& handle) const noexcept;
+
+  /// Deterministic per-post delay for kRandomDelay.
+  [[nodiscard]] std::int64_t random_delay_of(std::uint64_t post_id) const noexcept;
+
+  /// Posts of a thread visible at `now_utc`, in display order.
+  [[nodiscard]] std::vector<const Post*> visible_posts(std::uint64_t thread_id,
+                                                       std::int64_t now_utc) const;
+
+  /// True when the rolling-window rate limiter rejects this request.
+  [[nodiscard]] bool rate_limited(std::int64_t now_utc);
+
+  ForumConfig config_;
+  std::map<std::string, AccessTier> tiers_;  ///< by handle; absent = public
+  std::vector<std::int64_t> recent_requests_;  ///< rolling 60 s window
+  std::vector<Thread> threads_;
+  std::vector<Post> posts_;                       ///< sorted by visible-at time
+  std::map<std::uint64_t, ForumUser> users_;      ///< by user id
+  std::map<std::string, std::uint64_t> by_handle_;
+  std::map<std::uint64_t, std::string> persona_handles_;
+  std::uint64_t next_post_id_ = 1;
+  std::uint64_t next_user_id_ = 1;
+};
+
+}  // namespace tzgeo::forum

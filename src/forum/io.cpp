@@ -1,0 +1,101 @@
+#include "forum/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "forum/render.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+constexpr std::string_view kHeaderLine = "post_id,thread_id,author,display_time,observed_utc";
+
+}  // namespace
+
+std::string dump_to_csv(const ScrapeDump& dump) {
+  // forum= comes last and runs to end of line (names may contain spaces).
+  std::string out = "# onion=" + dump.onion + " forum=" + dump.forum_name + "\n";
+  out += std::string{kHeaderLine} + "\n";
+  std::ostringstream body;
+  util::CsvWriter writer{body};
+  for (const auto& record : dump.records) {
+    writer.write_row({std::to_string(record.post_id), std::to_string(record.thread_id),
+                      record.author,
+                      record.display_time ? format_timestamp(*record.display_time)
+                                          : std::string{},
+                      std::to_string(record.observed_utc)});
+  }
+  out += body.str();
+  return out;
+}
+
+ScrapeDump dump_from_csv(std::string_view csv_text) {
+  ScrapeDump dump;
+
+  // Optional metadata comment line.
+  if (util::starts_with(csv_text, "#")) {
+    const std::size_t eol = csv_text.find('\n');
+    const std::string_view comment = util::trim(
+        csv_text.substr(1, eol == std::string_view::npos ? csv_text.size() - 1 : eol - 1));
+    if (const auto forum_at = comment.find("forum="); forum_at != std::string_view::npos) {
+      dump.forum_name = std::string{util::trim(comment.substr(forum_at + 6))};
+    }
+    for (const auto field : util::split(comment, ' ')) {
+      if (util::starts_with(field, "onion=")) dump.onion = std::string{field.substr(6)};
+    }
+    csv_text = eol == std::string_view::npos ? std::string_view{} : csv_text.substr(eol + 1);
+  }
+
+  const util::CsvTable table = util::parse_csv(csv_text);
+  if (table.header.empty() && table.rows.empty()) return dump;
+  if (table.header.size() != 5) {
+    throw std::invalid_argument("dump_from_csv: expected 5 columns");
+  }
+
+  for (const auto& row : table.rows) {
+    const auto post_id = util::parse_int(row[0]);
+    const auto thread_id = util::parse_int(row[1]);
+    const std::string_view author = util::trim(row[2]);
+    const auto observed = util::parse_int(row[4]);
+    if (!post_id || *post_id < 0 || !thread_id || *thread_id < 0 || author.empty() ||
+        !observed) {
+      ++dump.malformed_posts;
+      continue;
+    }
+    ScrapeRecord record;
+    record.post_id = static_cast<std::uint64_t>(*post_id);
+    record.thread_id = static_cast<std::uint64_t>(*thread_id);
+    record.author = std::string{author};
+    record.observed_utc = *observed;
+    if (!row[3].empty()) {
+      record.display_time = parse_timestamp(row[3]);
+      if (!record.display_time) {
+        ++dump.malformed_posts;
+        continue;
+      }
+    }
+    dump.records.push_back(std::move(record));
+  }
+  return dump;
+}
+
+void dump_to_csv_file(const ScrapeDump& dump, const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("dump_to_csv_file: cannot open " + path);
+  out << dump_to_csv(dump);
+  if (!out) throw std::runtime_error("dump_to_csv_file: write failed for " + path);
+}
+
+ScrapeDump dump_from_csv_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("dump_from_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return dump_from_csv(buffer.str());
+}
+
+}  // namespace tzgeo::forum

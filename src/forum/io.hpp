@@ -1,0 +1,34 @@
+// Persistence of scrape dumps.
+//
+// An investigation has two phases with different risk profiles: the crawl
+// (online, over Tor, interruptible) and the analysis (offline, repeatable).
+// Persisting the dump between them decouples the two — crawl once, analyze
+// forever — and matches the paper's data policy: the CSV stores only the
+// post id, thread id, author handle, displayed time and observation time,
+// never post bodies.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "forum/crawler.hpp"
+
+namespace tzgeo::forum {
+
+/// Serializes a dump to CSV:
+///   post_id,thread_id,author,display_time,observed_utc
+/// The display_time column is empty for records without a displayed
+/// timestamp (hidden-timestamp forums).
+[[nodiscard]] std::string dump_to_csv(const ScrapeDump& dump);
+
+/// Parses a dump back.  Forum name/onion travel in a leading comment line
+/// ("# forum=<name> onion=<onion>").  Malformed data rows are counted into
+/// `malformed_posts` rather than fatal; a structurally invalid CSV throws
+/// std::invalid_argument.
+[[nodiscard]] ScrapeDump dump_from_csv(std::string_view csv_text);
+
+/// File variants; throw std::runtime_error on I/O failure.
+void dump_to_csv_file(const ScrapeDump& dump, const std::string& path);
+[[nodiscard]] ScrapeDump dump_from_csv_file(const std::string& path);
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,34 @@
+#include "forum/model.hpp"
+
+namespace tzgeo::forum {
+
+const char* to_string(AccessTier tier) noexcept {
+  switch (tier) {
+    case AccessTier::kPublic: return "public";
+    case AccessTier::kPro: return "pro";
+    case AccessTier::kElite: return "elite";
+  }
+  return "unknown";
+}
+
+const char* to_string(TimestampFormat format) noexcept {
+  switch (format) {
+    case TimestampFormat::kIso: return "iso";
+    case TimestampFormat::kEuropean: return "european";
+    case TimestampFormat::kUsAmPm: return "us_ampm";
+    case TimestampFormat::kRelativeDay: return "relative_day";
+  }
+  return "unknown";
+}
+
+const char* to_string(TimestampPolicy policy) noexcept {
+  switch (policy) {
+    case TimestampPolicy::kUtc: return "utc";
+    case TimestampPolicy::kServerLocal: return "server_local";
+    case TimestampPolicy::kHidden: return "hidden";
+    case TimestampPolicy::kRandomDelay: return "random_delay";
+  }
+  return "unknown";
+}
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,96 @@
+// Forum domain model: users, threads, posts, server configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "timezone/civil.hpp"
+
+namespace tzgeo::forum {
+
+/// A registered forum member.
+struct ForumUser {
+  std::uint64_t id = 0;
+  std::string handle;
+};
+
+/// One post.  `utc_time` is the true posting instant; what the server
+/// *displays* depends on the timestamp policy below.
+struct Post {
+  std::uint64_t id = 0;
+  std::uint64_t thread_id = 0;
+  std::uint64_t author_id = 0;
+  tz::UtcSeconds utc_time = 0;
+  std::string body;
+};
+
+/// Access tiers, mirroring the boards of Section V: the Italian DarkNet
+/// Community gates its Market section behind a 'Pro' subscription and its
+/// Elite section behind 'Elite' membership; the Pedo Support Community
+/// hides some sections entirely ("we have no data from that part of the
+/// forum").  Anonymous visitors and fresh signups are kPublic.
+enum class AccessTier : std::uint8_t { kPublic = 0, kPro = 1, kElite = 2 };
+
+[[nodiscard]] const char* to_string(AccessTier tier) noexcept;
+
+/// A discussion thread.
+struct Thread {
+  std::uint64_t id = 0;
+  std::string title;
+  std::string section;
+  AccessTier tier = AccessTier::kPublic;
+};
+
+/// How the server renders post timestamps (Section V and Discussion VII).
+enum class TimestampPolicy : std::uint8_t {
+  kUtc,          ///< accurate timestamps already in UTC
+  kServerLocal,  ///< timestamps in the server's (possibly shifted) clock
+  kHidden,       ///< no timestamps shown — monitor mode required
+  kRandomDelay,  ///< displayed (and shown) with a per-post random delay
+};
+
+[[nodiscard]] const char* to_string(TimestampPolicy policy) noexcept;
+
+/// The textual format the server renders timestamps in.  Every real board
+/// picks its own; the crawler's parser must auto-detect (Section V's five
+/// forums span Russian, Italian and English software stacks).
+enum class TimestampFormat : std::uint8_t {
+  kIso,          ///< "2016-05-12 18:03:44"
+  kEuropean,     ///< "12.05.2016 18:03:44"
+  kUsAmPm,       ///< "05/12/2016 6:03:44 pm"
+  kRelativeDay,  ///< "today 18:03:44" / "yesterday 18:03:44", else ISO
+};
+
+[[nodiscard]] const char* to_string(TimestampFormat format) noexcept;
+
+/// Server-side configuration of a forum.
+struct ForumConfig {
+  std::string name;
+  std::int32_t server_offset_minutes = 0;  ///< display clock minus UTC
+  TimestampPolicy policy = TimestampPolicy::kServerLocal;
+  TimestampFormat timestamp_format = TimestampFormat::kIso;
+  std::size_t posts_per_page = 20;
+  std::size_t threads_per_page = 25;
+  /// Maximum per-post delay for kRandomDelay, seconds.  The Discussion
+  /// notes a delay must reach hours to be effective; default 6 h.
+  std::int64_t max_random_delay_seconds = 6 * 3600;
+  /// Deterministic salt for the per-post delays.
+  std::uint64_t delay_salt = 0x9d2c5680u;
+  /// Share of discussion threads gated behind the Pro / Elite tiers.
+  /// Restricted threads are invisible to lower tiers (not just 403'd on
+  /// read), as on the real boards.
+  double pro_thread_fraction = 0.0;
+  double elite_thread_fraction = 0.0;
+  /// Requests allowed per rolling 60 s before the server answers 429
+  /// (0 = unlimited).  Hidden services throttle scrapers aggressively;
+  /// the transport backs off and retries (see TransportOptions).
+  std::size_t rate_limit_per_minute = 0;
+};
+
+/// The id of the "Welcome" thread every forum starts with; the calibration
+/// trick (Section V: "we sign up in the forum and write a post in the
+/// Welcome or Spam thread") posts here.
+inline constexpr std::uint64_t kWelcomeThreadId = 1;
+
+}  // namespace tzgeo::forum

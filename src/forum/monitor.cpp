@@ -1,0 +1,95 @@
+#include "forum/monitor.hpp"
+
+#include <stdexcept>
+
+#include "forum/parser.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+/// One polling sweep: collects the posts not yet in `seen`.
+/// Pages are read from the tail of each thread backwards, stopping at the
+/// first fully-seen page, so steady-state sweeps stay cheap.
+void sweep(tor::OnionTransport& transport, const std::string& onion,
+           std::set<std::uint64_t>& seen, bool record, ScrapeDump& dump,
+           std::size_t max_pages) {
+  std::size_t pages_this_poll = 0;
+  const auto fetch_page = [&](const std::string& path) {
+    if (++pages_this_poll > max_pages) {
+      throw std::runtime_error("monitor_forum: per-poll page cap exceeded");
+    }
+    ++dump.pages_fetched;
+    return transport.fetch(onion, tor::Request{"GET", path, ""});
+  };
+
+  // Index sweep.
+  std::vector<ThreadRef> threads;
+  std::size_t index_pages = 1;
+  for (std::size_t page = 1; page <= index_pages; ++page) {
+    const tor::Response response = fetch_page("/index?page=" + std::to_string(page));
+    if (response.status != 200) {
+      throw std::runtime_error("monitor_forum: index fetch failed");
+    }
+    const auto parsed = parse_index_page(response.body);
+    if (!parsed) throw std::runtime_error("monitor_forum: unparsable index");
+    index_pages = parsed->pages;
+    threads.insert(threads.end(), parsed->threads.begin(), parsed->threads.end());
+  }
+
+  for (const auto& thread : threads) {
+    // Newest posts are on the last page; walk backwards until a page with
+    // no unseen posts (or page 1).
+    for (std::size_t page = thread.pages; page >= 1; --page) {
+      const std::string path =
+          "/thread/" + std::to_string(thread.id) + "?page=" + std::to_string(page);
+      const tor::Response response = fetch_page(path);
+      if (response.status != 200) {
+        throw std::runtime_error("monitor_forum: thread fetch failed");
+      }
+      const auto parsed = parse_thread_page(
+        response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
+      if (!parsed) throw std::runtime_error("monitor_forum: unparsable thread page");
+      dump.malformed_posts += record ? parsed->malformed_posts : 0;
+
+      bool any_new = false;
+      for (const auto& post : parsed->posts) {
+        if (!seen.insert(post.id).second) continue;
+        any_new = true;
+        if (!record) continue;
+        ScrapeRecord entry;
+        entry.post_id = post.id;
+        entry.thread_id = parsed->thread_id;
+        entry.author = post.author;
+        entry.display_time = post.display_time;  // typically absent (kHidden)
+        entry.observed_utc = transport.clock().now_seconds();
+        dump.records.push_back(std::move(entry));
+      }
+      if (!any_new || page == 1) break;
+    }
+  }
+}
+
+}  // namespace
+
+ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onion,
+                         const MonitorOptions& options) {
+  if (options.poll_interval_seconds <= 0 || options.duration_seconds <= 0) {
+    throw std::invalid_argument("monitor_forum: interval and duration must be positive");
+  }
+  ScrapeDump dump;
+  dump.onion = onion;
+
+  std::set<std::uint64_t> seen;
+  // Baseline sweep: the backlog has no observable posting time.
+  sweep(transport, onion, seen, /*record=*/false, dump, options.max_pages_per_poll);
+
+  const std::int64_t end_time = transport.clock().now_seconds() + options.duration_seconds;
+  while (transport.clock().now_seconds() < end_time) {
+    transport.clock().advance_seconds(options.poll_interval_seconds);
+    sweep(transport, onion, seen, /*record=*/true, dump, options.max_pages_per_poll);
+  }
+  return dump;
+}
+
+}  // namespace tzgeo::forum

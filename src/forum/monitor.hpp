@@ -1,0 +1,33 @@
+// Monitor mode for forums that hide timestamps.
+//
+// Discussion Section VII: "it is enough to monitor the forum, see when
+// posts are made and timestamp them ourselves. [...] One might need to
+// monitor a sufficiently large number of days [...] in order to collect 30
+// posts per user or more."  The monitor polls the board on an interval,
+// detects posts that appeared since the previous poll, and stamps them
+// with the observer's own clock.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "forum/crawler.hpp"
+#include "tor/transport.hpp"
+
+namespace tzgeo::forum {
+
+/// Monitoring schedule.
+struct MonitorOptions {
+  std::int64_t poll_interval_seconds = 1800;
+  std::int64_t duration_seconds = 30 * 86400;
+  std::size_t max_pages_per_poll = 50'000;
+};
+
+/// Runs the monitoring loop and returns the dump of *newly observed* posts
+/// (the pre-existing backlog has no observable time and is skipped).
+/// The stamping error is bounded by the poll interval.
+[[nodiscard]] ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onion,
+                                       const MonitorOptions& options = {});
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,124 @@
+#include "forum/parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  const auto value = util::parse_int(text);
+  if (!value || *value < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(*value);
+}
+
+[[nodiscard]] std::optional<std::size_t> parse_size(std::string_view text) {
+  const auto value = parse_u64(text);
+  if (!value) return std::nullopt;
+  return static_cast<std::size_t>(*value);
+}
+
+}  // namespace
+
+std::optional<std::string> attribute(std::string_view tag_header, std::string_view name) {
+  const std::string needle = std::string{name} + "=\"";
+  std::size_t pos = 0;
+  const auto value = util::extract_between(tag_header, needle, "\"", pos);
+  if (!value) return std::nullopt;
+  return unescape_markup(std::string{*value});
+}
+
+std::optional<ParsedThreadPage> parse_thread_page(
+    std::string_view markup, const std::optional<tz::CivilDate>& observer_today) {
+  // Locate the <thread ...> header.
+  std::size_t pos = 0;
+  const auto thread_header = util::extract_between(markup, "<thread ", ">", pos);
+  if (!thread_header) return std::nullopt;
+
+  ParsedThreadPage result;
+  const auto id = attribute(*thread_header, "id");
+  const auto title = attribute(*thread_header, "title");
+  const auto page = attribute(*thread_header, "page");
+  const auto pages = attribute(*thread_header, "pages");
+  if (!id || !page || !pages) return std::nullopt;
+  const auto id_value = parse_u64(*id);
+  const auto page_value = parse_size(*page);
+  const auto pages_value = parse_size(*pages);
+  if (!id_value || !page_value || !pages_value) return std::nullopt;
+  result.thread_id = *id_value;
+  result.title = title.value_or("");
+  result.page = *page_value;
+  result.pages = *pages_value;
+
+  // Walk the <post ...>body</post> entries.
+  for (;;) {
+    const auto post_header = util::extract_between(markup, "<post ", ">", pos);
+    if (!post_header) break;
+    const std::size_t body_begin = pos;
+    const std::size_t body_end = markup.find("</post>", body_begin);
+    if (body_end == std::string_view::npos) {
+      ++result.malformed_posts;
+      break;
+    }
+    pos = body_end + 7;  // past "</post>"
+
+    RenderedPost post;
+    const auto post_id = attribute(*post_header, "id");
+    const auto author = attribute(*post_header, "author");
+    const auto parsed_id = post_id ? parse_u64(*post_id) : std::nullopt;
+    if (!parsed_id || !author || author->empty()) {
+      ++result.malformed_posts;
+      continue;
+    }
+    post.id = *parsed_id;
+    post.author = *author;
+    if (const auto time_text = attribute(*post_header, "time")) {
+      post.display_time = parse_timestamp_any(*time_text, observer_today);
+      if (!post.display_time) {
+        ++result.malformed_posts;
+        continue;
+      }
+    } else if (post_header->find("notime") == std::string_view::npos) {
+      // Neither a time attribute nor the explicit notime marker.
+      ++result.malformed_posts;
+      continue;
+    }
+    post.body = unescape_markup(std::string{markup.substr(body_begin, body_end - body_begin)});
+    result.posts.push_back(std::move(post));
+  }
+  return result;
+}
+
+std::optional<ParsedIndexPage> parse_index_page(std::string_view markup) {
+  std::size_t pos = 0;
+  const auto index_header = util::extract_between(markup, "<index ", ">", pos);
+  if (!index_header) return std::nullopt;
+
+  ParsedIndexPage result;
+  const auto page = attribute(*index_header, "page");
+  const auto pages = attribute(*index_header, "pages");
+  const auto page_value = page ? parse_size(*page) : std::nullopt;
+  const auto pages_value = pages ? parse_size(*pages) : std::nullopt;
+  if (!page_value || !pages_value) return std::nullopt;
+  result.page = *page_value;
+  result.pages = *pages_value;
+
+  for (;;) {
+    const auto ref_header = util::extract_between(markup, "<threadref ", "/>", pos);
+    if (!ref_header) break;
+    ThreadRef ref;
+    const auto id = attribute(*ref_header, "id");
+    const auto title = attribute(*ref_header, "title");
+    const auto ref_pages = attribute(*ref_header, "pages");
+    const auto id_value = id ? parse_u64(*id) : std::nullopt;
+    const auto ref_pages_value = ref_pages ? parse_size(*ref_pages) : std::nullopt;
+    if (!id_value || !ref_pages_value) continue;
+    ref.id = *id_value;
+    ref.title = title.value_or("");
+    ref.pages = *ref_pages_value;
+    result.threads.push_back(std::move(ref));
+  }
+  return result;
+}
+
+}  // namespace tzgeo::forum

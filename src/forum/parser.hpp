@@ -1,0 +1,53 @@
+// Parsing of scraped forum pages (the inverse of render.hpp).
+//
+// The parser is written against the markup contract only — it never peeks
+// at engine internals — and is deliberately defensive: scraped pages in the
+// wild contain surprises, so malformed posts are skipped and reported
+// rather than aborting the crawl.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "forum/render.hpp"
+
+namespace tzgeo::forum {
+
+/// A parsed thread page.
+struct ParsedThreadPage {
+  std::uint64_t thread_id = 0;
+  std::string title;
+  std::size_t page = 1;
+  std::size_t pages = 1;
+  std::vector<RenderedPost> posts;
+  std::size_t malformed_posts = 0;  ///< entries skipped during parsing
+};
+
+/// A parsed index page.
+struct ParsedIndexPage {
+  std::size_t page = 1;
+  std::size_t pages = 1;
+  std::vector<ThreadRef> threads;
+};
+
+/// Parses a thread page; std::nullopt when the page structure is missing.
+/// Timestamps are auto-detected across the known formats; relative forms
+/// ("today 18:03:44") resolve against `observer_today` when provided —
+/// near a midnight boundary between the observer's and the server's
+/// display clock they can be off by one day, which the hour-granular
+/// methodology tolerates.
+[[nodiscard]] std::optional<ParsedThreadPage> parse_thread_page(
+    std::string_view markup, const std::optional<tz::CivilDate>& observer_today = std::nullopt);
+
+/// Parses an index page; std::nullopt when the page structure is missing.
+[[nodiscard]] std::optional<ParsedIndexPage> parse_index_page(std::string_view markup);
+
+/// Extracts the value of attribute `name` inside an already-extracted tag
+/// header (helper exposed for tests).
+[[nodiscard]] std::optional<std::string> attribute(std::string_view tag_header,
+                                                   std::string_view name);
+
+}  // namespace tzgeo::forum

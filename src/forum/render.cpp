@@ -1,0 +1,165 @@
+#include "forum/render.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace tzgeo::forum {
+
+std::string escape_markup(const std::string& text) {
+  std::string out = util::replace_all(text, "&", "&amp;");
+  out = util::replace_all(out, "<", "&lt;");
+  out = util::replace_all(out, ">", "&gt;");
+  out = util::replace_all(out, "\"", "&quot;");
+  return out;
+}
+
+std::string unescape_markup(const std::string& text) {
+  std::string out = util::replace_all(text, "&quot;", "\"");
+  out = util::replace_all(out, "&gt;", ">");
+  out = util::replace_all(out, "&lt;", "<");
+  out = util::replace_all(out, "&amp;", "&");
+  return out;
+}
+
+std::string format_timestamp(const tz::CivilDateTime& dt) { return tz::to_string(dt); }
+
+std::string format_timestamp(const tz::CivilDateTime& dt, TimestampFormat format,
+                             const tz::CivilDate& today) {
+  char buffer[48];
+  switch (format) {
+    case TimestampFormat::kIso:
+      return tz::to_string(dt);
+    case TimestampFormat::kEuropean:
+      std::snprintf(buffer, sizeof buffer, "%02d.%02d.%04d %02d:%02d:%02d", dt.date.day,
+                    dt.date.month, dt.date.year, dt.hour, dt.minute, dt.second);
+      return buffer;
+    case TimestampFormat::kUsAmPm: {
+      const bool pm = dt.hour >= 12;
+      int hour12 = dt.hour % 12;
+      if (hour12 == 0) hour12 = 12;
+      std::snprintf(buffer, sizeof buffer, "%02d/%02d/%04d %d:%02d:%02d %s", dt.date.month,
+                    dt.date.day, dt.date.year, hour12, dt.minute, dt.second, pm ? "pm" : "am");
+      return buffer;
+    }
+    case TimestampFormat::kRelativeDay: {
+      const std::int64_t delta =
+          tz::days_from_civil(today) - tz::days_from_civil(dt.date);
+      if (delta == 0 || delta == 1) {
+        std::snprintf(buffer, sizeof buffer, "%s %02d:%02d:%02d",
+                      delta == 0 ? "today" : "yesterday", dt.hour, dt.minute, dt.second);
+        return buffer;
+      }
+      return tz::to_string(dt);
+    }
+  }
+  return tz::to_string(dt);
+}
+
+namespace {
+
+[[nodiscard]] std::optional<tz::CivilDateTime> validate(int year, int month, int day, int hour,
+                                                        int minute, int second) {
+  if (month < 1 || month > 12 || day < 1 || day > tz::days_in_month(year, month)) {
+    return std::nullopt;
+  }
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 59) {
+    return std::nullopt;
+  }
+  return tz::CivilDateTime{tz::CivilDate{year, month, day}, hour, minute, second};
+}
+
+}  // namespace
+
+std::optional<tz::CivilDateTime> parse_timestamp(const std::string& text) {
+  // Expected: "YYYY-MM-DD HH:MM:SS"
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  char tail = '\0';
+  const int matched = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%c", &year, &month, &day, &hour,
+                                  &minute, &second, &tail);
+  if (matched != 6) return std::nullopt;
+  return validate(year, month, day, hour, minute, second);
+}
+
+std::optional<tz::CivilDateTime> parse_timestamp_any(
+    const std::string& text, const std::optional<tz::CivilDate>& today) {
+  if (auto iso = parse_timestamp(text)) return iso;
+
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  char tail = '\0';
+
+  // European: "DD.MM.YYYY HH:MM:SS"
+  if (std::sscanf(text.c_str(), "%d.%d.%d %d:%d:%d%c", &day, &month, &year, &hour, &minute,
+                  &second, &tail) == 6) {
+    return validate(year, month, day, hour, minute, second);
+  }
+
+  // US am/pm: "MM/DD/YYYY H:MM:SS am|pm"
+  char meridiem[3] = {0};
+  if (std::sscanf(text.c_str(), "%d/%d/%d %d:%d:%d %2s", &month, &day, &year, &hour, &minute,
+                  &second, meridiem) == 7) {
+    const std::string_view half{meridiem};
+    if ((half == "am" || half == "pm") && hour >= 1 && hour <= 12) {
+      int hour24 = hour % 12;
+      if (half == "pm") hour24 += 12;
+      return validate(year, month, day, hour24, minute, second);
+    }
+    return std::nullopt;
+  }
+
+  // Relative: "today HH:MM:SS" / "yesterday HH:MM:SS" (needs `today`).
+  if (today) {
+    char word[10] = {0};
+    if (std::sscanf(text.c_str(), "%9s %d:%d:%d%c", word, &hour, &minute, &second, &tail) == 4) {
+      const std::string_view label{word};
+      std::int64_t delta = -1;
+      if (label == "today") delta = 0;
+      if (label == "yesterday") delta = 1;
+      if (delta >= 0) {
+        const tz::CivilDate date = tz::civil_from_days(tz::days_from_civil(*today) - delta);
+        return validate(date.year, date.month, date.day, hour, minute, second);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string render_thread_page(const std::string& forum_name, const Thread& thread,
+                               const std::vector<RenderedPost>& posts, std::size_t page,
+                               std::size_t pages, TimestampFormat format,
+                               const tz::CivilDate& today) {
+  std::string out;
+  out += "<forum name=\"" + escape_markup(forum_name) + "\">\n";
+  out += "<thread id=\"" + std::to_string(thread.id) + "\" title=\"" +
+         escape_markup(thread.title) + "\" page=\"" + std::to_string(page) + "\" pages=\"" +
+         std::to_string(pages) + "\">\n";
+  for (const auto& post : posts) {
+    out += "<post id=\"" + std::to_string(post.id) + "\" author=\"" +
+           escape_markup(post.author) + "\"";
+    if (post.display_time) {
+      out += " time=\"" + format_timestamp(*post.display_time, format, today) + "\"";
+    } else {
+      out += " notime";
+    }
+    out += ">" + escape_markup(post.body) + "</post>\n";
+  }
+  out += "</thread>\n</forum>\n";
+  return out;
+}
+
+std::string render_index_page(const std::string& forum_name,
+                              const std::vector<ThreadRef>& threads, std::size_t page,
+                              std::size_t pages) {
+  std::string out;
+  out += "<forum name=\"" + escape_markup(forum_name) + "\">\n";
+  out += "<index page=\"" + std::to_string(page) + "\" pages=\"" + std::to_string(pages) +
+         "\">\n";
+  for (const auto& thread : threads) {
+    out += "<threadref id=\"" + std::to_string(thread.id) + "\" title=\"" +
+           escape_markup(thread.title) + "\" pages=\"" + std::to_string(thread.pages) + "\"/>\n";
+  }
+  out += "</index>\n</forum>\n";
+  return out;
+}
+
+}  // namespace tzgeo::forum

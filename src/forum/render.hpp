@@ -1,0 +1,73 @@
+// Markup rendering of forum pages.
+//
+// The engine renders pages in a small HTML-like markup that the crawler
+// must parse back — the pipeline never gets structured data for free, just
+// like a real scrape.  Example thread page:
+//
+//   <forum name="CRD Club">
+//   <thread id="7" title="carding 101" page="2" pages="9">
+//   <post id="120" author="wolf3" time="2016-05-12 18:03:44">text</post>
+//   <post id="121" author="ghost" notime>text</post>
+//   </thread>
+//   </forum>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "forum/model.hpp"
+
+namespace tzgeo::forum {
+
+/// A post as it appears on a page: display strings only.
+struct RenderedPost {
+  std::uint64_t id = 0;
+  std::string author;
+  std::optional<tz::CivilDateTime> display_time;  ///< absent under kHidden
+  std::string body;
+};
+
+/// Renders a thread page.  `format` controls the timestamp text;
+/// kRelativeDay additionally needs `today` (the server's display date).
+[[nodiscard]] std::string render_thread_page(const std::string& forum_name, const Thread& thread,
+                                             const std::vector<RenderedPost>& posts,
+                                             std::size_t page, std::size_t pages,
+                                             TimestampFormat format = TimestampFormat::kIso,
+                                             const tz::CivilDate& today = {});
+
+/// Renders the thread index page: a list of `<threadref id=".." pages="..">`.
+struct ThreadRef {
+  std::uint64_t id = 0;
+  std::string title;
+  std::size_t pages = 1;
+};
+[[nodiscard]] std::string render_index_page(const std::string& forum_name,
+                                            const std::vector<ThreadRef>& threads,
+                                            std::size_t page, std::size_t pages);
+
+/// Escapes '<', '>', '&' and '"' in body/title text.
+[[nodiscard]] std::string escape_markup(const std::string& text);
+/// Inverse of escape_markup.
+[[nodiscard]] std::string unescape_markup(const std::string& text);
+
+/// Renders a civil datetime in ISO form ("2016-05-12 18:03:44").
+[[nodiscard]] std::string format_timestamp(const tz::CivilDateTime& dt);
+
+/// Renders a civil datetime in any supported forum format.  kRelativeDay
+/// writes "today HH:MM:SS" / "yesterday HH:MM:SS" when `today` (the
+/// server's current display date) allows it, falling back to ISO.
+[[nodiscard]] std::string format_timestamp(const tz::CivilDateTime& dt, TimestampFormat format,
+                                           const tz::CivilDate& today);
+
+/// Parses the ISO forum timestamp; std::nullopt on malformed input.
+[[nodiscard]] std::optional<tz::CivilDateTime> parse_timestamp(const std::string& text);
+
+/// Format auto-detection: tries ISO, European ("12.05.2016 18:03:44") and
+/// US am/pm ("05/12/2016 6:03:44 pm"); when `today` is provided, also the
+/// relative forms ("today 18:03:44" / "yesterday 18:03:44") resolved
+/// against it.  std::nullopt when nothing matches.
+[[nodiscard]] std::optional<tz::CivilDateTime> parse_timestamp_any(
+    const std::string& text, const std::optional<tz::CivilDate>& today = std::nullopt);
+
+}  // namespace tzgeo::forum

@@ -1,0 +1,143 @@
+#include "stats/curve_fit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace tzgeo::stats {
+
+namespace {
+
+using Mat3 = std::array<std::array<double, 3>, 3>;
+using Vec3 = std::array<double, 3>;
+
+/// Solves M x = b by Gaussian elimination with partial pivoting.
+/// Returns false when the system is (near-)singular.
+bool solve3(Mat3 m, Vec3 b, Vec3& x) noexcept {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row) {
+      if (std::abs(m[row][col]) > std::abs(m[pivot][col])) pivot = row;
+    }
+    if (std::abs(m[pivot][col]) < 1e-14) return false;
+    std::swap(m[col], m[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int row = col + 1; row < 3; ++row) {
+      const double factor = m[row][col] / m[col][col];
+      for (int k = col; k < 3; ++k) m[row][k] -= factor * m[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (int row = 2; row >= 0; --row) {
+    double sum = b[row];
+    for (int k = row + 1; k < 3; ++k) sum -= m[row][k] * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(row)] = sum / m[row][row];
+  }
+  return true;
+}
+
+[[nodiscard]] double residual_sum_of_squares(const Gaussian& g, std::span<const double> xs,
+                                             std::span<const double> ys) noexcept {
+  double rss = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - g(xs[i]);
+    rss += r * r;
+  }
+  return rss;
+}
+
+}  // namespace
+
+FitResult fit_gaussian(std::span<const double> xs, std::span<const double> ys,
+                       const FitOptions& options) {
+  if (xs.size() != ys.size() || xs.size() < 3) {
+    throw std::invalid_argument("fit_gaussian: need >= 3 points with equal arity");
+  }
+
+  // Seed: peak position / height from the data, sigma from the options
+  // (the paper's empirical sigma ~ 2.5 for placement distributions).
+  const std::size_t peak = argmax(ys);
+  Gaussian g;
+  g.amplitude = std::max(ys[peak], 1e-12);
+  g.mean = xs[peak];
+  g.sigma = std::max(options.initial_sigma, options.sigma_floor);
+
+  double lambda = 1e-3;  // LM damping
+  double rss = residual_sum_of_squares(g, xs, ys);
+  FitResult result{g, rss, 0, false};
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Build J^T J and J^T r for the current parameters.
+    Mat3 jtj{};
+    Vec3 jtr{};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double dx = xs[i] - g.mean;
+      const double e = std::exp(-0.5 * dx * dx / (g.sigma * g.sigma));
+      const double fi = g.amplitude * e;
+      const double r = ys[i] - fi;
+      // Partials of f wrt (A, mu, sigma).
+      const Vec3 jac{e, fi * dx / (g.sigma * g.sigma),
+                     fi * dx * dx / (g.sigma * g.sigma * g.sigma)};
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) {
+          jtj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +=
+              jac[static_cast<std::size_t>(a)] * jac[static_cast<std::size_t>(b)];
+        }
+        jtr[static_cast<std::size_t>(a)] += jac[static_cast<std::size_t>(a)] * r;
+      }
+    }
+
+    Mat3 damped = jtj;
+    for (int d = 0; d < 3; ++d) {
+      damped[static_cast<std::size_t>(d)][static_cast<std::size_t>(d)] *= 1.0 + lambda;
+    }
+    Vec3 step{};
+    if (!solve3(damped, jtr, step)) {
+      lambda *= 10.0;
+      continue;
+    }
+
+    Gaussian trial = g;
+    trial.amplitude += step[0];
+    trial.mean += step[1];
+    trial.sigma += step[2];
+    trial.sigma = std::max(trial.sigma, options.sigma_floor);
+    trial.amplitude = std::max(trial.amplitude, 0.0);
+
+    const double trial_rss = residual_sum_of_squares(trial, xs, ys);
+    result.iterations = iter + 1;
+    if (trial_rss < rss) {
+      g = trial;
+      rss = trial_rss;
+      lambda = std::max(lambda * 0.5, 1e-12);
+      const double step_norm =
+          std::sqrt(step[0] * step[0] + step[1] * step[1] + step[2] * step[2]);
+      if (step_norm < options.tolerance) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      lambda *= 10.0;
+      if (lambda > 1e12) {
+        result.converged = true;  // stuck at a (local) optimum
+        break;
+      }
+    }
+  }
+
+  result.curve = g;
+  result.rss = rss;
+  return result;
+}
+
+FitResult fit_gaussian(std::span<const double> ys, const FitOptions& options) {
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  return fit_gaussian(xs, ys, options);
+}
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,41 @@
+// Non-linear least-squares curve fitting (single Gaussian).
+//
+// Section IV-A of the paper fits a Gaussian to the single-country placement
+// distribution and reads the crowd's time zone off the fitted mean.  We use
+// grid-seeded Levenberg-Marquardt on the three parameters (amplitude, mean,
+// sigma).
+#pragma once
+
+#include <span>
+
+#include "stats/gaussian.hpp"
+
+namespace tzgeo::stats {
+
+/// Result of a least-squares fit.
+struct FitResult {
+  Gaussian curve;
+  double rss = 0.0;        ///< residual sum of squares at the optimum
+  int iterations = 0;      ///< LM iterations used
+  bool converged = false;  ///< parameter step fell below tolerance
+};
+
+/// Options for fit_gaussian.
+struct FitOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-10;   ///< stop when the step norm falls below this
+  double sigma_floor = 0.05;  ///< lower bound enforced on sigma
+  double initial_sigma = 2.5; ///< the paper's empirical sigma for seeding
+};
+
+/// Fits y ~= A * exp(-(x - mu)^2 / (2 sigma^2)) to the points (xs, ys)
+/// by Levenberg-Marquardt, seeded at the arg-max of ys.
+/// Requires xs.size() == ys.size() >= 3.
+[[nodiscard]] FitResult fit_gaussian(std::span<const double> xs, std::span<const double> ys,
+                                     const FitOptions& options = {});
+
+/// Convenience overload for binned data: xs = 0, 1, ..., ys.size()-1.
+[[nodiscard]] FitResult fit_gaussian(std::span<const double> ys,
+                                     const FitOptions& options = {});
+
+}  // namespace tzgeo::stats

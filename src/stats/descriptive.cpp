@@ -1,0 +1,84 @@
+#include "stats/descriptive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace tzgeo::stats {
+
+namespace {
+
+void require_nonempty(std::span<const double> values, const char* who) {
+  if (values.empty()) throw std::invalid_argument(std::string{who} + ": empty input");
+}
+
+void require_same_size(std::span<const double> xs, std::span<const double> ys, const char* who) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument(std::string{who} + ": size mismatch");
+  }
+}
+
+}  // namespace
+
+double mean(std::span<const double> values) {
+  require_nonempty(values, "mean");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require_nonempty(values, "variance");
+  const double m = mean(values);
+  double sum = 0.0;
+  for (const double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double covariance(std::span<const double> xs, std::span<const double> ys) {
+  require_nonempty(xs, "covariance");
+  require_same_size(xs, ys, "covariance");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) sum += (xs[i] - mx) * (ys[i] - my);
+  return sum / static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require_nonempty(xs, "pearson");
+  require_same_size(xs, ys, "pearson");
+  const double sx = stddev(xs);
+  const double sy = stddev(ys);
+  if (sx <= 0.0 || sy <= 0.0) return 0.0;
+  return covariance(xs, ys) / (sx * sy);
+}
+
+double weighted_mean(std::span<const double> values, std::span<const double> weights) {
+  require_nonempty(values, "weighted_mean");
+  require_same_size(values, weights, "weighted_mean");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("weighted_mean: negative weight");
+    num += values[i] * weights[i];
+    den += weights[i];
+  }
+  if (den <= 0.0) throw std::invalid_argument("weighted_mean: zero total weight");
+  return num / den;
+}
+
+double weighted_variance(std::span<const double> values, std::span<const double> weights) {
+  const double m = weighted_mean(values, weights);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    num += weights[i] * (values[i] - m) * (values[i] - m);
+    den += weights[i];
+  }
+  return num / den;
+}
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,68 @@
+#include "stats/emd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tzgeo::stats {
+
+namespace {
+
+constexpr double kMassTolerance = 1e-9;
+
+void check_inputs(std::span<const double> p, std::span<const double> q, const char* who) {
+  if (p.size() != q.size() || p.empty()) {
+    throw std::invalid_argument(std::string{who} + ": distributions must be non-empty and equal-sized");
+  }
+  double mass_p = 0.0;
+  double mass_q = 0.0;
+  for (const double v : p) mass_p += v;
+  for (const double v : q) mass_q += v;
+  if (std::abs(mass_p - mass_q) > kMassTolerance) {
+    throw std::invalid_argument(std::string{who} + ": total mass mismatch");
+  }
+}
+
+}  // namespace
+
+double emd_linear(std::span<const double> p, std::span<const double> q) {
+  check_inputs(p, q, "emd_linear");
+  double work = 0.0;
+  double carried = 0.0;  // running CDF difference
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    carried += p[i] - q[i];
+    work += std::abs(carried);
+  }
+  return work;
+}
+
+double emd_circular(std::span<const double> p, std::span<const double> q) {
+  check_inputs(p, q, "emd_circular");
+  // Werman, Peleg & Rosenfeld: on a circle the optimal transport cost is
+  // min_k sum_i |D_i - k| where D is the prefix-difference sequence; the
+  // minimizing k is the median of D.
+  std::vector<double> diffs(p.size());
+  double carried = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    carried += p[i] - q[i];
+    diffs[i] = carried;
+  }
+  std::vector<double> sorted = diffs;
+  const auto mid = sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2);
+  std::nth_element(sorted.begin(), mid, sorted.end());
+  const double median = *mid;
+  double work = 0.0;
+  for (const double d : diffs) work += std::abs(d - median);
+  return work;
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  check_inputs(p, q, "total_variation");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+}  // namespace tzgeo::stats

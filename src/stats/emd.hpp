@@ -1,0 +1,32 @@
+// Earth Mover's Distance (1-Wasserstein) between discrete distributions.
+//
+// The paper uses the EMD in three places: placing a user's hourly profile on
+// the nearest time-zone profile (Section IV-A), filtering flat/bot profiles
+// against the uniform distribution (Section IV-C), and matching seasonal
+// profiles for the hemisphere test (Section V-F).
+//
+// Two variants are provided:
+//  * emd_linear  — bins on a line; the classical prefix-sum formula
+//                  EMD(p, q) = sum_i |P_i - Q_i| with P/Q the CDFs.
+//  * emd_circular — bins on a circle of n positions (hours of the day wrap
+//                  at midnight); Werman's result: the optimum equals
+//                  sum_i |D_i - median(D)| with D the prefix-sum differences.
+//
+// Both require equal total mass (checked up to a tolerance) and return the
+// work in units of (mass x bins).
+#pragma once
+
+#include <span>
+
+namespace tzgeo::stats {
+
+/// Linear-axis EMD.  Throws std::invalid_argument on size or mass mismatch.
+[[nodiscard]] double emd_linear(std::span<const double> p, std::span<const double> q);
+
+/// Circular-axis EMD (bins wrap).  Throws on size or mass mismatch.
+[[nodiscard]] double emd_circular(std::span<const double> p, std::span<const double> q);
+
+/// Total-variation distance 0.5 * sum |p_i - q_i| (used in ablations).
+[[nodiscard]] double total_variation(std::span<const double> p, std::span<const double> q);
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,28 @@
+#include "stats/fit_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace tzgeo::stats {
+
+PointwiseFitMetrics pointwise_fit_metrics(std::span<const double> data,
+                                          std::span<const double> fit) {
+  if (data.size() != fit.size() || data.empty()) {
+    throw std::invalid_argument("pointwise_fit_metrics: arity mismatch or empty");
+  }
+  std::vector<double> distances(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) distances[i] = std::abs(fit[i] - data[i]);
+  return PointwiseFitMetrics{mean(distances), stddev(distances)};
+}
+
+PointwiseFitMetrics shifted_baseline_metrics(std::span<const double> data,
+                                             std::span<const double> fit, std::int64_t shift) {
+  const std::vector<double> shifted = cyclic_shift(fit, shift);
+  return pointwise_fit_metrics(data, shifted);
+}
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,30 @@
+// Goodness-of-fit metrics for Table II.
+//
+// "In order to quantify how well the fitted Gaussians match the crowd
+// distributions we have computed the average and standard deviation of the
+// point-by-point distance of the two."  The baseline row shifts the fitted
+// curve by 12 hours before comparing (worst-case alignment).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tzgeo::stats {
+
+/// Average and standard deviation of |fit_i - data_i| over the bins.
+struct PointwiseFitMetrics {
+  double average = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes the Table II metrics.  Requires equal, non-zero arity.
+[[nodiscard]] PointwiseFitMetrics pointwise_fit_metrics(std::span<const double> data,
+                                                        std::span<const double> fit);
+
+/// The paper's baseline: the same metrics after cyclically shifting the
+/// fitted curve by `shift` bins (12 for the Table II baseline row).
+[[nodiscard]] PointwiseFitMetrics shifted_baseline_metrics(std::span<const double> data,
+                                                           std::span<const double> fit,
+                                                           std::int64_t shift = 12);
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,52 @@
+#include "stats/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tzgeo::stats {
+
+double Gaussian::operator()(double x) const noexcept {
+  const double z = (x - mean) / sigma;
+  return amplitude * std::exp(-0.5 * z * z);
+}
+
+double gaussian_pdf(double x, double mean, double sigma) noexcept {
+  const double z = (x - mean) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double wrapped_gaussian_pdf(double x, double mean, double sigma, double period) noexcept {
+  double sum = 0.0;
+  for (int k = -4; k <= 4; ++k) {
+    sum += gaussian_pdf(x + static_cast<double>(k) * period, mean, sigma);
+  }
+  return sum;
+}
+
+std::vector<double> sample_curve(const Gaussian& g, std::size_t bins) {
+  std::vector<double> out(bins);
+  for (std::size_t i = 0; i < bins; ++i) out[i] = g(static_cast<double>(i));
+  return out;
+}
+
+std::vector<double> sample_curves(std::span<const Gaussian> gs, std::size_t bins) {
+  std::vector<double> out(bins, 0.0);
+  for (const auto& g : gs) {
+    for (std::size_t i = 0; i < bins; ++i) out[i] += g(static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<double> sample_wrapped_mixture(std::span<const WrappedComponent> comps,
+                                           std::size_t bins) {
+  std::vector<double> out(bins, 0.0);
+  const auto period = static_cast<double>(bins);
+  for (const auto& c : comps) {
+    for (std::size_t i = 0; i < bins; ++i) {
+      out[i] += c.weight * wrapped_gaussian_pdf(static_cast<double>(i), c.mean, c.sigma, period);
+    }
+  }
+  return out;
+}
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,43 @@
+// Gaussian evaluation on linear and circular (wrapped) axes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tzgeo::stats {
+
+/// Parameters of one Gaussian curve y = amplitude * exp(-(x-mean)^2 / 2s^2).
+/// When used as a mixture-component density, amplitude = weight/(s*sqrt(2pi)).
+struct Gaussian {
+  double amplitude = 1.0;
+  double mean = 0.0;
+  double sigma = 1.0;
+
+  [[nodiscard]] double operator()(double x) const noexcept;
+};
+
+/// Standard normal density value at x for N(mean, sigma).
+[[nodiscard]] double gaussian_pdf(double x, double mean, double sigma) noexcept;
+
+/// Density of the wrapped normal on a circle of circumference `period`,
+/// truncated at +-4 periods (ample for sigma << period).
+[[nodiscard]] double wrapped_gaussian_pdf(double x, double mean, double sigma,
+                                          double period) noexcept;
+
+/// Samples a curve at integer bin centers 0..bins-1.
+[[nodiscard]] std::vector<double> sample_curve(const Gaussian& g, std::size_t bins);
+
+/// Samples sum of curves at integer bin centers 0..bins-1.
+[[nodiscard]] std::vector<double> sample_curves(std::span<const Gaussian> gs, std::size_t bins);
+
+/// Samples a wrapped mixture: component k contributes
+/// weight_k * wrapped_gaussian_pdf(x; mean_k, sigma_k, bins).
+struct WrappedComponent {
+  double weight = 1.0;
+  double mean = 0.0;
+  double sigma = 1.0;
+};
+[[nodiscard]] std::vector<double> sample_wrapped_mixture(std::span<const WrappedComponent> comps,
+                                                         std::size_t bins);
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,283 @@
+#include "stats/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "stats/gaussian.hpp"
+
+namespace tzgeo::stats {
+
+namespace {
+
+constexpr double kTinyDensity = 1e-300;
+
+void check_inputs(std::span<const double> xs, std::span<const double> weights, const char* who) {
+  if (xs.size() != weights.size() || xs.empty()) {
+    throw std::invalid_argument(std::string{who} + ": xs/weights must be non-empty, equal-sized");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument(std::string{who} + ": negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument(std::string{who} + ": zero total weight");
+}
+
+/// Weighted quantile of (xs, weights); q in [0, 1].  xs must be sorted by
+/// caller or treated as unsorted (we sort indices here).
+[[nodiscard]] double weighted_quantile(std::span<const double> xs,
+                                       std::span<const double> weights, double q) {
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  const double target = q * total;
+  double acc = 0.0;
+  for (const std::size_t i : order) {
+    acc += weights[i];
+    if (acc >= target) return xs[i];
+  }
+  return xs[order.back()];
+}
+
+/// Top-k peak positions (greedy, suppressing neighbors within `radius`).
+[[nodiscard]] std::vector<double> peak_seeds(std::span<const double> xs,
+                                             std::span<const double> weights, int k,
+                                             double radius) {
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return weights[a] > weights[b]; });
+  std::vector<double> seeds;
+  for (const std::size_t i : order) {
+    if (static_cast<int>(seeds.size()) >= k) break;
+    const bool near_existing = std::any_of(seeds.begin(), seeds.end(), [&](double s) {
+      return std::abs(s - xs[i]) < radius;
+    });
+    if (!near_existing) seeds.push_back(xs[i]);
+  }
+  // Pad with quantiles if peaks were too clustered.
+  int pad = 1;
+  while (static_cast<int>(seeds.size()) < k) {
+    seeds.push_back(weighted_quantile(xs, weights, static_cast<double>(pad) / (k + 1)));
+    ++pad;
+  }
+  return seeds;
+}
+
+[[nodiscard]] std::vector<GmmComponent> make_init(std::span<const double> means,
+                                                  double sigma) {
+  std::vector<GmmComponent> comps;
+  comps.reserve(means.size());
+  for (const double m : means) {
+    comps.push_back(GmmComponent{1.0 / static_cast<double>(means.size()), m, sigma});
+  }
+  return comps;
+}
+
+/// One EM run from a given initialization.
+[[nodiscard]] GmmFit run_em(std::span<const double> xs, std::span<const double> weights,
+                            std::vector<GmmComponent> comps, const GmmOptions& options) {
+  const std::size_t n = xs.size();
+  const std::size_t k = comps.size();
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+
+  std::vector<double> resp(n * k);
+  GmmFit fit;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double denom = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = comps[c].weight * gaussian_pdf(xs[i], comps[c].mean, comps[c].sigma);
+        resp[i * k + c] = d;
+        denom += d;
+      }
+      denom = std::max(denom, kTinyDensity);
+      for (std::size_t c = 0; c < k; ++c) resp[i * k + c] /= denom;
+      ll += weights[i] * std::log(denom);
+    }
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nk = 0.0;
+      double mean_num = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = weights[i] * resp[i * k + c];
+        nk += r;
+        mean_num += r * xs[i];
+      }
+      if (nk <= kTinyDensity) {
+        // Collapsed component: re-seed at the heaviest sample and continue.
+        comps[c].mean = xs[std::distance(weights.begin(),
+                                         std::max_element(weights.begin(), weights.end()))];
+        comps[c].sigma = options.initial_sigma;
+        comps[c].weight = 1.0 / static_cast<double>(k);
+        continue;
+      }
+      const double mean = mean_num / nk;
+      double var_num = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double r = weights[i] * resp[i * k + c];
+        var_num += r * (xs[i] - mean) * (xs[i] - mean);
+      }
+      comps[c].mean = mean;
+      comps[c].sigma =
+          options.fix_sigma
+              ? std::max(options.initial_sigma, options.sigma_floor)
+              : std::clamp(std::sqrt(var_num / nk), options.sigma_floor, options.sigma_max);
+      comps[c].weight = nk / total_weight;
+    }
+
+    fit.iterations = iter + 1;
+    fit.log_likelihood = ll;
+    if (std::isfinite(prev_ll) &&
+        std::abs(ll - prev_ll) <= options.tolerance * (std::abs(prev_ll) + 1.0)) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  std::sort(comps.begin(), comps.end(),
+            [](const GmmComponent& a, const GmmComponent& b) { return a.weight > b.weight; });
+  fit.components = std::move(comps);
+  // Parameter count: (k-1) mixing weights + k means, plus k sigmas when
+  // they are free.
+  const double p = options.fix_sigma ? 2.0 * static_cast<double>(k) - 1.0
+                                     : 3.0 * static_cast<double>(k) - 1.0;
+  fit.bic = -2.0 * fit.log_likelihood + p * std::log(std::max(total_weight, 2.0));
+  fit.aic = -2.0 * fit.log_likelihood + 2.0 * p;
+  return fit;
+}
+
+}  // namespace
+
+double GmmFit::density(double x) const noexcept {
+  double sum = 0.0;
+  for (const auto& c : components) sum += c.weight * gaussian_pdf(x, c.mean, c.sigma);
+  return sum;
+}
+
+std::vector<double> GmmFit::sample(std::size_t bins) const {
+  std::vector<double> out(bins);
+  for (std::size_t i = 0; i < bins; ++i) out[i] = density(static_cast<double>(i));
+  return out;
+}
+
+GmmFit fit_gmm(std::span<const double> xs, std::span<const double> weights, int k,
+               const GmmOptions& options) {
+  check_inputs(xs, weights, "fit_gmm");
+  if (k < 1) throw std::invalid_argument("fit_gmm: k must be >= 1");
+
+  // Three deterministic seeds, keeping the best likelihood:
+  //  1. evenly spaced weighted quantiles;
+  //  2. the top-k peaks of the weight vector;
+  //  3. farthest-point: greedily pick the sample maximizing
+  //     weight x distance-to-chosen-seeds (finds small components wedged
+  //     between large ones, which pure peak picking misses).
+  std::vector<double> quantile_means;
+  quantile_means.reserve(static_cast<std::size_t>(k));
+  for (int c = 1; c <= k; ++c) {
+    quantile_means.push_back(
+        weighted_quantile(xs, weights, static_cast<double>(c) / (k + 1)));
+  }
+  const std::vector<double> peaks = peak_seeds(xs, weights, k, 2.0 * options.initial_sigma);
+
+  std::vector<double> farthest;
+  farthest.push_back(xs[std::distance(
+      weights.begin(), std::max_element(weights.begin(), weights.end()))]);
+  while (static_cast<int>(farthest.size()) < k) {
+    double best_score = -1.0;
+    double best_x = xs[0];
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      double min_dist = std::numeric_limits<double>::infinity();
+      for (const double s : farthest) min_dist = std::min(min_dist, std::abs(xs[i] - s));
+      const double score = weights[i] * min_dist;
+      if (score > best_score) {
+        best_score = score;
+        best_x = xs[i];
+      }
+    }
+    farthest.push_back(best_x);
+  }
+
+  GmmFit best = run_em(xs, weights, make_init(quantile_means, options.initial_sigma), options);
+  for (const auto& seeds : {peaks, farthest}) {
+    GmmFit alt = run_em(xs, weights, make_init(seeds, options.initial_sigma), options);
+    if (alt.log_likelihood > best.log_likelihood) best = std::move(alt);
+  }
+  return best;
+}
+
+std::vector<GmmComponent> merge_close_components(std::vector<GmmComponent> components,
+                                                 double merge_distance) {
+  if (merge_distance <= 0.0) return components;
+  bool merged = true;
+  while (merged && components.size() > 1) {
+    merged = false;
+    for (std::size_t i = 0; i < components.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < components.size() && !merged; ++j) {
+        if (std::abs(components[i].mean - components[j].mean) >= merge_distance) continue;
+        // Moment-preserving merge of the two Gaussians.
+        const GmmComponent& a = components[i];
+        const GmmComponent& b = components[j];
+        GmmComponent m;
+        m.weight = a.weight + b.weight;
+        m.mean = (a.weight * a.mean + b.weight * b.mean) / m.weight;
+        const double var = (a.weight * (a.sigma * a.sigma + (a.mean - m.mean) * (a.mean - m.mean)) +
+                            b.weight * (b.sigma * b.sigma + (b.mean - m.mean) * (b.mean - m.mean))) /
+                           m.weight;
+        m.sigma = std::sqrt(var);
+        components[i] = m;
+        components.erase(components.begin() + static_cast<std::ptrdiff_t>(j));
+        merged = true;
+      }
+    }
+  }
+  std::sort(components.begin(), components.end(),
+            [](const GmmComponent& a, const GmmComponent& b) { return a.weight > b.weight; });
+  return components;
+}
+
+GmmFit fit_gmm_auto(std::span<const double> xs, std::span<const double> weights,
+                    const GmmOptions& options) {
+  check_inputs(xs, weights, "fit_gmm_auto");
+  GmmFit best;
+  bool have_best = false;
+  const auto score = [&options](const GmmFit& fit) {
+    return options.selection == ModelSelection::kAic ? fit.aic : fit.bic;
+  };
+  for (int k = 1; k <= std::max(options.max_components, 1); ++k) {
+    GmmFit fit = fit_gmm(xs, weights, k, options);
+    if (!have_best || score(fit) < score(best)) {
+      best = std::move(fit);
+      have_best = true;
+    }
+  }
+  // Prune negligible components and renormalize.
+  auto& comps = best.components;
+  comps.erase(std::remove_if(comps.begin(), comps.end(),
+                             [&](const GmmComponent& c) { return c.weight < options.min_weight; }),
+              comps.end());
+  if (comps.empty()) {
+    // Degenerate: fall back to a single component fit.
+    return fit_gmm(xs, weights, 1, options);
+  }
+  double total = 0.0;
+  for (const auto& c : comps) total += c.weight;
+  for (auto& c : comps) c.weight /= total;
+  comps = merge_close_components(std::move(comps), options.merge_distance);
+  return best;
+}
+
+}  // namespace tzgeo::stats

@@ -1,0 +1,93 @@
+// Gaussian Mixture Model fitting with Expectation-Maximization.
+//
+// Section IV-B: "we use the Expectation-Maximization fitting method for
+// Gaussian mixture distributions [...] To initialize the EM we use the
+// standard deviation sigma ~= 2.5 observed empirically".  The number of
+// regions is unknown a priori, so the auto variant selects the component
+// count by BIC over K = 1..max_components and prunes negligible components.
+//
+// The data is weighted 1-D samples: for a crowd placement distribution the
+// samples are the 24 time-zone bin centers and the weights are the user
+// counts per bin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tzgeo::stats {
+
+/// One mixture component.
+struct GmmComponent {
+  double weight = 1.0;  ///< mixing proportion, sums to 1 over components
+  double mean = 0.0;
+  double sigma = 1.0;
+};
+
+/// Result of an EM fit.
+struct GmmFit {
+  std::vector<GmmComponent> components;  ///< sorted by descending weight
+  double log_likelihood = 0.0;
+  double bic = 0.0;
+  double aic = 0.0;
+  int iterations = 0;
+  bool converged = false;
+
+  /// Mixture density at x.
+  [[nodiscard]] double density(double x) const noexcept;
+
+  /// Density sampled at integer bin centers 0..bins-1.
+  [[nodiscard]] std::vector<double> sample(std::size_t bins) const;
+};
+
+/// Model-selection criterion for the auto variant.
+enum class ModelSelection : std::uint8_t {
+  kAic,  ///< permissive; relies on merge/prune post-processing (default)
+  kBic,  ///< conservative; can miss weak middle components
+};
+
+/// EM options.
+struct GmmOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-9;     ///< relative log-likelihood improvement stop
+  double sigma_floor = 0.5;    ///< floor when sigma is free
+  double initial_sigma = 2.5;  ///< the paper's empirical sigma
+  /// Ceiling on component sigma when sigma is free.
+  double sigma_max = 2.8;
+  /// Pin every component's sigma to initial_sigma (the default).  Single-
+  /// region crowds place with a universal sigma ~= 2.5 (Section IV-A), so
+  /// the mixture components inherit it as a structural prior; a free sigma
+  /// lets EM absorb two nearby crowds into one wide component and lose the
+  /// small middle components the paper recovers (see bench/ablation_design).
+  bool fix_sigma = true;
+  int max_components = 4;      ///< search range for the auto variant
+  /// Criterion choosing the component count.  AIC is deliberately
+  /// permissive: a slightly-overfit mixture is repaired by the merge and
+  /// prune steps below, whereas an underfit one irrecoverably loses a
+  /// weak component wedged between two strong ones (the Fig. 13 case).
+  ModelSelection selection = ModelSelection::kAic;
+  double min_weight = 0.08;    ///< components below this are pruned
+  /// Components whose means are closer than this are merged after model
+  /// selection: crowds one time zone apart are behaviorally a single
+  /// region (a DST-smeared crowd must not read as two countries).
+  double merge_distance = 2.0;
+};
+
+/// Merges mixture components whose means are within `merge_distance` of
+/// each other (moment-preserving pairwise merge; exposed for tests).
+[[nodiscard]] std::vector<GmmComponent> merge_close_components(
+    std::vector<GmmComponent> components, double merge_distance);
+
+/// Fits a K-component mixture to weighted samples.  Initial means are
+/// placed deterministically (weighted quantiles and top-K peaks; the better
+/// of the two seeds by likelihood wins).  Requires K >= 1, xs.size() ==
+/// weights.size(), positive total weight.
+[[nodiscard]] GmmFit fit_gmm(std::span<const double> xs, std::span<const double> weights, int k,
+                             const GmmOptions& options = {});
+
+/// Fits with K selected by BIC over 1..options.max_components, then prunes
+/// components lighter than options.min_weight (re-normalizing the rest).
+[[nodiscard]] GmmFit fit_gmm_auto(std::span<const double> xs, std::span<const double> weights,
+                                  const GmmOptions& options = {});
+
+}  // namespace tzgeo::stats

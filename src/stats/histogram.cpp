@@ -1,0 +1,58 @@
+#include "stats/histogram.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace tzgeo::stats {
+
+Histogram::Histogram(std::size_t bins) : counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(std::size_t index, double weight) { counts_.at(index) += weight; }
+
+double Histogram::total() const noexcept { return total_mass(counts_); }
+
+std::vector<double> Histogram::normalized() const { return normalize(counts_); }
+
+void Histogram::clear() noexcept { std::fill(counts_.begin(), counts_.end(), 0.0); }
+
+double total_mass(std::span<const double> values) noexcept {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+std::vector<double> normalize(std::span<const double> values) {
+  const double total = total_mass(values);
+  if (values.empty()) return {};
+  if (total <= 0.0) return uniform_distribution(values.size());
+  std::vector<double> out(values.begin(), values.end());
+  for (double& v : out) v /= total;
+  return out;
+}
+
+std::vector<double> cyclic_shift(std::span<const double> values, std::int64_t shift) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  std::vector<double> out(values.size());
+  if (n == 0) return out;
+  const std::int64_t s = ((shift % n) + n) % n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>((i + s) % n)] = values[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+std::size_t argmax(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("argmax: empty input");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<double> uniform_distribution(std::size_t n) {
+  if (n == 0) return {};
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace tzgeo::stats

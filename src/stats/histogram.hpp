@@ -1,0 +1,56 @@
+// Fixed-bin histograms and distribution vector helpers.
+//
+// Hourly activity profiles are 24-bin probability vectors; the placement
+// distribution over world time zones is a 24-bin vector as well.  The free
+// functions here operate on plain std::vector<double> so they compose with
+// the rest of the numerical layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tzgeo::stats {
+
+/// A histogram with a fixed number of integer-indexed bins.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bins);
+
+  /// Adds `weight` to bin `index` (must be < bins()).
+  void add(std::size_t index, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t index) const { return counts_.at(index); }
+  [[nodiscard]] const std::vector<double>& counts() const noexcept { return counts_; }
+  [[nodiscard]] double total() const noexcept;
+
+  /// Normalized copy (sums to 1).  A zero-total histogram normalizes to
+  /// the uniform distribution.
+  [[nodiscard]] std::vector<double> normalized() const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<double> counts_;
+};
+
+/// Sum of all elements.
+[[nodiscard]] double total_mass(std::span<const double> values) noexcept;
+
+/// Returns `values` scaled to sum to 1; uniform when the total is zero.
+[[nodiscard]] std::vector<double> normalize(std::span<const double> values);
+
+/// Cyclic shift: result[(i + shift) mod n] = values[i].  A positive shift
+/// moves mass toward higher indices (a profile of a UTC crowd shifted by +k
+/// becomes the profile of a UTC+k crowd).  `shift` may be negative.
+[[nodiscard]] std::vector<double> cyclic_shift(std::span<const double> values,
+                                               std::int64_t shift);
+
+/// Index of the maximum element (first on ties).  Requires non-empty input.
+[[nodiscard]] std::size_t argmax(std::span<const double> values);
+
+/// Uniform distribution over n bins (each 1/n).
+[[nodiscard]] std::vector<double> uniform_distribution(std::size_t n);
+
+}  // namespace tzgeo::stats

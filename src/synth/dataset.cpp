@@ -1,0 +1,196 @@
+#include "synth/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "timezone/zone_db.hpp"
+
+namespace tzgeo::synth {
+
+namespace {
+
+/// Scaled user count, at least 1 when the preset count is positive.
+[[nodiscard]] std::size_t scaled(std::size_t count, double scale) {
+  if (count == 0) return 0;
+  const double value = static_cast<double>(count) * scale;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(value)));
+}
+
+/// Redraws the persona volume conditioned to be >= floor (an "active"
+/// user in the paper's sense).
+double conditioned_volume(util::Rng& rng, const PersonaMix& mix, double floor) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const double volume = rng.lognormal(mix.volume_log_mu, mix.volume_log_sigma);
+    if (volume >= floor) return volume;
+  }
+  return floor + rng.exponential(1.0 / floor);  // heavy-tailed fallback
+}
+
+/// Appends `count` active personas (volume >= floor) for one region.
+void append_active_personas(std::vector<Persona>& out, const std::string& region,
+                            const std::string& zone_name, std::size_t count,
+                            const PersonaMix& mix, double volume_floor, util::Rng& rng,
+                            std::uint64_t& next_id,
+                            const RestDays& rest_days = RestDays::saturday_sunday()) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Persona persona = draw_persona(next_id++, region, zone_name, mix, rng);
+    if (persona.posts_per_year < volume_floor) {
+      persona.posts_per_year = conditioned_volume(rng, mix, volume_floor);
+    }
+    persona.rest_days = rest_days;
+    out.push_back(std::move(persona));
+  }
+}
+
+/// Appends sub-threshold ("non active") personas with a handful of posts.
+void append_inactive_personas(std::vector<Persona>& out, const std::string& region,
+                              const std::string& zone_name, std::size_t count,
+                              const PersonaMix& mix, util::Rng& rng, std::uint64_t& next_id) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Persona persona = draw_persona(next_id++, region, zone_name, mix, rng);
+    persona.posts_per_year = static_cast<double>(rng.uniform_int(2, 20));
+    out.push_back(std::move(persona));
+  }
+}
+
+[[nodiscard]] Dataset finalize(std::string name, std::vector<Persona> users,
+                               const DatasetOptions& options, util::Rng& rng) {
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.users = std::move(users);
+
+  // Churn: a share of members joins mid-window or leaves early.
+  if (options.churn_fraction > 0.0) {
+    const tz::UtcSeconds window_start =
+        tz::to_utc_seconds({options.trace.start, 0, 0, 0});
+    const tz::UtcSeconds window_end = tz::to_utc_seconds({options.trace.end, 0, 0, 0});
+    for (auto& persona : dataset.users) {
+      if (!rng.bernoulli(options.churn_fraction)) continue;
+      const double cut = rng.uniform(0.05, 0.75);
+      const auto boundary = static_cast<tz::UtcSeconds>(
+          window_start + cut * static_cast<double>(window_end - window_start));
+      if (rng.bernoulli(0.5)) {
+        persona.active_from = boundary;  // late joiner
+      } else {
+        persona.active_until = boundary;  // early leaver
+      }
+    }
+  }
+
+  dataset.events = generate_population_trace(dataset.users, options.trace, rng);
+  return dataset;
+}
+
+}  // namespace
+
+std::size_t Dataset::posts_of(std::uint64_t user_id) const noexcept {
+  std::size_t count = 0;
+  for (const auto& event : events) count += (event.user == user_id) ? 1 : 0;
+  return count;
+}
+
+Dataset make_region_dataset(const RegionSpec& region, std::size_t users,
+                            const DatasetOptions& options) {
+  util::Rng rng{options.seed ^ util::hash64(region.name)};
+  std::vector<Persona> personas;
+  std::uint64_t next_id = 1;
+  append_active_personas(personas, region.name, region.zone, users, options.mix,
+                         options.active_volume_floor, rng, next_id);
+  const auto inactive = static_cast<std::size_t>(
+      std::llround(static_cast<double>(users) * options.inactive_fraction));
+  append_inactive_personas(personas, region.name, region.zone, inactive, options.mix, rng,
+                           next_id);
+  return finalize(region.name, std::move(personas), options, rng);
+}
+
+Dataset make_twitter_dataset(const DatasetOptions& options) {
+  util::Rng rng{options.seed};
+  std::vector<Persona> personas;
+  std::uint64_t next_id = 1;
+  for (const auto& region : table1_regions()) {
+    const std::size_t users = scaled(region.active_users, options.scale);
+    append_active_personas(personas, region.name, region.zone, users, options.mix,
+                           options.active_volume_floor, rng, next_id);
+    const auto inactive = static_cast<std::size_t>(
+        std::llround(static_cast<double>(users) * options.inactive_fraction));
+    append_inactive_personas(personas, region.name, region.zone, inactive, options.mix, rng,
+                             next_id);
+  }
+  return finalize("Twitter", std::move(personas), options, rng);
+}
+
+Dataset make_synthetic_mix_a(const DatasetOptions& options, std::size_t users_per_zone) {
+  // "A three-way repetition of the Malaysian user activity according to
+  // three different timezones: UTC, Californian (UTC-7), and the Australian
+  // region of New South Wales (UTC+9)."
+  util::Rng rng{options.seed ^ util::hash64("mix_a")};
+  std::vector<Persona> personas;
+  std::uint64_t next_id = 1;
+  const std::size_t users = scaled(users_per_zone, options.scale);
+  for (const char* zone_name : {"UTC", "UTC-7", "UTC+9"}) {
+    append_active_personas(personas, std::string{"Malaysian@"} + zone_name, zone_name, users,
+                           options.mix, options.active_volume_floor, rng, next_id);
+  }
+  return finalize("SyntheticMixA", std::move(personas), options, rng);
+}
+
+Dataset make_synthetic_mix_b(const DatasetOptions& options) {
+  // "We simply merge together users from different regions: Illinois
+  // (UTC-6), Germany (UTC+1), and Malaysia (UTC+8)."
+  util::Rng rng{options.seed ^ util::hash64("mix_b")};
+  std::vector<Persona> personas;
+  std::uint64_t next_id = 1;
+  for (const char* name : {"Illinois", "Germany", "Malaysia"}) {
+    const RegionSpec& region = table1_region(name);
+    append_active_personas(personas, region.name, region.zone,
+                           scaled(region.active_users, options.scale), options.mix,
+                           options.active_volume_floor, rng, next_id);
+  }
+  return finalize("SyntheticMixB", std::move(personas), options, rng);
+}
+
+Dataset make_forum_crowd(const ForumCrowdSpec& spec, const DatasetOptions& options) {
+  double fraction_total = 0.0;
+  for (const auto& component : spec.components) fraction_total += component.fraction;
+  if (std::abs(fraction_total - 1.0) > 1e-6) {
+    throw std::invalid_argument("make_forum_crowd: component fractions must sum to 1");
+  }
+
+  util::Rng rng{options.seed ^ util::hash64(spec.forum_name)};
+  const std::size_t total_users = scaled(spec.active_users, options.scale);
+
+  // Match the forum's posts-per-user density: lognormal centered on the
+  // paper's approx_posts / active_users, conditioned above the threshold.
+  PersonaMix mix = options.mix;
+  const double mean_posts = static_cast<double>(spec.approx_posts) /
+                            static_cast<double>(spec.active_users);
+  mix.volume_log_sigma = 0.6;
+  mix.volume_log_mu = std::log(std::max(mean_posts, 31.0)) -
+                      0.5 * mix.volume_log_sigma * mix.volume_log_sigma;
+
+  std::vector<Persona> personas;
+  std::uint64_t next_id = 1;
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < spec.components.size(); ++c) {
+    const auto& component = spec.components[c];
+    std::size_t users = (c + 1 == spec.components.size())
+                            ? total_users - assigned
+                            : static_cast<std::size_t>(
+                                  std::llround(component.fraction * static_cast<double>(total_users)));
+    users = std::min(users, total_users - assigned);
+    assigned += users;
+    append_active_personas(personas, component.region, component.zone, users, mix,
+                           /*volume_floor=*/32.0, rng, next_id, component.rest_days);
+  }
+  // A few sub-threshold lurkers who posted once or twice.
+  const auto inactive = static_cast<std::size_t>(
+      std::llround(static_cast<double>(total_users) * options.inactive_fraction));
+  if (!spec.components.empty()) {
+    append_inactive_personas(personas, spec.components.front().region,
+                             spec.components.front().zone, inactive, mix, rng, next_id);
+  }
+  return finalize(spec.forum_name, std::move(personas), options, rng);
+}
+
+}  // namespace tzgeo::synth

@@ -1,0 +1,83 @@
+#include "synth/diurnal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tzgeo::synth {
+
+namespace {
+
+/// Wrapped squared-exponential bump on the 24-hour circle.
+[[nodiscard]] double wrapped_bump(double hour, double center, double sigma) noexcept {
+  double best = 1e9;
+  for (int k = -1; k <= 1; ++k) {
+    const double d = hour - center + 24.0 * static_cast<double>(k);
+    best = std::min(best, std::abs(d));
+  }
+  return std::exp(-0.5 * (best / sigma) * (best / sigma));
+}
+
+}  // namespace
+
+HourlyRates evaluate_shape(const DiurnalShape& shape) {
+  HourlyRates rates{};
+  double total = 0.0;
+  for (std::size_t h = 0; h < kHoursPerDay; ++h) {
+    const auto hour = static_cast<double>(h) + 0.5;  // bin center
+    double value = shape.baseline;
+    value += shape.morning_weight *
+             wrapped_bump(hour, shape.morning_peak_hour, shape.morning_sigma);
+    value += shape.evening_weight *
+             wrapped_bump(hour, shape.evening_peak_hour, shape.evening_sigma);
+    rates[h] = value;
+    total += value;
+  }
+  for (double& r : rates) r /= total;
+  return rates;
+}
+
+DiurnalShape personal_shape(const DiurnalShape& base, const ChronotypeJitter& jitter,
+                            util::Rng& rng) {
+  DiurnalShape shape = base;
+  double phase = rng.normal(0.0, jitter.phase_sigma_hours);
+  phase = std::clamp(phase, -jitter.max_abs_phase_hours, jitter.max_abs_phase_hours);
+  const auto wrap24 = [](double h) {
+    while (h < 0.0) h += 24.0;
+    while (h >= 24.0) h -= 24.0;
+    return h;
+  };
+  shape.morning_peak_hour = wrap24(base.morning_peak_hour + phase);
+  shape.evening_peak_hour = wrap24(base.evening_peak_hour + phase);
+
+  const auto jittered = [&rng](double value, double rel) {
+    return value * std::max(0.1, 1.0 + rng.normal(0.0, rel));
+  };
+  shape.morning_weight = jittered(base.morning_weight, jitter.weight_jitter);
+  shape.evening_weight = jittered(base.evening_weight, jitter.weight_jitter);
+  shape.morning_sigma = jittered(base.morning_sigma, jitter.width_jitter);
+  shape.evening_sigma = jittered(base.evening_sigma, jitter.width_jitter);
+  return shape;
+}
+
+HourlyRates flat_rates(double wobble, util::Rng& rng) {
+  HourlyRates rates{};
+  double total = 0.0;
+  for (double& r : rates) {
+    r = std::max(1e-6, 1.0 + (wobble > 0.0 ? rng.normal(0.0, wobble) : 0.0));
+    total += r;
+  }
+  for (double& r : rates) r /= total;
+  return rates;
+}
+
+HourlyRates shift_rates(const HourlyRates& rates, std::int32_t hours) {
+  HourlyRates out{};
+  const auto n = static_cast<std::int32_t>(kHoursPerDay);
+  const std::int32_t s = ((hours % n) + n) % n;
+  for (std::int32_t h = 0; h < n; ++h) {
+    out[static_cast<std::size_t>((h + s) % n)] = rates[static_cast<std::size_t>(h)];
+  }
+  return out;
+}
+
+}  // namespace tzgeo::synth

@@ -1,0 +1,69 @@
+// Parametric diurnal activity model.
+//
+// Section III of the paper grounds the methodology in the observation that
+// Internet activity follows the everyday-life rhythm: requests grow from the
+// early morning to the afternoon, peak between 17:00 and 22:00, and drop
+// rapidly during the night (citing the Facebook/YouTube demand studies).
+// The model here generates that shape: a morning bump, a lunch dip implied
+// by the gap between the bumps, a dominant evening peak, and a deep night
+// trough between roughly 01:00 and 07:00 local time.
+//
+// All rates are expressed in *local* time; the trace generator converts to
+// UTC through the region's TimeZone (including DST), which is exactly the
+// mechanism the geolocation method exploits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::synth {
+
+/// Number of hourly bins in a daily profile.
+inline constexpr std::size_t kHoursPerDay = 24;
+
+/// Shape parameters of the diurnal rhythm (hours in local time).
+struct DiurnalShape {
+  double morning_peak_hour = 9.0;
+  double morning_sigma = 2.0;
+  double morning_weight = 0.45;
+  double evening_peak_hour = 20.5;
+  double evening_sigma = 2.6;
+  double evening_weight = 1.0;
+  double baseline = 0.015;  ///< floor activity present at any hour
+
+  /// The canonical population-average shape.
+  [[nodiscard]] static DiurnalShape typical() { return DiurnalShape{}; }
+};
+
+/// A normalized 24-bin distribution over local hour-of-day.
+using HourlyRates = std::array<double, kHoursPerDay>;
+
+/// Evaluates the shape into a normalized hourly distribution.
+[[nodiscard]] HourlyRates evaluate_shape(const DiurnalShape& shape);
+
+/// Per-user individual variation applied to a base shape.  The defaults
+/// are calibrated so that a single-region crowd places with a Gaussian
+/// spread of sigma ~= 2.5 zones, the paper's empirical value (Section
+/// IV-A: youngsters sleep later, parents wake earlier, and so on).
+struct ChronotypeJitter {
+  double phase_sigma_hours = 2.1;    ///< chronotype shift (early birds / night owls)
+  double weight_jitter = 0.3;        ///< relative jitter of peak weights
+  double width_jitter = 0.2;         ///< relative jitter of peak widths
+  double max_abs_phase_hours = 6.0;  ///< truncation for the phase shift
+};
+
+/// Draws an individual's shape from the population shape.
+[[nodiscard]] DiurnalShape personal_shape(const DiurnalShape& base, const ChronotypeJitter& jitter,
+                                          util::Rng& rng);
+
+/// A flat (bot-like) hourly distribution with small multiplicative noise;
+/// `wobble` = 0 gives exactly uniform.
+[[nodiscard]] HourlyRates flat_rates(double wobble, util::Rng& rng);
+
+/// Phase-shifts a distribution by whole hours (e.g. +12 for a night-shift
+/// worker whose rhythm is inverted).
+[[nodiscard]] HourlyRates shift_rates(const HourlyRates& rates, std::int32_t hours);
+
+}  // namespace tzgeo::synth

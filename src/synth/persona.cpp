@@ -1,0 +1,57 @@
+#include "synth/persona.hpp"
+
+#include <utility>
+
+namespace tzgeo::synth {
+
+const char* to_string(PersonaKind kind) noexcept {
+  switch (kind) {
+    case PersonaKind::kRegular: return "regular";
+    case PersonaKind::kBot: return "bot";
+    case PersonaKind::kShiftWorker: return "shift_worker";
+  }
+  return "unknown";
+}
+
+Persona draw_persona(std::uint64_t id, std::string region, std::string zone_name,
+                     const PersonaMix& mix, util::Rng& rng) {
+  Persona persona;
+  persona.id = id;
+  persona.region = std::move(region);
+  persona.zone_name = std::move(zone_name);
+
+  const double roll = rng.uniform();
+  if (roll < mix.bot_fraction) {
+    persona.kind = PersonaKind::kBot;
+  } else if (roll < mix.bot_fraction + mix.shift_worker_fraction) {
+    persona.kind = PersonaKind::kShiftWorker;
+  } else {
+    persona.kind = PersonaKind::kRegular;
+  }
+
+  switch (persona.kind) {
+    case PersonaKind::kBot:
+      // Bots run on timers: near-uniform around the clock (Fig. 7).
+      persona.local_rates = flat_rates(0.08, rng);
+      persona.posts_per_year =
+          mix.bot_volume_multiplier * rng.lognormal(mix.volume_log_mu, mix.volume_log_sigma);
+      break;
+    case PersonaKind::kShiftWorker: {
+      // A human rhythm displaced deep into the night.
+      const DiurnalShape shape = personal_shape(mix.base_shape, mix.jitter, rng);
+      const auto displacement = static_cast<std::int32_t>(rng.uniform_int(10, 14));
+      persona.local_rates = shift_rates(evaluate_shape(shape), displacement);
+      persona.posts_per_year = rng.lognormal(mix.volume_log_mu, mix.volume_log_sigma);
+      break;
+    }
+    case PersonaKind::kRegular: {
+      const DiurnalShape shape = personal_shape(mix.base_shape, mix.jitter, rng);
+      persona.local_rates = evaluate_shape(shape);
+      persona.posts_per_year = rng.lognormal(mix.volume_log_mu, mix.volume_log_sigma);
+      break;
+    }
+  }
+  return persona;
+}
+
+}  // namespace tzgeo::synth

@@ -1,0 +1,87 @@
+// Synthetic user personas.
+//
+// A persona is a user with a region, a behaviour kind, an individual hourly
+// rhythm (local time), and an activity volume.  The Twitter-equivalent
+// dataset and the forum engine both draw their populations from here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "synth/diurnal.hpp"
+#include "timezone/timezone.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::synth {
+
+/// Behaviour classes found in the polished datasets (Section IV-C):
+/// regular humans dominate; bots have flat profiles; shift workers are the
+/// rare humans whose flat-ish or inverted profile survives polishing.
+enum class PersonaKind : std::uint8_t {
+  kRegular,
+  kBot,
+  kShiftWorker,
+};
+
+[[nodiscard]] const char* to_string(PersonaKind kind) noexcept;
+
+/// Weekly rest-day pattern (weekday indices, 0 = Sunday .. 6 = Saturday).
+/// Most of the world rests Saturday/Sunday; much of the Middle East and
+/// North Africa rests Friday/Saturday — a cultural fingerprint orthogonal
+/// to the time zone.
+struct RestDays {
+  std::array<bool, 7> days{};
+
+  [[nodiscard]] static RestDays saturday_sunday() {
+    RestDays r;
+    r.days[6] = r.days[0] = true;
+    return r;
+  }
+  [[nodiscard]] static RestDays friday_saturday() {
+    RestDays r;
+    r.days[5] = r.days[6] = true;
+    return r;
+  }
+  [[nodiscard]] bool is_rest(std::int32_t weekday) const {
+    return days.at(static_cast<std::size_t>(weekday));
+  }
+};
+
+/// A fully materialized synthetic user.
+struct Persona {
+  std::uint64_t id = 0;
+  std::string region;          ///< region label ("Germany", "Malaysia", ...)
+  std::string zone_name;       ///< zone_db name ("Europe/Berlin", ...)
+  PersonaKind kind = PersonaKind::kRegular;
+  HourlyRates local_rates{};   ///< normalized hour-of-day distribution (local)
+  double posts_per_year = 0.0; ///< expected activity volume
+  RestDays rest_days = RestDays::saturday_sunday();
+  /// Activity multiplier on rest days (more leisure time to post).
+  double rest_day_boost = 1.3;
+  /// Rest-day rhythm shift in hours (sleeping in pushes the day later).
+  std::int32_t rest_day_shift = 1;
+  /// Membership window: members join and leave; posts fall only inside
+  /// [active_from, active_until).  Zeros mean "the whole trace window".
+  tz::UtcSeconds active_from = 0;
+  tz::UtcSeconds active_until = 0;
+};
+
+/// Knobs for drawing a population.
+struct PersonaMix {
+  double bot_fraction = 0.03;
+  double shift_worker_fraction = 0.01;
+  ChronotypeJitter jitter{};
+  DiurnalShape base_shape = DiurnalShape::typical();
+  /// Post volume: lognormal(mu, sigma); paper keeps users with >= 30 posts.
+  /// The median (~220 posts/year) reflects *active* social-media users —
+  /// low-volume users exist too but are filtered by the 30-post threshold.
+  double volume_log_mu = 5.4;     ///< median ~ 220 posts/year
+  double volume_log_sigma = 1.0;
+  double bot_volume_multiplier = 6.0;  ///< bots post a lot, uniformly
+};
+
+/// Draws one persona for (region, zone) with the given mix.
+[[nodiscard]] Persona draw_persona(std::uint64_t id, std::string region, std::string zone_name,
+                                   const PersonaMix& mix, util::Rng& rng);
+
+}  // namespace tzgeo::synth

@@ -1,0 +1,93 @@
+#include "synth/region_presets.hpp"
+
+#include <stdexcept>
+
+namespace tzgeo::synth {
+
+const std::vector<RegionSpec>& table1_regions() {
+  static const std::vector<RegionSpec> regions = {
+      {"Brazil", "America/Sao_Paulo", 3763},
+      {"California", "America/Los_Angeles", 2868},
+      {"Finland", "Europe/Helsinki", 73},
+      {"France", "Europe/Paris", 2222},
+      {"Germany", "Europe/Berlin", 470},
+      {"Illinois", "America/Chicago", 794},
+      {"Italy", "Europe/Rome", 734},
+      {"Japan", "Asia/Tokyo", 3745},
+      {"Malaysia", "Asia/Kuala_Lumpur", 1714},
+      {"New South Wales", "Australia/Sydney", 151},
+      {"New York", "America/New_York", 1417},
+      {"Poland", "Europe/Warsaw", 375},
+      {"Turkey", "Europe/Istanbul", 1019},
+      {"United Kingdom", "Europe/London", 3231},
+  };
+  return regions;
+}
+
+const RegionSpec& table1_region(const std::string& name) {
+  for (const auto& region : table1_regions()) {
+    if (region.name == name) return region;
+  }
+  throw std::out_of_range("table1_region: unknown region '" + name + "'");
+}
+
+const std::vector<ForumCrowdSpec>& paper_forums() {
+  // Compositions follow the components the paper's GMM uncovered
+  // (Figures 9-13); fractions reflect the relative component sizes the
+  // text describes ("the largest one", "a smaller component", ...).
+  static const std::vector<ForumCrowdSpec> forums = {
+      {"CRD Club",
+       "crdclub4wraumez4",
+       209,
+       14809,
+       {{"Russia (Moscow)", "Europe/Moscow", 0.85},
+        {"Caucasus (Yerevan)", "Asia/Yerevan", 0.15}},
+       3 * 60},  // server shows Moscow time
+      {"Italian DarkNet Community",
+       "idcrldul6umarqwi",
+       52,
+       1711,
+       {{"Italy", "Europe/Rome", 1.0}},
+       0},  // server shows UTC
+      // The UTC+1 crowds mix EU-DST users with non-DST Africans (the paper:
+      // "the UTC+1 time zone, aside from Europe, covers also part of
+      // Africa"); the UTC-6 crowds mix the US Central and Mountain belts
+      // (the paper calls the component "the American Mountain Time Zone").
+      {"Dream Market",
+       "tmskhzavkycdupbr",
+       189,
+       14499,
+       {{"Europe (UTC+1)", "Europe/Berlin", 0.50},
+        {"Africa (UTC+1, no DST)", "UTC+1", 0.18},
+        {"US Central (UTC-6)", "America/Chicago", 0.20},
+        {"US Mountain (UTC-7)", "America/Denver", 0.12}},
+       -5 * 60},  // deliberately shifted server clock
+      {"The Majestic Garden",
+       "bm26rwk32m7u7rec",
+       638,
+       75875,
+       {{"US Central (UTC-6)", "America/Chicago", 0.38},
+        {"US Mountain (UTC-7)", "America/Denver", 0.24},
+        {"Europe (UTC+1)", "Europe/Paris", 0.28},
+        {"Africa (UTC+1, no DST)", "UTC+1", 0.10}},
+       0},
+      {"Pedo Support Community",
+       "support26v5pvkg6",
+       290,
+       44876,
+       {{"US Pacific (UTC-8)", "America/Los_Angeles", 0.50},
+        {"Southern Brazil (UTC-3)", "America/Sao_Paulo", 0.30},
+        {"Caucasus/Gulf (UTC+4)", "Asia/Yerevan", 0.20}},
+       2 * 60},
+  };
+  return forums;
+}
+
+const ForumCrowdSpec& paper_forum(const std::string& name) {
+  for (const auto& forum : paper_forums()) {
+    if (forum.forum_name == name) return forum;
+  }
+  throw std::out_of_range("paper_forum: unknown forum '" + name + "'");
+}
+
+}  // namespace tzgeo::synth

@@ -1,0 +1,54 @@
+// Region and forum presets mirroring the paper's datasets.
+//
+// Table I lists the 14 ground-truth Twitter regions with their active-user
+// counts; Section V gives the five Dark Web forums with user/post counts and
+// the crowd compositions the paper uncovered.  These presets parameterize
+// the synthetic substitutes (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/persona.hpp"
+
+namespace tzgeo::synth {
+
+/// One ground-truth region (Table I row).
+struct RegionSpec {
+  std::string name;          ///< paper label ("Brazil", "California", ...)
+  std::string zone;          ///< zone_db name
+  std::size_t active_users;  ///< Table I count
+};
+
+/// The 14 Table I regions with the paper's active-user counts.
+[[nodiscard]] const std::vector<RegionSpec>& table1_regions();
+
+/// Looks up a Table I region by paper label; throws std::out_of_range.
+[[nodiscard]] const RegionSpec& table1_region(const std::string& name);
+
+/// One component of a forum crowd (a region and its share of the users).
+struct CrowdComponent {
+  std::string region;  ///< descriptive label
+  std::string zone;    ///< zone_db name
+  double fraction;     ///< share of the forum's active users, sums to 1
+  RestDays rest_days = RestDays::saturday_sunday();
+};
+
+/// A Dark Web forum from Section V: size, composition, server quirks.
+struct ForumCrowdSpec {
+  std::string forum_name;
+  std::string onion_address;          ///< 16-char .onion host from the paper
+  std::size_t active_users;
+  std::size_t approx_posts;           ///< paper's post count after cleaning
+  std::vector<CrowdComponent> components;
+  std::int32_t server_offset_minutes; ///< server clock offset from UTC
+};
+
+/// The five forums of Section V with the compositions the paper reports.
+[[nodiscard]] const std::vector<ForumCrowdSpec>& paper_forums();
+
+/// Looks up a forum preset by name; throws std::out_of_range.
+[[nodiscard]] const ForumCrowdSpec& paper_forum(const std::string& name);
+
+}  // namespace tzgeo::synth

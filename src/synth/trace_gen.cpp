@@ -1,0 +1,141 @@
+#include "synth/trace_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "timezone/zone_db.hpp"
+
+namespace tzgeo::synth {
+
+namespace {
+
+/// (month, day) packed for ordering within a year.
+[[nodiscard]] constexpr std::int32_t month_day_key(std::int32_t month, std::int32_t day) noexcept {
+  return month * 100 + day;
+}
+
+}  // namespace
+
+HolidayCalendar::HolidayCalendar(std::vector<Period> periods, double activity_factor)
+    : periods_(std::move(periods)), activity_factor_(activity_factor) {
+  if (activity_factor_ < 0.0 || activity_factor_ > 1.0) {
+    throw std::invalid_argument("HolidayCalendar: factor must be in [0, 1]");
+  }
+}
+
+HolidayCalendar HolidayCalendar::typical() {
+  return HolidayCalendar{{Period{12, 23, 1, 2}, Period{8, 10, 8, 20}}, 0.25};
+}
+
+HolidayCalendar HolidayCalendar::none() { return HolidayCalendar{{}, 1.0}; }
+
+bool HolidayCalendar::is_holiday(const tz::CivilDate& date) const noexcept {
+  const std::int32_t key = month_day_key(date.month, date.day);
+  for (const auto& p : periods_) {
+    const std::int32_t from = month_day_key(p.start_month, p.start_day);
+    const std::int32_t to = month_day_key(p.end_month, p.end_day);
+    if (from <= to) {
+      if (key >= from && key <= to) return true;
+    } else {  // wraps New Year
+      if (key >= from || key <= to) return true;
+    }
+  }
+  return false;
+}
+
+double HolidayCalendar::factor_on(const tz::CivilDate& date) const noexcept {
+  return is_holiday(date) ? activity_factor_ : 1.0;
+}
+
+std::vector<PostEvent> generate_trace(const Persona& persona, const tz::TimeZone& zone,
+                                      const TraceOptions& options, util::Rng& rng) {
+  std::int64_t first_day = tz::days_from_civil(options.start);
+  std::int64_t end_day = tz::days_from_civil(options.end);
+  if (end_day <= first_day) {
+    throw std::invalid_argument("generate_trace: empty date window");
+  }
+  // Clamp to the persona's membership window (members join and leave).
+  if (persona.active_from > 0) {
+    first_day = std::max(first_day, persona.active_from / tz::kSecondsPerDay);
+  }
+  if (persona.active_until > 0) {
+    end_day = std::min(end_day, (persona.active_until + tz::kSecondsPerDay - 1) /
+                                    tz::kSecondsPerDay);
+  }
+  if (end_day <= first_day) return {};  // joined after / left before the window
+  const auto num_days = static_cast<double>(end_day - first_day);
+
+  // Each seed post spawns a geometric burst of mean 1/(1-p) posts; scale
+  // the seed count down so posts_per_year stays the *total* volume.
+  const double burst_factor =
+      options.burst_probability > 0.0 && options.burst_probability < 1.0
+          ? 1.0 - options.burst_probability
+          : 1.0;
+  const double expected = persona.posts_per_year * num_days / 365.0 * burst_factor;
+  const std::uint32_t count = rng.poisson(expected);
+
+  const bool holidays_apply =
+      persona.kind != PersonaKind::kBot || options.holidays_affect_bots;
+  const bool weekends_apply = persona.kind != PersonaKind::kBot;
+  const std::vector<double> hour_weights(persona.local_rates.begin(),
+                                         persona.local_rates.end());
+  // Rest-day rhythm: same shape, shifted later (sleeping in).
+  const HourlyRates rest_rates = shift_rates(persona.local_rates, persona.rest_day_shift);
+  const std::vector<double> rest_hour_weights(rest_rates.begin(), rest_rates.end());
+  const double max_day_factor =
+      weekends_apply ? std::max(1.0, persona.rest_day_boost) : 1.0;
+
+  std::vector<PostEvent> events;
+  events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Rejection-sample a day: holiday dates carry reduced mass, rest days
+    // carry persona.rest_day_boost times the weekday mass.
+    tz::CivilDate date;
+    bool rest_day = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::int64_t day = first_day + rng.uniform_int(0, end_day - first_day - 1);
+      date = tz::civil_from_days(day);
+      rest_day = weekends_apply && persona.rest_days.is_rest(tz::weekday_of(date));
+      double factor = holidays_apply ? options.holidays.factor_on(date) : 1.0;
+      if (rest_day) factor *= persona.rest_day_boost;
+      if (rng.bernoulli(factor / max_day_factor)) break;
+      if (attempt == 63) break;  // pathological window: accept the last draw
+    }
+
+    const auto hour = static_cast<std::int32_t>(
+        rng.categorical(rest_day ? rest_hour_weights : hour_weights));
+    const auto minute = static_cast<std::int32_t>(rng.uniform_int(0, 59));
+    const auto second = static_cast<std::int32_t>(rng.uniform_int(0, 59));
+    const tz::CivilDateTime local{date, hour, minute, second};
+    tz::UtcSeconds when = zone.to_utc(local);
+    events.push_back(PostEvent{persona.id, when});
+
+    // Reply-chain burst: follow-up posts a few minutes apart.  Bursts are
+    // *extra* posts on top of the Poisson volume, so `i` keeps counting
+    // seeds; the geometric tail keeps the expected overhead bounded.
+    while (options.burst_probability > 0.0 && rng.bernoulli(options.burst_probability)) {
+      when += rng.uniform_int(30, std::max<std::int64_t>(options.burst_gap_max_seconds, 31));
+      events.push_back(PostEvent{persona.id, when});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const PostEvent& a, const PostEvent& b) { return a.time < b.time; });
+  return events;
+}
+
+std::vector<PostEvent> generate_population_trace(const std::vector<Persona>& personas,
+                                                 const TraceOptions& options, util::Rng& rng) {
+  std::vector<PostEvent> all;
+  for (const auto& persona : personas) {
+    const tz::TimeZone& zone = tz::zone(persona.zone_name);
+    util::Rng user_rng = rng.split(persona.id ^ util::hash64(persona.zone_name));
+    auto events = generate_trace(persona, zone, options, user_rng);
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const PostEvent& a, const PostEvent& b) { return a.time < b.time; });
+  return all;
+}
+
+}  // namespace tzgeo::synth

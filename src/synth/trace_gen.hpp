@@ -1,0 +1,79 @@
+// Trace generation: personas -> (user, UTC timestamp) post events.
+//
+// Events are drawn in the persona's local time (day, then hour from the
+// persona's hourly distribution) and converted to UTC through the region's
+// TimeZone, so DST transitions shift the UTC profile exactly as they do for
+// real users — the signal the hemisphere analysis (Section V-F) relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/persona.hpp"
+#include "timezone/civil.hpp"
+#include "timezone/timezone.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::synth {
+
+/// One post: who and when (UTC).
+struct PostEvent {
+  std::uint64_t user = 0;
+  tz::UtcSeconds time = 0;
+
+  friend bool operator==(const PostEvent&, const PostEvent&) = default;
+};
+
+/// Calendar periods of suppressed activity ("particularly low activity,
+/// like holidays" — Section IV).  Periods are month/day ranges that repeat
+/// every year; a range may wrap around New Year.
+class HolidayCalendar {
+ public:
+  struct Period {
+    std::int32_t start_month = 1, start_day = 1;  ///< inclusive
+    std::int32_t end_month = 1, end_day = 1;      ///< inclusive
+  };
+
+  HolidayCalendar() = default;
+  HolidayCalendar(std::vector<Period> periods, double activity_factor);
+
+  /// Christmas/New Year break plus a mid-August lull, activity x0.25.
+  [[nodiscard]] static HolidayCalendar typical();
+  /// No holidays.
+  [[nodiscard]] static HolidayCalendar none();
+
+  [[nodiscard]] bool is_holiday(const tz::CivilDate& date) const noexcept;
+  /// Multiplier applied to activity on holiday dates (1.0 elsewhere).
+  [[nodiscard]] double factor_on(const tz::CivilDate& date) const noexcept;
+
+ private:
+  std::vector<Period> periods_;
+  double activity_factor_ = 1.0;
+};
+
+/// Options for trace generation.
+struct TraceOptions {
+  tz::CivilDate start{2016, 1, 1};
+  tz::CivilDate end{2017, 1, 1};  ///< exclusive
+  HolidayCalendar holidays = HolidayCalendar::typical();
+  bool holidays_affect_bots = false;  ///< bots keep posting through holidays
+  /// Posting comes in sessions: a user who posts once often posts again
+  /// within minutes (reply chains).  Each generated post spawns follow-ups
+  /// with this probability (geometric burst length), a few minutes apart.
+  /// Equation 1's boolean (day, hour) cells exist precisely so such bursts
+  /// do not over-weight an hour; set to 0 for un-bursty traces.
+  double burst_probability = 0.35;
+  std::int64_t burst_gap_max_seconds = 600;
+};
+
+/// Generates all posts of one persona over the option window, sorted by time.
+[[nodiscard]] std::vector<PostEvent> generate_trace(const Persona& persona,
+                                                    const tz::TimeZone& zone,
+                                                    const TraceOptions& options, util::Rng& rng);
+
+/// Generates and concatenates the traces of a population (sorted by time).
+/// Each persona's zone is resolved through the zone database by name.
+[[nodiscard]] std::vector<PostEvent> generate_population_trace(
+    const std::vector<Persona>& personas, const TraceOptions& options, util::Rng& rng);
+
+}  // namespace tzgeo::synth

@@ -1,0 +1,109 @@
+#include "timezone/civil.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tzgeo::tz {
+
+std::int64_t days_from_civil(const CivilDate& date) noexcept {
+  // Hinnant's days_from_civil, shifted so that 1970-01-01 -> 0.
+  std::int64_t y = date.year;
+  const std::int64_t m = date.month;
+  const std::int64_t d = date.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const std::int64_t yoe = y - era * 400;                                          // [0, 399]
+  const std::int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;         // [0, 365]
+  const std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;                  // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) noexcept {
+  std::int64_t z = days + 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const std::int64_t doe = z - era * 146097;                                        // [0, 146096]
+  const std::int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  const std::int64_t y = yoe + era * 400;
+  const std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                 // [0, 365]
+  const std::int64_t mp = (5 * doy + 2) / 153;                                      // [0, 11]
+  const std::int64_t d = doy - (153 * mp + 2) / 5 + 1;                              // [1, 31]
+  const std::int64_t m = mp + (mp < 10 ? 3 : -9);                                   // [1, 12]
+  return CivilDate{static_cast<std::int32_t>(y + (m <= 2)), static_cast<std::int32_t>(m),
+                   static_cast<std::int32_t>(d)};
+}
+
+std::int32_t weekday_of(const CivilDate& date) noexcept {
+  const std::int64_t days = days_from_civil(date);
+  // 1970-01-01 was a Thursday (weekday 4).
+  return static_cast<std::int32_t>(((days % 7) + 7 + 4) % 7);
+}
+
+std::int32_t day_of_year(const CivilDate& date) noexcept {
+  return static_cast<std::int32_t>(days_from_civil(date) -
+                                   days_from_civil(CivilDate{date.year, 1, 1})) +
+         1;
+}
+
+CivilDate nth_weekday_of_month(std::int32_t year, std::int32_t month, std::int32_t weekday,
+                               std::int32_t n) {
+  if (weekday < 0 || weekday > 6 || n < 1 || n > 5) {
+    throw std::invalid_argument("nth_weekday_of_month: weekday in 0..6, n in 1..5");
+  }
+  const std::int32_t first_wd = weekday_of(CivilDate{year, month, 1});
+  const std::int32_t offset = (weekday - first_wd + 7) % 7;
+  const std::int32_t day = 1 + offset + (n - 1) * 7;
+  if (day > days_in_month(year, month)) {
+    throw std::invalid_argument("nth_weekday_of_month: occurrence does not exist");
+  }
+  return CivilDate{year, month, day};
+}
+
+CivilDate last_weekday_of_month(std::int32_t year, std::int32_t month,
+                                std::int32_t weekday) noexcept {
+  const std::int32_t last_day = days_in_month(year, month);
+  const std::int32_t last_wd = weekday_of(CivilDate{year, month, last_day});
+  const std::int32_t offset = (last_wd - weekday + 7) % 7;
+  return CivilDate{year, month, last_day - offset};
+}
+
+UtcSeconds to_utc_seconds(const CivilDateTime& dt) noexcept {
+  return days_from_civil(dt.date) * kSecondsPerDay + dt.hour * kSecondsPerHour +
+         dt.minute * kSecondsPerMinute + dt.second;
+}
+
+CivilDateTime from_utc_seconds(UtcSeconds instant) noexcept {
+  std::int64_t days = instant / kSecondsPerDay;
+  std::int64_t rem = instant % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilDateTime dt;
+  dt.date = civil_from_days(days);
+  dt.hour = static_cast<std::int32_t>(rem / kSecondsPerHour);
+  dt.minute = static_cast<std::int32_t>((rem / kSecondsPerMinute) % 60);
+  dt.second = static_cast<std::int32_t>(rem % 60);
+  return dt;
+}
+
+std::int32_t hour_of_day(UtcSeconds instant, std::int64_t offset_seconds) noexcept {
+  std::int64_t local = instant + offset_seconds;
+  std::int64_t rem = local % kSecondsPerDay;
+  if (rem < 0) rem += kSecondsPerDay;
+  return static_cast<std::int32_t>(rem / kSecondsPerHour);
+}
+
+std::string to_string(const CivilDate& date) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02d", date.year, date.month, date.day);
+  return buffer;
+}
+
+std::string to_string(const CivilDateTime& dt) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02d %02d:%02d:%02d", dt.date.year,
+                dt.date.month, dt.date.day, dt.hour, dt.minute, dt.second);
+  return buffer;
+}
+
+}  // namespace tzgeo::tz

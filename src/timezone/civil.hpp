@@ -1,0 +1,93 @@
+// Proleptic-Gregorian civil calendar arithmetic.
+//
+// tzgeo carries its own civil-time substrate instead of relying on the
+// platform's tz database: the paper's methodology depends on precise,
+// reproducible DST handling for arbitrary regions, and the build must be
+// hermetic.  The day<->triple algorithms follow Howard Hinnant's
+// "chrono-compatible low-level date algorithms".
+//
+// Conventions:
+//   * Instants are UtcSeconds: seconds since 1970-01-01T00:00:00Z.
+//   * Civil dates are proleptic Gregorian; months/days are 1-based.
+//   * Weekday: 0 = Sunday .. 6 = Saturday.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tzgeo::tz {
+
+/// Seconds since the Unix epoch (UTC).
+using UtcSeconds = std::int64_t;
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+/// A calendar date (no time-of-day, no zone).
+struct CivilDate {
+  std::int32_t year = 1970;
+  std::int32_t month = 1;  ///< 1..12
+  std::int32_t day = 1;    ///< 1..31
+
+  friend auto operator<=>(const CivilDate&, const CivilDate&) = default;
+};
+
+/// A calendar date plus time-of-day (no zone).
+struct CivilDateTime {
+  CivilDate date;
+  std::int32_t hour = 0;    ///< 0..23
+  std::int32_t minute = 0;  ///< 0..59
+  std::int32_t second = 0;  ///< 0..59
+
+  friend auto operator<=>(const CivilDateTime&, const CivilDateTime&) = default;
+};
+
+/// True for Gregorian leap years.
+[[nodiscard]] constexpr bool is_leap_year(std::int32_t year) noexcept {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+/// Days in the given month (1..12) of the given year.
+[[nodiscard]] constexpr std::int32_t days_in_month(std::int32_t year, std::int32_t month) noexcept {
+  constexpr std::int32_t lengths[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap_year(year)) return 29;
+  return lengths[month - 1];
+}
+
+/// Serial day number of a civil date (days since 1970-01-01; Hinnant).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& date) noexcept;
+
+/// Inverse of days_from_civil.
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// Weekday of a civil date: 0 = Sunday .. 6 = Saturday.
+[[nodiscard]] std::int32_t weekday_of(const CivilDate& date) noexcept;
+
+/// Day of year (1..366).
+[[nodiscard]] std::int32_t day_of_year(const CivilDate& date) noexcept;
+
+/// The date of the nth (1-based) occurrence of `weekday` in (year, month).
+/// Requires the occurrence to exist (n in 1..4 always exists; n == 5 may not).
+[[nodiscard]] CivilDate nth_weekday_of_month(std::int32_t year, std::int32_t month,
+                                             std::int32_t weekday, std::int32_t n);
+
+/// The date of the last occurrence of `weekday` in (year, month).
+[[nodiscard]] CivilDate last_weekday_of_month(std::int32_t year, std::int32_t month,
+                                              std::int32_t weekday) noexcept;
+
+/// Converts a civil datetime (interpreted as UTC) to an instant.
+[[nodiscard]] UtcSeconds to_utc_seconds(const CivilDateTime& dt) noexcept;
+
+/// Converts an instant to the civil datetime in UTC.
+[[nodiscard]] CivilDateTime from_utc_seconds(UtcSeconds instant) noexcept;
+
+/// Hour-of-day (0..23) of an instant offset by `offset_seconds` from UTC.
+[[nodiscard]] std::int32_t hour_of_day(UtcSeconds instant, std::int64_t offset_seconds) noexcept;
+
+/// "YYYY-MM-DD" / "YYYY-MM-DD HH:MM:SS" rendering (always zero-padded).
+[[nodiscard]] std::string to_string(const CivilDate& date);
+[[nodiscard]] std::string to_string(const CivilDateTime& dt);
+
+}  // namespace tzgeo::tz

@@ -1,0 +1,80 @@
+#include "timezone/dst_rule.hpp"
+
+namespace tzgeo::tz {
+
+UtcSeconds DstTransition::instant(std::int32_t year, std::int64_t standard_offset_seconds) const {
+  CivilDate date;
+  if (week == WeekOfMonth::kLast) {
+    date = last_weekday_of_month(year, month, weekday);
+  } else {
+    date = nth_weekday_of_month(year, month, weekday, static_cast<std::int32_t>(week));
+  }
+  const UtcSeconds naive = to_utc_seconds(CivilDateTime{date, hour, 0, 0});
+  switch (basis) {
+    case TransitionBasis::kUtc:
+      return naive;
+    case TransitionBasis::kLocalStandard:
+      return naive - standard_offset_seconds;
+  }
+  return naive;  // unreachable; keeps GCC happy
+}
+
+bool DstRule::in_effect(UtcSeconds instant, std::int64_t standard_offset_seconds) const {
+  // Evaluate against the transition pair of the civil year the instant
+  // falls in (standard local time decides the year for wrapped rules).
+  const CivilDateTime local = from_utc_seconds(instant + standard_offset_seconds);
+  const std::int32_t year = local.date.year;
+
+  if (!southern()) {
+    const UtcSeconds on = begin.instant(year, standard_offset_seconds);
+    const UtcSeconds off = end.instant(year, standard_offset_seconds);
+    return instant >= on && instant < off;
+  }
+  // Southern: DST spans [begin(year), end(year + 1)).  An instant is in DST
+  // either after this year's begin, or before this year's end (which belongs
+  // to the previous year's span).
+  const UtcSeconds on_this_year = begin.instant(year, standard_offset_seconds);
+  const UtcSeconds off_this_year = end.instant(year, standard_offset_seconds);
+  return instant >= on_this_year || instant < off_this_year;
+}
+
+namespace rules {
+
+DstRule european_union() {
+  DstRule rule;
+  rule.begin = DstTransition{3, WeekOfMonth::kLast, 0, 1, TransitionBasis::kUtc};
+  rule.end = DstTransition{10, WeekOfMonth::kLast, 0, 1, TransitionBasis::kUtc};
+  return rule;
+}
+
+DstRule united_states() {
+  DstRule rule;
+  rule.begin = DstTransition{3, WeekOfMonth::kSecond, 0, 2, TransitionBasis::kLocalStandard};
+  rule.end = DstTransition{11, WeekOfMonth::kFirst, 0, 2, TransitionBasis::kLocalStandard};
+  return rule;
+}
+
+DstRule brazil() {
+  DstRule rule;
+  rule.begin = DstTransition{10, WeekOfMonth::kThird, 0, 0, TransitionBasis::kLocalStandard};
+  rule.end = DstTransition{2, WeekOfMonth::kThird, 0, 0, TransitionBasis::kLocalStandard};
+  return rule;
+}
+
+DstRule australia_southeast() {
+  DstRule rule;
+  rule.begin = DstTransition{10, WeekOfMonth::kFirst, 0, 2, TransitionBasis::kLocalStandard};
+  rule.end = DstTransition{4, WeekOfMonth::kFirst, 0, 3, TransitionBasis::kLocalStandard};
+  return rule;
+}
+
+DstRule paraguay() {
+  DstRule rule;
+  rule.begin = DstTransition{10, WeekOfMonth::kFirst, 0, 0, TransitionBasis::kLocalStandard};
+  rule.end = DstTransition{3, WeekOfMonth::kFourth, 0, 0, TransitionBasis::kLocalStandard};
+  return rule;
+}
+
+}  // namespace rules
+
+}  // namespace tzgeo::tz

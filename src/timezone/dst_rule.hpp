@@ -1,0 +1,83 @@
+// Daylight-saving-time rule engine.
+//
+// The paper's hemisphere trick (Section V-F) rests on the asymmetry between
+// Northern rules (clocks advance roughly March..October) and Southern rules
+// (roughly October..February).  We model a DST rule as a pair of yearly
+// transitions, each anchored to the nth/last weekday of a month at a given
+// hour, evaluated either in UTC (EU style) or in local standard time
+// (US/Brazil style).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "timezone/civil.hpp"
+
+namespace tzgeo::tz {
+
+/// Which occurrence of the weekday within the month anchors a transition.
+enum class WeekOfMonth : std::uint8_t { kFirst = 1, kSecond, kThird, kFourth, kLast };
+
+/// Clock basis in which the transition hour is expressed.
+enum class TransitionBasis : std::uint8_t { kUtc, kLocalStandard };
+
+/// One yearly transition (e.g. "last Sunday of March, 01:00 UTC").
+struct DstTransition {
+  std::int32_t month = 1;          ///< 1..12
+  WeekOfMonth week = WeekOfMonth::kFirst;
+  std::int32_t weekday = 0;        ///< 0 = Sunday .. 6 = Saturday
+  std::int32_t hour = 2;           ///< 0..23, in `basis`
+  TransitionBasis basis = TransitionBasis::kLocalStandard;
+
+  /// Resolves the transition instant for a given year, given the zone's
+  /// standard (non-DST) offset from UTC in seconds.
+  [[nodiscard]] UtcSeconds instant(std::int32_t year, std::int64_t standard_offset_seconds) const;
+};
+
+/// A complete DST rule: begin/end transitions plus the saving amount.
+///
+/// Northern-hemisphere rules have begin.month < end.month (DST spans the
+/// middle of the civil year); Southern rules have begin.month > end.month
+/// (DST wraps around New Year).  A disengaged rule means "no DST".
+struct DstRule {
+  DstTransition begin;   ///< clocks go forward
+  DstTransition end;     ///< clocks go back
+  std::int64_t saving_seconds = kSecondsPerHour;
+
+  /// True when DST is in force at `instant` for a zone whose standard
+  /// offset is `standard_offset_seconds`.
+  [[nodiscard]] bool in_effect(UtcSeconds instant, std::int64_t standard_offset_seconds) const;
+
+  /// True when the rule wraps around New Year (Southern hemisphere).
+  [[nodiscard]] bool southern() const noexcept { return begin.month > end.month; }
+};
+
+/// Hemisphere of a region, derived from (or orthogonal to) its DST rule.
+enum class Hemisphere : std::uint8_t { kNorthern, kSouthern, kNone };
+
+/// Preset rules used by the zone database.
+namespace rules {
+
+/// EU: last Sunday of March 01:00 UTC -> last Sunday of October 01:00 UTC.
+[[nodiscard]] DstRule european_union();
+
+/// USA/Canada: 2nd Sunday of March 02:00 local -> 1st Sunday of November
+/// 02:00 local.
+[[nodiscard]] DstRule united_states();
+
+/// Brazil (pre-2019): 3rd Sunday of October 00:00 local -> 3rd Sunday of
+/// February 00:00 local.  Southern rule.
+[[nodiscard]] DstRule brazil();
+
+/// Australia (NSW/Vic/SA): 1st Sunday of October 02:00 local -> 1st Sunday
+/// of April 03:00 local.  Southern rule.
+[[nodiscard]] DstRule australia_southeast();
+
+/// Paraguay: 1st Sunday of October 00:00 local -> 4th Sunday of March
+/// 00:00 local.  Southern rule.
+[[nodiscard]] DstRule paraguay();
+
+}  // namespace rules
+
+}  // namespace tzgeo::tz

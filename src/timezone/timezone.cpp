@@ -1,0 +1,57 @@
+#include "timezone/timezone.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tzgeo::tz {
+
+TimeZone::TimeZone(std::string name, std::int32_t standard_offset_minutes)
+    : name_(std::move(name)), standard_offset_minutes_(standard_offset_minutes) {
+  if (standard_offset_minutes_ < -12 * 60 || standard_offset_minutes_ > 14 * 60) {
+    throw std::invalid_argument("TimeZone: offset out of range [-12h, +14h]");
+  }
+}
+
+TimeZone::TimeZone(std::string name, std::int32_t standard_offset_minutes, DstRule rule,
+                   Hemisphere hemisphere)
+    : TimeZone(std::move(name), standard_offset_minutes) {
+  rule_ = rule;
+  hemisphere_ = hemisphere;
+}
+
+std::int64_t TimeZone::offset_at(UtcSeconds instant) const {
+  std::int64_t offset = standard_offset_seconds();
+  if (rule_ && rule_->in_effect(instant, offset)) {
+    offset += rule_->saving_seconds;
+  }
+  return offset;
+}
+
+bool TimeZone::dst_in_effect(UtcSeconds instant) const {
+  return rule_ && rule_->in_effect(instant, standard_offset_seconds());
+}
+
+CivilDateTime TimeZone::to_local(UtcSeconds instant) const {
+  return from_utc_seconds(instant + offset_at(instant));
+}
+
+UtcSeconds TimeZone::to_utc(const CivilDateTime& local) const {
+  // First guess: interpret the civil time at the standard offset, then
+  // re-evaluate the offset at that instant and correct once.  This resolves
+  // to the DST offset inside the DST window (returning the earlier instant
+  // in the fall-back overlap) and to the standard offset outside it.
+  const UtcSeconds naive = to_utc_seconds(local);
+  const UtcSeconds guess = naive - standard_offset_seconds();
+  const std::int64_t offset = offset_at(guess);
+  const UtcSeconds corrected = naive - offset;
+  // If applying the corrected offset changes the DST verdict (edge of a
+  // transition), prefer the corrected instant's own offset.
+  const std::int64_t offset2 = offset_at(corrected);
+  return offset2 == offset ? corrected : naive - offset2;
+}
+
+std::int32_t TimeZone::local_hour(UtcSeconds instant) const {
+  return hour_of_day(instant, offset_at(instant));
+}
+
+}  // namespace tzgeo::tz

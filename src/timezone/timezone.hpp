@@ -1,0 +1,66 @@
+// A time zone: a standard UTC offset plus an optional DST rule.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "timezone/civil.hpp"
+#include "timezone/dst_rule.hpp"
+
+namespace tzgeo::tz {
+
+/// A named region time zone.
+///
+/// The paper reasons in whole-hour "world time zones" (UTC-11 .. UTC+12);
+/// TimeZone carries the exact standard offset (minutes, to support zones
+/// like UTC+5:30 in principle) plus the DST rule of the region.
+class TimeZone {
+ public:
+  /// A fixed-offset zone without DST.
+  TimeZone(std::string name, std::int32_t standard_offset_minutes);
+
+  /// A zone with a DST rule.
+  TimeZone(std::string name, std::int32_t standard_offset_minutes, DstRule rule,
+           Hemisphere hemisphere);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Standard (winter) offset from UTC, seconds.
+  [[nodiscard]] std::int64_t standard_offset_seconds() const noexcept {
+    return static_cast<std::int64_t>(standard_offset_minutes_) * kSecondsPerMinute;
+  }
+
+  /// Standard offset rounded to whole hours — the paper's time-zone index.
+  [[nodiscard]] std::int32_t standard_offset_hours() const noexcept {
+    return standard_offset_minutes_ / 60;
+  }
+
+  [[nodiscard]] bool has_dst() const noexcept { return rule_.has_value(); }
+  [[nodiscard]] const std::optional<DstRule>& dst_rule() const noexcept { return rule_; }
+  [[nodiscard]] Hemisphere hemisphere() const noexcept { return hemisphere_; }
+
+  /// Effective offset from UTC at `instant` (includes DST when in force).
+  [[nodiscard]] std::int64_t offset_at(UtcSeconds instant) const;
+
+  /// True when DST is in force at `instant`.
+  [[nodiscard]] bool dst_in_effect(UtcSeconds instant) const;
+
+  /// Civil local time of an instant.
+  [[nodiscard]] CivilDateTime to_local(UtcSeconds instant) const;
+
+  /// Instant of a civil local time.  During the spring-forward gap the
+  /// non-existent time is interpreted at the pre-transition offset; during
+  /// the fall-back overlap the earlier (DST) instant is returned.
+  [[nodiscard]] UtcSeconds to_utc(const CivilDateTime& local) const;
+
+  /// Local hour of day (0..23) at `instant`.
+  [[nodiscard]] std::int32_t local_hour(UtcSeconds instant) const;
+
+ private:
+  std::string name_;
+  std::int32_t standard_offset_minutes_ = 0;
+  std::optional<DstRule> rule_;
+  Hemisphere hemisphere_ = Hemisphere::kNone;
+};
+
+}  // namespace tzgeo::tz

@@ -1,0 +1,103 @@
+#include "timezone/zone_db.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace tzgeo::tz {
+
+namespace {
+
+[[nodiscard]] std::map<std::string, TimeZone, std::less<>> build_db() {
+  std::map<std::string, TimeZone, std::less<>> db;
+  const auto add = [&db](TimeZone zone) {
+    const std::string key = zone.name();
+    db.emplace(key, std::move(zone));
+  };
+
+  const DstRule eu = rules::european_union();
+  const DstRule us = rules::united_states();
+  const DstRule br = rules::brazil();
+  const DstRule au = rules::australia_southeast();
+  const DstRule py = rules::paraguay();
+
+  // --- Table I ground-truth regions -------------------------------------
+  add(TimeZone{"America/Sao_Paulo", -3 * 60, br, Hemisphere::kSouthern});   // Brazil
+  add(TimeZone{"America/Los_Angeles", -8 * 60, us, Hemisphere::kNorthern}); // California
+  add(TimeZone{"Europe/Helsinki", 2 * 60, eu, Hemisphere::kNorthern});      // Finland
+  add(TimeZone{"Europe/Paris", 1 * 60, eu, Hemisphere::kNorthern});         // France
+  add(TimeZone{"Europe/Berlin", 1 * 60, eu, Hemisphere::kNorthern});        // Germany
+  add(TimeZone{"America/Chicago", -6 * 60, us, Hemisphere::kNorthern});     // Illinois
+  add(TimeZone{"Europe/Rome", 1 * 60, eu, Hemisphere::kNorthern});          // Italy
+  add(TimeZone{"Asia/Tokyo", 9 * 60});                                      // Japan (no DST)
+  add(TimeZone{"Asia/Kuala_Lumpur", 8 * 60});                               // Malaysia (no DST)
+  add(TimeZone{"Australia/Sydney", 10 * 60, au, Hemisphere::kSouthern});    // New South Wales
+  add(TimeZone{"America/New_York", -5 * 60, us, Hemisphere::kNorthern});    // New York
+  add(TimeZone{"Europe/Warsaw", 1 * 60, eu, Hemisphere::kNorthern});        // Poland
+  add(TimeZone{"Europe/Istanbul", 3 * 60});            // Turkey (DST abolished Sept 2016)
+  add(TimeZone{"Europe/London", 0, eu, Hemisphere::kNorthern});             // United Kingdom
+
+  // --- Zones named in Section V -----------------------------------------
+  add(TimeZone{"UTC", 0});
+  add(TimeZone{"Europe/Moscow", 3 * 60});                                   // no DST since 2014
+  add(TimeZone{"Europe/Minsk", 3 * 60});
+  add(TimeZone{"Europe/Bucharest", 2 * 60, eu, Hemisphere::kNorthern});
+  add(TimeZone{"Asia/Yerevan", 4 * 60});
+  add(TimeZone{"Asia/Tbilisi", 4 * 60});
+  add(TimeZone{"Asia/Dubai", 4 * 60});                                      // Abu Dhabi
+  add(TimeZone{"America/Mexico_City", -6 * 60, us, Hemisphere::kNorthern});
+  add(TimeZone{"America/Halifax", -4 * 60, us, Hemisphere::kNorthern});
+  add(TimeZone{"America/Asuncion", -4 * 60, py, Hemisphere::kSouthern});    // Paraguay
+  add(TimeZone{"America/Denver", -7 * 60, us, Hemisphere::kNorthern});
+  // Half-hour zone: the paper's whole-hour world-zone model splits such
+  // crowds across the two neighbouring zones (exercised in tests).
+  add(TimeZone{"Asia/Kolkata", 5 * 60 + 30});
+
+  // Fixed whole-hour world time zones ("UTC-11" .. "UTC+12", no DST), used
+  // by the Fig. 6 synthetic mixes and anywhere a bare offset is enough.
+  for (std::int32_t h = -11; h <= 12; ++h) {
+    if (h == 0) continue;  // "UTC" added above
+    add(TimeZone{utc_label(h), h * 60});
+  }
+  return db;
+}
+
+[[nodiscard]] const std::map<std::string, TimeZone, std::less<>>& db() {
+  static const auto instance = build_db();
+  return instance;
+}
+
+}  // namespace
+
+const TimeZone& zone(std::string_view name) {
+  const auto& zones = db();
+  const auto it = zones.find(name);
+  if (it == zones.end()) {
+    throw std::out_of_range("zone_db: unknown zone '" + std::string{name} + "'");
+  }
+  return it->second;
+}
+
+bool has_zone(std::string_view name) noexcept { return db().contains(name); }
+
+std::vector<std::string_view> zone_names() {
+  std::vector<std::string_view> names;
+  names.reserve(db().size());
+  for (const auto& [name, unused] : db()) names.push_back(name);
+  return names;
+}
+
+TimeZone fixed_zone(std::int32_t hours) {
+  if (hours < -11 || hours > 12) {
+    throw std::invalid_argument("fixed_zone: hours in [-11, 12]");
+  }
+  return TimeZone{utc_label(hours), hours * 60};
+}
+
+std::string utc_label(std::int32_t hours) {
+  if (hours == 0) return "UTC";
+  return hours > 0 ? "UTC+" + std::to_string(hours) : "UTC-" + std::to_string(-hours);
+}
+
+}  // namespace tzgeo::tz

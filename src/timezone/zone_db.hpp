@@ -1,0 +1,33 @@
+// Named zone database.
+//
+// Covers the 14 ground-truth regions of Table I plus every zone named in
+// Section V of the paper (forum analyses and the hemisphere study).  This is
+// intentionally a small curated table, not a full IANA mirror: tzgeo only
+// needs the zones the experiments touch, with 2016-era rules (the Twitter
+// dataset year), and must not depend on the host system's tzdata.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "timezone/timezone.hpp"
+
+namespace tzgeo::tz {
+
+/// Looks up a zone by name (e.g. "Europe/Berlin", "America/Chicago").
+/// Throws std::out_of_range for unknown names.
+[[nodiscard]] const TimeZone& zone(std::string_view name);
+
+/// True when `name` is present in the database.
+[[nodiscard]] bool has_zone(std::string_view name) noexcept;
+
+/// All zone names, sorted.
+[[nodiscard]] std::vector<std::string_view> zone_names();
+
+/// A fixed whole-hour offset zone ("UTC+3"), no DST.  hours in [-11, 12].
+[[nodiscard]] TimeZone fixed_zone(std::int32_t hours);
+
+/// Canonical label for a whole-hour world time zone: "UTC-6", "UTC", "UTC+1".
+[[nodiscard]] std::string utc_label(std::int32_t hours);
+
+}  // namespace tzgeo::tz

@@ -1,0 +1,51 @@
+#include "tor/circuit.hpp"
+
+#include <algorithm>
+
+namespace tzgeo::tor {
+
+double Circuit::path_latency_ms(const Consensus& consensus) const {
+  double total = 0.0;
+  for (const std::uint64_t id : hops) total += consensus.relay(id).base_latency_ms;
+  return total;
+}
+
+CircuitBuilder::CircuitBuilder(const Consensus& consensus) : consensus_(consensus) {}
+
+std::uint64_t CircuitBuilder::sample_guard(util::Rng& rng) const {
+  return consensus_
+      .pick(rng, [](const RelayDescriptor& r) { return r.flags.guard && r.flags.stable; })
+      .id;
+}
+
+Circuit CircuitBuilder::build(util::Rng& rng, bool need_exit,
+                              std::uint64_t pinned_guard) const {
+  Circuit circuit;
+  const auto used = [&circuit](std::uint64_t id) {
+    return std::find(circuit.hops.begin(), circuit.hops.end(), id) != circuit.hops.end();
+  };
+
+  const std::uint64_t guard_id =
+      pinned_guard != 0 ? consensus_.relay(pinned_guard).id : sample_guard(rng);
+  circuit.hops.push_back(guard_id);
+
+  const RelayDescriptor& middle =
+      consensus_.pick(rng, [&](const RelayDescriptor& r) { return !used(r.id); });
+  circuit.hops.push_back(middle.id);
+
+  const RelayDescriptor& last = consensus_.pick(rng, [&](const RelayDescriptor& r) {
+    if (used(r.id)) return false;
+    return need_exit ? r.flags.exit : true;
+  });
+  circuit.hops.push_back(last.id);
+
+  // Circuit setup: one round-trip per hop during telescoping key exchange.
+  double accumulated = 0.0;
+  for (const std::uint64_t id : circuit.hops) {
+    accumulated += consensus_.relay(id).base_latency_ms;
+    circuit.setup_latency_ms += 2.0 * accumulated;
+  }
+  return circuit;
+}
+
+}  // namespace tzgeo::tor

@@ -1,0 +1,44 @@
+// Three-hop Tor circuits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tor/relay.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::tor {
+
+/// A built circuit: entry (guard), middle, exit — in order.
+struct Circuit {
+  std::vector<std::uint64_t> hops;  ///< relay ids, guard first
+  double setup_latency_ms = 0.0;    ///< time spent negotiating the circuit
+
+  /// One-way forwarding latency through all hops.
+  [[nodiscard]] double path_latency_ms(const Consensus& consensus) const;
+};
+
+/// Builds circuits following the standard constraints: the guard carries
+/// the Guard flag, hops are distinct, and the exit carries the Exit flag
+/// when `need_exit` is set (circuits to hidden services never exit).
+///
+/// Tor clients pin a long-lived *entry guard* rather than sampling a new
+/// one per circuit (defeats the "eventually pick a malicious guard"
+/// attack the paper's related work describes); pass `pinned_guard` to
+/// model a client session.
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(const Consensus& consensus);
+
+  [[nodiscard]] Circuit build(util::Rng& rng, bool need_exit = false,
+                              std::uint64_t pinned_guard = 0) const;
+
+  /// Samples a guard the way a fresh client would (bandwidth-weighted
+  /// among Guard+Stable relays) — the id to pin for a session.
+  [[nodiscard]] std::uint64_t sample_guard(util::Rng& rng) const;
+
+ private:
+  const Consensus& consensus_;
+};
+
+}  // namespace tzgeo::tor

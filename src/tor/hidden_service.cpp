@@ -1,0 +1,111 @@
+#include "tor/hidden_service.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::tor {
+
+std::string onion_address(std::uint64_t service_key) {
+  // v2 onion addresses are 16 base32 characters (80 bits of key hash).
+  // We derive 80 bits from two splitmix64 steps over the key.
+  static constexpr char kBase32[] = "abcdefghijklmnopqrstuvwxyz234567";
+  std::uint64_t state = service_key;
+  const std::uint64_t lo = util::splitmix64(state);
+  const std::uint64_t hi = util::splitmix64(state);
+  std::string address;
+  address.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = (i < 12) ? lo : hi;
+    const int shift = (i % 12) * 5 % 60;
+    address.push_back(kBase32[(word >> shift) & 0x1f]);
+  }
+  return address;
+}
+
+HiddenServiceDirectory::HiddenServiceDirectory(const Consensus& consensus)
+    : consensus_(consensus) {}
+
+void HiddenServiceDirectory::publish(const HiddenServiceDescriptor& descriptor) {
+  // Overwrite a previous descriptor for the same service, if any.
+  const auto it = std::find_if(
+      published_.begin(), published_.end(),
+      [&](const HiddenServiceDescriptor& d) { return d.onion == descriptor.onion; });
+  if (it != published_.end()) {
+    *it = descriptor;
+  } else {
+    published_.push_back(descriptor);
+  }
+  // The responsible HSDirs are derived from the service key; we record the
+  // assignment to model directory placement (observable in tests).
+  (void)consensus_.responsible_hsdirs(descriptor.service_key, 3);
+}
+
+std::optional<HiddenServiceDescriptor> HiddenServiceDirectory::fetch(
+    const std::string& onion) const {
+  const auto it =
+      std::find_if(published_.begin(), published_.end(),
+                   [&](const HiddenServiceDescriptor& d) { return d.onion == onion; });
+  if (it == published_.end()) return std::nullopt;
+  return *it;
+}
+
+double RendezvousConnection::round_trip_ms(const Consensus& consensus) const {
+  // Request: client -> rendezvous -> service; response: the reverse.
+  return 2.0 * (client_circuit.path_latency_ms(consensus) +
+                service_circuit.path_latency_ms(consensus));
+}
+
+RendezvousProtocol::RendezvousProtocol(const Consensus& consensus,
+                                       HiddenServiceDirectory& directory)
+    : consensus_(consensus), directory_(directory) {}
+
+HiddenServiceDescriptor RendezvousProtocol::host_service(std::uint64_t service_key,
+                                                         std::size_t intro_points,
+                                                         util::Rng& rng) {
+  HiddenServiceDescriptor descriptor;
+  descriptor.service_key = service_key;
+  descriptor.onion = onion_address(service_key);
+  for (std::size_t i = 0; i < intro_points; ++i) {
+    const RelayDescriptor& relay =
+        consensus_.pick(rng, [](const RelayDescriptor& r) { return r.flags.stable; });
+    if (std::find(descriptor.introduction_points.begin(), descriptor.introduction_points.end(),
+                  relay.id) == descriptor.introduction_points.end()) {
+      descriptor.introduction_points.push_back(relay.id);
+    }
+  }
+  directory_.publish(descriptor);
+  return descriptor;
+}
+
+std::optional<RendezvousConnection> RendezvousProtocol::connect(const std::string& onion,
+                                                                util::Rng& rng,
+                                                                std::uint64_t pinned_guard) {
+  const auto descriptor = directory_.fetch(onion);
+  if (!descriptor || descriptor->introduction_points.empty()) return std::nullopt;
+
+  RendezvousConnection connection;
+  connection.onion = onion;
+
+  const CircuitBuilder builder{consensus_};
+  // 1. Client builds a circuit (through its session guard) to the
+  //    rendezvous point it selected.
+  connection.client_circuit = builder.build(rng, /*need_exit=*/false, pinned_guard);
+  connection.rendezvous_relay = connection.client_circuit.hops.back();
+  // 2. Client tells an introduction point about the rendezvous; the
+  //    introduction point forwards it to the service (one circuit each way,
+  //    modelled as latency only).
+  const std::uint64_t intro_id = descriptor->introduction_points[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(descriptor->introduction_points.size()) - 1))];
+  const double intro_latency = 2.0 * consensus_.relay(intro_id).base_latency_ms;
+  // 3. Service builds its circuit to the rendezvous point.
+  connection.service_circuit = builder.build(rng);
+  connection.service_circuit.hops.back() = connection.rendezvous_relay;
+
+  connection.setup_latency_ms = connection.client_circuit.setup_latency_ms + intro_latency +
+                                connection.service_circuit.setup_latency_ms +
+                                connection.round_trip_ms(consensus_) / 2.0;
+  return connection;
+}
+
+}  // namespace tzgeo::tor

@@ -1,0 +1,82 @@
+// Hidden services: onion addressing, descriptor publication, rendezvous.
+//
+// Models the setup and connection protocol of Background Section II-B:
+// the service picks introduction points and publishes a descriptor to the
+// responsible HSDirs; a client fetches the descriptor, picks a rendezvous
+// point, and both sides build circuits that meet there.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tor/circuit.hpp"
+#include "tor/relay.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::tor {
+
+/// Derives the 16-character base32 .onion host name from a service key
+/// (the v2 scheme: the address is a hash of the service's public key).
+[[nodiscard]] std::string onion_address(std::uint64_t service_key);
+
+/// A published hidden-service descriptor.
+struct HiddenServiceDescriptor {
+  std::string onion;
+  std::uint64_t service_key = 0;
+  std::vector<std::uint64_t> introduction_points;  ///< relay ids
+};
+
+/// The HSDir side of the directory system: publish + fetch.
+class HiddenServiceDirectory {
+ public:
+  explicit HiddenServiceDirectory(const Consensus& consensus);
+
+  /// Stores the descriptor on the responsible HSDirs.
+  void publish(const HiddenServiceDescriptor& descriptor);
+
+  /// Fetches a descriptor by onion address.
+  [[nodiscard]] std::optional<HiddenServiceDescriptor> fetch(const std::string& onion) const;
+
+ private:
+  const Consensus& consensus_;
+  std::vector<HiddenServiceDescriptor> published_;
+};
+
+/// An established client<->service connection through a rendezvous point.
+struct RendezvousConnection {
+  std::string onion;
+  Circuit client_circuit;    ///< client -> rendezvous
+  Circuit service_circuit;   ///< service -> rendezvous
+  std::uint64_t rendezvous_relay = 0;
+  double setup_latency_ms = 0.0;  ///< full handshake cost
+
+  /// Round-trip latency for one request/response over the joined circuits.
+  [[nodiscard]] double round_trip_ms(const Consensus& consensus) const;
+};
+
+/// Runs the connection protocol of Section II-B.
+class RendezvousProtocol {
+ public:
+  RendezvousProtocol(const Consensus& consensus, HiddenServiceDirectory& directory);
+
+  /// Performs the service-side setup: picks `intro_points` introduction
+  /// points and publishes the descriptor.  Returns the descriptor.
+  HiddenServiceDescriptor host_service(std::uint64_t service_key, std::size_t intro_points,
+                                       util::Rng& rng);
+
+  /// Client connect: descriptor fetch, rendezvous selection, introduction,
+  /// and circuit join.  Returns std::nullopt for unknown addresses.
+  /// `pinned_guard` (0 = sample fresh) fixes the client circuit's entry
+  /// guard, as a real Tor client session does.
+  [[nodiscard]] std::optional<RendezvousConnection> connect(const std::string& onion,
+                                                            util::Rng& rng,
+                                                            std::uint64_t pinned_guard = 0);
+
+ private:
+  const Consensus& consensus_;
+  HiddenServiceDirectory& directory_;
+};
+
+}  // namespace tzgeo::tor

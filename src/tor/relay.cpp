@@ -1,0 +1,119 @@
+#include "tor/relay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tzgeo::tor {
+
+BridgeSet::BridgeSet(std::vector<RelayDescriptor> bridges) : bridges_(std::move(bridges)) {
+  if (bridges_.empty()) throw std::invalid_argument("BridgeSet: no bridges");
+}
+
+BridgeSet BridgeSet::synthetic(std::size_t size, util::Rng& rng) {
+  if (size == 0) throw std::invalid_argument("BridgeSet::synthetic: need >= 1 bridge");
+  std::vector<RelayDescriptor> bridges;
+  bridges.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    RelayDescriptor bridge;
+    bridge.id = rng.split(0xb41d6e + i)() | 1u;  // odd ids, disjoint in practice
+    bridge.nickname = "bridge" + std::to_string(i);
+    bridge.bandwidth_kbps =
+        static_cast<std::uint32_t>(std::min(1e6, 128.0 + rng.lognormal(7.5, 1.0)));
+    bridge.base_latency_ms = 25.0 + rng.exponential(1.0 / 40.0);
+    // Bridges are entries by construction; they carry no consensus flags.
+    bridge.flags.guard = true;
+    bridge.flags.stable = true;
+    bridges.push_back(std::move(bridge));
+  }
+  return BridgeSet{std::move(bridges)};
+}
+
+const RelayDescriptor& BridgeSet::bridge(std::uint64_t id) const {
+  for (const auto& b : bridges_) {
+    if (b.id == id) return b;
+  }
+  throw std::out_of_range("BridgeSet: unknown bridge id");
+}
+
+bool BridgeSet::contains(std::uint64_t id) const noexcept {
+  for (const auto& b : bridges_) {
+    if (b.id == id) return true;
+  }
+  return false;
+}
+
+const RelayDescriptor& BridgeSet::pick(util::Rng& rng) const {
+  std::vector<double> weights;
+  weights.reserve(bridges_.size());
+  for (const auto& b : bridges_) weights.push_back(static_cast<double>(b.bandwidth_kbps));
+  return bridges_[rng.categorical(weights)];
+}
+
+Consensus::Consensus(std::vector<RelayDescriptor> relays) : relays_(std::move(relays)) {
+  if (relays_.empty()) throw std::invalid_argument("Consensus: no relays");
+  std::sort(relays_.begin(), relays_.end(),
+            [](const RelayDescriptor& a, const RelayDescriptor& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < relays_.size(); ++i) {
+    if (relays_[i].id == relays_[i - 1].id) {
+      throw std::invalid_argument("Consensus: duplicate relay id");
+    }
+  }
+}
+
+Consensus Consensus::synthetic(std::size_t size, util::Rng& rng) {
+  if (size < 8) throw std::invalid_argument("Consensus::synthetic: need >= 8 relays");
+  std::vector<RelayDescriptor> relays;
+  relays.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    RelayDescriptor relay;
+    relay.id = rng.split(i)();  // unique with overwhelming probability
+    relay.nickname = "relay" + std::to_string(i);
+    // Heavy-tailed bandwidth, as in the live network.
+    relay.bandwidth_kbps =
+        static_cast<std::uint32_t>(std::min(1e7, 256.0 + rng.lognormal(8.5, 1.2)));
+    relay.base_latency_ms = 15.0 + rng.exponential(1.0 / 35.0);
+    relay.flags.guard = rng.bernoulli(0.33);
+    relay.flags.exit = rng.bernoulli(0.15);
+    relay.flags.hsdir = rng.bernoulli(0.45);
+    relay.flags.stable = rng.bernoulli(0.9);
+    relays.push_back(std::move(relay));
+  }
+  // Deduplicate ids defensively (collisions are ~impossible but cheap to fix).
+  std::sort(relays.begin(), relays.end(),
+            [](const RelayDescriptor& a, const RelayDescriptor& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < relays.size(); ++i) {
+    if (relays[i].id == relays[i - 1].id) ++relays[i].id;
+  }
+  return Consensus{std::move(relays)};
+}
+
+const RelayDescriptor& Consensus::relay(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      relays_.begin(), relays_.end(), id,
+      [](const RelayDescriptor& r, std::uint64_t key) { return r.id < key; });
+  if (it == relays_.end() || it->id != id) {
+    throw std::out_of_range("Consensus: unknown relay id");
+  }
+  return *it;
+}
+
+std::vector<std::uint64_t> Consensus::responsible_hsdirs(std::uint64_t key,
+                                                         std::size_t count) const {
+  // Relays are sorted by id; walk the ring clockwise from `key`.
+  std::vector<std::uint64_t> result;
+  const auto start = std::lower_bound(
+      relays_.begin(), relays_.end(), key,
+      [](const RelayDescriptor& r, std::uint64_t k) { return r.id < k; });
+  std::size_t index = static_cast<std::size_t>(start - relays_.begin()) % relays_.size();
+  for (std::size_t seen = 0; seen < relays_.size() && result.size() < count; ++seen) {
+    const auto& candidate = relays_[(index + seen) % relays_.size()];
+    if (candidate.flags.hsdir) result.push_back(candidate.id);
+  }
+  return result;
+}
+
+void Consensus::throw_no_candidate() {
+  throw std::runtime_error("Consensus: no relay satisfies the predicate");
+}
+
+}  // namespace tzgeo::tor

@@ -1,0 +1,101 @@
+// Tor network model: relays and the consensus directory.
+//
+// Background Section II of the paper describes the Tor architecture the
+// crawling pipeline runs on: circuits of guard/middle/exit relays, hidden
+// service directories, introduction and rendezvous points.  This module
+// models that network at the level the measurement pipeline observes it —
+// relay selection and per-hop latency — not at the cryptographic level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::tor {
+
+/// Relay capability flags (subset relevant to circuit construction).
+struct RelayFlags {
+  bool guard = false;
+  bool exit = false;
+  bool hsdir = false;  ///< hidden service directory
+  bool stable = true;
+};
+
+/// One relay in the consensus.
+struct RelayDescriptor {
+  std::uint64_t id = 0;          ///< fingerprint surrogate
+  std::string nickname;
+  std::uint32_t bandwidth_kbps = 0;
+  double base_latency_ms = 0.0;  ///< one-way forwarding latency
+  RelayFlags flags;
+};
+
+/// A set of unlisted bridge relays (Background II-A: "Some Tor relays —
+/// 'bridges' — are not listed in the main Tor directory, to make it more
+/// difficult for ISPs or other entities to identify or block access to
+/// Tor").  A censored client uses a bridge as its entry instead of a
+/// consensus guard.
+class BridgeSet {
+ public:
+  explicit BridgeSet(std::vector<RelayDescriptor> bridges);
+
+  /// Synthetic bridges (never overlapping consensus ids).
+  [[nodiscard]] static BridgeSet synthetic(std::size_t size, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<RelayDescriptor>& bridges() const noexcept {
+    return bridges_;
+  }
+  [[nodiscard]] const RelayDescriptor& bridge(std::uint64_t id) const;
+  [[nodiscard]] bool contains(std::uint64_t id) const noexcept;
+
+  /// Bandwidth-weighted pick (a client typically configures 1-2 bridges).
+  [[nodiscard]] const RelayDescriptor& pick(util::Rng& rng) const;
+
+ private:
+  std::vector<RelayDescriptor> bridges_;
+};
+
+/// The network consensus: all known relays with selection helpers.
+class Consensus {
+ public:
+  explicit Consensus(std::vector<RelayDescriptor> relays);
+
+  /// Builds a synthetic consensus with realistic proportions: ~7000 relays,
+  /// of which roughly a third are guards, ~1000 exits, ~3000 HSDirs
+  /// (the paper quotes ~7000 relays in 2018).  `size` scales everything.
+  [[nodiscard]] static Consensus synthetic(std::size_t size, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<RelayDescriptor>& relays() const noexcept { return relays_; }
+  [[nodiscard]] const RelayDescriptor& relay(std::uint64_t id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return relays_.size(); }
+
+  /// Bandwidth-weighted random pick among relays satisfying `predicate`.
+  /// Throws std::runtime_error when no relay qualifies.
+  template <typename Predicate>
+  [[nodiscard]] const RelayDescriptor& pick(util::Rng& rng, Predicate&& predicate) const {
+    std::vector<double> weights(relays_.size(), 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < relays_.size(); ++i) {
+      if (predicate(relays_[i])) {
+        weights[i] = static_cast<double>(relays_[i].bandwidth_kbps);
+        any = true;
+      }
+    }
+    if (!any) throw_no_candidate();
+    return relays_[rng.categorical(weights)];
+  }
+
+  /// The `count` HSDirs whose ids are closest (in circular id space) to
+  /// `key` — the "responsible" hidden service directories.
+  [[nodiscard]] std::vector<std::uint64_t> responsible_hsdirs(std::uint64_t key,
+                                                              std::size_t count) const;
+
+ private:
+  [[noreturn]] static void throw_no_candidate();
+
+  std::vector<RelayDescriptor> relays_;
+};
+
+}  // namespace tzgeo::tor

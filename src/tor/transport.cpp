@@ -1,0 +1,112 @@
+#include "tor/transport.hpp"
+
+#include <utility>
+
+namespace tzgeo::tor {
+
+namespace {
+
+/// The censored client's private view: public relays plus its bridges.
+[[nodiscard]] Consensus augment_with_bridges(const Consensus& consensus,
+                                             const BridgeSet& bridges) {
+  std::vector<RelayDescriptor> relays = consensus.relays();
+  for (const auto& bridge : bridges.bridges()) relays.push_back(bridge);
+  return Consensus{std::move(relays)};
+}
+
+}  // namespace
+
+OnionTransport::OnionTransport(const Consensus& consensus, util::SimClock& clock,
+                               std::uint64_t seed, TransportOptions options)
+    : consensus_(consensus),
+      directory_(consensus),
+      protocol_(consensus, directory_),
+      clock_(clock),
+      rng_(seed),
+      options_(options) {
+  // A client session pins one entry guard for its lifetime.
+  guard_id_ = CircuitBuilder{consensus_}.sample_guard(rng_);
+}
+
+OnionTransport::OnionTransport(const Consensus& consensus, const BridgeSet& bridges,
+                               util::SimClock& clock, std::uint64_t seed,
+                               TransportOptions options)
+    : client_view_(augment_with_bridges(consensus, bridges)),
+      consensus_(*client_view_),
+      directory_(consensus_),
+      protocol_(consensus_, directory_),
+      clock_(clock),
+      rng_(seed),
+      options_(options) {
+  // A censored client enters through one of its configured bridges.
+  guard_id_ = bridges.pick(rng_).id;
+}
+
+std::string OnionTransport::host(std::uint64_t service_key, ServiceHandler handler) {
+  const HiddenServiceDescriptor descriptor = protocol_.host_service(service_key, 3, rng_);
+  handlers_[descriptor.onion] = std::move(handler);
+  return descriptor.onion;
+}
+
+const RendezvousConnection& OnionTransport::connection_for(const std::string& onion) {
+  // Scheduled rotation: retire the circuit after its request budget.
+  const auto existing = connections_.find(onion);
+  if (existing != connections_.end()) {
+    if (options_.requests_per_circuit == 0 ||
+        requests_on_circuit_[onion] < options_.requests_per_circuit) {
+      return existing->second;
+    }
+    connections_.erase(existing);
+    ++stats_.circuit_rotations;
+  }
+
+  auto connection = protocol_.connect(onion, rng_, guard_id_);
+  if (!connection) {
+    throw TransportError("onion address not found: " + onion);
+  }
+  ++stats_.circuits_built;
+  requests_on_circuit_[onion] = 0;
+  clock_.advance_millis(static_cast<std::int64_t>(connection->setup_latency_ms));
+  stats_.total_latency_ms += connection->setup_latency_ms;
+  return connections_.emplace(onion, std::move(*connection)).first->second;
+}
+
+Response OnionTransport::fetch(const std::string& onion, const Request& request) {
+  const auto handler_it = handlers_.find(onion);
+  if (handler_it == handlers_.end()) {
+    throw TransportError("onion address not found: " + onion);
+  }
+
+  int rate_limit_retries = 0;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    const RendezvousConnection& connection = connection_for(onion);
+    const double latency = connection.round_trip_ms(consensus_) +
+                           rng_.exponential(1.0 / std::max(options_.jitter_ms, 1e-9));
+    clock_.advance_millis(static_cast<std::int64_t>(latency));
+    stats_.total_latency_ms += latency;
+    ++stats_.requests;
+    ++requests_on_circuit_[onion];
+
+    if (rng_.bernoulli(options_.failure_probability)) {
+      // Circuit dropped mid-request: tear down and retry on a fresh one.
+      ++stats_.failures;
+      connections_.erase(onion);
+      continue;
+    }
+    const Response response = handler_it->second(request, clock_.now_seconds());
+    if (response.status == 429 && options_.rate_limit_backoff_seconds > 0 &&
+        rate_limit_retries < options_.max_rate_limit_retries) {
+      // Throttled: be polite, wait out the window, and do not burn a
+      // circuit-failure retry on it.
+      ++rate_limit_retries;
+      ++stats_.rate_limit_waits;
+      clock_.advance_seconds(options_.rate_limit_backoff_seconds);
+      --attempt;
+      continue;
+    }
+    return response;
+  }
+  throw TransportError("request to " + onion + request.path + " failed after retries");
+}
+
+}  // namespace tzgeo::tor

@@ -1,0 +1,158 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tzgeo::util {
+
+namespace {
+
+struct Scale {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] int row_of(double value, int height) const noexcept {
+    if (hi <= lo) return 0;
+    const double t = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+    return static_cast<int>(std::lround(t * height));
+  }
+};
+
+[[nodiscard]] Scale make_scale(const std::vector<double>& values,
+                               const std::vector<OverlaySeries>& overlays,
+                               const ChartOptions& options) {
+  Scale s;
+  s.lo = options.y_min;
+  if (options.y_max >= options.y_min) {
+    s.hi = options.y_max;
+    return s;
+  }
+  double hi = 0.0;
+  for (const double v : values) hi = std::max(hi, v);
+  for (const auto& o : overlays) {
+    for (const double v : o.values) hi = std::max(hi, v);
+  }
+  s.hi = hi > s.lo ? hi * 1.05 : s.lo + 1.0;
+  return s;
+}
+
+}  // namespace
+
+std::string bar_chart_with_overlays(const std::vector<std::string>& labels,
+                                    const std::vector<double>& values,
+                                    const std::vector<OverlaySeries>& overlays,
+                                    const ChartOptions& options) {
+  if (labels.size() != values.size()) {
+    throw std::invalid_argument("bar_chart: labels/values arity mismatch");
+  }
+  for (const auto& o : overlays) {
+    if (o.values.size() != values.size()) {
+      throw std::invalid_argument("bar_chart: overlay arity mismatch");
+    }
+  }
+  const int height = std::max(options.height, 3);
+  const int bar_w = std::max(options.bar_width, 1);
+  const Scale scale = make_scale(values, overlays, options);
+
+  // Grid: height rows x (bars * (bar_w + 1)) columns.
+  const std::size_t width = values.size() * static_cast<std::size_t>(bar_w + 1);
+  std::vector<std::string> grid(static_cast<std::size_t>(height), std::string(width, ' '));
+
+  for (std::size_t b = 0; b < values.size(); ++b) {
+    const int top = scale.row_of(values[b], height);
+    const std::size_t col0 = b * static_cast<std::size_t>(bar_w + 1);
+    for (int r = 0; r < top; ++r) {
+      for (int w = 0; w < bar_w; ++w) {
+        grid[static_cast<std::size_t>(height - 1 - r)][col0 + static_cast<std::size_t>(w)] = '#';
+      }
+    }
+  }
+  for (const auto& o : overlays) {
+    for (std::size_t b = 0; b < o.values.size(); ++b) {
+      const int row = scale.row_of(o.values[b], height);
+      const int r = std::clamp(height - row, 0, height - 1);
+      const std::size_t col =
+          b * static_cast<std::size_t>(bar_w + 1) + static_cast<std::size_t>(bar_w / 2);
+      grid[static_cast<std::size_t>(r)][col] = o.glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  const std::size_t axis_w = 10;
+  for (int r = 0; r < height; ++r) {
+    const double tick =
+        scale.lo + (scale.hi - scale.lo) * static_cast<double>(height - r) / height;
+    std::string label;
+    if (r % 3 == 0) label = format_fixed(tick, options.precision);
+    out += pad_left(label, axis_w) + " |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += pad_left("", axis_w) + " +" + std::string(width, '-') + "\n";
+
+  // Label row: centered under each bar, truncated to the bar cell.
+  std::string label_row(width, ' ');
+  for (std::size_t b = 0; b < labels.size(); ++b) {
+    const std::size_t col0 = b * static_cast<std::size_t>(bar_w + 1);
+    std::string lbl = labels[b].substr(0, static_cast<std::size_t>(bar_w));
+    for (std::size_t i = 0; i < lbl.size(); ++i) label_row[col0 + i] = lbl[i];
+  }
+  out += pad_left("", axis_w) + "  " + label_row + "\n";
+
+  if (!overlays.empty()) {
+    out += pad_left("", axis_w) + "  legend: bars=data";
+    for (const auto& o : overlays) {
+      out += ", ";
+      out.push_back(o.glyph);
+      out += "=" + o.name;
+    }
+    out += "\n";
+  }
+  if (!options.y_label.empty()) {
+    out += pad_left("", axis_w) + "  y: " + options.y_label + "\n";
+  }
+  return out;
+}
+
+std::string bar_chart(const std::vector<std::string>& labels, const std::vector<double>& values,
+                      const ChartOptions& options) {
+  return bar_chart_with_overlays(labels, values, {}, options);
+}
+
+std::string profile_chart(const std::vector<double>& hourly, const ChartOptions& options) {
+  std::vector<std::string> labels;
+  labels.reserve(hourly.size());
+  for (std::size_t h = 0; h < hourly.size(); ++h) labels.push_back(std::to_string(h));
+  return bar_chart(labels, hourly, options);
+}
+
+std::string text_table(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      throw std::invalid_argument("text_table: row arity mismatch");
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto render = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + pad_right(row[c], widths[c]) + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (const std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render(header) + sep;
+  for (const auto& row : rows) out += render(row);
+  out += sep;
+  return out;
+}
+
+}  // namespace tzgeo::util

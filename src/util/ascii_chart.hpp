@@ -1,0 +1,53 @@
+// Terminal chart rendering.
+//
+// The bench harness regenerates every figure of the paper; since the output
+// medium is a terminal, figures are rendered as ASCII bar/line charts with
+// labelled axes.  The renderer is deliberately dependency-free and pure
+// (string in, string out) so it is easy to golden-test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tzgeo::util {
+
+/// Options shared by all chart kinds.
+struct ChartOptions {
+  std::string title;
+  std::string y_label;
+  int height = 12;       ///< number of character rows for the plot area
+  int bar_width = 3;     ///< characters per bar (bar charts)
+  int precision = 3;     ///< y-axis tick precision
+  double y_min = 0.0;    ///< lower bound of the y axis
+  double y_max = -1.0;   ///< upper bound; < y_min means auto-scale
+};
+
+/// One overlay series drawn on top of a bar chart (e.g. a fitted Gaussian
+/// drawn over a placement histogram), sampled at the bar positions.
+struct OverlaySeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> values;  ///< same arity as the bars
+};
+
+/// Renders a vertical bar chart with per-bar labels.
+/// `labels` and `values` must have equal arity.
+[[nodiscard]] std::string bar_chart(const std::vector<std::string>& labels,
+                                    const std::vector<double>& values,
+                                    const ChartOptions& options = {});
+
+/// Bar chart with one or more overlay curves (markers drawn over the bars).
+[[nodiscard]] std::string bar_chart_with_overlays(const std::vector<std::string>& labels,
+                                                  const std::vector<double>& values,
+                                                  const std::vector<OverlaySeries>& overlays,
+                                                  const ChartOptions& options = {});
+
+/// Renders an hour-of-day activity profile (24 bins, labels 0..23).
+[[nodiscard]] std::string profile_chart(const std::vector<double>& hourly,
+                                        const ChartOptions& options = {});
+
+/// A simple aligned two-column table (used for Table I / Table II output).
+[[nodiscard]] std::string text_table(const std::vector<std::string>& header,
+                                     const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace tzgeo::util

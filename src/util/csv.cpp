@@ -1,0 +1,136 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tzgeo::util {
+
+namespace {
+
+[[nodiscard]] bool needs_quoting(std::string_view field, char sep) noexcept {
+  for (const char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void append_field(std::string& out, std::string_view field, char sep) {
+  if (!needs_quoting(field, sep)) {
+    out.append(field);
+    return;
+  }
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+[[nodiscard]] std::string render_row(const std::vector<std::string>& fields, char sep) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line.push_back(sep);
+    append_field(line, fields[i], sep);
+  }
+  line.push_back('\n');
+  return line;
+}
+
+}  // namespace
+
+std::size_t CsvTable::column(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << render_row(fields, sep_);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_fixed(v, precision));
+  write_row(fields);
+}
+
+std::string to_csv(const CsvTable& table, char sep) {
+  std::string out = render_row(table.header, sep);
+  for (const auto& row : table.rows) out += render_row(row, sep);
+  return out;
+}
+
+CsvTable parse_csv(std::string_view text, char sep) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto finish_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  const auto finish_row = [&] {
+    finish_field();
+    if (table.header.empty()) {
+      table.header = std::move(row);
+    } else {
+      if (row.size() != table.header.size()) {
+        throw std::invalid_argument("CSV row arity mismatch");
+      }
+      table.rows.push_back(std::move(row));
+    }
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) finish_row();
+        break;
+      default:
+        if (c == sep) {
+          finish_field();
+        } else {
+          field.push_back(c);
+        }
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("CSV: unterminated quoted field");
+  if (row_has_content || !field.empty() || !row.empty()) finish_row();
+  return table;
+}
+
+}  // namespace tzgeo::util

@@ -1,0 +1,50 @@
+// Minimal CSV reading/writing used by the bench harness to persist
+// per-figure data series alongside the terminal rendering.
+//
+// Supports RFC-4180-style quoting (fields containing the separator, quotes,
+// or newlines are double-quoted; embedded quotes are doubled).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tzgeo::util {
+
+/// A parsed CSV document: a header row plus data rows of equal arity.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or npos when missing.
+  [[nodiscard]] std::size_t column(std::string_view name) const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  /// Writes one row, quoting fields as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with `precision` digits.
+  void write_row(const std::vector<double>& values, int precision = 6);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Serializes a whole table (header + rows).
+[[nodiscard]] std::string to_csv(const CsvTable& table, char sep = ',');
+
+/// Parses CSV text. The first row becomes the header.
+/// Throws std::invalid_argument on unterminated quotes or ragged rows.
+[[nodiscard]] CsvTable parse_csv(std::string_view text, char sep = ',');
+
+}  // namespace tzgeo::util

@@ -1,0 +1,152 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tzgeo::util {
+
+std::string json_quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kInteger;
+  v.integer_ = value;
+  return v;
+}
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string_view value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::string{value};
+  return v;
+}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (kind_ != Kind::kArray) throw std::logic_error("JsonValue::push on non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
+  if (kind_ != Kind::kObject) throw std::logic_error("JsonValue::set on non-object");
+  fields_.emplace_back(std::string{key}, std::move(value));
+  return *this;
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const std::string pad = indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                                              (static_cast<std::size_t>(depth) + 1),
+                                                          ' ')
+                                     : "";
+  const std::string close_pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          static_cast<std::size_t>(depth),
+                                      ' ')
+                 : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInteger:
+      out += std::to_string(integer_);
+      break;
+    case Kind::kNumber: {
+      if (!std::isfinite(number_)) {
+        out += "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buffer[40];
+      std::snprintf(buffer, sizeof buffer, "%.10g", number_);
+      out += buffer;
+      break;
+    }
+    case Kind::kString:
+      out += json_quote(string_);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += pad;
+        items_[i].write(out, indent, depth + 1);
+      }
+      if (!items_.empty()) out += close_pad;
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += pad;
+        out += json_quote(fields_[i].first);
+        out += indent > 0 ? ": " : ":";
+        fields_[i].second.write(out, indent, depth + 1);
+      }
+      if (!fields_.empty()) out += close_pad;
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace tzgeo::util

@@ -1,0 +1,56 @@
+// Minimal JSON writing.
+//
+// The CLI offers machine-readable output (`--json`) so investigation
+// results can feed scripts and dashboards; this is a small, dependency-free
+// *writer* (the library never needs to parse JSON).  Values are built
+// bottom-up; objects preserve insertion order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tzgeo::util {
+
+/// Escapes a string for embedding in a JSON document (adds the quotes).
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+/// A JSON value under construction.
+class JsonValue {
+ public:
+  /// Scalars.
+  [[nodiscard]] static JsonValue number(double value);
+  [[nodiscard]] static JsonValue integer(std::int64_t value);
+  [[nodiscard]] static JsonValue boolean(bool value);
+  [[nodiscard]] static JsonValue string(std::string_view value);
+  [[nodiscard]] static JsonValue null();
+
+  /// Containers.
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  /// Appends to an array value (must be an array).
+  JsonValue& push(JsonValue value);
+  /// Sets a key on an object value (must be an object).
+  JsonValue& set(std::string_view key, JsonValue value);
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+}  // namespace tzgeo::util

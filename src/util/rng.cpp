@@ -1,0 +1,171 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tzgeo::util {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  // Fold through splitmix64 for better avalanche on short strings.
+  return splitmix64(h);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  for (auto& word : state_) {
+    word = splitmix64(seed);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t key) noexcept {
+  // Mix the key with fresh output so children of the same parent differ
+  // and the parent stream advances (no child/parent overlap).
+  std::uint64_t mix = (*this)() ^ (key * 0x9e3779b97f4a7c15ULL);
+  return Rng{splitmix64(mix)};
+}
+
+Rng Rng::split(std::string_view key) noexcept { return split(hash64(key)); }
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  // The 128-bit multiply for Lemire's unbiased bounded generation is a GCC/
+  // Clang extension; scoped typedef keeps -Wpedantic quiet about it.
+  __extension__ using Uint128 = unsigned __int128;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = (*this)();
+  auto m = static_cast<Uint128>(x) * span;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<Uint128>(x) * span;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; discard the second variate for simplicity and stream purity.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double lambda) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint32_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-lambda);
+    double product = uniform();
+    std::uint32_t count = 0;
+    while (product > limit) {
+      product *= uniform();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction, rejecting negatives.
+  for (;;) {
+    const double draw = normal(lambda, std::sqrt(lambda));
+    if (draw >= -0.5) return static_cast<std::uint32_t>(draw + 0.5);
+  }
+}
+
+std::uint32_t Rng::zipf(std::uint32_t n, double s) noexcept {
+  if (n <= 1) return 1;
+  // Rejection sampling (Devroye): works for any s > 0, O(1) expected.
+  const double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    const double u = uniform();
+    const double v = uniform();
+    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0 == 0.0 ? 1e-9 : s - 1.0)));
+    if (s == 1.0) {
+      // Harmonic special case: inverse CDF on log-scale approximation.
+      const double k = std::pow(static_cast<double>(n) + 1.0, u);
+      const auto candidate = static_cast<std::uint32_t>(k);
+      if (candidate >= 1 && candidate <= n) return candidate;
+      continue;
+    }
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<std::uint32_t>(x);
+    }
+  }
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // numerical tail
+}
+
+}  // namespace tzgeo::util

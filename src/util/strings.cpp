@@ -1,0 +1,125 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace tzgeo::util {
+
+namespace {
+
+[[nodiscard]] bool is_space(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  return split(text, std::string_view{&sep, 1});
+}
+
+std::vector<std::string_view> split(std::string_view text, std::string_view sep) {
+  std::vector<std::string_view> fields;
+  if (sep.empty()) {
+    fields.push_back(text);
+    return fields;
+  }
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t next = text.find(sep, pos);
+    if (next == std::string_view::npos) {
+      fields.push_back(text.substr(pos));
+      return fields;
+    }
+    fields.push_back(text.substr(pos, next - pos));
+    pos = next + sep.size();
+  }
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string{text};
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t next = text.find(from, pos);
+    if (next == std::string_view::npos) {
+      out.append(text.substr(pos));
+      return out;
+    }
+    out.append(text.substr(pos, next - pos));
+    out.append(to);
+    pos = next + from.size();
+  }
+}
+
+std::optional<std::string_view> extract_between(std::string_view text, std::string_view open,
+                                                std::string_view close,
+                                                std::size_t& pos) noexcept {
+  const std::size_t begin = text.find(open, pos);
+  if (begin == std::string_view::npos) return std::nullopt;
+  const std::size_t content = begin + open.size();
+  const std::size_t end = text.find(close, content);
+  if (end == std::string_view::npos) return std::nullopt;
+  pos = end + close.size();
+  return text.substr(content, end - content);
+}
+
+std::string pad_left(std::string_view text, std::size_t width, char fill) {
+  if (text.size() >= width) return std::string{text};
+  std::string out(width - text.size(), fill);
+  out.append(text);
+  return out;
+}
+
+std::string pad_right(std::string_view text, std::size_t width, char fill) {
+  std::string out{text};
+  if (out.size() < width) out.append(width - out.size(), fill);
+  return out;
+}
+
+std::string format_fixed(double value, int precision) {
+  char buffer[64];
+  const int written = std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return std::string(buffer, written > 0 ? static_cast<std::size_t>(written) : 0);
+}
+
+}  // namespace tzgeo::util

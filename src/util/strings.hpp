@@ -1,0 +1,51 @@
+// Small string helpers shared by the forum parser and CSV layer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tzgeo::util {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on a full delimiter string; empty fields are preserved.
+/// An empty delimiter yields {text}.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, std::string_view sep);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view text) noexcept;
+
+/// Parses a double; rejects trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string_view text, std::string_view from,
+                                      std::string_view to);
+
+/// Extracts the text between the first occurrence of `open` after `pos`
+/// and the next occurrence of `close`.  On success, advances `pos` past
+/// the closing delimiter.  Returns std::nullopt when not found.
+[[nodiscard]] std::optional<std::string_view> extract_between(std::string_view text,
+                                                              std::string_view open,
+                                                              std::string_view close,
+                                                              std::size_t& pos) noexcept;
+
+/// Left-pads with `fill` to `width` (no-op if already wider).
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width, char fill = ' ');
+/// Right-pads with `fill` to `width`.
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width, char fill = ' ');
+
+/// Formats a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+}  // namespace tzgeo::util

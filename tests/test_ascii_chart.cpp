@@ -1,0 +1,92 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tzgeo::util {
+namespace {
+
+TEST(BarChart, ContainsTitleAndLabels) {
+  ChartOptions options;
+  options.title = "My Chart";
+  const auto chart = bar_chart({"ab", "cd"}, {1.0, 2.0}, options);
+  EXPECT_NE(chart.find("My Chart"), std::string::npos);
+  EXPECT_NE(chart.find("ab"), std::string::npos);
+  EXPECT_NE(chart.find("cd"), std::string::npos);
+}
+
+TEST(BarChart, TallerValueDrawsMoreFill) {
+  const auto chart = bar_chart({"a", "b"}, {0.1, 1.0});
+  // Count '#' glyphs per column is awkward; total count must exceed what a
+  // single bar of the low value alone would draw.
+  const auto hashes = static_cast<long>(std::count(chart.begin(), chart.end(), '#'));
+  EXPECT_GT(hashes, 10);
+}
+
+TEST(BarChart, ArityMismatchThrows) {
+  EXPECT_THROW(bar_chart({"a"}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(BarChart, OverlayGlyphAppears) {
+  OverlaySeries overlay{"fit", '*', {0.5, 0.5}};
+  const auto chart = bar_chart_with_overlays({"a", "b"}, {1.0, 0.2}, {overlay});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  EXPECT_NE(chart.find("fit"), std::string::npos);
+}
+
+TEST(BarChart, OverlayArityMismatchThrows) {
+  OverlaySeries overlay{"fit", '*', {0.5}};
+  EXPECT_THROW(bar_chart_with_overlays({"a", "b"}, {1.0, 0.2}, {overlay}),
+               std::invalid_argument);
+}
+
+TEST(BarChart, ZeroValuesProduceNoFill) {
+  const auto chart = bar_chart({"a", "b"}, {0.0, 0.0});
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '#'), 0);
+}
+
+TEST(BarChart, FixedScaleRespected) {
+  ChartOptions options;
+  options.y_min = 0.0;
+  options.y_max = 100.0;
+  options.height = 10;
+  const auto chart = bar_chart({"a"}, {5.0}, options);
+  // 5% of 10 rows rounds to one filled row at most.
+  EXPECT_LE(std::count(chart.begin(), chart.end(), '#'),
+            3 * 2);  // bar_width=3, at most 2 rows
+}
+
+TEST(ProfileChart, TwentyFourLabels) {
+  std::vector<double> hourly(24, 0.04);
+  hourly[20] = 0.2;
+  const auto chart = profile_chart(hourly);
+  EXPECT_NE(chart.find("23"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  const auto table = text_table({"Region", "Users"}, {{"Brazil", "3763"}, {"UK", "3231"}});
+  EXPECT_NE(table.find("Region"), std::string::npos);
+  EXPECT_NE(table.find("Brazil"), std::string::npos);
+  // Every body line has the same width as the header line.
+  std::size_t first_len = table.find('\n');
+  for (std::size_t pos = 0; pos < table.size();) {
+    const std::size_t next = table.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, RaggedRowThrows) {
+  EXPECT_THROW(text_table({"a", "b"}, {{"only-one"}}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyRowsStillRendersHeader) {
+  const auto table = text_table({"h1"}, {});
+  EXPECT_NE(table.find("h1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tzgeo::util

@@ -1,0 +1,141 @@
+#include "core/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] HourlyProfile canonical_shape() {
+  std::vector<double> counts(24, 0.01);
+  counts[9] = 0.2;
+  counts[19] = 0.3;
+  counts[20] = 0.4;
+  counts[21] = 0.3;
+  return HourlyProfile::from_counts(counts);
+}
+
+[[nodiscard]] std::vector<UserProfileEntry> crowd_at(std::int32_t zone, std::size_t size,
+                                                     std::uint64_t seed,
+                                                     const TimeZoneProfiles& zones) {
+  util::Rng rng{seed};
+  std::vector<UserProfileEntry> users;
+  for (std::size_t i = 0; i < size; ++i) {
+    const auto delta = static_cast<std::int32_t>(std::lround(rng.normal(0.0, 2.0)));
+    std::int32_t z = zone - delta;
+    while (z < kMinZone) z += 24;
+    while (z > kMaxZone) z -= 24;
+    users.push_back(UserProfileEntry{static_cast<std::uint64_t>(i), 60,
+                                     zones.zone_profile(z)});
+  }
+  return users;
+}
+
+TEST(Bootstrap, SingleRegionIntervalsCoverTruth) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = crowd_at(3, 250, 7, zones);
+  BootstrapOptions options;
+  options.resamples = 100;
+  const BootstrapResult result = bootstrap_geolocation(users, zones, {}, options);
+  ASSERT_EQ(result.components.size(), 1u);
+  const auto& interval = result.components[0];
+  EXPECT_LE(interval.mean_lo, interval.point.mean_zone);
+  EXPECT_GE(interval.mean_hi, interval.point.mean_zone);
+  EXPECT_LE(interval.mean_lo, 3.5);
+  EXPECT_GE(interval.mean_hi, 2.5);
+  EXPECT_GT(interval.support, 0.9);
+  EXPECT_GT(result.component_count_stability, 0.8);
+  EXPECT_EQ(result.resamples, 100);
+}
+
+TEST(Bootstrap, WeightIntervalsBracketPointEstimate) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  auto users = crowd_at(-6, 120, 9, zones);
+  const auto europe = crowd_at(1, 230, 10, zones);
+  users.insert(users.end(), europe.begin(), europe.end());
+  BootstrapOptions options;
+  options.resamples = 100;
+  const BootstrapResult result = bootstrap_geolocation(users, zones, {}, options);
+  ASSERT_EQ(result.components.size(), 2u);
+  for (const auto& interval : result.components) {
+    EXPECT_LE(interval.weight_lo, interval.point.weight + 1e-9);
+    EXPECT_GE(interval.weight_hi, interval.point.weight - 1e-9);
+    EXPECT_GT(interval.weight_lo, 0.0);
+    EXPECT_LT(interval.weight_hi, 1.0);
+  }
+}
+
+TEST(Bootstrap, LargerCrowdTightensIntervals) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  BootstrapOptions options;
+  options.resamples = 80;
+  const auto small_result =
+      bootstrap_geolocation(crowd_at(5, 60, 11, zones), zones, {}, options);
+  const auto large_result =
+      bootstrap_geolocation(crowd_at(5, 600, 12, zones), zones, {}, options);
+  ASSERT_FALSE(small_result.components.empty());
+  ASSERT_FALSE(large_result.components.empty());
+  const double small_width =
+      small_result.components[0].mean_hi - small_result.components[0].mean_lo;
+  const double large_width =
+      large_result.components[0].mean_hi - large_result.components[0].mean_lo;
+  EXPECT_LT(large_width, small_width);
+}
+
+TEST(Bootstrap, DeterministicForSameSeed) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = crowd_at(0, 100, 13, zones);
+  BootstrapOptions options;
+  options.resamples = 50;
+  const auto a = bootstrap_geolocation(users, zones, {}, options);
+  const auto b = bootstrap_geolocation(users, zones, {}, options);
+  ASSERT_EQ(a.components.size(), b.components.size());
+  for (std::size_t i = 0; i < a.components.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.components[i].mean_lo, b.components[i].mean_lo);
+    EXPECT_DOUBLE_EQ(a.components[i].weight_hi, b.components[i].weight_hi);
+  }
+}
+
+TEST(Bootstrap, ValidatesOptions) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = crowd_at(0, 50, 14, zones);
+  BootstrapOptions bad;
+  bad.resamples = 0;
+  EXPECT_THROW(bootstrap_geolocation(users, zones, {}, bad), std::invalid_argument);
+  bad.resamples = 10;
+  bad.confidence = 1.0;
+  EXPECT_THROW(bootstrap_geolocation(users, zones, {}, bad), std::invalid_argument);
+}
+
+TEST(DescribeBootstrap, ContainsIntervalsAndSupport) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = crowd_at(-3, 150, 15, zones);
+  BootstrapOptions options;
+  options.resamples = 60;
+  const BootstrapResult result = bootstrap_geolocation(users, zones, {}, options);
+  const std::string text = describe_bootstrap("Test crowd", result);
+  EXPECT_NE(text.find("Test crowd"), std::string::npos);
+  EXPECT_NE(text.find("resamples: 60"), std::string::npos);
+  EXPECT_NE(text.find("support"), std::string::npos);
+  EXPECT_NE(text.find("UTC-3"), std::string::npos);
+}
+
+TEST(FitMixtureToCounts, MatchesGeolocateCrowdTail) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = crowd_at(2, 200, 16, zones);
+  const GeolocationResult geo = geolocate_crowd(users, zones);
+  const MixtureFitOutcome refit = fit_mixture_to_counts(geo.placement.counts);
+  ASSERT_EQ(refit.components.size(), geo.components.size());
+  EXPECT_DOUBLE_EQ(refit.components[0].mean_zone, geo.components[0].mean_zone);
+  EXPECT_EQ(refit.fitted_curve, geo.fitted_curve);
+}
+
+TEST(FitMixtureToCounts, ValidatesBinCount) {
+  EXPECT_THROW(fit_mixture_to_counts(std::vector<double>(10, 1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

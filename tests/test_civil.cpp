@@ -1,0 +1,128 @@
+#include "timezone/civil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::tz {
+namespace {
+
+TEST(Civil, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil(CivilDate{1970, 1, 1}), 0);
+  const CivilDate date = civil_from_days(0);
+  EXPECT_EQ(date, (CivilDate{1970, 1, 1}));
+}
+
+TEST(Civil, KnownSerialDays) {
+  EXPECT_EQ(days_from_civil(CivilDate{1970, 1, 2}), 1);
+  EXPECT_EQ(days_from_civil(CivilDate{1969, 12, 31}), -1);
+  EXPECT_EQ(days_from_civil(CivilDate{2000, 3, 1}), 11017);
+  EXPECT_EQ(days_from_civil(CivilDate{2016, 1, 1}), 16801);
+}
+
+TEST(Civil, RoundTripAcrossDecades) {
+  for (std::int64_t day = -40000; day <= 40000; day += 17) {
+    EXPECT_EQ(days_from_civil(civil_from_days(day)), day);
+  }
+}
+
+TEST(Civil, RoundTripEveryDayOfLeapYear) {
+  for (std::int32_t month = 1; month <= 12; ++month) {
+    for (std::int32_t day = 1; day <= days_in_month(2016, month); ++day) {
+      const CivilDate date{2016, month, day};
+      EXPECT_EQ(civil_from_days(days_from_civil(date)), date);
+    }
+  }
+}
+
+TEST(Civil, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2016));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2017));
+  EXPECT_TRUE(is_leap_year(2400));
+}
+
+TEST(Civil, DaysInMonth) {
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2017, 2), 28);
+  EXPECT_EQ(days_in_month(2016, 4), 30);
+  EXPECT_EQ(days_in_month(2016, 12), 31);
+}
+
+TEST(Civil, WeekdayKnownDates) {
+  EXPECT_EQ(weekday_of(CivilDate{1970, 1, 1}), 4);   // Thursday
+  EXPECT_EQ(weekday_of(CivilDate{2016, 1, 1}), 5);   // Friday
+  EXPECT_EQ(weekday_of(CivilDate{2016, 3, 27}), 0);  // Sunday (EU DST start)
+  EXPECT_EQ(weekday_of(CivilDate{2018, 12, 25}), 2); // Tuesday
+}
+
+TEST(Civil, DayOfYear) {
+  EXPECT_EQ(day_of_year(CivilDate{2016, 1, 1}), 1);
+  EXPECT_EQ(day_of_year(CivilDate{2016, 12, 31}), 366);
+  EXPECT_EQ(day_of_year(CivilDate{2017, 12, 31}), 365);
+  EXPECT_EQ(day_of_year(CivilDate{2016, 3, 1}), 61);
+}
+
+TEST(Civil, NthWeekdayOfMonth) {
+  // Second Sunday of March 2016 was the 13th (US DST start).
+  EXPECT_EQ(nth_weekday_of_month(2016, 3, 0, 2), (CivilDate{2016, 3, 13}));
+  // First Sunday of November 2016 was the 6th (US DST end).
+  EXPECT_EQ(nth_weekday_of_month(2016, 11, 0, 1), (CivilDate{2016, 11, 6}));
+  // Third Sunday of October 2016 was the 16th (Brazil DST start).
+  EXPECT_EQ(nth_weekday_of_month(2016, 10, 0, 3), (CivilDate{2016, 10, 16}));
+}
+
+TEST(Civil, NthWeekdayValidation) {
+  EXPECT_THROW(nth_weekday_of_month(2016, 1, 7, 1), std::invalid_argument);
+  EXPECT_THROW(nth_weekday_of_month(2016, 1, 0, 0), std::invalid_argument);
+  // Fifth Sunday of February 2015 does not exist.
+  EXPECT_THROW(nth_weekday_of_month(2015, 2, 0, 5), std::invalid_argument);
+}
+
+TEST(Civil, LastWeekdayOfMonth) {
+  // Last Sunday of March 2016 was the 27th (EU DST start).
+  EXPECT_EQ(last_weekday_of_month(2016, 3, 0), (CivilDate{2016, 3, 27}));
+  // Last Sunday of October 2016 was the 30th (EU DST end).
+  EXPECT_EQ(last_weekday_of_month(2016, 10, 0), (CivilDate{2016, 10, 30}));
+  EXPECT_EQ(last_weekday_of_month(2016, 2, 1), (CivilDate{2016, 2, 29}));  // Monday
+}
+
+TEST(Civil, UtcSecondsRoundTrip) {
+  const CivilDateTime dt{CivilDate{2016, 7, 15}, 13, 45, 30};
+  EXPECT_EQ(from_utc_seconds(to_utc_seconds(dt)), dt);
+}
+
+TEST(Civil, UtcSecondsKnownInstant) {
+  // 2016-01-01T00:00:00Z = 1451606400.
+  EXPECT_EQ(to_utc_seconds(CivilDateTime{CivilDate{2016, 1, 1}, 0, 0, 0}), 1451606400);
+}
+
+TEST(Civil, NegativeInstantsBeforeEpoch) {
+  const CivilDateTime dt = from_utc_seconds(-1);
+  EXPECT_EQ(dt.date, (CivilDate{1969, 12, 31}));
+  EXPECT_EQ(dt.hour, 23);
+  EXPECT_EQ(dt.minute, 59);
+  EXPECT_EQ(dt.second, 59);
+}
+
+TEST(Civil, HourOfDayWithOffsets) {
+  const UtcSeconds noon = to_utc_seconds(CivilDateTime{CivilDate{2016, 6, 1}, 12, 0, 0});
+  EXPECT_EQ(hour_of_day(noon, 0), 12);
+  EXPECT_EQ(hour_of_day(noon, 3 * kSecondsPerHour), 15);
+  EXPECT_EQ(hour_of_day(noon, -13 * kSecondsPerHour), 23);
+  EXPECT_EQ(hour_of_day(noon, 13 * kSecondsPerHour), 1);  // wraps to next day
+}
+
+TEST(Civil, ToStringFormats) {
+  EXPECT_EQ(to_string(CivilDate{2016, 3, 5}), "2016-03-05");
+  EXPECT_EQ(to_string(CivilDateTime{CivilDate{2016, 3, 5}, 7, 8, 9}), "2016-03-05 07:08:09");
+}
+
+TEST(Civil, ComparisonOperators) {
+  EXPECT_LT((CivilDate{2016, 1, 1}), (CivilDate{2016, 1, 2}));
+  EXPECT_LT((CivilDate{2016, 1, 31}), (CivilDate{2016, 2, 1}));
+  EXPECT_LT((CivilDateTime{CivilDate{2016, 1, 1}, 10, 0, 0}),
+            (CivilDateTime{CivilDate{2016, 1, 1}, 10, 0, 1}));
+}
+
+}  // namespace
+}  // namespace tzgeo::tz

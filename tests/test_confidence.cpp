@@ -1,0 +1,82 @@
+// Placement margins and crowd-level confidence.
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] HourlyProfile sharp_shape() {
+  std::vector<double> counts(24, 0.005);
+  counts[9] = 0.2;
+  counts[20] = 0.5;
+  counts[21] = 0.3;
+  return HourlyProfile::from_counts(counts);
+}
+
+TEST(PlacementMargin, ExactMatchHasPositiveMargin) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  std::vector<UserProfileEntry> users{UserProfileEntry{1, 50, zones.zone_profile(4)}};
+  const PlacementResult result = place_crowd(users, zones);
+  ASSERT_EQ(result.users.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.users[0].distance, 0.0);
+  EXPECT_GT(result.users[0].runner_up_distance, 0.0);
+  EXPECT_GT(result.users[0].margin(), 0.0);
+}
+
+TEST(PlacementMargin, RunnerUpIsSecondSmallest) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  std::vector<UserProfileEntry> users{UserProfileEntry{1, 50, zones.zone_profile(0)}};
+  const PlacementResult result = place_crowd(users, zones);
+  // The runner-up for an exact zone-0 profile is a neighbouring zone,
+  // whose circular-EMD distance is at most ~1 (one hour of mass motion).
+  EXPECT_LE(result.users[0].runner_up_distance, 1.0 + 1e-9);
+  EXPECT_GT(result.users[0].runner_up_distance, 0.0);
+}
+
+TEST(PlacementMargin, AmbiguousProfileHasSmallMargin) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  // Halfway between zones 2 and 3: mass split across both templates.
+  std::vector<double> between(24, 0.0);
+  const auto& a = zones.zone_profile(2).values();
+  const auto& b = zones.zone_profile(3).values();
+  for (std::size_t h = 0; h < 24; ++h) between[h] = 0.5 * (a[h] + b[h]);
+  std::vector<UserProfileEntry> users{
+      UserProfileEntry{1, 50, HourlyProfile::from_counts(between)}};
+  const PlacementResult result = place_crowd(users, zones);
+  // The two candidate zones are nearly equidistant.
+  EXPECT_LT(result.users[0].margin(), 0.1);
+}
+
+TEST(PlacementConfidenceSummary, SharpCrowdIsDecisive) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  std::vector<UserProfileEntry> users;
+  for (std::int32_t z = -5; z <= 5; ++z) {
+    users.push_back(UserProfileEntry{static_cast<std::uint64_t>(z + 10), 50,
+                                     zones.zone_profile(z)});
+  }
+  const PlacementResult placement = place_crowd(users, zones);
+  const PlacementConfidence confidence = placement_confidence(placement);
+  EXPECT_GT(confidence.mean_margin, 0.0);
+  EXPECT_GT(confidence.median_margin, 0.0);
+  EXPECT_DOUBLE_EQ(confidence.decisive_fraction, 1.0);
+}
+
+TEST(PlacementConfidenceSummary, UniformCrowdIsNot) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  std::vector<UserProfileEntry> users(5, UserProfileEntry{1, 50, HourlyProfile{}});
+  const PlacementResult placement = place_crowd(users, zones);
+  const PlacementConfidence confidence = placement_confidence(placement);
+  // A uniform profile is equidistant from every zone template.
+  EXPECT_NEAR(confidence.mean_margin, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(confidence.decisive_fraction, 0.0);
+}
+
+TEST(PlacementConfidenceSummary, EmptyPlacement) {
+  const PlacementConfidence confidence = placement_confidence(PlacementResult{});
+  EXPECT_DOUBLE_EQ(confidence.mean_margin, 0.0);
+  EXPECT_DOUBLE_EQ(confidence.decisive_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

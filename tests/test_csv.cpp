@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tzgeo::util {
+namespace {
+
+TEST(CsvParse, HeaderAndRows) {
+  const auto table = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "a");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "4");
+}
+
+TEST(CsvParse, QuotedFieldWithSeparator) {
+  const auto table = parse_csv("name,note\nx,\"a,b\"\n");
+  EXPECT_EQ(table.rows[0][1], "a,b");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const auto table = parse_csv("a\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(table.rows[0][0], "he said \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewline) {
+  const auto table = parse_csv("a\n\"line1\nline2\"\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, ToleratesCrLf) {
+  const auto table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto table = parse_csv("a\n1");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(CsvParse, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::invalid_argument);
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::invalid_argument);
+}
+
+TEST(CsvParse, EmptyInputYieldsEmptyTable) {
+  const auto table = parse_csv("");
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvTable, ColumnLookup) {
+  const auto table = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_EQ(table.column("missing"), CsvTable::npos);
+}
+
+TEST(CsvRoundTrip, PreservesContent) {
+  CsvTable table;
+  table.header = {"region", "note"};
+  table.rows = {{"Brazil", "uses, commas"}, {"Japan", "quote \" inside"}};
+  const auto reparsed = parse_csv(to_csv(table));
+  EXPECT_EQ(reparsed.header, table.header);
+  EXPECT_EQ(reparsed.rows, table.rows);
+}
+
+TEST(CsvWriter, WritesRowsToStream) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.write_row({std::string{"a"}, std::string{"b,c"}});
+  writer.write_row(std::vector<double>{1.5, 2.0}, 1);
+  EXPECT_EQ(out.str(), "a,\"b,c\"\n1.5,2.0\n");
+}
+
+TEST(CsvWriter, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter writer{out, ';'};
+  writer.write_row({std::string{"a"}, std::string{"b"}});
+  EXPECT_EQ(out.str(), "a;b\n");
+}
+
+}  // namespace
+}  // namespace tzgeo::util

@@ -1,0 +1,215 @@
+#include "synth/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "synth/region_presets.hpp"
+#include "timezone/zone_db.hpp"
+
+namespace tzgeo::synth {
+namespace {
+
+[[nodiscard]] DatasetOptions small_options() {
+  DatasetOptions options;
+  options.scale = 0.02;
+  options.seed = 123;
+  return options;
+}
+
+TEST(RegionPresets, TableOneHasFourteenRegions) {
+  const auto& regions = table1_regions();
+  ASSERT_EQ(regions.size(), 14u);
+  std::size_t total = 0;
+  for (const auto& r : regions) total += r.active_users;
+  EXPECT_EQ(total, 22576u);  // sum of Table I counts
+}
+
+TEST(RegionPresets, LookupByName) {
+  EXPECT_EQ(table1_region("Brazil").active_users, 3763u);
+  EXPECT_EQ(table1_region("Finland").active_users, 73u);
+  EXPECT_EQ(table1_region("United Kingdom").zone, "Europe/London");
+  EXPECT_THROW(table1_region("Atlantis"), std::out_of_range);
+}
+
+TEST(RegionPresets, AllZonesResolvable) {
+  for (const auto& r : table1_regions()) {
+    EXPECT_TRUE(tz::has_zone(r.zone)) << r.zone;
+  }
+}
+
+TEST(ForumPresets, FiveForumsWithPaperCounts) {
+  const auto& forums = paper_forums();
+  ASSERT_EQ(forums.size(), 5u);
+  EXPECT_EQ(paper_forum("CRD Club").active_users, 209u);
+  EXPECT_EQ(paper_forum("CRD Club").approx_posts, 14809u);
+  EXPECT_EQ(paper_forum("Italian DarkNet Community").active_users, 52u);
+  EXPECT_EQ(paper_forum("Dream Market").approx_posts, 14499u);
+  EXPECT_EQ(paper_forum("The Majestic Garden").active_users, 638u);
+  EXPECT_EQ(paper_forum("Pedo Support Community").approx_posts, 44876u);
+  EXPECT_THROW(paper_forum("Silk Road"), std::out_of_range);
+}
+
+TEST(ForumPresets, ComponentFractionsSumToOne) {
+  for (const auto& forum : paper_forums()) {
+    double total = 0.0;
+    for (const auto& c : forum.components) {
+      total += c.fraction;
+      EXPECT_TRUE(tz::has_zone(c.zone)) << c.zone;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << forum.forum_name;
+  }
+}
+
+TEST(ForumPresets, OnionAddressesAreSixteenChars) {
+  for (const auto& forum : paper_forums()) {
+    EXPECT_EQ(forum.onion_address.size(), 16u) << forum.forum_name;
+  }
+}
+
+TEST(MakeRegionDataset, UserAndEventCounts) {
+  const auto ds = make_region_dataset(table1_region("Germany"), 50, small_options());
+  // 50 active + 25% inactive.
+  EXPECT_EQ(ds.users.size(), 63u);
+  EXPECT_GT(ds.events.size(), 50u * 30u);
+  EXPECT_EQ(ds.name, "Germany");
+}
+
+TEST(MakeRegionDataset, ActiveUsersMeetVolumeFloor) {
+  DatasetOptions options = small_options();
+  options.inactive_fraction = 0.0;
+  const auto ds = make_region_dataset(table1_region("Italy"), 40, options);
+  for (const auto& user : ds.users) {
+    EXPECT_GE(user.posts_per_year, options.active_volume_floor);
+  }
+}
+
+TEST(MakeRegionDataset, InactiveUsersBelowThreshold) {
+  DatasetOptions options = small_options();
+  options.inactive_fraction = 1.0;  // one inactive per active
+  const auto ds = make_region_dataset(table1_region("Italy"), 20, options);
+  std::size_t below = 0;
+  for (const auto& user : ds.users) {
+    if (user.posts_per_year < 30.0) ++below;
+  }
+  EXPECT_EQ(below, 20u);
+}
+
+TEST(MakeRegionDataset, DeterministicAcrossCalls) {
+  const auto a = make_region_dataset(table1_region("Japan"), 30, small_options());
+  const auto b = make_region_dataset(table1_region("Japan"), 30, small_options());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(MakeRegionDataset, SeedChangesData) {
+  auto options = small_options();
+  const auto a = make_region_dataset(table1_region("Japan"), 30, options);
+  options.seed = 999;
+  const auto b = make_region_dataset(table1_region("Japan"), 30, options);
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(MakeTwitterDataset, ScaledRegionCounts) {
+  auto options = small_options();
+  options.inactive_fraction = 0.0;
+  const auto ds = make_twitter_dataset(options);
+  std::map<std::string, std::size_t> users_per_region;
+  for (const auto& u : ds.users) ++users_per_region[u.region];
+  EXPECT_EQ(users_per_region.size(), 14u);
+  // Brazil: 3763 * 0.02 = 75.26 -> 75.
+  EXPECT_EQ(users_per_region["Brazil"], 75u);
+  // Finland: 73 * 0.02 = 1.46 -> 1 (rounds but floors at 1).
+  EXPECT_GE(users_per_region["Finland"], 1u);
+}
+
+TEST(MakeTwitterDataset, UniqueUserIds) {
+  const auto ds = make_twitter_dataset(small_options());
+  std::set<std::uint64_t> ids;
+  for (const auto& u : ds.users) ids.insert(u.id);
+  EXPECT_EQ(ids.size(), ds.users.size());
+}
+
+TEST(PostsOf, CountsEventsPerUser) {
+  DatasetOptions options = small_options();
+  options.inactive_fraction = 0.0;
+  const auto ds = make_region_dataset(table1_region("Italy"), 5, options);
+  std::size_t total = 0;
+  for (const auto& u : ds.users) total += ds.posts_of(u.id);
+  EXPECT_EQ(total, ds.events.size());
+  EXPECT_EQ(ds.posts_of(999999u), 0u);
+}
+
+TEST(MakeSyntheticMixA, ThreeZonesEqualSizes) {
+  auto options = small_options();
+  options.inactive_fraction = 0.0;
+  const auto ds = make_synthetic_mix_a(options, 100);
+  std::map<std::string, std::size_t> per_region;
+  for (const auto& u : ds.users) ++per_region[u.region];
+  ASSERT_EQ(per_region.size(), 3u);
+  EXPECT_EQ(per_region["Malaysian@UTC"], 2u);  // 100 * 0.02
+  EXPECT_EQ(per_region["Malaysian@UTC-7"], 2u);
+  EXPECT_EQ(per_region["Malaysian@UTC+9"], 2u);
+}
+
+TEST(MakeSyntheticMixB, TableOneProportions) {
+  auto options = small_options();
+  options.scale = 0.1;
+  options.inactive_fraction = 0.0;
+  const auto ds = make_synthetic_mix_b(options);
+  std::map<std::string, std::size_t> per_region;
+  for (const auto& u : ds.users) ++per_region[u.region];
+  EXPECT_EQ(per_region["Illinois"], 79u);   // 794 * 0.1
+  EXPECT_EQ(per_region["Germany"], 47u);    // 470 * 0.1
+  EXPECT_EQ(per_region["Malaysia"], 171u);  // 1714 * 0.1
+}
+
+TEST(MakeForumCrowd, ComponentSplitAndVolume) {
+  auto options = small_options();
+  options.scale = 0.5;
+  options.inactive_fraction = 0.0;
+  const auto& spec = paper_forum("Dream Market");
+  const auto ds = make_forum_crowd(spec, options);
+  EXPECT_EQ(ds.users.size(), 95u);  // 189 * 0.5 (94.5 -> 95)
+  std::map<std::string, std::size_t> per_region;
+  for (const auto& u : ds.users) ++per_region[u.region];
+  ASSERT_EQ(per_region.size(), spec.components.size());
+  EXPECT_NEAR(static_cast<double>(per_region["Europe (UTC+1)"]) / 95.0,
+              spec.components[0].fraction, 0.03);
+
+  // Posts per user tracks the paper's density (~77 posts/user).
+  const double mean_posts =
+      static_cast<double>(ds.events.size()) / static_cast<double>(ds.users.size());
+  EXPECT_NEAR(mean_posts, 76.7, 25.0);
+}
+
+TEST(MakeForumCrowd, ChurnShrinksSomeMembersActivity) {
+  auto options = small_options();
+  options.scale = 1.0;
+  options.inactive_fraction = 0.0;
+  options.churn_fraction = 0.5;
+  const auto& spec = paper_forum("CRD Club");
+  const auto churned = make_forum_crowd(spec, options);
+  options.churn_fraction = 0.0;
+  const auto stable = make_forum_crowd(spec, options);
+  // Same population size, visibly fewer posts with churn.
+  EXPECT_EQ(churned.users.size(), stable.users.size());
+  EXPECT_LT(churned.events.size() * 10, stable.events.size() * 9);
+  // Some members have explicit membership boundaries.
+  std::size_t bounded = 0;
+  for (const auto& user : churned.users) {
+    bounded += (user.active_from > 0 || user.active_until > 0) ? 1 : 0;
+  }
+  EXPECT_GT(bounded, churned.users.size() / 4);
+}
+
+TEST(MakeForumCrowd, BadFractionsThrow) {
+  ForumCrowdSpec spec = paper_forum("CRD Club");
+  spec.components[0].fraction = 0.5;  // no longer sums to 1
+  EXPECT_THROW(make_forum_crowd(spec, small_options()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tzgeo::synth

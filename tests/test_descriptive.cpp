@@ -1,0 +1,96 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tzgeo::stats {
+namespace {
+
+TEST(Mean, KnownValues) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{-1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7}), 7.0);
+}
+
+TEST(Mean, EmptyThrows) { EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument); }
+
+TEST(Variance, PopulationFormula) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3, 3, 3}), 0.0);
+}
+
+TEST(Stddev, SquareRootOfVariance) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(Covariance, KnownValues) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{2, 4, 6};
+  EXPECT_NEAR(covariance(xs, ys), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Covariance, SizeMismatchThrows) {
+  EXPECT_THROW(covariance(std::vector<double>{1, 2}, std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{10, 20, 30, 40};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{3, 2, 1};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesReturnsZero) {
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1, 1, 1}, std::vector<double>{1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, InvariantUnderAffineTransform) {
+  const std::vector<double> xs{0.3, 0.1, 0.5, 0.7, 0.2};
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 3.0 * xs[i] + 10.0;
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedOrthogonalSeries) {
+  const std::vector<double> xs{1, -1, 1, -1};
+  const std::vector<double> ys{1, 1, -1, -1};
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 1e-12);
+}
+
+TEST(WeightedMean, Basics) {
+  const std::vector<double> values{1, 10};
+  const std::vector<double> weights{3, 1};
+  EXPECT_DOUBLE_EQ(weighted_mean(values, weights), 3.25);
+}
+
+TEST(WeightedMean, NegativeWeightThrows) {
+  EXPECT_THROW(weighted_mean(std::vector<double>{1.0}, std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(WeightedMean, ZeroTotalWeightThrows) {
+  EXPECT_THROW(weighted_mean(std::vector<double>{1.0, 2.0}, std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(WeightedVariance, MatchesUnweightedWhenEqualWeights) {
+  const std::vector<double> values{2, 4, 4, 4, 5, 5, 7, 9};
+  const std::vector<double> weights(values.size(), 1.0);
+  EXPECT_NEAR(weighted_variance(values, weights), variance(values), 1e-12);
+}
+
+TEST(WeightedVariance, ZeroWhenMassOnOnePoint) {
+  const std::vector<double> values{5, 100};
+  const std::vector<double> weights{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(weighted_variance(values, weights), 0.0);
+}
+
+}  // namespace
+}  // namespace tzgeo::stats

@@ -1,0 +1,122 @@
+#include "synth/diurnal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tzgeo::synth {
+namespace {
+
+TEST(EvaluateShape, IsNormalized) {
+  const HourlyRates rates = evaluate_shape(DiurnalShape::typical());
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (const double r : rates) EXPECT_GT(r, 0.0);
+}
+
+TEST(EvaluateShape, EveningPeakDominates) {
+  const HourlyRates rates = evaluate_shape(DiurnalShape::typical());
+  // Peak between 17h and 22h, as in the Facebook/YouTube studies the
+  // paper cites.
+  std::size_t peak = 0;
+  for (std::size_t h = 1; h < kHoursPerDay; ++h) {
+    if (rates[h] > rates[peak]) peak = h;
+  }
+  EXPECT_GE(peak, 17u);
+  EXPECT_LE(peak, 22u);
+}
+
+TEST(EvaluateShape, NightTroughBetween1And7) {
+  const HourlyRates rates = evaluate_shape(DiurnalShape::typical());
+  double night_max = 0.0;
+  for (std::size_t h = 2; h <= 5; ++h) night_max = std::max(night_max, rates[h]);
+  double evening_min = 1.0;
+  for (std::size_t h = 19; h <= 21; ++h) evening_min = std::min(evening_min, rates[h]);
+  EXPECT_LT(night_max * 5.0, evening_min);
+}
+
+TEST(EvaluateShape, MorningBumpVisible) {
+  const HourlyRates rates = evaluate_shape(DiurnalShape::typical());
+  // Activity at 9h exceeds the 4h trough by a wide margin.
+  EXPECT_GT(rates[9], 4.0 * rates[4]);
+  // And there is a lunch-time dip relative to the 9h bump.
+  EXPECT_LT(rates[13], rates[9]);
+}
+
+TEST(PersonalShape, PreservesStructure) {
+  util::Rng rng{3};
+  const DiurnalShape base = DiurnalShape::typical();
+  for (int i = 0; i < 100; ++i) {
+    const DiurnalShape personal = personal_shape(base, ChronotypeJitter{}, rng);
+    EXPECT_GT(personal.morning_weight, 0.0);
+    EXPECT_GT(personal.evening_weight, 0.0);
+    EXPECT_GT(personal.morning_sigma, 0.0);
+    EXPECT_GE(personal.morning_peak_hour, 0.0);
+    EXPECT_LT(personal.morning_peak_hour, 24.0);
+    EXPECT_GE(personal.evening_peak_hour, 0.0);
+    EXPECT_LT(personal.evening_peak_hour, 24.0);
+  }
+}
+
+TEST(PersonalShape, PhaseClampRespected) {
+  util::Rng rng{4};
+  ChronotypeJitter jitter;
+  jitter.phase_sigma_hours = 10.0;  // extreme draws, clamp must bite
+  jitter.max_abs_phase_hours = 2.0;
+  const DiurnalShape base = DiurnalShape::typical();
+  for (int i = 0; i < 200; ++i) {
+    const DiurnalShape personal = personal_shape(base, jitter, rng);
+    // Evening peak stays within the clamp of the base position.
+    double delta = personal.evening_peak_hour - base.evening_peak_hour;
+    if (delta > 12.0) delta -= 24.0;
+    if (delta < -12.0) delta += 24.0;
+    EXPECT_LE(std::abs(delta), 2.0 + 1e-9);
+  }
+}
+
+TEST(PersonalShape, ZeroJitterIsIdentity) {
+  util::Rng rng{5};
+  ChronotypeJitter none;
+  none.phase_sigma_hours = 0.0;
+  none.weight_jitter = 0.0;
+  none.width_jitter = 0.0;
+  const DiurnalShape base = DiurnalShape::typical();
+  const DiurnalShape personal = personal_shape(base, none, rng);
+  EXPECT_DOUBLE_EQ(personal.evening_peak_hour, base.evening_peak_hour);
+  EXPECT_DOUBLE_EQ(personal.morning_weight, base.morning_weight);
+}
+
+TEST(FlatRates, ZeroWobbleIsUniform) {
+  util::Rng rng{6};
+  const HourlyRates rates = flat_rates(0.0, rng);
+  for (const double r : rates) EXPECT_NEAR(r, 1.0 / 24.0, 1e-12);
+}
+
+TEST(FlatRates, WobbleStaysNormalizedAndPositive) {
+  util::Rng rng{7};
+  const HourlyRates rates = flat_rates(0.2, rng);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (const double r : rates) EXPECT_GT(r, 0.0);
+}
+
+TEST(ShiftRates, MovesPeak) {
+  HourlyRates rates{};
+  rates[20] = 1.0;
+  const HourlyRates shifted = shift_rates(rates, 12);
+  EXPECT_DOUBLE_EQ(shifted[8], 1.0);
+  EXPECT_DOUBLE_EQ(shifted[20], 0.0);
+}
+
+TEST(ShiftRates, NegativeAndFullRotation) {
+  HourlyRates rates{};
+  rates[0] = 1.0;
+  EXPECT_DOUBLE_EQ(shift_rates(rates, -1)[23], 1.0);
+  EXPECT_DOUBLE_EQ(shift_rates(rates, 24)[0], 1.0);
+  EXPECT_DOUBLE_EQ(shift_rates(rates, -25)[23], 1.0);
+}
+
+}  // namespace
+}  // namespace tzgeo::synth

@@ -1,0 +1,120 @@
+#include "core/dossier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/trace_gen.hpp"
+#include "timezone/zone_db.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] HourlyProfile canonical_shape() {
+  // The generator's own population shape, so zone templates have the same
+  // sharpness as generated user profiles (as a data-built generic would).
+  const synth::HourlyRates rates = synth::evaluate_shape(synth::DiurnalShape::typical());
+  return HourlyProfile::from_counts(std::vector<double>(rates.begin(), rates.end()));
+}
+
+[[nodiscard]] std::vector<tz::UtcSeconds> persona_year(const std::string& zone_name,
+                                                       double posts, std::uint64_t seed,
+                                                       synth::RestDays rest =
+                                                           synth::RestDays::saturday_sunday()) {
+  util::Rng rng{seed};
+  synth::PersonaMix mix;
+  mix.bot_fraction = 0.0;
+  mix.shift_worker_fraction = 0.0;
+  // No chronotype jitter: a single user's dossier is asserted exactly.
+  mix.jitter.phase_sigma_hours = 0.0;
+  mix.jitter.weight_jitter = 0.0;
+  mix.jitter.width_jitter = 0.0;
+  synth::Persona persona = synth::draw_persona(1, "d", zone_name, mix, rng);
+  persona.posts_per_year = posts;
+  persona.rest_days = rest;
+  persona.rest_day_boost = 1.5;
+  const auto events = synth::generate_trace(persona, tz::zone(zone_name), {}, rng);
+  std::vector<tz::UtcSeconds> times;
+  for (const auto& e : events) times.push_back(e.time);
+  return times;
+}
+
+TEST(Dossier, BerlinUserFullReadout) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto events = persona_year("Europe/Berlin", 3000.0, 1);
+  const UserDossier dossier = build_dossier(42, events, zones);
+  EXPECT_EQ(dossier.user, 42u);
+  EXPECT_TRUE(dossier.enough_data);
+  EXPECT_FALSE(dossier.flat);
+  EXPECT_NEAR(dossier.placement.zone_hours, 1, 2);
+  EXPECT_EQ(dossier.hemisphere.verdict, HemisphereVerdict::kNorthern);
+  EXPECT_EQ(dossier.rest_days.pattern, RestPattern::kSaturdaySunday);
+  EXPECT_GT(dossier.placement.margin(), 0.0);
+}
+
+TEST(Dossier, SouthernFriSatUser) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  // A Sao Paulo user with a Friday/Saturday rest pattern (hypothetical
+  // culture mix) — every axis of the dossier is independent.
+  const auto events =
+      persona_year("America/Sao_Paulo", 3000.0, 2, synth::RestDays::friday_saturday());
+  const UserDossier dossier = build_dossier(7, events, zones);
+  EXPECT_EQ(dossier.hemisphere.verdict, HemisphereVerdict::kSouthern);
+  EXPECT_EQ(dossier.rest_days.pattern, RestPattern::kFridaySaturday);
+  EXPECT_NEAR(dossier.placement.zone_hours, -3, 2);
+}
+
+TEST(Dossier, SparseUserFlagged) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto events = persona_year("Asia/Tokyo", 20.0, 3);
+  const UserDossier dossier = build_dossier(1, events, zones);
+  EXPECT_FALSE(dossier.enough_data);
+  EXPECT_EQ(dossier.hemisphere.verdict, HemisphereVerdict::kInsufficient);
+}
+
+TEST(Dossier, EmptyEventsHandled) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const UserDossier dossier = build_dossier(9, {}, zones);
+  EXPECT_EQ(dossier.posts, 0u);
+  EXPECT_FALSE(dossier.enough_data);
+}
+
+TEST(BuildTopDossiers, RanksAndLimits) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  ActivityTrace trace;
+  for (const auto t : persona_year("Europe/Berlin", 2500.0, 4)) trace.add(1, t);
+  for (const auto t : persona_year("Asia/Tokyo", 1200.0, 5)) trace.add(2, t);
+  for (const auto t : persona_year("America/Chicago", 400.0, 6)) trace.add(3, t);
+  const auto dossiers = build_top_dossiers(trace, zones, 2);
+  ASSERT_EQ(dossiers.size(), 2u);
+  EXPECT_EQ(dossiers[0].user, 1u);
+  EXPECT_EQ(dossiers[1].user, 2u);
+  EXPECT_GE(dossiers[0].posts, dossiers[1].posts);
+}
+
+TEST(DescribeDossier, ContainsEveryAxis) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto events = persona_year("Europe/Berlin", 2500.0, 7);
+  const std::string text = describe_dossier(build_dossier(11, events, zones));
+  EXPECT_NE(text.find("dossier for user 11"), std::string::npos);
+  EXPECT_NE(text.find("time zone: UTC"), std::string::npos);
+  EXPECT_NE(text.find("hemisphere: northern"), std::string::npos);
+  EXPECT_NE(text.find("rest days: saturday-sunday"), std::string::npos);
+  EXPECT_NE(text.find("margin"), std::string::npos);
+}
+
+TEST(DescribeDossier, FlagsFlatProfiles) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  // Uniform poster: one post per hour across days.
+  std::vector<tz::UtcSeconds> events;
+  for (int d = 0; d < 40; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      events.push_back(d * tz::kSecondsPerDay + h * tz::kSecondsPerHour);
+    }
+  }
+  const UserDossier dossier = build_dossier(13, events, zones);
+  EXPECT_TRUE(dossier.flat);
+  EXPECT_NE(describe_dossier(dossier).find("FLAT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

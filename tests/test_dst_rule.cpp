@@ -1,0 +1,131 @@
+#include "timezone/dst_rule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::tz {
+namespace {
+
+[[nodiscard]] UtcSeconds at(std::int32_t y, std::int32_t m, std::int32_t d, std::int32_t h) {
+  return to_utc_seconds(CivilDateTime{CivilDate{y, m, d}, h, 0, 0});
+}
+
+TEST(DstTransition, EuSpringInstant) {
+  // EU 2016: last Sunday of March (the 27th) at 01:00 UTC, regardless of
+  // the zone's standard offset.
+  const DstRule eu = rules::european_union();
+  EXPECT_EQ(eu.begin.instant(2016, 1 * kSecondsPerHour), at(2016, 3, 27, 1));
+  EXPECT_EQ(eu.begin.instant(2016, 2 * kSecondsPerHour), at(2016, 3, 27, 1));
+}
+
+TEST(DstTransition, UsSpringInstantDependsOnOffset) {
+  // US 2016: second Sunday of March (the 13th) at 02:00 *local standard*.
+  const DstRule us = rules::united_states();
+  EXPECT_EQ(us.begin.instant(2016, -6 * kSecondsPerHour), at(2016, 3, 13, 8));
+  EXPECT_EQ(us.begin.instant(2016, -8 * kSecondsPerHour), at(2016, 3, 13, 10));
+}
+
+TEST(DstRule, EuropeanUnionWindow2016) {
+  const DstRule eu = rules::european_union();
+  const std::int64_t berlin = 1 * kSecondsPerHour;
+  EXPECT_FALSE(eu.in_effect(at(2016, 3, 27, 0), berlin));
+  EXPECT_TRUE(eu.in_effect(at(2016, 3, 27, 2), berlin));
+  EXPECT_TRUE(eu.in_effect(at(2016, 7, 1, 12), berlin));
+  EXPECT_TRUE(eu.in_effect(at(2016, 10, 30, 0), berlin));
+  EXPECT_FALSE(eu.in_effect(at(2016, 10, 30, 2), berlin));
+  EXPECT_FALSE(eu.in_effect(at(2016, 12, 25, 12), berlin));
+  EXPECT_FALSE(eu.in_effect(at(2016, 1, 15, 12), berlin));
+}
+
+TEST(DstRule, UnitedStatesWindow2016) {
+  const DstRule us = rules::united_states();
+  const std::int64_t chicago = -6 * kSecondsPerHour;
+  EXPECT_FALSE(us.in_effect(at(2016, 3, 13, 7), chicago));   // 01:00 CST
+  EXPECT_TRUE(us.in_effect(at(2016, 3, 13, 9), chicago));    // 03:00 CDT
+  EXPECT_TRUE(us.in_effect(at(2016, 8, 1, 12), chicago));
+  EXPECT_TRUE(us.in_effect(at(2016, 11, 6, 7), chicago));    // 01:00 standard
+  EXPECT_FALSE(us.in_effect(at(2016, 11, 6, 9), chicago));
+  EXPECT_FALSE(us.in_effect(at(2016, 1, 1, 12), chicago));
+}
+
+TEST(DstRule, BrazilSouthernWindowWrapsNewYear) {
+  const DstRule brazil = rules::brazil();
+  EXPECT_TRUE(brazil.southern());
+  const std::int64_t sao_paulo = -3 * kSecondsPerHour;
+  // 2016 season: started 2016-10-16, ended 2017-02-19 (third Sundays).
+  EXPECT_FALSE(brazil.in_effect(at(2016, 10, 15, 12), sao_paulo));
+  EXPECT_TRUE(brazil.in_effect(at(2016, 10, 17, 12), sao_paulo));
+  EXPECT_TRUE(brazil.in_effect(at(2016, 12, 31, 12), sao_paulo));
+  EXPECT_TRUE(brazil.in_effect(at(2017, 1, 15, 12), sao_paulo));
+  EXPECT_FALSE(brazil.in_effect(at(2017, 2, 20, 12), sao_paulo));
+  EXPECT_FALSE(brazil.in_effect(at(2016, 7, 1, 12), sao_paulo));  // southern winter
+}
+
+TEST(DstRule, AustraliaSoutheastWindow) {
+  const DstRule au = rules::australia_southeast();
+  EXPECT_TRUE(au.southern());
+  const std::int64_t sydney = 10 * kSecondsPerHour;
+  // 2016 season: started 2016-10-02 02:00, ended 2017-04-02 03:00 local.
+  EXPECT_FALSE(au.in_effect(at(2016, 9, 30, 12), sydney));
+  EXPECT_TRUE(au.in_effect(at(2016, 10, 3, 12), sydney));
+  EXPECT_TRUE(au.in_effect(at(2017, 1, 10, 12), sydney));
+  EXPECT_FALSE(au.in_effect(at(2017, 4, 3, 12), sydney));
+}
+
+TEST(DstRule, ParaguaySouthernWindow) {
+  const DstRule py = rules::paraguay();
+  EXPECT_TRUE(py.southern());
+  const std::int64_t asuncion = -4 * kSecondsPerHour;
+  EXPECT_TRUE(py.in_effect(at(2016, 12, 1, 12), asuncion));
+  EXPECT_FALSE(py.in_effect(at(2016, 6, 1, 12), asuncion));
+}
+
+TEST(DstRule, NorthernIsNotSouthern) {
+  EXPECT_FALSE(rules::european_union().southern());
+  EXPECT_FALSE(rules::united_states().southern());
+}
+
+TEST(DstRule, SavingAmountDefaultsToOneHour) {
+  EXPECT_EQ(rules::european_union().saving_seconds, kSecondsPerHour);
+  EXPECT_EQ(rules::brazil().saving_seconds, kSecondsPerHour);
+}
+
+// Property sweep: for every rule and every year, scanning the whole year
+// hour by hour must find exactly two DST state changes (one on, one off),
+// and the DST-on fraction must be plausibly large (clocks are advanced
+// for months, not days).
+class DstRuleYearSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, int>> {};
+
+TEST_P(DstRuleYearSweep, ExactlyTwoTransitionsPerYear) {
+  const auto [year, rule_index] = GetParam();
+  const DstRule rules_under_test[] = {rules::european_union(), rules::united_states(),
+                                      rules::brazil(), rules::australia_southeast(),
+                                      rules::paraguay()};
+  const DstRule& rule = rules_under_test[rule_index];
+  const std::int64_t offset =
+      (rule_index <= 1 ? 1 : -3) * kSecondsPerHour;  // representative offsets
+
+  const UtcSeconds begin = to_utc_seconds({CivilDate{year, 1, 1}, 0, 0, 0});
+  const UtcSeconds end = to_utc_seconds({CivilDate{year + 1, 1, 1}, 0, 0, 0});
+  int changes = 0;
+  std::int64_t dst_hours = 0;
+  bool previous = rule.in_effect(begin, offset);
+  for (UtcSeconds t = begin; t < end; t += kSecondsPerHour) {
+    const bool current = rule.in_effect(t, offset);
+    changes += (current != previous) ? 1 : 0;
+    dst_hours += current ? 1 : 0;
+    previous = current;
+  }
+  EXPECT_EQ(changes, 2) << "rule " << rule_index << " year " << year;
+  // DST spans between ~3.5 and ~8.5 months for every rule we model.
+  EXPECT_GT(dst_hours, 100 * 24);
+  EXPECT_LT(dst_hours, 260 * 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(YearsAndRules, DstRuleYearSweep,
+                         ::testing::Combine(::testing::Values(2000, 2012, 2016, 2017, 2024,
+                                                              2030),
+                                            ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace tzgeo::tz

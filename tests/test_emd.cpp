@@ -1,0 +1,137 @@
+#include "stats/emd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace tzgeo::stats {
+namespace {
+
+TEST(EmdLinear, IdenticalDistributionsAreZero) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(emd_linear(p, p), 0.0);
+}
+
+TEST(EmdLinear, UnitMassOneBinApart) {
+  const std::vector<double> p{1, 0, 0};
+  const std::vector<double> q{0, 1, 0};
+  EXPECT_DOUBLE_EQ(emd_linear(p, q), 1.0);
+}
+
+TEST(EmdLinear, UnitMassTwoBinsApart) {
+  const std::vector<double> p{1, 0, 0};
+  const std::vector<double> q{0, 0, 1};
+  EXPECT_DOUBLE_EQ(emd_linear(p, q), 2.0);
+}
+
+TEST(EmdLinear, IsSymmetric) {
+  const std::vector<double> p{0.5, 0.5, 0.0, 0.0};
+  const std::vector<double> q{0.0, 0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(emd_linear(p, q), emd_linear(q, p));
+}
+
+TEST(EmdLinear, SplitMass) {
+  const std::vector<double> p{1.0, 0.0, 0.0};
+  const std::vector<double> q{0.0, 0.5, 0.5};
+  // Half the mass moves one bin, half moves two bins.
+  EXPECT_DOUBLE_EQ(emd_linear(p, q), 1.5);
+}
+
+TEST(EmdLinear, TriangleInequalityHolds) {
+  const std::vector<double> a{0.6, 0.4, 0.0, 0.0};
+  const std::vector<double> b{0.0, 0.5, 0.5, 0.0};
+  const std::vector<double> c{0.0, 0.0, 0.3, 0.7};
+  EXPECT_LE(emd_linear(a, c), emd_linear(a, b) + emd_linear(b, c) + 1e-12);
+}
+
+TEST(EmdLinear, MassMismatchThrows) {
+  EXPECT_THROW(emd_linear(std::vector<double>{1.0}, std::vector<double>{0.5}),
+               std::invalid_argument);
+}
+
+TEST(EmdLinear, SizeMismatchThrows) {
+  EXPECT_THROW(emd_linear(std::vector<double>{1.0}, std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(EmdLinear, EmptyThrows) {
+  EXPECT_THROW(emd_linear(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(EmdCircular, IdenticalIsZero) {
+  const std::vector<double> p{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(emd_circular(p, p), 0.0);
+}
+
+TEST(EmdCircular, WrapsAroundBoundary) {
+  // Mass at the last bin vs mass at the first bin: linear distance is
+  // n-1, circular distance is 1.
+  const std::vector<double> p{0, 0, 0, 1};
+  const std::vector<double> q{1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(emd_linear(p, q), 3.0);
+  EXPECT_DOUBLE_EQ(emd_circular(p, q), 1.0);
+}
+
+TEST(EmdCircular, NeverExceedsLinear) {
+  const std::vector<double> p{0.4, 0.1, 0.1, 0.0, 0.0, 0.4};
+  const std::vector<double> q{0.0, 0.3, 0.2, 0.2, 0.3, 0.0};
+  EXPECT_LE(emd_circular(p, q), emd_linear(p, q) + 1e-12);
+}
+
+TEST(EmdCircular, ShiftDistanceIsMinimalRotation) {
+  // A profile against its own rotation by k: distance <= k * mass (and
+  // wraps, so rotating by n-1 costs 1).
+  std::vector<double> p(24, 0.0);
+  p[20] = 0.7;
+  p[9] = 0.3;
+  const auto rotated = cyclic_shift(p, 23);
+  EXPECT_NEAR(emd_circular(p, rotated), 1.0, 1e-9);
+}
+
+TEST(EmdCircular, SymmetricAndNonNegative) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> q{0.7, 0.1, 0.1, 0.1};
+  EXPECT_GT(emd_circular(p, q), 0.0);
+  EXPECT_DOUBLE_EQ(emd_circular(p, q), emd_circular(q, p));
+}
+
+TEST(EmdCircular, MassMismatchThrows) {
+  EXPECT_THROW(emd_circular(std::vector<double>{1.0, 0.0}, std::vector<double>{0.9, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(TotalVariation, KnownValue) {
+  const std::vector<double> p{0.5, 0.5, 0.0};
+  const std::vector<double> q{0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 0.5);
+}
+
+TEST(TotalVariation, IgnoresGroundDistance) {
+  // Unlike EMD, TV does not care how far the mass moved.
+  const std::vector<double> p{1, 0, 0, 0};
+  const std::vector<double> near{0, 1, 0, 0};
+  const std::vector<double> far{0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(total_variation(p, near), total_variation(p, far));
+  EXPECT_LT(emd_linear(p, near), emd_linear(p, far));
+}
+
+// Property sweep: EMD between a sharp profile and its rotations grows with
+// the (circular) rotation distance — the monotonicity placement relies on.
+class EmdRotationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmdRotationSweep, CircularEmdMatchesMinimalRotation) {
+  const int shift = GetParam();
+  std::vector<double> p(24, 0.0);
+  p[3] = 1.0;
+  const auto q = cyclic_shift(p, shift);
+  const int circular = std::min(shift, 24 - shift);
+  EXPECT_NEAR(emd_circular(p, q), circular, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRotations, EmdRotationSweep, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace tzgeo::stats

@@ -1,0 +1,77 @@
+#include "stats/fit_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tzgeo::stats {
+namespace {
+
+TEST(PointwiseFitMetrics, ZeroForIdenticalSeries) {
+  const std::vector<double> data{0.1, 0.2, 0.3, 0.4};
+  const auto metrics = pointwise_fit_metrics(data, data);
+  EXPECT_DOUBLE_EQ(metrics.average, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.stddev, 0.0);
+}
+
+TEST(PointwiseFitMetrics, KnownConstantOffset) {
+  const std::vector<double> data{0.1, 0.1, 0.1};
+  const std::vector<double> fit{0.2, 0.2, 0.2};
+  const auto metrics = pointwise_fit_metrics(data, fit);
+  EXPECT_NEAR(metrics.average, 0.1, 1e-12);
+  EXPECT_NEAR(metrics.stddev, 0.0, 1e-12);
+}
+
+TEST(PointwiseFitMetrics, MixedDistances) {
+  const std::vector<double> data{0.0, 0.0};
+  const std::vector<double> fit{0.1, 0.3};
+  const auto metrics = pointwise_fit_metrics(data, fit);
+  EXPECT_NEAR(metrics.average, 0.2, 1e-12);
+  EXPECT_NEAR(metrics.stddev, 0.1, 1e-12);
+}
+
+TEST(PointwiseFitMetrics, AbsoluteValueUsed) {
+  const std::vector<double> data{0.5, 0.5};
+  const std::vector<double> fit{0.4, 0.6};
+  const auto metrics = pointwise_fit_metrics(data, fit);
+  EXPECT_NEAR(metrics.average, 0.1, 1e-12);
+}
+
+TEST(PointwiseFitMetrics, ValidatesArity) {
+  EXPECT_THROW(pointwise_fit_metrics(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(pointwise_fit_metrics(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(ShiftedBaseline, TwelveHourShiftDegradesAlignedFit) {
+  // A fit that matches the data perfectly must look much worse when
+  // shifted 12 bins — the Table II baseline construction.
+  std::vector<double> data(24, 0.01);
+  data[20] = 0.4;
+  data[9] = 0.2;
+  const auto aligned = pointwise_fit_metrics(data, data);
+  const auto baseline = shifted_baseline_metrics(data, data, 12);
+  EXPECT_DOUBLE_EQ(aligned.average, 0.0);
+  EXPECT_GT(baseline.average, 0.02);
+}
+
+TEST(ShiftedBaseline, FullRotationIsIdentity) {
+  std::vector<double> data(24, 0.02);
+  data[5] = 0.5;
+  const auto metrics = shifted_baseline_metrics(data, data, 24);
+  EXPECT_DOUBLE_EQ(metrics.average, 0.0);
+}
+
+TEST(ShiftedBaseline, SymmetricShiftsEquivalentOnCircle) {
+  std::vector<double> data(24, 0.0);
+  data[0] = 1.0;
+  std::vector<double> fit(24, 0.0);
+  fit[1] = 1.0;
+  const auto plus = shifted_baseline_metrics(data, fit, 11);
+  const auto minus = shifted_baseline_metrics(data, fit, -13);
+  EXPECT_DOUBLE_EQ(plus.average, minus.average);
+}
+
+}  // namespace
+}  // namespace tzgeo::stats

@@ -1,0 +1,119 @@
+#include "core/flat_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] HourlyProfile canonical_shape() {
+  std::vector<double> counts(24, 0.01);
+  counts[9] = 0.2;
+  counts[19] = 0.3;
+  counts[20] = 0.4;
+  counts[21] = 0.3;
+  return HourlyProfile::from_counts(counts);
+}
+
+[[nodiscard]] HourlyProfile nearly_uniform() {
+  std::vector<double> counts(24, 1.0);
+  counts[3] = 1.15;
+  counts[17] = 0.9;
+  return HourlyProfile::from_counts(counts);
+}
+
+TEST(FlatFilter, RemovesUniformKeepsSharp) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users;
+  users.push_back(UserProfileEntry{1, 100, zones.zone_profile(2)});   // sharp human
+  users.push_back(UserProfileEntry{2, 5000, HourlyProfile{}});        // perfect bot
+  users.push_back(UserProfileEntry{3, 900, nearly_uniform()});        // wobbly bot
+  const FlatFilterResult result = filter_flat_profiles(users, zones);
+  ASSERT_EQ(result.kept.size(), 1u);
+  EXPECT_EQ(result.kept[0].user, 1u);
+  ASSERT_EQ(result.removed.size(), 2u);
+}
+
+TEST(FlatFilter, EmptyInput) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const FlatFilterResult result = filter_flat_profiles({}, zones);
+  EXPECT_TRUE(result.kept.empty());
+  EXPECT_TRUE(result.removed.empty());
+}
+
+TEST(FlatFilter, AllUsersPreservedAcrossSplit) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    users.push_back(UserProfileEntry{
+        i, 50, i % 2 == 0 ? zones.zone_profile(static_cast<std::int32_t>(i) - 5)
+                          : HourlyProfile{}});
+  }
+  const FlatFilterResult result = filter_flat_profiles(users, zones);
+  EXPECT_EQ(result.kept.size() + result.removed.size(), users.size());
+}
+
+TEST(FlatFilter, ShiftedHumansSurviveEveryZone) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users;
+  for (std::int32_t zone = kMinZone; zone <= kMaxZone; ++zone) {
+    users.push_back(
+        UserProfileEntry{static_cast<std::uint64_t>(zone + 20), 50, zones.zone_profile(zone)});
+  }
+  const FlatFilterResult result = filter_flat_profiles(users, zones);
+  EXPECT_EQ(result.kept.size(), kZoneCount);
+  EXPECT_TRUE(result.removed.empty());
+}
+
+TEST(PolishPopulation, ReachesFixpoint) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    users.push_back(UserProfileEntry{i, 60, zones.zone_profile(1)});
+  }
+  users.push_back(UserProfileEntry{100, 1000, HourlyProfile{}});  // one bot
+  const PolishResult result = polish_population(users, zones);
+  EXPECT_EQ(result.split.kept.size(), 20u);
+  EXPECT_EQ(result.split.removed.size(), 1u);
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_LE(result.rounds, 8);
+}
+
+TEST(PolishPopulation, RebuiltGenericStaysAligned) {
+  // Survivors all live at UTC+5; after polishing, the rebuilt zone set
+  // must still place them at +5 (the rebuild aligns profiles first).
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users;
+  for (std::uint64_t i = 0; i < 15; ++i) {
+    users.push_back(UserProfileEntry{i, 60, zones.zone_profile(5)});
+  }
+  const PolishResult result = polish_population(users, zones);
+  const PlacementResult placement = place_crowd(result.split.kept, result.zones);
+  for (const auto& placed : placement.users) {
+    EXPECT_EQ(placed.zone_hours, 5);
+  }
+}
+
+TEST(PolishPopulation, AllBotsLeavesEmptyKept) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users(4, UserProfileEntry{1, 100, HourlyProfile{}});
+  const PolishResult result = polish_population(users, zones);
+  EXPECT_TRUE(result.split.kept.empty());
+  EXPECT_EQ(result.split.removed.size(), 4u);
+}
+
+TEST(PolishPopulation, RemovedAccumulatesAcrossRounds) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  std::vector<UserProfileEntry> users;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    users.push_back(UserProfileEntry{i, 60, zones.zone_profile(-4)});
+  }
+  for (std::uint64_t i = 100; i < 105; ++i) {
+    users.push_back(UserProfileEntry{i, 300, nearly_uniform()});
+  }
+  const PolishResult result = polish_population(users, zones);
+  EXPECT_EQ(result.split.kept.size() + result.split.removed.size(), users.size());
+  EXPECT_GE(result.split.removed.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

@@ -1,0 +1,276 @@
+#include "forum/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "forum/parser.hpp"
+
+namespace tzgeo::forum {
+namespace {
+
+[[nodiscard]] tz::UtcSeconds at(std::int32_t y, std::int32_t m, std::int32_t d, std::int32_t h) {
+  return tz::to_utc_seconds(tz::CivilDateTime{tz::CivilDate{y, m, d}, h, 0, 0});
+}
+
+/// A crowd of two users with a handful of hand-placed posts.
+[[nodiscard]] synth::Dataset tiny_crowd() {
+  synth::Dataset crowd;
+  crowd.name = "tiny";
+  synth::Persona a;
+  a.id = 101;
+  a.region = "X";
+  a.zone_name = "UTC";
+  synth::Persona b;
+  b.id = 202;
+  b.region = "X";
+  b.zone_name = "UTC";
+  crowd.users = {a, b};
+  crowd.events = {
+      {101, at(2016, 1, 1, 10)}, {202, at(2016, 1, 2, 11)}, {101, at(2016, 1, 3, 12)},
+      {202, at(2016, 1, 4, 13)}, {101, at(2016, 1, 5, 14)},
+  };
+  return crowd;
+}
+
+[[nodiscard]] ForumConfig basic_config(TimestampPolicy policy = TimestampPolicy::kServerLocal,
+                                       std::int32_t offset_minutes = 180) {
+  ForumConfig config;
+  config.name = "Test Forum";
+  config.server_offset_minutes = offset_minutes;
+  config.policy = policy;
+  config.posts_per_page = 2;
+  return config;
+}
+
+constexpr std::int64_t kLate = 4102444800;  // 2100-01-01: everything visible
+
+TEST(ForumEngine, PopulatesUsersAndPosts) {
+  const ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_EQ(engine.user_count(), 2u);
+  EXPECT_EQ(engine.post_count(), 5u);
+  EXPECT_GE(engine.threads().size(), 4u);  // welcome + >= 3 discussions
+  EXPECT_EQ(engine.threads().front().id, kWelcomeThreadId);
+  EXPECT_EQ(engine.threads().front().title, "Welcome");
+}
+
+TEST(ForumEngine, RejectsZeroPageSizes) {
+  ForumConfig config = basic_config();
+  config.posts_per_page = 0;
+  EXPECT_THROW((ForumEngine{config, tiny_crowd()}), std::invalid_argument);
+}
+
+TEST(ForumEngine, IndexListsThreads) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  const auto response = engine.handle(tor::Request{"GET", "/index", ""}, kLate);
+  EXPECT_EQ(response.status, 200);
+  const auto parsed = parse_index_page(response.body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->threads.size(), engine.threads().size());
+}
+
+TEST(ForumEngine, RootPathServesIndex) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_EQ(engine.handle(tor::Request{"GET", "/", ""}, kLate).status, 200);
+}
+
+TEST(ForumEngine, UnknownRoutesReturn404) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_EQ(engine.handle(tor::Request{"GET", "/nope", ""}, kLate).status, 404);
+  EXPECT_EQ(engine.handle(tor::Request{"GET", "/thread/99999", ""}, kLate).status, 404);
+  EXPECT_EQ(engine.handle(tor::Request{"POST", "/nope", ""}, kLate).status, 404);
+  EXPECT_EQ(engine.handle(tor::Request{"GET", "/thread/abc", ""}, kLate).status, 400);
+}
+
+/// Counts posts visible across every page of every thread at `now`.
+[[nodiscard]] std::size_t count_visible(ForumEngine& engine, std::int64_t now) {
+  std::size_t visible = 0;
+  for (const auto& thread : engine.threads()) {
+    std::size_t pages = 1;
+    for (std::size_t page = 1; page <= pages; ++page) {
+      const auto response = engine.handle(
+          tor::Request{"GET",
+                       "/thread/" + std::to_string(thread.id) + "?page=" + std::to_string(page),
+                       ""},
+          now);
+      const auto parsed = parse_thread_page(response.body);
+      if (!parsed) break;
+      pages = parsed->pages;
+      visible += parsed->posts.size();
+    }
+  }
+  return visible;
+}
+
+TEST(ForumEngine, VisibilityFollowsClock) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_EQ(count_visible(engine, at(2015, 1, 1, 0)), 0u);
+  EXPECT_EQ(count_visible(engine, kLate), 5u);
+}
+
+TEST(ForumEngine, PartialVisibilityMidStream) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_EQ(count_visible(engine, at(2016, 1, 3, 0)), 2u);  // Jan 1 + Jan 2 posts
+}
+
+TEST(ForumEngine, ServerLocalTimestampsShifted) {
+  ForumEngine engine{basic_config(TimestampPolicy::kServerLocal, 180), tiny_crowd()};
+  bool checked = false;
+  for (const auto& thread : engine.threads()) {
+    const auto page = engine.handle(
+        tor::Request{"GET", "/thread/" + std::to_string(thread.id), ""}, kLate);
+    const auto parsed = parse_thread_page(page.body);
+    if (!parsed || parsed->posts.empty()) continue;
+    for (const auto& post : parsed->posts) {
+      ASSERT_TRUE(post.display_time.has_value());
+      const tz::UtcSeconds displayed = tz::to_utc_seconds(*post.display_time);
+      const tz::UtcSeconds truth = engine.true_time_of(post.id);
+      EXPECT_EQ(displayed - truth, 180 * 60);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(ForumEngine, UtcPolicyShowsTrueTime) {
+  ForumEngine engine{basic_config(TimestampPolicy::kUtc, 180), tiny_crowd()};
+  for (const auto& thread : engine.threads()) {
+    const auto page = engine.handle(
+        tor::Request{"GET", "/thread/" + std::to_string(thread.id), ""}, kLate);
+    const auto parsed = parse_thread_page(page.body);
+    if (!parsed) continue;
+    for (const auto& post : parsed->posts) {
+      ASSERT_TRUE(post.display_time.has_value());
+      EXPECT_EQ(tz::to_utc_seconds(*post.display_time), engine.true_time_of(post.id));
+    }
+  }
+}
+
+TEST(ForumEngine, HiddenPolicyOmitsTimestamps) {
+  ForumEngine engine{basic_config(TimestampPolicy::kHidden, 0), tiny_crowd()};
+  for (const auto& thread : engine.threads()) {
+    const auto page = engine.handle(
+        tor::Request{"GET", "/thread/" + std::to_string(thread.id), ""}, kLate);
+    const auto parsed = parse_thread_page(page.body);
+    if (!parsed) continue;
+    for (const auto& post : parsed->posts) {
+      EXPECT_FALSE(post.display_time.has_value());
+    }
+  }
+}
+
+TEST(ForumEngine, RandomDelayShiftsDisplayAndVisibility) {
+  ForumConfig config = basic_config(TimestampPolicy::kRandomDelay, 0);
+  config.max_random_delay_seconds = 6 * 3600;
+  ForumEngine engine{config, tiny_crowd()};
+  bool some_delay = false;
+  for (const auto& thread : engine.threads()) {
+    const auto page = engine.handle(
+        tor::Request{"GET", "/thread/" + std::to_string(thread.id), ""}, kLate);
+    const auto parsed = parse_thread_page(page.body);
+    if (!parsed) continue;
+    for (const auto& post : parsed->posts) {
+      ASSERT_TRUE(post.display_time.has_value());
+      const auto delta = tz::to_utc_seconds(*post.display_time) - engine.true_time_of(post.id);
+      EXPECT_GE(delta, 0);
+      EXPECT_LT(delta, 6 * 3600);
+      some_delay |= delta > 0;
+    }
+  }
+  EXPECT_TRUE(some_delay);
+}
+
+TEST(ForumEngine, PaginationSplitsPosts) {
+  // All 5 posts, page size 2 -> up to 3 pages in the busiest thread; check
+  // the page counts reported by the index match reality.
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  const auto index = engine.handle(tor::Request{"GET", "/index", ""}, kLate);
+  const auto parsed_index = parse_index_page(index.body);
+  ASSERT_TRUE(parsed_index.has_value());
+  for (const auto& ref : parsed_index->threads) {
+    std::size_t posts_seen = 0;
+    for (std::size_t page = 1; page <= ref.pages; ++page) {
+      const auto response = engine.handle(
+          tor::Request{"GET",
+                       "/thread/" + std::to_string(ref.id) + "?page=" + std::to_string(page),
+                       ""},
+          kLate);
+      ASSERT_EQ(response.status, 200);
+      const auto parsed = parse_thread_page(response.body);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_LE(parsed->posts.size(), 2u);
+      posts_seen += parsed->posts.size();
+    }
+    // Out-of-range page is a 404.
+    const auto over = engine.handle(
+        tor::Request{"GET",
+                     "/thread/" + std::to_string(ref.id) + "?page=" +
+                         std::to_string(ref.pages + 1),
+                     ""},
+        kLate);
+    EXPECT_EQ(over.status, 404);
+    (void)posts_seen;
+  }
+}
+
+TEST(ForumEngine, SignupAndPostFlow) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  const auto signup =
+      engine.handle(tor::Request{"POST", "/signup", "handle=investigator"}, kLate);
+  EXPECT_EQ(signup.status, 200);
+  const auto duplicate =
+      engine.handle(tor::Request{"POST", "/signup", "handle=investigator"}, kLate);
+  EXPECT_EQ(duplicate.status, 409);
+
+  const auto posted = engine.handle(
+      tor::Request{"POST", "/post", "thread=1&author=investigator&text=hello there"},
+      at(2016, 2, 1, 9));
+  EXPECT_EQ(posted.status, 200);
+  EXPECT_NE(posted.body.find("<posted id="), std::string::npos);
+
+  // The new post is visible on the Welcome thread with the right body.
+  const auto welcome =
+      engine.handle(tor::Request{"GET", "/thread/1", ""}, at(2016, 2, 1, 10));
+  const auto parsed = parse_thread_page(welcome.body);
+  ASSERT_TRUE(parsed.has_value());
+  bool found = false;
+  for (const auto& post : parsed->posts) {
+    if (post.body == "hello there") {
+      EXPECT_EQ(post.author, "investigator");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ForumEngine, PostValidation) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_EQ(engine.handle(tor::Request{"POST", "/post", "author=x&text=y"}, kLate).status, 400);
+  EXPECT_EQ(engine.handle(tor::Request{"POST", "/post", "thread=1&text=y"}, kLate).status, 400);
+  EXPECT_EQ(
+      engine.handle(tor::Request{"POST", "/post", "thread=1&author=ghost&text=y"}, kLate).status,
+      403);
+  EXPECT_EQ(
+      engine.handle(tor::Request{"POST", "/post", "thread=9999&author=member1&text=y"}, kLate)
+          .status,
+      404);
+}
+
+TEST(ForumEngine, SignupDirectApiThrowsOnDuplicate) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  engine.signup("probe");
+  EXPECT_THROW(engine.signup("probe"), std::invalid_argument);
+}
+
+TEST(ForumEngine, HandleOfMapsPersonaToMember) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_FALSE(engine.handle_of(101).empty());
+  EXPECT_NE(engine.handle_of(101), engine.handle_of(202));
+  EXPECT_THROW(engine.handle_of(999), std::out_of_range);
+}
+
+TEST(ForumEngine, TrueTimeOfUnknownPostThrows) {
+  ForumEngine engine{basic_config(), tiny_crowd()};
+  EXPECT_THROW(engine.true_time_of(424242), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tzgeo::forum

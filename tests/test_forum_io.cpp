@@ -1,0 +1,99 @@
+#include "forum/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tzgeo::forum {
+namespace {
+
+[[nodiscard]] ScrapeDump sample_dump() {
+  ScrapeDump dump;
+  dump.forum_name = "CRD Club";
+  dump.onion = "crdclub4wraumez4";
+  ScrapeRecord a;
+  a.post_id = 1;
+  a.thread_id = 3;
+  a.author = "wolf, the \"great\"";  // exercises CSV quoting
+  a.display_time = tz::CivilDateTime{tz::CivilDate{2016, 5, 12}, 18, 3, 44};
+  a.observed_utc = 1463076224;
+  ScrapeRecord b;
+  b.post_id = 2;
+  b.thread_id = 3;
+  b.author = "ghost";
+  b.display_time = std::nullopt;  // hidden-timestamp record
+  b.observed_utc = 1463076999;
+  dump.records = {a, b};
+  return dump;
+}
+
+TEST(DumpCsv, RoundTripPreservesRecords) {
+  const ScrapeDump original = sample_dump();
+  const ScrapeDump loaded = dump_from_csv(dump_to_csv(original));
+  EXPECT_EQ(loaded.forum_name, original.forum_name);
+  EXPECT_EQ(loaded.onion, original.onion);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.records[0].post_id, 1u);
+  EXPECT_EQ(loaded.records[0].thread_id, 3u);
+  EXPECT_EQ(loaded.records[0].author, original.records[0].author);
+  EXPECT_EQ(loaded.records[0].display_time, original.records[0].display_time);
+  EXPECT_EQ(loaded.records[0].observed_utc, original.records[0].observed_utc);
+  EXPECT_FALSE(loaded.records[1].display_time.has_value());
+  EXPECT_EQ(loaded.malformed_posts, 0u);
+}
+
+TEST(DumpCsv, EmptyDumpRoundTrips) {
+  ScrapeDump empty;
+  empty.forum_name = "x";
+  empty.onion = "y";
+  const ScrapeDump loaded = dump_from_csv(dump_to_csv(empty));
+  EXPECT_EQ(loaded.forum_name, "x");
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST(DumpCsv, MissingMetadataCommentTolerated) {
+  const ScrapeDump loaded = dump_from_csv(
+      "post_id,thread_id,author,display_time,observed_utc\n"
+      "7,1,someone,,1463076000\n");
+  EXPECT_TRUE(loaded.forum_name.empty());
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].post_id, 7u);
+}
+
+TEST(DumpCsv, MalformedRowsCounted) {
+  const ScrapeDump loaded = dump_from_csv(
+      "post_id,thread_id,author,display_time,observed_utc\n"
+      "x,1,a,,1463076000\n"          // bad post id
+      "1,y,a,,1463076000\n"          // bad thread id
+      "2,1,,,1463076000\n"           // empty author
+      "3,1,a,,zzz\n"                 // bad observed time
+      "4,1,a,garbage,1463076000\n"   // bad display time
+      "5,1,a,2016-05-12 18:03:44,1463076000\n");
+  EXPECT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.malformed_posts, 5u);
+}
+
+TEST(DumpCsv, WrongColumnCountThrows) {
+  EXPECT_THROW(dump_from_csv("a,b\n1,2\n"), std::invalid_argument);
+}
+
+TEST(DumpCsv, EmptyInputYieldsEmptyDump) {
+  const ScrapeDump loaded = dump_from_csv("");
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST(DumpCsvFile, RoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "tzgeo_dump_test.csv";
+  dump_to_csv_file(sample_dump(), path);
+  const ScrapeDump loaded = dump_from_csv_file(path);
+  EXPECT_EQ(loaded.records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DumpCsvFile, MissingFileThrows) {
+  EXPECT_THROW(dump_from_csv_file("/no/such/path.csv"), std::runtime_error);
+  EXPECT_THROW(dump_to_csv_file(ScrapeDump{}, "/no/such/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tzgeo::forum

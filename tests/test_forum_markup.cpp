@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "forum/parser.hpp"
+#include "forum/render.hpp"
+
+namespace tzgeo::forum {
+namespace {
+
+TEST(EscapeMarkup, RoundTrip) {
+  const std::string nasty = R"(a<b>&"c" & <post id="1">)";
+  EXPECT_EQ(unescape_markup(escape_markup(nasty)), nasty);
+}
+
+TEST(EscapeMarkup, ProducesNoRawDelimiters) {
+  const std::string escaped = escape_markup("<post>&\"");
+  EXPECT_EQ(escaped.find('<'), std::string::npos);
+  EXPECT_EQ(escaped.find('>'), std::string::npos);
+  EXPECT_EQ(escaped.find('"'), std::string::npos);
+}
+
+TEST(Timestamp, FormatKnownValue) {
+  const tz::CivilDateTime dt{tz::CivilDate{2016, 5, 12}, 18, 3, 44};
+  EXPECT_EQ(format_timestamp(dt), "2016-05-12 18:03:44");
+}
+
+TEST(Timestamp, ParseRoundTrip) {
+  const tz::CivilDateTime dt{tz::CivilDate{2016, 12, 31}, 23, 59, 59};
+  EXPECT_EQ(parse_timestamp(format_timestamp(dt)), dt);
+}
+
+TEST(Timestamp, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_timestamp("").has_value());
+  EXPECT_FALSE(parse_timestamp("2016-05-12").has_value());
+  EXPECT_FALSE(parse_timestamp("2016-13-01 00:00:00").has_value());
+  EXPECT_FALSE(parse_timestamp("2016-02-30 00:00:00").has_value());
+  EXPECT_FALSE(parse_timestamp("2016-05-12 24:00:00").has_value());
+  EXPECT_FALSE(parse_timestamp("2016-05-12 18:61:00").has_value());
+  EXPECT_FALSE(parse_timestamp("2016-05-12 18:03:44xyz").has_value());
+  EXPECT_FALSE(parse_timestamp("not a time").has_value());
+}
+
+TEST(Timestamp, ParseLeapDay) {
+  EXPECT_TRUE(parse_timestamp("2016-02-29 12:00:00").has_value());
+  EXPECT_FALSE(parse_timestamp("2017-02-29 12:00:00").has_value());
+}
+
+TEST(Attribute, ExtractsAndUnescapes) {
+  EXPECT_EQ(attribute(R"(id="42" author="a&amp;b")", "author"), "a&b");
+  EXPECT_EQ(attribute(R"(id="42")", "id"), "42");
+  EXPECT_FALSE(attribute(R"(id="42")", "missing").has_value());
+}
+
+TEST(ThreadPage, RenderParseRoundTrip) {
+  const Thread thread{7, "carding & \"dumps\" 101", "Market"};
+  std::vector<RenderedPost> posts;
+  posts.push_back(RenderedPost{120, "wolf<3",
+                               tz::CivilDateTime{tz::CivilDate{2016, 5, 12}, 18, 3, 44},
+                               "first <b>post</b>"});
+  posts.push_back(RenderedPost{121, "ghost", std::nullopt, "no timestamp shown"});
+
+  const std::string markup = render_thread_page("CRD Club", thread, posts, 2, 9);
+  const auto parsed = parse_thread_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->thread_id, 7u);
+  EXPECT_EQ(parsed->title, thread.title);
+  EXPECT_EQ(parsed->page, 2u);
+  EXPECT_EQ(parsed->pages, 9u);
+  EXPECT_EQ(parsed->malformed_posts, 0u);
+  ASSERT_EQ(parsed->posts.size(), 2u);
+  EXPECT_EQ(parsed->posts[0].id, 120u);
+  EXPECT_EQ(parsed->posts[0].author, "wolf<3");
+  EXPECT_EQ(parsed->posts[0].display_time, posts[0].display_time);
+  EXPECT_EQ(parsed->posts[0].body, "first <b>post</b>");
+  EXPECT_FALSE(parsed->posts[1].display_time.has_value());
+}
+
+TEST(ThreadPage, ParseRejectsNonThreadMarkup) {
+  EXPECT_FALSE(parse_thread_page("<html>hello</html>").has_value());
+  EXPECT_FALSE(parse_thread_page("").has_value());
+}
+
+TEST(ThreadPage, MalformedPostsAreCountedAndSkipped) {
+  const std::string markup =
+      "<forum name=\"X\">\n"
+      "<thread id=\"1\" title=\"t\" page=\"1\" pages=\"1\">\n"
+      "<post id=\"nope\" author=\"a\" time=\"2016-01-01 00:00:00\">bad id</post>\n"
+      "<post id=\"2\" author=\"\" time=\"2016-01-01 00:00:00\">empty author</post>\n"
+      "<post id=\"3\" author=\"ok\" time=\"garbage\">bad time</post>\n"
+      "<post id=\"4\" author=\"ok\">missing time attr and marker</post>\n"
+      "<post id=\"5\" author=\"fine\" time=\"2016-01-01 10:00:00\">good</post>\n"
+      "</thread>\n</forum>\n";
+  const auto parsed = parse_thread_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->malformed_posts, 4u);
+  ASSERT_EQ(parsed->posts.size(), 1u);
+  EXPECT_EQ(parsed->posts[0].id, 5u);
+}
+
+TEST(ThreadPage, UnterminatedPostBodyCounted) {
+  const std::string markup =
+      "<forum name=\"X\">\n"
+      "<thread id=\"1\" title=\"t\" page=\"1\" pages=\"1\">\n"
+      "<post id=\"5\" author=\"a\" time=\"2016-01-01 10:00:00\">never closed\n"
+      "</thread>\n</forum>\n";
+  const auto parsed = parse_thread_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->posts.size(), 0u);
+  EXPECT_EQ(parsed->malformed_posts, 1u);
+}
+
+TEST(IndexPage, RenderParseRoundTrip) {
+  std::vector<ThreadRef> threads;
+  threads.push_back(ThreadRef{1, "Welcome", 3});
+  threads.push_back(ThreadRef{2, "drugs & <stuff>", 12});
+  const std::string markup = render_index_page("Dream Market", threads, 1, 2);
+  const auto parsed = parse_index_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->page, 1u);
+  EXPECT_EQ(parsed->pages, 2u);
+  ASSERT_EQ(parsed->threads.size(), 2u);
+  EXPECT_EQ(parsed->threads[1].title, "drugs & <stuff>");
+  EXPECT_EQ(parsed->threads[1].pages, 12u);
+}
+
+TEST(IndexPage, ParseRejectsNonIndexMarkup) {
+  EXPECT_FALSE(parse_index_page("<forum name=\"x\"><thread/></forum>").has_value());
+}
+
+TEST(TimestampFormats, RenderKnownValues) {
+  const tz::CivilDateTime dt{tz::CivilDate{2016, 5, 12}, 18, 3, 44};
+  const tz::CivilDate today{2016, 5, 12};
+  EXPECT_EQ(format_timestamp(dt, TimestampFormat::kIso, today), "2016-05-12 18:03:44");
+  EXPECT_EQ(format_timestamp(dt, TimestampFormat::kEuropean, today), "12.05.2016 18:03:44");
+  EXPECT_EQ(format_timestamp(dt, TimestampFormat::kUsAmPm, today), "05/12/2016 6:03:44 pm");
+  EXPECT_EQ(format_timestamp(dt, TimestampFormat::kRelativeDay, today), "today 18:03:44");
+}
+
+TEST(TimestampFormats, UsAmPmEdgeHours) {
+  const tz::CivilDate today{2016, 5, 12};
+  EXPECT_EQ(format_timestamp({tz::CivilDate{2016, 5, 12}, 0, 5, 0},
+                             TimestampFormat::kUsAmPm, today),
+            "05/12/2016 12:05:00 am");
+  EXPECT_EQ(format_timestamp({tz::CivilDate{2016, 5, 12}, 12, 0, 0},
+                             TimestampFormat::kUsAmPm, today),
+            "05/12/2016 12:00:00 pm");
+  EXPECT_EQ(format_timestamp({tz::CivilDate{2016, 5, 12}, 11, 59, 59},
+                             TimestampFormat::kUsAmPm, today),
+            "05/12/2016 11:59:59 am");
+}
+
+TEST(TimestampFormats, RelativeDayFallsBackToIso) {
+  const tz::CivilDateTime dt{tz::CivilDate{2016, 5, 10}, 9, 0, 0};
+  const tz::CivilDate today{2016, 5, 12};  // two days later
+  EXPECT_EQ(format_timestamp(dt, TimestampFormat::kRelativeDay, today), "2016-05-10 09:00:00");
+  EXPECT_EQ(format_timestamp({tz::CivilDate{2016, 5, 11}, 9, 0, 0},
+                             TimestampFormat::kRelativeDay, today),
+            "yesterday 09:00:00");
+}
+
+TEST(ParseTimestampAny, RoundTripsEveryFormat) {
+  const tz::CivilDateTime dt{tz::CivilDate{2016, 5, 12}, 18, 3, 44};
+  const tz::CivilDate today{2016, 5, 13};
+  for (const auto format : {TimestampFormat::kIso, TimestampFormat::kEuropean,
+                            TimestampFormat::kUsAmPm, TimestampFormat::kRelativeDay}) {
+    const std::string text = format_timestamp(dt, format, today);
+    const auto parsed = parse_timestamp_any(text, today);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, dt) << text;
+  }
+}
+
+TEST(ParseTimestampAny, MidnightEdgeRoundTrips) {
+  const tz::CivilDate today{2016, 3, 1};  // day after a leap-February end
+  for (const auto format : {TimestampFormat::kUsAmPm, TimestampFormat::kRelativeDay}) {
+    const tz::CivilDateTime midnight{tz::CivilDate{2016, 2, 29}, 0, 0, 0};
+    const std::string text = format_timestamp(midnight, format, today);
+    const auto parsed = parse_timestamp_any(text, today);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, midnight) << text;
+  }
+}
+
+TEST(ParseTimestampAny, RelativeNeedsContext) {
+  EXPECT_FALSE(parse_timestamp_any("today 18:03:44").has_value());
+  EXPECT_TRUE(parse_timestamp_any("today 18:03:44", tz::CivilDate{2016, 5, 12}).has_value());
+}
+
+TEST(ParseTimestampAny, RejectsMalformedVariants) {
+  const tz::CivilDate today{2016, 5, 12};
+  EXPECT_FALSE(parse_timestamp_any("32.05.2016 10:00:00", today).has_value());
+  EXPECT_FALSE(parse_timestamp_any("05/12/2016 13:00:00 pm", today).has_value());
+  EXPECT_FALSE(parse_timestamp_any("05/12/2016 6:03:44 xx", today).has_value());
+  EXPECT_FALSE(parse_timestamp_any("tomorrow 10:00:00", today).has_value());
+  EXPECT_FALSE(parse_timestamp_any("today 25:00:00", today).has_value());
+  EXPECT_FALSE(parse_timestamp_any("", today).has_value());
+}
+
+TEST(ParseTimestampAny, EuropeanAndIsoDisambiguatedByShape) {
+  // "2016-05-12" cannot be European; "12.05.2016" cannot be ISO.
+  const auto iso = parse_timestamp_any("2016-05-12 01:02:03");
+  const auto european = parse_timestamp_any("12.05.2016 01:02:03");
+  ASSERT_TRUE(iso.has_value());
+  ASSERT_TRUE(european.has_value());
+  EXPECT_EQ(*iso, *european);
+}
+
+TEST(ThreadPage, RendersAndParsesEveryTimestampFormat) {
+  const tz::CivilDate today{2016, 5, 13};
+  for (const auto format : {TimestampFormat::kIso, TimestampFormat::kEuropean,
+                            TimestampFormat::kUsAmPm, TimestampFormat::kRelativeDay}) {
+    std::vector<RenderedPost> posts{
+        RenderedPost{1, "a", tz::CivilDateTime{tz::CivilDate{2016, 5, 13}, 7, 8, 9}, "x"}};
+    const std::string markup =
+        render_thread_page("F", Thread{1, "t", "Main"}, posts, 1, 1, format, today);
+    const auto parsed = parse_thread_page(markup, today);
+    ASSERT_TRUE(parsed.has_value()) << to_string(format);
+    ASSERT_EQ(parsed->posts.size(), 1u) << to_string(format);
+    EXPECT_EQ(parsed->posts[0].display_time, posts[0].display_time) << to_string(format);
+  }
+}
+
+TEST(TimestampFormats, Labels) {
+  EXPECT_STREQ(to_string(TimestampFormat::kIso), "iso");
+  EXPECT_STREQ(to_string(TimestampFormat::kEuropean), "european");
+  EXPECT_STREQ(to_string(TimestampFormat::kUsAmPm), "us_ampm");
+  EXPECT_STREQ(to_string(TimestampFormat::kRelativeDay), "relative_day");
+}
+
+TEST(TimestampPolicy, ToStringLabels) {
+  EXPECT_STREQ(to_string(TimestampPolicy::kUtc), "utc");
+  EXPECT_STREQ(to_string(TimestampPolicy::kServerLocal), "server_local");
+  EXPECT_STREQ(to_string(TimestampPolicy::kHidden), "hidden");
+  EXPECT_STREQ(to_string(TimestampPolicy::kRandomDelay), "random_delay");
+}
+
+}  // namespace
+}  // namespace tzgeo::forum

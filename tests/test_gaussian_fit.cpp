@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "stats/curve_fit.hpp"
+#include "stats/gaussian.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::stats {
+namespace {
+
+TEST(GaussianPdf, PeakValue) {
+  EXPECT_NEAR(gaussian_pdf(0.0, 0.0, 1.0), 1.0 / std::sqrt(2.0 * std::numbers::pi), 1e-12);
+}
+
+TEST(GaussianPdf, SymmetricAroundMean) {
+  EXPECT_DOUBLE_EQ(gaussian_pdf(3.0, 5.0, 2.0), gaussian_pdf(7.0, 5.0, 2.0));
+}
+
+TEST(GaussianPdf, IntegratesToOne) {
+  double sum = 0.0;
+  for (double x = -10.0; x <= 10.0; x += 0.01) sum += gaussian_pdf(x, 0.0, 1.0) * 0.01;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(GaussianCurve, EvaluatesAmplitudeAtMean) {
+  const Gaussian g{2.5, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(g(4.0), 2.5);
+  EXPECT_LT(g(8.0), 2.5);
+}
+
+TEST(WrappedGaussian, MatchesUnwrappedWhenFarFromBoundary) {
+  EXPECT_NEAR(wrapped_gaussian_pdf(12.0, 12.0, 1.0, 24.0), gaussian_pdf(12.0, 12.0, 1.0),
+              1e-9);
+}
+
+TEST(WrappedGaussian, WrapsMassAcrossBoundary) {
+  // A component centered at 23.5 contributes at hour 0.5.
+  const double near = wrapped_gaussian_pdf(0.5, 23.5, 1.0, 24.0);
+  const double far = wrapped_gaussian_pdf(12.0, 23.5, 1.0, 24.0);
+  EXPECT_GT(near, 100.0 * far);
+}
+
+TEST(WrappedGaussian, IntegratesToOneOverPeriod) {
+  double sum = 0.0;
+  for (double x = 0.0; x < 24.0; x += 0.01) sum += wrapped_gaussian_pdf(x, 20.0, 2.5, 24.0) * 0.01;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(SampleCurve, BinCenters) {
+  const Gaussian g{1.0, 2.0, 1.0};
+  const auto samples = sample_curve(g, 5);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(samples[2], 1.0);
+  EXPECT_DOUBLE_EQ(samples[1], samples[3]);
+}
+
+TEST(SampleCurves, SumsComponents) {
+  const std::vector<Gaussian> gs{{1.0, 1.0, 1.0}, {1.0, 3.0, 1.0}};
+  const auto samples = sample_curves(gs, 5);
+  EXPECT_DOUBLE_EQ(samples[1], gs[0](1.0) + gs[1](1.0));
+}
+
+TEST(SampleWrappedMixture, WeightsApplied) {
+  const std::vector<WrappedComponent> comps{{0.25, 6.0, 1.0}, {0.75, 18.0, 1.0}};
+  const auto samples = sample_wrapped_mixture(comps, 24);
+  EXPECT_NEAR(samples[18] / samples[6], 3.0, 0.01);
+}
+
+TEST(FitGaussian, RecoversExactCurve) {
+  const Gaussian truth{0.3, 11.0, 2.5};
+  const auto ys = sample_curve(truth, 24);
+  const FitResult fit = fit_gaussian(ys);
+  EXPECT_NEAR(fit.curve.amplitude, truth.amplitude, 1e-6);
+  EXPECT_NEAR(fit.curve.mean, truth.mean, 1e-6);
+  EXPECT_NEAR(fit.curve.sigma, truth.sigma, 1e-6);
+  EXPECT_LT(fit.rss, 1e-12);
+}
+
+TEST(FitGaussian, RecoversUnderNoise) {
+  const Gaussian truth{0.2, 8.0, 3.0};
+  auto ys = sample_curve(truth, 24);
+  util::Rng rng{5};
+  for (double& y : ys) y = std::max(0.0, y + rng.normal(0.0, 0.005));
+  const FitResult fit = fit_gaussian(ys);
+  EXPECT_NEAR(fit.curve.mean, truth.mean, 0.3);
+  EXPECT_NEAR(fit.curve.sigma, truth.sigma, 0.5);
+}
+
+TEST(FitGaussian, SigmaFloorEnforced) {
+  // A spike narrower than the floor cannot produce sigma below it.
+  std::vector<double> ys(24, 0.0);
+  ys[10] = 1.0;
+  FitOptions options;
+  options.sigma_floor = 0.4;
+  const FitResult fit = fit_gaussian(ys, options);
+  EXPECT_GE(fit.curve.sigma, 0.4);
+}
+
+TEST(FitGaussian, ExplicitXCoordinates) {
+  const Gaussian truth{1.0, 0.0, 1.0};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = -5.0; x <= 5.0; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(truth(x));
+  }
+  const FitResult fit = fit_gaussian(xs, ys);
+  EXPECT_NEAR(fit.curve.mean, 0.0, 1e-6);
+}
+
+TEST(FitGaussian, TooFewPointsThrows) {
+  EXPECT_THROW(fit_gaussian(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FitGaussian, ArityMismatchThrows) {
+  EXPECT_THROW(fit_gaussian(std::vector<double>{1, 2, 3}, std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+// Parameterized sweep over means and widths: the fitter must recover the
+// parameters anywhere on the 24-bin axis.
+class FitSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FitSweep, RecoversMeanAndSigma) {
+  const auto [mean, sigma] = GetParam();
+  const Gaussian truth{0.25, mean, sigma};
+  const auto ys = sample_curve(truth, 24);
+  const FitResult fit = fit_gaussian(ys);
+  EXPECT_NEAR(fit.curve.mean, mean, 0.05) << "mean=" << mean << " sigma=" << sigma;
+  EXPECT_NEAR(fit.curve.sigma, sigma, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeansAndWidths, FitSweep,
+                         ::testing::Combine(::testing::Values(4.0, 8.0, 12.0, 16.0, 20.0),
+                                            ::testing::Values(1.5, 2.5, 3.5)));
+
+}  // namespace
+}  // namespace tzgeo::stats

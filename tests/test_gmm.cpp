@@ -1,0 +1,190 @@
+#include "stats/gmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/gaussian.hpp"
+
+namespace tzgeo::stats {
+namespace {
+
+/// Weighted samples on 0..23 drawn from a wrapped-free (interior) mixture.
+struct BinnedMixture {
+  std::vector<double> xs;
+  std::vector<double> weights;
+};
+
+[[nodiscard]] BinnedMixture binned(const std::vector<WrappedComponent>& comps,
+                                   double total_users) {
+  BinnedMixture data;
+  for (int b = 0; b < 24; ++b) {
+    data.xs.push_back(static_cast<double>(b));
+    double density = 0.0;
+    for (const auto& c : comps) density += c.weight * gaussian_pdf(data.xs.back(), c.mean, c.sigma);
+    data.weights.push_back(density * total_users);
+  }
+  return data;
+}
+
+TEST(FitGmm, SingleComponentRecovery) {
+  const auto data = binned({{1.0, 11.0, 2.5}}, 500);
+  const GmmFit fit = fit_gmm(data.xs, data.weights, 1);
+  ASSERT_EQ(fit.components.size(), 1u);
+  EXPECT_NEAR(fit.components[0].mean, 11.0, 0.1);
+  EXPECT_NEAR(fit.components[0].sigma, 2.5, 0.2);
+  EXPECT_NEAR(fit.components[0].weight, 1.0, 1e-9);
+}
+
+TEST(FitGmm, TwoComponentRecovery) {
+  const auto data = binned({{0.6, 6.0, 2.0}, {0.4, 17.0, 2.0}}, 1000);
+  const GmmFit fit = fit_gmm(data.xs, data.weights, 2);
+  ASSERT_EQ(fit.components.size(), 2u);
+  EXPECT_NEAR(fit.components[0].mean, 6.0, 0.3);
+  EXPECT_NEAR(fit.components[0].weight, 0.6, 0.05);
+  EXPECT_NEAR(fit.components[1].mean, 17.0, 0.3);
+}
+
+TEST(FitGmm, ComponentsSortedByWeight) {
+  const auto data = binned({{0.2, 4.0, 1.5}, {0.8, 18.0, 1.5}}, 1000);
+  const GmmFit fit = fit_gmm(data.xs, data.weights, 2);
+  EXPECT_GE(fit.components[0].weight, fit.components[1].weight);
+}
+
+TEST(FitGmm, ValidatesInputs) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(fit_gmm(xs, std::vector<double>{1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(fit_gmm(xs, std::vector<double>{1.0, -1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(fit_gmm(xs, std::vector<double>{0.0, 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(fit_gmm(xs, std::vector<double>{1.0, 1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(fit_gmm(std::vector<double>{}, std::vector<double>{}, 1),
+               std::invalid_argument);
+}
+
+TEST(FitGmm, SigmaRespectsFloorAndCeiling) {
+  GmmOptions options;
+  options.fix_sigma = false;  // exercise the free-sigma path
+  options.sigma_floor = 1.0;
+  options.sigma_max = 2.0;
+  const auto data = binned({{1.0, 12.0, 5.0}}, 400);
+  const GmmFit fit = fit_gmm(data.xs, data.weights, 1, options);
+  EXPECT_LE(fit.components[0].sigma, 2.0 + 1e-9);
+  const auto narrow = binned({{1.0, 12.0, 0.3}}, 400);
+  const GmmFit narrow_fit = fit_gmm(narrow.xs, narrow.weights, 1, options);
+  EXPECT_GE(narrow_fit.components[0].sigma, 1.0 - 1e-9);
+}
+
+TEST(FitGmm, LogLikelihoodImprovesWithCorrectK) {
+  const auto data = binned({{0.5, 5.0, 2.0}, {0.5, 18.0, 2.0}}, 1000);
+  const GmmFit k1 = fit_gmm(data.xs, data.weights, 1);
+  const GmmFit k2 = fit_gmm(data.xs, data.weights, 2);
+  EXPECT_GT(k2.log_likelihood, k1.log_likelihood);
+  EXPECT_LT(k2.bic, k1.bic);
+}
+
+TEST(FitGmmAuto, SelectsOneComponentForSingleRegion) {
+  const auto data = binned({{1.0, 13.0, 2.5}}, 300);
+  const GmmFit fit = fit_gmm_auto(data.xs, data.weights);
+  EXPECT_EQ(fit.components.size(), 1u);
+  EXPECT_NEAR(fit.components[0].mean, 13.0, 0.3);
+}
+
+TEST(FitGmmAuto, SelectsTwoComponentsForTwoRegions) {
+  const auto data = binned({{0.65, 7.0, 2.5}, {0.35, 18.0, 2.5}}, 600);
+  const GmmFit fit = fit_gmm_auto(data.xs, data.weights);
+  ASSERT_EQ(fit.components.size(), 2u);
+  EXPECT_NEAR(fit.components[0].mean, 7.0, 0.5);
+  EXPECT_NEAR(fit.components[1].mean, 18.0, 0.5);
+}
+
+TEST(FitGmmAuto, SelectsThreeComponentsIncludingSmallMiddle) {
+  // The Fig. 6(b) shape: a 16% component wedged between two large ones.
+  const auto data = binned({{0.57, 19.0, 2.3}, {0.27, 5.5, 2.3}, {0.16, 12.5, 2.3}}, 3000);
+  const GmmFit fit = fit_gmm_auto(data.xs, data.weights);
+  ASSERT_EQ(fit.components.size(), 3u);
+  EXPECT_NEAR(fit.components[2].mean, 12.5, 1.0);
+}
+
+TEST(FitGmmAuto, PrunesNegligibleComponents) {
+  GmmOptions options;
+  options.min_weight = 0.1;
+  const auto data = binned({{0.95, 10.0, 2.0}, {0.05, 20.0, 2.0}}, 500);
+  const GmmFit fit = fit_gmm_auto(data.xs, data.weights, options);
+  EXPECT_EQ(fit.components.size(), 1u);
+  double total = 0.0;
+  for (const auto& c : fit.components) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MergeCloseComponents, MergesWithinDistance) {
+  std::vector<GmmComponent> comps{{0.5, 10.0, 1.0}, {0.5, 11.0, 1.0}};
+  const auto merged = merge_close_components(comps, 2.0);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_NEAR(merged[0].mean, 10.5, 1e-9);
+  EXPECT_NEAR(merged[0].weight, 1.0, 1e-9);
+  // Moment-preserving: variance picks up the mean spread.
+  EXPECT_GT(merged[0].sigma, 1.0);
+}
+
+TEST(MergeCloseComponents, LeavesDistantAlone) {
+  std::vector<GmmComponent> comps{{0.5, 5.0, 1.0}, {0.5, 15.0, 1.0}};
+  EXPECT_EQ(merge_close_components(comps, 2.0).size(), 2u);
+}
+
+TEST(MergeCloseComponents, ChainsTransitively) {
+  // (10, 11.5) merge to ~10.74; 12.5 is then within 2.0 of the merged
+  // mean, so the chain collapses to a single component.
+  std::vector<GmmComponent> comps{{0.34, 10.0, 1.0}, {0.33, 11.5, 1.0}, {0.33, 12.5, 1.0}};
+  EXPECT_EQ(merge_close_components(comps, 2.0).size(), 1u);
+}
+
+TEST(MergeCloseComponents, StopsWhenMergedMeanDriftsAway) {
+  // (10, 11.5) merge to ~10.74, which is > 2.0 from 13.0 — two remain.
+  std::vector<GmmComponent> comps{{0.34, 10.0, 1.0}, {0.33, 11.5, 1.0}, {0.33, 13.0, 1.0}};
+  EXPECT_EQ(merge_close_components(comps, 2.0).size(), 2u);
+}
+
+TEST(MergeCloseComponents, ZeroDistanceDisables) {
+  std::vector<GmmComponent> comps{{0.5, 10.0, 1.0}, {0.5, 10.1, 1.0}};
+  EXPECT_EQ(merge_close_components(comps, 0.0).size(), 2u);
+}
+
+TEST(GmmFit, DensityAndSampleAgree) {
+  const auto data = binned({{1.0, 9.0, 2.0}}, 200);
+  const GmmFit fit = fit_gmm(data.xs, data.weights, 1);
+  const auto samples = fit.sample(24);
+  for (int b = 0; b < 24; ++b) {
+    EXPECT_DOUBLE_EQ(samples[static_cast<std::size_t>(b)], fit.density(b));
+  }
+}
+
+TEST(FitGmm, ConvergesAndReportsIterations) {
+  const auto data = binned({{1.0, 12.0, 2.5}}, 100);
+  const GmmFit fit = fit_gmm(data.xs, data.weights, 1);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_GT(fit.iterations, 0);
+}
+
+// Separation sweep: auto-K must find both components whenever they are at
+// least ~2 sigma apart.
+class GmmSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GmmSeparationSweep, RecoversTwoWellSeparatedComponents) {
+  const double separation = GetParam();
+  const double center = 12.0;
+  const auto data = binned({{0.5, center - separation / 2, 2.0},
+                            {0.5, center + separation / 2, 2.0}},
+                           2000);
+  const GmmFit fit = fit_gmm_auto(data.xs, data.weights);
+  ASSERT_EQ(fit.components.size(), 2u) << "separation=" << separation;
+  const double spread =
+      std::abs(fit.components[0].mean - fit.components[1].mean);
+  EXPECT_NEAR(spread, separation, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, GmmSeparationSweep,
+                         ::testing::Values(6.0, 8.0, 10.0, 12.0, 14.0));
+
+}  // namespace
+}  // namespace tzgeo::stats

@@ -1,0 +1,109 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::stats {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram{0}, std::invalid_argument);
+  const Histogram h{24};
+  EXPECT_EQ(h.bins(), 24u);
+  EXPECT_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, AddAccumulates) {
+  Histogram h{4};
+  h.add(0);
+  h.add(0, 2.5);
+  h.add(3);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.5);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.5);
+}
+
+TEST(Histogram, AddOutOfRangeThrows) {
+  Histogram h{4};
+  EXPECT_THROW(h.add(4), std::out_of_range);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram h{3};
+  h.add(0, 1.0);
+  h.add(1, 3.0);
+  const auto n = h.normalized();
+  EXPECT_DOUBLE_EQ(n[0] + n[1] + n[2], 1.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.75);
+}
+
+TEST(Histogram, EmptyNormalizesToUniform) {
+  const Histogram h{4};
+  const auto n = h.normalized();
+  for (const double v : n) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h{2};
+  h.add(1, 5.0);
+  h.clear();
+  EXPECT_EQ(h.total(), 0.0);
+}
+
+TEST(Normalize, ZeroTotalGivesUniform) {
+  const std::vector<double> zeros(5, 0.0);
+  const auto n = normalize(zeros);
+  for (const double v : n) EXPECT_DOUBLE_EQ(v, 0.2);
+}
+
+TEST(Normalize, EmptyInput) { EXPECT_TRUE(normalize(std::vector<double>{}).empty()); }
+
+TEST(CyclicShift, PositiveMovesTowardHigherIndices) {
+  const std::vector<double> v{1, 0, 0, 0};
+  const auto s = cyclic_shift(v, 1);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+}
+
+TEST(CyclicShift, NegativeAndWrapping) {
+  const std::vector<double> v{1, 2, 3, 4};
+  const auto s = cyclic_shift(v, -1);
+  EXPECT_EQ(s, (std::vector<double>{2, 3, 4, 1}));
+  const auto s5 = cyclic_shift(v, 5);  // == shift 1
+  EXPECT_EQ(s5, (std::vector<double>{4, 1, 2, 3}));
+}
+
+TEST(CyclicShift, ZeroShiftIsIdentity) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_EQ(cyclic_shift(v, 0), v);
+  EXPECT_EQ(cyclic_shift(v, 3), v);
+  EXPECT_EQ(cyclic_shift(v, -3), v);
+}
+
+TEST(CyclicShift, ShiftComposition) {
+  const std::vector<double> v{0.1, 0.4, 0.3, 0.2};
+  EXPECT_EQ(cyclic_shift(cyclic_shift(v, 2), -2), v);
+}
+
+TEST(Argmax, FirstOfTies) {
+  EXPECT_EQ(argmax(std::vector<double>{1, 3, 3, 2}), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{5}), 0u);
+}
+
+TEST(Argmax, EmptyThrows) {
+  EXPECT_THROW(argmax(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(UniformDistribution, Values) {
+  const auto u = uniform_distribution(24);
+  ASSERT_EQ(u.size(), 24u);
+  for (const double v : u) EXPECT_DOUBLE_EQ(v, 1.0 / 24.0);
+  EXPECT_TRUE(uniform_distribution(0).empty());
+}
+
+TEST(TotalMass, Sums) {
+  EXPECT_DOUBLE_EQ(total_mass(std::vector<double>{0.5, 0.25, 0.25}), 1.0);
+  EXPECT_DOUBLE_EQ(total_mass(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace tzgeo::stats

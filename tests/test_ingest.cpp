@@ -1,0 +1,117 @@
+#include "core/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tzgeo::core {
+namespace {
+
+TEST(TraceFromCsv, HeaderAndEpochSeconds) {
+  const auto result = trace_from_csv("author,utc_time\nwolf,1451606400\nwolf,1451610000\n");
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.rows_rejected, 0u);
+  EXPECT_EQ(result.trace.user_count(), 1u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("wolf")).size(), 2u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("wolf")).front(), 1451606400);
+}
+
+TEST(TraceFromCsv, CivilTimestampFormat) {
+  const auto result = trace_from_csv("author,utc_time\nghost,2016-01-01 00:00:00\n");
+  EXPECT_EQ(result.rows_ok, 1u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("ghost")).front(), 1451606400);
+}
+
+TEST(TraceFromCsv, MixedFormatsAndUsers) {
+  const auto result = trace_from_csv(
+      "author,utc_time\n"
+      "a,2016-06-15 12:30:00\n"
+      "b,1466000000\n"
+      "a,1466000001\n");
+  EXPECT_EQ(result.rows_ok, 3u);
+  EXPECT_EQ(result.trace.user_count(), 2u);
+}
+
+TEST(TraceFromCsv, HeaderlessDataIsAccepted) {
+  // First row is data, not a recognized header: it must not be lost.
+  const auto result = trace_from_csv("wolf,1451606400\nghost,1451606401\n");
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.trace.user_count(), 2u);
+}
+
+TEST(TraceFromCsv, AlternateHeaderNames) {
+  const auto result = trace_from_csv("user,time\nwolf,1451606400\n");
+  EXPECT_EQ(result.rows_ok, 1u);
+  EXPECT_EQ(result.trace.user_count(), 1u);
+}
+
+TEST(TraceFromCsv, MalformedRowsCountedNotFatal) {
+  const auto result = trace_from_csv(
+      "author,utc_time\n"
+      "good,1451606400\n"
+      ",1451606400\n"                    // empty author
+      "bad,not-a-time\n"                 // junk timestamp
+      "bad,2016-13-01 00:00:00\n"        // invalid month
+      "bad,2016-02-30 00:00:00\n"        // invalid day
+      "also_good,2016-02-29 23:59:59\n"  // leap day is fine
+  );
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.rows_rejected, 4u);
+}
+
+TEST(TraceFromCsv, WhitespaceTolerated) {
+  const auto result = trace_from_csv("author,utc_time\n  wolf  ,  1451606400  \n");
+  EXPECT_EQ(result.rows_ok, 1u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("wolf")).size(), 1u);
+}
+
+TEST(TraceFromCsv, EmptyInputYieldsEmptyTrace) {
+  const auto result = trace_from_csv("");
+  EXPECT_EQ(result.rows_ok, 0u);
+  EXPECT_EQ(result.trace.user_count(), 0u);
+}
+
+TEST(TraceFromCsv, SingleColumnThrows) {
+  EXPECT_THROW(trace_from_csv("only_one_column\nvalue\n"), std::invalid_argument);
+}
+
+TEST(TraceToCsv, RoundTripPreservesStructure) {
+  ActivityTrace trace;
+  trace.add(1, 1000);
+  trace.add(1, 2000);
+  trace.add(2, 1500);
+  const auto result = trace_from_csv(trace_to_csv(trace));
+  EXPECT_EQ(result.rows_ok, 3u);
+  EXPECT_EQ(result.trace.user_count(), 2u);
+  EXPECT_EQ(result.trace.event_count(), 3u);
+  // Per-user event multisets survive (ids are re-derived from handles).
+  std::size_t with_two = 0;
+  for (const auto& [user, events] : result.trace.users()) {
+    if (events.size() == 2) ++with_two;
+  }
+  EXPECT_EQ(with_two, 1u);
+}
+
+TEST(TraceCsvFile, WriteAndReadBack) {
+  ActivityTrace trace;
+  trace.add("someone", 1451606400);
+  const std::string path = ::testing::TempDir() + "tzgeo_ingest_test.csv";
+  trace_to_csv_file(trace, path);
+  const auto result = trace_from_csv_file(path);
+  EXPECT_EQ(result.rows_ok, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsvFile, MissingFileThrows) {
+  EXPECT_THROW(trace_from_csv_file("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(TraceCsvFile, UnwritablePathThrows) {
+  ActivityTrace trace;
+  trace.add(1, 1);
+  EXPECT_THROW(trace_to_csv_file(trace, "/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

@@ -1,0 +1,148 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/report_json.hpp"
+
+namespace tzgeo {
+namespace {
+
+using util::JsonValue;
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(util::json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(util::json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(util::json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(util::json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(util::json_quote(std::string_view{"\x01", 1}), "\"\\u0001\"");
+}
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(JsonValue::null().dump(), "null");
+  EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+  EXPECT_EQ(JsonValue::boolean(false).dump(), "false");
+  EXPECT_EQ(JsonValue::integer(-42).dump(), "-42");
+  EXPECT_EQ(JsonValue::number(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue::string("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue::number(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(JsonValue::number(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonValue, ArraysAndObjectsCompact) {
+  JsonValue array = JsonValue::array();
+  array.push(JsonValue::integer(1)).push(JsonValue::string("two"));
+  EXPECT_EQ(array.dump(), "[1,\"two\"]");
+
+  JsonValue object = JsonValue::object();
+  object.set("a", JsonValue::integer(1)).set("b", JsonValue::array());
+  EXPECT_EQ(object.dump(), "{\"a\":1,\"b\":[]}");
+}
+
+TEST(JsonValue, PrettyPrintIndents) {
+  JsonValue object = JsonValue::object();
+  object.set("k", JsonValue::integer(1));
+  EXPECT_EQ(object.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(JsonValue, NestedStructure) {
+  JsonValue inner = JsonValue::object();
+  inner.set("x", JsonValue::number(0.5));
+  JsonValue array = JsonValue::array();
+  array.push(std::move(inner));
+  JsonValue root = JsonValue::object();
+  root.set("items", std::move(array));
+  EXPECT_EQ(root.dump(), "{\"items\":[{\"x\":0.5}]}");
+}
+
+TEST(JsonValue, TypeMisuseThrows) {
+  JsonValue scalar = JsonValue::integer(1);
+  EXPECT_THROW(scalar.push(JsonValue::null()), std::logic_error);
+  EXPECT_THROW(scalar.set("k", JsonValue::null()), std::logic_error);
+  JsonValue array = JsonValue::array();
+  EXPECT_THROW(array.set("k", JsonValue::null()), std::logic_error);
+}
+
+TEST(ReportJson, GeolocationResultSerializes) {
+  core::GeolocationResult result;
+  result.users_analyzed = 100;
+  result.users_filtered_flat = 7;
+  core::GeoComponent component;
+  component.weight = 0.7;
+  component.mean_zone = 1.4;
+  component.sigma = 2.5;
+  component.nearest_zone = 1;
+  result.components = {component};
+  result.placement.distribution.assign(core::kZoneCount, 1.0 / 24.0);
+  result.fitted_curve.assign(core::kZoneCount, 1.0 / 24.0);
+  result.fit_metrics = {0.01, 0.008};
+  result.baseline_metrics = {0.08, 0.06};
+  result.confidence = {0.1, 0.09, 0.8};
+
+  const std::string json = core::to_json(result).dump();
+  EXPECT_NE(json.find("\"users_analyzed\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"zone\":\"UTC+1\""), std::string::npos);
+  EXPECT_NE(json.find("\"weight\":0.7"), std::string::npos);
+  EXPECT_NE(json.find("\"baseline_12h\""), std::string::npos);
+  EXPECT_NE(json.find("\"decisive_fraction\":0.8"), std::string::npos);
+  // 24 placement entries.
+  std::size_t zones = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"fraction\"", pos)) != std::string::npos; ++pos) {
+    ++zones;
+  }
+  EXPECT_EQ(zones, core::kZoneCount);
+}
+
+TEST(ReportJson, DossierSerializes) {
+  core::UserDossier dossier;
+  dossier.user = 9;
+  dossier.posts = 120;
+  dossier.enough_data = true;
+  dossier.placement.zone_hours = -3;
+  dossier.placement.distance = 0.4;
+  dossier.placement.runner_up_distance = 0.6;
+  dossier.hemisphere.verdict = core::HemisphereVerdict::kSouthern;
+  dossier.rest_days.pattern = core::RestPattern::kSaturdaySunday;
+
+  const std::string json = core::to_json(dossier).dump();
+  EXPECT_NE(json.find("\"zone\":\"UTC-3\""), std::string::npos);
+  EXPECT_NE(json.find("\"hemisphere\":\"southern\""), std::string::npos);
+  EXPECT_NE(json.find("\"rest_pattern\":\"saturday-sunday\""), std::string::npos);
+  EXPECT_NE(json.find("\"zone_margin\":0.2"), std::string::npos);
+}
+
+TEST(ReportJson, BootstrapResultSerializes) {
+  core::BootstrapResult result;
+  result.resamples = 50;
+  result.component_count_stability = 0.94;
+  core::GeoComponent point;
+  point.weight = 0.6;
+  point.mean_zone = -5.8;
+  point.nearest_zone = -6;
+  point.sigma = 2.5;
+  core::ComponentInterval interval;
+  interval.point = point;
+  interval.mean_lo = -6.2;
+  interval.mean_hi = -5.3;
+  interval.weight_lo = 0.52;
+  interval.weight_hi = 0.67;
+  interval.support = 1.0;
+  result.components = {interval};
+  result.point.placement.distribution.assign(core::kZoneCount, 1.0 / 24.0);
+  result.point.fitted_curve.assign(core::kZoneCount, 1.0 / 24.0);
+
+  const std::string json = core::to_json(result).dump();
+  EXPECT_NE(json.find("\"resamples\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"component_count_stability\":0.94"), std::string::npos);
+  EXPECT_NE(json.find("\"center_lo\":-6.2"), std::string::npos);
+  EXPECT_NE(json.find("\"support\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"zone\":\"UTC-6\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tzgeo

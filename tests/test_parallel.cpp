@@ -1,0 +1,92 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] HourlyProfile canonical_shape() {
+  std::vector<double> counts(24, 0.01);
+  counts[9] = 0.2;
+  counts[20] = 0.5;
+  counts[21] = 0.3;
+  return HourlyProfile::from_counts(counts);
+}
+
+[[nodiscard]] std::vector<UserProfileEntry> random_crowd(std::size_t size, std::uint64_t seed,
+                                                         const TimeZoneProfiles& zones) {
+  util::Rng rng{seed};
+  std::vector<UserProfileEntry> users;
+  users.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    // Noisy profiles across all zones, so ties and near-ties occur.
+    std::vector<double> noisy =
+        zones.zone_profile(static_cast<std::int32_t>(rng.uniform_int(-11, 12))).values();
+    for (double& v : noisy) v = std::max(0.0, v + rng.normal(0.0, 0.01));
+    users.push_back(
+        UserProfileEntry{static_cast<std::uint64_t>(i), 40, HourlyProfile::from_counts(noisy)});
+  }
+  return users;
+}
+
+void expect_identical(const PlacementResult& a, const PlacementResult& b) {
+  ASSERT_EQ(a.users.size(), b.users.size());
+  for (std::size_t i = 0; i < a.users.size(); ++i) {
+    EXPECT_EQ(a.users[i].user, b.users[i].user);
+    EXPECT_EQ(a.users[i].zone_hours, b.users[i].zone_hours);
+    EXPECT_DOUBLE_EQ(a.users[i].distance, b.users[i].distance);
+    EXPECT_DOUBLE_EQ(a.users[i].runner_up_distance, b.users[i].runner_up_distance);
+  }
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.distribution, b.distribution);
+}
+
+TEST(ParallelPlacement, BitIdenticalToSerialLargeCrowd) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = random_crowd(1200, 3, zones);
+  expect_identical(place_crowd(users, zones), place_crowd_parallel(users, zones));
+}
+
+TEST(ParallelPlacement, SmallCrowdUsesSerialPathAndMatches) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = random_crowd(50, 4, zones);
+  expect_identical(place_crowd(users, zones), place_crowd_parallel(users, zones));
+}
+
+TEST(ParallelPlacement, ExplicitThreadCounts) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = random_crowd(700, 5, zones);
+  const PlacementResult serial = place_crowd(users, zones);
+  for (const std::size_t threads : {1u, 2u, 3u, 8u, 64u}) {
+    expect_identical(serial, place_crowd_parallel(users, zones,
+                                                  PlacementMetric::kCircularEmd, threads));
+  }
+}
+
+TEST(ParallelPlacement, MoreThreadsThanUsers) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = random_crowd(300, 6, zones);
+  expect_identical(place_crowd(users, zones),
+                   place_crowd_parallel(users, zones, PlacementMetric::kCircularEmd, 1000));
+}
+
+TEST(ParallelPlacement, EmptyCrowd) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const PlacementResult result = place_crowd_parallel({}, zones);
+  EXPECT_TRUE(result.users.empty());
+}
+
+TEST(ParallelPlacement, AllMetricsAgreeWithSerial) {
+  const TimeZoneProfiles zones{canonical_shape()};
+  const auto users = random_crowd(400, 7, zones);
+  for (const auto metric :
+       {PlacementMetric::kEmd, PlacementMetric::kCircularEmd, PlacementMetric::kTotalVariation}) {
+    expect_identical(place_crowd(users, zones, metric),
+                     place_crowd_parallel(users, zones, metric));
+  }
+}
+
+}  // namespace
+}  // namespace tzgeo::core

@@ -1,0 +1,170 @@
+// Deterministic fuzzing of the scrape-facing surfaces: whatever bytes a
+// hostile or broken hidden service returns, the parser must neither crash
+// nor fabricate posts, and the crawler must fail cleanly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "forum/engine.hpp"
+#include "forum/parser.hpp"
+#include "forum/render.hpp"
+#include "synth/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::forum {
+namespace {
+
+/// Random printable garbage.
+[[nodiscard]] std::string garbage(util::Rng& rng, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+  }
+  return out;
+}
+
+/// A valid rendered page to mutate.
+[[nodiscard]] std::string valid_page() {
+  std::vector<RenderedPost> posts;
+  for (int i = 0; i < 10; ++i) {
+    posts.push_back(RenderedPost{static_cast<std::uint64_t>(i + 1), "m" + std::to_string(i),
+                                 tz::CivilDateTime{tz::CivilDate{2016, 4, 2}, 11, i, 0},
+                                 "body " + std::to_string(i)});
+  }
+  return render_thread_page("Fuzz Forum", Thread{5, "fuzz", "Main"}, posts, 1, 3);
+}
+
+TEST(ParserFuzz, PureGarbageNeverParsesAsThread) {
+  util::Rng rng{1};
+  for (int i = 0; i < 500; ++i) {
+    const std::string junk = garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 400)));
+    const auto parsed = parse_thread_page(junk);
+    if (parsed.has_value()) {
+      // Only acceptable if the garbage happened to contain the full
+      // structure (astronomically unlikely); posts must then be sane.
+      for (const auto& post : parsed->posts) EXPECT_FALSE(post.author.empty());
+    }
+  }
+}
+
+TEST(ParserFuzz, PureGarbageNeverParsesAsIndex) {
+  util::Rng rng{2};
+  for (int i = 0; i < 500; ++i) {
+    const std::string junk = garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 400)));
+    (void)parse_index_page(junk);  // must simply not crash
+  }
+}
+
+TEST(ParserFuzz, SingleByteMutationsNeverCrash) {
+  const std::string page = valid_page();
+  util::Rng rng{3};
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = page;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(page.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(1, 126));
+    const auto parsed = parse_thread_page(mutated);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->posts.size(), 10u);
+      for (const auto& post : parsed->posts) {
+        EXPECT_FALSE(post.author.empty());
+        if (post.display_time) {
+          EXPECT_GE(post.display_time->date.year, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParserFuzz, TruncationsNeverCrash) {
+  const std::string page = valid_page();
+  for (std::size_t cut = 0; cut <= page.size(); cut += 7) {
+    (void)parse_thread_page(page.substr(0, cut));
+    (void)parse_index_page(page.substr(0, cut));
+  }
+}
+
+TEST(ParserFuzz, RandomSpliceOfTwoPages) {
+  const std::string page = valid_page();
+  util::Rng rng{4};
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(page.size())));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(page.size())));
+    const std::string spliced = page.substr(0, a) + page.substr(b);
+    const auto parsed = parse_thread_page(spliced);
+    if (parsed.has_value()) {
+      for (const auto& post : parsed->posts) EXPECT_FALSE(post.author.empty());
+    }
+  }
+}
+
+TEST(ParserFuzz, UnescapedDelimiterInsideAttributeRejectedCleanly) {
+  // A raw '>' inside the title attribute truncates the tag header; the
+  // page violates the markup contract (the renderer escapes these), so
+  // the parser must reject it without crashing or fabricating posts.
+  const std::string tricky =
+      "<forum name=\"x\">\n"
+      "<thread id=\"1\" title=\"<thread id=\"9\">\" page=\"1\" pages=\"1\">\n"
+      "<post id=\"3\" author=\"b\" time=\"2016-01-01 01:00:00\">ok</post>\n"
+      "</thread>\n</forum>\n";
+  EXPECT_FALSE(parse_thread_page(tricky).has_value());
+}
+
+TEST(ParserFuzz, EscapedTagsInsideAttributesAndBodiesRoundTrip) {
+  // The renderer escapes markup delimiters; pseudo-tags written by users
+  // must come back as text, never as structure.
+  std::vector<RenderedPost> posts;
+  posts.push_back(RenderedPost{1, "a<post id=\"7\">",
+                               tz::CivilDateTime{tz::CivilDate{2016, 1, 1}, 0, 0, 0},
+                               "look: <post id=\"2\" author=\"fake\"> &amp; </post>"});
+  const std::string markup = render_thread_page(
+      "x", Thread{1, "<thread page=\"9\">", "Main"}, posts, 1, 1);
+  const auto parsed = parse_thread_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->posts.size(), 1u);
+  EXPECT_EQ(parsed->posts[0].author, "a<post id=\"7\">");
+  EXPECT_EQ(parsed->posts[0].body, "look: <post id=\"2\" author=\"fake\"> &amp; </post>");
+  EXPECT_EQ(parsed->title, "<thread page=\"9\">");
+}
+
+TEST(EngineFuzz, RandomRequestPathsNeverCrash) {
+  synth::DatasetOptions options;
+  options.seed = 5;
+  options.inactive_fraction = 0.0;
+  const synth::RegionSpec spec{"X", "UTC", 8};
+  ForumEngine engine{ForumConfig{}, synth::make_region_dataset(spec, 8, options)};
+  util::Rng rng{6};
+  for (int i = 0; i < 1500; ++i) {
+    tor::Request request;
+    request.method = rng.bernoulli(0.3) ? "POST" : "GET";
+    request.path = "/" + garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 40)));
+    request.body = garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 60)));
+    const tor::Response response = engine.handle(request, 4102444800);
+    EXPECT_TRUE(response.status == 200 || response.status == 400 || response.status == 403 ||
+                response.status == 404 || response.status == 409)
+        << response.status << " for " << request.path;
+  }
+}
+
+TEST(EngineFuzz, HostileQueryParametersHandled) {
+  synth::DatasetOptions options;
+  options.seed = 7;
+  options.inactive_fraction = 0.0;
+  const synth::RegionSpec spec{"X", "UTC", 8};
+  ForumEngine engine{ForumConfig{}, synth::make_region_dataset(spec, 8, options)};
+  for (const char* path :
+       {"/index?page=0", "/index?page=-3", "/index?page=99999999", "/index?page=abc",
+        "/thread/1?page=", "/thread/1?page=1&as=", "/thread/1?as=&page=1",
+        "/thread/-1", "/thread/999999999999999999999", "/index?page=1&page=2",
+        "//thread//1", "/thread/1/extra", "/?page=2"}) {
+    const tor::Response response = engine.handle(tor::Request{"GET", path, ""}, 4102444800);
+    EXPECT_TRUE(response.status == 200 || response.status == 400 || response.status == 404)
+        << path << " -> " << response.status;
+  }
+}
+
+}  // namespace
+}  // namespace tzgeo::forum

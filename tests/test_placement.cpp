@@ -1,0 +1,112 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] HourlyProfile canonical_shape() {
+  std::vector<double> counts(24, 0.01);
+  counts[8] = 0.15;
+  counts[9] = 0.2;
+  counts[19] = 0.35;
+  counts[20] = 0.45;
+  counts[21] = 0.35;
+  return HourlyProfile::from_counts(counts);
+}
+
+[[nodiscard]] TimeZoneProfiles canonical_zones() { return TimeZoneProfiles{canonical_shape()}; }
+
+TEST(PlacementDistance, ZeroForExactMatch) {
+  const auto zones = canonical_zones();
+  EXPECT_DOUBLE_EQ(
+      placement_distance(zones.zone_profile(3), zones.zone_profile(3), PlacementMetric::kEmd),
+      0.0);
+}
+
+TEST(PlacementDistance, MetricsDisagreeOnWrap) {
+  // One-hot generic at hour 20: zone -4's profile is a spike at UTC bin 0
+  // and zone -3's at bin 23 — adjacent zones, opposite array ends.  Linear
+  // EMD pays the full 23-bin detour; circular EMD pays 1.
+  std::vector<double> one_hot(24, 0.0);
+  one_hot[20] = 1.0;
+  const TimeZoneProfiles zones{HourlyProfile::from_counts(one_hot)};
+  const HourlyProfile& at_bin0 = zones.zone_profile(-4);
+  const HourlyProfile& at_bin23 = zones.zone_profile(-3);
+  EXPECT_DOUBLE_EQ(at_bin0[0], 1.0);
+  EXPECT_DOUBLE_EQ(at_bin23[23], 1.0);
+  const double linear = placement_distance(at_bin0, at_bin23, PlacementMetric::kEmd);
+  const double circular = placement_distance(at_bin0, at_bin23, PlacementMetric::kCircularEmd);
+  EXPECT_NEAR(linear, 23.0, 1e-9);
+  EXPECT_NEAR(circular, 1.0, 1e-9);
+}
+
+TEST(PlaceCrowd, EmptyCrowdYieldsEmptyPlacement) {
+  const auto zones = canonical_zones();
+  const PlacementResult result = place_crowd({}, zones);
+  EXPECT_TRUE(result.users.empty());
+  // Distribution normalizes to uniform when no counts exist.
+  EXPECT_EQ(result.counts, std::vector<double>(24, 0.0));
+}
+
+TEST(PlaceCrowd, DistributionSumsToOne) {
+  const auto zones = canonical_zones();
+  std::vector<UserProfileEntry> users;
+  users.push_back(UserProfileEntry{1, 50, zones.zone_profile(2)});
+  users.push_back(UserProfileEntry{2, 50, zones.zone_profile(-7)});
+  const PlacementResult result = place_crowd(users, zones);
+  double total = 0.0;
+  for (const double v : result.distribution) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.counts[bin_of_zone(2)], 1.0);
+  EXPECT_DOUBLE_EQ(result.counts[bin_of_zone(-7)], 1.0);
+}
+
+TEST(PlaceCrowd, RecordsPerUserDistances) {
+  const auto zones = canonical_zones();
+  std::vector<UserProfileEntry> users{UserProfileEntry{7, 40, zones.zone_profile(5)}};
+  const PlacementResult result = place_crowd(users, zones);
+  ASSERT_EQ(result.users.size(), 1u);
+  EXPECT_EQ(result.users[0].user, 7u);
+  EXPECT_EQ(result.users[0].zone_hours, 5);
+  EXPECT_NEAR(result.users[0].distance, 0.0, 1e-12);
+}
+
+TEST(PlaceCrowd, NoisyProfileStillLandsNearby) {
+  const auto zones = canonical_zones();
+  // Perturb the zone +4 profile moderately; placement must stay within
+  // one zone of the truth.
+  std::vector<double> noisy = zones.zone_profile(4).values();
+  noisy[0] += 0.03;
+  noisy[5] += 0.02;
+  noisy[13] += 0.02;
+  std::vector<UserProfileEntry> users{
+      UserProfileEntry{1, 40, HourlyProfile::from_counts(noisy)}};
+  for (const auto metric :
+       {PlacementMetric::kEmd, PlacementMetric::kCircularEmd, PlacementMetric::kTotalVariation}) {
+    const PlacementResult result = place_crowd(users, zones, metric);
+    EXPECT_NEAR(result.users[0].zone_hours, 4, 1) << static_cast<int>(metric);
+  }
+}
+
+// Exhaustive sweep: a user whose profile *is* the zone-k profile must be
+// placed on zone k, for every k and every metric.
+class PlacementZoneSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, PlacementMetric>> {};
+
+TEST_P(PlacementZoneSweep, ExactProfilePlacesOnOwnZone) {
+  const auto [zone, metric] = GetParam();
+  const auto zones = canonical_zones();
+  std::vector<UserProfileEntry> users{UserProfileEntry{1, 40, zones.zone_profile(zone)}};
+  const PlacementResult result = place_crowd(users, zones, metric);
+  EXPECT_EQ(result.users[0].zone_hours, zone);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllZonesAllMetrics, PlacementZoneSweep,
+    ::testing::Combine(::testing::Range(-11, 13),
+                       ::testing::Values(PlacementMetric::kEmd, PlacementMetric::kCircularEmd,
+                                         PlacementMetric::kTotalVariation)));
+
+}  // namespace
+}  // namespace tzgeo::core

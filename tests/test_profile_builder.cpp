@@ -1,0 +1,183 @@
+#include "core/profile_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timezone/zone_db.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+[[nodiscard]] tz::UtcSeconds at(std::int32_t y, std::int32_t m, std::int32_t d, std::int32_t h,
+                                std::int32_t minute = 0) {
+  return tz::to_utc_seconds(tz::CivilDateTime{tz::CivilDate{y, m, d}, h, minute, 0});
+}
+
+/// N posts for `user`, one per day at the given UTC hour.
+void add_daily_posts(ActivityTrace& trace, std::uint64_t user, std::int32_t hour, int days,
+                     std::int32_t start_day = 1, std::int32_t month = 1) {
+  for (int d = 0; d < days; ++d) {
+    trace.add(user, at(2016, month, start_day, hour) + d * tz::kSecondsPerDay);
+  }
+}
+
+[[nodiscard]] ProfileBuildOptions no_day_filter() {
+  ProfileBuildOptions options;
+  options.filter_low_activity_days = false;
+  return options;
+}
+
+TEST(BuildProfiles, EmptyTraceYieldsEmptySet) {
+  const ProfileSet set = build_profiles(ActivityTrace{}, no_day_filter());
+  EXPECT_TRUE(set.users.empty());
+  EXPECT_EQ(set.filtered_inactive, 0u);
+}
+
+TEST(BuildProfiles, ThresholdFiltersInactiveUsers) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 20, 40);  // active: 40 posts
+  add_daily_posts(trace, 2, 20, 10);  // inactive: 10 posts
+  const ProfileSet set = build_profiles(trace, no_day_filter());
+  ASSERT_EQ(set.users.size(), 1u);
+  EXPECT_EQ(set.users[0].user, 1u);
+  EXPECT_EQ(set.users[0].posts, 40u);
+  EXPECT_EQ(set.filtered_inactive, 1u);
+}
+
+TEST(BuildProfiles, ThresholdIsConfigurable) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 20, 10);
+  ProfileBuildOptions options = no_day_filter();
+  options.min_posts = 5;
+  EXPECT_EQ(build_profiles(trace, options).users.size(), 1u);
+  options.min_posts = 11;
+  EXPECT_EQ(build_profiles(trace, options).users.size(), 0u);
+}
+
+TEST(BuildProfiles, ZeroThresholdRejected) {
+  ProfileBuildOptions options;
+  options.min_posts = 0;
+  EXPECT_THROW(build_profiles(ActivityTrace{}, options), std::invalid_argument);
+}
+
+TEST(BuildProfiles, EquationOneCountsDayHourCellsOnce) {
+  // 5 posts in the same (day, hour) cell count once; Eq. 1 uses the
+  // boolean "was active during hour h of day d".
+  ActivityTrace trace;
+  for (int i = 0; i < 35; ++i) {
+    trace.add(1, at(2016, 1, 1, 10) + i * 60);  // 35 posts, 10:00..10:34
+  }
+  add_daily_posts(trace, 1, 20, 1);  // one more cell at hour 20
+  ProfileBuildOptions options = no_day_filter();
+  options.min_posts = 30;
+  const ProfileSet set = build_profiles(trace, options);
+  ASSERT_EQ(set.users.size(), 1u);
+  // Two active cells: one at hour 10, one at hour 20 -> 0.5 / 0.5.
+  EXPECT_DOUBLE_EQ(set.users[0].profile[10], 0.5);
+  EXPECT_DOUBLE_EQ(set.users[0].profile[20], 0.5);
+}
+
+TEST(BuildProfiles, SameHourDifferentDaysCountsPerDay) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 10, 30);  // 30 cells at hour 10
+  add_daily_posts(trace, 1, 20, 10);  // 10 cells at hour 20
+  const ProfileSet set = build_profiles(trace, no_day_filter());
+  ASSERT_EQ(set.users.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.users[0].profile[10], 0.75);
+  EXPECT_DOUBLE_EQ(set.users[0].profile[20], 0.25);
+}
+
+TEST(BuildProfiles, UtcBinningUsesRawHours) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 14, 31);
+  const ProfileSet set = build_profiles(trace, no_day_filter());
+  EXPECT_DOUBLE_EQ(set.users[0].profile[14], 1.0);
+}
+
+TEST(BuildProfiles, LocalBinningAppliesZoneOffset) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 14, 31);  // UTC hour 14 in January
+  ProfileBuildOptions options = no_day_filter();
+  options.binning = HourBinning::kLocal;
+  options.zone = &tz::zone("Europe/Moscow");  // UTC+3, no DST
+  const ProfileSet set = build_profiles(trace, options);
+  EXPECT_DOUBLE_EQ(set.users[0].profile[17], 1.0);
+}
+
+TEST(BuildProfiles, LocalBinningFollowsDst) {
+  // Berlin: UTC 14h is 15h local in winter, 16h local in summer.
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 14, 20, 1, 1);  // January
+  add_daily_posts(trace, 1, 14, 20, 1, 7);  // July
+  ProfileBuildOptions options = no_day_filter();
+  options.binning = HourBinning::kLocal;
+  options.zone = &tz::zone("Europe/Berlin");
+  const ProfileSet set = build_profiles(trace, options);
+  EXPECT_DOUBLE_EQ(set.users[0].profile[15], 0.5);
+  EXPECT_DOUBLE_EQ(set.users[0].profile[16], 0.5);
+}
+
+TEST(BuildProfiles, DstNormalizedAlignsSeasons) {
+  // Same trace as above, but DST-normalized UTC binning: the July posts
+  // move forward one hour so both seasons land on the same bin (15h?
+  // no: normalized = UTC + saving, January saving 0 -> 14, July -> 15).
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 14, 20, 1, 1);   // winter: local wall-clock 15h
+  add_daily_posts(trace, 1, 13, 20, 1, 7);   // summer: local wall-clock 15h
+  ProfileBuildOptions options = no_day_filter();
+  options.binning = HourBinning::kUtcDstNormalized;
+  options.zone = &tz::zone("Europe/Berlin");
+  const ProfileSet set = build_profiles(trace, options);
+  // Both seasons' posts, made at the same wall-clock hour, align on one bin.
+  EXPECT_DOUBLE_EQ(set.users[0].profile[14], 1.0);
+}
+
+TEST(BuildProfiles, ZoneRequiredForZoneAwareBinning) {
+  ProfileBuildOptions options;
+  options.binning = HourBinning::kLocal;
+  EXPECT_THROW(build_profiles(ActivityTrace{}, options), std::invalid_argument);
+  options.binning = HourBinning::kUtcDstNormalized;
+  EXPECT_THROW(build_profiles(ActivityTrace{}, options), std::invalid_argument);
+}
+
+TEST(BuildProfiles, LowActivityDaysFiltered) {
+  ActivityTrace trace;
+  // 30 busy days with 10 users posting, then 3 holiday days with a single
+  // post each.
+  for (std::uint64_t user = 1; user <= 10; ++user) {
+    add_daily_posts(trace, user, 12, 30, 1, 3);  // March, 30 days
+  }
+  trace.add(99, at(2016, 12, 25, 12));
+  trace.add(99, at(2016, 12, 26, 12));
+  trace.add(99, at(2016, 12, 27, 12));
+
+  ProfileBuildOptions options;
+  options.filter_low_activity_days = true;
+  options.min_posts = 5;
+  const ProfileSet set = build_profiles(trace, options);
+  EXPECT_EQ(set.filtered_days, 3u);
+  // User 99's only posts were on filtered days -> below threshold.
+  for (const auto& entry : set.users) EXPECT_NE(entry.user, 99u);
+}
+
+TEST(BuildProfiles, DayFilterSkippedForShortTraces) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 12, 3);  // only 3 distinct days
+  ProfileBuildOptions options;
+  options.min_posts = 2;
+  const ProfileSet set = build_profiles(trace, options);
+  EXPECT_EQ(set.filtered_days, 0u);
+  EXPECT_EQ(set.users.size(), 1u);
+}
+
+TEST(ProfileSet, PopulationProfileAggregates) {
+  ActivityTrace trace;
+  add_daily_posts(trace, 1, 10, 31);
+  add_daily_posts(trace, 2, 20, 31);
+  const ProfileSet set = build_profiles(trace, no_day_filter());
+  const HourlyProfile population = set.population_profile();
+  EXPECT_DOUBLE_EQ(population[10], 0.5);
+  EXPECT_DOUBLE_EQ(population[20], 0.5);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

@@ -1,0 +1,226 @@
+// Randomized property tests: algebraic invariants that must hold for any
+// input, checked over many random draws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/placement.hpp"
+#include "forum/parser.hpp"
+#include "forum/render.hpp"
+#include "stats/emd.hpp"
+#include "stats/gmm.hpp"
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo {
+namespace {
+
+[[nodiscard]] std::vector<double> random_distribution(util::Rng& rng, std::size_t bins = 24) {
+  std::vector<double> values(bins);
+  double total = 0.0;
+  for (double& v : values) {
+    v = rng.uniform() * (rng.bernoulli(0.3) ? 5.0 : 1.0);  // occasional spikes
+    total += v;
+  }
+  for (double& v : values) v /= total;
+  return values;
+}
+
+TEST(EmdProperties, SymmetryOverRandomPairs) {
+  util::Rng rng{1};
+  for (int i = 0; i < 300; ++i) {
+    const auto p = random_distribution(rng);
+    const auto q = random_distribution(rng);
+    EXPECT_NEAR(stats::emd_linear(p, q), stats::emd_linear(q, p), 1e-9);
+    EXPECT_NEAR(stats::emd_circular(p, q), stats::emd_circular(q, p), 1e-9);
+  }
+}
+
+TEST(EmdProperties, TriangleInequalityOverRandomTriples) {
+  util::Rng rng{2};
+  for (int i = 0; i < 300; ++i) {
+    const auto a = random_distribution(rng);
+    const auto b = random_distribution(rng);
+    const auto c = random_distribution(rng);
+    EXPECT_LE(stats::emd_linear(a, c),
+              stats::emd_linear(a, b) + stats::emd_linear(b, c) + 1e-9);
+    EXPECT_LE(stats::emd_circular(a, c),
+              stats::emd_circular(a, b) + stats::emd_circular(b, c) + 1e-9);
+  }
+}
+
+TEST(EmdProperties, IdentityOfIndiscernibles) {
+  util::Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    const auto p = random_distribution(rng);
+    EXPECT_NEAR(stats::emd_linear(p, p), 0.0, 1e-12);
+    EXPECT_NEAR(stats::emd_circular(p, p), 0.0, 1e-12);
+  }
+}
+
+TEST(EmdProperties, CircularNeverExceedsLinear) {
+  util::Rng rng{4};
+  for (int i = 0; i < 300; ++i) {
+    const auto p = random_distribution(rng);
+    const auto q = random_distribution(rng);
+    EXPECT_LE(stats::emd_circular(p, q), stats::emd_linear(p, q) + 1e-9);
+  }
+}
+
+TEST(EmdProperties, CircularIsRotationInvariant) {
+  // EMD_circ(rot_k(p), rot_k(q)) == EMD_circ(p, q) for every k.
+  util::Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    const auto p = random_distribution(rng);
+    const auto q = random_distribution(rng);
+    const double base = stats::emd_circular(p, q);
+    const auto k = rng.uniform_int(1, 23);
+    EXPECT_NEAR(stats::emd_circular(stats::cyclic_shift(p, k), stats::cyclic_shift(q, k)),
+                base, 1e-9);
+  }
+}
+
+TEST(PlacementProperties, ShiftEquivariance) {
+  // Shifting a user's profile by k hours must shift its placement by -k
+  // zones (a profile observed k hours later on the UTC axis belongs to a
+  // crowd k zones further west).
+  std::vector<double> counts(24, 0.01);
+  counts[9] = 0.2;
+  counts[20] = 0.5;
+  const core::TimeZoneProfiles zones{core::HourlyProfile::from_counts(counts)};
+  util::Rng rng{6};
+  for (int i = 0; i < 50; ++i) {
+    // A noisy profile placed somewhere.
+    std::vector<double> noisy = zones.zone_profile(0).values();
+    for (double& v : noisy) v = std::max(1e-6, v + rng.normal(0.0, 0.01));
+    const core::HourlyProfile profile = core::HourlyProfile::from_counts(noisy);
+    const auto k = static_cast<std::int32_t>(rng.uniform_int(-11, 11));
+
+    std::vector<core::UserProfileEntry> base{{1, 40, profile}};
+    std::vector<core::UserProfileEntry> shifted{{1, 40, profile.shifted(k)}};
+    const auto placed_base = core::place_crowd(base, zones);
+    const auto placed_shifted = core::place_crowd(shifted, zones);
+    std::int32_t expected = placed_base.users[0].zone_hours - k;
+    while (expected < core::kMinZone) expected += 24;
+    while (expected > core::kMaxZone) expected -= 24;
+    EXPECT_EQ(placed_shifted.users[0].zone_hours, expected) << "k=" << k;
+  }
+}
+
+TEST(PlacementProperties, DistanceInvariantUnderJointShift) {
+  std::vector<double> counts(24, 0.01);
+  counts[20] = 0.6;
+  const core::HourlyProfile shape = core::HourlyProfile::from_counts(counts);
+  util::Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const auto p = random_distribution(rng);
+    const core::HourlyProfile profile = core::HourlyProfile::from_counts(p);
+    const auto k = rng.uniform_int(1, 23);
+    EXPECT_NEAR(profile.circular_emd_to(shape),
+                profile.shifted(static_cast<std::int32_t>(k))
+                    .circular_emd_to(shape.shifted(static_cast<std::int32_t>(k))),
+                1e-9);
+  }
+}
+
+TEST(GmmProperties, WeightsAlwaysSumToOne) {
+  util::Rng rng{8};
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> xs(24);
+    std::vector<double> weights(24);
+    for (int b = 0; b < 24; ++b) {
+      xs[static_cast<std::size_t>(b)] = b;
+      weights[static_cast<std::size_t>(b)] = rng.uniform() * 50.0 + 0.1;
+    }
+    const stats::GmmFit fit = stats::fit_gmm_auto(xs, weights);
+    double total = 0.0;
+    for (const auto& component : fit.components) {
+      total += component.weight;
+      EXPECT_GT(component.sigma, 0.0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(GmmProperties, MeansStayWithinDataRange) {
+  util::Rng rng{9};
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> xs(24);
+    std::vector<double> weights(24);
+    for (int b = 0; b < 24; ++b) {
+      xs[static_cast<std::size_t>(b)] = b;
+      weights[static_cast<std::size_t>(b)] = rng.uniform() * 10.0 + 0.01;
+    }
+    const stats::GmmFit fit = stats::fit_gmm_auto(xs, weights);
+    for (const auto& component : fit.components) {
+      EXPECT_GE(component.mean, -1.0);
+      EXPECT_LE(component.mean, 24.0);
+    }
+  }
+}
+
+TEST(MarkupProperties, EscapeRoundTripOverRandomStrings) {
+  util::Rng rng{10};
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const auto length = rng.uniform_int(0, 60);
+    for (std::int64_t c = 0; c < length; ++c) {
+      text.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    }
+    EXPECT_EQ(forum::unescape_markup(forum::escape_markup(text)), text);
+  }
+}
+
+TEST(MarkupProperties, RenderParseRoundTripOverRandomPosts) {
+  util::Rng rng{11};
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<forum::RenderedPost> posts;
+    const auto count = rng.uniform_int(0, 8);
+    for (std::int64_t p = 0; p < count; ++p) {
+      forum::RenderedPost post;
+      post.id = static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+      post.author = "u" + std::to_string(rng.uniform_int(1, 999));
+      if (rng.bernoulli(0.8)) {
+        post.display_time = tz::CivilDateTime{
+            tz::CivilDate{2016, static_cast<std::int32_t>(rng.uniform_int(1, 12)),
+                          static_cast<std::int32_t>(rng.uniform_int(1, 28))},
+            static_cast<std::int32_t>(rng.uniform_int(0, 23)),
+            static_cast<std::int32_t>(rng.uniform_int(0, 59)),
+            static_cast<std::int32_t>(rng.uniform_int(0, 59))};
+      }
+      for (int c = 0; c < 20; ++c) {
+        post.body.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+      }
+      posts.push_back(std::move(post));
+    }
+    const std::string markup = forum::render_thread_page(
+        "Prop Forum", forum::Thread{7, "t&<>\"", "Main"},
+        posts, 1, 1);
+    const auto parsed = forum::parse_thread_page(markup);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->posts.size(), posts.size());
+    for (std::size_t p = 0; p < posts.size(); ++p) {
+      EXPECT_EQ(parsed->posts[p].id, posts[p].id);
+      EXPECT_EQ(parsed->posts[p].author, posts[p].author);
+      EXPECT_EQ(parsed->posts[p].display_time, posts[p].display_time);
+      EXPECT_EQ(parsed->posts[p].body, posts[p].body);
+    }
+  }
+}
+
+TEST(NormalizeProperties, IdempotentAndMassPreserving) {
+  util::Rng rng{12};
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> values(24);
+    for (double& v : values) v = rng.uniform() * 10.0;
+    const auto once = stats::normalize(values);
+    const auto twice = stats::normalize(once);
+    double total = 0.0;
+    for (const double v : once) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    for (std::size_t b = 0; b < 24; ++b) EXPECT_NEAR(once[b], twice[b], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tzgeo

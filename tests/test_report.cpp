@@ -1,0 +1,104 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::core {
+namespace {
+
+TEST(ZoneLabel, Formats) {
+  EXPECT_EQ(zone_label(0), "UTC");
+  EXPECT_EQ(zone_label(3), "UTC+3");
+  EXPECT_EQ(zone_label(-6), "UTC-6");
+}
+
+TEST(ZoneCities, PaperExamplesPresent) {
+  // The city groupings the paper quotes for its key zones.
+  EXPECT_NE(zone_cities(3).find("Moscow"), std::string::npos);
+  EXPECT_NE(zone_cities(4).find("Yerevan"), std::string::npos);
+  EXPECT_NE(zone_cities(-6).find("Chicago"), std::string::npos);
+  EXPECT_NE(zone_cities(1).find("Berlin"), std::string::npos);
+  EXPECT_NE(zone_cities(-3).find("Sao Paulo"), std::string::npos);
+  EXPECT_NE(zone_cities(-8).find("San Francisco"), std::string::npos);
+}
+
+TEST(ZoneCities, CoversAllZones) {
+  for (std::int32_t zone = kMinZone; zone <= kMaxZone; ++zone) {
+    EXPECT_FALSE(zone_cities(zone).empty()) << zone;
+  }
+}
+
+TEST(DescribeComponent, ContainsKeyFigures) {
+  GeoComponent component;
+  component.weight = 0.523;
+  component.mean_zone = 1.2;
+  component.sigma = 2.4;
+  component.nearest_zone = 1;
+  const std::string text = describe_component(component);
+  EXPECT_NE(text.find("52.3%"), std::string::npos);
+  EXPECT_NE(text.find("UTC+1"), std::string::npos);
+  EXPECT_NE(text.find("Berlin"), std::string::npos);
+  EXPECT_NE(text.find("2.40"), std::string::npos);
+}
+
+[[nodiscard]] GeolocationResult sample_result() {
+  GeolocationResult result;
+  result.users_analyzed = 189;
+  result.users_filtered_flat = 11;
+  GeoComponent a;
+  a.weight = 0.68;
+  a.mean_zone = 1.1;
+  a.sigma = 2.2;
+  a.nearest_zone = 1;
+  GeoComponent b;
+  b.weight = 0.32;
+  b.mean_zone = -5.9;
+  b.sigma = 2.0;
+  b.nearest_zone = -6;
+  result.components = {a, b};
+  result.placement.distribution.assign(kZoneCount, 1.0 / 24.0);
+  result.placement.counts.assign(kZoneCount, 8.0);
+  result.fitted_curve.assign(kZoneCount, 1.0 / 24.0);
+  result.fit_metrics = {0.011, 0.008};
+  result.baseline_metrics = {0.081, 0.07};
+  return result;
+}
+
+TEST(DescribeGeolocation, FullReport) {
+  const std::string text = describe_geolocation("Dream Market", sample_result());
+  EXPECT_NE(text.find("Dream Market"), std::string::npos);
+  EXPECT_NE(text.find("users analyzed: 189"), std::string::npos);
+  EXPECT_NE(text.find("flat profiles removed: 11"), std::string::npos);
+  EXPECT_NE(text.find("components (2)"), std::string::npos);
+  EXPECT_NE(text.find("UTC-6"), std::string::npos);
+  EXPECT_NE(text.find("0.011"), std::string::npos);
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+}
+
+TEST(PlacementChart, RendersBarsAndOverlay) {
+  const std::string chart = placement_chart("Fig 11", sample_result());
+  EXPECT_NE(chart.find("Fig 11"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("-11"), std::string::npos);
+  EXPECT_NE(chart.find("12"), std::string::npos);
+}
+
+TEST(DescribeHemispheres, ListsUsersWithVerdicts) {
+  std::vector<RankedHemisphere> users(2);
+  users[0].user = 17;
+  users[0].posts = 1200;
+  users[0].result.verdict = HemisphereVerdict::kSouthern;
+  users[0].result.distance_north = 0.9;
+  users[0].result.distance_south = 0.3;
+  users[0].result.distance_no_dst = 0.5;
+  users[1].user = 23;
+  users[1].posts = 800;
+  users[1].result.verdict = HemisphereVerdict::kNorthern;
+  const std::string text = describe_hemispheres("Pedo Support top-5", users);
+  EXPECT_NE(text.find("Pedo Support top-5"), std::string::npos);
+  EXPECT_NE(text.find("southern"), std::string::npos);
+  EXPECT_NE(text.find("northern"), std::string::npos);
+  EXPECT_NE(text.find("1200 posts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

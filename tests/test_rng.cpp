@@ -1,0 +1,255 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tzgeo::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t a = 42;
+  std::uint64_t b = 42;
+  EXPECT_EQ(splitmix64(a), splitmix64(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(Hash64, StableAcrossCalls) { EXPECT_EQ(hash64("tzgeo"), hash64("tzgeo")); }
+
+TEST(Hash64, DiffersOnContent) {
+  EXPECT_NE(hash64("alice"), hash64("bob"));
+  EXPECT_NE(hash64(""), hash64(" "));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{7};
+  Rng b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedDifferentStream) {
+  Rng a{7};
+  Rng b{8};
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += (a() != b()) ? 1 : 0;
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{1};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{2};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{3};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullInclusiveRange) {
+  Rng rng{4};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng{5};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng{6};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{7};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{8};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{9};
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng{10};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{12};
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng{13};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng{14};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeLambdaMeanAndVariance) {
+  Rng rng{15};
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.poisson(100.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 100.0, 0.5);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 100.0, 3.0);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng{16};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.zipf(50, 1.2);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(Rng, ZipfRankOneDominates) {
+  Rng rng{17};
+  int ones = 0;
+  int tens = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.zipf(100, 1.5);
+    ones += (v == 1) ? 1 : 0;
+    tens += (v == 10) ? 1 : 0;
+  }
+  EXPECT_GT(ones, 5 * tens);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng rng{18};
+  EXPECT_EQ(rng.zipf(1, 1.5), 1u);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng{19};
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, CategoricalNegativeWeightsTreatedAsZero) {
+  Rng rng{20};
+  const std::vector<double> weights{-5.0, 2.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, SplitChildrenAreIndependent) {
+  Rng parent{21};
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitByStringKeyed) {
+  Rng p1{22};
+  Rng p2{22};
+  Rng a = p1.split("alpha");
+  // Advance p2 identically before splitting with the same key.
+  Rng b = p2.split("alpha");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{23};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng{24};
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[static_cast<std::size_t>(i)] = i;
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);
+}
+
+}  // namespace
+}  // namespace tzgeo::util

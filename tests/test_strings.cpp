@@ -1,0 +1,132 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t"), "");
+}
+
+TEST(Trim, PreservesInnerWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(SplitChar, BasicFields) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitChar, PreservesEmptyFields) {
+  const auto fields = split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(SplitString, MultiCharDelimiter) {
+  const auto fields = split("a::b::c", "::");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(SplitString, EmptyDelimiterYieldsWhole) {
+  const auto fields = split("abc", "");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitString, NoMatchYieldsWhole) {
+  const auto fields = split("abc", "|");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("onion://x", "onion"));
+  EXPECT_FALSE(starts_with("on", "onion"));
+  EXPECT_TRUE(ends_with("page.html", ".html"));
+  EXPECT_FALSE(ends_with("x", ".html"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(ParseInt, ValidValues) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("  8  "), 8);
+  EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("x12").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("1 2").has_value());
+}
+
+TEST(ParseDouble, ValidValues) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 7 ").value(), 7.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("3.1.4").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(replace_all("a&b&c", "&", "&amp;"), "a&amp;b&amp;c");
+  EXPECT_EQ(replace_all("xxx", "x", "yy"), "yyyyyy");
+}
+
+TEST(ReplaceAll, EmptyPatternIsIdentity) { EXPECT_EQ(replace_all("abc", "", "z"), "abc"); }
+
+TEST(ReplaceAll, NoOccurrences) { EXPECT_EQ(replace_all("abc", "q", "z"), "abc"); }
+
+TEST(ExtractBetween, FindsAndAdvances) {
+  const std::string_view text = "<a>1</a><a>2</a>";
+  std::size_t pos = 0;
+  EXPECT_EQ(extract_between(text, "<a>", "</a>", pos).value(), "1");
+  EXPECT_EQ(extract_between(text, "<a>", "</a>", pos).value(), "2");
+  EXPECT_FALSE(extract_between(text, "<a>", "</a>", pos).has_value());
+}
+
+TEST(ExtractBetween, MissingDelimiters) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(extract_between("no tags", "<a>", "</a>", pos).has_value());
+  pos = 0;
+  EXPECT_FALSE(extract_between("<a>unclosed", "<a>", "</a>", pos).has_value());
+}
+
+TEST(ExtractBetween, EmptyContent) {
+  std::size_t pos = 0;
+  EXPECT_EQ(extract_between("<a></a>", "<a>", "</a>", pos).value(), "");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(pad_left("1234", 3), "1234");  // no truncation
+  EXPECT_EQ(pad_left("5", 3, '0'), "005");
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace tzgeo::util

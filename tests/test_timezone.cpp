@@ -1,0 +1,107 @@
+#include "timezone/timezone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::tz {
+namespace {
+
+[[nodiscard]] UtcSeconds at(std::int32_t y, std::int32_t m, std::int32_t d, std::int32_t h,
+                            std::int32_t minute = 0) {
+  return to_utc_seconds(CivilDateTime{CivilDate{y, m, d}, h, minute, 0});
+}
+
+TEST(TimeZone, FixedOffsetNoDst) {
+  const TimeZone tokyo{"Asia/Tokyo", 9 * 60};
+  EXPECT_FALSE(tokyo.has_dst());
+  EXPECT_EQ(tokyo.offset_at(at(2016, 1, 1, 0)), 9 * kSecondsPerHour);
+  EXPECT_EQ(tokyo.offset_at(at(2016, 7, 1, 0)), 9 * kSecondsPerHour);
+  EXPECT_EQ(tokyo.standard_offset_hours(), 9);
+}
+
+TEST(TimeZone, OffsetOutOfRangeThrows) {
+  EXPECT_THROW((TimeZone{"bad", 15 * 60}), std::invalid_argument);
+  EXPECT_THROW((TimeZone{"bad", -13 * 60}), std::invalid_argument);
+}
+
+TEST(TimeZone, BerlinWinterAndSummerOffsets) {
+  const TimeZone berlin{"Europe/Berlin", 60, rules::european_union(), Hemisphere::kNorthern};
+  EXPECT_EQ(berlin.offset_at(at(2016, 1, 15, 12)), 1 * kSecondsPerHour);
+  EXPECT_EQ(berlin.offset_at(at(2016, 7, 15, 12)), 2 * kSecondsPerHour);
+  EXPECT_TRUE(berlin.dst_in_effect(at(2016, 7, 15, 12)));
+  EXPECT_FALSE(berlin.dst_in_effect(at(2016, 1, 15, 12)));
+}
+
+TEST(TimeZone, ToLocalConvertsWallClock) {
+  const TimeZone berlin{"Europe/Berlin", 60, rules::european_union(), Hemisphere::kNorthern};
+  const CivilDateTime winter = berlin.to_local(at(2016, 1, 15, 12));
+  EXPECT_EQ(winter.hour, 13);
+  const CivilDateTime summer = berlin.to_local(at(2016, 7, 15, 12));
+  EXPECT_EQ(summer.hour, 14);
+}
+
+TEST(TimeZone, ToUtcInverseOfToLocal) {
+  const TimeZone berlin{"Europe/Berlin", 60, rules::european_union(), Hemisphere::kNorthern};
+  for (const UtcSeconds t : {at(2016, 1, 10, 3), at(2016, 5, 20, 18), at(2016, 10, 29, 23),
+                             at(2016, 12, 31, 23)}) {
+    EXPECT_EQ(berlin.to_utc(berlin.to_local(t)), t);
+  }
+}
+
+TEST(TimeZone, ToUtcNegativeOffsetZone) {
+  const TimeZone chicago{"America/Chicago", -6 * 60, rules::united_states(),
+                         Hemisphere::kNorthern};
+  // Winter: 20:00 local = 02:00 UTC next day.
+  const CivilDateTime local{CivilDate{2016, 1, 15}, 20, 0, 0};
+  EXPECT_EQ(chicago.to_utc(local), at(2016, 1, 16, 2));
+  // Summer: 20:00 local = 01:00 UTC next day.
+  const CivilDateTime summer_local{CivilDate{2016, 7, 15}, 20, 0, 0};
+  EXPECT_EQ(chicago.to_utc(summer_local), at(2016, 7, 16, 1));
+}
+
+TEST(TimeZone, LocalHourWraps) {
+  const TimeZone sydney{"Australia/Sydney", 10 * 60, rules::australia_southeast(),
+                        Hemisphere::kSouthern};
+  // Southern summer (January): offset 11.  20:00 UTC = 07:00 next day local.
+  EXPECT_EQ(sydney.local_hour(at(2016, 1, 15, 20)), 7);
+  // Southern winter (July): offset 10.
+  EXPECT_EQ(sydney.local_hour(at(2016, 7, 15, 20)), 6);
+}
+
+TEST(TimeZone, SouthernHemisphereDstInJanuary) {
+  const TimeZone sao_paulo{"America/Sao_Paulo", -3 * 60, rules::brazil(),
+                           Hemisphere::kSouthern};
+  EXPECT_TRUE(sao_paulo.dst_in_effect(at(2016, 1, 15, 12)));
+  EXPECT_FALSE(sao_paulo.dst_in_effect(at(2016, 7, 15, 12)));
+  EXPECT_EQ(sao_paulo.offset_at(at(2016, 1, 15, 12)), -2 * kSecondsPerHour);
+  EXPECT_EQ(sao_paulo.offset_at(at(2016, 7, 15, 12)), -3 * kSecondsPerHour);
+}
+
+TEST(TimeZone, SpringForwardGapResolvesForward) {
+  const TimeZone berlin{"Europe/Berlin", 60, rules::european_union(), Hemisphere::kNorthern};
+  // 2016-03-27 02:30 local never existed (clocks jumped 02:00 -> 03:00).
+  const CivilDateTime gap{CivilDate{2016, 3, 27}, 2, 30, 0};
+  const UtcSeconds resolved = berlin.to_utc(gap);
+  // The resolved instant is within an hour of the transition at 01:00 UTC.
+  EXPECT_GE(resolved, at(2016, 3, 27, 0, 30));
+  EXPECT_LE(resolved, at(2016, 3, 27, 1, 30));
+}
+
+TEST(TimeZone, FallBackOverlapPicksOneConsistentInstant) {
+  const TimeZone berlin{"Europe/Berlin", 60, rules::european_union(), Hemisphere::kNorthern};
+  // 2016-10-30 02:30 local happened twice.  Whichever instant is chosen,
+  // it must map back to the requested wall clock.
+  const CivilDateTime overlap{CivilDate{2016, 10, 30}, 2, 30, 0};
+  const UtcSeconds resolved = berlin.to_utc(overlap);
+  EXPECT_EQ(berlin.to_local(resolved), overlap);
+}
+
+TEST(TimeZone, HemisphereAccessor) {
+  const TimeZone sydney{"Australia/Sydney", 10 * 60, rules::australia_southeast(),
+                        Hemisphere::kSouthern};
+  EXPECT_EQ(sydney.hemisphere(), Hemisphere::kSouthern);
+  const TimeZone tokyo{"Asia/Tokyo", 9 * 60};
+  EXPECT_EQ(tokyo.hemisphere(), Hemisphere::kNone);
+}
+
+}  // namespace
+}  // namespace tzgeo::tz

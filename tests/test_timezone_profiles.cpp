@@ -1,0 +1,131 @@
+#include "core/timezone_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tzgeo::core {
+namespace {
+
+/// Element-wise near-equality (aggregation renormalizes, so exact
+/// bit-equality does not survive the round trip).
+void expect_profiles_near(const HourlyProfile& a, const HourlyProfile& b) {
+  for (std::size_t h = 0; h < kProfileBins; ++h) {
+    EXPECT_NEAR(a[h], b[h], 1e-12) << "hour " << h;
+  }
+}
+
+/// A sharp canonical shape peaking at local hour 20.
+[[nodiscard]] HourlyProfile sharp_shape() {
+  std::vector<double> counts(24, 0.01);
+  counts[9] = 0.3;
+  counts[20] = 0.6;
+  return HourlyProfile::from_counts(counts);
+}
+
+TEST(ZoneBins, MappingRoundTrips) {
+  for (std::int32_t zone = kMinZone; zone <= kMaxZone; ++zone) {
+    EXPECT_EQ(zone_of_bin(bin_of_zone(zone)), zone);
+  }
+  EXPECT_EQ(bin_of_zone(-11), 0u);
+  EXPECT_EQ(bin_of_zone(0), 11u);
+  EXPECT_EQ(bin_of_zone(12), 23u);
+}
+
+TEST(ZoneBins, Validation) {
+  EXPECT_THROW(bin_of_zone(-12), std::out_of_range);
+  EXPECT_THROW(bin_of_zone(13), std::out_of_range);
+  EXPECT_THROW(zone_of_bin(24), std::out_of_range);
+}
+
+TEST(TimeZoneProfiles, ZoneZeroIsGeneric) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  EXPECT_EQ(zones.zone_profile(0), zones.generic());
+}
+
+TEST(TimeZoneProfiles, EastZoneActiveEarlierInUtc) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  // Malaysia (UTC+8): local 20h peak appears at UTC hour 12.
+  const HourlyProfile& malaysia = zones.zone_profile(8);
+  EXPECT_DOUBLE_EQ(malaysia[12], zones.generic()[20]);
+  // Chicago (UTC-6): local 20h peak appears at UTC hour 2.
+  const HourlyProfile& chicago = zones.zone_profile(-6);
+  EXPECT_DOUBLE_EQ(chicago[2], zones.generic()[20]);
+}
+
+TEST(TimeZoneProfiles, AllTwentyFourShiftsPresentAndDistinct) {
+  const TimeZoneProfiles zones{sharp_shape()};
+  ASSERT_EQ(zones.all().size(), kZoneCount);
+  for (std::size_t i = 0; i < kZoneCount; ++i) {
+    for (std::size_t j = i + 1; j < kZoneCount; ++j) {
+      EXPECT_NE(zones.all()[i], zones.all()[j]);
+    }
+  }
+}
+
+TEST(TimeZoneProfiles, FromRegionsWeightsByUsers) {
+  // Two "regions" with conflicting shapes; the heavier one dominates.
+  std::vector<double> a(24, 0.0);
+  a[10] = 1.0;
+  std::vector<double> b(24, 0.0);
+  b[20] = 1.0;
+  std::vector<RegionalContribution> regions(2);
+  regions[0].region = "A";
+  regions[0].users = 900;
+  regions[0].aligned_profile = HourlyProfile::from_counts(a);
+  regions[1].region = "B";
+  regions[1].users = 100;
+  regions[1].aligned_profile = HourlyProfile::from_counts(b);
+  const TimeZoneProfiles zones = TimeZoneProfiles::from_regions(regions);
+  EXPECT_NEAR(zones.generic()[10], 0.9, 1e-12);
+  EXPECT_NEAR(zones.generic()[20], 0.1, 1e-12);
+}
+
+TEST(TimeZoneProfiles, FromRegionsRejectsEmpty) {
+  EXPECT_THROW(TimeZoneProfiles::from_regions({}), std::invalid_argument);
+}
+
+TEST(MakeContribution, LocalBinningKeepsShape) {
+  ProfileSet set;
+  set.users.push_back(UserProfileEntry{1, 100, sharp_shape()});
+  const RegionalContribution c = make_contribution("Germany", 1, set, HourBinning::kLocal);
+  expect_profiles_near(c.aligned_profile, sharp_shape());
+  EXPECT_EQ(c.users, 1u);
+  EXPECT_EQ(c.standard_offset_hours, 1);
+}
+
+TEST(MakeContribution, UtcBinningUndoesZoneShift) {
+  // A UTC+8 crowd observed in UTC hours peaks 8 hours early; aligning
+  // must restore the canonical shape.
+  ProfileSet set;
+  set.users.push_back(UserProfileEntry{1, 100, sharp_shape().shifted(-8)});
+  const RegionalContribution c = make_contribution("Malaysia", 8, set, HourBinning::kUtc);
+  expect_profiles_near(c.aligned_profile, sharp_shape());
+}
+
+TEST(PearsonMatrix, IdenticalProfilesCorrelatePerfectly) {
+  std::vector<RegionalContribution> regions(3);
+  for (auto& r : regions) {
+    r.aligned_profile = sharp_shape();
+    r.users = 10;
+  }
+  const auto matrix = pearson_matrix(regions);
+  for (const auto& row : matrix) {
+    for (const double value : row) EXPECT_NEAR(value, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(mean_offdiagonal(matrix), 1.0, 1e-12);
+}
+
+TEST(PearsonMatrix, MisalignedProfilesCorrelateLess) {
+  std::vector<RegionalContribution> regions(2);
+  regions[0].aligned_profile = sharp_shape();
+  regions[1].aligned_profile = sharp_shape().shifted(12);
+  const auto matrix = pearson_matrix(regions);
+  EXPECT_LT(matrix[0][1], 0.5);
+  EXPECT_DOUBLE_EQ(matrix[0][1], matrix[1][0]);
+}
+
+TEST(MeanOffdiagonal, RequiresTwoRegions) {
+  EXPECT_THROW(mean_offdiagonal({{1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

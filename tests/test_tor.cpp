@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tor/circuit.hpp"
+#include "tor/hidden_service.hpp"
+#include "tor/relay.hpp"
+#include "tor/transport.hpp"
+
+namespace tzgeo::tor {
+namespace {
+
+[[nodiscard]] Consensus small_consensus(std::uint64_t seed = 1, std::size_t size = 200) {
+  util::Rng rng{seed};
+  return Consensus::synthetic(size, rng);
+}
+
+TEST(Consensus, SyntheticHasRequestedSize) {
+  const Consensus consensus = small_consensus();
+  EXPECT_EQ(consensus.size(), 200u);
+}
+
+TEST(Consensus, SyntheticValidatesMinimumSize) {
+  util::Rng rng{1};
+  EXPECT_THROW(Consensus::synthetic(4, rng), std::invalid_argument);
+}
+
+TEST(Consensus, RelayIdsAreUnique) {
+  const Consensus consensus = small_consensus();
+  std::set<std::uint64_t> ids;
+  for (const auto& relay : consensus.relays()) ids.insert(relay.id);
+  EXPECT_EQ(ids.size(), consensus.size());
+}
+
+TEST(Consensus, RelayLookup) {
+  const Consensus consensus = small_consensus();
+  const auto& first = consensus.relays().front();
+  EXPECT_EQ(consensus.relay(first.id).nickname, first.nickname);
+  EXPECT_THROW(consensus.relay(0xdeadbeef), std::out_of_range);
+}
+
+TEST(Consensus, EmptyRelayListThrows) {
+  EXPECT_THROW(Consensus{std::vector<RelayDescriptor>{}}, std::invalid_argument);
+}
+
+TEST(Consensus, DuplicateIdsThrow) {
+  std::vector<RelayDescriptor> relays(2);
+  relays[0].id = 5;
+  relays[1].id = 5;
+  EXPECT_THROW(Consensus{std::move(relays)}, std::invalid_argument);
+}
+
+TEST(Consensus, PickHonorsPredicate) {
+  const Consensus consensus = small_consensus();
+  util::Rng rng{2};
+  for (int i = 0; i < 50; ++i) {
+    const auto& relay = consensus.pick(rng, [](const RelayDescriptor& r) { return r.flags.guard; });
+    EXPECT_TRUE(relay.flags.guard);
+  }
+}
+
+TEST(Consensus, PickFavorsBandwidth) {
+  std::vector<RelayDescriptor> relays(2);
+  relays[0].id = 1;
+  relays[0].bandwidth_kbps = 9000;
+  relays[1].id = 2;
+  relays[1].bandwidth_kbps = 1000;
+  const Consensus consensus{std::move(relays)};
+  util::Rng rng{3};
+  int heavy = 0;
+  for (int i = 0; i < 2000; ++i) {
+    heavy += consensus.pick(rng, [](const RelayDescriptor&) { return true; }).id == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(heavy / 2000.0, 0.9, 0.03);
+}
+
+TEST(Consensus, PickWithImpossiblePredicateThrows) {
+  const Consensus consensus = small_consensus();
+  util::Rng rng{4};
+  EXPECT_THROW(consensus.pick(rng, [](const RelayDescriptor&) { return false; }),
+               std::runtime_error);
+}
+
+TEST(Consensus, ResponsibleHsdirsAreHsdirsAndDeterministic) {
+  const Consensus consensus = small_consensus();
+  const auto a = consensus.responsible_hsdirs(12345, 3);
+  const auto b = consensus.responsible_hsdirs(12345, 3);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  for (const std::uint64_t id : a) EXPECT_TRUE(consensus.relay(id).flags.hsdir);
+}
+
+TEST(CircuitBuilder, ThreeDistinctHops) {
+  const Consensus consensus = small_consensus();
+  const CircuitBuilder builder{consensus};
+  util::Rng rng{5};
+  for (int i = 0; i < 20; ++i) {
+    const Circuit circuit = builder.build(rng);
+    ASSERT_EQ(circuit.hops.size(), 3u);
+    const std::set<std::uint64_t> distinct(circuit.hops.begin(), circuit.hops.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    EXPECT_TRUE(consensus.relay(circuit.hops.front()).flags.guard);
+    EXPECT_GT(circuit.setup_latency_ms, 0.0);
+  }
+}
+
+TEST(CircuitBuilder, ExitFlagWhenRequested) {
+  const Consensus consensus = small_consensus();
+  const CircuitBuilder builder{consensus};
+  util::Rng rng{6};
+  for (int i = 0; i < 20; ++i) {
+    const Circuit circuit = builder.build(rng, /*need_exit=*/true);
+    EXPECT_TRUE(consensus.relay(circuit.hops.back()).flags.exit);
+  }
+}
+
+TEST(Circuit, PathLatencySumsHops) {
+  const Consensus consensus = small_consensus();
+  const CircuitBuilder builder{consensus};
+  util::Rng rng{7};
+  const Circuit circuit = builder.build(rng);
+  double expected = 0.0;
+  for (const auto id : circuit.hops) expected += consensus.relay(id).base_latency_ms;
+  EXPECT_DOUBLE_EQ(circuit.path_latency_ms(consensus), expected);
+}
+
+TEST(OnionAddress, SixteenBase32Chars) {
+  const std::string address = onion_address(42);
+  EXPECT_EQ(address.size(), 16u);
+  for (const char c : address) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+  }
+}
+
+TEST(OnionAddress, DeterministicAndKeyed) {
+  EXPECT_EQ(onion_address(7), onion_address(7));
+  EXPECT_NE(onion_address(7), onion_address(8));
+}
+
+TEST(HiddenServiceDirectory, PublishAndFetch) {
+  const Consensus consensus = small_consensus();
+  HiddenServiceDirectory directory{consensus};
+  HiddenServiceDescriptor descriptor;
+  descriptor.service_key = 99;
+  descriptor.onion = onion_address(99);
+  descriptor.introduction_points = {consensus.relays()[0].id};
+  directory.publish(descriptor);
+  const auto fetched = directory.fetch(descriptor.onion);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->service_key, 99u);
+  EXPECT_FALSE(directory.fetch("nonexistentonion").has_value());
+}
+
+TEST(HiddenServiceDirectory, RepublishOverwrites) {
+  const Consensus consensus = small_consensus();
+  HiddenServiceDirectory directory{consensus};
+  HiddenServiceDescriptor descriptor;
+  descriptor.service_key = 7;
+  descriptor.onion = onion_address(7);
+  descriptor.introduction_points = {consensus.relays()[0].id};
+  directory.publish(descriptor);
+  descriptor.introduction_points = {consensus.relays()[1].id};
+  directory.publish(descriptor);
+  const auto fetched = directory.fetch(descriptor.onion);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->introduction_points, descriptor.introduction_points);
+}
+
+TEST(RendezvousProtocol, HostThenConnect) {
+  const Consensus consensus = small_consensus();
+  HiddenServiceDirectory directory{consensus};
+  RendezvousProtocol protocol{consensus, directory};
+  util::Rng rng{8};
+  const auto descriptor = protocol.host_service(1234, 3, rng);
+  EXPECT_FALSE(descriptor.introduction_points.empty());
+
+  const auto connection = protocol.connect(descriptor.onion, rng);
+  ASSERT_TRUE(connection.has_value());
+  EXPECT_EQ(connection->client_circuit.hops.back(), connection->rendezvous_relay);
+  EXPECT_EQ(connection->service_circuit.hops.back(), connection->rendezvous_relay);
+  EXPECT_GT(connection->setup_latency_ms, 0.0);
+  EXPECT_GT(connection->round_trip_ms(consensus), 0.0);
+}
+
+TEST(RendezvousProtocol, ConnectUnknownOnionFails) {
+  const Consensus consensus = small_consensus();
+  HiddenServiceDirectory directory{consensus};
+  RendezvousProtocol protocol{consensus, directory};
+  util::Rng rng{9};
+  EXPECT_FALSE(protocol.connect("aaaaaaaaaaaaaaaa", rng).has_value());
+}
+
+TEST(OnionTransport, HostAndFetchRoundTrip) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{1'000'000};
+  OnionTransport transport{consensus, clock, 10};
+  const std::string onion = transport.host(555, [](const Request& request, std::int64_t now) {
+    EXPECT_EQ(request.method, "GET");
+    return Response{200, "path=" + request.path + " t=" + std::to_string(now)};
+  });
+  const Response response = transport.fetch(onion, Request{"GET", "/index", ""});
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("path=/index"), std::string::npos);
+  EXPECT_EQ(transport.stats().requests, 1u);
+  EXPECT_EQ(transport.stats().circuits_built, 1u);
+}
+
+TEST(OnionTransport, ClockAdvancesWithTraffic) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  OnionTransport transport{consensus, clock, 11};
+  const std::string onion =
+      transport.host(556, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  const auto before = clock.now_millis();
+  (void)transport.fetch(onion, Request{});
+  EXPECT_GT(clock.now_millis(), before);
+}
+
+TEST(OnionTransport, UnknownOnionThrows) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  OnionTransport transport{consensus, clock, 12};
+  EXPECT_THROW(transport.fetch("aaaaaaaaaaaaaaaa", Request{}), TransportError);
+}
+
+TEST(OnionTransport, RetriesThroughFailures) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.failure_probability = 0.5;
+  options.max_retries = 50;
+  OnionTransport transport{consensus, clock, 13, options};
+  const std::string onion =
+      transport.host(557, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(transport.fetch(onion, Request{}).status, 200);
+  }
+  EXPECT_GT(transport.stats().failures, 0u);
+  EXPECT_GT(transport.stats().circuits_built, 1u);
+}
+
+TEST(OnionTransport, GivesUpAfterMaxRetries) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.failure_probability = 1.0;
+  options.max_retries = 2;
+  OnionTransport transport{consensus, clock, 14, options};
+  const std::string onion =
+      transport.host(558, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  EXPECT_THROW(transport.fetch(onion, Request{}), TransportError);
+}
+
+TEST(CircuitBuilder, PinnedGuardIsUsed) {
+  const Consensus consensus = small_consensus();
+  const CircuitBuilder builder{consensus};
+  util::Rng rng{30};
+  const std::uint64_t guard = builder.sample_guard(rng);
+  for (int i = 0; i < 10; ++i) {
+    const Circuit circuit = builder.build(rng, false, guard);
+    EXPECT_EQ(circuit.hops.front(), guard);
+  }
+}
+
+TEST(CircuitBuilder, UnpinnedGuardVaries) {
+  const Consensus consensus = small_consensus();
+  const CircuitBuilder builder{consensus};
+  util::Rng rng{31};
+  std::set<std::uint64_t> guards;
+  for (int i = 0; i < 30; ++i) guards.insert(builder.build(rng).hops.front());
+  EXPECT_GT(guards.size(), 3u);
+}
+
+TEST(CircuitBuilder, SampleGuardReturnsGuardFlaggedRelay) {
+  const Consensus consensus = small_consensus();
+  const CircuitBuilder builder{consensus};
+  util::Rng rng{32};
+  for (int i = 0; i < 20; ++i) {
+    const auto& relay = consensus.relay(builder.sample_guard(rng));
+    EXPECT_TRUE(relay.flags.guard);
+    EXPECT_TRUE(relay.flags.stable);
+  }
+}
+
+TEST(OnionTransport, SessionGuardStaysPinnedAcrossRebuilds) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.failure_probability = 0.4;
+  options.max_retries = 50;
+  OnionTransport transport{consensus, clock, 41, options};
+  EXPECT_TRUE(consensus.relay(transport.guard_id()).flags.guard);
+  const std::string onion =
+      transport.host(700, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  for (int i = 0; i < 30; ++i) (void)transport.fetch(onion, Request{});
+  // Failures forced several rebuilds; the pinned guard never changed.
+  EXPECT_GT(transport.stats().circuits_built, 1u);
+  EXPECT_TRUE(consensus.relay(transport.guard_id()).flags.guard);
+}
+
+TEST(OnionTransport, CircuitsRotateOnSchedule) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.requests_per_circuit = 10;
+  OnionTransport transport{consensus, clock, 42, options};
+  const std::string onion =
+      transport.host(701, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  for (int i = 0; i < 35; ++i) (void)transport.fetch(onion, Request{});
+  EXPECT_EQ(transport.stats().circuit_rotations, 3u);
+  EXPECT_EQ(transport.stats().circuits_built, 4u);
+}
+
+TEST(OnionTransport, RotationDisabledWithZeroBudget) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.requests_per_circuit = 0;
+  OnionTransport transport{consensus, clock, 43, options};
+  const std::string onion =
+      transport.host(702, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  for (int i = 0; i < 50; ++i) (void)transport.fetch(onion, Request{});
+  EXPECT_EQ(transport.stats().circuit_rotations, 0u);
+  EXPECT_EQ(transport.stats().circuits_built, 1u);
+}
+
+TEST(BridgeSet, SyntheticBridgesAreEntries) {
+  util::Rng rng{50};
+  const BridgeSet bridges = BridgeSet::synthetic(3, rng);
+  ASSERT_EQ(bridges.bridges().size(), 3u);
+  for (const auto& bridge : bridges.bridges()) {
+    EXPECT_TRUE(bridge.flags.guard);
+    EXPECT_TRUE(bridge.flags.stable);
+    EXPECT_FALSE(bridge.flags.hsdir);
+    EXPECT_TRUE(bridges.contains(bridge.id));
+  }
+  EXPECT_FALSE(bridges.contains(0xdead));
+  EXPECT_THROW(bridges.bridge(0xdead), std::out_of_range);
+}
+
+TEST(BridgeSet, Validation) {
+  util::Rng rng{51};
+  EXPECT_THROW(BridgeSet{std::vector<RelayDescriptor>{}}, std::invalid_argument);
+  EXPECT_THROW(BridgeSet::synthetic(0, rng), std::invalid_argument);
+}
+
+TEST(BridgeSet, BridgesAreNotInThePublicConsensus) {
+  const Consensus consensus = small_consensus();
+  util::Rng rng{52};
+  const BridgeSet bridges = BridgeSet::synthetic(2, rng);
+  for (const auto& bridge : bridges.bridges()) {
+    EXPECT_THROW(consensus.relay(bridge.id), std::out_of_range);
+  }
+}
+
+TEST(OnionTransport, BridgeModeEntersThroughBridge) {
+  const Consensus consensus = small_consensus();
+  util::Rng rng{53};
+  const BridgeSet bridges = BridgeSet::synthetic(2, rng);
+  util::SimClock clock{0};
+  OnionTransport transport{consensus, bridges, clock, 54};
+  // The session guard is one of the configured bridges, unlisted publicly.
+  EXPECT_TRUE(bridges.contains(transport.guard_id()));
+  EXPECT_THROW(consensus.relay(transport.guard_id()), std::out_of_range);
+
+  const std::string onion =
+      transport.host(900, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(transport.fetch(onion, Request{}).status, 200);
+  }
+}
+
+TEST(OnionTransport, BridgeModeSurvivesCircuitChurn) {
+  const Consensus consensus = small_consensus();
+  util::Rng rng{55};
+  const BridgeSet bridges = BridgeSet::synthetic(1, rng);
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.failure_probability = 0.3;
+  options.max_retries = 40;
+  options.requests_per_circuit = 5;
+  OnionTransport transport{consensus, bridges, clock, 56, options};
+  const std::uint64_t pinned = transport.guard_id();
+  const std::string onion =
+      transport.host(901, [](const Request&, std::int64_t) { return Response{200, "ok"}; });
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(transport.fetch(onion, Request{}).status, 200);
+  }
+  EXPECT_EQ(transport.guard_id(), pinned);  // the bridge never rotates
+  EXPECT_GT(transport.stats().circuits_built, 1u);
+}
+
+TEST(SimClock, AdvanceAndSet) {
+  util::SimClock clock{100};
+  EXPECT_EQ(clock.now_seconds(), 100);
+  clock.advance_seconds(5);
+  EXPECT_EQ(clock.now_seconds(), 105);
+  clock.advance_millis(500);
+  EXPECT_EQ(clock.now_millis(), 105'500);
+  clock.set_seconds(104);  // never moves backwards
+  EXPECT_EQ(clock.now_seconds(), 105);
+  clock.set_seconds(200);
+  EXPECT_EQ(clock.now_seconds(), 200);
+}
+
+}  // namespace
+}  // namespace tzgeo::tor

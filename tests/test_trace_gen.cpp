@@ -1,0 +1,297 @@
+#include "synth/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "timezone/zone_db.hpp"
+
+namespace tzgeo::synth {
+namespace {
+
+[[nodiscard]] Persona regular_persona(std::uint64_t id, const std::string& zone,
+                                      double posts_per_year, std::uint64_t seed = 1) {
+  util::Rng rng{seed};
+  PersonaMix mix;
+  mix.bot_fraction = 0.0;
+  mix.shift_worker_fraction = 0.0;
+  // No chronotype jitter: tests below reason about exact peak positions.
+  mix.jitter.phase_sigma_hours = 0.0;
+  mix.jitter.weight_jitter = 0.0;
+  mix.jitter.width_jitter = 0.0;
+  Persona p = draw_persona(id, "Test", zone, mix, rng);
+  p.posts_per_year = posts_per_year;
+  return p;
+}
+
+TEST(HolidayCalendar, TypicalPeriods) {
+  const HolidayCalendar holidays = HolidayCalendar::typical();
+  EXPECT_TRUE(holidays.is_holiday(tz::CivilDate{2016, 12, 25}));
+  EXPECT_TRUE(holidays.is_holiday(tz::CivilDate{2016, 1, 1}));    // wraps New Year
+  EXPECT_TRUE(holidays.is_holiday(tz::CivilDate{2016, 8, 15}));
+  EXPECT_FALSE(holidays.is_holiday(tz::CivilDate{2016, 5, 10}));
+  EXPECT_LT(holidays.factor_on(tz::CivilDate{2016, 12, 25}), 1.0);
+  EXPECT_DOUBLE_EQ(holidays.factor_on(tz::CivilDate{2016, 5, 10}), 1.0);
+}
+
+TEST(HolidayCalendar, NoneNeverMatches) {
+  const HolidayCalendar holidays = HolidayCalendar::none();
+  EXPECT_FALSE(holidays.is_holiday(tz::CivilDate{2016, 12, 25}));
+}
+
+TEST(HolidayCalendar, FactorValidation) {
+  EXPECT_THROW(HolidayCalendar({}, -0.1), std::invalid_argument);
+  EXPECT_THROW(HolidayCalendar({}, 1.5), std::invalid_argument);
+}
+
+TEST(GenerateTrace, EventsWithinWindow) {
+  const Persona p = regular_persona(1, "UTC", 500.0);
+  TraceOptions options;
+  options.start = tz::CivilDate{2016, 3, 1};
+  options.end = tz::CivilDate{2016, 6, 1};
+  util::Rng rng{2};
+  const auto events = generate_trace(p, tz::zone("UTC"), options, rng);
+  const tz::UtcSeconds lo = tz::to_utc_seconds({options.start, 0, 0, 0});
+  const tz::UtcSeconds hi = tz::to_utc_seconds({options.end, 0, 0, 0});
+  EXPECT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, lo);
+    EXPECT_LT(e.time, hi + tz::kSecondsPerDay);  // zone offset slack (UTC: none)
+    EXPECT_EQ(e.user, 1u);
+  }
+}
+
+TEST(GenerateTrace, SortedByTime) {
+  const Persona p = regular_persona(2, "UTC", 800.0);
+  util::Rng rng{3};
+  const auto events = generate_trace(p, tz::zone("UTC"), TraceOptions{}, rng);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const PostEvent& a, const PostEvent& b) {
+                               return a.time < b.time;
+                             }));
+}
+
+TEST(GenerateTrace, VolumeMatchesExpectation) {
+  const Persona p = regular_persona(3, "UTC", 1000.0);
+  TraceOptions options;
+  options.holidays = HolidayCalendar::none();
+  util::Rng rng{4};
+  const auto events = generate_trace(p, tz::zone("UTC"), options, rng);
+  EXPECT_NEAR(static_cast<double>(events.size()), 1000.0, 120.0);
+}
+
+TEST(GenerateTrace, EmptyWindowThrows) {
+  const Persona p = regular_persona(4, "UTC", 100.0);
+  TraceOptions options;
+  options.start = tz::CivilDate{2016, 6, 1};
+  options.end = tz::CivilDate{2016, 6, 1};
+  util::Rng rng{5};
+  EXPECT_THROW(generate_trace(p, tz::zone("UTC"), options, rng), std::invalid_argument);
+}
+
+TEST(GenerateTrace, HolidaySuppressionReducesHolidayShare) {
+  const Persona p = regular_persona(5, "UTC", 4000.0);
+  TraceOptions with;
+  with.holidays = HolidayCalendar::typical();
+  TraceOptions without;
+  without.holidays = HolidayCalendar::none();
+
+  const auto count_in_august_window = [](const std::vector<PostEvent>& events) {
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      const auto dt = tz::from_utc_seconds(e.time);
+      if (dt.date.month == 8 && dt.date.day >= 10 && dt.date.day <= 20) ++n;
+    }
+    return n;
+  };
+  util::Rng rng_a{6};
+  util::Rng rng_b{6};
+  const auto suppressed = generate_trace(p, tz::zone("UTC"), with, rng_a);
+  const auto baseline = generate_trace(p, tz::zone("UTC"), without, rng_b);
+  EXPECT_LT(count_in_august_window(suppressed) * 2, count_in_august_window(baseline));
+}
+
+TEST(GenerateTrace, UtcHoursFollowZoneOffset) {
+  // A Kuala Lumpur (UTC+8, no DST) persona whose local evening peak is
+  // ~20h must produce UTC events peaking around 12h.
+  const Persona p = regular_persona(6, "Asia/Kuala_Lumpur", 5000.0);
+  util::Rng rng{7};
+  const auto events = generate_trace(p, tz::zone("Asia/Kuala_Lumpur"), TraceOptions{}, rng);
+  std::array<std::size_t, 24> hours{};
+  for (const auto& e : events) ++hours[static_cast<std::size_t>((e.time / 3600) % 24)];
+  std::size_t peak = 0;
+  for (std::size_t h = 1; h < 24; ++h) {
+    if (hours[h] > hours[peak]) peak = h;
+  }
+  EXPECT_GE(peak, 10u);
+  EXPECT_LE(peak, 14u);
+}
+
+TEST(GenerateTrace, DstShiftsSummerUtcProfile) {
+  // Berlin persona: summer posts land one UTC hour earlier than winter.
+  const Persona p = regular_persona(7, "Europe/Berlin", 20000.0);
+  util::Rng rng{8};
+  const auto events = generate_trace(p, tz::zone("Europe/Berlin"), TraceOptions{}, rng);
+  double winter_sum = 0.0;
+  std::size_t winter_n = 0;
+  double summer_sum = 0.0;
+  std::size_t summer_n = 0;
+  for (const auto& e : events) {
+    const auto dt = tz::from_utc_seconds(e.time);
+    // Use a fixed reference hour band to compare phases: mean UTC hour of
+    // evening activity (18..23h window in winter).
+    const double hour = dt.hour + dt.minute / 60.0;
+    if (dt.date.month == 1 || dt.date.month == 2) {
+      if (hour >= 14.0 && hour <= 23.0) {
+        winter_sum += hour;
+        ++winter_n;
+      }
+    } else if (dt.date.month >= 5 && dt.date.month <= 8) {
+      if (hour >= 14.0 && hour <= 23.0) {
+        summer_sum += hour;
+        ++summer_n;
+      }
+    }
+  }
+  ASSERT_GT(winter_n, 100u);
+  ASSERT_GT(summer_n, 100u);
+  EXPECT_NEAR(winter_sum / winter_n - summer_sum / summer_n, 0.8, 0.5);
+}
+
+TEST(GenerateTrace, BurstsProduceCloseFollowUps) {
+  const Persona p = regular_persona(8, "UTC", 2000.0);
+  TraceOptions options;
+  options.burst_probability = 0.6;
+  options.burst_gap_max_seconds = 300;
+  util::Rng rng{20};
+  const auto events = generate_trace(p, tz::zone("UTC"), options, rng);
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time - events[i - 1].time <= 300) ++close_pairs;
+  }
+  // With p=0.6, well over a third of consecutive gaps are burst gaps.
+  EXPECT_GT(close_pairs * 3, events.size());
+}
+
+TEST(GenerateTrace, BurstsCanBeDisabled) {
+  const Persona p = regular_persona(9, "UTC", 1500.0);
+  TraceOptions options;
+  options.burst_probability = 0.0;
+  util::Rng rng{21};
+  const auto events = generate_trace(p, tz::zone("UTC"), options, rng);
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time - events[i - 1].time <= 60) ++close_pairs;
+  }
+  // Independent posts rarely land within a minute of each other.
+  EXPECT_LT(close_pairs * 10, events.size());
+}
+
+TEST(GenerateTrace, BurstScalingKeepsTotalVolume) {
+  const Persona p = regular_persona(10, "UTC", 2000.0);
+  TraceOptions bursty;
+  bursty.holidays = HolidayCalendar::none();
+  bursty.burst_probability = 0.5;
+  TraceOptions plain;
+  plain.holidays = HolidayCalendar::none();
+  plain.burst_probability = 0.0;
+  util::Rng rng_a{22};
+  util::Rng rng_b{22};
+  const auto with_bursts = generate_trace(p, tz::zone("UTC"), bursty, rng_a);
+  const auto without = generate_trace(p, tz::zone("UTC"), plain, rng_b);
+  // Totals agree within sampling noise despite the burst mechanism.
+  EXPECT_NEAR(static_cast<double>(with_bursts.size()),
+              static_cast<double>(without.size()), 260.0);
+}
+
+TEST(GenerateTrace, MembershipWindowClampsEvents) {
+  Persona p = regular_persona(11, "UTC", 2000.0);
+  p.active_from = tz::to_utc_seconds({tz::CivilDate{2016, 4, 1}, 0, 0, 0});
+  p.active_until = tz::to_utc_seconds({tz::CivilDate{2016, 9, 1}, 0, 0, 0});
+  util::Rng rng{30};
+  const auto events = generate_trace(p, tz::zone("UTC"), TraceOptions{}, rng);
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, p.active_from);
+    EXPECT_LT(e.time, p.active_until + tz::kSecondsPerDay);  // burst tail slack
+  }
+  // Volume scales with the ~5-month window.
+  EXPECT_NEAR(static_cast<double>(events.size()), 2000.0 * 153.0 / 365.0, 300.0);
+}
+
+TEST(GenerateTrace, MembershipOutsideWindowYieldsNothing) {
+  Persona p = regular_persona(12, "UTC", 500.0);
+  p.active_from = tz::to_utc_seconds({tz::CivilDate{2018, 1, 1}, 0, 0, 0});
+  util::Rng rng{31};
+  EXPECT_TRUE(generate_trace(p, tz::zone("UTC"), TraceOptions{}, rng).empty());
+}
+
+TEST(GeneratePopulationTrace, MergesAndSorts) {
+  std::vector<Persona> personas;
+  personas.push_back(regular_persona(1, "UTC", 200.0));
+  personas.push_back(regular_persona(2, "Asia/Tokyo", 200.0));
+  util::Rng rng{9};
+  const auto events = generate_population_trace(personas, TraceOptions{}, rng);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const PostEvent& a, const PostEvent& b) {
+                               return a.time < b.time;
+                             }));
+  bool saw_1 = false;
+  bool saw_2 = false;
+  for (const auto& e : events) {
+    saw_1 |= e.user == 1;
+    saw_2 |= e.user == 2;
+  }
+  EXPECT_TRUE(saw_1);
+  EXPECT_TRUE(saw_2);
+}
+
+TEST(GeneratePopulationTrace, DeterministicForSameSeed) {
+  std::vector<Persona> personas{regular_persona(1, "UTC", 300.0)};
+  util::Rng rng_a{10};
+  util::Rng rng_b{10};
+  const auto a = generate_population_trace(personas, TraceOptions{}, rng_a);
+  const auto b = generate_population_trace(personas, TraceOptions{}, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DrawPersona, KindFractions) {
+  util::Rng rng{11};
+  PersonaMix mix;
+  mix.bot_fraction = 0.2;
+  mix.shift_worker_fraction = 0.1;
+  int bots = 0;
+  int shifted = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const Persona p = draw_persona(static_cast<std::uint64_t>(i), "X", "UTC", mix, rng);
+    bots += p.kind == PersonaKind::kBot ? 1 : 0;
+    shifted += p.kind == PersonaKind::kShiftWorker ? 1 : 0;
+  }
+  EXPECT_NEAR(bots / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(shifted / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(DrawPersona, BotRatesAreNearFlat) {
+  util::Rng rng{12};
+  PersonaMix mix;
+  mix.bot_fraction = 1.0;
+  const Persona bot = draw_persona(1, "X", "UTC", mix, rng);
+  EXPECT_EQ(bot.kind, PersonaKind::kBot);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const double r : bot.local_rates) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(hi / lo, 2.0);  // far flatter than a diurnal profile (~20x)
+}
+
+TEST(ToStringPersonaKind, Labels) {
+  EXPECT_STREQ(to_string(PersonaKind::kRegular), "regular");
+  EXPECT_STREQ(to_string(PersonaKind::kBot), "bot");
+  EXPECT_STREQ(to_string(PersonaKind::kShiftWorker), "shift_worker");
+}
+
+}  // namespace
+}  // namespace tzgeo::synth

@@ -1,0 +1,150 @@
+#include "core/weekly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profile_builder.hpp"
+#include "synth/trace_gen.hpp"
+#include "timezone/zone_db.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+/// A year of activity for one persona with the given rest pattern.
+[[nodiscard]] std::vector<tz::UtcSeconds> year_of(const std::string& zone_name,
+                                                  const synth::RestDays& rest,
+                                                  double posts_per_year, std::uint64_t seed,
+                                                  double boost = 1.5) {
+  util::Rng rng{seed};
+  synth::PersonaMix mix;
+  mix.bot_fraction = 0.0;
+  mix.shift_worker_fraction = 0.0;
+  synth::Persona persona = synth::draw_persona(1, "t", zone_name, mix, rng);
+  persona.posts_per_year = posts_per_year;
+  persona.rest_days = rest;
+  persona.rest_day_boost = boost;
+  const auto events = synth::generate_trace(persona, tz::zone(zone_name), {}, rng);
+  std::vector<tz::UtcSeconds> times;
+  for (const auto& e : events) times.push_back(e.time);
+  return times;
+}
+
+TEST(RestDays, FactoriesMarkExpectedDays) {
+  const synth::RestDays satsun = synth::RestDays::saturday_sunday();
+  EXPECT_TRUE(satsun.is_rest(0));   // Sunday
+  EXPECT_TRUE(satsun.is_rest(6));   // Saturday
+  EXPECT_FALSE(satsun.is_rest(3));  // Wednesday
+  const synth::RestDays frisat = synth::RestDays::friday_saturday();
+  EXPECT_TRUE(frisat.is_rest(5));
+  EXPECT_TRUE(frisat.is_rest(6));
+  EXPECT_FALSE(frisat.is_rest(0));
+}
+
+TEST(DetectRestDays, SaturdaySundayUser) {
+  const auto events =
+      year_of("Europe/Berlin", synth::RestDays::saturday_sunday(), 3000.0, 1);
+  const RestDayResult result = detect_rest_days(events, 1);
+  EXPECT_EQ(result.pattern, RestPattern::kSaturdaySunday);
+  EXPECT_GT(result.contrast, 1.1);
+}
+
+TEST(DetectRestDays, FridaySaturdayUser) {
+  const auto events = year_of("UTC+1", synth::RestDays::friday_saturday(), 3000.0, 2);
+  const RestDayResult result = detect_rest_days(events, 1);
+  EXPECT_EQ(result.pattern, RestPattern::kFridaySaturday);
+}
+
+TEST(DetectRestDays, NoBoostIsUndetected) {
+  const auto events =
+      year_of("Europe/Berlin", synth::RestDays::saturday_sunday(), 3000.0, 3, /*boost=*/1.0);
+  const RestDayResult result = detect_rest_days(events, 1);
+  EXPECT_EQ(result.pattern, RestPattern::kUndetected);
+}
+
+TEST(DetectRestDays, TooFewPostsUndetected) {
+  const auto events = year_of("Europe/Berlin", synth::RestDays::saturday_sunday(), 40.0, 4);
+  const RestDayResult result = detect_rest_days(events, 1);
+  EXPECT_EQ(result.pattern, RestPattern::kUndetected);
+}
+
+TEST(DetectRestDays, EmptyInputUndetected) {
+  EXPECT_EQ(detect_rest_days({}, 0).pattern, RestPattern::kUndetected);
+}
+
+TEST(DetectRestDays, DayDistributionNormalized) {
+  const auto events = year_of("Asia/Tokyo", synth::RestDays::saturday_sunday(), 2000.0, 5);
+  const RestDayResult result = detect_rest_days(events, 9);
+  double total = 0.0;
+  for (const double d : result.day_activity) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(result.posts, events.size());
+}
+
+TEST(DetectRestDays, ZoneMattersForDayBoundaries) {
+  // A Tokyo user's Saturday evening is still Saturday locally but already
+  // Saturday 10:00 UTC; classifying under the wrong zone (-9 instead of
+  // +9) rotates days and typically breaks the pattern match.
+  const auto events = year_of("Asia/Tokyo", synth::RestDays::saturday_sunday(), 3000.0, 6);
+  EXPECT_EQ(detect_rest_days(events, 9).pattern, RestPattern::kSaturdaySunday);
+  // 18 hours west of the truth, local day boundaries rotate: the weekend
+  // window slides off (Sat, Sun) — e.g. Saturday evening in Tokyo is
+  // Friday afternoon at UTC-9.
+  const RestDayResult wrong = detect_rest_days(events, -9);
+  EXPECT_NE(wrong.pattern, RestPattern::kSaturdaySunday);
+}
+
+TEST(DetectCrowdRestDays, AggregatesUsers) {
+  ActivityTrace trace;
+  PlacementResult placement;
+  for (std::uint64_t u = 0; u < 6; ++u) {
+    const auto events =
+        year_of("Europe/Berlin", synth::RestDays::saturday_sunday(), 1200.0, 10 + u);
+    for (const auto t : events) trace.add(u, t);
+    UserPlacement placed;
+    placed.user = u;
+    placed.zone_hours = 1;
+    placement.users.push_back(placed);
+  }
+  const RestDayResult result = detect_crowd_rest_days(trace, placement);
+  EXPECT_EQ(result.pattern, RestPattern::kSaturdaySunday);
+}
+
+TEST(RestPatternBreakdown, SeparatesMixedCrowd) {
+  // The Dream-Market ambiguity: same zone (UTC+1), two cultures.
+  ActivityTrace trace;
+  PlacementResult placement;
+  std::uint64_t next = 0;
+  for (int i = 0; i < 8; ++i) {
+    for (const auto t :
+         year_of("Europe/Berlin", synth::RestDays::saturday_sunday(), 1500.0, 50 + next)) {
+      trace.add(next, t);
+    }
+    placement.users.push_back(UserPlacement{next, 1, 0.0, 0.0});
+    ++next;
+  }
+  for (int i = 0; i < 5; ++i) {
+    for (const auto t :
+         year_of("UTC+1", synth::RestDays::friday_saturday(), 1500.0, 80 + next)) {
+      trace.add(next, t);
+    }
+    placement.users.push_back(UserPlacement{next, 1, 0.0, 0.0});
+    ++next;
+  }
+  const RestPatternBreakdown breakdown = rest_pattern_breakdown(trace, placement);
+  EXPECT_GE(breakdown.saturday_sunday, 6u);
+  EXPECT_GE(breakdown.friday_saturday, 4u);
+  EXPECT_EQ(breakdown.saturday_sunday + breakdown.friday_saturday + breakdown.thursday_friday +
+                breakdown.other + breakdown.undetected,
+            13u);
+}
+
+TEST(RestPattern, Labels) {
+  EXPECT_STREQ(to_string(RestPattern::kSaturdaySunday), "saturday-sunday");
+  EXPECT_STREQ(to_string(RestPattern::kFridaySaturday), "friday-saturday");
+  EXPECT_STREQ(to_string(RestPattern::kThursdayFriday), "thursday-friday");
+  EXPECT_STREQ(to_string(RestPattern::kOther), "other");
+  EXPECT_STREQ(to_string(RestPattern::kUndetected), "undetected");
+}
+
+}  // namespace
+}  // namespace tzgeo::core
