@@ -48,6 +48,39 @@ void BM_EmdCircular(benchmark::State& state) {
 }
 BENCHMARK(BM_EmdCircular);
 
+void BM_EmdLinearFixed24(benchmark::State& state) {
+  const auto p = sample_profile(1);
+  const auto q = sample_profile(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::emd_linear_24(p.data(), q.data()));
+  }
+}
+BENCHMARK(BM_EmdLinearFixed24);
+
+void BM_EmdCircularFixed24(benchmark::State& state) {
+  const auto p = sample_profile(3);
+  const auto q = sample_profile(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::emd_circular_24(p.data(), q.data()));
+  }
+}
+BENCHMARK(BM_EmdCircularFixed24);
+
+void BM_EmdCircularCdf24(benchmark::State& state) {
+  // The batched inner loop: CDFs precomputed, scratch reused.
+  const auto p = sample_profile(3);
+  const auto q = sample_profile(4);
+  double cdf_p[24];
+  double cdf_q[24];
+  double scratch[24];
+  stats::prefix_sums_24(p.data(), cdf_p);
+  stats::prefix_sums_24(q.data(), cdf_q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::emd_circular_cdf_24(cdf_p, cdf_q, scratch));
+  }
+}
+BENCHMARK(BM_EmdCircularCdf24);
+
 void BM_PlaceUser(benchmark::State& state) {
   // One user against all 24 zone profiles — the placement inner loop.
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.02, 1);

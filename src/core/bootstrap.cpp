@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/report.hpp"
+#include "core/thread_pool.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -54,14 +55,30 @@ BootstrapResult bootstrap_geolocation(const std::vector<UserProfileEntry>& users
   std::vector<std::vector<double>> weights(result.point.components.size());
   int same_count = 0;
 
+  // Draw every resampled histogram serially (the RNG stream is identical
+  // to the former all-serial loop), then refit the mixtures — the actual
+  // cost — across the thread pool.  The merge below runs in resample
+  // order, so results match the serial path exactly.
+  const auto resamples = static_cast<std::size_t>(bootstrap.resamples);
+  std::vector<std::vector<double>> histograms(resamples);
   util::Rng rng{bootstrap.seed};
-  for (int r = 0; r < bootstrap.resamples; ++r) {
-    std::vector<double> counts(kZoneCount, 0.0);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    histograms[r].assign(kZoneCount, 0.0);
     for (std::int64_t i = 0; i < n; ++i) {
       const auto pick = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
-      counts[bin_of_zone(placed[pick].zone_hours)] += 1.0;
+      histograms[r][bin_of_zone(placed[pick].zone_hours)] += 1.0;
     }
-    const MixtureFitOutcome refit = fit_mixture_to_counts(counts, options);
+  }
+
+  std::vector<MixtureFitOutcome> refits(resamples);
+  ThreadPool::global().for_chunks(resamples, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      refits[r] = fit_mixture_to_counts(histograms[r], options);
+    }
+  });
+
+  for (std::size_t r = 0; r < resamples; ++r) {
+    const MixtureFitOutcome& refit = refits[r];
     if (refit.components.size() == result.point.components.size()) ++same_count;
 
     // Greedy match: every resampled component attaches to the nearest

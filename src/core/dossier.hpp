@@ -16,6 +16,7 @@
 
 #include "core/hemisphere.hpp"
 #include "core/placement.hpp"
+#include "core/placement_engine.hpp"
 #include "core/weekly.hpp"
 
 namespace tzgeo::core {
@@ -46,7 +47,17 @@ struct DossierOptions {
                                         const TimeZoneProfiles& zones,
                                         const DossierOptions& options = {});
 
+/// Same, against a prebuilt placement engine (batched callers construct
+/// the engine once per crowd; `options.metric` is ignored in favour of the
+/// engine's metric).
+[[nodiscard]] UserDossier build_dossier(std::uint64_t user,
+                                        const std::vector<tz::UtcSeconds>& events,
+                                        const PlacementEngine& engine,
+                                        const DossierOptions& options = {});
+
 /// Dossiers of the `top_k` most active users of a trace, most active first.
+/// Builds the placement engine once and fans the users out across the
+/// process-wide thread pool (bit-identical to the serial per-user path).
 [[nodiscard]] std::vector<UserDossier> build_top_dossiers(const ActivityTrace& trace,
                                                           const TimeZoneProfiles& zones,
                                                           std::size_t top_k,

@@ -1,37 +1,39 @@
 #include "core/flat_filter.hpp"
 
-#include <limits>
+#include <cstdint>
+
+#include "core/parallel.hpp"
+#include "core/placement_engine.hpp"
+#include "core/thread_pool.hpp"
 
 namespace tzgeo::core {
 
 namespace {
 
-/// Distance from a profile to the nearest zone profile.
-[[nodiscard]] double nearest_zone_distance(const HourlyProfile& profile,
-                                           const TimeZoneProfiles& zones,
-                                           PlacementMetric metric) {
-  double best = std::numeric_limits<double>::infinity();
-  for (const auto& zone_profile : zones.all()) {
-    const double d = placement_distance(profile, zone_profile, metric);
-    if (d < best) best = d;
-  }
-  return best;
-}
+constexpr std::size_t kParallelCutoff = 256;  ///< below this, flag serially
 
 }  // namespace
 
 FlatFilterResult filter_flat_profiles(const std::vector<UserProfileEntry>& users,
                                       const TimeZoneProfiles& zones, PlacementMetric metric) {
-  const HourlyProfile uniform;  // every value 1/24
-  FlatFilterResult result;
-  for (const auto& entry : users) {
-    const double to_uniform = placement_distance(entry.profile, uniform, metric);
-    const double to_zone = nearest_zone_distance(entry.profile, zones, metric);
-    if (to_uniform < to_zone) {
-      result.removed.push_back(entry);
-    } else {
-      result.kept.push_back(entry);
+  const PlacementEngine engine{zones, metric};
+
+  // Flag in parallel (pure per-user reads), then split serially so the
+  // kept/removed vectors preserve input order exactly as before.
+  std::vector<std::uint8_t> flat(users.size(), 0);
+  const std::size_t max_chunks = users.size() < kParallelCutoff ? 1 : 0;
+  ThreadPool::global().for_chunks(users.size(), max_chunks,
+                                  [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double to_uniform = engine.distance_to_uniform(users[i].profile);
+      const double to_zone = engine.nearest_distance(users[i].profile);
+      flat[i] = to_uniform < to_zone ? 1 : 0;
     }
+  });
+
+  FlatFilterResult result;
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    (flat[i] ? result.removed : result.kept).push_back(users[i]);
   }
   return result;
 }
@@ -52,8 +54,9 @@ PolishResult polish_population(const std::vector<UserProfileEntry>& users,
     if (fixpoint || result.split.kept.empty()) break;
 
     // Rebuild the generic profile from the survivors: place each survivor,
-    // undo its zone shift, and aggregate the aligned profiles.
-    const PlacementResult placement = place_crowd(result.split.kept, result.zones, metric);
+    // undo its zone shift, and aggregate the aligned profiles.  The pooled
+    // placement is bit-identical to the serial path.
+    const PlacementResult placement = place_crowd_parallel(result.split.kept, result.zones, metric);
     std::vector<HourlyProfile> aligned;
     aligned.reserve(result.split.kept.size());
     for (std::size_t i = 0; i < result.split.kept.size(); ++i) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "stats/histogram.hpp"
 
 namespace tzgeo::core {
@@ -68,7 +69,9 @@ GeolocationResult geolocate_crowd(const std::vector<UserProfileEntry>& users,
     throw std::invalid_argument("geolocate_crowd: no users survive filtering");
   }
 
-  result.placement = place_crowd(*crowd, zones, options.metric);
+  // Pooled placement is bit-identical to the serial path and falls back
+  // to it for small crowds.
+  result.placement = place_crowd_parallel(*crowd, zones, options.metric);
   result.confidence = placement_confidence(result.placement);
 
   MixtureFitOutcome mixture = fit_mixture_to_counts(result.placement.counts, options);

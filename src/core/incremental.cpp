@@ -10,7 +10,10 @@ namespace tzgeo::core {
 IncrementalGeolocator::IncrementalGeolocator(TimeZoneProfiles zones,
                                              GeolocationOptions options,
                                              std::size_t min_posts)
-    : zones_(std::move(zones)), options_(options), min_posts_(min_posts) {}
+    : zones_(std::move(zones)),
+      engine_(zones_, options.metric),
+      options_(options),
+      min_posts_(min_posts) {}
 
 void IncrementalGeolocator::observe(std::uint64_t user, tz::UtcSeconds when) {
   UserState& state = users_[user];
@@ -37,21 +40,8 @@ void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
   }
   const HourlyProfile profile = HourlyProfile::from_counts(counts);
 
-  state.placement.user = user;
-  state.placement.distance = std::numeric_limits<double>::infinity();
-  state.placement.runner_up_distance = std::numeric_limits<double>::infinity();
-  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
-    const double d = placement_distance(profile, zones_.all()[bin], options_.metric);
-    if (d < state.placement.distance) {
-      state.placement.runner_up_distance = state.placement.distance;
-      state.placement.distance = d;
-      state.placement.zone_hours = zone_of_bin(bin);
-    } else if (d < state.placement.runner_up_distance) {
-      state.placement.runner_up_distance = d;
-    }
-  }
-  const double to_uniform =
-      placement_distance(profile, HourlyProfile{}, options_.metric);
+  state.placement = engine_.place(user, profile);
+  const double to_uniform = engine_.distance_to_uniform(profile);
   state.flat = options_.apply_flat_filter && to_uniform < state.placement.distance;
   state.dirty = false;
 }

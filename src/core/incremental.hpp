@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "core/geolocator.hpp"
+#include "core/placement_engine.hpp"
 #include "core/timezone_profiles.hpp"
 
 namespace tzgeo::core {
@@ -66,6 +67,7 @@ class IncrementalGeolocator {
   void refresh(std::uint64_t user, UserState& state);
 
   TimeZoneProfiles zones_;
+  PlacementEngine engine_;  ///< built once; reused by every refresh
   GeolocationOptions options_;
   std::size_t min_posts_;
   std::map<std::uint64_t, UserState> users_;

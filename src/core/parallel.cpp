@@ -1,69 +1,38 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <thread>
-#include <vector>
 
+#include "core/placement_engine.hpp"
+#include "core/thread_pool.hpp"
 #include "stats/histogram.hpp"
 
 namespace tzgeo::core {
 
 namespace {
 
-constexpr std::size_t kSerialCutoff = 256;  ///< below this, threads don't pay
-
-/// Places users[begin, end) into results[begin, end).
-void place_range(const std::vector<UserProfileEntry>& users, const TimeZoneProfiles& zones,
-                 PlacementMetric metric, std::size_t begin, std::size_t end,
-                 std::vector<UserPlacement>& results) {
-  for (std::size_t i = begin; i < end; ++i) {
-    UserPlacement placement;
-    placement.user = users[i].user;
-    placement.distance = std::numeric_limits<double>::infinity();
-    placement.runner_up_distance = std::numeric_limits<double>::infinity();
-    for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
-      const double d = placement_distance(users[i].profile, zones.all()[bin], metric);
-      if (d < placement.distance) {
-        placement.runner_up_distance = placement.distance;
-        placement.distance = d;
-        placement.zone_hours = zone_of_bin(bin);
-      } else if (d < placement.runner_up_distance) {
-        placement.runner_up_distance = d;
-      }
-    }
-    results[i] = placement;
-  }
-}
+constexpr std::size_t kSerialCutoff = 256;  ///< below this, parallelism doesn't pay
 
 }  // namespace
 
 PlacementResult place_crowd_parallel(const std::vector<UserProfileEntry>& users,
                                      const TimeZoneProfiles& zones, PlacementMetric metric,
                                      std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  ThreadPool& pool = ThreadPool::global();
+  if (threads == 0) threads = pool.size() + 1;
   if (users.size() < kSerialCutoff || threads == 1) {
     return place_crowd(users, zones, metric);
   }
 
-  std::vector<UserPlacement> placements(users.size());
-  const std::size_t workers = std::min(threads, users.size());
-  const std::size_t chunk = (users.size() + workers - 1) / workers;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(begin + chunk, users.size());
-    if (begin >= end) break;
-    pool.emplace_back(place_range, std::cref(users), std::cref(zones), metric, begin, end,
-                      std::ref(placements));
-  }
-  for (auto& worker : pool) worker.join();
-
+  const PlacementEngine engine{zones, metric};
   PlacementResult result;
-  result.users = std::move(placements);
+  result.users.resize(users.size());
+  std::vector<UserPlacement>& placements = result.users;
+  pool.for_chunks(users.size(), threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      placements[i] = engine.place(users[i].user, users[i].profile);
+    }
+  });
+
   result.counts.assign(kZoneCount, 0.0);
   for (const auto& placement : result.users) {
     result.counts[bin_of_zone(placement.zone_hours)] += 1.0;

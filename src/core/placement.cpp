@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/placement_engine.hpp"
 #include "stats/emd.hpp"
 #include "stats/histogram.hpp"
 
@@ -10,38 +11,31 @@ namespace tzgeo::core {
 
 double placement_distance(const HourlyProfile& profile, const HourlyProfile& zone_profile,
                           PlacementMetric metric) {
+  // Route through the same fixed-width kernels as PlacementEngine, so a
+  // distance computed pairwise is bit-identical to one computed by the
+  // batched engine (profiles are 24 bins by construction).
+  const double* p = profile.values().data();
+  const double* q = zone_profile.values().data();
   switch (metric) {
     case PlacementMetric::kEmd:
-      return profile.emd_to(zone_profile);
+      return stats::emd_linear_24(p, q);
     case PlacementMetric::kCircularEmd:
-      return profile.circular_emd_to(zone_profile);
+      return stats::emd_circular_24(p, q);
     case PlacementMetric::kTotalVariation:
-      return stats::total_variation(profile.values(), zone_profile.values());
+      return stats::total_variation_24(p, q);
   }
   return std::numeric_limits<double>::infinity();  // unreachable
 }
 
 PlacementResult place_crowd(const std::vector<UserProfileEntry>& users,
                             const TimeZoneProfiles& zones, PlacementMetric metric) {
+  const PlacementEngine engine{zones, metric};
   PlacementResult result;
   result.users.reserve(users.size());
   result.counts.assign(kZoneCount, 0.0);
 
   for (const auto& entry : users) {
-    UserPlacement placement;
-    placement.user = entry.user;
-    placement.distance = std::numeric_limits<double>::infinity();
-    placement.runner_up_distance = std::numeric_limits<double>::infinity();
-    for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
-      const double d = placement_distance(entry.profile, zones.all()[bin], metric);
-      if (d < placement.distance) {
-        placement.runner_up_distance = placement.distance;
-        placement.distance = d;
-        placement.zone_hours = zone_of_bin(bin);
-      } else if (d < placement.runner_up_distance) {
-        placement.runner_up_distance = d;
-      }
-    }
+    const UserPlacement placement = engine.place(entry.user, entry.profile);
     result.counts[bin_of_zone(placement.zone_hours)] += 1.0;
     result.users.push_back(placement);
   }
@@ -65,7 +59,10 @@ PlacementConfidence placement_confidence(const PlacementResult& placement) {
   }
   confidence.mean_margin /= static_cast<double>(margins.size());
   std::sort(margins.begin(), margins.end());
-  confidence.median_margin = margins[margins.size() / 2];
+  const std::size_t mid = margins.size() / 2;
+  confidence.median_margin = margins.size() % 2 == 1
+                                 ? margins[mid]
+                                 : 0.5 * (margins[mid - 1] + margins[mid]);
   confidence.decisive_fraction =
       static_cast<double>(decisive) / static_cast<double>(placement.users.size());
   return confidence;

@@ -1,0 +1,136 @@
+#include "core/placement_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/emd.hpp"
+
+namespace tzgeo::core {
+
+static_assert(kProfileBins == stats::kEmdFixedBins,
+              "PlacementEngine requires 24-bin hour profiles");
+
+PlacementEngine::PlacementEngine(const TimeZoneProfiles& zones, PlacementMetric metric)
+    : metric_(metric) {
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+    const std::vector<double>& values = zones.all()[bin].values();
+    double* row = zone_bins_.data() + bin * kProfileBins;
+    std::copy(values.begin(), values.end(), row);
+    stats::prefix_sums_24(row, zone_cdfs_.data() + bin * kProfileBins);
+  }
+  const HourlyProfile uniform;
+  std::copy(uniform.values().begin(), uniform.values().end(), uniform_bins_.begin());
+  stats::prefix_sums_24(uniform_bins_.data(), uniform_cdf_.data());
+}
+
+double PlacementEngine::row_distance(const double* user_bins, const double* user_cdf,
+                                     const double* row_bins, const double* row_cdf,
+                                     double* scratch) const noexcept {
+  switch (metric_) {
+    case PlacementMetric::kEmd:
+      return stats::emd_linear_cdf_24(user_cdf, row_cdf);
+    case PlacementMetric::kCircularEmd:
+      return stats::emd_circular_cdf_24(user_cdf, row_cdf, scratch);
+    case PlacementMetric::kTotalVariation:
+      return stats::total_variation_24(user_bins, row_bins);
+  }
+  return std::numeric_limits<double>::infinity();  // unreachable
+}
+
+UserPlacement PlacementEngine::place(std::uint64_t user,
+                                     const HourlyProfile& profile) const noexcept {
+  UserPlacement placement;
+  placement.user = user;
+  placement.distance = std::numeric_limits<double>::infinity();
+  placement.runner_up_distance = std::numeric_limits<double>::infinity();
+
+  const double* bins = profile.values().data();
+  double cdf[kProfileBins];
+  double scratch[kProfileBins];
+  stats::prefix_sums_24(bins, cdf);
+
+  // The nearest/runner-up update uses strict <, so any zone whose exact
+  // distance is >= the current runner-up leaves the result unchanged.  The
+  // circular loop exploits that: a cheap lower bound on the work skips the
+  // exact sorting-network evaluation for zones that cannot qualify, which
+  // is the common case (the true zone and its neighbours are close, the
+  // other ~20 are far).  Skipping never changes the computed values, so
+  // the result stays bit-identical to evaluating every zone exactly.
+  const auto update = [&placement](double d, std::size_t bin) {
+    if (d < placement.distance) {
+      placement.runner_up_distance = placement.distance;
+      placement.distance = d;
+      placement.zone_hours = zone_of_bin(bin);
+    } else if (d < placement.runner_up_distance) {
+      placement.runner_up_distance = d;
+    }
+  };
+
+  switch (metric_) {
+    case PlacementMetric::kEmd:
+      for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+        update(stats::emd_linear_cdf_24(cdf, zone_cdfs_.data() + bin * kProfileBins), bin);
+      }
+      break;
+    case PlacementMetric::kCircularEmd:
+      for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+        const double bound =
+            stats::cdf_diff_bound_24(cdf, zone_cdfs_.data() + bin * kProfileBins, scratch);
+        if (bound >= placement.runner_up_distance) continue;
+        update(stats::circular_work_24(scratch), bin);
+      }
+      break;
+    case PlacementMetric::kTotalVariation:
+      for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+        update(stats::total_variation_24(bins, zone_bins_.data() + bin * kProfileBins), bin);
+      }
+      break;
+  }
+  return placement;
+}
+
+double PlacementEngine::distance_to_zone(const HourlyProfile& profile,
+                                         std::size_t bin) const noexcept {
+  const double* bins = profile.values().data();
+  double cdf[kProfileBins];
+  double scratch[kProfileBins];
+  stats::prefix_sums_24(bins, cdf);
+  return row_distance(bins, cdf, zone_bins_.data() + bin * kProfileBins,
+                      zone_cdfs_.data() + bin * kProfileBins, scratch);
+}
+
+double PlacementEngine::nearest_distance(const HourlyProfile& profile) const noexcept {
+  const double* bins = profile.values().data();
+  double cdf[kProfileBins];
+  double scratch[kProfileBins];
+  stats::prefix_sums_24(bins, cdf);
+  double best = std::numeric_limits<double>::infinity();
+  if (metric_ == PlacementMetric::kCircularEmd) {
+    // Same lower-bound pruning as place(): a zone whose bound is already
+    // >= best cannot lower the minimum (strict <), so skip the exact sort.
+    for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+      const double bound =
+          stats::cdf_diff_bound_24(cdf, zone_cdfs_.data() + bin * kProfileBins, scratch);
+      if (bound >= best) continue;
+      const double d = stats::circular_work_24(scratch);
+      if (d < best) best = d;
+    }
+    return best;
+  }
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+    const double d = row_distance(bins, cdf, zone_bins_.data() + bin * kProfileBins,
+                                  zone_cdfs_.data() + bin * kProfileBins, scratch);
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+double PlacementEngine::distance_to_uniform(const HourlyProfile& profile) const noexcept {
+  const double* bins = profile.values().data();
+  double cdf[kProfileBins];
+  double scratch[kProfileBins];
+  stats::prefix_sums_24(bins, cdf);
+  return row_distance(bins, cdf, uniform_bins_.data(), uniform_cdf_.data(), scratch);
+}
+
+}  // namespace tzgeo::core

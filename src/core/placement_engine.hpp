@@ -1,0 +1,72 @@
+// The batched nearest-zone placement kernel.
+//
+// Placement (Section IV-A) compares one user profile against all 24
+// shifted generic profiles and keeps the nearest and runner-up.  That
+// inner loop used to be copy-pasted across place_crowd, the parallel
+// place_range, build_dossier, the flat filter, and the incremental
+// geolocator, each going through the allocating general-purpose EMD.
+//
+// PlacementEngine is the single shared implementation.  Built once per
+// crowd, it precomputes everything that is loop-invariant:
+//   * the 24 zone profiles in one contiguous 24x24 row-major matrix
+//     (cache-friendly scanning instead of 24 scattered std::vectors);
+//   * each zone profile's prefix sums (CDF), so a circular EMD against a
+//     zone reduces to a prefix-difference scan plus a branchless
+//     sorting-network reduction;
+//   * the uniform profile and its CDF for the Section IV-C flat test.
+// Each place() call computes the user's CDF once into a stack buffer and
+// scans the cached rows — zero heap allocations, no mass re-validation.
+// A cheap lower bound on the circular work additionally prunes zones that
+// cannot beat the current runner-up without changing any computed value.
+//
+// Every placement path routes through this class (and through the same
+// fixed-width kernels in stats/emd.hpp), so serial, batched, and pooled
+// placement are bit-identical by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/placement.hpp"
+#include "core/timezone_profiles.hpp"
+
+namespace tzgeo::core {
+
+class PlacementEngine {
+ public:
+  /// Snapshots the 24 zone profiles of `zones`; the engine does not keep a
+  /// reference, so it stays valid if `zones` is destroyed.
+  PlacementEngine(const TimeZoneProfiles& zones, PlacementMetric metric);
+
+  [[nodiscard]] PlacementMetric metric() const noexcept { return metric_; }
+
+  /// Nearest and runner-up zone for one profile (the former inner loop).
+  [[nodiscard]] UserPlacement place(std::uint64_t user,
+                                    const HourlyProfile& profile) const noexcept;
+
+  /// Distance from a profile to the zone at `bin` (0..23).
+  [[nodiscard]] double distance_to_zone(const HourlyProfile& profile,
+                                        std::size_t bin) const noexcept;
+
+  /// Distance from a profile to its nearest zone (flat-filter comparand).
+  [[nodiscard]] double nearest_distance(const HourlyProfile& profile) const noexcept;
+
+  /// Distance from a profile to the uniform profile (Section IV-C
+  /// flatness test).
+  [[nodiscard]] double distance_to_uniform(const HourlyProfile& profile) const noexcept;
+
+ private:
+  /// Distance from a user (raw bins + CDF) to one cached row.  `scratch`
+  /// is 24 caller-provided doubles for the circular-EMD median select.
+  [[nodiscard]] double row_distance(const double* user_bins, const double* user_cdf,
+                                    const double* row_bins, const double* row_cdf,
+                                    double* scratch) const noexcept;
+
+  PlacementMetric metric_;
+  std::array<double, kZoneCount * kProfileBins> zone_bins_{};  ///< row-major
+  std::array<double, kZoneCount * kProfileBins> zone_cdfs_{};  ///< row-major
+  std::array<double, kProfileBins> uniform_bins_{};
+  std::array<double, kProfileBins> uniform_cdf_{};
+};
+
+}  // namespace tzgeo::core

@@ -14,9 +14,25 @@
 //
 // Both require equal total mass (checked up to a tolerance) and return the
 // work in units of (mass x bins).
+//
+// Placement hot path: the general span functions above validate their
+// inputs and (for the circular variant) allocate two scratch vectors per
+// call.  Placing one user costs 24 EMDs, so a crowd of N users pays ~50 N
+// allocations.  The fixed-width 24-bin kernels below are the
+// zero-allocation alternative: they skip validation (profiles are
+// normalized by construction), work on caller-provided storage, and factor
+// through CDFs so a batched caller can compute each profile's prefix sums
+// once and reuse them across all 24 zone comparisons (the Werman–Peleg–
+// Rosenfeld factorization).  All placement paths share these kernels, which
+// is what makes serial, batched, and pooled placement bit-identical.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
 #include <span>
+#include <utility>
 
 namespace tzgeo::stats {
 
@@ -28,5 +44,184 @@ namespace tzgeo::stats {
 
 /// Total-variation distance 0.5 * sum |p_i - q_i| (used in ablations).
 [[nodiscard]] double total_variation(std::span<const double> p, std::span<const double> q);
+
+// --- Fixed-width 24-bin kernels (zero-allocation placement hot path) ------
+//
+// Contract: every pointer addresses exactly kEmdFixedBins doubles; the two
+// distributions carry equal total mass (hour profiles are normalized at
+// construction).  No validation, no allocation, no exceptions.
+
+/// Width of the fixed kernels: hour-of-day profiles.
+inline constexpr std::size_t kEmdFixedBins = 24;
+
+/// Inclusive prefix sums (the CDF) of a 24-bin distribution.
+inline void prefix_sums_24(const double* p, double* cdf) noexcept {
+  double run = 0.0;
+  for (std::size_t i = 0; i < kEmdFixedBins; ++i) {
+    run += p[i];
+    cdf[i] = run;
+  }
+}
+
+/// Linear EMD from precomputed CDFs: sum_i |P_i - Q_i|.
+[[nodiscard]] inline double emd_linear_cdf_24(const double* cdf_p,
+                                              const double* cdf_q) noexcept {
+  double work = 0.0;
+  for (std::size_t i = 0; i < kEmdFixedBins; ++i) {
+    work += std::abs(cdf_p[i] - cdf_q[i]);
+  }
+  return work;
+}
+
+namespace detail {
+
+/// Branchless compare-exchange (compiles to minsd/maxsd — no
+/// data-dependent branch, so the placement inner loop cannot stall on
+/// mispredicted quickselect pivots).
+inline void compare_exchange(double& a, double& b) noexcept {
+  const double lo = a < b ? a : b;
+  const double hi = a < b ? b : a;
+  a = lo;
+  b = hi;
+}
+
+/// Comparator schedule of Batcher's merge-exchange sorting network for 24
+/// inputs (Knuth, TAOCP 5.2.2 Algorithm M), generated at compile time.
+template <typename Emit>
+constexpr void batcher_24(Emit&& emit) {
+  constexpr std::size_t n = kEmdFixedBins;
+  constexpr std::size_t top = 16;  // 2^(ceil(log2 n) - 1)
+  for (std::size_t p = top; p > 0; p >>= 1) {
+    std::size_t q = top;
+    std::size_t r = 0;
+    std::size_t d = p;
+    for (;;) {
+      for (std::size_t i = 0; i + d < n; ++i) {
+        if ((i & p) == r) emit(i, i + d);
+      }
+      if (q == p) break;
+      d = q - p;
+      q >>= 1;
+      r = p;
+    }
+  }
+}
+
+consteval std::size_t batcher_24_size() {
+  std::size_t count = 0;
+  batcher_24([&](std::size_t, std::size_t) { ++count; });
+  return count;
+}
+
+consteval auto batcher_24_pairs() {
+  std::array<std::pair<std::uint8_t, std::uint8_t>, batcher_24_size()> pairs{};
+  std::size_t at = 0;
+  batcher_24([&](std::size_t a, std::size_t b) {
+    pairs[at++] = {static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)};
+  });
+  return pairs;
+}
+
+inline constexpr auto kBatcher24 = batcher_24_pairs();
+
+template <std::size_t... I>
+inline void sort_24_unrolled(double* values, std::index_sequence<I...>) noexcept {
+  (compare_exchange(values[kBatcher24[I].first], values[kBatcher24[I].second]), ...);
+}
+
+/// Branchless ascending sort of 24 doubles.  Fully unrolled at compile
+/// time so every comparator addresses a fixed offset and the values stay
+/// register-resident instead of bouncing through an index array.
+inline void sort_24(double* values) noexcept {
+  sort_24_unrolled(values, std::make_index_sequence<kBatcher24.size()>{});
+}
+
+}  // namespace detail
+
+/// D = P - Q, the prefix-difference sequence of Werman's circular-EMD
+/// formula, into 24 caller-provided doubles.
+inline void cdf_diff_24(const double* cdf_p, const double* cdf_q, double* diff) noexcept {
+  for (std::size_t i = 0; i < kEmdFixedBins; ++i) {
+    diff[i] = cdf_p[i] - cdf_q[i];
+  }
+}
+
+/// Cheap lower bound on the circular work of a prefix-difference sequence:
+/// for the median m and any disjoint pairing, |D_i - m| + |D_j - m| >=
+/// |D_i - D_j|, so twelve fixed pairs bound sum |D_i - m| from below.
+/// Placement uses it to skip the exact evaluation of zones that cannot
+/// beat the current runner-up.
+[[nodiscard]] inline double circular_work_lower_bound_24(const double* diff) noexcept {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < kEmdFixedBins / 2; ++i) {
+    bound += std::abs(diff[i] - diff[i + kEmdFixedBins / 2]);
+  }
+  return bound;
+}
+
+/// Fused cdf_diff_24 + circular_work_lower_bound_24: fills `diff` and
+/// returns the pair bound in a single pass (the placement inner loop).
+[[nodiscard]] inline double cdf_diff_bound_24(const double* cdf_p, const double* cdf_q,
+                                              double* diff) noexcept {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < kEmdFixedBins / 2; ++i) {
+    const double lo = cdf_p[i] - cdf_q[i];
+    const double hi = cdf_p[i + kEmdFixedBins / 2] - cdf_q[i + kEmdFixedBins / 2];
+    diff[i] = lo;
+    diff[i + kEmdFixedBins / 2] = hi;
+    bound += std::abs(lo - hi);
+  }
+  return bound;
+}
+
+/// Exact circular work sum_i |D_i - median(D)| of a prefix-difference
+/// sequence; clobbers `diff`.  With D sorted ascending the median term
+/// cancels: the sum equals (upper-half sum) - (lower-half sum), so the
+/// kernel is a branchless sort plus one scan — no quickselect.
+[[nodiscard]] inline double circular_work_24(double* diff) noexcept {
+  detail::sort_24(diff);
+  double lower = 0.0;
+  double upper = 0.0;
+  for (std::size_t i = 0; i < kEmdFixedBins / 2; ++i) {
+    lower += diff[i];
+    upper += diff[i + kEmdFixedBins / 2];
+  }
+  return upper - lower;
+}
+
+/// Circular EMD from precomputed CDFs (Werman's result).  `scratch` is 24
+/// caller-provided doubles, clobbered.
+[[nodiscard]] inline double emd_circular_cdf_24(const double* cdf_p, const double* cdf_q,
+                                                double* scratch) noexcept {
+  cdf_diff_24(cdf_p, cdf_q, scratch);
+  return circular_work_24(scratch);
+}
+
+/// Total variation over raw bins: 0.5 * sum |p_i - q_i|.
+[[nodiscard]] inline double total_variation_24(const double* p, const double* q) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kEmdFixedBins; ++i) {
+    sum += std::abs(p[i] - q[i]);
+  }
+  return 0.5 * sum;
+}
+
+/// Pairwise convenience kernels over raw bins; CDFs live in stack buffers.
+[[nodiscard]] inline double emd_linear_24(const double* p, const double* q) noexcept {
+  double cdf_p[kEmdFixedBins];
+  double cdf_q[kEmdFixedBins];
+  prefix_sums_24(p, cdf_p);
+  prefix_sums_24(q, cdf_q);
+  return emd_linear_cdf_24(cdf_p, cdf_q);
+}
+
+[[nodiscard]] inline double emd_circular_24(const double* p, const double* q) noexcept {
+  double cdf_p[kEmdFixedBins];
+  double cdf_q[kEmdFixedBins];
+  double diff[kEmdFixedBins];
+  prefix_sums_24(p, cdf_p);
+  prefix_sums_24(q, cdf_q);
+  return emd_circular_cdf_24(cdf_p, cdf_q, diff);
+}
 
 }  // namespace tzgeo::stats

@@ -1,0 +1,117 @@
+// The persistent chunked thread pool behind the parallel pipeline stages.
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tzgeo::core {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{3};
+  constexpr std::size_t n = 10'000;
+  const auto hits = std::make_unique<std::atomic<int>[]>(n);
+  pool.for_chunks(n, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ChunksAreContiguousDisjointAndComplete) {
+  ThreadPool pool{4};
+  for (const std::size_t n : {1u, 2u, 37u, 100u, 1000u}) {
+    for (const std::size_t max_chunks : {0u, 1u, 2u, 3u, 5u, 64u, 2000u}) {
+      std::mutex guard;
+      std::vector<std::pair<std::size_t, std::size_t>> ranges;
+      pool.for_chunks(n, max_chunks, [&](std::size_t begin, std::size_t end) {
+        const std::lock_guard<std::mutex> lock(guard);
+        ranges.emplace_back(begin, end);
+      });
+      std::sort(ranges.begin(), ranges.end());
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_LT(begin, end);
+        covered += end - begin;
+        expect_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+      if (max_chunks != 0) EXPECT_LE(ranges.size(), max_chunks);
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroItemsInvokesNothing) {
+  ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  pool.for_chunks(0, 0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleChunkRunsOnCallingThread) {
+  ThreadPool pool{2};
+  std::thread::id ran_on;
+  int calls = 0;
+  pool.for_chunks(100, 1, [&](std::size_t begin, std::size_t end) {
+    ran_on = std::this_thread::get_id();
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
+  ThreadPool pool{3};
+  EXPECT_THROW(pool.for_chunks(100, 0,
+                               [](std::size_t begin, std::size_t) {
+                                 if (begin == 0) throw std::runtime_error("boom");
+                               }),
+               std::runtime_error);
+  // The pool must drain cleanly and keep serving jobs afterwards.
+  std::atomic<std::size_t> covered{0};
+  pool.for_chunks(500, 0, [&](std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 500u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyGenerations) {
+  ThreadPool pool{3};
+  std::vector<std::int64_t> values(4096);
+  std::iota(values.begin(), values.end(), 0);
+  const std::int64_t expected = std::accumulate(values.begin(), values.end(), std::int64_t{0});
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::int64_t> total{0};
+    pool.for_chunks(values.size(), 0, [&](std::size_t begin, std::size_t end) {
+      std::int64_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += values[i];
+      total.fetch_add(local);
+    });
+    ASSERT_EQ(total.load(), expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, DefaultSizeLeavesOneForTheCaller) {
+  ThreadPool pool;
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  EXPECT_EQ(pool.size(), hardware > 1 ? hardware - 1 : 1);
+}
+
+TEST(ThreadPool, GlobalIsASingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tzgeo::core
