@@ -1,0 +1,56 @@
+# Sanitizer wiring for the analysis presets (asan-ubsan, tsan).
+#
+# TZGEO_SANITIZE is a semicolon-separated list of sanitizers to enable for
+# the whole tree: "address;undefined" or "thread".  Address and thread are
+# mutually exclusive (the runtimes cannot coexist in one process).  Empty
+# (the default) builds without instrumentation.
+#
+# The flags are applied directory-wide rather than per-target because a
+# sanitized static library is only usable if every translation unit that
+# ends up in the final link — tests, benches, examples, the CLI — carries
+# the same instrumentation and the link line pulls in the runtime.
+#
+# `tzgeo::sanitizers` is also provided as an interface target so external
+# consumers embedding the tree can attach the same flags to their own
+# targets explicitly.
+
+set(TZGEO_SANITIZE "" CACHE STRING
+    "Sanitizers to enable for the whole build: 'address;undefined' or 'thread'")
+
+set(_tzgeo_sanitizer_flags "")
+if(TZGEO_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "TZGEO_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+
+  set(_tzgeo_known_sanitizers address undefined thread leak)
+  foreach(_san IN LISTS TZGEO_SANITIZE)
+    if(NOT _san IN_LIST _tzgeo_known_sanitizers)
+      message(FATAL_ERROR "Unknown sanitizer '${_san}' in TZGEO_SANITIZE "
+                          "(known: ${_tzgeo_known_sanitizers})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST TZGEO_SANITIZE AND "address" IN_LIST TZGEO_SANITIZE)
+    message(FATAL_ERROR "TZGEO_SANITIZE: 'thread' and 'address' cannot be combined")
+  endif()
+
+  string(REPLACE ";" "," _tzgeo_sanitize_csv "${TZGEO_SANITIZE}")
+  list(APPEND _tzgeo_sanitizer_flags
+       "-fsanitize=${_tzgeo_sanitize_csv}" -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST TZGEO_SANITIZE)
+    # Abort on the first UB report so CTest turns findings into failures.
+    list(APPEND _tzgeo_sanitizer_flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_tzgeo_sanitizer_flags})
+  add_link_options(${_tzgeo_sanitizer_flags})
+  message(STATUS "tzgeo: sanitizers enabled: ${TZGEO_SANITIZE}")
+endif()
+
+add_library(tzgeo_sanitizers INTERFACE)
+add_library(tzgeo::sanitizers ALIAS tzgeo_sanitizers)
+if(_tzgeo_sanitizer_flags)
+  target_compile_options(tzgeo_sanitizers INTERFACE ${_tzgeo_sanitizer_flags})
+  target_link_options(tzgeo_sanitizers INTERFACE ${_tzgeo_sanitizer_flags})
+endif()
+unset(_tzgeo_sanitizer_flags)

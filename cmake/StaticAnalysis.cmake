@@ -1,0 +1,23 @@
+# clang-tidy wiring for the `tidy` preset.
+#
+# TZGEO_ENABLE_CLANG_TIDY=ON runs clang-tidy (configured by the top-level
+# .clang-tidy) over every translation unit as it compiles, via
+# CMAKE_CXX_CLANG_TIDY.  The checker binary is an optional dependency: when
+# it is not installed the option degrades to a warning instead of failing
+# the configure, so the same preset works on minimal containers.
+
+option(TZGEO_ENABLE_CLANG_TIDY "Run clang-tidy on every compiled source" OFF)
+
+if(TZGEO_ENABLE_CLANG_TIDY)
+  find_program(TZGEO_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-19 clang-tidy-18
+                                          clang-tidy-17 clang-tidy-16 clang-tidy-15)
+  if(TZGEO_CLANG_TIDY_EXE)
+    # .clang-tidy at the repo root supplies the check list; findings are
+    # promoted to errors there (WarningsAsErrors) so the build fails on any.
+    set(CMAKE_CXX_CLANG_TIDY "${TZGEO_CLANG_TIDY_EXE}")
+    message(STATUS "tzgeo: clang-tidy enabled: ${TZGEO_CLANG_TIDY_EXE}")
+  else()
+    message(WARNING "TZGEO_ENABLE_CLANG_TIDY=ON but no clang-tidy binary found; "
+                    "building without it")
+  endif()
+endif()

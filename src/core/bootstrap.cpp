@@ -16,7 +16,7 @@ namespace {
 /// Circular distance between two zone offsets, in hours.
 [[nodiscard]] double circular_distance(double a, double b) noexcept {
   double d = std::abs(a - b);
-  while (d > 12.0) d = std::abs(d - 24.0);
+  while (d > kHalfDayHoursF) d = std::abs(d - kHoursPerDayF);
   return d;
 }
 

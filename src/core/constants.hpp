@@ -1,0 +1,58 @@
+// Canonical numeric constants of the tzgeo domain.
+//
+// This header is the single home of the hour/zone magic numbers (24 bins,
+// UTC-11..+12, hour 0..23).  `tzgeo-lint` enforces the rule mechanically:
+// integer literals 23/24/25 (and their .0 float forms) may appear in src/
+// only in this file — everywhere else the named constants below keep
+// profile widths, zone counts, and cell encodings provably consistent.
+//
+// The header is dependency-free on purpose: modules below core in the
+// library order (stats, synth, forum) include it textually without gaining
+// a link dependency on tzgeo_core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tzgeo::core {
+
+/// Hours per day, in the signed type used by (day, hour) cell encodings.
+inline constexpr std::int64_t kHoursPerDay = 24;
+
+/// Hours per day as a double, for wrap-around and shift arithmetic.
+inline constexpr double kHoursPerDayF = 24.0;
+
+/// Half a day in hours: the maximum circular distance between two zones.
+inline constexpr double kHalfDayHoursF = 12.0;
+
+/// Largest valid hour-of-day (inclusive), for range checks on parsed input.
+inline constexpr std::int32_t kMaxHourOfDay = 23;
+
+/// Hours per profile; profiles are distributions over the hour of day.
+inline constexpr std::size_t kProfileBins = 24;
+
+/// World time zones span UTC-11 .. UTC+12 (24 zones).
+inline constexpr std::int32_t kMinZone = -11;
+inline constexpr std::int32_t kMaxZone = 12;
+inline constexpr std::size_t kZoneCount = 24;
+
+static_assert(kZoneCount == kProfileBins,
+              "one zone per profile bin: placement maps hour profiles onto zone bins");
+static_assert(static_cast<std::int64_t>(kProfileBins) == kHoursPerDay,
+              "profiles bin the hours of one day");
+static_assert(kMaxZone - kMinZone + 1 == static_cast<std::int32_t>(kZoneCount),
+              "the zone range must cover exactly kZoneCount offsets");
+
+/// Encodes an absolute (day, hour-of-day) pair into one activity cell.
+[[nodiscard]] inline constexpr std::int64_t cell_of_day_hour(std::int64_t day,
+                                                             std::int64_t hour) noexcept {
+  return day * kHoursPerDay + hour;
+}
+
+/// Hour-of-day (0..23) of an encoded activity cell; correct for negative
+/// cells (pre-epoch timestamps), where `%` alone would be off by a day.
+[[nodiscard]] inline constexpr std::int64_t hour_of_cell(std::int64_t cell) noexcept {
+  return ((cell % kHoursPerDay) + kHoursPerDay) % kHoursPerDay;
+}
+
+}  // namespace tzgeo::core

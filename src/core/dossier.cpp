@@ -24,14 +24,14 @@ namespace {
       rem += tz::kSecondsPerDay;
       --day;
     }
-    cells.push_back(day * 24 + rem / tz::kSecondsPerHour);
+    cells.push_back(cell_of_day_hour(day, rem / tz::kSecondsPerHour));
   }
   std::sort(cells.begin(), cells.end());
   cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
 
   std::vector<double> counts(kProfileBins, 0.0);
   for (const std::int64_t cell : cells) {
-    counts[static_cast<std::size_t>(((cell % 24) + 24) % 24)] += 1.0;
+    counts[static_cast<std::size_t>(hour_of_cell(cell))] += 1.0;
   }
   return HourlyProfile::from_counts(counts);
 }

@@ -45,12 +45,12 @@ struct SeasonWindows {
       rem += tz::kSecondsPerDay;
       --day;
     }
-    cells.insert(day * 24 + rem / tz::kSecondsPerHour);
+    cells.insert(cell_of_day_hour(day, rem / tz::kSecondsPerHour));
   }
   *post_count = events.size();
   std::vector<double> counts(kProfileBins, 0.0);
   for (const std::int64_t cell : cells) {
-    counts[static_cast<std::size_t>(((cell % 24) + 24) % 24)] += 1.0;
+    counts[static_cast<std::size_t>(hour_of_cell(cell))] += 1.0;
   }
   return HourlyProfile::from_counts(counts);
 }

@@ -23,7 +23,7 @@ void IncrementalGeolocator::observe(std::uint64_t user, tz::UtcSeconds when) {
     rem += tz::kSecondsPerDay;
     --day;
   }
-  state.cells.insert(day * 24 + rem / tz::kSecondsPerHour);
+  state.cells.insert(cell_of_day_hour(day, rem / tz::kSecondsPerHour));
   ++state.posts;
   state.dirty = true;
   ++posts_;
@@ -36,7 +36,7 @@ void IncrementalGeolocator::observe(std::string_view identity, tz::UtcSeconds wh
 void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
   std::vector<double> counts(kProfileBins, 0.0);
   for (const std::int64_t cell : state.cells) {
-    counts[static_cast<std::size_t>(((cell % 24) + 24) % 24)] += 1.0;
+    counts[static_cast<std::size_t>(hour_of_cell(cell))] += 1.0;
   }
   const HourlyProfile profile = HourlyProfile::from_counts(counts);
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/constants.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
@@ -22,7 +23,7 @@ namespace {
                                   &month, &day, &hour, &minute, &second, &tail);
   if (matched != 6) return std::nullopt;
   if (month < 1 || month > 12 || day < 1 || day > tz::days_in_month(year, month) || hour < 0 ||
-      hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 59) {
+      hour > kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 || second > 59) {
     return std::nullopt;
   }
   return tz::to_utc_seconds(
@@ -74,11 +75,17 @@ IngestResult trace_from_csv_file(const std::string& path) {
 }
 
 std::string trace_to_csv(const ActivityTrace& trace) {
+  // Appended piecewise — GCC 12's -Wrestrict misfires on operator+
+  // chains under -O2 (GCC PR105651) — and faster: no row temporaries.
   std::string out = "author,utc_time\n";
   for (const auto& [user, events] : trace.users()) {
-    const std::string author = "u" + std::to_string(user);
+    std::string author = "u";
+    author += std::to_string(user);
     for (const tz::UtcSeconds t : events) {
-      out += author + "," + std::to_string(t) + "\n";
+      out += author;
+      out.push_back(',');
+      out += std::to_string(t);
+      out.push_back('\n');
     }
   }
   return out;

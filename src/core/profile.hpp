@@ -5,10 +5,9 @@
 #include <span>
 #include <vector>
 
-namespace tzgeo::core {
+#include "core/constants.hpp"
 
-/// Hours per profile; profiles are distributions over the hour of day.
-inline constexpr std::size_t kProfileBins = 24;
+namespace tzgeo::core {
 
 /// A 24-bin probability distribution over the hour of the day.
 ///

@@ -89,7 +89,7 @@ ProfileSet build_profiles(const ActivityTrace& trace, const ProfileBuildOptions&
       const DayHour bin = bin_of(t, options);
       if (dropped_days.contains(bin.day)) continue;
       ++posts;
-      active_cells.insert(bin.day * 24 + bin.hour);
+      active_cells.insert(cell_of_day_hour(bin.day, bin.hour));
     }
     if (posts < options.min_posts) {
       ++result.filtered_inactive;
@@ -97,7 +97,7 @@ ProfileSet build_profiles(const ActivityTrace& trace, const ProfileBuildOptions&
     }
     std::vector<double> counts(kProfileBins, 0.0);
     for (const std::int64_t cell : active_cells) {
-      const std::int64_t hour = ((cell % 24) + 24) % 24;
+      const std::int64_t hour = hour_of_cell(cell);
       counts[static_cast<std::size_t>(hour)] += 1.0;
     }
     result.users.push_back(UserProfileEntry{user, posts, HourlyProfile::from_counts(counts)});

@@ -9,15 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "core/constants.hpp"
 #include "core/profile.hpp"
 #include "core/profile_builder.hpp"
 
 namespace tzgeo::core {
-
-/// World time zones span UTC-11 .. UTC+12 (24 zones).
-inline constexpr std::int32_t kMinZone = -11;
-inline constexpr std::int32_t kMaxZone = 12;
-inline constexpr std::size_t kZoneCount = 24;
 
 /// Bin index (0..23) of a zone offset (-11..+12).
 [[nodiscard]] std::size_t bin_of_zone(std::int32_t zone_hours);

@@ -108,8 +108,8 @@ std::optional<CalibrationResult> calibrate_server_clock(tor::OnionTransport& tra
     // Relative timestamps ("today 18:03") can resolve to the wrong day
     // around a midnight boundary; real display offsets live in
     // [-12 h, +12 h], so fold whole-day errors away.
-    while (offset > 12 * tz::kSecondsPerHour) offset -= 24 * tz::kSecondsPerHour;
-    while (offset < -12 * tz::kSecondsPerHour) offset += 24 * tz::kSecondsPerHour;
+    while (offset > 12 * tz::kSecondsPerHour) offset -= tz::kSecondsPerDay;
+    while (offset < -12 * tz::kSecondsPerHour) offset += tz::kSecondsPerDay;
     offsets.push_back(offset);
   }
 

@@ -34,7 +34,7 @@ struct CalibrationOptions {
   std::int64_t round_to_seconds = 60;  ///< round the offset (RTT noise)
   /// A forum applying a random display delay publishes the marker late;
   /// the calibrator polls for it until this deadline before giving up.
-  std::int64_t marker_wait_seconds = 24 * 3600;
+  std::int64_t marker_wait_seconds = tz::kSecondsPerDay;
   std::int64_t marker_poll_seconds = 600;
 };
 

@@ -71,7 +71,7 @@ struct ForumConfig {
   TimestampPolicy policy = TimestampPolicy::kServerLocal;
   TimestampFormat timestamp_format = TimestampFormat::kIso;
   std::size_t posts_per_page = 20;
-  std::size_t threads_per_page = 25;
+  std::size_t threads_per_page = 25;  // tzgeo-lint: allow(magic-hours): pagination, not hours
   /// Maximum per-post delay for kRandomDelay, seconds.  The Discussion
   /// notes a delay must reach hours to be effective; default 6 h.
   std::int64_t max_random_delay_seconds = 6 * 3600;

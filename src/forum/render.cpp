@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/constants.hpp"
 #include "util/strings.hpp"
 
 namespace tzgeo::forum {
@@ -63,7 +64,8 @@ namespace {
   if (month < 1 || month > 12 || day < 1 || day > tz::days_in_month(year, month)) {
     return std::nullopt;
   }
-  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 59) {
+  if (hour < 0 || hour > core::kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
     return std::nullopt;
   }
   return tz::CivilDateTime{tz::CivilDate{year, month, day}, hour, minute, second};
@@ -128,20 +130,37 @@ std::string render_thread_page(const std::string& forum_name, const Thread& thre
                                const std::vector<RenderedPost>& posts, std::size_t page,
                                std::size_t pages, TimestampFormat format,
                                const tz::CivilDate& today) {
+  // Appended piecewise — GCC 12's -Wrestrict misfires on operator+
+  // chains under -O2 (GCC PR105651) — and avoids per-post temporaries.
   std::string out;
-  out += "<forum name=\"" + escape_markup(forum_name) + "\">\n";
-  out += "<thread id=\"" + std::to_string(thread.id) + "\" title=\"" +
-         escape_markup(thread.title) + "\" page=\"" + std::to_string(page) + "\" pages=\"" +
-         std::to_string(pages) + "\">\n";
+  out += "<forum name=\"";
+  out += escape_markup(forum_name);
+  out += "\">\n";
+  out += "<thread id=\"";
+  out += std::to_string(thread.id);
+  out += "\" title=\"";
+  out += escape_markup(thread.title);
+  out += "\" page=\"";
+  out += std::to_string(page);
+  out += "\" pages=\"";
+  out += std::to_string(pages);
+  out += "\">\n";
   for (const auto& post : posts) {
-    out += "<post id=\"" + std::to_string(post.id) + "\" author=\"" +
-           escape_markup(post.author) + "\"";
+    out += "<post id=\"";
+    out += std::to_string(post.id);
+    out += "\" author=\"";
+    out += escape_markup(post.author);
+    out.push_back('"');
     if (post.display_time) {
-      out += " time=\"" + format_timestamp(*post.display_time, format, today) + "\"";
+      out += " time=\"";
+      out += format_timestamp(*post.display_time, format, today);
+      out.push_back('"');
     } else {
       out += " notime";
     }
-    out += ">" + escape_markup(post.body) + "</post>\n";
+    out.push_back('>');
+    out += escape_markup(post.body);
+    out += "</post>\n";
   }
   out += "</thread>\n</forum>\n";
   return out;

@@ -34,6 +34,8 @@
 #include <span>
 #include <utility>
 
+#include "core/constants.hpp"
+
 namespace tzgeo::stats {
 
 /// Linear-axis EMD.  Throws std::invalid_argument on size or mass mismatch.
@@ -52,7 +54,7 @@ namespace tzgeo::stats {
 // construction).  No validation, no allocation, no exceptions.
 
 /// Width of the fixed kernels: hour-of-day profiles.
-inline constexpr std::size_t kEmdFixedBins = 24;
+inline constexpr std::size_t kEmdFixedBins = core::kProfileBins;
 
 /// Inclusive prefix sums (the CDF) of a 24-bin distribution.
 inline void prefix_sums_24(const double* p, double* cdf) noexcept {

@@ -16,12 +16,13 @@
 #include <array>
 #include <cstdint>
 
+#include "core/constants.hpp"
 #include "util/rng.hpp"
 
 namespace tzgeo::synth {
 
 /// Number of hourly bins in a daily profile.
-inline constexpr std::size_t kHoursPerDay = 24;
+inline constexpr std::size_t kHoursPerDay = core::kProfileBins;
 
 /// Shape parameters of the diurnal rhythm (hours in local time).
 struct DiurnalShape {

@@ -25,7 +25,8 @@ HolidayCalendar::HolidayCalendar(std::vector<Period> periods, double activity_fa
 }
 
 HolidayCalendar HolidayCalendar::typical() {
-  return HolidayCalendar{{Period{12, 23, 1, 2}, Period{8, 10, 8, 20}}, 0.25};
+  // Calendar dates (Dec 23 – Jan 2, Aug 10 – Aug 20), not hour counts.
+  return HolidayCalendar{{Period{12, 23, 1, 2}, Period{8, 10, 8, 20}}, 0.25};  // tzgeo-lint: allow(magic-hours)
 }
 
 HolidayCalendar HolidayCalendar::none() { return HolidayCalendar{{}, 1.0}; }

@@ -19,7 +19,7 @@ BridgeSet BridgeSet::synthetic(std::size_t size, util::Rng& rng) {
     bridge.nickname = "bridge" + std::to_string(i);
     bridge.bandwidth_kbps =
         static_cast<std::uint32_t>(std::min(1e6, 128.0 + rng.lognormal(7.5, 1.0)));
-    bridge.base_latency_ms = 25.0 + rng.exponential(1.0 / 40.0);
+    bridge.base_latency_ms = 25.0 + rng.exponential(1.0 / 40.0);  // tzgeo-lint: allow(magic-hours): milliseconds
     // Bridges are entries by construction; they carry no consensus flags.
     bridge.flags.guard = true;
     bridge.flags.stable = true;

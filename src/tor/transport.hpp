@@ -46,7 +46,7 @@ class TransportError : public std::runtime_error {
 struct TransportOptions {
   double failure_probability = 0.0;  ///< chance a round trip fails (circuit drop)
   int max_retries = 3;               ///< rebuild attempts per request
-  double jitter_ms = 25.0;           ///< extra exponential latency jitter per trip
+  double jitter_ms = 25.0;  ///< extra exponential latency jitter per trip  // tzgeo-lint: allow(magic-hours): milliseconds
   /// Rotate the rendezvous circuit after this many requests (Tor rotates
   /// circuits periodically; the entry guard stays pinned across rotations).
   std::size_t requests_per_circuit = 100;

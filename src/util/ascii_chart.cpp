@@ -138,12 +138,17 @@ std::string text_table(const std::vector<std::string>& header,
     }
     for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
   }
+  // Appended piecewise — GCC 12's -Wrestrict misfires on nested
+  // operator+ chains under -O2 (GCC PR105651).
   const auto render = [&](const std::vector<std::string>& row) {
     std::string line = "|";
     for (std::size_t c = 0; c < row.size(); ++c) {
-      line += " " + pad_right(row[c], widths[c]) + " |";
+      line.push_back(' ');
+      line += pad_right(row[c], widths[c]);
+      line += " |";
     }
-    return line + "\n";
+    line.push_back('\n');
+    return line;
   };
   std::string sep = "+";
   for (const std::size_t w : widths) sep += std::string(w + 2, '-') + "+";

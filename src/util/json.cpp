@@ -84,15 +84,16 @@ JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
 }
 
 void JsonValue::write(std::string& out, int indent, int depth) const {
-  const std::string pad = indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
-                                                              (static_cast<std::size_t>(depth) + 1),
-                                                          ' ')
-                                     : "";
-  const std::string close_pad =
-      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
-                                          static_cast<std::size_t>(depth),
-                                      ' ')
-                 : "";
+  // Built with push_back/append (not operator+) — GCC 12's -Wrestrict
+  // misfires on "\n" + std::string(...) chains under -O2 (GCC PR105651).
+  std::string pad;
+  std::string close_pad;
+  if (indent > 0) {
+    pad.push_back('\n');
+    pad.append(static_cast<std::size_t>(indent) * (static_cast<std::size_t>(depth) + 1), ' ');
+    close_pad.push_back('\n');
+    close_pad.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  }
   switch (kind_) {
     case Kind::kNull:
       out += "null";

@@ -72,10 +72,10 @@ TEST(Civil, NthWeekdayOfMonth) {
 }
 
 TEST(Civil, NthWeekdayValidation) {
-  EXPECT_THROW(nth_weekday_of_month(2016, 1, 7, 1), std::invalid_argument);
-  EXPECT_THROW(nth_weekday_of_month(2016, 1, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)nth_weekday_of_month(2016, 1, 7, 1), std::invalid_argument);
+  EXPECT_THROW((void)nth_weekday_of_month(2016, 1, 0, 0), std::invalid_argument);
   // Fifth Sunday of February 2015 does not exist.
-  EXPECT_THROW(nth_weekday_of_month(2015, 2, 0, 5), std::invalid_argument);
+  EXPECT_THROW((void)nth_weekday_of_month(2015, 2, 0, 5), std::invalid_argument);
 }
 
 TEST(Civil, LastWeekdayOfMonth) {

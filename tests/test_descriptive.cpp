@@ -13,7 +13,7 @@ TEST(Mean, KnownValues) {
   EXPECT_DOUBLE_EQ(mean(std::vector<double>{7}), 7.0);
 }
 
-TEST(Mean, EmptyThrows) { EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument); }
+TEST(Mean, EmptyThrows) { EXPECT_THROW((void)mean(std::vector<double>{}), std::invalid_argument); }
 
 TEST(Variance, PopulationFormula) {
   EXPECT_DOUBLE_EQ(variance(std::vector<double>{2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
@@ -31,7 +31,7 @@ TEST(Covariance, KnownValues) {
 }
 
 TEST(Covariance, SizeMismatchThrows) {
-  EXPECT_THROW(covariance(std::vector<double>{1, 2}, std::vector<double>{1}),
+  EXPECT_THROW((void)covariance(std::vector<double>{1, 2}, std::vector<double>{1}),
                std::invalid_argument);
 }
 
@@ -71,12 +71,12 @@ TEST(WeightedMean, Basics) {
 }
 
 TEST(WeightedMean, NegativeWeightThrows) {
-  EXPECT_THROW(weighted_mean(std::vector<double>{1.0}, std::vector<double>{-1.0}),
+  EXPECT_THROW((void)weighted_mean(std::vector<double>{1.0}, std::vector<double>{-1.0}),
                std::invalid_argument);
 }
 
 TEST(WeightedMean, ZeroTotalWeightThrows) {
-  EXPECT_THROW(weighted_mean(std::vector<double>{1.0, 2.0}, std::vector<double>{0.0, 0.0}),
+  EXPECT_THROW((void)weighted_mean(std::vector<double>{1.0, 2.0}, std::vector<double>{0.0, 0.0}),
                std::invalid_argument);
 }
 

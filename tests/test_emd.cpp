@@ -47,17 +47,17 @@ TEST(EmdLinear, TriangleInequalityHolds) {
 }
 
 TEST(EmdLinear, MassMismatchThrows) {
-  EXPECT_THROW(emd_linear(std::vector<double>{1.0}, std::vector<double>{0.5}),
+  EXPECT_THROW((void)emd_linear(std::vector<double>{1.0}, std::vector<double>{0.5}),
                std::invalid_argument);
 }
 
 TEST(EmdLinear, SizeMismatchThrows) {
-  EXPECT_THROW(emd_linear(std::vector<double>{1.0}, std::vector<double>{0.5, 0.5}),
+  EXPECT_THROW((void)emd_linear(std::vector<double>{1.0}, std::vector<double>{0.5, 0.5}),
                std::invalid_argument);
 }
 
 TEST(EmdLinear, EmptyThrows) {
-  EXPECT_THROW(emd_linear(std::vector<double>{}, std::vector<double>{}),
+  EXPECT_THROW((void)emd_linear(std::vector<double>{}, std::vector<double>{}),
                std::invalid_argument);
 }
 
@@ -99,7 +99,7 @@ TEST(EmdCircular, SymmetricAndNonNegative) {
 }
 
 TEST(EmdCircular, MassMismatchThrows) {
-  EXPECT_THROW(emd_circular(std::vector<double>{1.0, 0.0}, std::vector<double>{0.9, 0.0}),
+  EXPECT_THROW((void)emd_circular(std::vector<double>{1.0, 0.0}, std::vector<double>{0.9, 0.0}),
                std::invalid_argument);
 }
 

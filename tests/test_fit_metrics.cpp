@@ -38,9 +38,9 @@ TEST(PointwiseFitMetrics, AbsoluteValueUsed) {
 }
 
 TEST(PointwiseFitMetrics, ValidatesArity) {
-  EXPECT_THROW(pointwise_fit_metrics(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+  EXPECT_THROW((void)pointwise_fit_metrics(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
                std::invalid_argument);
-  EXPECT_THROW(pointwise_fit_metrics(std::vector<double>{}, std::vector<double>{}),
+  EXPECT_THROW((void)pointwise_fit_metrics(std::vector<double>{}, std::vector<double>{}),
                std::invalid_argument);
 }
 

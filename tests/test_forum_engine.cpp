@@ -264,12 +264,12 @@ TEST(ForumEngine, HandleOfMapsPersonaToMember) {
   ForumEngine engine{basic_config(), tiny_crowd()};
   EXPECT_FALSE(engine.handle_of(101).empty());
   EXPECT_NE(engine.handle_of(101), engine.handle_of(202));
-  EXPECT_THROW(engine.handle_of(999), std::out_of_range);
+  EXPECT_THROW((void)engine.handle_of(999), std::out_of_range);
 }
 
 TEST(ForumEngine, TrueTimeOfUnknownPostThrows) {
   ForumEngine engine{basic_config(), tiny_crowd()};
-  EXPECT_THROW(engine.true_time_of(424242), std::out_of_range);
+  EXPECT_THROW((void)engine.true_time_of(424242), std::out_of_range);
 }
 
 }  // namespace

@@ -112,11 +112,11 @@ TEST(FitGaussian, ExplicitXCoordinates) {
 }
 
 TEST(FitGaussian, TooFewPointsThrows) {
-  EXPECT_THROW(fit_gaussian(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_gaussian(std::vector<double>{1.0, 2.0}), std::invalid_argument);
 }
 
 TEST(FitGaussian, ArityMismatchThrows) {
-  EXPECT_THROW(fit_gaussian(std::vector<double>{1, 2, 3}, std::vector<double>{1, 2}),
+  EXPECT_THROW((void)fit_gaussian(std::vector<double>{1, 2, 3}, std::vector<double>{1, 2}),
                std::invalid_argument);
 }
 

@@ -53,7 +53,7 @@ TEST(UnwrapCut, PicksEmptyRegion) {
 }
 
 TEST(UnwrapCut, Validates) {
-  EXPECT_THROW(unwrap_cut(std::vector<double>(23, 0.0)), std::invalid_argument);
+  EXPECT_THROW((void)unwrap_cut(std::vector<double>(23, 0.0)), std::invalid_argument);
 }
 
 TEST(FitSingleCountry, RecoversCenterAndSigma) {

@@ -90,7 +90,7 @@ TEST(Argmax, FirstOfTies) {
 }
 
 TEST(Argmax, EmptyThrows) {
-  EXPECT_THROW(argmax(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)argmax(std::vector<double>{}), std::invalid_argument);
 }
 
 TEST(UniformDistribution, Values) {

@@ -68,6 +68,63 @@ TEST(JsonValue, TypeMisuseThrows) {
   EXPECT_THROW(array.set("k", JsonValue::null()), std::logic_error);
 }
 
+TEST(JsonQuote, AllControlBytesEscape) {
+  // Every byte below 0x20 must come out as an escape, never raw.
+  for (int c = 1; c < 0x20; ++c) {
+    const char byte = static_cast<char>(c);
+    const std::string quoted = util::json_quote(std::string_view{&byte, 1});
+    EXPECT_GE(quoted.size(), 4u) << "byte " << c;
+    EXPECT_EQ(quoted.find(byte), std::string::npos) << "byte " << c;
+  }
+}
+
+TEST(JsonQuote, NulByteEscapes) {
+  const char nul = '\0';
+  EXPECT_EQ(util::json_quote(std::string_view{&nul, 1}), "\"\\u0000\"");
+}
+
+TEST(JsonQuote, NonUtf8HighBytesPassThrough) {
+  // The writer is byte-transparent above 0x1f: invalid UTF-8 sequences are
+  // the caller's concern and must survive quoting unchanged.
+  std::string high;
+  for (int c = 0x80; c <= 0xff; ++c) high.push_back(static_cast<char>(c));
+  const std::string quoted = util::json_quote(high);
+  EXPECT_EQ(quoted, "\"" + high + "\"");
+}
+
+TEST(JsonValue, OverlongStringRoundsThrough) {
+  const std::string big(1 << 20, 'x');
+  const std::string dumped = JsonValue::string(big).dump();
+  EXPECT_EQ(dumped.size(), big.size() + 2);
+}
+
+TEST(JsonValue, DeepNestingDumpsWithoutOverflow) {
+  // 2000 nested arrays: write() recurses per level, which must stay well
+  // within stack limits for any plausible report depth.
+  JsonValue root = JsonValue::array();  // innermost
+  for (int depth = 0; depth < 2000; ++depth) {
+    JsonValue parent = JsonValue::array();
+    parent.push(std::move(root));
+    root = std::move(parent);
+  }
+  const std::string compact = root.dump();
+  EXPECT_EQ(compact.size(), 2 * 2001u);
+  const std::string pretty = root.dump(1);
+  EXPECT_GT(pretty.size(), compact.size());
+}
+
+TEST(JsonValue, EmptyContainersStayOnOneLineWhenPretty) {
+  JsonValue object = JsonValue::object();
+  object.set("arr", JsonValue::array()).set("obj", JsonValue::object());
+  EXPECT_EQ(object.dump(2), "{\n  \"arr\": [],\n  \"obj\": {}\n}");
+}
+
+TEST(JsonValue, AdversarialKeysAreQuoted) {
+  JsonValue object = JsonValue::object();
+  object.set("ke\"y\n\t", JsonValue::integer(1));
+  EXPECT_EQ(object.dump(), "{\"ke\\\"y\\n\\t\":1}");
+}
+
 TEST(ReportJson, GeolocationResultSerializes) {
   core::GeolocationResult result;
   result.users_analyzed = 100;

@@ -130,6 +130,141 @@ TEST(ParserFuzz, EscapedTagsInsideAttributesAndBodiesRoundTrip) {
   EXPECT_EQ(parsed->title, "<thread page=\"9\">");
 }
 
+/// Random bytes over the full non-zero range, including invalid UTF-8
+/// lead/continuation bytes (0x80..0xFF).
+[[nodiscard]] std::string binary_garbage(util::Rng& rng, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+  }
+  return out;
+}
+
+TEST(ParserFuzz, NonUtf8GarbageNeverCrashes) {
+  util::Rng rng{8};
+  for (int i = 0; i < 500; ++i) {
+    const std::string junk =
+        binary_garbage(rng, static_cast<std::size_t>(rng.uniform_int(0, 600)));
+    (void)parse_thread_page(junk);
+    (void)parse_index_page(junk);
+  }
+}
+
+TEST(ParserFuzz, NonUtf8BytesInsideValidPageNeverCrash) {
+  // Overwrite random positions of a well-formed page with invalid UTF-8
+  // bytes: the parser works on raw bytes and must pass them through or
+  // reject the page, never crash or mis-index.
+  const std::string page = valid_page();
+  util::Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = page;
+    const int edits = static_cast<int>(rng.uniform_int(1, 8));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(page.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.uniform_int(128, 255));
+    }
+    const auto parsed = parse_thread_page(mutated);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->posts.size(), 10u);
+      for (const auto& post : parsed->posts) EXPECT_FALSE(post.author.empty());
+    }
+  }
+}
+
+TEST(ParserFuzz, EmbeddedNulBytesHandled) {
+  // NUL does not terminate a std::string; the parser must treat it as an
+  // ordinary byte wherever it lands.
+  const std::string page = valid_page();
+  for (std::size_t pos = 0; pos < page.size(); pos += 11) {
+    std::string mutated = page;
+    mutated[pos] = '\0';
+    (void)parse_thread_page(mutated);
+    (void)parse_index_page(mutated);
+  }
+  std::string appended = page;
+  appended.push_back('\0');
+  (void)parse_thread_page(appended);
+}
+
+TEST(ParserFuzz, ByteExactTruncationsOfHeaderNeverCrash) {
+  // The coarse truncation test steps by 7; cut every single byte position
+  // across the header and the first post so every mid-token and
+  // mid-attribute prefix is exercised.
+  const std::string page = valid_page();
+  const std::size_t first_post_end = page.find("</post>") + 7;
+  ASSERT_NE(first_post_end, std::string::npos + 7);
+  for (std::size_t cut = 0; cut <= first_post_end; ++cut) {
+    (void)parse_thread_page(page.substr(0, cut));
+    (void)parse_index_page(page.substr(0, cut));
+  }
+}
+
+TEST(ParserFuzz, OverlongAttributesAndBodiesParseOrRejectCleanly) {
+  // Megabyte-scale attribute values and bodies: no length assumption in
+  // the parser may overflow or quadratically blow up.
+  const std::string long_author(1 << 20, 'a');
+  const std::string long_body(1 << 20, 'b');
+  std::vector<RenderedPost> posts;
+  posts.push_back(RenderedPost{1, long_author,
+                               tz::CivilDateTime{tz::CivilDate{2016, 4, 2}, 11, 0, 0},
+                               long_body});
+  const std::string markup = render_thread_page("x", Thread{1, "t", "Main"}, posts, 1, 1);
+  const auto parsed = parse_thread_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->posts.size(), 1u);
+  EXPECT_EQ(parsed->posts[0].author.size(), long_author.size());
+  EXPECT_EQ(parsed->posts[0].body.size(), long_body.size());
+}
+
+TEST(ParserFuzz, ManyPostsPageParsesCompletely) {
+  std::vector<RenderedPost> posts;
+  for (int i = 0; i < 20000; ++i) {
+    posts.push_back(RenderedPost{static_cast<std::uint64_t>(i + 1),
+                                 "u" + std::to_string(i),
+                                 tz::CivilDateTime{tz::CivilDate{2016, 4, 2}, i % 24, i % 60, 0},
+                                 "post body " + std::to_string(i)});
+  }
+  const std::string markup =
+      render_thread_page("big", Thread{1, "t", "Main"}, posts, 1, 1);
+  const auto parsed = parse_thread_page(markup);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->posts.size(), 20000u);
+}
+
+TEST(ParserFuzz, UnterminatedThreadHeaderRejected) {
+  // The page is only a thread page once the <thread ...> header closes;
+  // any prefix cut before that must be rejected outright.
+  for (const char* mangled : {
+           "<forum name=\"x\">\n<thread id=\"1\" title=\"t\" page=\"1",
+           "<forum name=\"x\">\n<thread id=\"1\" title=\"unterminated",
+           "<forum name=\"x",
+           "<forum",
+           "<",
+       }) {
+    EXPECT_FALSE(parse_thread_page(mangled).has_value()) << mangled;
+  }
+}
+
+TEST(ParserFuzz, TruncatedPostSectionDegradesWithoutFabricating) {
+  // With a complete header, a cut inside the post section parses but may
+  // never fabricate a post from the partial bytes.
+  const std::string unclosed_body =
+      "<forum name=\"x\">\n<thread id=\"1\" title=\"t\" page=\"1\" pages=\"1\">\n"
+      "<post id=\"3\" author=\"b\" time=\"2016-01-01 01:00:00\">body with no close";
+  const auto degraded = parse_thread_page(unclosed_body);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_TRUE(degraded->posts.empty());
+  EXPECT_EQ(degraded->malformed_posts, 1u);
+
+  const std::string unclosed_header =
+      "<forum name=\"x\">\n<thread id=\"1\" title=\"t\" page=\"1\" pages=\"1\">\n<post ";
+  const auto headerless = parse_thread_page(unclosed_header);
+  ASSERT_TRUE(headerless.has_value());
+  EXPECT_TRUE(headerless->posts.empty());
+}
+
 TEST(EngineFuzz, RandomRequestPathsNeverCrash) {
   synth::DatasetOptions options;
   options.seed = 5;

@@ -45,7 +45,9 @@ TEST(ThreadPool, ChunksAreContiguousDisjointAndComplete) {
         expect_begin = end;
       }
       EXPECT_EQ(covered, n);
-      if (max_chunks != 0) EXPECT_LE(ranges.size(), max_chunks);
+      if (max_chunks != 0) {
+        EXPECT_LE(ranges.size(), max_chunks);
+      }
     }
   }
 }

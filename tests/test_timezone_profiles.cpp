@@ -31,9 +31,9 @@ TEST(ZoneBins, MappingRoundTrips) {
 }
 
 TEST(ZoneBins, Validation) {
-  EXPECT_THROW(bin_of_zone(-12), std::out_of_range);
-  EXPECT_THROW(bin_of_zone(13), std::out_of_range);
-  EXPECT_THROW(zone_of_bin(24), std::out_of_range);
+  EXPECT_THROW((void)bin_of_zone(-12), std::out_of_range);
+  EXPECT_THROW((void)bin_of_zone(13), std::out_of_range);
+  EXPECT_THROW((void)zone_of_bin(24), std::out_of_range);
 }
 
 TEST(TimeZoneProfiles, ZoneZeroIsGeneric) {
@@ -124,7 +124,7 @@ TEST(PearsonMatrix, MisalignedProfilesCorrelateLess) {
 }
 
 TEST(MeanOffdiagonal, RequiresTwoRegions) {
-  EXPECT_THROW(mean_offdiagonal({{1.0}}), std::invalid_argument);
+  EXPECT_THROW((void)mean_offdiagonal({{1.0}}), std::invalid_argument);
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ TEST(Consensus, RelayLookup) {
   const Consensus consensus = small_consensus();
   const auto& first = consensus.relays().front();
   EXPECT_EQ(consensus.relay(first.id).nickname, first.nickname);
-  EXPECT_THROW(consensus.relay(0xdeadbeef), std::out_of_range);
+  EXPECT_THROW((void)consensus.relay(0xdeadbeef), std::out_of_range);
 }
 
 TEST(Consensus, EmptyRelayListThrows) {
@@ -77,7 +77,7 @@ TEST(Consensus, PickFavorsBandwidth) {
 TEST(Consensus, PickWithImpossiblePredicateThrows) {
   const Consensus consensus = small_consensus();
   util::Rng rng{4};
-  EXPECT_THROW(consensus.pick(rng, [](const RelayDescriptor&) { return false; }),
+  EXPECT_THROW((void)consensus.pick(rng, [](const RelayDescriptor&) { return false; }),
                std::runtime_error);
 }
 
@@ -335,7 +335,7 @@ TEST(BridgeSet, SyntheticBridgesAreEntries) {
     EXPECT_TRUE(bridges.contains(bridge.id));
   }
   EXPECT_FALSE(bridges.contains(0xdead));
-  EXPECT_THROW(bridges.bridge(0xdead), std::out_of_range);
+  EXPECT_THROW((void)bridges.bridge(0xdead), std::out_of_range);
 }
 
 TEST(BridgeSet, Validation) {
@@ -349,7 +349,7 @@ TEST(BridgeSet, BridgesAreNotInThePublicConsensus) {
   util::Rng rng{52};
   const BridgeSet bridges = BridgeSet::synthetic(2, rng);
   for (const auto& bridge : bridges.bridges()) {
-    EXPECT_THROW(consensus.relay(bridge.id), std::out_of_range);
+    EXPECT_THROW((void)consensus.relay(bridge.id), std::out_of_range);
   }
 }
 
@@ -361,7 +361,7 @@ TEST(OnionTransport, BridgeModeEntersThroughBridge) {
   OnionTransport transport{consensus, bridges, clock, 54};
   // The session guard is one of the configured bridges, unlisted publicly.
   EXPECT_TRUE(bridges.contains(transport.guard_id()));
-  EXPECT_THROW(consensus.relay(transport.guard_id()), std::out_of_range);
+  EXPECT_THROW((void)consensus.relay(transport.guard_id()), std::out_of_range);
 
   const std::string onion =
       transport.host(900, [](const Request&, std::int64_t) { return Response{200, "ok"}; });

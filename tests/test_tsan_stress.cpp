@@ -1,0 +1,223 @@
+// ThreadSanitizer stress tests for the threaded subsystem (thread_pool,
+// parallel placement, flat filter, bootstrap).  These deliberately create
+// heavy cross-thread contention — pools churning under concurrent submit,
+// overlapping parallel placements, exceptions racing normal completion —
+// so TSan can observe the synchronization under the worst interleavings.
+//
+// They are labelled "tsan" and registered only when TZGEO_ENABLE_TSAN_TESTS
+// is ON (implied by TZGEO_SANITIZE=thread) to keep the default test path
+// fast; run them with `ctest --preset tsan` or `ctest -L tsan`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/bootstrap.hpp"
+#include "core/parallel.hpp"
+#include "core/placement.hpp"
+#include "core/placement_engine.hpp"
+#include "core/profile.hpp"
+#include "core/profile_builder.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timezone_profiles.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+/// A diurnal generic profile (active 8..23) for placement stress.
+[[nodiscard]] TimeZoneProfiles stress_zones() {
+  std::vector<double> bins(kProfileBins, 0.05);
+  for (std::size_t h = 8; h < kProfileBins; ++h) {
+    bins[h] = 1.0 + 0.25 * static_cast<double>(h % 7);
+  }
+  return TimeZoneProfiles{HourlyProfile::from_counts(bins)};
+}
+
+/// A crowd of `count` users with assorted peaked profiles.
+[[nodiscard]] std::vector<UserProfileEntry> stress_crowd(std::size_t count,
+                                                         std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<UserProfileEntry> users;
+  users.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> bins(kProfileBins, 0.01);
+    const auto peak = static_cast<std::size_t>(rng.uniform_int(0, 23));
+    for (std::size_t w = 0; w < 8; ++w) {
+      bins[(peak + w) % kProfileBins] += 1.0 + rng.uniform();
+    }
+    users.push_back(UserProfileEntry{i, 1, HourlyProfile::from_counts(bins)});
+  }
+  return users;
+}
+
+// --- thread_pool ----------------------------------------------------------
+
+TEST(TsanStress, ContendedSubmitOnSharedPool) {
+  // Many threads hammer one pool with jobs at once.  for_chunks serializes
+  // job setup internally; every submission must still process each index
+  // exactly once.
+  ThreadPool pool{4};
+  constexpr std::size_t kSubmitters = 8;
+  constexpr std::size_t kJobsPerSubmitter = 50;
+  constexpr std::size_t kItems = 512;
+
+  std::atomic<std::uint64_t> processed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &processed] {
+      for (std::size_t j = 0; j < kJobsPerSubmitter; ++j) {
+        pool.for_chunks(kItems, 0, [&processed](std::size_t begin, std::size_t end) {
+          processed.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(processed.load(), kSubmitters * kJobsPerSubmitter * kItems);
+}
+
+TEST(TsanStress, PoolChurnConstructDestroyUnderLoad) {
+  // Construct, immediately load, and destroy pools in a tight loop from
+  // several threads: shutdown must not race in-flight drains.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 40;
+
+  std::vector<std::thread> churners;
+  churners.reserve(kThreads);
+  std::atomic<std::uint64_t> total{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&total] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        ThreadPool pool{2};
+        pool.for_chunks(97, 0, [&total](std::size_t begin, std::size_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      }  // ~ThreadPool: workers must quiesce cleanly every round
+    });
+  }
+  for (auto& t : churners) t.join();
+  EXPECT_EQ(total.load(), kThreads * kRounds * 97u);
+}
+
+TEST(TsanStress, ExceptionUnderLoadPropagatesAndPoolSurvives) {
+  // One chunk throws while others are mid-flight; the pool must rethrow
+  // exactly one error per job and stay usable for subsequent jobs.
+  ThreadPool pool{4};
+  for (int round = 0; round < 25; ++round) {
+    EXPECT_THROW(
+        pool.for_chunks(256, 0,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("stress failure");
+                        }),
+        std::runtime_error);
+
+    // The pool still runs clean jobs after an exceptional one.
+    std::atomic<std::size_t> ok{0};
+    pool.for_chunks(64, 0, [&ok](std::size_t begin, std::size_t end) {
+      ok.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ok.load(), 64u);
+  }
+}
+
+TEST(TsanStress, ConcurrentExceptionsOnSharedPool) {
+  // Several submitters throw concurrently; each must get an exception from
+  // its own job and never one from a neighbour's generation.
+  ThreadPool pool{4};
+  constexpr std::size_t kSubmitters = 6;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  std::atomic<std::size_t> caught{0};
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &caught] {
+      for (int j = 0; j < 20; ++j) {
+        try {
+          pool.for_chunks(128, 0, [](std::size_t begin, std::size_t) {
+            if (begin == 0) throw std::invalid_argument("per-job failure");
+          });
+        } catch (const std::invalid_argument&) {
+          caught.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(caught.load(), kSubmitters * 20u);
+}
+
+// --- parallel placement ---------------------------------------------------
+
+TEST(TsanStress, ConcurrentPlaceCrowdParallelMatchesSerial) {
+  // Overlapping place_crowd_parallel calls on the shared global pool must
+  // neither race nor perturb each other's results.
+  const TimeZoneProfiles zones = stress_zones();
+  const std::vector<UserProfileEntry> crowd = stress_crowd(600, 7);
+  const PlacementResult serial = place_crowd(crowd, zones);
+
+  constexpr std::size_t kCallers = 6;
+  std::vector<PlacementResult> results(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&zones, &crowd, &results, c] {
+      results[c] = place_crowd_parallel(crowd, zones);
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  for (const PlacementResult& parallel : results) {
+    ASSERT_EQ(parallel.users.size(), serial.users.size());
+    for (std::size_t i = 0; i < serial.users.size(); ++i) {
+      EXPECT_EQ(parallel.users[i].zone_hours, serial.users[i].zone_hours);
+      EXPECT_EQ(parallel.users[i].distance, serial.users[i].distance);
+    }
+  }
+}
+
+TEST(TsanStress, SharedEngineConcurrentReaders) {
+  // place() is const and allocation-free; many threads sharing one engine
+  // must be race-free by construction.
+  const TimeZoneProfiles zones = stress_zones();
+  const PlacementEngine engine{zones, PlacementMetric::kCircularEmd};
+  const std::vector<UserProfileEntry> crowd = stress_crowd(200, 11);
+
+  constexpr std::size_t kReaders = 8;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  std::atomic<std::size_t> placed{0};
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&engine, &crowd, &placed] {
+      for (const auto& entry : crowd) {
+        const UserPlacement placement = engine.place(entry.user, entry.profile);
+        if (placement.zone_hours >= kMinZone && placement.zone_hours <= kMaxZone) {
+          placed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(placed.load(), kReaders * crowd.size());
+}
+
+// --- bootstrap ------------------------------------------------------------
+
+TEST(TsanStress, BootstrapParallelResamplingIsRaceFree) {
+  // bootstrap_geolocation fans resample refits across the pool; run it
+  // with enough resamples to guarantee multi-chunk scheduling.
+  const TimeZoneProfiles zones = stress_zones();
+  const std::vector<UserProfileEntry> crowd = stress_crowd(120, 23);
+
+  BootstrapOptions bootstrap;
+  bootstrap.resamples = 64;
+  bootstrap.seed = 99;
+  const BootstrapResult result = bootstrap_geolocation(crowd, zones, {}, bootstrap);
+  EXPECT_EQ(result.resamples, bootstrap.resamples);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

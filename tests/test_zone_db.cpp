@@ -8,7 +8,7 @@
 namespace tzgeo::tz {
 namespace {
 
-TEST(ZoneDb, UnknownZoneThrows) { EXPECT_THROW(zone("Mars/Olympus"), std::out_of_range); }
+TEST(ZoneDb, UnknownZoneThrows) { EXPECT_THROW((void)zone("Mars/Olympus"), std::out_of_range); }
 
 TEST(ZoneDb, HasZone) {
   EXPECT_TRUE(has_zone("Europe/Berlin"));
