@@ -1,0 +1,114 @@
+// Ingest-pipeline benchmarks (google-benchmark): CSV -> ActivityTrace ->
+// ProfileSet, the stages that dominate a real investigation's start-up.
+//
+// The generated corpus mimics a scraped author/time dump: a power-law-ish
+// user distribution, timestamps mixed between civil "YYYY-MM-DD HH:MM:SS"
+// and raw epoch-second forms, and a sprinkle of junk rows that must be
+// counted-not-fatal.  Before/after medians live in BENCH_ingest.json.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/ingest.hpp"
+#include "core/profile_builder.hpp"
+#include "timezone/civil.hpp"
+#include "util/rng.hpp"
+
+using namespace tzgeo;
+
+namespace {
+
+/// Deterministic synthetic author/time CSV with `rows` data rows.
+std::string make_csv(std::size_t rows) {
+  util::Rng rng{rows};
+  const std::size_t users = rows / 50 + 4;
+  std::string csv = "author,utc_time\n";
+  csv.reserve(rows * 32 + 16);
+  const tz::UtcSeconds base = 1451606400;  // 2016-01-01
+  for (std::size_t i = 0; i < rows; ++i) {
+    // Zipf-flavored author pick: a few heavy posters, a long tail.
+    const std::size_t u = static_cast<std::size_t>(
+        static_cast<double>(users) * rng.uniform() * rng.uniform());
+    const tz::UtcSeconds t =
+        base + static_cast<tz::UtcSeconds>(rng.uniform() * 180.0 * 86400.0);
+    csv += "user";
+    csv += std::to_string(u);
+    csv.push_back(',');
+    if (i % 2 == 0) {
+      csv += tz::to_string(tz::from_utc_seconds(t));
+    } else {
+      csv += std::to_string(t);
+    }
+    csv.push_back('\n');
+  }
+  return csv;
+}
+
+/// The corpus for one size, built once and shared across iterations.
+const std::string& corpus(std::size_t rows) {
+  static std::string small = make_csv(10'000);
+  static std::string medium = make_csv(100'000);
+  static std::string large = make_csv(1'000'000);
+  if (rows <= 10'000) return small;
+  if (rows <= 100'000) return medium;
+  return large;
+}
+
+void BM_IngestCsv(benchmark::State& state) {
+  const std::string& csv = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::trace_from_csv(csv));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IngestCsv)->Arg(10'000)->Arg(100'000)->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IngestCsvSerial(benchmark::State& state) {
+  // Forced single-threaded scan: isolates the streaming-parser speedup
+  // from any thread-pool contribution.
+  const std::string& csv = corpus(static_cast<std::size_t>(state.range(0)));
+  core::IngestOptions options;
+  options.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::trace_from_csv(csv, options));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IngestCsvSerial)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_IngestCsvParallel(benchmark::State& state) {
+  // Dedicated 4-participant pool regardless of detected core count; on a
+  // single-core host this measures chunking overhead, on multi-core the
+  // parallel speedup.
+  const std::string& csv = corpus(static_cast<std::size_t>(state.range(0)));
+  core::IngestOptions options;
+  options.threads = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::trace_from_csv(csv, options));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csv.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IngestCsvParallel)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_BuildProfiles(benchmark::State& state) {
+  const core::IngestResult ingest =
+      core::trace_from_csv(corpus(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_profiles(ingest.trace, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BuildProfiles)->Arg(10'000)->Arg(100'000)->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "core/activity.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace tzgeo::core {
@@ -7,30 +9,77 @@ namespace tzgeo::core {
 std::uint64_t user_id_of(std::string_view identity) noexcept { return util::hash64(identity); }
 
 void ActivityTrace::add(std::uint64_t user, tz::UtcSeconds time) {
-  events_[user].push_back(time);
+  events_[intern_user(user)].push_back(time);
+  ++total_;
+}
+
+std::uint32_t ActivityTrace::intern_user(std::uint64_t user) {
+  const std::uint32_t handle = ids_.intern(user);
+  if (handle == events_.size()) events_.emplace_back();
+  return handle;
+}
+
+void ActivityTrace::add_batch(const std::vector<Event>& batch) {
+  std::vector<std::uint32_t> counts(events_.size(), 0);
+  for (const Event& event : batch) ++counts[event.handle];
+  for (std::size_t handle = 0; handle < events_.size(); ++handle) {
+    if (counts[handle] != 0) {
+      events_[handle].reserve(events_[handle].size() + counts[handle]);
+    }
+  }
+  for (const Event& event : batch) events_[event.handle].push_back(event.time);
+  total_ += batch.size();
 }
 
 void ActivityTrace::add(std::string_view identity, tz::UtcSeconds time) {
   add(user_id_of(identity), time);
 }
 
-std::size_t ActivityTrace::event_count() const noexcept {
-  std::size_t total = 0;
-  for (const auto& [user, events] : events_) total += events.size();
-  return total;
-}
-
 const std::vector<tz::UtcSeconds>& ActivityTrace::events_of(std::uint64_t user) const {
   static const std::vector<tz::UtcSeconds> kEmpty;
-  const auto it = events_.find(user);
-  return it == events_.end() ? kEmpty : it->second;
+  const std::uint32_t handle = ids_.find(user);
+  return handle == util::HandleTable::npos ? kEmpty : events_[handle];
+}
+
+ActivityTrace::UsersView ActivityTrace::users() const {
+  std::vector<UsersView::Entry> entries;
+  entries.reserve(ids_.size());
+  const auto& keys = ids_.keys();
+  for (std::size_t handle = 0; handle < keys.size(); ++handle) {
+    entries.push_back(UsersView::Entry{keys[handle], &events_[handle]});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const UsersView::Entry& a, const UsersView::Entry& b) { return a.id < b.id; });
+  return UsersView{std::move(entries)};
+}
+
+void ActivityTrace::reserve(std::size_t n) {
+  ids_.reserve(n);
+  events_.reserve(n);
+}
+
+void ActivityTrace::absorb(ActivityTrace&& other) {
+  const auto& keys = other.ids_.keys();
+  for (std::size_t handle = 0; handle < keys.size(); ++handle) {
+    const std::uint32_t mine = ids_.intern(keys[handle]);
+    auto& src = other.events_[handle];
+    if (mine == events_.size()) {
+      events_.push_back(std::move(src));
+    } else {
+      auto& dst = events_[mine];
+      dst.insert(dst.end(), src.begin(), src.end());
+    }
+  }
+  total_ += other.total_;
+  other = ActivityTrace{};
 }
 
 ActivityTrace ActivityTrace::window(tz::UtcSeconds from, tz::UtcSeconds to) const {
   ActivityTrace result;
-  for (const auto& [user, events] : events_) {
-    for (const tz::UtcSeconds t : events) {
-      if (t >= from && t < to) result.add(user, t);
+  const auto& keys = ids_.keys();
+  for (std::size_t handle = 0; handle < keys.size(); ++handle) {
+    for (const tz::UtcSeconds t : events_[handle]) {
+      if (t >= from && t < to) result.add(keys[handle], t);
     }
   }
   return result;

@@ -55,4 +55,11 @@ static_assert(kMaxZone - kMinZone + 1 == static_cast<std::int32_t>(kZoneCount),
   return ((cell % kHoursPerDay) + kHoursPerDay) % kHoursPerDay;
 }
 
+/// Absolute day of an encoded activity cell: the floor-division inverse of
+/// cell_of_day_hour, correct for negative cells where `/` would round
+/// toward zero.
+[[nodiscard]] inline constexpr std::int64_t day_of_cell(std::int64_t cell) noexcept {
+  return (cell - hour_of_cell(cell)) / kHoursPerDay;
+}
+
 }  // namespace tzgeo::core

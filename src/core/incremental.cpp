@@ -1,5 +1,6 @@
 #include "core/incremental.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "core/activity.hpp"
@@ -16,14 +17,19 @@ IncrementalGeolocator::IncrementalGeolocator(TimeZoneProfiles zones,
       min_posts_(min_posts) {}
 
 void IncrementalGeolocator::observe(std::uint64_t user, tz::UtcSeconds when) {
-  UserState& state = users_[user];
+  const std::uint32_t handle = ids_.intern(user);
+  if (handle == states_.size()) states_.emplace_back();
+  UserState& state = states_[handle];
   std::int64_t day = when / tz::kSecondsPerDay;
   std::int64_t rem = when % tz::kSecondsPerDay;
   if (rem < 0) {
     rem += tz::kSecondsPerDay;
     --day;
   }
-  state.cells.insert(cell_of_day_hour(day, rem / tz::kSecondsPerHour));
+  state.cells.push_back(cell_of_day_hour(day, rem / tz::kSecondsPerHour));
+  // Keep the duplicate-carrying tail bounded: once it outgrows the
+  // deduplicated prefix, fold it in.
+  if (state.cells.size() >= 64 && state.cells.size() > 2 * state.sorted) compact(state);
   ++state.posts;
   state.dirty = true;
   ++posts_;
@@ -33,7 +39,14 @@ void IncrementalGeolocator::observe(std::string_view identity, tz::UtcSeconds wh
   observe(user_id_of(identity), when);
 }
 
+void IncrementalGeolocator::compact(UserState& state) {
+  std::sort(state.cells.begin(), state.cells.end());
+  state.cells.erase(std::unique(state.cells.begin(), state.cells.end()), state.cells.end());
+  state.sorted = state.cells.size();
+}
+
 void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
+  if (state.sorted != state.cells.size()) compact(state);
   std::vector<double> counts(kProfileBins, 0.0);
   for (const std::int64_t cell : state.cells) {
     counts[static_cast<std::size_t>(hour_of_cell(cell))] += 1.0;
@@ -48,12 +61,24 @@ void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
 
 IncrementalGeolocator::Snapshot IncrementalGeolocator::estimate() {
   Snapshot snapshot;
-  snapshot.total_users = users_.size();
+  snapshot.total_users = ids_.size();
   snapshot.posts = posts_;
   snapshot.counts.assign(kZoneCount, 0.0);
 
+  // Visit users in ascending id order — the iteration order of the
+  // std::map this replaced — so placement lists and count accumulation
+  // stay bit-identical.
+  const auto& keys = ids_.keys();
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(keys.size());
+  for (std::uint32_t handle = 0; handle < keys.size(); ++handle) {
+    order.emplace_back(keys[handle], handle);
+  }
+  std::sort(order.begin(), order.end());
+
   PlacementResult placement;
-  for (auto& [user, state] : users_) {
+  for (const auto& [user, handle] : order) {
+    UserState& state = states_[handle];
     if (state.posts < min_posts_) continue;
     if (state.dirty) refresh(user, state);
     if (state.flat) {

@@ -16,13 +16,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string_view>
+#include <vector>
 
 #include "core/geolocator.hpp"
 #include "core/placement_engine.hpp"
 #include "core/timezone_profiles.hpp"
+#include "util/handle_table.hpp"
 
 namespace tzgeo::core {
 
@@ -51,17 +51,27 @@ class IncrementalGeolocator {
   /// Recomputes dirty users and refits; cheap when little changed.
   [[nodiscard]] Snapshot estimate();
 
-  [[nodiscard]] std::size_t user_count() const noexcept { return users_.size(); }
+  [[nodiscard]] std::size_t user_count() const noexcept { return ids_.size(); }
   [[nodiscard]] std::size_t post_count() const noexcept { return posts_; }
 
  private:
+  /// Per-user state, indexed by dense handle.  `cells` is an append-only
+  /// vector whose first `sorted` entries are known sorted and distinct;
+  /// observe() appends in O(1) and compaction (sort + unique) runs when
+  /// the unsorted tail outgrows the sorted prefix or a refresh needs the
+  /// distinct-cell set.  This replaces a std::set per user: no node
+  /// allocation per observation, identical distinct-cell semantics.
   struct UserState {
-    std::set<std::int64_t> cells;  ///< encoded (day * 24 + hour)
+    std::vector<std::int64_t> cells;  ///< encoded (day * 24 + hour)
+    std::size_t sorted = 0;           ///< prefix length known sorted+unique
     std::size_t posts = 0;
     bool dirty = true;
     bool flat = false;
     UserPlacement placement;
   };
+
+  /// Sorts and deduplicates `state.cells` in place.
+  static void compact(UserState& state);
 
   /// Re-profiles and re-places one user.
   void refresh(std::uint64_t user, UserState& state);
@@ -70,7 +80,8 @@ class IncrementalGeolocator {
   PlacementEngine engine_;  ///< built once; reused by every refresh
   GeolocationOptions options_;
   std::size_t min_posts_;
-  std::map<std::uint64_t, UserState> users_;
+  util::HandleTable ids_;          ///< user id -> dense handle
+  std::vector<UserState> states_;  ///< handle -> state
   std::size_t posts_ = 0;
 };
 

@@ -1,11 +1,12 @@
 #include "core/ingest.hpp"
 
-#include <cstdio>
+#include <algorithm>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <thread>
 
-#include "core/constants.hpp"
+#include "core/thread_pool.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
@@ -13,65 +14,225 @@ namespace tzgeo::core {
 
 namespace {
 
-/// Parses "YYYY-MM-DD HH:MM:SS" or integer epoch seconds.
-[[nodiscard]] std::optional<tz::UtcSeconds> parse_time(std::string_view text) {
-  text = util::trim(text);
-  if (const auto epoch = util::parse_int(text)) return *epoch;
-  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
-  char tail = '\0';
-  const int matched = std::sscanf(std::string{text}.c_str(), "%d-%d-%d %d:%d:%d%c", &year,
-                                  &month, &day, &hour, &minute, &second, &tail);
-  if (matched != 6) return std::nullopt;
-  if (month < 1 || month > 12 || day < 1 || day > tz::days_in_month(year, month) || hour < 0 ||
-      hour > kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 || second > 59) {
-    return std::nullopt;
-  }
-  return tz::to_utc_seconds(
-      tz::CivilDateTime{tz::CivilDate{year, month, day}, hour, minute, second});
-}
+constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+constexpr std::string_view kArityError = "CSV row arity mismatch";
 
 /// True when the row looks like a header ("author", "user", ...).
-[[nodiscard]] bool looks_like_header(const std::vector<std::string>& row) {
+[[nodiscard]] bool looks_like_header(const std::vector<std::string_view>& row) {
   if (row.size() < 2) return false;
-  const std::string first{util::trim(row[0])};
+  const std::string_view first = util::trim(row[0]);
   return first == "author" || first == "user" || first == "handle" || first == "member";
+}
+
+/// Everything one chunk produces; merged (or rethrown) in chunk order.
+/// Events accumulate in a flat text-order batch and are appended to the
+/// trace in one counted pass (ActivityTrace::add_batch) — interning per
+/// row but deferring the scattered per-user stores.
+struct ChunkOutcome {
+  ActivityTrace trace;
+  std::vector<ActivityTrace::Event> pending;
+  std::size_t rows_ok = 0;
+  std::size_t rows_rejected = 0;
+  std::exception_ptr error;
+};
+
+void consume_row(const std::vector<std::string_view>& fields, ChunkOutcome& out) {
+  const std::string_view author = util::trim(fields[0]);
+  const auto time = parse_utc_timestamp(fields[1]);
+  if (author.empty() || !time) {
+    ++out.rows_rejected;
+    return;
+  }
+  out.pending.push_back(
+      ActivityTrace::Event{*time, out.trace.intern_user(user_id_of(author))});
+  ++out.rows_ok;
+}
+
+/// Flushes the pending event batch into the trace.
+void flush_rows(ChunkOutcome& out) {
+  out.trace.add_batch(out.pending);
+  out.pending.clear();
+  out.pending.shrink_to_fit();
+}
+
+/// Parses one self-contained chunk of data rows.  Errors (ragged rows,
+/// unterminated quotes) are captured, not thrown: the merge step rethrows
+/// the first error in chunk order, which is the first error in text
+/// order — exactly what a serial scan would throw.
+void parse_chunk(std::string_view chunk, std::size_t arity, ChunkOutcome& out) noexcept {
+  // Rough lower bound on bytes per data row ("alice,1514764800\n" is 17
+  // bytes; real ids tend to be longer), used only to pre-size the batch.
+  constexpr std::size_t kMinBytesPerRowEstimate = 24;  // tzgeo-lint: allow(magic-hours): bytes, not hours
+  try {
+    out.pending.reserve(chunk.size() / kMinBytesPerRowEstimate + 16);
+    util::CsvScanner scanner{chunk};
+    std::vector<std::string_view> fields;
+    while (scanner.next(fields)) {
+      if (fields.size() != arity) throw std::invalid_argument(std::string{kArityError});
+      consume_row(fields, out);
+    }
+    flush_rows(out);
+  } catch (...) {
+    out.error = std::current_exception();
+  }
+}
+
+/// Offsets of chunk starts within `body`: 0 plus up to `want - 1` cut
+/// points, each the first quote-aware row boundary at or after the
+/// corresponding equal-size target.  Toggling quote parity on every '"'
+/// byte reproduces the scanner's in/out-of-quotes state at every newline
+/// (a doubled escape toggles twice), so no cut ever lands inside a
+/// quoted field.
+[[nodiscard]] std::vector<std::size_t> chunk_starts(std::string_view body, std::size_t want) {
+  std::vector<std::size_t> starts{0};
+  if (want <= 1 || body.size() < 2) return starts;
+  if (std::memchr(body.data(), '"', body.size()) == nullptr) {
+    for (std::size_t k = 1; k < want; ++k) {
+      const std::size_t target = std::max(body.size() * k / want, starts.back());
+      if (target >= body.size()) break;
+      const auto* nl = static_cast<const char*>(
+          std::memchr(body.data() + target, '\n', body.size() - target));
+      if (nl == nullptr) break;
+      const auto start = static_cast<std::size_t>(nl - body.data()) + 1;
+      if (start < body.size() && start > starts.back()) starts.push_back(start);
+    }
+    return starts;
+  }
+  bool in_quotes = false;
+  std::size_t k = 1;
+  std::size_t target = body.size() / want;
+  for (std::size_t i = 0; i < body.size() && k < want; ++i) {
+    const char c = body[i];
+    if (c == '"') {
+      in_quotes = !in_quotes;
+    } else if (c == '\n' && !in_quotes && i >= target) {
+      const std::size_t start = i + 1;
+      if (start < body.size() && start > starts.back()) starts.push_back(start);
+      ++k;
+      target = std::max(body.size() * k / want, start);
+    }
+  }
+  return starts;
 }
 
 }  // namespace
 
+std::optional<tz::UtcSeconds> parse_utc_timestamp(std::string_view text) noexcept {
+  text = util::trim(text);
+  if (const auto epoch = util::parse_int(text)) return *epoch;
+  std::size_t used = 0;
+  const auto dt = tz::parse_civil_datetime(text, &used);
+  if (!dt) return std::nullopt;
+  // Accept trailing whitespace and an optional 'Z' UTC designator; a NUL
+  // also terminates (embedded NULs truncated the legacy sscanf parse).
+  std::size_t pos = used;
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  if (pos < text.size() && text[pos] == 'Z') ++pos;
+  if (pos < text.size() && text[pos] != '\0') return std::nullopt;
+  return tz::to_utc_seconds(*dt);
+}
+
 IngestResult trace_from_csv(std::string_view csv_text) {
-  // parse_csv treats the first row as a header; re-add it as data when it
-  // does not look like one.
-  const util::CsvTable table = util::parse_csv(csv_text);
-  if (table.header.size() < 2 && !(table.header.empty() && table.rows.empty())) {
+  return trace_from_csv(csv_text, IngestOptions{});
+}
+
+IngestResult trace_from_csv(std::string_view csv_text, const IngestOptions& options) {
+  std::string_view text = csv_text;
+  if (text.substr(0, kUtf8Bom.size()) == kUtf8Bom) text.remove_prefix(kUtf8Bom.size());
+
+  util::CsvScanner scanner{text};
+  std::vector<std::string_view> fields;
+  if (!scanner.next(fields)) return IngestResult{};
+  const std::size_t arity = fields.size();
+
+  if (arity < 2) {
+    // Legacy exception order: the whole document was parsed up front, so a
+    // ragged later row surfaces as an arity error before the column check.
+    while (scanner.next(fields)) {
+      if (fields.size() != arity) throw std::invalid_argument(std::string{kArityError});
+    }
     throw std::invalid_argument("trace_from_csv: need at least author,utc_time columns");
   }
 
-  IngestResult result;
-  const auto consume = [&result](const std::vector<std::string>& row) {
-    const std::string_view author = util::trim(row[0]);
-    const auto time = parse_time(row[1]);
-    if (author.empty() || !time) {
-      ++result.rows_rejected;
-      return;
-    }
-    result.trace.add(author, *time);
-    ++result.rows_ok;
-  };
-
-  if (!table.header.empty() && !looks_like_header(table.header)) {
-    consume(table.header);
+  ChunkOutcome head;
+  if (!looks_like_header(fields)) {
+    consume_row(fields, head);
+    flush_rows(head);
   }
-  for (const auto& row : table.rows) consume(row);
+
+  const std::string_view body = text.substr(scanner.offset());
+
+  ThreadPool* pool = nullptr;
+  std::optional<ThreadPool> local_pool;
+  std::size_t participants = 1;
+  if (body.size() >= options.min_parallel_bytes) {
+    if (options.threads == 0) {
+      // The pool keeps >= 1 worker even on a single-core machine (callers
+      // that must overlap I/O rely on that); for pure CPU-bound parsing,
+      // oversubscribing one core only adds context switches, so fall back
+      // to the serial scan there.
+      const std::size_t hardware =
+          std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      if (hardware > 1) {
+        pool = &ThreadPool::global();
+        participants = std::min(pool->size() + 1, hardware);
+      }
+    } else if (options.threads > 1) {
+      local_pool.emplace(options.threads - 1);
+      pool = &*local_pool;
+      participants = options.threads;
+    }
+  }
+
+  constexpr std::size_t kMinChunkBytes = 64 * 1024;
+  std::size_t want = 1;
+  if (participants > 1) {
+    want = std::min(participants * 2, std::max<std::size_t>(1, body.size() / kMinChunkBytes));
+  }
+  const std::vector<std::size_t> starts = chunk_starts(body, want);
+  const std::size_t chunks = starts.size();
+
+  std::vector<ChunkOutcome> outcomes(chunks);
+  const auto run = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t stop = c + 1 < chunks ? starts[c + 1] : body.size();
+      parse_chunk(body.substr(starts[c], stop - starts[c]), arity, outcomes[c]);
+    }
+  };
+  if (pool != nullptr && chunks > 1) {
+    pool->for_chunks(chunks, chunks, run);
+  } else {
+    run(0, chunks);
+  }
+
+  IngestResult result;
+  result.trace = std::move(head.trace);
+  result.rows_ok = head.rows_ok;
+  result.rows_rejected = head.rows_rejected;
+  for (ChunkOutcome& outcome : outcomes) {
+    if (outcome.error) std::rethrow_exception(outcome.error);
+    result.rows_ok += outcome.rows_ok;
+    result.rows_rejected += outcome.rows_rejected;
+    result.trace.absorb(std::move(outcome.trace));
+  }
   return result;
 }
 
 IngestResult trace_from_csv_file(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error("trace_from_csv_file: cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return trace_from_csv(buffer.str());
+  // Read into one pre-sized buffer; the ostringstream detour copied the
+  // whole file a second time (and grew the stream buffer piecewise).
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) throw std::runtime_error("trace_from_csv_file: cannot stat " + path);
+  in.seekg(0, std::ios::beg);
+  std::string buffer(static_cast<std::size_t>(size), '\0');
+  in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (in.gcount() != static_cast<std::streamsize>(buffer.size())) {
+    throw std::runtime_error("trace_from_csv_file: read failed for " + path);
+  }
+  return trace_from_csv(buffer);
 }
 
 std::string trace_to_csv(const ActivityTrace& trace) {

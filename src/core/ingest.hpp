@@ -11,9 +11,18 @@
 // tool, dump author/time pairs, and feed them here.  Parsing is
 // defensive — a scrape of the wild web always contains junk rows, which
 // are counted rather than fatal.
+//
+// The importer streams: a util::CsvScanner yields zero-copy field views
+// (no per-row string materialization), timestamps go through a fixed
+// format parser instead of sscanf, and large inputs are split at
+// quote-aware row boundaries and parsed on the shared thread pool.
+// Chunk results merge in chunk order, so the output — trace contents,
+// per-user event order, counters, and thrown errors — is bit-identical
+// to a serial scan for every thread count.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -28,12 +37,29 @@ struct IngestResult {
   std::size_t rows_rejected = 0;  ///< malformed author/timestamp rows
 };
 
+/// Tuning knobs for trace_from_csv.
+struct IngestOptions {
+  /// Parser threads: 0 uses the shared global pool; 1 forces a serial
+  /// scan; N > 1 runs on a dedicated pool of N participants.
+  std::size_t threads = 0;
+  /// Inputs smaller than this parse serially — chunk bookkeeping costs
+  /// more than it saves on small buffers.
+  std::size_t min_parallel_bytes = 256 * 1024;
+};
+
+/// Parses one timestamp cell: "YYYY-MM-DD HH:MM:SS" (interpreted as UTC)
+/// or integer epoch seconds.  Tolerates surrounding whitespace and a
+/// trailing 'Z' (UTC designator) after the civil form.
+[[nodiscard]] std::optional<tz::UtcSeconds> parse_utc_timestamp(std::string_view text) noexcept;
+
 /// Parses CSV text with columns `author,utc_time`.  The time column
 /// accepts "YYYY-MM-DD HH:MM:SS" (interpreted as UTC) or integer epoch
-/// seconds.  A header row is detected and skipped.  Throws
-/// std::invalid_argument when the CSV itself is structurally invalid or
-/// the required columns are missing.
+/// seconds.  A header row is detected and skipped; a UTF-8 BOM is
+/// ignored.  Throws std::invalid_argument when the CSV itself is
+/// structurally invalid or the required columns are missing.
 [[nodiscard]] IngestResult trace_from_csv(std::string_view csv_text);
+[[nodiscard]] IngestResult trace_from_csv(std::string_view csv_text,
+                                          const IngestOptions& options);
 
 /// Reads a CSV file from disk; throws std::runtime_error when unreadable.
 [[nodiscard]] IngestResult trace_from_csv_file(const std::string& path);

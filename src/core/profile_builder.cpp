@@ -1,8 +1,6 @@
 #include "core/profile_builder.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
 #include <stdexcept>
 
 namespace tzgeo::core {
@@ -33,11 +31,8 @@ struct DayHour {
   return DayHour{day, static_cast<std::int32_t>(rem / tz::kSecondsPerHour)};
 }
 
-/// Median of the values of a non-empty map.
-[[nodiscard]] double median_count(const std::map<std::int64_t, std::size_t>& day_counts) {
-  std::vector<std::size_t> values;
-  values.reserve(day_counts.size());
-  for (const auto& [day, count] : day_counts) values.push_back(count);
+/// Median of a non-empty vector of per-day counts (sorted in place).
+[[nodiscard]] double median_count(std::vector<std::size_t>& values) {
   std::sort(values.begin(), values.end());
   const std::size_t n = values.size();
   if (n % 2 == 1) return static_cast<double>(values[n / 2]);
@@ -61,46 +56,92 @@ ProfileSet build_profiles(const ActivityTrace& trace, const ProfileBuildOptions&
     throw std::invalid_argument("build_profiles: min_posts must be >= 1");
   }
 
-  // Pass 1: site-wide activity per calendar day, for the holiday filter.
-  std::map<std::int64_t, std::size_t> day_counts;
-  for (const auto& [user, events] : trace.users()) {
+  // Flatten every event to an encoded (day, hour) cell up front: one
+  // contiguous arena plus per-user spans, instead of the per-user
+  // std::set and site-wide std::map<day, count> this replaced (one node
+  // allocation per event at peak).  All derived orders below are
+  // ascending sorts, which is exactly the tree-iteration order of the
+  // old containers — the output is bit-identical.
+  struct UserSpan {
+    std::uint64_t user = 0;
+    std::size_t begin = 0;
+    std::size_t size = 0;
+  };
+  const auto view = trace.users();
+  std::vector<std::int64_t> cells;
+  cells.reserve(trace.event_count());
+  std::vector<UserSpan> spans;
+  spans.reserve(view.size());
+  for (const auto& [user, events] : view) {
+    const std::size_t begin = cells.size();
     for (const tz::UtcSeconds t : events) {
-      ++day_counts[bin_of(t, options).day];
+      const DayHour bin = bin_of(t, options);
+      cells.push_back(cell_of_day_hour(bin.day, bin.hour));
     }
+    spans.push_back(UserSpan{user, begin, cells.size() - begin});
   }
 
   ProfileSet result;
-  if (day_counts.empty()) return result;
+  if (cells.empty()) return result;
 
-  std::set<std::int64_t> dropped_days;
-  if (options.filter_low_activity_days && day_counts.size() >= 7) {
-    const double threshold = options.low_activity_fraction * median_count(day_counts);
-    for (const auto& [day, count] : day_counts) {
-      if (static_cast<double>(count) < threshold) dropped_days.insert(day);
+  // Pass 1: site-wide activity per calendar day (sort + run-length scan),
+  // for the holiday filter.  `dropped_days` stays sorted by construction.
+  std::vector<std::int64_t> dropped_days;
+  if (options.filter_low_activity_days) {
+    std::vector<std::int64_t> days;
+    days.reserve(cells.size());
+    for (const std::int64_t cell : cells) days.push_back(day_of_cell(cell));
+    std::sort(days.begin(), days.end());
+    std::vector<std::int64_t> unique_days;
+    std::vector<std::size_t> day_counts;
+    for (std::size_t i = 0; i < days.size();) {
+      std::size_t j = i + 1;
+      while (j < days.size() && days[j] == days[i]) ++j;
+      unique_days.push_back(days[i]);
+      day_counts.push_back(j - i);
+      i = j;
+    }
+    if (unique_days.size() >= 7) {
+      std::vector<std::size_t> sorted_counts = day_counts;
+      const double threshold = options.low_activity_fraction * median_count(sorted_counts);
+      for (std::size_t i = 0; i < unique_days.size(); ++i) {
+        if (static_cast<double>(day_counts[i]) < threshold) {
+          dropped_days.push_back(unique_days[i]);
+        }
+      }
     }
   }
   result.filtered_days = dropped_days.size();
 
-  // Pass 2: Equation 1 per user, over the surviving days.
-  for (const auto& [user, events] : trace.users()) {
-    std::set<std::int64_t> active_cells;  // encoded (day, hour)
+  // Pass 2: Equation 1 per user, over the surviving days.  The per-user
+  // scratch vectors are reused across users; sort+unique on the surviving
+  // cells reproduces the old std::set's ascending distinct-cell order.
+  std::vector<std::int64_t> active_cells;
+  std::vector<double> counts(kProfileBins, 0.0);
+  for (const UserSpan& span : spans) {
+    active_cells.clear();
     std::size_t posts = 0;
-    for (const tz::UtcSeconds t : events) {
-      const DayHour bin = bin_of(t, options);
-      if (dropped_days.contains(bin.day)) continue;
+    for (std::size_t i = 0; i < span.size; ++i) {
+      const std::int64_t cell = cells[span.begin + i];
+      if (!dropped_days.empty() &&
+          std::binary_search(dropped_days.begin(), dropped_days.end(), day_of_cell(cell))) {
+        continue;
+      }
       ++posts;
-      active_cells.insert(cell_of_day_hour(bin.day, bin.hour));
+      active_cells.push_back(cell);
     }
     if (posts < options.min_posts) {
       ++result.filtered_inactive;
       continue;
     }
-    std::vector<double> counts(kProfileBins, 0.0);
+    std::sort(active_cells.begin(), active_cells.end());
+    active_cells.erase(std::unique(active_cells.begin(), active_cells.end()),
+                       active_cells.end());
+    std::fill(counts.begin(), counts.end(), 0.0);
     for (const std::int64_t cell : active_cells) {
-      const std::int64_t hour = hour_of_cell(cell);
-      counts[static_cast<std::size_t>(hour)] += 1.0;
+      counts[static_cast<std::size_t>(hour_of_cell(cell))] += 1.0;
     }
-    result.users.push_back(UserProfileEntry{user, posts, HourlyProfile::from_counts(counts)});
+    result.users.push_back(UserProfileEntry{span.user, posts, HourlyProfile::from_counts(counts)});
   }
   return result;
 }

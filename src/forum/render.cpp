@@ -74,13 +74,14 @@ namespace {
 }  // namespace
 
 std::optional<tz::CivilDateTime> parse_timestamp(const std::string& text) {
-  // Expected: "YYYY-MM-DD HH:MM:SS"
-  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
-  char tail = '\0';
-  const int matched = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%c", &year, &month, &day, &hour,
-                                  &minute, &second, &tail);
-  if (matched != 6) return std::nullopt;
-  return validate(year, month, day, hour, minute, second);
+  // Expected: "YYYY-MM-DD HH:MM:SS", the whole string.  The view is taken
+  // from c_str() so an embedded NUL truncates, exactly as the sscanf this
+  // replaced behaved; anything after the seconds field is a parse error.
+  const std::string_view view{text.c_str()};
+  std::size_t used = 0;
+  const auto dt = tz::parse_civil_datetime(view, &used);
+  if (!dt || used != view.size()) return std::nullopt;
+  return dt;
 }
 
 std::optional<tz::CivilDateTime> parse_timestamp_any(
@@ -90,16 +91,17 @@ std::optional<tz::CivilDateTime> parse_timestamp_any(
   int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
   char tail = '\0';
 
-  // European: "DD.MM.YYYY HH:MM:SS"
-  if (std::sscanf(text.c_str(), "%d.%d.%d %d:%d:%d%c", &day, &month, &year, &hour, &minute,
-                  &second, &tail) == 6) {
+  // European: "DD.MM.YYYY HH:MM:SS" — lenient scraper-facing fallback, not a
+  // hot path, so the sscanf grammar is kept.  tzgeo-lint: allow(sscanf-parse)
+  if (std::sscanf(text.c_str(), "%d.%d.%d %d:%d:%d%c", &day, &month, &year,  // tzgeo-lint: allow(sscanf-parse)
+                  &hour, &minute, &second, &tail) == 6) {
     return validate(year, month, day, hour, minute, second);
   }
 
   // US am/pm: "MM/DD/YYYY H:MM:SS am|pm"
   char meridiem[3] = {0};
-  if (std::sscanf(text.c_str(), "%d/%d/%d %d:%d:%d %2s", &month, &day, &year, &hour, &minute,
-                  &second, meridiem) == 7) {
+  if (std::sscanf(text.c_str(), "%d/%d/%d %d:%d:%d %2s", &month, &day, &year,  // tzgeo-lint: allow(sscanf-parse)
+                  &hour, &minute, &second, meridiem) == 7) {
     const std::string_view half{meridiem};
     if ((half == "am" || half == "pm") && hour >= 1 && hour <= 12) {
       int hour24 = hour % 12;
@@ -112,7 +114,8 @@ std::optional<tz::CivilDateTime> parse_timestamp_any(
   // Relative: "today HH:MM:SS" / "yesterday HH:MM:SS" (needs `today`).
   if (today) {
     char word[10] = {0};
-    if (std::sscanf(text.c_str(), "%9s %d:%d:%d%c", word, &hour, &minute, &second, &tail) == 4) {
+    if (std::sscanf(text.c_str(), "%9s %d:%d:%d%c", word, &hour, &minute,  // tzgeo-lint: allow(sscanf-parse)
+                    &second, &tail) == 4) {
       const std::string_view label{word};
       std::int64_t delta = -1;
       if (label == "today") delta = 0;

@@ -80,15 +80,33 @@ void check_inputs(std::span<const double> xs, std::span<const double> weights, c
   return comps;
 }
 
+/// Reusable EM work buffers, hoisted out of run_em so one fit (three seed
+/// runs) or one model scan (fit_gmm_auto over k) allocates them once
+/// instead of per run.
+struct EmScratch {
+  std::vector<double> resp;      ///< n x k responsibilities
+  std::vector<double> nk;        ///< per-component effective counts
+  std::vector<double> mean_num;  ///< per-component mean numerators
+  std::vector<double> var_num;   ///< per-component variance numerators
+  std::vector<double> means;     ///< per-component updated means
+};
+
 /// One EM run from a given initialization.
+///
+/// The M step makes one data pass per moment with per-component
+/// accumulators (instead of one pass per component per moment); each
+/// component's sum still accumulates in ascending-i order, so the result
+/// is bit-identical to the per-component loops this replaced.
 [[nodiscard]] GmmFit run_em(std::span<const double> xs, std::span<const double> weights,
-                            std::vector<GmmComponent> comps, const GmmOptions& options) {
+                            std::vector<GmmComponent> comps, const GmmOptions& options,
+                            EmScratch& scratch) {
   const std::size_t n = xs.size();
   const std::size_t k = comps.size();
   double total_weight = 0.0;
   for (const double w : weights) total_weight += w;
 
-  std::vector<double> resp(n * k);
+  scratch.resp.resize(n * k);
+  std::vector<double>& resp = scratch.resp;
   GmmFit fit;
   double prev_ll = -std::numeric_limits<double>::infinity();
 
@@ -107,16 +125,20 @@ void check_inputs(std::span<const double> xs, std::span<const double> weights, c
       ll += weights[i] * std::log(denom);
     }
 
-    // M step.
-    for (std::size_t c = 0; c < k; ++c) {
-      double nk = 0.0;
-      double mean_num = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double r = weights[i] * resp[i * k + c];
-        nk += r;
-        mean_num += r * xs[i];
+    // M step, pass 1: effective counts and mean numerators.
+    scratch.nk.assign(k, 0.0);
+    scratch.mean_num.assign(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = weights[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double r = w * resp[i * k + c];
+        scratch.nk[c] += r;
+        scratch.mean_num[c] += r * xs[i];
       }
-      if (nk <= kTinyDensity) {
+    }
+    scratch.means.assign(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (scratch.nk[c] <= kTinyDensity) {
         // Collapsed component: re-seed at the heaviest sample and continue.
         comps[c].mean = xs[std::distance(weights.begin(),
                                          std::max_element(weights.begin(), weights.end()))];
@@ -124,17 +146,28 @@ void check_inputs(std::span<const double> xs, std::span<const double> weights, c
         comps[c].weight = 1.0 / static_cast<double>(k);
         continue;
       }
-      const double mean = mean_num / nk;
-      double var_num = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double r = weights[i] * resp[i * k + c];
-        var_num += r * (xs[i] - mean) * (xs[i] - mean);
+      scratch.means[c] = scratch.mean_num[c] / scratch.nk[c];
+    }
+
+    // M step, pass 2: variance numerators for the surviving components.
+    scratch.var_num.assign(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = weights[i];
+      for (std::size_t c = 0; c < k; ++c) {
+        if (scratch.nk[c] <= kTinyDensity) continue;
+        const double r = w * resp[i * k + c];
+        scratch.var_num[c] += r * (xs[i] - scratch.means[c]) * (xs[i] - scratch.means[c]);
       }
-      comps[c].mean = mean;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      const double nk = scratch.nk[c];
+      if (nk <= kTinyDensity) continue;
+      comps[c].mean = scratch.means[c];
       comps[c].sigma =
           options.fix_sigma
               ? std::max(options.initial_sigma, options.sigma_floor)
-              : std::clamp(std::sqrt(var_num / nk), options.sigma_floor, options.sigma_max);
+              : std::clamp(std::sqrt(scratch.var_num[c] / nk), options.sigma_floor,
+                           options.sigma_max);
       comps[c].weight = nk / total_weight;
     }
 
@@ -174,9 +207,12 @@ std::vector<double> GmmFit::sample(std::size_t bins) const {
   return out;
 }
 
-GmmFit fit_gmm(std::span<const double> xs, std::span<const double> weights, int k,
-               const GmmOptions& options) {
-  check_inputs(xs, weights, "fit_gmm");
+namespace {
+
+/// fit_gmm body with caller-provided scratch, so fit_gmm_auto reuses one
+/// set of EM buffers across its whole k scan.
+[[nodiscard]] GmmFit fit_gmm_impl(std::span<const double> xs, std::span<const double> weights,
+                                  int k, const GmmOptions& options, EmScratch& scratch) {
   if (k < 1) throw std::invalid_argument("fit_gmm: k must be >= 1");
 
   // Three deterministic seeds, keeping the best likelihood:
@@ -211,12 +247,22 @@ GmmFit fit_gmm(std::span<const double> xs, std::span<const double> weights, int 
     farthest.push_back(best_x);
   }
 
-  GmmFit best = run_em(xs, weights, make_init(quantile_means, options.initial_sigma), options);
+  GmmFit best =
+      run_em(xs, weights, make_init(quantile_means, options.initial_sigma), options, scratch);
   for (const auto& seeds : {peaks, farthest}) {
-    GmmFit alt = run_em(xs, weights, make_init(seeds, options.initial_sigma), options);
+    GmmFit alt = run_em(xs, weights, make_init(seeds, options.initial_sigma), options, scratch);
     if (alt.log_likelihood > best.log_likelihood) best = std::move(alt);
   }
   return best;
+}
+
+}  // namespace
+
+GmmFit fit_gmm(std::span<const double> xs, std::span<const double> weights, int k,
+               const GmmOptions& options) {
+  check_inputs(xs, weights, "fit_gmm");
+  EmScratch scratch;
+  return fit_gmm_impl(xs, weights, k, options, scratch);
 }
 
 std::vector<GmmComponent> merge_close_components(std::vector<GmmComponent> components,
@@ -254,11 +300,12 @@ GmmFit fit_gmm_auto(std::span<const double> xs, std::span<const double> weights,
   check_inputs(xs, weights, "fit_gmm_auto");
   GmmFit best;
   bool have_best = false;
+  EmScratch scratch;
   const auto score = [&options](const GmmFit& fit) {
     return options.selection == ModelSelection::kAic ? fit.aic : fit.bic;
   };
   for (int k = 1; k <= std::max(options.max_components, 1); ++k) {
-    GmmFit fit = fit_gmm(xs, weights, k, options);
+    GmmFit fit = fit_gmm_impl(xs, weights, k, options, scratch);
     if (!have_best || score(fit) < score(best)) {
       best = std::move(fit);
       have_best = true;
@@ -271,7 +318,7 @@ GmmFit fit_gmm_auto(std::span<const double> xs, std::span<const double> weights,
               comps.end());
   if (comps.empty()) {
     // Degenerate: fall back to a single component fit.
-    return fit_gmm(xs, weights, 1, options);
+    return fit_gmm_impl(xs, weights, 1, options, scratch);
   }
   double total = 0.0;
   for (const auto& c : comps) total += c.weight;

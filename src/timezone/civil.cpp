@@ -1,22 +1,43 @@
 #include "timezone/civil.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
+
+#include "core/constants.hpp"  // header-only; no link dependency on tzgeo_core
 
 namespace tzgeo::tz {
 
-std::int64_t days_from_civil(const CivilDate& date) noexcept {
-  // Hinnant's days_from_civil, shifted so that 1970-01-01 -> 0.
-  std::int64_t y = date.year;
-  const std::int64_t m = date.month;
-  const std::int64_t d = date.day;
-  y -= m <= 2;
-  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
-  const std::int64_t yoe = y - era * 400;                                          // [0, 399]
-  const std::int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;         // [0, 365]
-  const std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;                  // [0, 146096]
-  return era * 146097 + doe - 719468;
+namespace {
+
+/// Replicates sscanf's "%d" conversion: optional leading whitespace, an
+/// optional single sign, then at least one decimal digit (greedy).  Unlike
+/// sscanf, overflow fails cleanly instead of being undefined.
+[[nodiscard]] constexpr bool is_space(char c) noexcept {
+  return c == ' ' || (c >= '\t' && c <= '\r');  // the "C"-locale isspace set
 }
+
+[[nodiscard]] bool scan_int(std::string_view text, std::size_t& pos, std::int32_t& out) noexcept {
+  std::size_t i = pos;
+  while (i < text.size() && is_space(text[i])) ++i;
+  bool negative = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+  std::int64_t value = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + (text[i] - '0');
+    if (value > std::numeric_limits<std::int32_t>::max()) return false;
+    ++i;
+  }
+  out = static_cast<std::int32_t>(negative ? -value : value);
+  pos = i;
+  return true;
+}
+
+}  // namespace
 
 CivilDate civil_from_days(std::int64_t days) noexcept {
   std::int64_t z = days + 719468;
@@ -66,11 +87,6 @@ CivilDate last_weekday_of_month(std::int32_t year, std::int32_t month,
   return CivilDate{year, month, last_day - offset};
 }
 
-UtcSeconds to_utc_seconds(const CivilDateTime& dt) noexcept {
-  return days_from_civil(dt.date) * kSecondsPerDay + dt.hour * kSecondsPerHour +
-         dt.minute * kSecondsPerMinute + dt.second;
-}
-
 CivilDateTime from_utc_seconds(UtcSeconds instant) noexcept {
   std::int64_t days = instant / kSecondsPerDay;
   std::int64_t rem = instant % kSecondsPerDay;
@@ -104,6 +120,34 @@ std::string to_string(const CivilDateTime& dt) {
   std::snprintf(buffer, sizeof buffer, "%04d-%02d-%02d %02d:%02d:%02d", dt.date.year,
                 dt.date.month, dt.date.day, dt.hour, dt.minute, dt.second);
   return buffer;
+}
+
+std::optional<CivilDateTime> parse_civil_datetime(std::string_view text,
+                                                  std::size_t* consumed) noexcept {
+  std::size_t pos = 0;
+  const auto literal = [&text, &pos](char expected) noexcept {
+    if (pos >= text.size() || text[pos] != expected) return false;
+    ++pos;
+    return true;
+  };
+  std::int32_t year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  // "%d-%d-%d %d:%d:%d": the format-string space between day and hour
+  // matched zero-or-more whitespace, which scan_int's own skip subsumes.
+  if (!scan_int(text, pos, year) || !literal('-') || !scan_int(text, pos, month) ||
+      !literal('-') || !scan_int(text, pos, day) || !scan_int(text, pos, hour) ||
+      !literal(':') || !scan_int(text, pos, minute) || !literal(':') ||
+      !scan_int(text, pos, second)) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month)) {
+    return std::nullopt;
+  }
+  if (hour < 0 || hour > core::kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 ||
+      second > 59) {
+    return std::nullopt;
+  }
+  if (consumed != nullptr) *consumed = pos;
+  return CivilDateTime{CivilDate{year, month, day}, hour, minute, second};
 }
 
 }  // namespace tzgeo::tz

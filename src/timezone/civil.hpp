@@ -14,7 +14,9 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace tzgeo::tz {
 
@@ -57,7 +59,20 @@ struct CivilDateTime {
 }
 
 /// Serial day number of a civil date (days since 1970-01-01; Hinnant).
-[[nodiscard]] std::int64_t days_from_civil(const CivilDate& date) noexcept;
+/// Inline: the ingest hot path converts one parsed civil datetime per CSV
+/// row, and this is pure integer arithmetic.
+[[nodiscard]] inline constexpr std::int64_t days_from_civil(const CivilDate& date) noexcept {
+  // Hinnant's days_from_civil, shifted so that 1970-01-01 -> 0.
+  std::int64_t y = date.year;
+  const std::int64_t m = date.month;
+  const std::int64_t d = date.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const std::int64_t yoe = y - era * 400;                                   // [0, 399]
+  const std::int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
 
 /// Inverse of days_from_civil.
 [[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
@@ -78,7 +93,10 @@ struct CivilDateTime {
                                               std::int32_t weekday) noexcept;
 
 /// Converts a civil datetime (interpreted as UTC) to an instant.
-[[nodiscard]] UtcSeconds to_utc_seconds(const CivilDateTime& dt) noexcept;
+[[nodiscard]] inline constexpr UtcSeconds to_utc_seconds(const CivilDateTime& dt) noexcept {
+  return days_from_civil(dt.date) * kSecondsPerDay + dt.hour * kSecondsPerHour +
+         dt.minute * kSecondsPerMinute + dt.second;
+}
 
 /// Converts an instant to the civil datetime in UTC.
 [[nodiscard]] CivilDateTime from_utc_seconds(UtcSeconds instant) noexcept;
@@ -89,5 +107,17 @@ struct CivilDateTime {
 /// "YYYY-MM-DD" / "YYYY-MM-DD HH:MM:SS" rendering (always zero-padded).
 [[nodiscard]] std::string to_string(const CivilDate& date);
 [[nodiscard]] std::string to_string(const CivilDateTime& dt);
+
+/// Parses a "YYYY-MM-DD HH:MM:SS" prefix of `text` into a validated civil
+/// datetime — the branch-light replacement for the sscanf-based parsers
+/// that used to sit in ingest and the forum scraper.  Number scanning
+/// mirrors sscanf's "%d": optional leading whitespace, optional sign,
+/// then decimal digits (so "2016-5-2 3:4:5" and "2016-05-12\t18:03:44"
+/// parse, while "2016-13-01 ..." fails validation).  On success,
+/// `*consumed` (when non-null) is set to the offset just past the seconds
+/// field; callers decide what trailing bytes are acceptable.  Returns
+/// std::nullopt on malformed or out-of-range input.
+[[nodiscard]] std::optional<CivilDateTime> parse_civil_datetime(
+    std::string_view text, std::size_t* consumed = nullptr) noexcept;
 
 }  // namespace tzgeo::tz

@@ -1,10 +1,8 @@
 #include "util/csv.hpp"
 
+#include <cstdio>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
-
-#include "util/strings.hpp"
 
 namespace tzgeo::util {
 
@@ -30,14 +28,12 @@ void append_field(std::string& out, std::string_view field, char sep) {
   out.push_back('"');
 }
 
-[[nodiscard]] std::string render_row(const std::vector<std::string>& fields, char sep) {
-  std::string line;
+void append_row(std::string& out, const std::vector<std::string>& fields, char sep) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i != 0) line.push_back(sep);
-    append_field(line, fields[i], sep);
+    if (i != 0) out.push_back(sep);
+    append_field(out, fields[i], sep);
   }
-  line.push_back('\n');
-  return line;
+  out.push_back('\n');
 }
 
 }  // namespace
@@ -49,87 +45,166 @@ std::size_t CsvTable::column(std::string_view name) const noexcept {
   return npos;
 }
 
+bool CsvScanner::next(std::vector<std::string_view>& fields) {
+  fields.clear();
+  scratch_.clear();
+  fixups_.clear();
+
+  bool in_quotes = false;
+  bool row_has_content = false;
+  bool emitted = false;
+
+  // A field is a sequence of contiguous content runs over text_; dropped
+  // bytes (quote characters, escaped-quote halves, stray CRs) split runs.
+  // The common single-run field is tracked inline and emitted as a
+  // zero-copy view; only a multi-run field spills into runs_ and gets
+  // concatenated into scratch_ (patched into `fields` at row end, once
+  // scratch_ can no longer reallocate under the view).
+  std::size_t run_begin = 0;
+  std::size_t run_end = 0;
+  bool has_run = false;
+  bool multi_run = false;
+
+  const auto extend = [&](std::size_t from, std::size_t to) {
+    if (!has_run) {
+      run_begin = from;
+      run_end = to;
+      has_run = true;
+    } else if (run_end == from) {
+      run_end = to;
+    } else {
+      runs_.emplace_back(run_begin, run_end);
+      run_begin = from;
+      run_end = to;
+      multi_run = true;
+    }
+  };
+  const auto finish_field = [&] {
+    if (multi_run) {
+      const std::size_t begin = scratch_.size();
+      for (const auto& [from, to] : runs_) scratch_.append(text_.substr(from, to - from));
+      scratch_.append(text_.substr(run_begin, run_end - run_begin));
+      fixups_.push_back(Fixup{fields.size(), begin, scratch_.size() - begin});
+      fields.emplace_back();
+      runs_.clear();
+      multi_run = false;
+    } else if (has_run) {
+      fields.push_back(text_.substr(run_begin, run_end - run_begin));
+    } else {
+      fields.emplace_back();
+    }
+    has_run = false;
+  };
+
+  std::size_t i = pos_;
+  const std::size_t n = text_.size();
+  while (i < n) {
+    const char c = text_[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text_[i + 1] == '"') {
+          extend(i + 1, i + 2);  // doubled quote: the second byte is content
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        // Bulk-scan quoted content up to the next quote.
+        std::size_t j = i + 1;
+        while (j < n && text_[j] != '"') ++j;
+        extend(i, j);
+        i = j;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // tolerate CRLF and stray CRs outside quotes
+    } else if (c == '\n') {
+      ++i;
+      if (row_has_content) {
+        finish_field();
+        emitted = true;
+        break;
+      }
+    } else if (c == sep_) {
+      finish_field();
+      row_has_content = true;
+      ++i;
+    } else {
+      // Bulk-scan plain content up to the next structural byte.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = text_[j];
+        if (d == sep_ || d == '\n' || d == '\r' || d == '"') break;
+        ++j;
+      }
+      extend(i, j);
+      row_has_content = true;
+      i = j;
+    }
+  }
+  pos_ = i;
+  if (in_quotes) throw std::invalid_argument("CSV: unterminated quoted field");
+  if (!emitted) {
+    if (!row_has_content) return false;
+    finish_field();
+  }
+  for (const Fixup& fixup : fixups_) {
+    fields[fixup.field] = std::string_view{scratch_}.substr(fixup.begin, fixup.size);
+  }
+  return true;
+}
+
 CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
-  out_ << render_row(fields, sep_);
+  line_.clear();
+  append_row(line_, fields, sep_);
+  out_ << line_;
 }
 
 void CsvWriter::write_row(const std::vector<double>& values, int precision) {
-  std::vector<std::string> fields;
-  fields.reserve(values.size());
-  for (const double v : values) fields.push_back(format_fixed(v, precision));
-  write_row(fields);
+  // %.*f output never needs quoting, so format straight into the row
+  // scratch with no per-value temporaries.
+  line_.clear();
+  char buffer[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) line_.push_back(sep_);
+    const int written = std::snprintf(buffer, sizeof buffer, "%.*f", precision, values[i]);
+    if (written > 0) line_.append(buffer, static_cast<std::size_t>(written));
+  }
+  line_.push_back('\n');
+  out_ << line_;
 }
 
 std::string to_csv(const CsvTable& table, char sep) {
-  std::string out = render_row(table.header, sep);
-  for (const auto& row : table.rows) out += render_row(row, sep);
+  std::string out;
+  append_row(out, table.header, sep);
+  for (const auto& row : table.rows) append_row(out, row, sep);
   return out;
 }
 
 CsvTable parse_csv(std::string_view text, char sep) {
   CsvTable table;
-  std::vector<std::string> row;
-  std::string field;
-  bool in_quotes = false;
-  bool row_has_content = false;
-
-  const auto finish_field = [&] {
-    row.push_back(std::move(field));
-    field.clear();
-  };
-  const auto finish_row = [&] {
-    finish_field();
-    if (table.header.empty()) {
-      table.header = std::move(row);
-    } else {
-      if (row.size() != table.header.size()) {
-        throw std::invalid_argument("CSV row arity mismatch");
-      }
-      table.rows.push_back(std::move(row));
-    }
-    row.clear();
-    row_has_content = false;
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field.push_back(c);
-      }
+  CsvScanner scanner{text, sep};
+  std::vector<std::string_view> fields;
+  bool have_header = false;
+  while (scanner.next(fields)) {
+    if (!have_header) {
+      table.header.assign(fields.begin(), fields.end());
+      have_header = true;
       continue;
     }
-    switch (c) {
-      case '"':
-        in_quotes = true;
-        row_has_content = true;
-        break;
-      case '\r':
-        break;  // tolerate CRLF
-      case '\n':
-        if (row_has_content || !field.empty() || !row.empty()) finish_row();
-        break;
-      default:
-        if (c == sep) {
-          finish_field();
-        } else {
-          field.push_back(c);
-        }
-        row_has_content = true;
-        break;
+    if (fields.size() != table.header.size()) {
+      throw std::invalid_argument("CSV row arity mismatch");
     }
+    table.rows.emplace_back(fields.begin(), fields.end());
   }
-  if (in_quotes) throw std::invalid_argument("CSV: unterminated quoted field");
-  if (row_has_content || !field.empty() || !row.empty()) finish_row();
   return table;
 }
 

@@ -1,13 +1,25 @@
 // Minimal CSV reading/writing used by the bench harness to persist
-// per-figure data series alongside the terminal rendering.
+// per-figure data series alongside the terminal rendering, and by the
+// ingest pipeline to scan large author/time dumps without materializing
+// them.
 //
 // Supports RFC-4180-style quoting (fields containing the separator, quotes,
 // or newlines are double-quoted; embedded quotes are doubled).
+//
+// Two reading APIs share one state machine:
+//   * CsvScanner — streaming, zero-copy: yields rows of std::string_view
+//     fields pointing into the scanned buffer.  Only fields that need
+//     unescaping (embedded doubled quotes, stray CRs, content around
+//     quote characters) are materialized, into a per-row scratch arena
+//     that is reused across rows.  This is the ingest hot path.
+//   * parse_csv — materializes the whole document into a CsvTable; kept
+//     for callers that want random access to rows.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tzgeo::util {
@@ -21,6 +33,42 @@ struct CsvTable {
   [[nodiscard]] std::size_t column(std::string_view name) const noexcept;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Streaming zero-copy CSV scanner over an in-memory buffer.
+///
+/// Matches parse_csv's dialect exactly: quote-aware fields, doubled-quote
+/// escapes, CRs tolerated (and dropped) outside quotes, blank lines
+/// skipped.  Throws std::invalid_argument on an unterminated quoted
+/// field.  The scanned buffer must outlive the scanner.
+class CsvScanner {
+ public:
+  explicit CsvScanner(std::string_view text, char sep = ',') noexcept
+      : text_(text), sep_(sep) {}
+
+  /// Scans the next row into `fields` (cleared first).  Returns false at
+  /// end of input.  The views point into the scanned buffer or into an
+  /// internal scratch arena; both stay valid until the next call.
+  bool next(std::vector<std::string_view>& fields);
+
+  /// Bytes consumed so far: the offset of the first unscanned byte.
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+
+ private:
+  /// A field emitted into scratch_: patched into `fields` at row end,
+  /// once scratch_ can no longer reallocate under it.
+  struct Fixup {
+    std::size_t field = 0;  ///< index into the output row
+    std::size_t begin = 0;  ///< offset into scratch_
+    std::size_t size = 0;
+  };
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  char sep_;
+  std::string scratch_;  ///< unescaped field bytes, reused across rows
+  std::vector<Fixup> fixups_;
+  std::vector<std::pair<std::size_t, std::size_t>> runs_;  ///< spilled runs of a multi-run field
 };
 
 /// Streaming CSV writer.
@@ -38,6 +86,7 @@ class CsvWriter {
  private:
   std::ostream& out_;
   char sep_;
+  std::string line_;  ///< per-row scratch, reused across write_row calls
 };
 
 /// Serializes a whole table (header + rows).

@@ -13,24 +13,6 @@ namespace {
 
 }  // namespace
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t hash64(std::string_view text) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
-  for (const char c : text) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001b3ULL;  // FNV prime
-  }
-  // Fold through splitmix64 for better avalanche on short strings.
-  return splitmix64(h);
-}
-
 Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& word : state_) {
     word = splitmix64(seed);

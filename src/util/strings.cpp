@@ -1,26 +1,9 @@
 #include "util/strings.hpp"
 
-#include <cctype>
 #include <charconv>
 #include <cstdio>
 
 namespace tzgeo::util {
-
-namespace {
-
-[[nodiscard]] bool is_space(char c) noexcept {
-  return std::isspace(static_cast<unsigned char>(c)) != 0;
-}
-
-}  // namespace
-
-std::string_view trim(std::string_view text) noexcept {
-  std::size_t begin = 0;
-  std::size_t end = text.size();
-  while (begin < end && is_space(text[begin])) ++begin;
-  while (end > begin && is_space(text[end - 1])) --end;
-  return text.substr(begin, end - begin);
-}
 
 std::vector<std::string_view> split(std::string_view text, char sep) {
   return split(text, std::string_view{&sep, 1});

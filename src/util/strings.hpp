@@ -8,8 +8,21 @@
 
 namespace tzgeo::util {
 
+/// True for ASCII whitespace (the "C"-locale isspace set), without the
+/// locale-table indirection of std::isspace — this sits on the per-field
+/// ingest hot path.
+[[nodiscard]] inline constexpr bool is_ascii_space(char c) noexcept {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+
 /// Removes leading/trailing ASCII whitespace.
-[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+[[nodiscard]] inline constexpr std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_ascii_space(text[begin])) ++begin;
+  while (end > begin && is_ascii_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
 
 /// Splits on a single character; empty fields are preserved.
 [[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "core/activity.hpp"
 #include "core/profile.hpp"
 
@@ -45,6 +49,66 @@ TEST(ActivityTrace, WindowDropsEmptyUsers) {
   trace.add(2, 500);
   const ActivityTrace windowed = trace.window(0, 200);
   EXPECT_EQ(windowed.user_count(), 1u);
+}
+
+TEST(ActivityTrace, UsersViewIsIdSorted) {
+  ActivityTrace trace;
+  trace.add(30, 1);
+  trace.add(10, 2);
+  trace.add(20, 3);
+  trace.add(10, 4);
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, events] : trace.users()) ids.push_back(id);
+  const std::vector<std::uint64_t> expected = {10, 20, 30};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(ActivityTrace, UsersViewEventsInInsertionOrder) {
+  ActivityTrace trace;
+  trace.add(5, 300);
+  trace.add(5, 100);
+  trace.add(5, 200);
+  for (const auto& [id, events] : trace.users()) {
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0], 300);  // stored order, never re-sorted
+    EXPECT_EQ(events[1], 100);
+    EXPECT_EQ(events[2], 200);
+  }
+}
+
+TEST(ActivityTrace, AbsorbMergesInArgumentOrder) {
+  ActivityTrace left;
+  left.add(1, 10);
+  left.add(2, 20);
+  ActivityTrace right;
+  right.add(2, 21);  // existing user: events append after left's
+  right.add(3, 30);  // new user: handle allocated after left's users
+  left.absorb(std::move(right));
+  EXPECT_EQ(left.user_count(), 3u);
+  EXPECT_EQ(left.event_count(), 4u);
+  const auto& merged = left.events_of(2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0], 20);
+  EXPECT_EQ(merged[1], 21);
+  EXPECT_EQ(left.events_of(3).front(), 30);
+}
+
+TEST(ActivityTrace, AbsorbLeavesSourceEmpty) {
+  ActivityTrace left;
+  ActivityTrace right;
+  right.add(7, 70);
+  left.absorb(std::move(right));
+  EXPECT_EQ(left.event_count(), 1u);
+  EXPECT_EQ(right.event_count(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(right.user_count(), 0u);
+}
+
+TEST(ActivityTrace, EventCountIsTotalAcrossUsers) {
+  ActivityTrace trace;
+  EXPECT_EQ(trace.event_count(), 0u);
+  for (int i = 0; i < 100; ++i) trace.add(i % 7, i);
+  EXPECT_EQ(trace.event_count(), 100u);
+  EXPECT_EQ(trace.user_count(), 7u);
 }
 
 TEST(HourlyProfile, DefaultIsUniform) {

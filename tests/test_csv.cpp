@@ -2,10 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 namespace tzgeo::util {
 namespace {
+
+/// Drains a scanner into materialized rows for easy comparison.
+std::vector<std::vector<std::string>> scan_all(std::string_view text) {
+  CsvScanner scanner{text};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string_view> fields;
+  while (scanner.next(fields)) {
+    rows.emplace_back(fields.begin(), fields.end());
+  }
+  return rows;
+}
 
 TEST(CsvParse, HeaderAndRows) {
   const auto table = parse_csv("a,b\n1,2\n3,4\n");
@@ -70,6 +82,122 @@ TEST(CsvRoundTrip, PreservesContent) {
   const auto reparsed = parse_csv(to_csv(table));
   EXPECT_EQ(reparsed.header, table.header);
   EXPECT_EQ(reparsed.rows, table.rows);
+}
+
+TEST(CsvScanner, PlainFieldsAreZeroCopy) {
+  const std::string text = "alpha,beta\ngamma,delta\n";
+  CsvScanner scanner{text};
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(scanner.next(fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "alpha");
+  // An unquoted field must point straight into the scanned buffer.
+  EXPECT_EQ(fields[0].data(), text.data());
+  EXPECT_EQ(fields[1].data(), text.data() + 6);
+  ASSERT_TRUE(scanner.next(fields));
+  EXPECT_EQ(fields[0], "gamma");
+  EXPECT_FALSE(scanner.next(fields));
+}
+
+TEST(CsvScanner, EscapedQuotesGoThroughScratch) {
+  const std::string text = "\"he said \"\"hi\"\"\",plain\n";
+  CsvScanner scanner{text};
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(scanner.next(fields));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "he said \"hi\"");
+  EXPECT_EQ(fields[1], "plain");
+  // The unescaped field cannot alias the raw buffer (its bytes differ).
+  EXPECT_TRUE(fields[0].data() < text.data() ||
+              fields[0].data() >= text.data() + text.size());
+}
+
+TEST(CsvScanner, QuotedNewlineAndSeparator) {
+  const auto rows = scan_all("\"a,b\nc\",2\nx,y\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,b\nc");
+  EXPECT_EQ(rows[0][1], "2");
+  EXPECT_EQ(rows[1][0], "x");
+}
+
+TEST(CsvScanner, CrLfAndBlankLinesSkipped) {
+  const auto rows = scan_all("a,b\r\n\r\n\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvScanner, CrInsideQuotesIsPreserved) {
+  const auto rows = scan_all("\"a\r\nb\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a\r\nb");
+}
+
+TEST(CsvScanner, OffsetTracksConsumedBytes) {
+  const std::string text = "a,b\n1,2\n";
+  CsvScanner scanner{text};
+  std::vector<std::string_view> fields;
+  ASSERT_TRUE(scanner.next(fields));
+  EXPECT_EQ(scanner.offset(), 4u);  // just past "a,b\n"
+  ASSERT_TRUE(scanner.next(fields));
+  EXPECT_EQ(scanner.offset(), text.size());
+}
+
+TEST(CsvScanner, ViewsStayValidUntilNextCall) {
+  // Rows mixing scratch-backed and zero-copy fields: both kinds must be
+  // readable after next() returns (the scratch arena patches fixups at
+  // row end, after it can no longer reallocate).
+  const auto rows = scan_all("\"q\"\"q\",plain,\"z\",\"a\"\"b\"\"c\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "q\"q");
+  EXPECT_EQ(rows[0][1], "plain");
+  EXPECT_EQ(rows[0][2], "z");
+  EXPECT_EQ(rows[0][3], "a\"b\"c");
+}
+
+TEST(CsvScanner, UnterminatedQuoteThrows) {
+  CsvScanner scanner{"\"oops\n"};
+  std::vector<std::string_view> fields;
+  EXPECT_THROW(scanner.next(fields), std::invalid_argument);
+}
+
+TEST(CsvScanner, FuzzMatchesParseCsv) {
+  // Randomized documents over a hostile alphabet: the streaming scanner
+  // and the materializing parser share one dialect, so they must agree
+  // field-for-field on every input that parses.
+  std::mt19937 rng{20260806};
+  const std::string alphabet = "ab,\"\n\r x";
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const auto length = static_cast<std::size_t>(rng() % 64);
+    for (std::size_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    CsvTable table;
+    bool table_threw = false;
+    try {
+      table = parse_csv(text);
+    } catch (const std::invalid_argument&) {
+      table_threw = true;
+    }
+    std::vector<std::vector<std::string>> scanned;
+    bool scanner_threw = false;
+    try {
+      scanned = scan_all(text);
+    } catch (const std::invalid_argument&) {
+      scanner_threw = true;
+    }
+    // parse_csv additionally enforces rectangular arity; the scanner does
+    // not, so only compare when the table parse succeeded.
+    if (table_threw) continue;
+    ASSERT_FALSE(scanner_threw) << "scanner threw where parse_csv did not: " << text;
+    std::vector<std::vector<std::string>> expected;
+    if (!table.header.empty() || !table.rows.empty()) {
+      expected.push_back(table.header);
+      for (const auto& row : table.rows) expected.push_back(row);
+    }
+    EXPECT_EQ(scanned, expected) << "mismatch on input: " << text;
+  }
 }
 
 TEST(CsvWriter, WritesRowsToStream) {

@@ -1,0 +1,98 @@
+#include "util/handle_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tzgeo::util {
+namespace {
+
+TEST(HandleTable, InternAssignsDenseHandlesInFirstSeenOrder) {
+  HandleTable table;
+  EXPECT_EQ(table.intern(42), 0u);
+  EXPECT_EQ(table.intern(7), 1u);
+  EXPECT_EQ(table.intern(42), 0u);  // repeat returns the existing handle
+  EXPECT_EQ(table.intern(9001), 2u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(HandleTable, FindDoesNotInsert) {
+  HandleTable table;
+  EXPECT_EQ(table.find(5), HandleTable::npos);
+  EXPECT_TRUE(table.empty());
+  table.intern(5);
+  EXPECT_EQ(table.find(5), 0u);
+  EXPECT_EQ(table.find(6), HandleTable::npos);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HandleTable, KeysArenaIsInsertionOrdered) {
+  HandleTable table;
+  const std::vector<std::uint64_t> inserted = {99, 3, 512, 3, 99, 1};
+  for (const auto key : inserted) table.intern(key);
+  const std::vector<std::uint64_t> expected = {99, 3, 512, 1};
+  EXPECT_EQ(table.keys(), expected);
+}
+
+TEST(HandleTable, SurvivesGrowthAndRehash) {
+  // Push well past the initial bucket count so multiple rehashes occur;
+  // every earlier handle must still resolve.
+  HandleTable table;
+  constexpr std::uint64_t kCount = 10000;
+  for (std::uint64_t key = 0; key < kCount; ++key) {
+    ASSERT_EQ(table.intern(key * 2654435761ULL), key);
+  }
+  EXPECT_EQ(table.size(), kCount);
+  for (std::uint64_t key = 0; key < kCount; ++key) {
+    ASSERT_EQ(table.find(key * 2654435761ULL), key);
+  }
+}
+
+TEST(HandleTable, SequentialKeysDoNotDegenerate) {
+  // Low-entropy sequential ids are the common test-fixture shape; the
+  // SplitMix64 finalizer must keep probes short enough that this stays
+  // fast, and of course correct.
+  HandleTable table;
+  table.reserve(4096);
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    ASSERT_EQ(table.intern(key), key);
+  }
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    ASSERT_EQ(table.find(key), key);
+  }
+}
+
+TEST(HandleTable, ReserveDoesNotChangeContents) {
+  HandleTable table;
+  table.intern(11);
+  table.intern(22);
+  table.reserve(1000);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.find(11), 0u);
+  EXPECT_EQ(table.find(22), 1u);
+}
+
+TEST(HandleTable, AgreesWithUnorderedMapReference) {
+  HandleTable table;
+  std::unordered_map<std::uint64_t, std::uint32_t> reference;
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  for (int i = 0; i < 5000; ++i) {
+    // xorshift64 stream with a small modulus so repeats are frequent.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const std::uint64_t key = state % 257;
+    const auto handle = table.intern(key);
+    const auto [it, inserted] =
+        reference.emplace(key, static_cast<std::uint32_t>(reference.size()));
+    ASSERT_EQ(handle, it->second);
+    ASSERT_FALSE(inserted && handle != reference.size() - 1);
+  }
+  EXPECT_EQ(table.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace tzgeo::util

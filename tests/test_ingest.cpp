@@ -66,6 +66,66 @@ TEST(TraceFromCsv, WhitespaceTolerated) {
   EXPECT_EQ(result.trace.events_of(user_id_of("wolf")).size(), 1u);
 }
 
+TEST(ParseUtcTimestamp, CivilZuluAndWhitespace) {
+  // Trailing whitespace and an uppercase 'Z' UTC designator are accepted
+  // after the civil form; anything else after the seconds field is not.
+  EXPECT_EQ(parse_utc_timestamp("2016-01-01 00:00:00"), 1451606400);
+  EXPECT_EQ(parse_utc_timestamp("2016-01-01 00:00:00Z"), 1451606400);
+  EXPECT_EQ(parse_utc_timestamp("  2016-01-01 00:00:00 \t"), 1451606400);
+  EXPECT_EQ(parse_utc_timestamp("2016-01-01 00:00:00 Z"), 1451606400);
+  EXPECT_FALSE(parse_utc_timestamp("2016-01-01 00:00:00z").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("2016-01-01 00:00:00ZZ").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("2016-01-01 00:00:00 extra").has_value());
+}
+
+TEST(ParseUtcTimestamp, LeapDayBoundaries) {
+  EXPECT_TRUE(parse_utc_timestamp("2016-02-29 12:00:00").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("2015-02-29 12:00:00").has_value());
+  EXPECT_TRUE(parse_utc_timestamp("2000-02-29 00:00:00").has_value());   // 400-year leap
+  EXPECT_FALSE(parse_utc_timestamp("1900-02-29 00:00:00").has_value());  // 100-year non-leap
+}
+
+TEST(ParseUtcTimestamp, NegativeEpochSeconds) {
+  // Pre-1970 instants: both the raw epoch form and the civil form.
+  EXPECT_EQ(parse_utc_timestamp("-86400"), -86400);
+  EXPECT_EQ(parse_utc_timestamp("1969-12-31 00:00:00"), -86400);
+  EXPECT_EQ(parse_utc_timestamp("0"), 0);
+}
+
+TEST(ParseUtcTimestamp, RejectsJunk) {
+  EXPECT_FALSE(parse_utc_timestamp("").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("   ").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("not-a-time").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("2016-01-01").has_value());
+  EXPECT_FALSE(parse_utc_timestamp("2016-01-01 24:00:00").has_value());
+}
+
+TEST(TraceFromCsv, Utf8BomIsIgnored) {
+  const auto result = trace_from_csv(
+      "\xEF\xBB\xBF"
+      "author,utc_time\nwolf,1451606400\n");
+  EXPECT_EQ(result.rows_ok, 1u);
+  EXPECT_EQ(result.trace.user_count(), 1u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("wolf")).front(), 1451606400);
+}
+
+TEST(TraceFromCsv, CrLfRowsAndQuotedAuthors) {
+  const auto result = trace_from_csv(
+      "author,utc_time\r\n"
+      "\"last, first\",1451606400\r\n"
+      "\"multi\nline\",1451606401\r\n");
+  EXPECT_EQ(result.rows_ok, 2u);
+  EXPECT_EQ(result.trace.user_count(), 2u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("last, first")).size(), 1u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("multi\nline")).size(), 1u);
+}
+
+TEST(TraceFromCsv, ZuluTimestampsAccepted) {
+  const auto result = trace_from_csv("author,utc_time\nwolf,2016-01-01 00:00:00Z\n");
+  EXPECT_EQ(result.rows_ok, 1u);
+  EXPECT_EQ(result.trace.events_of(user_id_of("wolf")).front(), 1451606400);
+}
+
 TEST(TraceFromCsv, EmptyInputYieldsEmptyTrace) {
   const auto result = trace_from_csv("");
   EXPECT_EQ(result.rows_ok, 0u);

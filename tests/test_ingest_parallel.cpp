@@ -1,0 +1,175 @@
+// Parallel ingest must be bit-identical to the serial scan: same trace
+// bytes, same counters, same errors, for every thread count.  The corpus
+// generator below is deliberately hostile — quoted authors containing
+// separators and newlines, CRLF terminators, junk rows, blank lines — so
+// the quote-aware chunk splitter and the chunk-order merge both get
+// exercised.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/ingest.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace tzgeo::core {
+namespace {
+
+struct Corpus {
+  std::string text;
+  std::size_t expect_ok = 0;
+  std::size_t expect_rejected = 0;
+};
+
+/// ~`rows` rows of author,utc_time with adversarial shapes mixed in.
+Corpus make_corpus(std::uint32_t seed, std::size_t rows) {
+  std::mt19937 rng{seed};
+  Corpus corpus;
+  corpus.text = "author,utc_time\r\n";
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto author_kind = rng() % 10;
+    std::string author;
+    bool author_ok = true;
+    if (author_kind < 6) {
+      author = "user_" + std::to_string(rng() % 200);
+    } else if (author_kind < 8) {
+      author = "\"last, first " + std::to_string(rng() % 50) + "\"";
+    } else if (author_kind == 8) {
+      author = "\"line\nbreak " + std::to_string(rng() % 50) + "\"";
+    } else {
+      author = "";  // empty author: rejected, not fatal
+      author_ok = false;
+    }
+    const auto time_kind = rng() % 8;
+    std::string time;
+    bool time_ok = true;
+    if (time_kind < 4) {
+      time = std::to_string(1451606400 + static_cast<std::int64_t>(rng() % 31536000));
+    } else if (time_kind < 6) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "2016-%02u-%02u %02u:%02u:%02u",
+                    static_cast<unsigned>(1 + rng() % 12), static_cast<unsigned>(1 + rng() % 28),
+                    static_cast<unsigned>(rng() % 24), static_cast<unsigned>(rng() % 60),
+                    static_cast<unsigned>(rng() % 60));
+      time = buffer;
+    } else if (time_kind == 6) {
+      time = "2016-02-29 12:00:00Z";
+    } else {
+      time = "garbage-" + std::to_string(rng() % 100);
+      time_ok = false;
+    }
+    corpus.text += author;
+    corpus.text += ',';
+    corpus.text += time;
+    corpus.text += (rng() % 2 == 0) ? "\r\n" : "\n";
+    if (rng() % 16 == 0) corpus.text += "\n";  // blank line, skipped
+    if (author_ok && time_ok) {
+      ++corpus.expect_ok;
+    } else {
+      ++corpus.expect_rejected;
+    }
+  }
+  return corpus;
+}
+
+/// Reference importer over the legacy materializing parser: what the
+/// serial pre-streaming pipeline computed, one string per field.
+IngestResult reference_ingest(const std::string& text) {
+  const auto table = util::parse_csv(text);
+  IngestResult result;
+  for (const auto& row : table.rows) {
+    const auto author = util::trim(row[0]);
+    const auto time = parse_utc_timestamp(row[1]);
+    if (author.empty() || !time) {
+      ++result.rows_rejected;
+      continue;
+    }
+    result.trace.add(std::string{author}, *time);
+    ++result.rows_ok;
+  }
+  return result;
+}
+
+TEST(ParallelIngest, BitIdenticalAcrossThreadCounts) {
+  // Big enough for several 64 KiB chunks so the parallel path really
+  // splits; every thread count must reproduce the serial bytes exactly.
+  const auto corpus = make_corpus(1u, 12000);
+  ASSERT_GT(corpus.text.size(), 256u * 1024u);
+
+  IngestOptions serial;
+  serial.threads = 1;
+  const auto baseline = trace_from_csv(corpus.text, serial);
+  EXPECT_EQ(baseline.rows_ok, corpus.expect_ok);
+  EXPECT_EQ(baseline.rows_rejected, corpus.expect_rejected);
+  const auto baseline_csv = trace_to_csv(baseline.trace);
+
+  for (const std::size_t threads : {2u, 3u, 4u, 8u}) {
+    IngestOptions options;
+    options.threads = threads;
+    options.min_parallel_bytes = 1;
+    const auto result = trace_from_csv(corpus.text, options);
+    EXPECT_EQ(result.rows_ok, baseline.rows_ok) << "threads=" << threads;
+    EXPECT_EQ(result.rows_rejected, baseline.rows_rejected) << "threads=" << threads;
+    EXPECT_EQ(trace_to_csv(result.trace), baseline_csv) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelIngest, MatchesLegacyReferenceParser) {
+  const auto corpus = make_corpus(2u, 4000);
+  const auto expected = reference_ingest(corpus.text);
+  for (const std::size_t threads : {1u, 4u}) {
+    IngestOptions options;
+    options.threads = threads;
+    options.min_parallel_bytes = 1;
+    const auto result = trace_from_csv(corpus.text, options);
+    EXPECT_EQ(result.rows_ok, expected.rows_ok) << "threads=" << threads;
+    EXPECT_EQ(result.rows_rejected, expected.rows_rejected) << "threads=" << threads;
+    EXPECT_EQ(trace_to_csv(result.trace), trace_to_csv(expected.trace))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelIngest, ManySeedsSmallCorpora) {
+  // Sweep seeds with a forced-low parallel threshold: chunk boundaries
+  // land in different places each time, including inside quoted fields.
+  for (std::uint32_t seed = 10; seed < 30; ++seed) {
+    const auto corpus = make_corpus(seed, 300);
+    IngestOptions serial;
+    serial.threads = 1;
+    const auto baseline = trace_from_csv(corpus.text, serial);
+    IngestOptions parallel;
+    parallel.threads = 3;
+    parallel.min_parallel_bytes = 1;
+    const auto result = trace_from_csv(corpus.text, parallel);
+    ASSERT_EQ(result.rows_ok, baseline.rows_ok) << "seed=" << seed;
+    ASSERT_EQ(result.rows_rejected, baseline.rows_rejected) << "seed=" << seed;
+    ASSERT_EQ(trace_to_csv(result.trace), trace_to_csv(baseline.trace)) << "seed=" << seed;
+  }
+}
+
+TEST(ParallelIngest, ErrorsMatchSerialOrdering) {
+  // A ragged row must throw identically whether hit serially or inside a
+  // parallel chunk; the first error in text order wins.
+  std::string text = "author,utc_time\n";
+  for (int i = 0; i < 3000; ++i) {
+    text += "user" + std::to_string(i % 40) + ",1451606400\n";
+  }
+  text += "ragged_row_with_one_field\n";
+  for (int i = 0; i < 3000; ++i) {
+    text += "user" + std::to_string(i % 40) + ",1451606401\n";
+  }
+  IngestOptions parallel;
+  parallel.threads = 4;
+  parallel.min_parallel_bytes = 1;
+  EXPECT_THROW(static_cast<void>(trace_from_csv(text, parallel)), std::invalid_argument);
+  IngestOptions serial;
+  serial.threads = 1;
+  EXPECT_THROW(static_cast<void>(trace_from_csv(text, serial)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tzgeo::core

@@ -12,10 +12,12 @@
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/bootstrap.hpp"
+#include "core/ingest.hpp"
 #include "core/parallel.hpp"
 #include "core/placement.hpp"
 #include "core/placement_engine.hpp"
@@ -202,6 +204,36 @@ TEST(TsanStress, SharedEngineConcurrentReaders) {
   }
   for (auto& t : readers) t.join();
   EXPECT_EQ(placed.load(), kReaders * crowd.size());
+}
+
+// --- parallel ingest ------------------------------------------------------
+
+TEST(TsanStress, ConcurrentParallelIngestOnDedicatedPools) {
+  // Overlapping trace_from_csv calls, each parsing on its own pool while
+  // others run: chunk outcomes, merge, and counters must never race, and
+  // every caller must see the same bytes.
+  std::string csv = "author,utc_time\n";
+  for (int i = 0; i < 20000; ++i) {
+    csv += "user" + std::to_string(i % 97) + "," + std::to_string(1451606400 + i) + "\n";
+  }
+  IngestOptions options;
+  options.threads = 3;
+  options.min_parallel_bytes = 1;
+  const auto expected = trace_to_csv(trace_from_csv(csv, options).trace);
+
+  constexpr std::size_t kCallers = 6;
+  std::vector<std::string> outputs(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&csv, &options, &outputs, c] {
+      outputs[c] = trace_to_csv(trace_from_csv(csv, options).trace);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& output : outputs) {
+    EXPECT_EQ(output, expected);
+  }
 }
 
 // --- bootstrap ------------------------------------------------------------

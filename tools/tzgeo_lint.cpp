@@ -17,6 +17,10 @@
 //   stdout-io     no std::cout / printf / puts in library code under src/
 //                 (snprintf into buffers is fine; the terminal belongs to
 //                 the tools)
+//   sscanf-parse  no sscanf in library code under src/ — timestamp and
+//                 integer parsing must go through tz::parse_civil_datetime
+//                 / util::parse_int (sscanf re-scans its format string per
+//                 call and has undefined behavior on numeric overflow)
 //   float-stats   no `float` in src/stats — the statistical kernels are
 //                 double-only (Eq. 1/2 profiles lose precision in float)
 //
@@ -251,6 +255,14 @@ struct Rule {
       }});
 
   out.push_back(Rule{
+      "sscanf-parse",
+      "sscanf in library code; use the fixed-format parsers "
+      "(tz::parse_civil_datetime, util::parse_int) — sscanf re-scans the format "
+      "string per call and has undefined behavior on overflow",
+      [](const fs::path& rel) { return under(rel, "src"); },
+      [](std::string_view line) { return contains_call(line, "sscanf"); }});
+
+  out.push_back(Rule{
       "float-stats",
       "float in a statistical kernel; the stats module is double-only",
       [](const fs::path& rel) { return under(rel, "src") && rel.string().find("stats") != std::string::npos; },
@@ -330,6 +342,9 @@ void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rul
   expect(!contains_call("rng.uniform_int(0, 3)", "int"), "uniform_int not matched by int");
   expect(contains_call("std::printf(\"x\")", "printf"), "std::printf flagged");
   expect(!contains_call("std::snprintf(b, n, \"x\")", "printf"), "snprintf not matched");
+  expect(contains_call("std::sscanf(s, \"%d\", &x)", "sscanf"), "std::sscanf flagged");
+  expect(contains_call("sscanf (s, \"%d\", &x)", "sscanf"), "sscanf with space flagged");
+  expect(!contains_call("vsscanf(s, f, ap)", "sscanf"), "vsscanf not matched by sscanf");
 
   const std::string stripped = strip_comments_and_strings(
       "int a = 1; // 24 bins\nconst char* s = \"24\";\n/* 24 */ int b = 24;\n");
