@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/stopwatch.hpp"
 #include "timezone/zone_db.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -64,6 +65,16 @@ core::ProfileSet profile_region(const std::string& region_name, std::size_t user
 }
 
 void print_section(const std::string& title) {
+  // Section banners double as coarse wall-clock markers: every banner after
+  // the first reports how long the previous section took, using the same
+  // sanctioned obs::Stopwatch that the pipeline metrics use.
+  static obs::Stopwatch section_watch;
+  static bool first_section = true;
+  if (!first_section) {
+    std::printf("\n(previous section took %.2fs)\n", section_watch.elapsed_seconds());
+  }
+  first_section = false;
+  section_watch.reset();
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");

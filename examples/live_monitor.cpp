@@ -17,6 +17,8 @@
 #include "forum/calibration.hpp"
 #include "forum/engine.hpp"
 #include "forum/monitor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pipeline_metrics.hpp"
 #include "synth/dataset.hpp"
 #include "timezone/zone_db.hpp"
 #include "util/strings.hpp"
@@ -44,6 +46,26 @@ core::TimeZoneProfiles reference_zones() {
         core::HourBinning::kLocal));
   }
   return core::TimeZoneProfiles::from_regions(contributions);
+}
+
+/// One-line ops view of the round, straight from the metrics registry:
+/// poll reliability, page volume, and the p50 poll/snapshot latencies.
+void print_obs_stats_line() {
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t polls = registry.counter_value(metrics.forum_polls);
+  const std::uint64_t failed = registry.counter_value(metrics.forum_polls_failed);
+  const std::uint64_t pages = registry.counter_value(metrics.forum_pages_fetched);
+  const std::uint64_t poll_p50 =
+      obs::approx_quantile(registry.histogram_value(metrics.forum_poll_us), 0.5);
+  const std::uint64_t snap_p50 =
+      obs::approx_quantile(registry.histogram_value(metrics.incremental_snapshot_us), 0.5);
+  std::printf("  [obs] polls %llu (failed %llu)  pages %llu  poll p50 ~%lluus  "
+              "snapshot p50 ~%lluus\n",
+              static_cast<unsigned long long>(polls), static_cast<unsigned long long>(failed),
+              static_cast<unsigned long long>(pages),
+              static_cast<unsigned long long>(poll_p50),
+              static_cast<unsigned long long>(snap_p50));
 }
 
 }  // namespace
@@ -104,6 +126,7 @@ int main() {
     }
     std::printf("%-12d %-10zu %-14zu %s\n", round * 30, snapshot.posts,
                 snapshot.active_users, verdict.c_str());
+    print_obs_stats_line();
   }
   std::printf("\nobserved %zu new posts over %zu page fetches in total\n",
               dump.records.size(), dump.pages_fetched);

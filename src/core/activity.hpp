@@ -94,6 +94,8 @@ class ActivityTrace {
   [[nodiscard]] std::size_t user_count() const noexcept { return ids_.size(); }
   /// Total number of events.
   [[nodiscard]] std::size_t event_count() const noexcept { return total_; }
+  /// Occupancy of the interning hash (feeds the ingest load-factor gauge).
+  [[nodiscard]] double handle_load_factor() const noexcept { return ids_.load_factor(); }
 
   /// Events of one user (in insertion order); empty for unknown users.
   [[nodiscard]] const std::vector<tz::UtcSeconds>& events_of(std::uint64_t user) const;

@@ -5,6 +5,7 @@
 #include "core/parallel.hpp"
 #include "core/placement_engine.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace tzgeo::core {
 
@@ -41,6 +42,7 @@ FlatFilterResult filter_flat_profiles(const std::vector<UserProfileEntry>& users
 PolishResult polish_population(const std::vector<UserProfileEntry>& users,
                                const TimeZoneProfiles& initial_zones, PlacementMetric metric,
                                int max_rounds) {
+  const obs::ScopedSpan filter_span("filter");
   PolishResult result{FlatFilterResult{users, {}}, initial_zones, 0};
 
   for (int round = 0; round < max_rounds; ++round) {

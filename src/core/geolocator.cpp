@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 #include "stats/histogram.hpp"
 
 namespace tzgeo::core {
@@ -55,6 +56,7 @@ std::size_t unwrap_cut(const std::vector<double>& distribution) {
 GeolocationResult geolocate_crowd(const std::vector<UserProfileEntry>& users,
                                   const TimeZoneProfiles& zones,
                                   const GeolocationOptions& options) {
+  const obs::ScopedSpan geolocate_span("geolocate");
   GeolocationResult result;
 
   const std::vector<UserProfileEntry>* crowd = &users;
@@ -88,6 +90,7 @@ GeolocationResult geolocate_crowd(const std::vector<UserProfileEntry>& users,
 
 MixtureFitOutcome fit_mixture_to_counts(const std::vector<double>& counts,
                                         const GeolocationOptions& options) {
+  const obs::ScopedSpan gmm_span("gmm");
   if (counts.size() != kZoneCount) {
     throw std::invalid_argument("fit_mixture_to_counts: expected 24 zone bins");
   }

@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "core/activity.hpp"
+#include "obs/pipeline_metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "stats/histogram.hpp"
 
 namespace tzgeo::core {
@@ -27,12 +30,19 @@ void IncrementalGeolocator::observe(std::uint64_t user, tz::UtcSeconds when) {
     --day;
   }
   state.cells.push_back(cell_of_day_hour(day, rem / tz::kSecondsPerHour));
+  ++pending_cells_;
   // Keep the duplicate-carrying tail bounded: once it outgrows the
   // deduplicated prefix, fold it in.
   if (state.cells.size() >= 64 && state.cells.size() > 2 * state.sorted) compact(state);
   ++state.posts;
   state.dirty = true;
   ++posts_;
+
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add(metrics.incremental_observations);
+  registry.set(metrics.incremental_compaction_backlog,
+               static_cast<std::int64_t>(pending_cells_));
 }
 
 void IncrementalGeolocator::observe(std::string_view identity, tz::UtcSeconds when) {
@@ -40,6 +50,7 @@ void IncrementalGeolocator::observe(std::string_view identity, tz::UtcSeconds wh
 }
 
 void IncrementalGeolocator::compact(UserState& state) {
+  pending_cells_ -= state.cells.size() - state.sorted;
   std::sort(state.cells.begin(), state.cells.end());
   state.cells.erase(std::unique(state.cells.begin(), state.cells.end()), state.cells.end());
   state.sorted = state.cells.size();
@@ -57,9 +68,12 @@ void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
   const double to_uniform = engine_.distance_to_uniform(profile);
   state.flat = options_.apply_flat_filter && to_uniform < state.placement.distance;
   state.dirty = false;
+  obs::MetricsRegistry::global().add(obs::PipelineMetrics::get().incremental_refreshes);
 }
 
 IncrementalGeolocator::Snapshot IncrementalGeolocator::estimate() {
+  const obs::ScopedSpan estimate_span("incremental.estimate");
+  const obs::Stopwatch watch;
   Snapshot snapshot;
   snapshot.total_users = ids_.size();
   snapshot.posts = posts_;
@@ -96,6 +110,13 @@ IncrementalGeolocator::Snapshot IncrementalGeolocator::estimate() {
     const MixtureFitOutcome mixture = fit_mixture_to_counts(snapshot.counts, options_);
     snapshot.components = mixture.components;
   }
+
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add(metrics.incremental_snapshots);
+  registry.observe(metrics.incremental_snapshot_us, watch.elapsed_us());
+  registry.set(metrics.incremental_compaction_backlog,
+               static_cast<std::int64_t>(pending_cells_));
   return snapshot;
 }
 

@@ -70,8 +70,9 @@ class IncrementalGeolocator {
     UserPlacement placement;
   };
 
-  /// Sorts and deduplicates `state.cells` in place.
-  static void compact(UserState& state);
+  /// Sorts and deduplicates `state.cells` in place, settling its share of
+  /// the deferred-compaction backlog gauge.
+  void compact(UserState& state);
 
   /// Re-profiles and re-places one user.
   void refresh(std::uint64_t user, UserState& state);
@@ -83,6 +84,7 @@ class IncrementalGeolocator {
   util::HandleTable ids_;          ///< user id -> dense handle
   std::vector<UserState> states_;  ///< handle -> state
   std::size_t posts_ = 0;
+  std::size_t pending_cells_ = 0;  ///< cells in unsorted tails (backlog gauge)
 };
 
 }  // namespace tzgeo::core

@@ -7,6 +7,9 @@
 #include <thread>
 
 #include "core/thread_pool.hpp"
+#include "obs/pipeline_metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
@@ -33,6 +36,7 @@ struct ChunkOutcome {
   std::vector<ActivityTrace::Event> pending;
   std::size_t rows_ok = 0;
   std::size_t rows_rejected = 0;
+  std::uint64_t fixups = 0;  ///< escaped fields materialized by the scanner
   std::exception_ptr error;
 };
 
@@ -71,6 +75,7 @@ void parse_chunk(std::string_view chunk, std::size_t arity, ChunkOutcome& out) n
       if (fields.size() != arity) throw std::invalid_argument(std::string{kArityError});
       consume_row(fields, out);
     }
+    out.fixups = scanner.fixups_applied();
     flush_rows(out);
   } catch (...) {
     out.error = std::current_exception();
@@ -137,6 +142,10 @@ IngestResult trace_from_csv(std::string_view csv_text) {
 }
 
 IngestResult trace_from_csv(std::string_view csv_text, const IngestOptions& options) {
+  const obs::ScopedSpan ingest_span("ingest");
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+
   std::string_view text = csv_text;
   if (text.substr(0, kUtf8Bom.size()) == kUtf8Bom) text.remove_prefix(kUtf8Bom.size());
 
@@ -195,8 +204,12 @@ IngestResult trace_from_csv(std::string_view csv_text, const IngestOptions& opti
   std::vector<ChunkOutcome> outcomes(chunks);
   const auto run = [&](std::size_t begin, std::size_t end) {
     for (std::size_t c = begin; c < end; ++c) {
+      const obs::ScopedSpan chunk_span("ingest.chunk");
+      const obs::Stopwatch watch;
       const std::size_t stop = c + 1 < chunks ? starts[c + 1] : body.size();
       parse_chunk(body.substr(starts[c], stop - starts[c]), arity, outcomes[c]);
+      registry.observe(metrics.ingest_chunk_parse_us, watch.elapsed_us());
+      registry.add(metrics.ingest_chunks);
     }
   };
   if (pool != nullptr && chunks > 1) {
@@ -209,12 +222,21 @@ IngestResult trace_from_csv(std::string_view csv_text, const IngestOptions& opti
   result.trace = std::move(head.trace);
   result.rows_ok = head.rows_ok;
   result.rows_rejected = head.rows_rejected;
+  std::uint64_t fixups = scanner.fixups_applied();
   for (ChunkOutcome& outcome : outcomes) {
     if (outcome.error) std::rethrow_exception(outcome.error);
     result.rows_ok += outcome.rows_ok;
     result.rows_rejected += outcome.rows_rejected;
+    fixups += outcome.fixups;
     result.trace.absorb(std::move(outcome.trace));
   }
+
+  registry.add(metrics.ingest_rows_ok, result.rows_ok);
+  registry.add(metrics.ingest_rows_rejected, result.rows_rejected);
+  registry.add(metrics.ingest_bytes, csv_text.size());
+  registry.add(metrics.ingest_escaped_fixups, fixups);
+  registry.set(metrics.ingest_handle_load_factor_pct,
+               static_cast<std::int64_t>(result.trace.handle_load_factor() * 100.0));
   return result;
 }
 

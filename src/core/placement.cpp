@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/placement_engine.hpp"
+#include "obs/pipeline_metrics.hpp"
 #include "stats/emd.hpp"
 #include "stats/histogram.hpp"
 
@@ -34,12 +35,19 @@ PlacementResult place_crowd(const std::vector<UserProfileEntry>& users,
   result.users.reserve(users.size());
   result.counts.assign(kZoneCount, 0.0);
 
+  // Accumulate pruning counters locally; one registry flush per crowd.
+  PlacementEngine::PlaceStats counters;
   for (const auto& entry : users) {
-    const UserPlacement placement = engine.place(entry.user, entry.profile);
+    const UserPlacement placement = engine.place(entry.user, entry.profile, counters);
     result.counts[bin_of_zone(placement.zone_hours)] += 1.0;
     result.users.push_back(placement);
   }
   result.distribution = stats::normalize(result.counts);
+
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add(metrics.placement_zones_pruned, counters.zones_pruned);
+  registry.add(metrics.placement_zones_evaluated, counters.zones_evaluated);
   return result;
 }
 

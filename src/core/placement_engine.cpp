@@ -37,8 +37,9 @@ double PlacementEngine::row_distance(const double* user_bins, const double* user
   return std::numeric_limits<double>::infinity();  // unreachable
 }
 
-UserPlacement PlacementEngine::place(std::uint64_t user,
-                                     const HourlyProfile& profile) const noexcept {
+template <bool kCountStats>
+UserPlacement PlacementEngine::place_impl(std::uint64_t user, const HourlyProfile& profile,
+                                          PlaceStats* counters) const noexcept {
   UserPlacement placement;
   placement.user = user;
   placement.distance = std::numeric_limits<double>::infinity();
@@ -71,12 +72,17 @@ UserPlacement PlacementEngine::place(std::uint64_t user,
       for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
         update(stats::emd_linear_cdf_24(cdf, zone_cdfs_.data() + bin * kProfileBins), bin);
       }
+      if constexpr (kCountStats) counters->zones_evaluated += kZoneCount;
       break;
     case PlacementMetric::kCircularEmd:
       for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
         const double bound =
             stats::cdf_diff_bound_24(cdf, zone_cdfs_.data() + bin * kProfileBins, scratch);
-        if (bound >= placement.runner_up_distance) continue;
+        if (bound >= placement.runner_up_distance) {
+          if constexpr (kCountStats) ++counters->zones_pruned;
+          continue;
+        }
+        if constexpr (kCountStats) ++counters->zones_evaluated;
         update(stats::circular_work_24(scratch), bin);
       }
       break;
@@ -84,9 +90,20 @@ UserPlacement PlacementEngine::place(std::uint64_t user,
       for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
         update(stats::total_variation_24(bins, zone_bins_.data() + bin * kProfileBins), bin);
       }
+      if constexpr (kCountStats) counters->zones_evaluated += kZoneCount;
       break;
   }
   return placement;
+}
+
+UserPlacement PlacementEngine::place(std::uint64_t user,
+                                     const HourlyProfile& profile) const noexcept {
+  return place_impl<false>(user, profile, nullptr);
+}
+
+UserPlacement PlacementEngine::place(std::uint64_t user, const HourlyProfile& profile,
+                                     PlaceStats& counters) const noexcept {
+  return place_impl<true>(user, profile, &counters);
 }
 
 double PlacementEngine::distance_to_zone(const HourlyProfile& profile,

@@ -40,9 +40,23 @@ class PlacementEngine {
 
   [[nodiscard]] PlacementMetric metric() const noexcept { return metric_; }
 
+  /// Pruning effectiveness counters for the circular-EMD lower bound,
+  /// accumulated by the stats-taking place() overload.  Metrics without a
+  /// pruning step count every zone as evaluated.
+  struct PlaceStats {
+    std::uint64_t zones_pruned = 0;     ///< exact evaluations skipped
+    std::uint64_t zones_evaluated = 0;  ///< exact evaluations run
+  };
+
   /// Nearest and runner-up zone for one profile (the former inner loop).
   [[nodiscard]] UserPlacement place(std::uint64_t user,
                                     const HourlyProfile& profile) const noexcept;
+
+  /// Same placement, additionally accumulating pruning counters into
+  /// `stats`.  Bit-identical to the counter-free overload; callers batch
+  /// the accumulator locally and flush to the metrics registry per chunk.
+  [[nodiscard]] UserPlacement place(std::uint64_t user, const HourlyProfile& profile,
+                                    PlaceStats& counters) const noexcept;
 
   /// Distance from a profile to the zone at `bin` (0..23).
   [[nodiscard]] double distance_to_zone(const HourlyProfile& profile,
@@ -56,6 +70,12 @@ class PlacementEngine {
   [[nodiscard]] double distance_to_uniform(const HourlyProfile& profile) const noexcept;
 
  private:
+  /// Shared implementation of both place() overloads; the counter writes
+  /// compile out of the kCountStats == false instantiation.
+  template <bool kCountStats>
+  [[nodiscard]] UserPlacement place_impl(std::uint64_t user, const HourlyProfile& profile,
+                                         PlaceStats* counters) const noexcept;
+
   /// Distance from a user (raw bins + CDF) to one cached row.  `scratch`
   /// is 24 caller-provided doubles for the circular-EMD median select.
   [[nodiscard]] double row_distance(const double* user_bins, const double* user_cdf,

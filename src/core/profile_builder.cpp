@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace tzgeo::core {
 
 namespace {
@@ -49,6 +51,7 @@ HourlyProfile ProfileSet::population_profile() const {
 }
 
 ProfileSet build_profiles(const ActivityTrace& trace, const ProfileBuildOptions& options) {
+  const obs::ScopedSpan profiles_span("profiles");
   if (options.binning != HourBinning::kUtc && options.zone == nullptr) {
     throw std::invalid_argument("build_profiles: zone-aware binning requires a zone");
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace tzgeo::core {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -25,6 +27,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(Job& job) {
+  // Adopt the submitter's span so spans opened inside `fn` parent onto the
+  // enclosing pipeline stage regardless of which thread runs the chunk.
+  const obs::TraceContext::Scope trace_scope(job.trace_parent);
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.chunks) return;
@@ -75,6 +80,7 @@ void ThreadPool::for_chunks(std::size_t n, std::size_t max_chunks,
   job->n = n;
   job->chunk = (n + wanted - 1) / wanted;
   job->chunks = (n + job->chunk - 1) / job->chunk;
+  job->trace_parent = obs::TraceContext::current_span();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_ = job;

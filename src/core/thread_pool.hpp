@@ -63,8 +63,9 @@ class ThreadPool {
   struct Job {
     const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t n = 0;
-    std::size_t chunk = 0;   ///< indices per range
-    std::size_t chunks = 0;  ///< total ranges
+    std::size_t chunk = 0;          ///< indices per range
+    std::size_t chunks = 0;         ///< total ranges
+    std::uint64_t trace_parent = 0; ///< submitter's current span (0 = none)
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
   };

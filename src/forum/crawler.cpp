@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "forum/parser.hpp"
+#include "obs/pipeline_metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace tzgeo::forum {
@@ -25,6 +27,9 @@ namespace {
 
 ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
                        const CrawlOptions& options) {
+  const obs::ScopedSpan crawl_span("forum.crawl");
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   ScrapeDump dump;
   dump.onion = onion;
 
@@ -39,6 +44,7 @@ ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
         onion,
         tor::Request{"GET", "/index?page=" + std::to_string(page) + auth_suffix(options), ""});
     ++dump.pages_fetched;
+    registry.add(metrics.forum_pages_fetched);
     if (response.status != 200) {
       throw std::runtime_error("crawl_forum: index fetch failed with status " +
                                std::to_string(response.status));
@@ -61,6 +67,7 @@ ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
                                "?page=" + std::to_string(page) + auth_suffix(options);
       const tor::Response response = transport.fetch(onion, tor::Request{"GET", path, ""});
       ++dump.pages_fetched;
+      registry.add(metrics.forum_pages_fetched);
       if (response.status != 200) {
         throw std::runtime_error("crawl_forum: thread fetch failed with status " +
                                  std::to_string(response.status));
@@ -70,6 +77,7 @@ ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
       if (!parsed) throw std::runtime_error("crawl_forum: unparsable thread page");
       thread_pages = parsed->pages;  // the thread may have grown mid-crawl
       dump.malformed_posts += parsed->malformed_posts;
+      registry.add(metrics.forum_parse_failures, parsed->malformed_posts);
       for (const auto& post : parsed->posts) {
         ScrapeRecord record;
         record.post_id = post.id;

@@ -36,6 +36,11 @@ struct ScrapeDump {
   std::vector<ScrapeRecord> records;
   std::size_t pages_fetched = 0;
   std::size_t malformed_posts = 0;  ///< skipped by the defensive parser
+  /// Monitor mode only: poll sweeps attempted and sweeps aborted by a
+  /// fetch/parse failure (a failed sweep is retried next interval, so the
+  /// stamping error for the affected posts grows by one interval).
+  std::size_t polls = 0;
+  std::size_t polls_failed = 0;
 };
 
 /// Crawl tuning.

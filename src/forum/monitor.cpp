@@ -1,8 +1,12 @@
 #include "forum/monitor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "forum/parser.hpp"
+#include "obs/pipeline_metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace tzgeo::forum {
 
@@ -11,15 +15,22 @@ namespace {
 /// One polling sweep: collects the posts not yet in `seen`.
 /// Pages are read from the tail of each thread backwards, stopping at the
 /// first fully-seen page, so steady-state sweeps stay cheap.
+///
+/// All effects are staged: `fresh` (ids first seen this sweep), `staged`
+/// (records to append) and `malformed` are only merged into `seen`/`dump`
+/// by the caller when the sweep completes — a sweep aborted halfway must
+/// not mark posts as seen, or they would never be recorded.
 void sweep(tor::OnionTransport& transport, const std::string& onion,
-           std::set<std::uint64_t>& seen, bool record, ScrapeDump& dump,
-           std::size_t max_pages) {
+           const std::set<std::uint64_t>& seen, std::set<std::uint64_t>& fresh,
+           bool record, ScrapeDump& dump, std::vector<ScrapeRecord>& staged,
+           std::size_t& malformed, std::size_t max_pages) {
   std::size_t pages_this_poll = 0;
   const auto fetch_page = [&](const std::string& path) {
     if (++pages_this_poll > max_pages) {
       throw std::runtime_error("monitor_forum: per-poll page cap exceeded");
     }
     ++dump.pages_fetched;
+    obs::MetricsRegistry::global().add(obs::PipelineMetrics::get().forum_pages_fetched);
     return transport.fetch(onion, tor::Request{"GET", path, ""});
   };
 
@@ -50,11 +61,11 @@ void sweep(tor::OnionTransport& transport, const std::string& onion,
       const auto parsed = parse_thread_page(
         response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
       if (!parsed) throw std::runtime_error("monitor_forum: unparsable thread page");
-      dump.malformed_posts += record ? parsed->malformed_posts : 0;
+      malformed += record ? parsed->malformed_posts : 0;
 
       bool any_new = false;
       for (const auto& post : parsed->posts) {
-        if (!seen.insert(post.id).second) continue;
+        if (seen.count(post.id) != 0 || !fresh.insert(post.id).second) continue;
         any_new = true;
         if (!record) continue;
         ScrapeRecord entry;
@@ -63,11 +74,43 @@ void sweep(tor::OnionTransport& transport, const std::string& onion,
         entry.author = post.author;
         entry.display_time = post.display_time;  // typically absent (kHidden)
         entry.observed_utc = transport.clock().now_seconds();
-        dump.records.push_back(std::move(entry));
+        staged.push_back(std::move(entry));
       }
       if (!any_new || page == 1) break;
     }
   }
+}
+
+/// Runs one sweep with staged effects, committing them only on success.
+/// Returns false (and leaves `seen`/`dump` untouched, beyond the page
+/// counter) when the sweep aborted on a fetch/parse failure.
+bool try_sweep(tor::OnionTransport& transport, const std::string& onion,
+               std::set<std::uint64_t>& seen, bool record, ScrapeDump& dump,
+               std::size_t max_pages) {
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const obs::ScopedSpan poll_span("forum.poll");
+  const obs::Stopwatch watch;
+  ++dump.polls;
+  registry.add(metrics.forum_polls);
+
+  std::set<std::uint64_t> fresh;
+  std::vector<ScrapeRecord> staged;
+  std::size_t malformed = 0;
+  try {
+    sweep(transport, onion, seen, fresh, record, dump, staged, malformed, max_pages);
+  } catch (const std::exception&) {
+    ++dump.polls_failed;
+    registry.add(metrics.forum_polls_failed);
+    registry.observe(metrics.forum_poll_us, watch.elapsed_us());
+    return false;
+  }
+  seen.merge(fresh);
+  dump.malformed_posts += malformed;
+  registry.add(metrics.forum_parse_failures, malformed);
+  for (ScrapeRecord& entry : staged) dump.records.push_back(std::move(entry));
+  registry.observe(metrics.forum_poll_us, watch.elapsed_us());
+  return true;
 }
 
 }  // namespace
@@ -81,13 +124,21 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
   dump.onion = onion;
 
   std::set<std::uint64_t> seen;
-  // Baseline sweep: the backlog has no observable posting time.
-  sweep(transport, onion, seen, /*record=*/false, dump, options.max_pages_per_poll);
+  // Baseline sweep: the backlog has no observable posting time.  A failed
+  // baseline is retried on the next interval (still unrecorded) — posts
+  // predating the first *successful* sweep must never be stamped.
+  bool baseline_done =
+      try_sweep(transport, onion, seen, /*record=*/false, dump, options.max_pages_per_poll);
 
   const std::int64_t end_time = transport.clock().now_seconds() + options.duration_seconds;
   while (transport.clock().now_seconds() < end_time) {
     transport.clock().advance_seconds(options.poll_interval_seconds);
-    sweep(transport, onion, seen, /*record=*/true, dump, options.max_pages_per_poll);
+    if (!baseline_done) {
+      baseline_done = try_sweep(transport, onion, seen, /*record=*/false, dump,
+                                options.max_pages_per_poll);
+      continue;
+    }
+    try_sweep(transport, onion, seen, /*record=*/true, dump, options.max_pages_per_poll);
   }
   return dump;
 }

@@ -27,6 +27,12 @@ struct MonitorOptions {
 /// Runs the monitoring loop and returns the dump of *newly observed* posts
 /// (the pre-existing backlog has no observable time and is skipped).
 /// The stamping error is bounded by the poll interval.
+///
+/// A sweep that fails mid-flight (circuit drop, unparsable page, page cap)
+/// is abandoned without side effects and counted in ScrapeDump::polls_failed;
+/// the affected posts are picked up by the next successful sweep with a
+/// stamping error grown by one interval per failure.  polls/polls_failed in
+/// the returned dump summarize the loop's reliability.
 [[nodiscard]] ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onion,
                                        const MonitorOptions& options = {});
 

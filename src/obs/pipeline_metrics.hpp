@@ -1,0 +1,66 @@
+// Pre-registered metric handles for every pipeline layer.
+//
+// The hot paths must not pay a name lookup per update, so every metric
+// the pipeline touches is registered once — on first use, into
+// MetricsRegistry::global() — and the resulting ids are kept in this
+// struct.  Call PipelineMetrics::get() (cheap after the first call) and
+// update through the ids.
+//
+// Naming scheme: tzgeo_<layer>_<name>, `_total` suffix for counters,
+// `_us`/`_ms` for histograms in that unit, bare names for gauges.
+// DESIGN.md §10 documents the full inventory.
+#pragma once
+
+#include <array>
+
+#include "core/constants.hpp"
+#include "obs/metrics.hpp"
+
+namespace tzgeo::obs {
+
+struct PipelineMetrics {
+  // ingest
+  MetricId ingest_rows_ok = kInvalidMetric;
+  MetricId ingest_rows_rejected = kInvalidMetric;
+  MetricId ingest_bytes = kInvalidMetric;
+  MetricId ingest_chunks = kInvalidMetric;
+  MetricId ingest_chunk_parse_us = kInvalidMetric;
+  MetricId ingest_escaped_fixups = kInvalidMetric;
+  MetricId ingest_handle_load_factor_pct = kInvalidMetric;
+
+  // placement
+  MetricId placement_batches = kInvalidMetric;
+  MetricId placement_users = kInvalidMetric;
+  MetricId placement_batch_us = kInvalidMetric;
+  MetricId placement_zones_pruned = kInvalidMetric;
+  MetricId placement_zones_evaluated = kInvalidMetric;
+  std::array<MetricId, core::kZoneCount> placement_zone{};  ///< per-zone placements
+
+  // incremental geolocator
+  MetricId incremental_observations = kInvalidMetric;
+  MetricId incremental_snapshots = kInvalidMetric;
+  MetricId incremental_snapshot_us = kInvalidMetric;
+  MetricId incremental_refreshes = kInvalidMetric;
+  MetricId incremental_compaction_backlog = kInvalidMetric;
+
+  // forum crawler / monitor
+  MetricId forum_pages_fetched = kInvalidMetric;
+  MetricId forum_parse_failures = kInvalidMetric;
+  MetricId forum_polls = kInvalidMetric;
+  MetricId forum_polls_failed = kInvalidMetric;
+  MetricId forum_poll_us = kInvalidMetric;
+
+  // tor transport
+  MetricId tor_requests = kInvalidMetric;
+  MetricId tor_request_failures = kInvalidMetric;
+  MetricId tor_retries = kInvalidMetric;
+  MetricId tor_circuits_built = kInvalidMetric;
+  MetricId tor_circuit_build_ms = kInvalidMetric;
+  MetricId tor_rate_limit_waits = kInvalidMetric;
+
+  /// The shared instance, registered on MetricsRegistry::global() the
+  /// first time any instrumented path runs.  Thread-safe (magic static).
+  static const PipelineMetrics& get();
+};
+
+}  // namespace tzgeo::obs

@@ -1,0 +1,46 @@
+// The one sanctioned monotonic clock read in the tree.
+//
+// Everything else in tzgeo runs on explicit time (util::SimClock, UTC
+// seconds in the data) so experiments replay bit-identically.  Runtime
+// *observability* is the deliberate exception: stage latencies and span
+// timestamps describe the program, not the experiment, and never feed a
+// computed result.  To keep that boundary mechanical, the host clock is
+// read in exactly one place — Stopwatch::now_ns() — and the `obs-clock`
+// lint rule forbids std::chrono clock reads in src/ outside src/obs/.
+// Bench harness code shares this abstraction (bench_common section
+// timers), so benchmarks and runtime metrics agree on one clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tzgeo::obs {
+
+/// Monotonic nanosecond stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now_ns()) {}
+
+  /// Monotonic nanoseconds since an arbitrary epoch (process-stable).
+  [[nodiscard]] static std::uint64_t now_ns() noexcept {
+    const auto since_epoch = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch).count());
+  }
+
+  void reset() noexcept { start_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept { return elapsed_ns() / 1000; }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace tzgeo::obs

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/pipeline_metrics.hpp"
+
 namespace tzgeo::tor {
 
 namespace {
@@ -65,6 +67,13 @@ const RendezvousConnection& OnionTransport::connection_for(const std::string& on
     throw TransportError("onion address not found: " + onion);
   }
   ++stats_.circuits_built;
+  {
+    const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.add(metrics.tor_circuits_built);
+    registry.observe(metrics.tor_circuit_build_ms,
+                     static_cast<std::uint64_t>(connection->setup_latency_ms));
+  }
   requests_on_circuit_[onion] = 0;
   clock_.advance_millis(static_cast<std::int64_t>(connection->setup_latency_ms));
   stats_.total_latency_ms += connection->setup_latency_ms;
@@ -77,19 +86,25 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
     throw TransportError("onion address not found: " + onion);
   }
 
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+
   int rate_limit_retries = 0;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) registry.add(metrics.tor_retries);
     const RendezvousConnection& connection = connection_for(onion);
     const double latency = connection.round_trip_ms(consensus_) +
                            rng_.exponential(1.0 / std::max(options_.jitter_ms, 1e-9));
     clock_.advance_millis(static_cast<std::int64_t>(latency));
     stats_.total_latency_ms += latency;
     ++stats_.requests;
+    registry.add(metrics.tor_requests);
     ++requests_on_circuit_[onion];
 
     if (rng_.bernoulli(options_.failure_probability)) {
       // Circuit dropped mid-request: tear down and retry on a fresh one.
       ++stats_.failures;
+      registry.add(metrics.tor_request_failures);
       connections_.erase(onion);
       continue;
     }
@@ -100,6 +115,7 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
       // circuit-failure retry on it.
       ++rate_limit_retries;
       ++stats_.rate_limit_waits;
+      registry.add(metrics.tor_rate_limit_waits);
       clock_.advance_seconds(options_.rate_limit_backoff_seconds);
       --attempt;
       continue;

@@ -85,6 +85,7 @@ bool CsvScanner::next(std::vector<std::string_view>& fields) {
       for (const auto& [from, to] : runs_) scratch_.append(text_.substr(from, to - from));
       scratch_.append(text_.substr(run_begin, run_end - run_begin));
       fixups_.push_back(Fixup{fields.size(), begin, scratch_.size() - begin});
+      ++fixups_applied_;
       fields.emplace_back();
       runs_.clear();
       multi_run = false;

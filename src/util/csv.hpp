@@ -16,6 +16,7 @@
 //     for callers that want random access to rows.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -54,6 +55,11 @@ class CsvScanner {
   /// Bytes consumed so far: the offset of the first unscanned byte.
   [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
 
+  /// Fields materialized into the scratch arena so far (escaped fields the
+  /// zero-copy path could not view in place).  Feeds the
+  /// tzgeo_ingest_escaped_fixups_total counter.
+  [[nodiscard]] std::uint64_t fixups_applied() const noexcept { return fixups_applied_; }
+
  private:
   /// A field emitted into scratch_: patched into `fields` at row end,
   /// once scratch_ can no longer reallocate under it.
@@ -67,6 +73,7 @@ class CsvScanner {
   std::size_t pos_ = 0;
   char sep_;
   std::string scratch_;  ///< unescaped field bytes, reused across rows
+  std::uint64_t fixups_applied_ = 0;  ///< lifetime count of materialized fields
   std::vector<Fixup> fixups_;
   std::vector<std::pair<std::size_t, std::size_t>> runs_;  ///< spilled runs of a multi-run field
 };

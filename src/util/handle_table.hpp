@@ -60,6 +60,16 @@ class HandleTable {
   /// The key arena: keys()[handle] is the interned key, in insertion order.
   [[nodiscard]] const std::vector<std::uint64_t>& keys() const noexcept { return keys_; }
 
+  /// Open-addressing bucket count (power of two; 0 before first insert).
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Occupied fraction of the bucket array in [0, 1).  0 when empty.
+  [[nodiscard]] double load_factor() const noexcept {
+    return buckets_.empty()
+               ? 0.0
+               : static_cast<double>(keys_.size()) / static_cast<double>(buckets_.size());
+  }
+
   /// Pre-sizes the arena and bucket array for `n` distinct keys.
   void reserve(std::size_t n);
 

@@ -25,6 +25,8 @@
 #include "core/profile_builder.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timezone_profiles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace tzgeo::core {
@@ -249,6 +251,77 @@ TEST(TsanStress, BootstrapParallelResamplingIsRaceFree) {
   bootstrap.seed = 99;
   const BootstrapResult result = bootstrap_geolocation(crowd, zones, {}, bootstrap);
   EXPECT_EQ(result.resamples, bootstrap.resamples);
+}
+
+// --- observability --------------------------------------------------------
+
+TEST(TsanStress, MetricsUpdatesRaceSnapshotsCleanly) {
+  // Writers hammer a counter, a gauge, and a histogram while readers take
+  // full snapshots and render both exporters.  Relaxed atomics mean the
+  // snapshot is not a linearizable cut, but every access must be data-race
+  // free and the final totals exact once writers join.
+  obs::MetricsRegistry registry;
+  const obs::MetricId counter = registry.counter("tzgeo_stress_total");
+  const obs::MetricId gauge = registry.gauge("tzgeo_stress_backlog");
+  const obs::MetricId hist = registry.histogram("tzgeo_stress_us");
+
+  constexpr std::size_t kWriters = 6;
+  constexpr std::uint64_t kOpsPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader{[&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto samples = registry.snapshot();
+      EXPECT_EQ(samples.size(), 3u);
+      (void)registry.prometheus();
+      (void)registry.to_json();
+    }
+  }};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, counter, gauge, hist, w] {
+      for (std::uint64_t i = 0; i < kOpsPerWriter; ++i) {
+        registry.add(counter);
+        registry.set(gauge, static_cast<std::int64_t>(i));
+        registry.observe(hist, (w * kOpsPerWriter + i) % 3000);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(registry.counter_value(counter), kWriters * kOpsPerWriter);
+  EXPECT_EQ(registry.histogram_value(hist).count, kWriters * kOpsPerWriter);
+}
+
+TEST(TsanStress, SpanRecordingRacesSnapshotsCleanly) {
+  // Many threads open nested spans into one shared ring while another
+  // thread snapshots and exports it; counts must add up afterwards.
+  obs::TraceBuffer sink{128};
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kSpansPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader{[&sink, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)sink.snapshot();
+      (void)sink.to_chrome_trace();
+    }
+  }};
+  std::vector<std::thread> tracers;
+  tracers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    tracers.emplace_back([&sink] {
+      for (std::uint64_t i = 0; i < kSpansPerThread; ++i) {
+        const obs::ScopedSpan outer{"stress", &sink};
+        const obs::ScopedSpan inner{"stress.inner", &sink};
+      }
+    });
+  }
+  for (auto& t : tracers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(sink.recorded(), 2 * kThreads * kSpansPerThread);
+  EXPECT_EQ(sink.snapshot().size(), sink.capacity());
 }
 
 }  // namespace

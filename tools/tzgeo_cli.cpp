@@ -15,6 +15,7 @@
 // use (see examples/quickstart.cpp).
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -30,6 +31,8 @@
 #include "core/weekly.hpp"
 #include "forum/calibration.hpp"
 #include "forum/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synth/dataset.hpp"
 #include "timezone/zone_db.hpp"
 #include "util/strings.hpp"
@@ -97,7 +100,13 @@ void print_usage() {
       "      --input FILE [--author NAME | --top N (default 3)]\n"
       "  compare     component drift between two crawls of the same board\n"
       "      --before FILE --after FILE\n"
-      "  demo        run a self-contained synthetic demonstration\n");
+      "  demo        run a self-contained synthetic demonstration\n"
+      "\n"
+      "observability (any command):\n"
+      "  --metrics-out FILE   write pipeline metrics on exit; *.json gets a JSON\n"
+      "                       document, anything else Prometheus text exposition\n"
+      "  --trace-out FILE     write the span trace in Chrome trace_event JSON\n"
+      "                       (open in chrome://tracing or https://ui.perfetto.dev)\n");
 }
 
 [[nodiscard]] core::TimeZoneProfiles reference_zones() {
@@ -306,8 +315,11 @@ int run_demo() {
   options.seed = 4;
   const synth::Dataset crowd =
       synth::make_forum_crowd(synth::paper_forum("Dream Market"), options);
-  core::ActivityTrace trace;
-  for (const auto& event : crowd.events) trace.add(event.user, event.time);
+  core::ActivityTrace generated;
+  for (const auto& event : crowd.events) generated.add(event.user, event.time);
+  // Round-trip through the CSV codec: the demo then exercises (and traces)
+  // the same ingest path an --input run takes.
+  const core::ActivityTrace trace = core::trace_from_csv(core::trace_to_csv(generated)).trace;
   const core::TimeZoneProfiles zones = reference_zones();
   const core::ProfileSet profiles = core::build_profiles(trace, {});
   const core::GeolocationResult result = core::geolocate_crowd(profiles.users, zones);
@@ -316,19 +328,52 @@ int run_demo() {
   return 0;
 }
 
+void write_file_or_die(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+/// Writes --metrics-out / --trace-out files after the command ran.
+/// Metrics: JSON when the filename ends in .json, Prometheus text
+/// exposition otherwise.  Trace: Chrome trace_event JSON.
+void write_obs_outputs(const Args& args) {
+  const std::string metrics_path = args.get("metrics-out");
+  if (!metrics_path.empty()) {
+    const bool json = util::ends_with(metrics_path, ".json");
+    const auto& registry = obs::MetricsRegistry::global();
+    write_file_or_die(metrics_path,
+                      json ? registry.to_json().dump(2) + "\n" : registry.prometheus());
+    std::fprintf(stderr, "wrote metrics (%s) to %s\n", json ? "json" : "prometheus",
+                 metrics_path.c_str());
+  }
+  const std::string trace_path = args.get("trace-out");
+  if (!trace_path.empty()) {
+    write_file_or_die(trace_path, obs::TraceBuffer::global().to_chrome_trace() + "\n");
+    std::fprintf(stderr, "wrote chrome trace to %s\n", trace_path.c_str());
+  }
+}
+
+int run_command(const Args& args) {
+  if (args.command == "analyze") return run_analyze(args);
+  if (args.command == "hemisphere") return run_hemisphere(args);
+  if (args.command == "weekly") return run_weekly(args);
+  if (args.command == "dossier") return run_dossier(args);
+  if (args.command == "compare") return run_compare(args);
+  if (args.command == "demo") return run_demo();
+  print_usage();
+  return args.command.empty() || args.command == "help" ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command == "analyze") return run_analyze(args);
-    if (args.command == "hemisphere") return run_hemisphere(args);
-    if (args.command == "weekly") return run_weekly(args);
-    if (args.command == "dossier") return run_dossier(args);
-    if (args.command == "compare") return run_compare(args);
-    if (args.command == "demo") return run_demo();
-    print_usage();
-    return args.command.empty() || args.command == "help" ? 0 : 2;
+    const int status = run_command(args);
+    write_obs_outputs(args);
+    return status;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

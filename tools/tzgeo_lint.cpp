@@ -263,6 +263,23 @@ struct Rule {
       [](std::string_view line) { return contains_call(line, "sscanf"); }});
 
   out.push_back(Rule{
+      "obs-clock",
+      "ad-hoc std::chrono clock read in library code; obs::Stopwatch "
+      "(src/obs/stopwatch.hpp) is the one sanctioned monotonic clock — shared "
+      "timing keeps benchmarks, metrics, and traces on the same timebase",
+      [](const fs::path& rel) {
+        if (!under(rel, "src")) return false;
+        auto it = rel.begin();
+        ++it;  // skip the "src" component
+        return it == rel.end() || it->string() != "obs";
+      },
+      [](std::string_view line) {
+        return contains_token(line, "steady_clock") ||
+               contains_token(line, "high_resolution_clock") ||
+               contains_token(line, "system_clock");
+      }});
+
+  out.push_back(Rule{
       "float-stats",
       "float in a statistical kernel; the stats module is double-only",
       [](const fs::path& rel) { return under(rel, "src") && rel.string().find("stats") != std::string::npos; },
@@ -345,6 +362,13 @@ void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rul
   expect(contains_call("std::sscanf(s, \"%d\", &x)", "sscanf"), "std::sscanf flagged");
   expect(contains_call("sscanf (s, \"%d\", &x)", "sscanf"), "sscanf with space flagged");
   expect(!contains_call("vsscanf(s, f, ap)", "sscanf"), "vsscanf not matched by sscanf");
+
+  expect(contains_token("std::chrono::steady_clock::now()", "steady_clock"),
+         "steady_clock flagged");
+  expect(contains_token("chrono::high_resolution_clock::now()", "high_resolution_clock"),
+         "high_resolution_clock flagged");
+  expect(!contains_token("my_steady_clock_wrapper()", "steady_clock"),
+         "identifier containing steady_clock not flagged");
 
   const std::string stripped = strip_comments_and_strings(
       "int a = 1; // 24 bins\nconst char* s = \"24\";\n/* 24 */ int b = 24;\n");
