@@ -9,13 +9,18 @@
 // pipeline.  Stamping error is bounded by the poll interval (30 min here),
 // far below the one-hour bin size of the profiles.
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 
 #include "core/geolocator.hpp"
 #include "core/incremental.hpp"
 #include "core/profile_builder.hpp"
 #include "core/report.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "forum/calibration.hpp"
 #include "forum/engine.hpp"
+#include "forum/error.hpp"
 #include "forum/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pipeline_metrics.hpp"
@@ -68,6 +73,24 @@ void print_obs_stats_line() {
               static_cast<unsigned long long>(snap_p50));
 }
 
+/// Robustness view of the round: injected faults, degraded sweeps, and
+/// checkpoint traffic.
+void print_chaos_stats_line(const fault::FaultInjector& injector) {
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  std::printf("  [chaos] faults injected %llu  partial polls %llu  thread quarantines %llu  "
+              "checkpoints written %llu (resumed %llu)\n",
+              static_cast<unsigned long long>(injector.stats().total()),
+              static_cast<unsigned long long>(
+                  registry.counter_value(metrics.forum_polls_partial)),
+              static_cast<unsigned long long>(
+                  registry.counter_value(metrics.forum_threads_quarantined)),
+              static_cast<unsigned long long>(
+                  registry.counter_value(metrics.forum_checkpoint_writes)),
+              static_cast<unsigned long long>(
+                  registry.counter_value(metrics.forum_checkpoint_resumes)));
+}
+
 }  // namespace
 
 int main() {
@@ -87,8 +110,23 @@ int main() {
   util::Rng consensus_rng{300};
   const tor::Consensus consensus = tor::Consensus::synthetic(200, consensus_rng);
   // Start the monitor at the beginning of the crowd's activity year.
-  util::SimClock clock{tz::to_utc_seconds({tz::CivilDate{2016, 1, 10}, 0, 0, 0})};
-  tor::OnionTransport transport{consensus, clock, 44};
+  const tz::UtcSeconds t0 = tz::to_utc_seconds({tz::CivilDate{2016, 1, 10}, 0, 0, 0});
+  util::SimClock clock{t0};
+
+  // A months-long campaign meets real weather: a scripted fault schedule
+  // batters the first round with an outage, a 429 storm, garbled pages,
+  // and circuit-drop bursts.  The monitor's degradation ladder has to ride
+  // it out without losing the campaign.
+  fault::FaultPlan plan;
+  plan.seed = 1303;
+  plan.outage(t0 + 3 * 86400, t0 + 3 * 86400 + 6 * 3600)
+      .rate_limit_storm(t0 + 5 * 86400, t0 + 5 * 86400 + 4 * 3600, 0.7)
+      .garbled_bodies(t0 + 7 * 86400, t0 + 7 * 86400 + 3 * 3600, 0.5)
+      .circuit_drops(t0 + 9 * 86400, t0 + 9 * 86400 + 8 * 3600, 0.4);
+  fault::FaultInjector injector{plan};
+  tor::TransportOptions transport_options;
+  transport_options.fault_injector = &injector;
+  tor::OnionTransport transport{consensus, clock, 44, transport_options};
   const std::string onion =
       transport.host(util::hash64("crdclub-hidden"),
                      [&engine](const tor::Request& request, std::int64_t now) {
@@ -102,7 +140,25 @@ int main() {
 
   // Monitor in 30-day chunks and keep a *streaming* estimate alive, so the
   // investigation reports a verdict timeline instead of one final answer.
-  core::IncrementalGeolocator streaming{zones};
+  // The geolocator's state rides inside the monitor checkpoint
+  // (checkpoint_extra/restore_extra), so a crash loses neither.
+  auto streaming = std::make_unique<core::IncrementalGeolocator>(zones);
+  const std::string checkpoint_path = "live_monitor.ckpt";
+  std::filesystem::remove(checkpoint_path);  // no stale campaign
+  const auto wire = [&](forum::MonitorOptions& monitor) {
+    monitor.checkpoint_path = checkpoint_path;
+    monitor.checkpoint_every_polls = 16;
+    monitor.on_commit = [&](const std::vector<forum::ScrapeRecord>& records) {
+      for (const auto& record : records) {
+        streaming->observe(record.author, record.observed_utc);
+      }
+    };
+    monitor.checkpoint_extra = [&] { return streaming->checkpoint_payload(); };
+    monitor.restore_extra = [&](std::string_view payload) {
+      streaming->restore_checkpoint(payload);
+    };
+  };
+
   forum::ScrapeDump dump;
   dump.onion = onion;
   std::printf("monitoring %s.onion in 30-day rounds (poll every 30 min)...\n\n", onion.c_str());
@@ -111,14 +167,30 @@ int main() {
     forum::MonitorOptions monitor;
     monitor.poll_interval_seconds = 1800;
     monitor.duration_seconds = 30 * 86400;
-    const forum::ScrapeDump chunk = forum::monitor_forum(transport, onion, monitor);
-    for (const auto& record : chunk.records) {
-      streaming.observe(record.author, record.observed_utc);
-      dump.records.push_back(record);
+    wire(monitor);
+    forum::ScrapeDump chunk;
+    if (round == 1) {
+      // Simulate the crawler box dying mid-round, then a fresh process
+      // resuming the same campaign from the checkpoint: new geolocator,
+      // state restored atomically with the monitor's cursor.  The round
+      // completes as if the crash never happened.
+      monitor.halt_after_polls = 700;
+      try {
+        chunk = forum::monitor_forum(transport, onion, monitor);
+      } catch (const forum::CrawlError& error) {
+        std::printf("  [chaos] %s — restarting from %s\n", error.what(),
+                    checkpoint_path.c_str());
+        streaming = std::make_unique<core::IncrementalGeolocator>(zones);
+        monitor.halt_after_polls = 0;
+        chunk = forum::monitor_forum(transport, onion, monitor);
+      }
+    } else {
+      chunk = forum::monitor_forum(transport, onion, monitor);
     }
+    dump.records.insert(dump.records.end(), chunk.records.begin(), chunk.records.end());
     dump.pages_fetched += chunk.pages_fetched;
 
-    const auto snapshot = streaming.estimate();
+    const auto snapshot = streaming->estimate();
     std::string verdict = "(not enough data)";
     if (!snapshot.components.empty()) {
       verdict = core::zone_label(snapshot.components.front().nearest_zone) + " (center " +
@@ -127,6 +199,7 @@ int main() {
     std::printf("%-12d %-10zu %-14zu %s\n", round * 30, snapshot.posts,
                 snapshot.active_users, verdict.c_str());
     print_obs_stats_line();
+    print_chaos_stats_line(injector);
   }
   std::printf("\nobserved %zu new posts over %zu page fetches in total\n",
               dump.records.size(), dump.pages_fetched);

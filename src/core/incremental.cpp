@@ -8,6 +8,7 @@
 #include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
 #include "stats/histogram.hpp"
+#include "util/checkpoint.hpp"
 
 namespace tzgeo::core {
 
@@ -69,6 +70,69 @@ void IncrementalGeolocator::refresh(std::uint64_t user, UserState& state) {
   state.flat = options_.apply_flat_filter && to_uniform < state.placement.distance;
   state.dirty = false;
   obs::MetricsRegistry::global().add(obs::PipelineMetrics::get().incremental_refreshes);
+}
+
+std::string IncrementalGeolocator::checkpoint_payload() {
+  util::ByteWriter writer;
+  writer.u32(kCheckpointVersion);
+  writer.u64(ids_.size());
+  const auto& keys = ids_.keys();
+  for (std::uint32_t handle = 0; handle < keys.size(); ++handle) {
+    UserState& state = states_[handle];
+    if (state.sorted != state.cells.size()) compact(state);
+    writer.u64(keys[handle]);
+    writer.u64(state.posts);
+    writer.u64(state.cells.size());
+    for (const std::int64_t cell : state.cells) writer.i64(cell);
+  }
+  writer.u64(posts_);
+  return writer.take();
+}
+
+void IncrementalGeolocator::restore_checkpoint(std::string_view payload) {
+  if (ids_.size() != 0 || posts_ != 0) {
+    throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                "restore_checkpoint on a non-empty geolocator");
+  }
+  util::ByteReader reader{payload};
+  const std::uint32_t version = reader.u32();
+  if (version != kCheckpointVersion) {
+    throw util::CheckpointError(util::CheckpointErrorCode::kBadVersion,
+                                "geolocator payload version " + std::to_string(version));
+  }
+  const std::uint64_t user_count = reader.u64();
+  states_.reserve(static_cast<std::size_t>(user_count));
+  for (std::uint64_t i = 0; i < user_count; ++i) {
+    const std::uint64_t key = reader.u64();
+    if (ids_.intern(key) != i) {
+      throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                  "duplicate user id in geolocator payload");
+    }
+    states_.emplace_back();
+    UserState& state = states_.back();
+    state.posts = static_cast<std::size_t>(reader.u64());
+    const std::uint64_t cell_count = reader.u64();
+    if (cell_count > state.posts) {
+      throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                  "more distinct cells than posts in geolocator payload");
+    }
+    state.cells.reserve(static_cast<std::size_t>(cell_count));
+    for (std::uint64_t c = 0; c < cell_count; ++c) {
+      const std::int64_t cell = reader.i64();
+      if (!state.cells.empty() && cell <= state.cells.back()) {
+        throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                    "geolocator cells not sorted-unique");
+      }
+      state.cells.push_back(cell);
+    }
+    state.sorted = state.cells.size();  // canonical payloads are compacted
+    state.dirty = true;                 // placements recomputed on demand
+  }
+  posts_ = static_cast<std::size_t>(reader.u64());
+  if (!reader.done()) {
+    throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                "trailing bytes after geolocator payload");
+  }
 }
 
 IncrementalGeolocator::Snapshot IncrementalGeolocator::estimate() {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -53,6 +54,23 @@ class IncrementalGeolocator {
 
   [[nodiscard]] std::size_t user_count() const noexcept { return ids_.size(); }
   [[nodiscard]] std::size_t post_count() const noexcept { return posts_; }
+
+  /// Payload format generation for checkpoint_payload().
+  static constexpr std::uint32_t kCheckpointVersion = 1;
+
+  /// Serializes all per-user cell state (id, post count, distinct cells)
+  /// into a canonical byte string for embedding in a checkpoint — e.g. as
+  /// MonitorOptions::checkpoint_extra, so monitor and geolocator state
+  /// commit atomically.  Compacts every user first, so serialize/restore/
+  /// serialize is byte-stable.  Placements are not stored; they are
+  /// recomputed (deterministically) by the next estimate().
+  [[nodiscard]] std::string checkpoint_payload();
+
+  /// Rebuilds state from a checkpoint_payload().  Only valid on an
+  /// instance that has not observed anything yet; throws
+  /// util::CheckpointError (kBadVersion/kTruncated/kMalformed) when the
+  /// payload is from a different generation or corrupt.
+  void restore_checkpoint(std::string_view payload);
 
  private:
   /// Per-user state, indexed by dense handle.  `cells` is an append-only

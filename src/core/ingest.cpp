@@ -77,7 +77,7 @@ void parse_chunk(std::string_view chunk, std::size_t arity, ChunkOutcome& out) n
     }
     out.fixups = scanner.fixups_applied();
     flush_rows(out);
-  } catch (...) {
+  } catch (...) {  // tzgeo-lint: allow(catch-style): exception_ptr capture for cross-thread rethrow
     out.error = std::current_exception();
   }
 }

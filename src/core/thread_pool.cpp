@@ -37,9 +37,11 @@ void ThreadPool::drain(Job& job) {
     const std::size_t end = std::min(begin + job.chunk, job.n);
     try {
       (*job.fn)(begin, end);
-    } catch (...) {
+    } catch (...) {  // tzgeo-lint: allow(catch-style): exception_ptr capture for cross-thread rethrow
+      // Stored on the job, not the pool: concurrent submitters each get
+      // the first failure of their own job, never a neighbour's.
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (!error_) error_ = std::current_exception();
+      if (!job.error) job.error = std::current_exception();
     }
     if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
       // Lock pairs with the waiter's predicate check so the final
@@ -95,9 +97,8 @@ void ThreadPool::for_chunks(std::size_t n, std::size_t max_chunks,
     return job->completed.load(std::memory_order_acquire) == job->chunks;
   });
   if (job_ == job) job_ = nullptr;
-  if (error_) {
-    const std::exception_ptr error = error_;
-    error_ = nullptr;
+  if (job->error) {
+    const std::exception_ptr error = job->error;
     lock.unlock();
     std::rethrow_exception(error);
   }

@@ -68,6 +68,7 @@ class ThreadPool {
     std::uint64_t trace_parent = 0; ///< submitter's current span (0 = none)
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
+    std::exception_ptr error;       ///< first failure; guarded by the pool mutex
   };
 
   void worker_loop();
@@ -80,7 +81,6 @@ class ThreadPool {
   std::condition_variable done_;
   std::shared_ptr<Job> job_;      ///< guarded by mutex_
   std::uint64_t generation_ = 0;  ///< guarded by mutex_
-  std::exception_ptr error_;      ///< guarded by mutex_
   bool stop_ = false;             ///< guarded by mutex_
 };
 

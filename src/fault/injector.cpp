@@ -1,0 +1,105 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/pipeline_metrics.hpp"
+
+namespace tzgeo::fault {
+
+namespace {
+
+/// Scrambles every digit between `time="` attribute quotes; the defensive
+/// page parser then rejects the post (or resolves a wrong instant), which
+/// is exactly what a hostile or broken forum can do to the methodology.
+void corrupt_time_attributes(std::string& body, util::Rng& rng) {
+  constexpr std::string_view kNeedle = "time=\"";
+  std::size_t pos = 0;
+  while ((pos = body.find(kNeedle, pos)) != std::string::npos) {
+    std::size_t cursor = pos + kNeedle.size();
+    while (cursor < body.size() && body[cursor] != '"') {
+      if (body[cursor] >= '0' && body[cursor] <= '9') {
+        body[cursor] = static_cast<char>('0' + rng.uniform_int(0, 9));
+      }
+      ++cursor;
+    }
+    pos = cursor;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::begin_epoch(std::uint64_t epoch) {
+  // Pure function of (plan seed, epoch): a resumed run that replays the
+  // same epoch rejoins the same decision stream mid-campaign.
+  util::Rng parent{plan_.seed};
+  rng_ = parent.split(epoch);
+}
+
+const FaultWindow* FaultInjector::active(FaultKind kind,
+                                         std::int64_t now_seconds) const noexcept {
+  for (const FaultWindow& window : plan_.windows) {
+    if (window.kind == kind && window.contains(now_seconds)) return &window;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::fires(const FaultWindow& window) {
+  if (!rng_.bernoulli(window.intensity)) return false;
+  ++stats_.injected[static_cast<std::size_t>(window.kind)];
+  obs::MetricsRegistry::global().add(obs::PipelineMetrics::get().fault_injections);
+  return true;
+}
+
+FaultInjector::PreRequest FaultInjector::before_request(std::int64_t now_seconds) {
+  PreRequest verdict;
+  if (const FaultWindow* window = active(FaultKind::kOutage, now_seconds)) {
+    if (fires(*window)) verdict.drop_connection = true;
+  }
+  if (!verdict.drop_connection) {
+    if (const FaultWindow* window = active(FaultKind::kCircuitDropBurst, now_seconds)) {
+      if (fires(*window)) verdict.drop_connection = true;
+    }
+  }
+  if (!verdict.drop_connection) {
+    if (const FaultWindow* window = active(FaultKind::kRateLimitStorm, now_seconds)) {
+      if (fires(*window)) verdict.force_rate_limit = true;
+    }
+  }
+  if (const FaultWindow* window = active(FaultKind::kLatencySpike, now_seconds)) {
+    if (fires(*window)) verdict.extra_latency_ms = std::max(0.0, window->magnitude);
+  }
+  return verdict;
+}
+
+void FaultInjector::mutate_body(std::int64_t now_seconds, std::string& body) {
+  if (body.empty()) return;
+  if (const FaultWindow* window = active(FaultKind::kBodyTruncation, now_seconds)) {
+    if (fires(*window)) {
+      // Cut somewhere in the first three quarters so the page structure
+      // (not just a trailing post) is usually destroyed.
+      const auto cut = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(body.size() * 3 / 4)));
+      body.resize(cut);
+    }
+  }
+  if (body.empty()) return;
+  if (const FaultWindow* window = active(FaultKind::kBodyGarble, now_seconds)) {
+    if (fires(*window)) {
+      const std::size_t flips = std::max<std::size_t>(1, body.size() / 64);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const auto at = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(body.size()) - 1));
+        body[at] = static_cast<char>(rng_.uniform_int(0, 255));
+      }
+    }
+  }
+  if (const FaultWindow* window = active(FaultKind::kTimestampCorruption, now_seconds)) {
+    if (fires(*window)) corrupt_time_attributes(body, rng_);
+  }
+}
+
+}  // namespace tzgeo::fault

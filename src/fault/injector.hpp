@@ -1,0 +1,72 @@
+// Seed-driven fault injector, consulted by tor::OnionTransport.
+//
+// The transport asks `before_request()` once per round trip (may fail the
+// trip, force a 429, or add latency) and `mutate_body()` once per
+// successful response (may truncate, garble, or corrupt timestamps).
+// Every stochastic decision draws from a util::Rng reseeded per epoch by
+// `begin_epoch()` — the monitor starts one epoch per poll sweep — so a
+// chaos run replays bit-identically from (plan seed, epoch sequence), and
+// a crash/resume rejoins the exact same fault trajectory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace tzgeo::fault {
+
+/// Injection counters by kind, exposed for tests and reports.
+struct FaultStats {
+  std::uint64_t injected[kFaultKindCount] = {};
+
+  [[nodiscard]] std::uint64_t of(FaultKind kind) const noexcept {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t count : injected) sum += count;
+    return sum;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Reseeds the decision stream as a pure function of (plan seed, epoch).
+  /// The transport forwards its own epoch boundaries here.
+  void begin_epoch(std::uint64_t epoch);
+
+  /// Verdict for one round trip, decided before the request is delivered.
+  struct PreRequest {
+    bool drop_connection = false;   ///< fail the trip (outage / drop burst)
+    bool force_rate_limit = false;  ///< deliver a 429 instead of the response
+    double extra_latency_ms = 0.0;  ///< latency spike to add to the trip
+  };
+
+  [[nodiscard]] PreRequest before_request(std::int64_t now_seconds);
+
+  /// Applies body-level faults (truncation, garbling, timestamp
+  /// corruption) to a response body in place.
+  void mutate_body(std::int64_t now_seconds, std::string& body);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Active window of `kind` at `now`, or nullptr.  First match wins, so
+  /// scripted plans can rely on window order.
+  [[nodiscard]] const FaultWindow* active(FaultKind kind,
+                                          std::int64_t now_seconds) const noexcept;
+
+  /// True when `window`'s intensity fires for this event; counts it.
+  [[nodiscard]] bool fires(const FaultWindow& window);
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace tzgeo::fault

@@ -1,0 +1,115 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::fault {
+
+namespace {
+
+[[nodiscard]] FaultWindow make_window(FaultKind kind, std::int64_t start, std::int64_t end,
+                                      double intensity, double magnitude = 0.0) {
+  FaultWindow window;
+  window.kind = kind;
+  window.start_seconds = start;
+  window.end_seconds = end;
+  window.intensity = std::clamp(intensity, 0.0, 1.0);
+  window.magnitude = magnitude;
+  return window;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kRateLimitStorm: return "rate-limit-storm";
+    case FaultKind::kCircuitDropBurst: return "circuit-drop-burst";
+    case FaultKind::kBodyTruncation: return "body-truncation";
+    case FaultKind::kBodyGarble: return "body-garble";
+    case FaultKind::kTimestampCorruption: return "timestamp-corruption";
+    case FaultKind::kLatencySpike: return "latency-spike";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::outage(std::int64_t start, std::int64_t end) {
+  windows.push_back(make_window(FaultKind::kOutage, start, end, 1.0));
+  return *this;
+}
+
+FaultPlan& FaultPlan::rate_limit_storm(std::int64_t start, std::int64_t end, double intensity) {
+  windows.push_back(make_window(FaultKind::kRateLimitStorm, start, end, intensity));
+  return *this;
+}
+
+FaultPlan& FaultPlan::circuit_drops(std::int64_t start, std::int64_t end, double intensity) {
+  windows.push_back(make_window(FaultKind::kCircuitDropBurst, start, end, intensity));
+  return *this;
+}
+
+FaultPlan& FaultPlan::truncated_bodies(std::int64_t start, std::int64_t end, double intensity) {
+  windows.push_back(make_window(FaultKind::kBodyTruncation, start, end, intensity));
+  return *this;
+}
+
+FaultPlan& FaultPlan::garbled_bodies(std::int64_t start, std::int64_t end, double intensity) {
+  windows.push_back(make_window(FaultKind::kBodyGarble, start, end, intensity));
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupted_timestamps(std::int64_t start, std::int64_t end,
+                                           double intensity) {
+  windows.push_back(make_window(FaultKind::kTimestampCorruption, start, end, intensity));
+  return *this;
+}
+
+FaultPlan& FaultPlan::latency_spikes(std::int64_t start, std::int64_t end, double extra_ms,
+                                     double intensity) {
+  windows.push_back(make_window(FaultKind::kLatencySpike, start, end, intensity, extra_ms));
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::int64_t start_seconds,
+                            std::int64_t end_seconds, const ChaosProfile& profile) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (end_seconds <= start_seconds || profile.windows == 0) return plan;
+
+  // Draw from a dedicated child stream so the schedule is a pure function
+  // of the seed, independent of how the injector later consumes its own.
+  util::Rng parent{seed};
+  util::Rng rng = parent.split("fault-plan");
+  const std::int64_t span = end_seconds - start_seconds;
+  const std::int64_t min_len = std::max<std::int64_t>(1, profile.min_window_seconds);
+  const std::int64_t max_len =
+      std::max(min_len, std::min(profile.max_window_seconds, span));
+  for (std::size_t i = 0; i < profile.windows; ++i) {
+    const auto kind = static_cast<FaultKind>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kFaultKindCount) - 1));
+    const std::int64_t length = rng.uniform_int(min_len, max_len);
+    const std::int64_t latest_start = std::max<std::int64_t>(0, span - length);
+    const std::int64_t start = start_seconds + rng.uniform_int(0, latest_start);
+    const double intensity = rng.uniform(profile.min_intensity, profile.max_intensity);
+    const double magnitude = kind == FaultKind::kLatencySpike
+                                 ? rng.uniform(0.0, profile.max_latency_spike_ms)
+                                 : 0.0;
+    plan.windows.push_back(
+        make_window(kind, start, std::min(start + length, end_seconds), intensity, magnitude));
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out = "FaultPlan seed=" + std::to_string(seed) + "\n";
+  for (const FaultWindow& window : windows) {
+    out += "  " + std::string{to_string(window.kind)} + " [" +
+           std::to_string(window.start_seconds) + ", " + std::to_string(window.end_seconds) +
+           ") intensity=" + std::to_string(window.intensity) +
+           " magnitude=" + std::to_string(window.magnitude) + "\n";
+  }
+  return out;
+}
+
+}  // namespace tzgeo::fault

@@ -1,0 +1,89 @@
+// Deterministic fault schedules for chaos testing.
+//
+// Real dark-web measurement campaigns are dominated by failures the
+// methodology must survive: onion services go dark for days, rate-limit
+// storms throttle every request, circuits drop in bursts, pages arrive
+// truncated or garbled, and displayed timestamps get corrupted.  A
+// FaultPlan scripts those failures onto the simulated timeline as timed
+// windows, either hand-written (scripted chaos) or generated from a seed
+// (randomized chaos) — and because every stochastic decision downstream
+// flows through a seeded util::Rng, any schedule replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tzgeo::fault {
+
+/// What kind of failure a window injects.
+enum class FaultKind : std::uint8_t {
+  kOutage,               ///< every round trip to the service fails
+  kRateLimitStorm,       ///< responses replaced by 429s
+  kCircuitDropBurst,     ///< elevated mid-request circuit drops
+  kBodyTruncation,       ///< response bodies cut short
+  kBodyGarble,           ///< random bytes flipped in response bodies
+  kTimestampCorruption,  ///< displayed time attributes scrambled
+  kLatencySpike,         ///< slow responses (extra round-trip latency)
+};
+
+inline constexpr std::size_t kFaultKindCount = 7;
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// One timed fault window on the simulated clock: active on [start, end).
+struct FaultWindow {
+  FaultKind kind = FaultKind::kOutage;
+  std::int64_t start_seconds = 0;
+  std::int64_t end_seconds = 0;
+  /// Per-request trigger probability in [0, 1] for the stochastic kinds
+  /// (drops, truncation, garbling, timestamp corruption, latency spikes);
+  /// outages and storms usually run at 1.0.
+  double intensity = 1.0;
+  /// Kind-specific magnitude: extra latency in milliseconds for
+  /// kLatencySpike; unused by the other kinds.
+  double magnitude = 0.0;
+
+  [[nodiscard]] bool contains(std::int64_t now_seconds) const noexcept {
+    return now_seconds >= start_seconds && now_seconds < end_seconds;
+  }
+};
+
+/// Tuning for FaultPlan::random().
+struct ChaosProfile {
+  std::size_t windows = 6;                      ///< windows to generate
+  std::int64_t min_window_seconds = 1800;       ///< shortest window
+  std::int64_t max_window_seconds = 6 * 3600;   ///< longest window
+  double min_intensity = 0.25;                  ///< stochastic kinds draw in
+  double max_intensity = 1.0;                   ///< [min, max]
+  double max_latency_spike_ms = 4000.0;         ///< kLatencySpike magnitude cap
+};
+
+/// A complete fault schedule: a seed (driving every downstream random
+/// decision) plus the timed windows.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultWindow> windows;
+
+  // Fluent scripted construction.
+  FaultPlan& outage(std::int64_t start, std::int64_t end);
+  FaultPlan& rate_limit_storm(std::int64_t start, std::int64_t end, double intensity = 1.0);
+  FaultPlan& circuit_drops(std::int64_t start, std::int64_t end, double intensity = 0.5);
+  FaultPlan& truncated_bodies(std::int64_t start, std::int64_t end, double intensity = 1.0);
+  FaultPlan& garbled_bodies(std::int64_t start, std::int64_t end, double intensity = 1.0);
+  FaultPlan& corrupted_timestamps(std::int64_t start, std::int64_t end, double intensity = 1.0);
+  FaultPlan& latency_spikes(std::int64_t start, std::int64_t end, double extra_ms,
+                            double intensity = 1.0);
+
+  /// Generates a randomized schedule of `profile.windows` windows with
+  /// kinds, placements, lengths, and intensities all drawn from `seed`.
+  /// The same (seed, span, profile) triple always yields the same plan.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, std::int64_t start_seconds,
+                                        std::int64_t end_seconds,
+                                        const ChaosProfile& profile = {});
+
+  /// One line per window, for logs and failure messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace tzgeo::fault

@@ -1,7 +1,6 @@
 #include "forum/crawler.hpp"
 
-#include <stdexcept>
-
+#include "forum/error.hpp"
 #include "forum/parser.hpp"
 #include "obs/pipeline_metrics.hpp"
 #include "obs/trace.hpp"
@@ -37,20 +36,22 @@ ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
   std::vector<ThreadRef> threads;
   std::size_t index_pages = 1;
   for (std::size_t page = 1; page <= index_pages; ++page) {
+    const std::string path = "/index?page=" + std::to_string(page) + auth_suffix(options);
     if (dump.pages_fetched >= options.max_pages) {
-      throw std::runtime_error("crawl_forum: page cap reached while reading the index");
+      throw CrawlError(CrawlErrorCategory::kPageCap, onion, path,
+                       "page cap reached while reading the index");
     }
-    const tor::Response response = transport.fetch(
-        onion,
-        tor::Request{"GET", "/index?page=" + std::to_string(page) + auth_suffix(options), ""});
+    const tor::Response response = transport.fetch(onion, tor::Request{"GET", path, ""});
     ++dump.pages_fetched;
     registry.add(metrics.forum_pages_fetched);
     if (response.status != 200) {
-      throw std::runtime_error("crawl_forum: index fetch failed with status " +
-                               std::to_string(response.status));
+      throw CrawlError(CrawlErrorCategory::kFetchFailed, onion, path,
+                       "index fetch failed with status " + std::to_string(response.status));
     }
     const auto parsed = parse_index_page(response.body);
-    if (!parsed) throw std::runtime_error("crawl_forum: unparsable index page");
+    if (!parsed) {
+      throw CrawlError(CrawlErrorCategory::kUnparsable, onion, path, "unparsable index page");
+    }
     index_pages = parsed->pages;
     threads.insert(threads.end(), parsed->threads.begin(), parsed->threads.end());
     if (dump.forum_name.empty()) dump.forum_name = forum_name_of(response.body);
@@ -60,21 +61,25 @@ ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
   for (const auto& thread : threads) {
     std::size_t thread_pages = thread.pages;
     for (std::size_t page = 1; page <= thread_pages; ++page) {
-      if (dump.pages_fetched >= options.max_pages) {
-        throw std::runtime_error("crawl_forum: page cap reached while reading threads");
-      }
       const std::string path = "/thread/" + std::to_string(thread.id) +
                                "?page=" + std::to_string(page) + auth_suffix(options);
+      if (dump.pages_fetched >= options.max_pages) {
+        throw CrawlError(CrawlErrorCategory::kPageCap, onion, path,
+                         "page cap reached while reading threads");
+      }
       const tor::Response response = transport.fetch(onion, tor::Request{"GET", path, ""});
       ++dump.pages_fetched;
       registry.add(metrics.forum_pages_fetched);
       if (response.status != 200) {
-        throw std::runtime_error("crawl_forum: thread fetch failed with status " +
-                                 std::to_string(response.status));
+        throw CrawlError(CrawlErrorCategory::kFetchFailed, onion, path,
+                         "thread fetch failed with status " + std::to_string(response.status));
       }
       const auto parsed = parse_thread_page(
           response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
-      if (!parsed) throw std::runtime_error("crawl_forum: unparsable thread page");
+      if (!parsed) {
+        throw CrawlError(CrawlErrorCategory::kUnparsable, onion, path,
+                         "unparsable thread page");
+      }
       thread_pages = parsed->pages;  // the thread may have grown mid-crawl
       dump.malformed_posts += parsed->malformed_posts;
       registry.add(metrics.forum_parse_failures, parsed->malformed_posts);

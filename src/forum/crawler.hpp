@@ -41,6 +41,10 @@ struct ScrapeDump {
   /// stamping error for the affected posts grows by one interval).
   std::size_t polls = 0;
   std::size_t polls_failed = 0;
+  /// Sweeps committed with at least one thread skipped (degradation
+  /// ladder), and thread skips taken while a thread sat in quarantine.
+  std::size_t polls_partial = 0;
+  std::size_t threads_quarantined = 0;
 };
 
 /// Crawl tuning.
@@ -53,7 +57,8 @@ struct CrawlOptions {
 
 /// Crawls the full forum: every index page, every thread, every page.
 /// Throws tor::TransportError on unrecoverable network failure and
-/// std::runtime_error when the site structure cannot be parsed.
+/// CrawlError (kFetchFailed / kUnparsable / kPageCap) when a page cannot
+/// be retrieved or understood.
 [[nodiscard]] ScrapeDump crawl_forum(tor::OnionTransport& transport, const std::string& onion,
                                      const CrawlOptions& options = {});
 

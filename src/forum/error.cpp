@@ -1,0 +1,42 @@
+#include "forum/error.hpp"
+
+#include <utility>
+
+namespace tzgeo::forum {
+
+namespace {
+
+[[nodiscard]] std::string compose(CrawlErrorCategory category, const std::string& onion,
+                                  const std::string& path, const std::string& detail) {
+  std::string message = "crawl error [";
+  message += to_string(category);
+  message += "]";
+  if (!onion.empty()) {
+    message += " at " + onion;
+    message += path;
+  }
+  if (!detail.empty()) message += ": " + detail;
+  return message;
+}
+
+}  // namespace
+
+const char* to_string(CrawlErrorCategory category) noexcept {
+  switch (category) {
+    case CrawlErrorCategory::kFetchFailed: return "fetch-failed";
+    case CrawlErrorCategory::kUnparsable: return "unparsable";
+    case CrawlErrorCategory::kPageCap: return "page-cap";
+    case CrawlErrorCategory::kBudgetExhausted: return "budget-exhausted";
+    case CrawlErrorCategory::kHalted: return "halted";
+  }
+  return "unknown";
+}
+
+CrawlError::CrawlError(CrawlErrorCategory category, std::string onion, std::string path,
+                       const std::string& detail)
+    : std::runtime_error(compose(category, onion, path, detail)),
+      category_(category),
+      onion_(std::move(onion)),
+      path_(std::move(path)) {}
+
+}  // namespace tzgeo::forum

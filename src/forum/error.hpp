@@ -1,0 +1,47 @@
+// Typed crawl/monitor failures.
+//
+// The crawler and the monitor used to throw stringly-typed
+// std::runtime_error, forcing callers (and the monitor's own degradation
+// ladder) to dispatch on message text.  CrawlError carries the failure
+// category and the onion/path it happened on, so recovery policy can
+// branch on cause: a fetch failure quarantines one thread, a page-cap
+// breach aborts the sweep, an exhausted error budget aborts the campaign.
+// It derives from std::runtime_error, so existing catch sites keep
+// working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tzgeo::forum {
+
+/// Why a crawl or monitor step failed.
+enum class CrawlErrorCategory : std::uint8_t {
+  kFetchFailed,      ///< transport gave up or the service answered non-200
+  kUnparsable,       ///< page structure missing / destroyed
+  kPageCap,          ///< safety cap on page fetches exceeded
+  kBudgetExhausted,  ///< too many consecutive failed polls (monitor)
+  kHalted,           ///< MonitorOptions::halt_after_polls crash hook fired
+};
+
+[[nodiscard]] const char* to_string(CrawlErrorCategory category) noexcept;
+
+class CrawlError : public std::runtime_error {
+ public:
+  CrawlError(CrawlErrorCategory category, std::string onion, std::string path,
+             const std::string& detail);
+
+  [[nodiscard]] CrawlErrorCategory category() const noexcept { return category_; }
+  /// The onion address the failure happened against (may be empty).
+  [[nodiscard]] const std::string& onion() const noexcept { return onion_; }
+  /// The request path involved, when the failure is page-scoped.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  CrawlErrorCategory category_;
+  std::string onion_;
+  std::string path_;
+};
+
+}  // namespace tzgeo::forum

@@ -1,116 +1,331 @@
 #include "forum/monitor.hpp"
 
+#include <filesystem>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "forum/error.hpp"
 #include "forum/parser.hpp"
 #include "obs/pipeline_metrics.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
+#include "util/checkpoint.hpp"
 
 namespace tzgeo::forum {
 
 namespace {
 
-/// One polling sweep: collects the posts not yet in `seen`.
-/// Pages are read from the tail of each thread backwards, stopping at the
-/// first fully-seen page, so steady-state sweeps stay cheap.
-///
-/// All effects are staged: `fresh` (ids first seen this sweep), `staged`
-/// (records to append) and `malformed` are only merged into `seen`/`dump`
-/// by the caller when the sweep completes — a sweep aborted halfway must
-/// not mark posts as seen, or they would never be recorded.
-void sweep(tor::OnionTransport& transport, const std::string& onion,
-           const std::set<std::uint64_t>& seen, std::set<std::uint64_t>& fresh,
-           bool record, ScrapeDump& dump, std::vector<ScrapeRecord>& staged,
-           std::size_t& malformed, std::size_t max_pages) {
-  std::size_t pages_this_poll = 0;
-  const auto fetch_page = [&](const std::string& path) {
-    if (++pages_this_poll > max_pages) {
-      throw std::runtime_error("monitor_forum: per-poll page cap exceeded");
-    }
-    ++dump.pages_fetched;
-    obs::MetricsRegistry::global().add(obs::PipelineMetrics::get().forum_pages_fetched);
-    return transport.fetch(onion, tor::Request{"GET", path, ""});
-  };
+/// Monitor checkpoint payload format generation (util::Checkpoint framing
+/// carries its own version on top; bump this when the payload layout
+/// changes).
+constexpr std::uint32_t kMonitorCheckpointVersion = 1;
 
-  // Index sweep.
-  std::vector<ThreadRef> threads;
-  std::size_t index_pages = 1;
-  for (std::size_t page = 1; page <= index_pages; ++page) {
-    const tor::Response response = fetch_page("/index?page=" + std::to_string(page));
-    if (response.status != 200) {
-      throw std::runtime_error("monitor_forum: index fetch failed");
-    }
-    const auto parsed = parse_index_page(response.body);
-    if (!parsed) throw std::runtime_error("monitor_forum: unparsable index");
-    index_pages = parsed->pages;
-    threads.insert(threads.end(), parsed->threads.begin(), parsed->threads.end());
+/// Everything a campaign needs to continue after a crash.
+struct MonitorState {
+  std::int64_t t0 = 0;        ///< campaign start (schedule origin)
+  std::int64_t end_time = 0;  ///< t0 + duration
+  std::int64_t next_poll = 0; ///< index of the next scheduled poll
+  bool baseline_done = false;
+  std::size_t consecutive_failed = 0;
+  std::set<std::uint64_t> seen;
+  /// thread id -> consecutive failed walks (degradation ladder).
+  std::map<std::uint64_t, std::uint32_t> quarantine;
+  ScrapeDump dump;
+};
+
+enum class SweepResult {
+  kFull,     ///< every thread walked and committed
+  kPartial,  ///< some threads skipped/failed; the rest committed
+  kFailed,   ///< index unreachable or page cap: nothing new committed
+};
+
+[[nodiscard]] std::string encode_checkpoint(const MonitorState& state,
+                                            std::int64_t clock_millis,
+                                            const std::string& extra) {
+  util::ByteWriter writer;
+  writer.str(state.dump.onion);
+  writer.str(state.dump.forum_name);
+  writer.i64(state.t0);
+  writer.i64(state.end_time);
+  writer.i64(state.next_poll);
+  writer.i64(clock_millis);
+  writer.u8(state.baseline_done ? 1 : 0);
+  writer.u64(state.consecutive_failed);
+  writer.u64(state.seen.size());
+  for (const std::uint64_t id : state.seen) writer.u64(id);
+  writer.u64(state.quarantine.size());
+  for (const auto& [thread_id, strikes] : state.quarantine) {
+    writer.u64(thread_id);
+    writer.u32(strikes);
   }
-
-  for (const auto& thread : threads) {
-    // Newest posts are on the last page; walk backwards until a page with
-    // no unseen posts (or page 1).
-    for (std::size_t page = thread.pages; page >= 1; --page) {
-      const std::string path =
-          "/thread/" + std::to_string(thread.id) + "?page=" + std::to_string(page);
-      const tor::Response response = fetch_page(path);
-      if (response.status != 200) {
-        throw std::runtime_error("monitor_forum: thread fetch failed");
-      }
-      const auto parsed = parse_thread_page(
-        response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
-      if (!parsed) throw std::runtime_error("monitor_forum: unparsable thread page");
-      malformed += record ? parsed->malformed_posts : 0;
-
-      bool any_new = false;
-      for (const auto& post : parsed->posts) {
-        if (seen.count(post.id) != 0 || !fresh.insert(post.id).second) continue;
-        any_new = true;
-        if (!record) continue;
-        ScrapeRecord entry;
-        entry.post_id = post.id;
-        entry.thread_id = parsed->thread_id;
-        entry.author = post.author;
-        entry.display_time = post.display_time;  // typically absent (kHidden)
-        entry.observed_utc = transport.clock().now_seconds();
-        staged.push_back(std::move(entry));
-      }
-      if (!any_new || page == 1) break;
+  writer.u64(state.dump.pages_fetched);
+  writer.u64(state.dump.malformed_posts);
+  writer.u64(state.dump.polls);
+  writer.u64(state.dump.polls_failed);
+  writer.u64(state.dump.polls_partial);
+  writer.u64(state.dump.threads_quarantined);
+  writer.u64(state.dump.records.size());
+  for (const ScrapeRecord& record : state.dump.records) {
+    writer.u64(record.post_id);
+    writer.u64(record.thread_id);
+    writer.str(record.author);
+    writer.u8(record.display_time.has_value() ? 1 : 0);
+    if (record.display_time.has_value()) {
+      const tz::CivilDateTime& when = *record.display_time;
+      writer.i64(when.date.year);
+      writer.i64(when.date.month);
+      writer.i64(when.date.day);
+      writer.i64(when.hour);
+      writer.i64(when.minute);
+      writer.i64(when.second);
     }
+    writer.i64(record.observed_utc);
+  }
+  writer.str(extra);
+  return writer.take();
+}
+
+/// Decodes a checkpoint payload into (state, clock_millis, extra).
+/// Throws util::CheckpointError{kMalformed/kTruncated} on anything off.
+void decode_checkpoint(std::string_view payload, const std::string& onion,
+                       MonitorState& state, std::int64_t& clock_millis, std::string& extra) {
+  util::ByteReader reader{payload};
+  state.dump.onion = reader.str();
+  state.dump.forum_name = reader.str();
+  state.t0 = reader.i64();
+  state.end_time = reader.i64();
+  state.next_poll = reader.i64();
+  clock_millis = reader.i64();
+  state.baseline_done = reader.u8() != 0;
+  state.consecutive_failed = static_cast<std::size_t>(reader.u64());
+  const std::uint64_t seen_count = reader.u64();
+  for (std::uint64_t i = 0; i < seen_count; ++i) state.seen.insert(reader.u64());
+  const std::uint64_t quarantine_count = reader.u64();
+  for (std::uint64_t i = 0; i < quarantine_count; ++i) {
+    const std::uint64_t thread_id = reader.u64();
+    state.quarantine[thread_id] = reader.u32();
+  }
+  state.dump.pages_fetched = static_cast<std::size_t>(reader.u64());
+  state.dump.malformed_posts = static_cast<std::size_t>(reader.u64());
+  state.dump.polls = static_cast<std::size_t>(reader.u64());
+  state.dump.polls_failed = static_cast<std::size_t>(reader.u64());
+  state.dump.polls_partial = static_cast<std::size_t>(reader.u64());
+  state.dump.threads_quarantined = static_cast<std::size_t>(reader.u64());
+  const std::uint64_t record_count = reader.u64();
+  state.dump.records.reserve(static_cast<std::size_t>(record_count));
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    ScrapeRecord record;
+    record.post_id = reader.u64();
+    record.thread_id = reader.u64();
+    record.author = reader.str();
+    if (reader.u8() != 0) {
+      tz::CivilDateTime when;
+      when.date.year = static_cast<std::int32_t>(reader.i64());
+      when.date.month = static_cast<std::int32_t>(reader.i64());
+      when.date.day = static_cast<std::int32_t>(reader.i64());
+      when.hour = static_cast<std::int32_t>(reader.i64());
+      when.minute = static_cast<std::int32_t>(reader.i64());
+      when.second = static_cast<std::int32_t>(reader.i64());
+      record.display_time = when;
+    }
+    record.observed_utc = reader.i64();
+    state.dump.records.push_back(std::move(record));
+  }
+  extra = reader.str();
+  if (!reader.done()) {
+    throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                "trailing bytes after monitor checkpoint payload");
+  }
+  if (state.dump.onion != onion) {
+    throw util::CheckpointError(
+        util::CheckpointErrorCode::kMalformed,
+        "checkpoint is for " + state.dump.onion + ", not " + onion);
+  }
+  if (state.end_time < state.t0 || state.next_poll < 1 ||
+      state.dump.polls < state.dump.polls_failed) {
+    throw util::CheckpointError(util::CheckpointErrorCode::kMalformed,
+                                "monitor checkpoint decoded to impossible state");
   }
 }
 
-/// Runs one sweep with staged effects, committing them only on success.
-/// Returns false (and leaves `seen`/`dump` untouched, beyond the page
-/// counter) when the sweep aborted on a fetch/parse failure.
-bool try_sweep(tor::OnionTransport& transport, const std::string& onion,
-               std::set<std::uint64_t>& seen, bool record, ScrapeDump& dump,
-               std::size_t max_pages) {
+void write_monitor_checkpoint(const MonitorOptions& options, const MonitorState& state,
+                              std::int64_t clock_millis) {
+  const obs::Stopwatch watch;
+  const std::string extra =
+      options.checkpoint_extra ? options.checkpoint_extra() : std::string{};
+  util::write_checkpoint_file(options.checkpoint_path,
+                              encode_checkpoint(state, clock_millis, extra),
+                              kMonitorCheckpointVersion);
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.add(metrics.forum_checkpoint_writes);
+  registry.observe(metrics.forum_checkpoint_write_us, watch.elapsed_us());
+}
+
+/// Walks one thread tail-first, staging everything; throws CrawlError /
+/// tor::TransportError on any page it cannot fetch or parse.
+void walk_thread(tor::OnionTransport& transport, const std::string& onion,
+                 const ThreadRef& thread, const std::set<std::uint64_t>& seen, bool record,
+                 const std::function<tor::Response(const std::string&)>& fetch_page,
+                 std::set<std::uint64_t>& fresh, std::vector<ScrapeRecord>& staged,
+                 std::size_t& malformed) {
+  // Newest posts are on the last page; walk backwards until a page with
+  // no unseen posts (or page 1).
+  for (std::size_t page = thread.pages; page >= 1; --page) {
+    const std::string path =
+        "/thread/" + std::to_string(thread.id) + "?page=" + std::to_string(page);
+    const tor::Response response = fetch_page(path);
+    const auto parsed = parse_thread_page(
+        response.body, tz::from_utc_seconds(transport.clock().now_seconds()).date);
+    if (!parsed) {
+      throw CrawlError(CrawlErrorCategory::kUnparsable, onion, path, "unparsable thread page");
+    }
+    malformed += record ? parsed->malformed_posts : 0;
+
+    bool any_new = false;
+    for (const auto& post : parsed->posts) {
+      if (seen.count(post.id) != 0 || !fresh.insert(post.id).second) continue;
+      any_new = true;
+      if (!record) continue;
+      ScrapeRecord entry;
+      entry.post_id = post.id;
+      entry.thread_id = parsed->thread_id;
+      entry.author = post.author;
+      entry.display_time = post.display_time;  // typically absent (kHidden)
+      entry.observed_utc = transport.clock().now_seconds();
+      staged.push_back(std::move(entry));
+    }
+    if (!any_new || page == 1) break;
+  }
+}
+
+/// One polling sweep under the degradation ladder.  The index must be
+/// readable (otherwise the sweep fails outright: no thread list, nothing
+/// to commit).  Each thread is then walked independently: a thread that
+/// fails is skipped and its quarantine strike count grows, the rest of the
+/// sweep commits thread-by-thread, so an abort mid-thread can never mark a
+/// post seen without recording it.
+[[nodiscard]] SweepResult laddered_sweep(tor::OnionTransport& transport,
+                                         const std::string& onion, MonitorState& state,
+                                         bool record, const MonitorOptions& options,
+                                         std::vector<ScrapeRecord>& committed) {
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+
+  std::size_t pages_this_poll = 0;
+  const std::function<tor::Response(const std::string&)> fetch_page =
+      [&](const std::string& path) {
+        if (++pages_this_poll > options.max_pages_per_poll) {
+          throw CrawlError(CrawlErrorCategory::kPageCap, onion, path,
+                           "per-poll page cap exceeded");
+        }
+        ++state.dump.pages_fetched;
+        registry.add(metrics.forum_pages_fetched);
+        tor::Response response = transport.fetch(onion, tor::Request{"GET", path, ""});
+        if (response.status != 200) {
+          throw CrawlError(CrawlErrorCategory::kFetchFailed, onion, path,
+                           "status " + std::to_string(response.status));
+        }
+        return response;
+      };
+
+  // Rung 0: the index.  Without a thread list there is nothing to degrade
+  // to — any failure here fails the sweep.
+  std::vector<ThreadRef> threads;
+  try {
+    std::size_t index_pages = 1;
+    for (std::size_t page = 1; page <= index_pages; ++page) {
+      const std::string path = "/index?page=" + std::to_string(page);
+      const tor::Response response = fetch_page(path);
+      const auto parsed = parse_index_page(response.body);
+      if (!parsed) {
+        throw CrawlError(CrawlErrorCategory::kUnparsable, onion, path, "unparsable index");
+      }
+      index_pages = parsed->pages;
+      threads.insert(threads.end(), parsed->threads.begin(), parsed->threads.end());
+    }
+  } catch (const std::exception&) {
+    return SweepResult::kFailed;
+  }
+
+  // Rung 1: per-thread walks with quarantine.  A quarantined thread is
+  // only re-probed on cooldown polls; everything else proceeds.
+  const bool cooldown_poll =
+      options.thread_quarantine_cooldown_polls > 0 &&
+      static_cast<std::uint64_t>(state.next_poll) %
+              options.thread_quarantine_cooldown_polls == 0;
+  bool degraded = false;
+  for (const auto& thread : threads) {
+    const auto strikes = state.quarantine.find(thread.id);
+    const bool quarantined = options.thread_quarantine_after > 0 &&
+                             strikes != state.quarantine.end() &&
+                             strikes->second >= options.thread_quarantine_after;
+    if (quarantined && !cooldown_poll) {
+      ++state.dump.threads_quarantined;
+      registry.add(metrics.forum_threads_quarantined);
+      degraded = true;
+      continue;
+    }
+
+    std::set<std::uint64_t> fresh;
+    std::vector<ScrapeRecord> staged;
+    std::size_t malformed = 0;
+    try {
+      walk_thread(transport, onion, thread, state.seen, record, fetch_page, fresh, staged,
+                  malformed);
+    } catch (const CrawlError& error) {
+      if (error.category() == CrawlErrorCategory::kPageCap) {
+        // The page budget is sweep-wide: once spent, the remaining threads
+        // cannot be fetched either.  Threads already committed stand.
+        return SweepResult::kFailed;
+      }
+      ++state.quarantine[thread.id];
+      degraded = true;
+      continue;
+    } catch (const std::exception&) {  // tor::TransportError and parser faults
+      ++state.quarantine[thread.id];
+      degraded = true;
+      continue;
+    }
+
+    // Rung 2: commit this thread.  Per-thread granularity keeps the
+    // invariant that a post marked seen is always either backlog or
+    // recorded, no matter where the sweep stops.
+    state.seen.merge(fresh);
+    state.dump.malformed_posts += malformed;
+    registry.add(metrics.forum_parse_failures, malformed);
+    for (ScrapeRecord& entry : staged) {
+      committed.push_back(entry);
+      state.dump.records.push_back(std::move(entry));
+    }
+    state.quarantine.erase(thread.id);
+  }
+  return degraded ? SweepResult::kPartial : SweepResult::kFull;
+}
+
+/// Runs one sweep and does the poll-level accounting.
+[[nodiscard]] SweepResult try_sweep(tor::OnionTransport& transport, const std::string& onion,
+                                    MonitorState& state, bool record,
+                                    const MonitorOptions& options,
+                                    std::vector<ScrapeRecord>& committed) {
   const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   const obs::ScopedSpan poll_span("forum.poll");
   const obs::Stopwatch watch;
-  ++dump.polls;
+  ++state.dump.polls;
   registry.add(metrics.forum_polls);
 
-  std::set<std::uint64_t> fresh;
-  std::vector<ScrapeRecord> staged;
-  std::size_t malformed = 0;
-  try {
-    sweep(transport, onion, seen, fresh, record, dump, staged, malformed, max_pages);
-  } catch (const std::exception&) {
-    ++dump.polls_failed;
+  const SweepResult result = laddered_sweep(transport, onion, state, record, options, committed);
+  if (result == SweepResult::kFailed) {
+    ++state.dump.polls_failed;
     registry.add(metrics.forum_polls_failed);
-    registry.observe(metrics.forum_poll_us, watch.elapsed_us());
-    return false;
+  } else if (result == SweepResult::kPartial) {
+    ++state.dump.polls_partial;
+    registry.add(metrics.forum_polls_partial);
   }
-  seen.merge(fresh);
-  dump.malformed_posts += malformed;
-  registry.add(metrics.forum_parse_failures, malformed);
-  for (ScrapeRecord& entry : staged) dump.records.push_back(std::move(entry));
   registry.observe(metrics.forum_poll_us, watch.elapsed_us());
-  return true;
+  return result;
 }
 
 }  // namespace
@@ -120,27 +335,90 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
   if (options.poll_interval_seconds <= 0 || options.duration_seconds <= 0) {
     throw std::invalid_argument("monitor_forum: interval and duration must be positive");
   }
-  ScrapeDump dump;
-  dump.onion = onion;
+  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const std::size_t cadence = options.checkpoint_every_polls > 0
+                                  ? options.checkpoint_every_polls
+                                  : std::size_t{1};
 
-  std::set<std::uint64_t> seen;
-  // Baseline sweep: the backlog has no observable posting time.  A failed
-  // baseline is retried on the next interval (still unrecorded) — posts
-  // predating the first *successful* sweep must never be stamped.
-  bool baseline_done =
-      try_sweep(transport, onion, seen, /*record=*/false, dump, options.max_pages_per_poll);
-
-  const std::int64_t end_time = transport.clock().now_seconds() + options.duration_seconds;
-  while (transport.clock().now_seconds() < end_time) {
-    transport.clock().advance_seconds(options.poll_interval_seconds);
-    if (!baseline_done) {
-      baseline_done = try_sweep(transport, onion, seen, /*record=*/false, dump,
-                                options.max_pages_per_poll);
-      continue;
-    }
-    try_sweep(transport, onion, seen, /*record=*/true, dump, options.max_pages_per_poll);
+  MonitorState state;
+  bool resumed = false;
+  if (checkpointing && std::filesystem::exists(options.checkpoint_path)) {
+    const std::string payload =
+        util::read_checkpoint_file(options.checkpoint_path, kMonitorCheckpointVersion);
+    std::int64_t clock_millis = 0;
+    std::string extra;
+    decode_checkpoint(payload, onion, state, clock_millis, extra);
+    // Rejoin the campaign's timeline exactly; every later poll then
+    // replays bit-identically (schedule-pinned time + per-poll epochs).
+    transport.clock().set_millis(clock_millis);
+    if (options.restore_extra) options.restore_extra(extra);
+    registry.add(metrics.forum_checkpoint_resumes);
+    resumed = true;
   }
-  return dump;
+  if (!resumed) {
+    state.dump.onion = onion;
+    state.t0 = transport.clock().now_seconds();
+    state.end_time = state.t0 + options.duration_seconds;
+  }
+
+  std::size_t attempts_this_run = 0;
+  std::vector<ScrapeRecord> committed;
+  for (;;) {
+    if (state.next_poll > 0 && transport.clock().now_seconds() >= state.end_time) break;
+    // Poll n is pinned to its schedule slot: latency jitter from earlier
+    // sweeps is erased at every boundary (set_seconds never rewinds; a
+    // sweep that overruns its slot just starts late, deterministically).
+    const std::int64_t scheduled = state.t0 + state.next_poll * options.poll_interval_seconds;
+    transport.clock().set_seconds(scheduled);
+    transport.begin_epoch(static_cast<std::uint64_t>(scheduled));
+
+    committed.clear();
+    const SweepResult result =
+        try_sweep(transport, onion, state, state.baseline_done, options, committed);
+    bool budget_exhausted = false;
+    if (result == SweepResult::kFailed) {
+      ++state.consecutive_failed;
+      budget_exhausted = options.max_consecutive_failed_polls > 0 &&
+                         state.consecutive_failed >= options.max_consecutive_failed_polls;
+    } else {
+      if (state.consecutive_failed > 0) registry.add(metrics.forum_poll_recoveries);
+      state.consecutive_failed = 0;
+      // The baseline (backlog census) must be complete before recording
+      // starts: a partial baseline would later mistake unseen backlog for
+      // fresh posts.
+      if (!state.baseline_done && result == SweepResult::kFull) state.baseline_done = true;
+      if (options.on_commit && !committed.empty()) options.on_commit(committed);
+    }
+
+    ++state.next_poll;
+    ++attempts_this_run;
+    if (checkpointing &&
+        (static_cast<std::uint64_t>(state.next_poll) % cadence == 0 || budget_exhausted)) {
+      write_monitor_checkpoint(options, state, transport.clock().now_millis());
+    }
+    if (budget_exhausted) {
+      throw CrawlError(CrawlErrorCategory::kBudgetExhausted, onion, "",
+                       std::to_string(state.consecutive_failed) +
+                           " consecutive failed polls");
+    }
+    if (options.halt_after_polls > 0 && attempts_this_run >= options.halt_after_polls) {
+      // Chaos hook: simulate the process dying right here.  Deliberately
+      // no extra checkpoint write — resume sees exactly what the cadence
+      // left on disk.
+      throw CrawlError(CrawlErrorCategory::kHalted, onion, "",
+                       "halt_after_polls chaos hook fired");
+    }
+  }
+
+  if (checkpointing) {
+    // Campaign complete: the checkpoint has served its purpose, and a
+    // stale file must not hijack an unrelated future run.
+    std::error_code ignored;
+    std::filesystem::remove(options.checkpoint_path, ignored);
+  }
+  return state.dump;
 }
 
 }  // namespace tzgeo::forum

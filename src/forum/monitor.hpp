@@ -6,33 +6,100 @@
 // posts per user or more."  The monitor polls the board on an interval,
 // detects posts that appeared since the previous poll, and stamps them
 // with the observer's own clock.
+//
+// A months-long campaign must survive both the forum misbehaving and the
+// observer crashing, so the monitor layers three robustness mechanisms:
+//
+//  * Degradation ladder.  A thread whose pages cannot be fetched or parsed
+//    is skipped for this sweep (the rest of the sweep still commits, the
+//    sweep counts as *partial*); a thread that keeps failing is
+//    quarantined and only re-probed on cooldown polls; only a sweep that
+//    cannot even read the index — or a run of consecutive failed sweeps
+//    past the error budget — aborts.
+//
+//  * Crash-safe checkpoints.  With MonitorOptions::checkpoint_path set,
+//    the monitor persists its full state (seen-post set, sweep cursor,
+//    clock, quarantine, the dump so far, plus caller state via
+//    checkpoint_extra) through util::write_checkpoint_file after every
+//    checkpoint_every_polls-th poll.  A rerun with the same options
+//    resumes from the file and — because every poll runs at its scheduled
+//    time under a per-poll RNG epoch (tor::OnionTransport::begin_epoch) —
+//    produces a dump byte-identical to the uninterrupted run.
+//
+//  * Deterministic replay.  Poll n is pinned to t0 + n * interval and its
+//    transport/fault randomness is a pure function of (seed, schedule
+//    time), never of how many requests earlier polls made.  This is what
+//    makes kill/resume equivalence testable, and it assumes the poll
+//    interval exceeds the forum's rate-limit window (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "forum/crawler.hpp"
 #include "tor/transport.hpp"
 
 namespace tzgeo::forum {
 
-/// Monitoring schedule.
+/// Monitoring schedule, robustness policy, and checkpoint wiring.
 struct MonitorOptions {
   std::int64_t poll_interval_seconds = 1800;
   std::int64_t duration_seconds = 30 * 86400;
   std::size_t max_pages_per_poll = 50'000;
+
+  /// Checkpoint file; empty disables checkpointing.  When the file already
+  /// exists, monitor_forum resumes the campaign recorded in it (the file
+  /// must be for the same onion).  Removed on successful completion.
+  std::string checkpoint_path;
+  /// Persist state every N-th poll (1 = after every poll).
+  std::size_t checkpoint_every_polls = 1;
+
+  /// Degradation ladder: quarantine a thread after this many consecutive
+  /// failed walks (0 disables quarantine)...
+  std::size_t thread_quarantine_after = 3;
+  /// ...and re-probe quarantined threads every N-th poll (0 = never).
+  std::size_t thread_quarantine_cooldown_polls = 8;
+  /// Error budget: abort the campaign (CrawlError kBudgetExhausted) after
+  /// this many *consecutive* failed sweeps.  0 = never abort, keep polling.
+  std::size_t max_consecutive_failed_polls = 0;
+
+  /// Crash hook for chaos tests: throw CrawlError{kHalted} after this many
+  /// poll attempts *in this process run* (0 disables).  The throw happens
+  /// after the poll's cadence-driven checkpoint (if any), with no extra
+  /// out-of-cadence write — exactly what kill -9 after that poll leaves.
+  std::size_t halt_after_polls = 0;
+
+  /// Called after every committed sweep with the records committed by that
+  /// sweep (empty while the baseline is being established).  Lets callers
+  /// stream observations into e.g. core::IncrementalGeolocator.
+  std::function<void(const std::vector<ScrapeRecord>&)> on_commit;
+  /// Caller state rides inside the monitor's checkpoint so the pair
+  /// commits atomically: checkpoint_extra() is serialized into every
+  /// checkpoint write, restore_extra() replays it on resume.
+  std::function<std::string()> checkpoint_extra;
+  std::function<void(std::string_view)> restore_extra;
 };
 
 /// Runs the monitoring loop and returns the dump of *newly observed* posts
 /// (the pre-existing backlog has no observable time and is skipped).
 /// The stamping error is bounded by the poll interval.
 ///
-/// A sweep that fails mid-flight (circuit drop, unparsable page, page cap)
-/// is abandoned without side effects and counted in ScrapeDump::polls_failed;
-/// the affected posts are picked up by the next successful sweep with a
-/// stamping error grown by one interval per failure.  polls/polls_failed in
-/// the returned dump summarize the loop's reliability.
+/// Sweep outcomes: a *full* sweep commits everything; a *partial* sweep
+/// commits every thread it could walk and skips the rest (counted in
+/// polls_partial / threads_quarantined); a *failed* sweep (index
+/// unreachable or page cap) commits nothing new and is counted in
+/// polls_failed — affected posts are picked up by the next successful
+/// sweep with a stamping error grown by one interval per failure.
+///
+/// Throws std::invalid_argument on bad options, CrawlError
+/// {kBudgetExhausted} when max_consecutive_failed_polls is exceeded (state
+/// is checkpointed first when checkpointing is on), CrawlError{kHalted}
+/// from the halt_after_polls chaos hook, and util::CheckpointError when an
+/// existing checkpoint file is corrupt or for a different campaign.
 [[nodiscard]] ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onion,
                                        const MonitorOptions& options = {});
 

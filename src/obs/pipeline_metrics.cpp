@@ -58,7 +58,19 @@ namespace {
   m.forum_polls = reg.counter("tzgeo_forum_polls_total", "monitor poll sweeps started");
   m.forum_polls_failed =
       reg.counter("tzgeo_forum_polls_failed_total", "monitor poll sweeps aborted");
+  m.forum_polls_partial = reg.counter("tzgeo_forum_polls_partial_total",
+                                      "poll sweeps committed with threads skipped");
+  m.forum_poll_recoveries = reg.counter("tzgeo_forum_poll_recoveries_total",
+                                        "successful sweeps right after a failed one");
   m.forum_poll_us = reg.histogram("tzgeo_forum_poll_us", "poll sweep wall time");
+  m.forum_threads_quarantined = reg.counter("tzgeo_forum_threads_quarantined_total",
+                                            "threads skipped while quarantined");
+  m.forum_checkpoint_writes =
+      reg.counter("tzgeo_forum_checkpoint_writes_total", "monitor checkpoints persisted");
+  m.forum_checkpoint_resumes =
+      reg.counter("tzgeo_forum_checkpoint_resumes_total", "campaigns resumed from disk");
+  m.forum_checkpoint_write_us =
+      reg.histogram("tzgeo_forum_checkpoint_write_us", "checkpoint serialize+fsync time");
 
   m.tor_requests = reg.counter("tzgeo_tor_requests_total", "hidden-service round trips");
   m.tor_request_failures =
@@ -69,6 +81,9 @@ namespace {
       reg.histogram("tzgeo_tor_circuit_build_ms", "simulated circuit setup latency");
   m.tor_rate_limit_waits =
       reg.counter("tzgeo_tor_rate_limit_waits_total", "429 backoffs taken");
+
+  m.fault_injections =
+      reg.counter("tzgeo_fault_injections_total", "chaos faults fired by the injector");
 
   return m;
 }

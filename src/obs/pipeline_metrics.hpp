@@ -48,7 +48,13 @@ struct PipelineMetrics {
   MetricId forum_parse_failures = kInvalidMetric;
   MetricId forum_polls = kInvalidMetric;
   MetricId forum_polls_failed = kInvalidMetric;
+  MetricId forum_polls_partial = kInvalidMetric;
+  MetricId forum_poll_recoveries = kInvalidMetric;
   MetricId forum_poll_us = kInvalidMetric;
+  MetricId forum_threads_quarantined = kInvalidMetric;
+  MetricId forum_checkpoint_writes = kInvalidMetric;
+  MetricId forum_checkpoint_resumes = kInvalidMetric;
+  MetricId forum_checkpoint_write_us = kInvalidMetric;
 
   // tor transport
   MetricId tor_requests = kInvalidMetric;
@@ -57,6 +63,9 @@ struct PipelineMetrics {
   MetricId tor_circuits_built = kInvalidMetric;
   MetricId tor_circuit_build_ms = kInvalidMetric;
   MetricId tor_rate_limit_waits = kInvalidMetric;
+
+  // fault injection (chaos harness)
+  MetricId fault_injections = kInvalidMetric;
 
   /// The shared instance, registered on MetricsRegistry::global() the
   /// first time any instrumented path runs.  Thread-safe (magic static).

@@ -1,7 +1,9 @@
 #include "tor/transport.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "obs/pipeline_metrics.hpp"
 
 namespace tzgeo::tor {
@@ -25,6 +27,7 @@ OnionTransport::OnionTransport(const Consensus& consensus, util::SimClock& clock
       protocol_(consensus, directory_),
       clock_(clock),
       rng_(seed),
+      seed_(seed),
       options_(options) {
   // A client session pins one entry guard for its lifetime.
   guard_id_ = CircuitBuilder{consensus_}.sample_guard(rng_);
@@ -39,9 +42,21 @@ OnionTransport::OnionTransport(const Consensus& consensus, const BridgeSet& brid
       protocol_(consensus_, directory_),
       clock_(clock),
       rng_(seed),
+      seed_(seed),
       options_(options) {
   // A censored client enters through one of its configured bridges.
   guard_id_ = bridges.pick(rng_).id;
+}
+
+void OnionTransport::begin_epoch(std::uint64_t epoch) {
+  // The epoch stream must be a pure function of (seed, epoch): split()
+  // advances its parent, so always derive from a fresh parent instead of
+  // the request rng (whose state depends on traffic history).
+  util::Rng parent{seed_};
+  rng_ = parent.split(epoch);
+  connections_.clear();
+  requests_on_circuit_.clear();
+  if (options_.fault_injector != nullptr) options_.fault_injector->begin_epoch(epoch);
 }
 
 std::string OnionTransport::host(std::uint64_t service_key, ServiceHandler handler) {
@@ -90,25 +105,41 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
 
   int rate_limit_retries = 0;
+  std::int64_t last_wait_seconds = 0;  // decorrelated-jitter backoff state
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) registry.add(metrics.tor_retries);
+    fault::FaultInjector::PreRequest injected;
+    if (options_.fault_injector != nullptr) {
+      injected = options_.fault_injector->before_request(clock_.now_seconds());
+    }
     const RendezvousConnection& connection = connection_for(onion);
     const double latency = connection.round_trip_ms(consensus_) +
-                           rng_.exponential(1.0 / std::max(options_.jitter_ms, 1e-9));
+                           rng_.exponential(1.0 / std::max(options_.jitter_ms, 1e-9)) +
+                           injected.extra_latency_ms;
     clock_.advance_millis(static_cast<std::int64_t>(latency));
     stats_.total_latency_ms += latency;
     ++stats_.requests;
     registry.add(metrics.tor_requests);
     ++requests_on_circuit_[onion];
 
-    if (rng_.bernoulli(options_.failure_probability)) {
+    if (injected.drop_connection || rng_.bernoulli(options_.failure_probability)) {
       // Circuit dropped mid-request: tear down and retry on a fresh one.
       ++stats_.failures;
       registry.add(metrics.tor_request_failures);
       connections_.erase(onion);
       continue;
     }
-    const Response response = handler_it->second(request, clock_.now_seconds());
+    Response response;
+    if (injected.force_rate_limit) {
+      // Storm window: the throttle fires upstream of the service, so the
+      // handler never sees the request.
+      response.status = 429;
+    } else {
+      response = handler_it->second(request, clock_.now_seconds());
+      if (options_.fault_injector != nullptr) {
+        options_.fault_injector->mutate_body(clock_.now_seconds(), response.body);
+      }
+    }
     if (response.status == 429 && options_.rate_limit_backoff_seconds > 0 &&
         rate_limit_retries < options_.max_rate_limit_retries) {
       // Throttled: be polite, wait out the window, and do not burn a
@@ -116,13 +147,28 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
       ++rate_limit_retries;
       ++stats_.rate_limit_waits;
       registry.add(metrics.tor_rate_limit_waits);
-      clock_.advance_seconds(options_.rate_limit_backoff_seconds);
+      last_wait_seconds =
+          next_backoff_seconds(rng_, options_.rate_limit_backoff_seconds,
+                               options_.rate_limit_backoff_cap_seconds, last_wait_seconds);
+      clock_.advance_seconds(last_wait_seconds);
       --attempt;
       continue;
     }
     return response;
   }
   throw TransportError("request to " + onion + request.path + " failed after retries");
+}
+
+std::int64_t next_backoff_seconds(util::Rng& rng, std::int64_t base, std::int64_t cap,
+                                  std::int64_t previous) noexcept {
+  if (base <= 0) return 0;
+  if (cap < base) cap = base;
+  // Decorrelated jitter: uniform in [base, 3 * previous], seeded with
+  // previous = base on the first wait.  Desynchronizes retrying clients
+  // while still growing the expected wait geometrically.
+  const std::int64_t prev = std::clamp(previous, base, cap);
+  const std::int64_t hi = prev > cap / 3 ? cap : prev * 3;
+  return rng.uniform_int(base, std::max(base, hi));
 }
 
 }  // namespace tzgeo::tor

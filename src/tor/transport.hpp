@@ -17,6 +17,10 @@
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 
+namespace tzgeo::fault {
+class FaultInjector;
+}  // namespace tzgeo::fault
+
 namespace tzgeo::tor {
 
 /// A request to a hidden service.
@@ -50,11 +54,19 @@ struct TransportOptions {
   /// Rotate the rendezvous circuit after this many requests (Tor rotates
   /// circuits periodically; the entry guard stays pinned across rotations).
   std::size_t requests_per_circuit = 100;
-  /// Politeness: when the service answers 429 (rate limited), wait this
-  /// long and retry, up to max_rate_limit_retries times (0 disables and
-  /// the 429 is returned to the caller).
+  /// Politeness: when the service answers 429 (rate limited), back off and
+  /// retry, up to max_rate_limit_retries times (0 disables and the 429 is
+  /// returned to the caller).  Waits grow exponentially with decorrelated
+  /// jitter (see next_backoff_seconds) from this base, capped per wait at
+  /// rate_limit_backoff_cap_seconds — a fixed interval synchronizes every
+  /// client onto the same retry schedule and never clears a real storm.
   std::int64_t rate_limit_backoff_seconds = 20;
+  std::int64_t rate_limit_backoff_cap_seconds = 15 * 60;
   int max_rate_limit_retries = 200;
+  /// Optional chaos hook, consulted once per round trip (outages, 429
+  /// storms, drop bursts, body corruption, latency spikes).  Not owned;
+  /// must outlive the transport.  nullptr = no injection.
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 /// Traffic counters, exposed for tests and the pipeline report.
@@ -90,6 +102,16 @@ class OnionTransport {
   /// all retries fail.
   Response fetch(const std::string& onion, const Request& request);
 
+  /// Starts a deterministic replay epoch: reseeds the per-request RNG as a
+  /// pure function of (construction seed, epoch), retires every rendezvous
+  /// connection (fresh circuits, entry guard stays pinned), and forwards
+  /// the boundary to the fault injector.  The monitor opens one epoch per
+  /// poll sweep, which is what makes a sweep — and therefore a
+  /// crash/resume — bit-identical to an uninterrupted run: the sweep
+  /// depends only on (seed, epoch, service state), not on how many
+  /// requests earlier sweeps made.
+  void begin_epoch(std::uint64_t epoch);
+
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Consensus& consensus() const noexcept { return consensus_; }
   [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
@@ -107,6 +129,7 @@ class OnionTransport {
   RendezvousProtocol protocol_;
   util::SimClock& clock_;
   util::Rng rng_;
+  std::uint64_t seed_;  ///< construction seed, re-mixed by begin_epoch()
   TransportOptions options_;
   TransportStats stats_;
   std::uint64_t guard_id_ = 0;
@@ -114,5 +137,14 @@ class OnionTransport {
   std::map<std::string, RendezvousConnection> connections_;
   std::map<std::string, std::size_t> requests_on_circuit_;
 };
+
+/// Next 429 wait: exponential backoff with decorrelated jitter (the
+/// "decorrelated" scheme from the AWS architecture blog) — uniform in
+/// [base, 3 x previous], capped at `cap`.  `previous` is 0 before the
+/// first wait of a request.  Deterministic given the rng state; exposed
+/// for unit tests.
+[[nodiscard]] std::int64_t next_backoff_seconds(util::Rng& rng, std::int64_t base,
+                                                std::int64_t cap,
+                                                std::int64_t previous) noexcept;
 
 }  // namespace tzgeo::tor

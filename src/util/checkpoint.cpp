@@ -1,0 +1,209 @@
+#include "util/checkpoint.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace tzgeo::util {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'Z', 'C', 'K'};
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;  // magic + version + payload_size
+constexpr std::size_t kTrailerSize = 4;         // crc32
+
+/// Reflected CRC-32 table for polynomial 0xEDB88320, built once.
+[[nodiscard]] const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+}
+
+[[nodiscard]] std::uint32_t load_u32(const char* bytes) noexcept {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[i]);
+  }
+  return value;
+}
+
+[[nodiscard]] std::uint64_t load_u64(const char* bytes) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[i]);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(CheckpointErrorCode code) noexcept {
+  switch (code) {
+    case CheckpointErrorCode::kIo: return "io";
+    case CheckpointErrorCode::kBadMagic: return "bad-magic";
+    case CheckpointErrorCode::kBadCrc: return "bad-crc";
+    case CheckpointErrorCode::kBadVersion: return "bad-version";
+    case CheckpointErrorCode::kTruncated: return "truncated";
+    case CheckpointErrorCode::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+CheckpointError::CheckpointError(CheckpointErrorCode code, const std::string& detail)
+    : std::runtime_error("checkpoint " + std::string{to_string(code)} + ": " + detail),
+      code_(code) {}
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u8(std::uint8_t value) { data_.push_back(static_cast<char>(value)); }
+void ByteWriter::u32(std::uint32_t value) { append_u32(data_, value); }
+void ByteWriter::u64(std::uint64_t value) { append_u64(data_, value); }
+void ByteWriter::i64(std::int64_t value) { append_u64(data_, static_cast<std::uint64_t>(value)); }
+void ByteWriter::f64(double value) { append_u64(data_, std::bit_cast<std::uint64_t>(value)); }
+
+void ByteWriter::str(std::string_view value) {
+  append_u64(data_, value.size());
+  data_.append(value);
+}
+
+void ByteReader::need(std::size_t bytes) const {
+  if (data_.size() - pos_ < bytes) {
+    throw CheckpointError(CheckpointErrorCode::kTruncated,
+                          "payload ends " + std::to_string(bytes - (data_.size() - pos_)) +
+                              " byte(s) short");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  const std::uint32_t value = load_u32(data_.data() + pos_);
+  pos_ += 4;
+  return value;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  const std::uint64_t value = load_u64(data_.data() + pos_);
+  pos_ += 8;
+  return value;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t size = u64();
+  need(size);
+  std::string value{data_.substr(pos_, size)};
+  pos_ += size;
+  return value;
+}
+
+void write_checkpoint_file(const std::string& path, std::string_view payload,
+                           std::uint32_t version) {
+  std::string blob;
+  blob.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  blob.append(kMagic, sizeof kMagic);
+  append_u32(blob, version);
+  append_u64(blob, payload.size());
+  blob.append(payload);
+  append_u32(blob, crc32(blob));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError(CheckpointErrorCode::kIo, "cannot open " + tmp + " for writing");
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw CheckpointError(CheckpointErrorCode::kIo, "short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw CheckpointError(CheckpointErrorCode::kIo,
+                          "rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+}
+
+std::string read_checkpoint_file(const std::string& path, std::uint32_t expected_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError(CheckpointErrorCode::kIo, "cannot open " + path);
+  }
+  std::string blob{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  if (in.bad()) {
+    throw CheckpointError(CheckpointErrorCode::kIo, "read error on " + path);
+  }
+
+  if (blob.size() < kHeaderSize + kTrailerSize) {
+    throw CheckpointError(CheckpointErrorCode::kTruncated,
+                          path + " holds " + std::to_string(blob.size()) +
+                              " byte(s), below the minimum frame");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    throw CheckpointError(CheckpointErrorCode::kBadMagic, path + " is not a checkpoint file");
+  }
+  const std::uint64_t payload_size = load_u64(blob.data() + 8);
+  if (blob.size() != kHeaderSize + payload_size + kTrailerSize) {
+    throw CheckpointError(CheckpointErrorCode::kTruncated,
+                          path + " frame length mismatch (header promises " +
+                              std::to_string(payload_size) + " payload bytes)");
+  }
+  const std::uint32_t stored_crc = load_u32(blob.data() + blob.size() - kTrailerSize);
+  const std::uint32_t actual_crc =
+      crc32(std::string_view{blob}.substr(0, blob.size() - kTrailerSize));
+  if (stored_crc != actual_crc) {
+    throw CheckpointError(CheckpointErrorCode::kBadCrc, path + " failed CRC verification");
+  }
+  const std::uint32_t version = load_u32(blob.data() + 4);
+  if (version != expected_version) {
+    throw CheckpointError(CheckpointErrorCode::kBadVersion,
+                          path + " is format v" + std::to_string(version) + ", expected v" +
+                              std::to_string(expected_version));
+  }
+  return blob.substr(kHeaderSize, payload_size);
+}
+
+}  // namespace tzgeo::util

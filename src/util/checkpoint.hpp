@@ -1,0 +1,107 @@
+// Crash-safe checkpoint files.
+//
+// Long-running campaigns (the monitor mode polls a hidden service for
+// months) must survive crashes: state is periodically serialized into a
+// checkpoint file and a restarted run resumes from it.  The format is
+// deliberately paranoid — a crash can truncate a write, a disk can flip a
+// bit, an operator can point the resume at the wrong file — so every
+// checkpoint carries a magic tag, a format version, an explicit payload
+// length, and a CRC-32 over everything, and the reader refuses to surface
+// bytes unless all four check out.  Writes are atomic: the file is staged
+// as `<path>.tmp` and renamed over the target, so a crash mid-write leaves
+// the previous checkpoint intact.
+//
+// Layout (little-endian):
+//   "TZCK" | u32 version | u64 payload_size | payload bytes | u32 crc32
+// The CRC covers magic, version, payload_size, and payload.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tzgeo::util {
+
+/// Why a checkpoint could not be read (or written).
+enum class CheckpointErrorCode : std::uint8_t {
+  kIo,          ///< file missing / unreadable / unwritable
+  kBadMagic,    ///< not a checkpoint file
+  kBadCrc,      ///< bytes corrupted after the magic check
+  kBadVersion,  ///< intact file, but a different format generation
+  kTruncated,   ///< fewer bytes than the header promises
+  kMalformed,   ///< payload decoded to impossible state
+};
+
+[[nodiscard]] const char* to_string(CheckpointErrorCode code) noexcept;
+
+/// Typed checkpoint failure; every detectable corruption surfaces as one
+/// of these (never UB, never a partial-state resume).
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrorCode code, const std::string& detail);
+  [[nodiscard]] CheckpointErrorCode code() const noexcept { return code_; }
+
+ private:
+  CheckpointErrorCode code_;
+};
+
+/// CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+/// Append-only little-endian payload builder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);
+  /// Length-prefixed (u64) byte string.
+  void str(std::string_view value);
+
+  [[nodiscard]] const std::string& data() const noexcept { return data_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(data_); }
+
+ private:
+  std::string data_;
+};
+
+/// Bounds-checked little-endian payload reader: any read past the end
+/// throws CheckpointError{kTruncated}, so a corrupt length field can never
+/// walk off the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t bytes) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `payload` to `path` atomically (stage to `<path>.tmp`, flush,
+/// rename over).  Throws CheckpointError{kIo} on any filesystem failure;
+/// on failure the previous checkpoint at `path` is left untouched.
+void write_checkpoint_file(const std::string& path, std::string_view payload,
+                           std::uint32_t version);
+
+/// Reads and verifies the checkpoint at `path`, returning the payload.
+/// Throws CheckpointError with the matching code on a missing file, bad
+/// magic, truncation, CRC mismatch, or a version other than
+/// `expected_version`.
+[[nodiscard]] std::string read_checkpoint_file(const std::string& path,
+                                               std::uint32_t expected_version);
+
+}  // namespace tzgeo::util

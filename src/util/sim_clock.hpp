@@ -24,9 +24,12 @@ class SimClock {
   void advance_seconds(std::int64_t delta) noexcept { millis_ += delta * 1000; }
 
   /// Jumps directly to an absolute time; must not move backwards.
-  void set_seconds(std::int64_t seconds) noexcept {
-    const std::int64_t target = seconds * 1000;
-    if (target > millis_) millis_ = target;
+  void set_seconds(std::int64_t seconds) noexcept { set_millis(seconds * 1000); }
+
+  /// Millisecond-exact jump (checkpoint resume restores the clock through
+  /// this); must not move backwards.
+  void set_millis(std::int64_t millis) noexcept {
+    if (millis > millis_) millis_ = millis;
   }
 
  private:

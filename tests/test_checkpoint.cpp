@@ -1,0 +1,231 @@
+// util::Checkpoint — framing, CRC, atomicity, and resume-under-corruption.
+//
+// The chaos harness (test_chaos.cpp) proves crash *equivalence*; this
+// suite proves crash *detection*: whatever a dying process or a decaying
+// disk leaves behind — truncated writes, flipped bits, stale versions,
+// empty files — the reader must refuse with a typed CheckpointError and
+// never surface corrupt bytes.  Run under the asan-ubsan preset these
+// tests double as a memory-safety fuzz of the decoder.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace fs = std::filesystem;
+using tzgeo::util::ByteReader;
+using tzgeo::util::ByteWriter;
+using tzgeo::util::CheckpointError;
+using tzgeo::util::CheckpointErrorCode;
+
+namespace {
+
+constexpr std::uint32_t kVersion = 7;
+
+[[nodiscard]] std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+[[nodiscard]] std::string read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+[[nodiscard]] CheckpointErrorCode code_of_read(const std::string& path,
+                                               std::uint32_t version = kVersion) {
+  try {
+    (void)tzgeo::util::read_checkpoint_file(path, version);
+  } catch (const CheckpointError& error) {
+    return error.code();
+  }
+  ADD_FAILURE() << "read of " << path << " unexpectedly succeeded";
+  return CheckpointErrorCode::kIo;
+}
+
+class CheckpointFile : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::error_code ignored;
+    fs::remove(path_, ignored);
+    fs::remove(path_ + ".tmp", ignored);
+  }
+
+  std::string path_ = temp_path("ckpt_test.bin");
+};
+
+TEST(Crc32, MatchesKnownVector) {
+  // The IEEE 802.3 check value for the ASCII digits "123456789".
+  EXPECT_EQ(tzgeo::util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(tzgeo::util::crc32(""), 0x00000000u);
+}
+
+TEST(ByteCodec, RoundTripsEveryType) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u32(0xDEADBEEFu);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.i64(-42);
+  writer.f64(3.5);
+  const std::string embedded("payload with \0 embedded", 23);  // NUL survives
+  writer.str(embedded);
+  writer.str("");
+  const std::string data = writer.take();
+
+  ByteReader reader{data};
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.f64(), 3.5);
+  EXPECT_EQ(reader.str(), embedded);
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(ByteCodec, ReaderThrowsOnOverrun) {
+  ByteWriter writer;
+  writer.u32(1);
+  const std::string data = writer.take();
+  ByteReader reader{data};
+  (void)reader.u32();
+  EXPECT_THROW((void)reader.u8(), CheckpointError);
+}
+
+TEST(ByteCodec, CorruptStringLengthCannotWalkOffBuffer) {
+  ByteWriter writer;
+  writer.str("abc");
+  std::string data = writer.take();
+  data[0] = '\xFF';  // length prefix now claims ~2^64 bytes
+  ByteReader reader{data};
+  try {
+    (void)reader.str();
+    FAIL() << "oversized string length accepted";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.code(), CheckpointErrorCode::kTruncated);
+  }
+}
+
+TEST_F(CheckpointFile, WriteReadRoundTrip) {
+  const std::string payload = "state of the campaign";
+  tzgeo::util::write_checkpoint_file(path_, payload, kVersion);
+  EXPECT_EQ(tzgeo::util::read_checkpoint_file(path_, kVersion), payload);
+  EXPECT_FALSE(fs::exists(path_ + ".tmp")) << "staging file left behind";
+}
+
+TEST_F(CheckpointFile, EmptyPayloadRoundTrips) {
+  tzgeo::util::write_checkpoint_file(path_, "", kVersion);
+  EXPECT_EQ(tzgeo::util::read_checkpoint_file(path_, kVersion), "");
+}
+
+TEST_F(CheckpointFile, OverwriteIsAtomicReplacement) {
+  tzgeo::util::write_checkpoint_file(path_, "first", kVersion);
+  tzgeo::util::write_checkpoint_file(path_, "second", kVersion);
+  EXPECT_EQ(tzgeo::util::read_checkpoint_file(path_, kVersion), "second");
+  EXPECT_FALSE(fs::exists(path_ + ".tmp"));
+}
+
+TEST_F(CheckpointFile, MissingFileIsIoError) {
+  EXPECT_EQ(code_of_read(temp_path("ckpt_never_written.bin")), CheckpointErrorCode::kIo);
+}
+
+TEST_F(CheckpointFile, ZeroLengthFileIsTruncated) {
+  write_raw(path_, "");
+  EXPECT_EQ(code_of_read(path_), CheckpointErrorCode::kTruncated);
+}
+
+TEST_F(CheckpointFile, ForeignFileIsBadMagic) {
+  write_raw(path_, "PNG\x89 definitely not a checkpoint, but long enough");
+  EXPECT_EQ(code_of_read(path_), CheckpointErrorCode::kBadMagic);
+}
+
+TEST_F(CheckpointFile, EveryTruncationPrefixIsDetected) {
+  // A crash can stop a write at any byte.  Whatever prefix survives, the
+  // reader must refuse it as a typed error — never parse garbage.
+  tzgeo::util::write_checkpoint_file(path_, "truncation target payload", kVersion);
+  const std::string full = read_raw(path_);
+  ASSERT_GT(full.size(), 20u);
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    write_raw(path_, full.substr(0, keep));
+    const CheckpointErrorCode code = code_of_read(path_);
+    EXPECT_TRUE(code == CheckpointErrorCode::kTruncated ||
+                code == CheckpointErrorCode::kBadMagic)
+        << "prefix of " << keep << " bytes gave " << tzgeo::util::to_string(code);
+  }
+}
+
+TEST_F(CheckpointFile, EverySingleBitFlipIsDetected) {
+  // Flip each bit of a small checkpoint in turn: the reader must reject
+  // every mutant (magic, length, payload, or CRC — all are covered by one
+  // of the four checks).
+  tzgeo::util::write_checkpoint_file(path_, "bitflip", kVersion);
+  const std::string full = read_raw(path_);
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutant = full;
+      mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+      write_raw(path_, mutant);
+      try {
+        (void)tzgeo::util::read_checkpoint_file(path_, kVersion);
+        FAIL() << "bit " << bit << " of byte " << byte << " flipped undetected";
+      } catch (const CheckpointError&) {
+        // Any typed refusal is correct; which code depends on the field hit.
+      }
+    }
+  }
+}
+
+TEST_F(CheckpointFile, VersionBumpWithValidCrcIsBadVersion) {
+  // A file from a future (or past) format generation is intact — CRC
+  // passes — but must still be refused, with the version-specific code.
+  tzgeo::util::write_checkpoint_file(path_, "from the future", kVersion + 1);
+  EXPECT_EQ(code_of_read(path_, kVersion), CheckpointErrorCode::kBadVersion);
+}
+
+TEST_F(CheckpointFile, RandomCorruptionFuzz) {
+  // Seeded fuzz: random payloads, random mutations (truncate / flip /
+  // append).  Invariant: reads either return the exact original payload or
+  // throw CheckpointError — nothing else, no crashes (asan-ubsan preset
+  // runs this suite too).
+  tzgeo::util::Rng rng{0xC0FFEEu};
+  for (int round = 0; round < 200; ++round) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    std::string payload(size, '\0');
+    for (char& c : payload) c = static_cast<char>(rng.uniform_int(0, 255));
+    tzgeo::util::write_checkpoint_file(path_, payload, kVersion);
+
+    std::string blob = read_raw(path_);
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // truncate
+        blob.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(blob.size()) - 1)));
+        break;
+      case 1: {  // flip a random bit
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(blob.size()) - 1));
+        blob[at] = static_cast<char>(blob[at] ^ (1 << rng.uniform_int(0, 7)));
+        break;
+      }
+      default:  // append junk
+        blob.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+        break;
+    }
+    write_raw(path_, blob);
+    try {
+      const std::string out = tzgeo::util::read_checkpoint_file(path_, kVersion);
+      EXPECT_EQ(out, payload) << "corrupt file read back a different payload";
+    } catch (const CheckpointError&) {
+      // Expected for nearly every mutation.
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// tzgeo::fault — deterministic fault plans and the injector.
+//
+// The chaos harness is only as trustworthy as its replay guarantee: the
+// same (plan seed, epoch sequence) must produce the same faults, byte for
+// byte, run after run.  This suite pins that guarantee and the per-kind
+// behavior of the injector (drops, storms, latency, body corruption).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+
+using tzgeo::fault::ChaosProfile;
+using tzgeo::fault::FaultInjector;
+using tzgeo::fault::FaultKind;
+using tzgeo::fault::FaultPlan;
+using tzgeo::fault::FaultWindow;
+
+namespace {
+
+TEST(FaultWindow, ActiveOnHalfOpenInterval) {
+  FaultPlan plan;
+  plan.outage(100, 200);
+  const FaultWindow& window = plan.windows.front();
+  EXPECT_FALSE(window.contains(99));
+  EXPECT_TRUE(window.contains(100));
+  EXPECT_TRUE(window.contains(199));
+  EXPECT_FALSE(window.contains(200));
+}
+
+TEST(FaultPlan, FluentBuildersSetKinds) {
+  FaultPlan plan;
+  plan.outage(0, 10)
+      .rate_limit_storm(10, 20)
+      .circuit_drops(20, 30)
+      .truncated_bodies(30, 40)
+      .garbled_bodies(40, 50)
+      .corrupted_timestamps(50, 60)
+      .latency_spikes(60, 70, 2500.0);
+  ASSERT_EQ(plan.windows.size(), 7u);
+  EXPECT_EQ(plan.windows[0].kind, FaultKind::kOutage);
+  EXPECT_EQ(plan.windows[1].kind, FaultKind::kRateLimitStorm);
+  EXPECT_EQ(plan.windows[2].kind, FaultKind::kCircuitDropBurst);
+  EXPECT_EQ(plan.windows[3].kind, FaultKind::kBodyTruncation);
+  EXPECT_EQ(plan.windows[4].kind, FaultKind::kBodyGarble);
+  EXPECT_EQ(plan.windows[5].kind, FaultKind::kTimestampCorruption);
+  EXPECT_EQ(plan.windows[6].kind, FaultKind::kLatencySpike);
+  EXPECT_DOUBLE_EQ(plan.windows[6].magnitude, 2500.0);
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultPlan, RandomIsAPureFunctionOfSeed) {
+  const FaultPlan a = FaultPlan::random(42, 0, 30 * 86400);
+  const FaultPlan b = FaultPlan::random(42, 0, 30 * 86400);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].kind, b.windows[i].kind);
+    EXPECT_EQ(a.windows[i].start_seconds, b.windows[i].start_seconds);
+    EXPECT_EQ(a.windows[i].end_seconds, b.windows[i].end_seconds);
+    EXPECT_DOUBLE_EQ(a.windows[i].intensity, b.windows[i].intensity);
+    EXPECT_DOUBLE_EQ(a.windows[i].magnitude, b.windows[i].magnitude);
+  }
+  const FaultPlan c = FaultPlan::random(43, 0, 30 * 86400);
+  bool differs = c.windows.size() != a.windows.size();
+  for (std::size_t i = 0; !differs && i < a.windows.size(); ++i) {
+    differs = c.windows[i].kind != a.windows[i].kind ||
+              c.windows[i].start_seconds != a.windows[i].start_seconds;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced an identical plan";
+}
+
+TEST(FaultPlan, RandomWindowsRespectSpanAndProfile) {
+  ChaosProfile profile;
+  profile.windows = 16;
+  profile.min_window_seconds = 600;
+  profile.max_window_seconds = 3600;
+  const std::int64_t start = 1000;
+  const std::int64_t end = start + 10 * 86400;
+  const FaultPlan plan = FaultPlan::random(7, start, end, profile);
+  ASSERT_EQ(plan.windows.size(), profile.windows);
+  for (const FaultWindow& window : plan.windows) {
+    EXPECT_GE(window.start_seconds, start);
+    EXPECT_LE(window.end_seconds, end);
+    EXPECT_LT(window.start_seconds, window.end_seconds);
+    EXPECT_GE(window.end_seconds - window.start_seconds, profile.min_window_seconds);
+    EXPECT_LE(window.end_seconds - window.start_seconds, profile.max_window_seconds);
+    EXPECT_GE(window.intensity, profile.min_intensity);
+    EXPECT_LE(window.intensity, profile.max_intensity);
+  }
+}
+
+TEST(FaultInjector, OutageDropsEveryRequestInWindow) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.outage(100, 200);
+  FaultInjector injector{plan};
+  injector.begin_epoch(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(injector.before_request(150).drop_connection);
+  }
+  EXPECT_FALSE(injector.before_request(99).drop_connection);
+  EXPECT_FALSE(injector.before_request(200).drop_connection);
+  EXPECT_EQ(injector.stats().of(FaultKind::kOutage), 50u);
+}
+
+TEST(FaultInjector, StormForcesRateLimits) {
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.rate_limit_storm(0, 1000);
+  FaultInjector injector{plan};
+  injector.begin_epoch(0);
+  const auto verdict = injector.before_request(500);
+  EXPECT_TRUE(verdict.force_rate_limit);
+  EXPECT_FALSE(verdict.drop_connection);
+}
+
+TEST(FaultInjector, LatencySpikeCarriesMagnitude) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.latency_spikes(0, 1000, 3000.0);
+  FaultInjector injector{plan};
+  injector.begin_epoch(0);
+  EXPECT_DOUBLE_EQ(injector.before_request(10).extra_latency_ms, 3000.0);
+  EXPECT_DOUBLE_EQ(injector.before_request(2000).extra_latency_ms, 0.0);
+}
+
+TEST(FaultInjector, ReplaysBitIdenticallyPerEpoch) {
+  // Two injectors over the same plan, fed the same epoch boundaries and
+  // request times, must take identical decisions — including at partial
+  // intensity, where each decision is a coin flip.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.circuit_drops(0, 100'000, 0.5).latency_spikes(0, 100'000, 1234.0, 0.3);
+  FaultInjector first{plan};
+  FaultInjector second{plan};
+  for (std::uint64_t epoch = 0; epoch < 10; ++epoch) {
+    first.begin_epoch(epoch);
+    second.begin_epoch(epoch);
+    for (std::int64_t now = 0; now < 200; ++now) {
+      const auto a = first.before_request(now);
+      const auto b = second.before_request(now);
+      EXPECT_EQ(a.drop_connection, b.drop_connection);
+      EXPECT_EQ(a.force_rate_limit, b.force_rate_limit);
+      EXPECT_DOUBLE_EQ(a.extra_latency_ms, b.extra_latency_ms);
+    }
+  }
+  EXPECT_EQ(first.stats().total(), second.stats().total());
+  EXPECT_GT(first.stats().total(), 0u);
+}
+
+TEST(FaultInjector, EpochReseedErasesHistory) {
+  // Replaying an epoch after extra traffic must give the same decisions:
+  // the stream depends on (seed, epoch), not on consumption history.
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.circuit_drops(0, 10'000, 0.5);
+  FaultInjector injector{plan};
+
+  injector.begin_epoch(4);
+  std::vector<bool> reference;
+  for (std::int64_t now = 0; now < 64; ++now) {
+    reference.push_back(injector.before_request(now).drop_connection);
+  }
+  // Consume an arbitrary amount from other epochs, then replay epoch 4.
+  injector.begin_epoch(5);
+  for (std::int64_t now = 0; now < 999; ++now) (void)injector.before_request(now);
+  injector.begin_epoch(4);
+  for (std::int64_t now = 0; now < 64; ++now) {
+    EXPECT_EQ(injector.before_request(now).drop_connection, reference[static_cast<std::size_t>(now)]);
+  }
+}
+
+TEST(FaultInjector, TruncationShortensBodies) {
+  FaultPlan plan;
+  plan.seed = 8;
+  plan.truncated_bodies(0, 1000);
+  FaultInjector injector{plan};
+  injector.begin_epoch(0);
+  std::string body(1000, 'x');
+  injector.mutate_body(10, body);
+  EXPECT_LT(body.size(), 1000u);
+  EXPECT_LE(body.size(), 750u) << "cut point must fall in the first three quarters";
+  EXPECT_EQ(injector.stats().of(FaultKind::kBodyTruncation), 1u);
+}
+
+TEST(FaultInjector, GarbleFlipsBytesWithoutResizing) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.garbled_bodies(0, 1000);
+  FaultInjector injector{plan};
+  injector.begin_epoch(0);
+  const std::string original(4096, 'a');
+  std::string body = original;
+  injector.mutate_body(10, body);
+  EXPECT_EQ(body.size(), original.size());
+  EXPECT_NE(body, original);
+}
+
+TEST(FaultInjector, TimestampCorruptionOnlyTouchesTimeDigits) {
+  FaultPlan plan;
+  plan.seed = 10;
+  plan.corrupted_timestamps(0, 1000);
+  FaultInjector injector{plan};
+  injector.begin_epoch(7);
+  const std::string skeleton =
+      "<post id=\"4\" author=\"alice\" time=\"2017-02-01 10:30:00\"></post>"
+      "<post id=\"5\" author=\"bob\"></post>";
+  bool changed = false;
+  for (int attempt = 0; attempt < 20 && !changed; ++attempt) {
+    std::string body = skeleton;
+    injector.mutate_body(10, body);
+    ASSERT_EQ(body.size(), skeleton.size());
+    changed = body != skeleton;
+    // Everything outside the time attribute value must be untouched.
+    const std::size_t begin = body.find("time=\"") + 6;
+    const std::size_t end = body.find('"', begin);
+    EXPECT_EQ(body.substr(0, begin), skeleton.substr(0, begin));
+    EXPECT_EQ(body.substr(end), skeleton.substr(end));
+  }
+  EXPECT_TRUE(changed) << "full-intensity corruption never altered a digit";
+}
+
+TEST(FaultInjector, BodyFaultsOutsideWindowsAreNoOps) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.truncated_bodies(0, 100).garbled_bodies(0, 100).corrupted_timestamps(0, 100);
+  FaultInjector injector{plan};
+  injector.begin_epoch(0);
+  const std::string original = "<post id=\"1\" time=\"2017-02-01 10:30:00\"></post>";
+  std::string body = original;
+  injector.mutate_body(500, body);
+  EXPECT_EQ(body, original);
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include "core/profile_builder.hpp"
 #include "synth/dataset.hpp"
 #include "timezone/zone_db.hpp"
+#include "util/checkpoint.hpp"
 
 namespace tzgeo::core {
 namespace {
@@ -140,6 +141,94 @@ TEST(Incremental, FlatFilterCanBeDisabled) {
   const auto snapshot = geo.estimate();
   EXPECT_EQ(snapshot.flat_users, 0u);
   EXPECT_EQ(snapshot.active_users, 1u);
+}
+
+TEST(IncrementalCheckpoint, RoundTripPreservesEstimateAndReserializesByteStable) {
+  const synth::Dataset crowd = small_crowd("Europe/Moscow", 25, 7);
+  IncrementalGeolocator original{TimeZoneProfiles{canonical_shape()}};
+  for (const auto& event : crowd.events) original.observe(event.user, event.time);
+  const std::string payload = original.checkpoint_payload();
+
+  IncrementalGeolocator restored{TimeZoneProfiles{canonical_shape()}};
+  restored.restore_checkpoint(payload);
+  EXPECT_EQ(restored.user_count(), original.user_count());
+  EXPECT_EQ(restored.post_count(), original.post_count());
+  // serialize -> restore -> serialize is byte-stable (canonical encoding).
+  EXPECT_EQ(restored.checkpoint_payload(), payload);
+
+  const auto before = original.estimate();
+  const auto after = restored.estimate();
+  EXPECT_EQ(after.active_users, before.active_users);
+  EXPECT_EQ(after.flat_users, before.flat_users);
+  EXPECT_EQ(after.counts, before.counts);
+  ASSERT_EQ(after.components.size(), before.components.size());
+  for (std::size_t i = 0; i < after.components.size(); ++i) {
+    EXPECT_DOUBLE_EQ(after.components[i].mean_zone, before.components[i].mean_zone);
+    EXPECT_DOUBLE_EQ(after.components[i].weight, before.components[i].weight);
+  }
+}
+
+TEST(IncrementalCheckpoint, RestoredInstanceKeepsObserving) {
+  // A resumed geolocator must behave exactly like the original from the
+  // restore point onward — feed both the same tail of events and compare.
+  const synth::Dataset crowd = small_crowd("America/New_York", 20, 11);
+  const std::size_t half = crowd.events.size() / 2;
+  IncrementalGeolocator original{TimeZoneProfiles{canonical_shape()}};
+  for (std::size_t i = 0; i < half; ++i) {
+    original.observe(crowd.events[i].user, crowd.events[i].time);
+  }
+  IncrementalGeolocator resumed{TimeZoneProfiles{canonical_shape()}};
+  resumed.restore_checkpoint(original.checkpoint_payload());
+  for (std::size_t i = half; i < crowd.events.size(); ++i) {
+    original.observe(crowd.events[i].user, crowd.events[i].time);
+    resumed.observe(crowd.events[i].user, crowd.events[i].time);
+  }
+  EXPECT_EQ(resumed.checkpoint_payload(), original.checkpoint_payload());
+}
+
+TEST(IncrementalCheckpoint, RejectsRestoreOnUsedInstance) {
+  IncrementalGeolocator source{TimeZoneProfiles{canonical_shape()}};
+  source.observe(std::uint64_t{1}, 0);
+  const std::string payload = source.checkpoint_payload();
+  IncrementalGeolocator used{TimeZoneProfiles{canonical_shape()}};
+  used.observe(std::uint64_t{2}, 0);
+  EXPECT_THROW(used.restore_checkpoint(payload), util::CheckpointError);
+}
+
+TEST(IncrementalCheckpoint, RejectsCorruptPayloads) {
+  IncrementalGeolocator source{TimeZoneProfiles{canonical_shape()}};
+  for (int i = 0; i < 5; ++i) {
+    source.observe(std::uint64_t{7}, i * tz::kSecondsPerDay);
+    source.observe(std::uint64_t{8}, i * tz::kSecondsPerDay + tz::kSecondsPerHour);
+  }
+  const std::string payload = source.checkpoint_payload();
+
+  {  // wrong format generation
+    std::string wrong_version = payload;
+    ++wrong_version[0];
+    IncrementalGeolocator geo{TimeZoneProfiles{canonical_shape()}};
+    try {
+      geo.restore_checkpoint(wrong_version);
+      FAIL() << "future-version payload accepted";
+    } catch (const util::CheckpointError& error) {
+      EXPECT_EQ(error.code(), util::CheckpointErrorCode::kBadVersion);
+    }
+  }
+  {  // truncated at every prefix: typed refusal, never garbage state
+    for (std::size_t keep = 0; keep < payload.size(); keep += 3) {
+      IncrementalGeolocator geo{TimeZoneProfiles{canonical_shape()}};
+      EXPECT_THROW(geo.restore_checkpoint(payload.substr(0, keep)), util::CheckpointError);
+    }
+  }
+  {  // trailing junk
+    IncrementalGeolocator geo{TimeZoneProfiles{canonical_shape()}};
+    try {
+      geo.restore_checkpoint(payload + "x");
+      FAIL() << "trailing bytes accepted";
+    } catch (const util::CheckpointError& error) {
+      EXPECT_EQ(error.code(), util::CheckpointErrorCode::kMalformed);
+    }
+  }
 }
 
 }  // namespace

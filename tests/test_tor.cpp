@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "tor/circuit.hpp"
@@ -401,6 +402,106 @@ TEST(SimClock, AdvanceAndSet) {
   EXPECT_EQ(clock.now_seconds(), 105);
   clock.set_seconds(200);
   EXPECT_EQ(clock.now_seconds(), 200);
+}
+
+TEST(Backoff, StaysWithinBaseAndCap) {
+  util::Rng rng{12};
+  std::int64_t previous = 0;
+  for (int i = 0; i < 500; ++i) {
+    previous = next_backoff_seconds(rng, 20, 900, previous);
+    EXPECT_GE(previous, 20);
+    EXPECT_LE(previous, 900);
+  }
+}
+
+TEST(Backoff, GrowthIsBoundedByTripleThePreviousWait) {
+  util::Rng rng{13};
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t previous = rng.uniform_int(20, 900);
+    const std::int64_t next = next_backoff_seconds(rng, 20, 900, previous);
+    EXPECT_LE(next, std::min<std::int64_t>(900, previous * 3));
+  }
+}
+
+TEST(Backoff, DeterministicGivenRngState) {
+  util::Rng a{77};
+  util::Rng b{77};
+  std::int64_t wait_a = 0;
+  std::int64_t wait_b = 0;
+  for (int i = 0; i < 64; ++i) {
+    wait_a = next_backoff_seconds(a, 20, 900, wait_a);
+    wait_b = next_backoff_seconds(b, 20, 900, wait_b);
+    EXPECT_EQ(wait_a, wait_b);
+  }
+}
+
+TEST(Backoff, ZeroBaseDisablesAndTinyCapClamps) {
+  util::Rng rng{14};
+  EXPECT_EQ(next_backoff_seconds(rng, 0, 900, 100), 0);
+  // A cap below the base degenerates to the base — never zero, never above.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(next_backoff_seconds(rng, 30, 10, 5), 30);
+  }
+}
+
+TEST(OnionTransport, RateLimitBackoffsAreCountedAndAdvanceTheClock) {
+  const Consensus consensus = small_consensus();
+  util::SimClock clock{0};
+  TransportOptions options;
+  options.rate_limit_backoff_seconds = 20;
+  options.rate_limit_backoff_cap_seconds = 900;
+  OnionTransport transport{consensus, clock, 21, options};
+  int remaining_429s = 3;
+  const std::string onion =
+      transport.host(950, [&remaining_429s](const Request&, std::int64_t) {
+        if (remaining_429s > 0) {
+          --remaining_429s;
+          return Response{429, "slow down"};
+        }
+        return Response{200, "ok"};
+      });
+  const std::int64_t before = clock.now_seconds();
+  EXPECT_EQ(transport.fetch(onion, Request{}).status, 200);
+  EXPECT_EQ(transport.stats().rate_limit_waits, 3u);
+  // Three decorrelated-jitter waits, each in [base, cap].
+  EXPECT_GE(clock.now_seconds() - before, 3 * 20);
+  EXPECT_LE(clock.now_seconds() - before, 3 * 900 + 60);
+}
+
+TEST(OnionTransport, BeginEpochMakesTrafficAPureFunctionOfSeedAndEpoch) {
+  // Two transports with the same construction seed but different request
+  // histories must behave identically inside the same epoch — drops,
+  // retries, and latency all replay.  This is the property the monitor's
+  // crash/resume equivalence is built on.
+  const Consensus consensus = small_consensus();
+  const auto handler = [](const Request&, std::int64_t) { return Response{200, "ok"}; };
+  TransportOptions options;
+  options.failure_probability = 0.3;
+  options.max_retries = 40;
+
+  util::SimClock clock_a{0};
+  OnionTransport a{consensus, clock_a, 31, options};
+  const std::string onion_a = a.host(960, handler);
+  util::SimClock clock_b{0};
+  OnionTransport b{consensus, clock_b, 31, options};
+  const std::string onion_b = b.host(960, handler);
+
+  // Divergent histories: `b` burns traffic in another epoch first.
+  b.begin_epoch(3);
+  for (int i = 0; i < 7; ++i) (void)b.fetch(onion_b, Request{});
+
+  a.begin_epoch(9);
+  b.begin_epoch(9);
+  const std::size_t failures_a = a.stats().failures;
+  const std::size_t failures_b = b.stats().failures;
+  const std::int64_t start_a = clock_a.now_millis();
+  const std::int64_t start_b = clock_b.now_millis();
+  for (int i = 0; i < 25; ++i) {
+    (void)a.fetch(onion_a, Request{});
+    (void)b.fetch(onion_b, Request{});
+  }
+  EXPECT_EQ(a.stats().failures - failures_a, b.stats().failures - failures_b);
+  EXPECT_EQ(clock_a.now_millis() - start_a, clock_b.now_millis() - start_b);
 }
 
 }  // namespace

@@ -23,6 +23,12 @@
 //                 call and has undefined behavior on numeric overflow)
 //   float-stats   no `float` in src/stats — the statistical kernels are
 //                 double-only (Eq. 1/2 profiles lose precision in float)
+//   catch-style   no `catch (...)` and no catch-by-value in src/ — a
+//                 bare ellipsis swallows typed recovery signals (the
+//                 monitor's degradation ladder dispatches on
+//                 forum::CrawlError categories) and catching by value
+//                 slices the exception object; catch by reference to a
+//                 concrete type instead
 //
 // Comments and string literals are stripped before matching, so prose like
 // "24-bin profile" never trips a rule.  A rule can be waived for one line
@@ -204,6 +210,34 @@ std::string strip_comments_and_strings(std::string_view text) {
   return false;
 }
 
+/// Finds a `catch (...)` or a catch-by-value clause.  The contents of each
+/// `catch (` ... `)` on the line are inspected: `...` matches everything
+/// (losing the type the recovery policy needs), and a clause without `&`
+/// or `*` binds the exception by value (slicing derived types).  A clause
+/// split across lines is judged by the part on the `catch` line.
+[[nodiscard]] bool has_bad_catch(std::string_view line) {
+  std::size_t pos = 0;
+  while ((pos = line.find("catch", pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    std::size_t open = pos + 5;
+    while (open < line.size() && (line[open] == ' ' || line[open] == '\t')) ++open;
+    if (!left_ok || open >= line.size() || line[open] != '(') {
+      ++pos;
+      continue;
+    }
+    const std::size_t close = line.find(')', open + 1);
+    const std::size_t stop = close == std::string_view::npos ? line.size() : close;
+    const std::string_view contents = line.substr(open + 1, stop - open - 1);
+    if (contents.find("...") != std::string_view::npos) return true;
+    if (contents.find('&') == std::string_view::npos &&
+        contents.find('*') == std::string_view::npos) {
+      return true;
+    }
+    pos = stop;
+  }
+  return false;
+}
+
 struct Rule {
   std::string name;
   std::string message;
@@ -285,6 +319,14 @@ struct Rule {
       [](const fs::path& rel) { return under(rel, "src") && rel.string().find("stats") != std::string::npos; },
       [](std::string_view line) { return contains_token(line, "float"); }});
 
+  out.push_back(Rule{
+      "catch-style",
+      "catch (...) or catch-by-value in library code; catch a concrete exception "
+      "type by (const) reference so recovery can dispatch on it (typed "
+      "forum::CrawlError categories drive the monitor's degradation ladder)",
+      [](const fs::path& rel) { return under(rel, "src"); },
+      has_bad_catch});
+
   return out;
 }
 
@@ -362,6 +404,18 @@ void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rul
   expect(contains_call("std::sscanf(s, \"%d\", &x)", "sscanf"), "std::sscanf flagged");
   expect(contains_call("sscanf (s, \"%d\", &x)", "sscanf"), "sscanf with space flagged");
   expect(!contains_call("vsscanf(s, f, ap)", "sscanf"), "vsscanf not matched by sscanf");
+
+  expect(has_bad_catch("} catch (...) {"), "catch (...) flagged");
+  expect(has_bad_catch("catch(std::exception e) {"), "catch-by-value flagged");
+  expect(has_bad_catch("} catch ( ... ) {"), "spaced catch (...) flagged");
+  expect(!has_bad_catch("} catch (const std::exception& e) {"),
+         "catch by const reference not flagged");
+  expect(!has_bad_catch("catch (const CrawlError& error) {"),
+         "catch by reference not flagged");
+  expect(!has_bad_catch("} catch (std::exception* e) {"),
+         "catch by pointer not flagged");
+  expect(!has_bad_catch("dispatch_catch(x)"), "identifier containing catch not flagged");
+  expect(!has_bad_catch("int catchall = 0;"), "catchall identifier not flagged");
 
   expect(contains_token("std::chrono::steady_clock::now()", "steady_clock"),
          "steady_clock flagged");
