@@ -1,9 +1,13 @@
 #include "core/dossier.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "core/placement_metrics.hpp"
 #include "core/report.hpp"
+#include "core/soa_crowd.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace tzgeo::core {
@@ -56,6 +60,15 @@ namespace {
   return dossier;
 }
 
+/// The event-derived verdicts of one dossier (everything except the
+/// placement-dependent fields filled by the SoA pass).
+void finish_dossier(UserDossier& dossier, const std::vector<tz::UtcSeconds>& events,
+                    const DossierOptions& options) {
+  dossier.hemisphere = classify_hemisphere(events, options.hemisphere);
+  dossier.rest_days =
+      detect_rest_days(events, dossier.placement.zone_hours, options.rest_days);
+}
+
 }  // namespace
 
 UserDossier build_dossier(std::uint64_t user, const std::vector<tz::UtcSeconds>& events,
@@ -85,11 +98,54 @@ std::vector<UserDossier> build_top_dossiers(const ActivityTrace& trace,
 
   const PlacementEngine engine{zones, options.metric};
   std::vector<UserDossier> dossiers(ranked.size());
+
+  // Three passes instead of one per-user loop, so the placement work runs
+  // through the SoA group kernels (and its crowd CDFs are computed once):
+  //   1. profiles (parallel over users);
+  //   2. placement + uniform distances (SoA batch over the whole crowd);
+  //   3. event-derived verdicts, which need each user's placed zone
+  //      (parallel over users).
+  // Every per-dossier value is computed by the same kernels as before, so
+  // the dossiers are bit-identical to the former single-pass loop.
+  std::vector<UserProfileEntry> profiled(ranked.size());
   ThreadPool::global().for_chunks(ranked.size(), 0, [&](std::size_t begin, std::size_t end) {
     std::vector<std::int64_t> cell_scratch;  // reused across the chunk's users
     for (std::size_t i = begin; i < end; ++i) {
-      dossiers[i] = build_dossier_impl(ranked[i].first, trace.events_of(ranked[i].first),
-                                       engine, options, cell_scratch);
+      UserDossier& dossier = dossiers[i];
+      dossier.user = ranked[i].first;
+      dossier.posts = ranked[i].second;
+      dossier.enough_data = ranked[i].second >= options.min_posts;
+      dossier.profile = profile_from_events(trace.events_of(ranked[i].first), cell_scratch);
+      profiled[i] = UserProfileEntry{dossier.user, dossier.posts, dossier.profile};
+    }
+  });
+
+  if (!profiled.empty()) {
+    SoaCrowdCache::Prepare prepare;
+    const std::shared_ptr<const SoaCrowd> crowd =
+        SoaCrowdCache::global().get(profiled, engine.soa_planes(), &prepare);
+    detail::record_soa_prepare(prepare);
+    std::vector<UserPlacement> placements(profiled.size());
+    std::vector<double> to_uniform(profiled.size());
+    ThreadPool::global().for_chunks(crowd->groups(), 0,
+                                    [&](std::size_t begin, std::size_t end) {
+      const obs::Stopwatch watch;
+      PlacementEngine::SoaStats counters;
+      engine.place_soa(*crowd, begin, end, placements.data(), counters);
+      engine.uniform_distance_soa(*crowd, begin, end, to_uniform.data());
+      const std::size_t last_slot = std::min(end * simd::kLanes, crowd->size());
+      detail::record_soa_batch(watch.elapsed_us(), last_slot - begin * simd::kLanes,
+                               counters);
+    });
+    for (std::size_t i = 0; i < dossiers.size(); ++i) {
+      dossiers[i].placement = placements[i];
+      dossiers[i].flat = to_uniform[i] < placements[i].distance;
+    }
+  }
+
+  ThreadPool::global().for_chunks(ranked.size(), 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      finish_dossier(dossiers[i], trace.events_of(ranked[i].first), options);
     }
   });
   return dossiers;

@@ -1,10 +1,15 @@
 #include "core/flat_filter.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 
 #include "core/parallel.hpp"
 #include "core/placement_engine.hpp"
+#include "core/placement_metrics.hpp"
+#include "core/soa_crowd.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
 
 namespace tzgeo::core {
@@ -18,21 +23,30 @@ constexpr std::size_t kParallelCutoff = 256;  ///< below this, flag serially
 FlatFilterResult filter_flat_profiles(const std::vector<UserProfileEntry>& users,
                                       const TimeZoneProfiles& zones, PlacementMetric metric) {
   const PlacementEngine engine{zones, metric};
+  FlatFilterResult result;
+  if (users.empty()) return result;
 
-  // Flag in parallel (pure per-user reads), then split serially so the
-  // kept/removed vectors preserve input order exactly as before.
+  // Flag through the SoA group kernels (both distances of the comparison
+  // come from the same kernels as placement, so flags match the per-user
+  // path bit-for-bit), then split serially so the kept/removed vectors
+  // preserve input order exactly as before.  The prepared crowd is shared
+  // with the placement pass of the same polish round via the cache.
+  SoaCrowdCache::Prepare prepare;
+  const std::shared_ptr<const SoaCrowd> crowd =
+      SoaCrowdCache::global().get(users, engine.soa_planes(), &prepare);
+  detail::record_soa_prepare(prepare);
+
   std::vector<std::uint8_t> flat(users.size(), 0);
   const std::size_t max_chunks = users.size() < kParallelCutoff ? 1 : 0;
-  ThreadPool::global().for_chunks(users.size(), max_chunks,
+  ThreadPool::global().for_chunks(crowd->groups(), max_chunks,
                                   [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const double to_uniform = engine.distance_to_uniform(users[i].profile);
-      const double to_zone = engine.nearest_distance(users[i].profile);
-      flat[i] = to_uniform < to_zone ? 1 : 0;
-    }
+    const obs::Stopwatch watch;
+    PlacementEngine::SoaStats counters;
+    engine.flat_flags_soa(*crowd, begin, end, flat.data(), counters);
+    const std::size_t last_slot = std::min(end * simd::kLanes, crowd->size());
+    detail::record_soa_batch(watch.elapsed_us(), last_slot - begin * simd::kLanes, counters);
   });
 
-  FlatFilterResult result;
   for (std::size_t i = 0; i < users.size(); ++i) {
     (flat[i] ? result.removed : result.kept).push_back(users[i]);
   }

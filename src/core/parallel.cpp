@@ -1,8 +1,14 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <array>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "core/placement_engine.hpp"
+#include "core/placement_metrics.hpp"
+#include "core/soa_crowd.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/pipeline_metrics.hpp"
 #include "obs/stopwatch.hpp"
@@ -15,19 +21,6 @@ namespace {
 
 constexpr std::size_t kSerialCutoff = 256;  ///< below this, parallelism doesn't pay
 
-/// Flushes per-batch placement metrics: one batch counter tick, the batch
-/// wall time, the users placed, and the pruning counters.
-void record_batch(std::uint64_t elapsed_us, std::size_t users,
-                  const PlacementEngine::PlaceStats& counters) {
-  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  registry.add(metrics.placement_batches);
-  registry.add(metrics.placement_users, users);
-  registry.observe(metrics.placement_batch_us, elapsed_us);
-  registry.add(metrics.placement_zones_pruned, counters.zones_pruned);
-  registry.add(metrics.placement_zones_evaluated, counters.zones_evaluated);
-}
-
 }  // namespace
 
 PlacementResult place_crowd_parallel(const std::vector<UserProfileEntry>& users,
@@ -38,33 +31,59 @@ PlacementResult place_crowd_parallel(const std::vector<UserProfileEntry>& users,
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
 
   ThreadPool& pool = ThreadPool::global();
-  if (threads == 0) threads = pool.size() + 1;
+  if (threads == 0) {
+    // The caller participates alongside the pool workers, but never shard
+    // wider than the machine: on a single-core host pool.size() + 1 == 2
+    // would split the crowd into two shards that time-share one core —
+    // pure context-switch overhead over the serial path.
+    const std::size_t hardware = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    threads = std::min(pool.size() + 1, hardware);
+  }
 
   PlacementResult result;
   if (users.size() < kSerialCutoff || threads == 1) {
-    const obs::Stopwatch watch;
     result = place_crowd(users, zones, metric);
-    record_batch(watch.elapsed_us(), users.size(), PlacementEngine::PlaceStats{});
   } else {
     const PlacementEngine engine{zones, metric};
+    // Shared setup: the prepared SoA crowd (from cache when this crowd was
+    // placed before) and the preallocated output.  After this point the
+    // shards allocate nothing — each works a group range of the shared
+    // planes and scatters into disjoint slots of `result.users`.
+    SoaCrowdCache::Prepare prepare;
+    const std::shared_ptr<const SoaCrowd> crowd =
+        SoaCrowdCache::global().get(users, engine.soa_planes(), &prepare);
+    detail::record_soa_prepare(prepare);
     result.users.resize(users.size());
     std::vector<UserPlacement>& placements = result.users;
-    pool.for_chunks(users.size(), threads, [&](std::size_t begin, std::size_t end) {
-      // One chunk is one batch: accumulate locally, flush once — the hot
-      // loop pays zero atomic traffic per user.
+
+    // Shards split the GROUP range, never a group, so every kernel call
+    // sees the same 8 lanes regardless of thread count — which, with
+    // results scattered by original index, keeps any sharding
+    // bit-identical to the serial pass over groups [0, groups).
+    result.counts.assign(kZoneCount, 0.0);
+    std::mutex counts_mutex;
+    pool.for_chunks(crowd->groups(), threads, [&](std::size_t begin, std::size_t end) {
+      // One chunk is one shard batch: accumulate locally, flush once —
+      // the hot loop pays zero atomic traffic per user.
       const obs::ScopedSpan batch_span("placement.batch");
       const obs::Stopwatch watch;
-      PlacementEngine::PlaceStats counters;
-      for (std::size_t i = begin; i < end; ++i) {
-        placements[i] = engine.place(users[i].user, users[i].profile, counters);
+      PlacementEngine::SoaStats counters;
+      std::array<double, kZoneCount> shard_counts{};
+      engine.place_soa(*crowd, begin, end, placements.data(), counters,
+                       shard_counts.data());
+      const std::size_t last_slot = std::min(end * simd::kLanes, crowd->size());
+      detail::record_soa_batch(watch.elapsed_us(), last_slot - begin * simd::kLanes,
+                               counters);
+      registry.add(metrics.placement_shards);
+      // Shard counts are small integers in doubles — their sum is exact in
+      // any merge order, so a mutex (not a deterministic ordering) suffices
+      // to keep the result identical to the serial pass.
+      const std::lock_guard<std::mutex> lock(counts_mutex);
+      for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
+        result.counts[bin] += shard_counts[bin];
       }
-      record_batch(watch.elapsed_us(), end - begin, counters);
     });
 
-    result.counts.assign(kZoneCount, 0.0);
-    for (const auto& placement : result.users) {
-      result.counts[bin_of_zone(placement.zone_hours)] += 1.0;
-    }
     result.distribution = stats::normalize(result.counts);
   }
 

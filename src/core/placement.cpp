@@ -4,7 +4,10 @@
 #include <limits>
 
 #include "core/placement_engine.hpp"
+#include "core/placement_metrics.hpp"
+#include "core/soa_crowd.hpp"
 #include "obs/pipeline_metrics.hpp"
+#include "obs/stopwatch.hpp"
 #include "stats/emd.hpp"
 #include "stats/histogram.hpp"
 
@@ -32,22 +35,32 @@ PlacementResult place_crowd(const std::vector<UserProfileEntry>& users,
                             const TimeZoneProfiles& zones, PlacementMetric metric) {
   const PlacementEngine engine{zones, metric};
   PlacementResult result;
-  result.users.reserve(users.size());
   result.counts.assign(kZoneCount, 0.0);
-
-  // Accumulate pruning counters locally; one registry flush per crowd.
-  PlacementEngine::PlaceStats counters;
-  for (const auto& entry : users) {
-    const UserPlacement placement = engine.place(entry.user, entry.profile, counters);
-    result.counts[bin_of_zone(placement.zone_hours)] += 1.0;
-    result.users.push_back(placement);
+  if (users.empty()) {
+    result.distribution = stats::normalize(result.counts);
+    return result;
   }
-  result.distribution = stats::normalize(result.counts);
 
-  const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  registry.add(metrics.placement_zones_pruned, counters.zones_pruned);
-  registry.add(metrics.placement_zones_evaluated, counters.zones_evaluated);
+  // Serial crowds route through the same SoA group kernels as the sharded
+  // path (one batch covering every group): per-user results are pure
+  // functions of profile content, so this is bit-identical to the former
+  // engine.place() loop — and the sharded path is trivially identical to
+  // this one because shards only split the group range.
+  SoaCrowdCache::Prepare prepare;
+  const std::shared_ptr<const SoaCrowd> crowd =
+      SoaCrowdCache::global().get(users, engine.soa_planes(), &prepare);
+  detail::record_soa_prepare(prepare);
+
+  const obs::Stopwatch watch;
+  result.users.resize(users.size());
+  PlacementEngine::SoaStats counters;
+  // Zone counts accumulate inside the scatter loop (the group result is
+  // still cache-hot there), replacing a second full pass over the 1M-user
+  // result array.
+  engine.place_soa(*crowd, 0, crowd->groups(), result.users.data(), counters,
+                   result.counts.data());
+  result.distribution = stats::normalize(result.counts);
+  detail::record_soa_batch(watch.elapsed_us(), users.size(), counters);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/simd/simd.hpp"
 #include "stats/emd.hpp"
 
 namespace tzgeo::core {
@@ -16,7 +17,27 @@ PlacementEngine::PlacementEngine(const TimeZoneProfiles& zones, PlacementMetric 
     const std::vector<double>& values = zones.all()[bin].values();
     double* row = zone_bins_.data() + bin * kProfileBins;
     std::copy(values.begin(), values.end(), row);
+    const double* cdf = zone_cdfs_.data() + bin * kProfileBins;
     stats::prefix_sums_24(row, zone_cdfs_.data() + bin * kProfileBins);
+    double* circ = zone_circ_rows_.data() + bin * simd::kCircularZoneRowPitch;
+    std::copy(cdf, cdf + kProfileBins, circ);
+    for (std::size_t i = 0; i < kProfileBins / 2; ++i) {
+      circ[kProfileBins + i] = cdf[i] - cdf[i + kProfileBins / 2];
+    }
+  }
+  // Zone-pair circular EMD matrix for the kernels' triangle-inequality
+  // prune: the exact scalar kernel on the zone rows themselves, so each
+  // entry carries at most the scalar kernel's own rounding error (covered
+  // by the kernels' prune margin).  Symmetric with a zero diagonal.
+  double* pair = zone_circ_rows_.data() + simd::kCircularZonePairOffset;
+  for (std::size_t a = 0; a < kZoneCount; ++a) {
+    pair[a * kZoneCount + a] = 0.0;
+    for (std::size_t b = a + 1; b < kZoneCount; ++b) {
+      const double d = stats::emd_circular_24(zone_bins_.data() + a * kProfileBins,
+                                              zone_bins_.data() + b * kProfileBins);
+      pair[a * kZoneCount + b] = d;
+      pair[b * kZoneCount + a] = d;
+    }
   }
   const HourlyProfile uniform;
   std::copy(uniform.values().begin(), uniform.values().end(), uniform_bins_.begin());
@@ -148,6 +169,123 @@ double PlacementEngine::distance_to_uniform(const HourlyProfile& profile) const 
   double scratch[kProfileBins];
   stats::prefix_sums_24(bins, cdf);
   return row_distance(bins, cdf, uniform_bins_.data(), uniform_cdf_.data(), scratch);
+}
+
+namespace {
+
+/// Lanes of the last group that correspond to real slots (tail groups
+/// carry replicated pad columns whose outputs are discarded).
+[[nodiscard]] std::size_t live_lanes(std::size_t base, std::size_t size) noexcept {
+  return std::min(size - base, simd::kLanes);
+}
+
+}  // namespace
+
+void PlacementEngine::place_soa(const SoaCrowd& crowd, std::size_t group_begin,
+                                std::size_t group_end, UserPlacement* out,
+                                SoaStats& counters, double* zone_counts) const noexcept {
+  const simd::KernelTable& kernels = simd::kernels();
+  const double* planes = crowd.planes();
+  const std::size_t stride = crowd.stride();
+  simd::GroupPlacement group;
+  simd::GroupStats group_stats;
+  for (std::size_t g = group_begin; g < group_end; ++g) {
+    const std::size_t base = g * simd::kLanes;
+    switch (metric_) {
+      case PlacementMetric::kEmd:
+        kernels.place_linear(planes, stride, base, zone_cdfs_.data(), group);
+        group_stats.zone_groups_evaluated += kZoneCount;
+        break;
+      case PlacementMetric::kCircularEmd:
+        kernels.place_circular(planes, stride, base, zone_circ_rows_.data(), group,
+                               group_stats);
+        break;
+      case PlacementMetric::kTotalVariation:
+        kernels.place_tv(planes, stride, base, zone_bins_.data(), group);
+        group_stats.zone_groups_evaluated += kZoneCount;
+        break;
+    }
+    const std::size_t lanes = live_lanes(base, crowd.size());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t slot = base + l;
+      const auto bin = static_cast<std::int32_t>(group.zone_bin[l]);
+      UserPlacement& placement = out[crowd.index_of_slot(slot)];
+      placement.user = crowd.user_of_slot(slot);
+      placement.zone_hours = kMinZone + bin;
+      placement.distance = group.distance[l];
+      placement.runner_up_distance = group.runner_up[l];
+      if (zone_counts != nullptr) zone_counts[static_cast<std::size_t>(bin)] += 1.0;
+    }
+  }
+  counters.groups += group_end - group_begin;
+  counters.zone_groups_pruned += group_stats.zone_groups_pruned;
+  counters.zone_groups_evaluated += group_stats.zone_groups_evaluated;
+}
+
+void PlacementEngine::uniform_distance_soa(const SoaCrowd& crowd, std::size_t group_begin,
+                                           std::size_t group_end, double* out) const noexcept {
+  const simd::KernelTable& kernels = simd::kernels();
+  const double* planes = crowd.planes();
+  const std::size_t stride = crowd.stride();
+  alignas(64) double lane_out[simd::kLanes];
+  for (std::size_t g = group_begin; g < group_end; ++g) {
+    const std::size_t base = g * simd::kLanes;
+    switch (metric_) {
+      case PlacementMetric::kEmd:
+        kernels.row_linear(planes, stride, base, uniform_cdf_.data(), lane_out);
+        break;
+      case PlacementMetric::kCircularEmd:
+        kernels.row_circular(planes, stride, base, uniform_cdf_.data(), lane_out);
+        break;
+      case PlacementMetric::kTotalVariation:
+        kernels.row_tv(planes, stride, base, uniform_bins_.data(), lane_out);
+        break;
+    }
+    const std::size_t lanes = live_lanes(base, crowd.size());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      out[crowd.index_of_slot(base + l)] = lane_out[l];
+    }
+  }
+}
+
+void PlacementEngine::flat_flags_soa(const SoaCrowd& crowd, std::size_t group_begin,
+                                     std::size_t group_end, std::uint8_t* flags,
+                                     SoaStats& counters) const noexcept {
+  const simd::KernelTable& kernels = simd::kernels();
+  const double* planes = crowd.planes();
+  const std::size_t stride = crowd.stride();
+  simd::GroupPlacement group;
+  simd::GroupStats group_stats;
+  alignas(64) double to_uniform[simd::kLanes];
+  for (std::size_t g = group_begin; g < group_end; ++g) {
+    const std::size_t base = g * simd::kLanes;
+    switch (metric_) {
+      case PlacementMetric::kEmd:
+        kernels.place_linear(planes, stride, base, zone_cdfs_.data(), group);
+        kernels.row_linear(planes, stride, base, uniform_cdf_.data(), to_uniform);
+        group_stats.zone_groups_evaluated += kZoneCount;
+        break;
+      case PlacementMetric::kCircularEmd:
+        kernels.place_circular(planes, stride, base, zone_circ_rows_.data(), group,
+                               group_stats);
+        kernels.row_circular(planes, stride, base, uniform_cdf_.data(), to_uniform);
+        break;
+      case PlacementMetric::kTotalVariation:
+        kernels.place_tv(planes, stride, base, zone_bins_.data(), group);
+        kernels.row_tv(planes, stride, base, uniform_bins_.data(), to_uniform);
+        group_stats.zone_groups_evaluated += kZoneCount;
+        break;
+    }
+    const std::size_t lanes = live_lanes(base, crowd.size());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      // nearest_distance() is the same exact minimum place() computes, so
+      // the group placement distance is the comparand bit-for-bit.
+      flags[crowd.index_of_slot(base + l)] = to_uniform[l] < group.distance[l] ? 1 : 0;
+    }
+  }
+  counters.groups += group_end - group_begin;
+  counters.zone_groups_pruned += group_stats.zone_groups_pruned;
+  counters.zone_groups_evaluated += group_stats.zone_groups_evaluated;
 }
 
 }  // namespace tzgeo::core

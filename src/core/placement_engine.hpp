@@ -28,6 +28,8 @@
 #include <cstdint>
 
 #include "core/placement.hpp"
+#include "core/simd/simd.hpp"
+#include "core/soa_crowd.hpp"
 #include "core/timezone_profiles.hpp"
 
 namespace tzgeo::core {
@@ -69,6 +71,51 @@ class PlacementEngine {
   /// flatness test).
   [[nodiscard]] double distance_to_uniform(const HourlyProfile& profile) const noexcept;
 
+  /// The plane kind place_soa() expects for this engine's metric (CDF
+  /// planes for the EMD metrics, raw bins for total variation).
+  [[nodiscard]] SoaCrowd::Planes soa_planes() const noexcept {
+    return metric_ == PlacementMetric::kTotalVariation ? SoaCrowd::Planes::kBins
+                                                       : SoaCrowd::Planes::kCdf;
+  }
+
+  /// Counters of one SoA batch (group granularity; one group = one
+  /// simd::kLanes-wide kernel call).
+  struct SoaStats {
+    std::uint64_t groups = 0;
+    std::uint64_t zone_groups_pruned = 0;     ///< whole-group lower-bound skips
+    std::uint64_t zone_groups_evaluated = 0;  ///< exact group evaluations
+  };
+
+  /// Places groups [group_begin, group_end) of a prepared crowd through
+  /// the active SIMD path, scattering each slot's result to
+  /// out[crowd.index_of_slot(slot)].  `out` must span crowd.size()
+  /// entries.  Lane l of a group computes exactly the operation sequence
+  /// of place() on that slot's profile, so results are bit-identical to
+  /// the per-user path regardless of dispatch path, grouping, or
+  /// sharding.  No allocation.
+  ///
+  /// When `zone_counts` is non-null it must span kZoneCount entries; each
+  /// placed slot bumps zone_counts[bin] while the group result is still
+  /// cache-hot, saving the caller a full re-read of `out` at crawl scale.
+  /// Counts are small integers held in doubles, so accumulation (and any
+  /// per-shard merge) is exact in every order.
+  void place_soa(const SoaCrowd& crowd, std::size_t group_begin, std::size_t group_end,
+                 UserPlacement* out, SoaStats& counters,
+                 double* zone_counts = nullptr) const noexcept;
+
+  /// distance_to_uniform() for groups of a prepared crowd, scattered to
+  /// out[crowd.index_of_slot(slot)].  No allocation.
+  void uniform_distance_soa(const SoaCrowd& crowd, std::size_t group_begin,
+                            std::size_t group_end, double* out) const noexcept;
+
+  /// The Section IV-C flat flags (distance_to_uniform < nearest_distance)
+  /// for groups of a prepared crowd, scattered to
+  /// flags[crowd.index_of_slot(slot)].  Both distances come from the same
+  /// group kernels as place_soa, so flags match the per-user comparisons
+  /// bit-for-bit.  No allocation.
+  void flat_flags_soa(const SoaCrowd& crowd, std::size_t group_begin, std::size_t group_end,
+                      std::uint8_t* flags, SoaStats& counters) const noexcept;
+
  private:
   /// Shared implementation of both place() overloads; the counter writes
   /// compile out of the kCountStats == false instantiation.
@@ -85,6 +132,15 @@ class PlacementEngine {
   PlacementMetric metric_;
   std::array<double, kZoneCount * kProfileBins> zone_bins_{};  ///< row-major
   std::array<double, kZoneCount * kProfileBins> zone_cdfs_{};  ///< row-major
+  /// Circular-EMD zone rows for the group kernels: each row is the zone's
+  /// CDF followed by its 12 precomputed pair differences Q_i - Q_{i+12}
+  /// (pitch simd::kCircularZoneRowPitch), feeding the vectorized prune's
+  /// lower bound without re-deriving the differences per group.  The block
+  /// at simd::kCircularZonePairOffset appends the kZoneCount x kZoneCount
+  /// zone-pair circular-EMD matrix for the kernel's triangle-inequality
+  /// prune leg.
+  std::array<double, simd::kCircularZonePairOffset + kZoneCount * kZoneCount>
+      zone_circ_rows_{};
   std::array<double, kProfileBins> uniform_bins_{};
   std::array<double, kProfileBins> uniform_cdf_{};
 };

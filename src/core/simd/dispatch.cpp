@@ -1,0 +1,150 @@
+// Runtime path selection: CPU detection once at startup, TZGEO_SIMD
+// override, and the atomic active-table pointer behind kernels().
+#include "core/simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "core/simd/kernel_tables.hpp"
+
+namespace tzgeo::core::simd {
+namespace {
+
+[[nodiscard]] bool cpu_supports(Path path) noexcept {
+  switch (path) {
+    case Path::kScalar:
+      return true;
+    case Path::kAvx2:
+#if defined(TZGEO_SIMD_HAS_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Path::kNeon:
+      // Double-precision NEON is baseline AArch64: compiled in => supported.
+#if defined(TZGEO_SIMD_HAS_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case Path::kAvx512:
+      // F covers the arithmetic; DQ adds the 512-bit double compares the
+      // kernels use as predicate masks.
+#if defined(TZGEO_SIMD_HAS_AVX512)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+[[nodiscard]] const KernelTable* table_of(Path path) noexcept {
+  switch (path) {
+#if defined(TZGEO_SIMD_HAS_AVX2)
+    case Path::kAvx2:
+      return &avx2_table();
+#endif
+#if defined(TZGEO_SIMD_HAS_AVX512)
+    case Path::kAvx512:
+      return &avx512_table();
+#endif
+#if defined(TZGEO_SIMD_HAS_NEON)
+    case Path::kNeon:
+      return &neon_table();
+#endif
+    default:
+      return &scalar_table();
+  }
+}
+
+[[nodiscard]] Path best_available() noexcept {
+  if (cpu_supports(Path::kAvx512)) return Path::kAvx512;
+  if (cpu_supports(Path::kAvx2)) return Path::kAvx2;
+  if (cpu_supports(Path::kNeon)) return Path::kNeon;
+  return Path::kScalar;
+}
+
+[[nodiscard]] Path startup_path() noexcept {
+  const char* env = std::getenv("TZGEO_SIMD");
+  return resolve_choice(parse_choice(env == nullptr ? std::string_view{} : env));
+}
+
+struct State {
+  std::atomic<Path> path;
+  std::atomic<const KernelTable*> table;
+  State() noexcept {
+    const Path p = startup_path();
+    path.store(p, std::memory_order_relaxed);
+    table.store(table_of(p), std::memory_order_relaxed);
+  }
+};
+
+State& state() noexcept {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+const KernelTable& kernels() noexcept {
+  return *state().table.load(std::memory_order_relaxed);
+}
+
+Path active_path() noexcept { return state().path.load(std::memory_order_relaxed); }
+
+bool path_available(Path path) noexcept { return cpu_supports(path); }
+
+bool set_path(Path path) noexcept {
+  if (!cpu_supports(path)) return false;
+  State& s = state();
+  s.table.store(table_of(path), std::memory_order_relaxed);
+  s.path.store(path, std::memory_order_relaxed);
+  return true;
+}
+
+PathChoice parse_choice(std::string_view name) noexcept {
+  if (name.empty() || name == "auto") return PathChoice::kAuto;
+  if (name == "scalar") return PathChoice::kForceScalar;
+  if (name == "avx2") return PathChoice::kForceAvx2;
+  if (name == "neon") return PathChoice::kForceNeon;
+  if (name == "avx512") return PathChoice::kForceAvx512;
+  return PathChoice::kInvalid;
+}
+
+Path resolve_choice(PathChoice choice) noexcept {
+  switch (choice) {
+    case PathChoice::kForceScalar:
+      return Path::kScalar;
+    case PathChoice::kForceAvx2:
+      if (cpu_supports(Path::kAvx2)) return Path::kAvx2;
+      break;
+    case PathChoice::kForceNeon:
+      if (cpu_supports(Path::kNeon)) return Path::kNeon;
+      break;
+    case PathChoice::kForceAvx512:
+      if (cpu_supports(Path::kAvx512)) return Path::kAvx512;
+      break;
+    case PathChoice::kAuto:
+    case PathChoice::kInvalid:
+      break;
+  }
+  return best_available();
+}
+
+const char* to_string(Path path) noexcept {
+  switch (path) {
+    case Path::kScalar:
+      return "scalar";
+    case Path::kAvx2:
+      return "avx2";
+    case Path::kNeon:
+      return "neon";
+    case Path::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+}  // namespace tzgeo::core::simd

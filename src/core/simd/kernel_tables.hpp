@@ -1,0 +1,23 @@
+// Internal: the per-backend kernel tables dispatch.cpp selects between.
+// Each table lives in its own translation unit so the AVX2 TU can be
+// compiled with -mavx2 without leaking those codegen flags into code that
+// must run on non-AVX2 hosts.
+#pragma once
+
+#include "core/simd/simd.hpp"
+
+namespace tzgeo::core::simd {
+
+[[nodiscard]] const KernelTable& scalar_table() noexcept;
+
+#if defined(TZGEO_SIMD_HAS_AVX2)
+[[nodiscard]] const KernelTable& avx2_table() noexcept;
+#endif
+#if defined(TZGEO_SIMD_HAS_AVX512)
+[[nodiscard]] const KernelTable& avx512_table() noexcept;
+#endif
+#if defined(TZGEO_SIMD_HAS_NEON)
+[[nodiscard]] const KernelTable& neon_table() noexcept;
+#endif
+
+}  // namespace tzgeo::core::simd

@@ -1,0 +1,19 @@
+// Compiled with -mavx2 (see src/core/CMakeLists.txt); nothing in this TU
+// may be reached before dispatch.cpp has confirmed AVX2 support.
+#include "core/simd/kernel_tables.hpp"
+
+#if defined(TZGEO_SIMD_HAS_AVX2)
+
+#include "core/simd/kernels_impl.hpp"
+#include "core/simd/vec_avx2.hpp"
+
+namespace tzgeo::core::simd {
+
+const KernelTable& avx2_table() noexcept {
+  static constexpr KernelTable kTable = impl::make_table<VecAvx2>();
+  return kTable;
+}
+
+}  // namespace tzgeo::core::simd
+
+#endif  // TZGEO_SIMD_HAS_AVX2

@@ -1,0 +1,20 @@
+// Compiled with -mavx512f -mavx512dq (see src/core/CMakeLists.txt);
+// nothing in this TU may be reached before dispatch.cpp has confirmed
+// AVX-512 support.
+#include "core/simd/kernel_tables.hpp"
+
+#if defined(TZGEO_SIMD_HAS_AVX512)
+
+#include "core/simd/kernels_impl.hpp"
+#include "core/simd/vec_avx512.hpp"
+
+namespace tzgeo::core::simd {
+
+const KernelTable& avx512_table() noexcept {
+  static constexpr KernelTable kTable = impl::make_table<VecAvx512>();
+  return kTable;
+}
+
+}  // namespace tzgeo::core::simd
+
+#endif  // TZGEO_SIMD_HAS_AVX512

@@ -1,0 +1,19 @@
+// AArch64 NEON table; double-precision NEON is baseline on AArch64 so no
+// extra codegen flags are needed, only the architecture gate.
+#include "core/simd/kernel_tables.hpp"
+
+#if defined(TZGEO_SIMD_HAS_NEON)
+
+#include "core/simd/kernels_impl.hpp"
+#include "core/simd/vec_neon.hpp"
+
+namespace tzgeo::core::simd {
+
+const KernelTable& neon_table() noexcept {
+  static constexpr KernelTable kTable = impl::make_table<VecNeon>();
+  return kTable;
+}
+
+}  // namespace tzgeo::core::simd
+
+#endif  // TZGEO_SIMD_HAS_NEON

@@ -1,0 +1,12 @@
+#include "core/simd/kernel_tables.hpp"
+#include "core/simd/kernels_impl.hpp"
+#include "core/simd/vec_scalar.hpp"
+
+namespace tzgeo::core::simd {
+
+const KernelTable& scalar_table() noexcept {
+  static constexpr KernelTable kTable = impl::make_table<VecScalar>();
+  return kTable;
+}
+
+}  // namespace tzgeo::core::simd

@@ -40,6 +40,28 @@ namespace {
     m.placement_zone[bin] = reg.counter(name, "users placed in this zone");
   }
 
+  m.placement_simd_lanes = reg.counter("tzgeo_placement_simd_lanes_total",
+                                       "SoA lane-slots processed by the group kernels");
+  m.placement_zones_pruned_vectorized =
+      reg.counter("tzgeo_placement_zones_pruned_vectorized_total",
+                  "zone evaluations skipped by the whole-group lower bound (lane units)");
+  m.placement_zones_evaluated_vectorized =
+      reg.counter("tzgeo_placement_zones_evaluated_vectorized_total",
+                  "zone evaluations run by the group kernels (lane units)");
+  m.placement_shards = reg.counter("tzgeo_placement_shards_total", "SoA shard batches run");
+  m.placement_transpose_us =
+      reg.histogram("tzgeo_placement_transpose_us", "SoA transpose build wall time");
+  m.placement_soa_cache_hits =
+      reg.counter("tzgeo_placement_soa_cache_hits_total", "prepared SoA crowds reused");
+  m.placement_soa_cache_misses =
+      reg.counter("tzgeo_placement_soa_cache_misses_total", "SoA crowds transposed");
+  const char* path_names[] = {"scalar", "avx2", "neon", "avx512"};
+  for (std::size_t p = 0; p < m.placement_path_batches.size(); ++p) {
+    m.placement_path_batches[p] =
+        reg.counter(std::string{"tzgeo_placement_batches_"} + path_names[p] + "_total",
+                    "SoA batches served by this dispatch path");
+  }
+
   m.incremental_observations =
       reg.counter("tzgeo_incremental_observations_total", "streamed observations");
   m.incremental_snapshots =

@@ -140,6 +140,12 @@ inline void sort_24(double* values) noexcept {
 
 }  // namespace detail
 
+/// The comparator schedule of the 24-input sorting network, exposed so the
+/// vectorized kernels in core/simd can execute the exact same
+/// compare-exchange sequence (bit-identity across dispatch paths depends
+/// on sorting with the identical network).
+inline constexpr const auto& kCircularSortSchedule24 = detail::kBatcher24;
+
 /// D = P - Q, the prefix-difference sequence of Werman's circular-EMD
 /// formula, into 24 caller-provided doubles.
 inline void cdf_diff_24(const double* cdf_p, const double* cdf_q, double* diff) noexcept {

@@ -9,6 +9,7 @@
 // fast; run them with `ctest --preset tsan` or `ctest -L tsan`.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
@@ -23,6 +24,8 @@
 #include "core/placement_engine.hpp"
 #include "core/profile.hpp"
 #include "core/profile_builder.hpp"
+#include "core/simd/simd.hpp"
+#include "core/soa_crowd.hpp"
 #include "core/thread_pool.hpp"
 #include "core/timezone_profiles.hpp"
 #include "obs/metrics.hpp"
@@ -181,6 +184,52 @@ TEST(TsanStress, ConcurrentPlaceCrowdParallelMatchesSerial) {
       EXPECT_EQ(parallel.users[i].distance, serial.users[i].distance);
     }
   }
+}
+
+TEST(TsanStress, ConcurrentShardedSoaPlacementOnSharedCrowd) {
+  // Several threads shard the SAME prepared SoA crowd through place_soa
+  // while another flips the dispatch path: the kernels read shared
+  // immutable planes and the path swap is a pair of relaxed atomics, so
+  // every interleaving must be race-free and every shard must land its
+  // slots exactly once.
+  const TimeZoneProfiles zones = stress_zones();
+  const PlacementEngine engine{zones, PlacementMetric::kCircularEmd};
+  const std::vector<UserProfileEntry> crowd = stress_crowd(800, 31);
+  SoaCrowd soa;
+  soa.build(crowd, engine.soa_planes());
+
+  constexpr std::size_t kRounds = 12;
+  constexpr std::size_t kShards = 4;
+  std::atomic<bool> stop{false};
+  std::thread flipper{[&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const simd::Path path :
+           {simd::Path::kScalar, simd::Path::kAvx2, simd::Path::kAvx512, simd::Path::kNeon}) {
+        (void)simd::set_path(path);
+      }
+    }
+  }};
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::vector<UserPlacement> out(soa.size());
+    std::vector<std::thread> shards;
+    shards.reserve(kShards);
+    const std::size_t per = (soa.groups() + kShards - 1) / kShards;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const std::size_t begin = std::min(s * per, soa.groups());
+      const std::size_t end = std::min(begin + per, soa.groups());
+      shards.emplace_back([&engine, &soa, &out, begin, end] {
+        PlacementEngine::SoaStats counters;
+        engine.place_soa(soa, begin, end, out.data(), counters);
+      });
+    }
+    for (auto& t : shards) t.join();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_GE(out[i].zone_hours, kMinZone);
+      EXPECT_LE(out[i].zone_hours, kMaxZone);
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  flipper.join();
 }
 
 TEST(TsanStress, SharedEngineConcurrentReaders) {

@@ -29,6 +29,11 @@
 //                 forum::CrawlError categories) and catching by value
 //                 slices the exception object; catch by reference to a
 //                 concrete type instead
+//   simd-shim     no <immintrin.h>/<arm_neon.h> includes or raw vector
+//                 intrinsic tokens (__m256d, _mm512_*, vld1q_f64, ...)
+//                 outside src/core/simd/ — all ISA-specific code lives
+//                 behind the dispatch shim so the scalar reference path
+//                 and the bit-identity guarantee cannot rot
 //
 // Comments and string literals are stripped before matching, so prose like
 // "24-bin profile" never trips a rule.  A rule can be waived for one line
@@ -163,6 +168,20 @@ std::string strip_comments_and_strings(std::string_view text) {
     const std::size_t end = pos + token.size();
     const bool right_ok = end >= line.size() || !is_word_char(line[end]);
     if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+/// True when `prefix` occurs in `line` with a non-word character (or the
+/// line start) on its LEFT only.  Vector-register families share prefixes
+/// across many suffixed spellings (__m256 vs __m256d vs __m256i,
+/// _mm512_add_pd, vld1q_f64), so unlike contains_token the right side is
+/// deliberately unconstrained.
+[[nodiscard]] bool contains_prefix_token(std::string_view line, std::string_view prefix) {
+  std::size_t pos = 0;
+  while ((pos = line.find(prefix, pos)) != std::string_view::npos) {
+    if (pos == 0 || !is_word_char(line[pos - 1])) return true;
     ++pos;
   }
   return false;
@@ -320,6 +339,31 @@ struct Rule {
       [](std::string_view line) { return contains_token(line, "float"); }});
 
   out.push_back(Rule{
+      "simd-shim",
+      "raw SIMD include or vector-register token outside src/core/simd/; all "
+      "ISA-specific code lives behind the dispatch shim (core/simd/simd.hpp) so "
+      "the scalar reference path stays the single source of truth",
+      [](const fs::path& rel) {
+        const std::string shim = (fs::path("src") / "core" / "simd").generic_string();
+        return rel.generic_string().rfind(shim, 0) != 0;
+      },
+      [](std::string_view line) {
+        return line.find("immintrin.h") != std::string_view::npos ||
+               line.find("arm_neon.h") != std::string_view::npos ||
+               contains_prefix_token(line, "__m128") ||
+               contains_prefix_token(line, "__m256") ||
+               contains_prefix_token(line, "__m512") ||
+               contains_prefix_token(line, "__mmask") ||
+               contains_prefix_token(line, "_mm_") ||
+               contains_prefix_token(line, "_mm256_") ||
+               contains_prefix_token(line, "_mm512_") ||
+               contains_prefix_token(line, "vld1q") ||
+               contains_prefix_token(line, "vst1q") ||
+               contains_prefix_token(line, "float64x") ||
+               contains_prefix_token(line, "uint64x");
+      }});
+
+  out.push_back(Rule{
       "catch-style",
       "catch (...) or catch-by-value in library code; catch a concrete exception "
       "type by (const) reference so recovery can dispatch on it (typed "
@@ -416,6 +460,17 @@ void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rul
          "catch by pointer not flagged");
   expect(!has_bad_catch("dispatch_catch(x)"), "identifier containing catch not flagged");
   expect(!has_bad_catch("int catchall = 0;"), "catchall identifier not flagged");
+
+  expect(contains_prefix_token("__m256d acc = _mm256_setzero_pd();", "__m256"),
+         "suffixed __m256d flagged by prefix match");
+  expect(contains_prefix_token("_mm512_add_pd(a, b)", "_mm512_"),
+         "_mm512_ intrinsic flagged");
+  expect(contains_prefix_token("vld1q_f64(p)", "vld1q"), "vld1q_f64 flagged");
+  expect(contains_prefix_token("float64x2_t q;", "float64x"), "float64x2_t flagged");
+  expect(!contains_prefix_token("x__m256 = 1;", "__m256"),
+         "identifier ending in __m256 not flagged (left boundary)");
+  expect(!contains_prefix_token("register_mm_handler()", "_mm_"),
+         "_mm_ inside an identifier not flagged");
 
   expect(contains_token("std::chrono::steady_clock::now()", "steady_clock"),
          "steady_clock flagged");
