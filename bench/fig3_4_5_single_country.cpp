@@ -41,7 +41,7 @@ void chart(const std::string& title, const PlacementRun& run,
     bench::export_placement(export_name, run.placement.distribution, run.fit.fitted_curve);
   }
   std::vector<std::string> labels;
-  for (std::size_t bin = 0; bin < core::kZoneCount; ++bin) {
+  for (std::size_t bin = 0; bin < kZoneCount; ++bin) {
     labels.push_back(std::to_string(core::zone_of_bin(bin)));
   }
   util::ChartOptions options;

@@ -181,6 +181,7 @@ namespace {
 
 }  // namespace
 
+// tzgeo: hot — per-group placement loop; allocation-free by construction.
 void PlacementEngine::place_soa(const SoaCrowd& crowd, std::size_t group_begin,
                                 std::size_t group_end, UserPlacement* out,
                                 SoaStats& counters, double* zone_counts) const noexcept {
@@ -222,6 +223,7 @@ void PlacementEngine::place_soa(const SoaCrowd& crowd, std::size_t group_begin,
   counters.zone_groups_evaluated += group_stats.zone_groups_evaluated;
 }
 
+// tzgeo: hot
 void PlacementEngine::uniform_distance_soa(const SoaCrowd& crowd, std::size_t group_begin,
                                            std::size_t group_end, double* out) const noexcept {
   const simd::KernelTable& kernels = simd::kernels();

@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 
 namespace tzgeo::core {
 

@@ -39,7 +39,7 @@
 #include <limits>
 #include <utility>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 #include "core/simd/simd.hpp"
 #include "stats/emd.hpp"
 
@@ -209,6 +209,7 @@ inline void eval_work2(const double* planes, std::size_t stride, std::size_t bas
 static_assert(kZoneCount % 4 == 0, "the x4 zone blocks below assume it");
 
 template <class V>
+// tzgeo: hot
 void place_linear(const double* planes, std::size_t stride, std::size_t base,
                   const double* zone_cdfs, GroupPlacement& out) noexcept {
   typename V::Reg dist = V::broadcast(kInf);
@@ -258,6 +259,7 @@ void place_linear(const double* planes, std::size_t stride, std::size_t base,
 /// of the best bound and the runner-up estimate tightens immediately,
 /// which is what lets the margin prune discard most of the other 22.
 template <class V>
+// tzgeo: hot
 void place_circular(const double* planes, std::size_t stride, std::size_t base,
                     const double* zone_rows, GroupPlacement& out,
                     GroupStats& stats) noexcept {
@@ -379,6 +381,7 @@ void place_circular(const double* planes, std::size_t stride, std::size_t base,
 }
 
 template <class V>
+// tzgeo: hot
 void place_tv(const double* planes, std::size_t stride, std::size_t base,
               const double* zone_bins, GroupPlacement& out) noexcept {
   typename V::Reg dist = V::broadcast(kInf);
@@ -406,18 +409,21 @@ void place_tv(const double* planes, std::size_t stride, std::size_t base,
 }
 
 template <class V>
+// tzgeo: hot
 void row_linear(const double* planes, std::size_t stride, std::size_t base,
                 const double* row_cdf, double* out) noexcept {
   V::store(out, row_work_linear<V>(planes, stride, base, row_cdf));
 }
 
 template <class V>
+// tzgeo: hot
 void row_circular(const double* planes, std::size_t stride, std::size_t base,
                   const double* row_cdf, double* out) noexcept {
   V::store(out, eval_work<V>(planes, stride, base, row_cdf));
 }
 
 template <class V>
+// tzgeo: hot
 void row_tv(const double* planes, std::size_t stride, std::size_t base,
             const double* row_bins, double* out) noexcept {
   V::store(out, row_work_tv<V>(planes, stride, base, row_bins));

@@ -29,7 +29,7 @@
 #include <cstdint>
 #include <string_view>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 
 namespace tzgeo::core::simd {
 

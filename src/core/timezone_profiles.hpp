@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 #include "core/profile.hpp"
 #include "core/profile_builder.hpp"
 

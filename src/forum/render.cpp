@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 #include "util/strings.hpp"
 
 namespace tzgeo::forum {
@@ -64,7 +64,7 @@ namespace {
   if (month < 1 || month > 12 || day < 1 || day > tz::days_in_month(year, month)) {
     return std::nullopt;
   }
-  if (hour < 0 || hour > core::kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 ||
+  if (hour < 0 || hour > kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 ||
       second > 59) {
     return std::nullopt;
   }

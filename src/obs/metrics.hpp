@@ -104,7 +104,7 @@ class MetricsRegistry {
   // --- hot path -----------------------------------------------------------
 
   /// Counter increment: one relaxed fetch_add.
-  void add(MetricId id, std::uint64_t delta = 1) noexcept {
+  void add(MetricId id, std::uint64_t delta = 1) noexcept {  // tzgeo: hot
     if constexpr (kDisabled) {
       (void)id;
       (void)delta;
@@ -115,7 +115,7 @@ class MetricsRegistry {
   }
 
   /// Gauge store: one relaxed store.
-  void set(MetricId id, std::int64_t value) noexcept {
+  void set(MetricId id, std::int64_t value) noexcept {  // tzgeo: hot
     if constexpr (kDisabled) {
       (void)id;
       (void)value;
@@ -126,7 +126,7 @@ class MetricsRegistry {
   }
 
   /// Histogram observation: three relaxed RMWs (bucket, sum, count).
-  void observe(MetricId id, std::uint64_t value) noexcept {
+  void observe(MetricId id, std::uint64_t value) noexcept {  // tzgeo: hot
     if constexpr (kDisabled) {
       (void)id;
       (void)value;

@@ -32,7 +32,7 @@ namespace {
   for (std::size_t bin = 0; bin < m.placement_zone.size(); ++bin) {
     // Same mapping as core::zone_of_bin (obs sits below core in the link
     // order, so it cannot call the throwing helper in tzgeo_core).
-    const std::int32_t zone = static_cast<std::int32_t>(bin) + core::kMinZone;
+    const std::int32_t zone = static_cast<std::int32_t>(bin) + kMinZone;
     std::string name = "tzgeo_placement_zone_utc_";
     name += zone < 0 ? 'm' : 'p';
     name += std::to_string(zone < 0 ? -zone : zone);

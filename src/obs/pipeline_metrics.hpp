@@ -13,7 +13,7 @@
 
 #include <array>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 #include "obs/metrics.hpp"
 
 namespace tzgeo::obs {
@@ -34,7 +34,7 @@ struct PipelineMetrics {
   MetricId placement_batch_us = kInvalidMetric;
   MetricId placement_zones_pruned = kInvalidMetric;
   MetricId placement_zones_evaluated = kInvalidMetric;
-  std::array<MetricId, core::kZoneCount> placement_zone{};  ///< per-zone placements
+  std::array<MetricId, kZoneCount> placement_zone{};  ///< per-zone placements
 
   // placement, SoA/SIMD path
   MetricId placement_simd_lanes = kInvalidMetric;  ///< lane-slots processed

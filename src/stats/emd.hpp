@@ -34,7 +34,7 @@
 #include <span>
 #include <utility>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 
 namespace tzgeo::stats {
 
@@ -54,7 +54,7 @@ namespace tzgeo::stats {
 // construction).  No validation, no allocation, no exceptions.
 
 /// Width of the fixed kernels: hour-of-day profiles.
-inline constexpr std::size_t kEmdFixedBins = core::kProfileBins;
+inline constexpr std::size_t kEmdFixedBins = kProfileBins;
 
 /// Inclusive prefix sums (the CDF) of a 24-bin distribution.
 inline void prefix_sums_24(const double* p, double* cdf) noexcept {

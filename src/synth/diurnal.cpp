@@ -11,7 +11,7 @@ namespace {
 [[nodiscard]] double wrapped_bump(double hour, double center, double sigma) noexcept {
   double best = 1e9;
   for (int k = -1; k <= 1; ++k) {
-    const double d = hour - center + core::kHoursPerDayF * static_cast<double>(k);
+    const double d = hour - center + kHoursPerDayF * static_cast<double>(k);
     best = std::min(best, std::abs(d));
   }
   return std::exp(-0.5 * (best / sigma) * (best / sigma));
@@ -42,8 +42,8 @@ DiurnalShape personal_shape(const DiurnalShape& base, const ChronotypeJitter& ji
   double phase = rng.normal(0.0, jitter.phase_sigma_hours);
   phase = std::clamp(phase, -jitter.max_abs_phase_hours, jitter.max_abs_phase_hours);
   const auto wrap24 = [](double h) {
-    while (h < 0.0) h += core::kHoursPerDayF;
-    while (h >= core::kHoursPerDayF) h -= core::kHoursPerDayF;
+    while (h < 0.0) h += kHoursPerDayF;
+    while (h >= kHoursPerDayF) h -= kHoursPerDayF;
     return h;
   };
   shape.morning_peak_hour = wrap24(base.morning_peak_hour + phase);

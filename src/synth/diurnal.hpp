@@ -16,13 +16,13 @@
 #include <array>
 #include <cstdint>
 
-#include "core/constants.hpp"
+#include "util/constants.hpp"
 #include "util/rng.hpp"
 
 namespace tzgeo::synth {
 
 /// Number of hourly bins in a daily profile.
-inline constexpr std::size_t kHoursPerDay = core::kProfileBins;
+inline constexpr std::size_t kHoursPerDay = kProfileBins;
 
 /// Shape parameters of the diurnal rhythm (hours in local time).
 struct DiurnalShape {

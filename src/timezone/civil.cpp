@@ -4,7 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "core/constants.hpp"  // header-only; no link dependency on tzgeo_core
+#include "util/constants.hpp"
 
 namespace tzgeo::tz {
 
@@ -142,7 +142,7 @@ std::optional<CivilDateTime> parse_civil_datetime(std::string_view text,
   if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month)) {
     return std::nullopt;
   }
-  if (hour < 0 || hour > core::kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 ||
+  if (hour < 0 || hour > kMaxHourOfDay || minute < 0 || minute > 59 || second < 0 ||
       second > 59) {
     return std::nullopt;
   }

@@ -6,15 +6,18 @@
 // only in this file — everywhere else the named constants below keep
 // profile widths, zone counts, and cell encodings provably consistent.
 //
-// The header is dependency-free on purpose: modules below core in the
-// library order (stats, synth, forum) include it textually without gaining
-// a link dependency on tzgeo_core.
+// The constants live in util — the bottom of the layer DAG — and in the
+// enclosing `tzgeo` namespace, so every module can both include and name
+// them without a link edge or a qualifier.  (They started life in
+// src/core/constants.hpp as a header-only textual include, which made
+// stats/timezone/obs reach *up* the layer DAG for a header they could not
+// link; tzgeo_analyze's layering pass now rejects exactly that pattern.)
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
-namespace tzgeo::core {
+namespace tzgeo {
 
 /// Hours per day, in the signed type used by (day, hour) cell encodings.
 inline constexpr std::int64_t kHoursPerDay = 24;
@@ -62,4 +65,4 @@ static_assert(kMaxZone - kMinZone + 1 == static_cast<std::int32_t>(kZoneCount),
   return (cell - hour_of_cell(cell)) / kHoursPerDay;
 }
 
-}  // namespace tzgeo::core
+}  // namespace tzgeo

@@ -1,0 +1,532 @@
+// Fixture tests for the tzgeo_analyze static-analysis framework: each
+// semantic pass is proven both ways (fires on a planted violation, stays
+// silent on the corresponding correct idiom), plus the baseline
+// add/expire lifecycle, SARIF emission/validation, and the --fix
+// rewriter.  Everything drives the pure in-memory entry points
+// (analyze_sources, compute_fixes, to_sarif, parse_baseline) so the
+// suite is hermetic — no repo scan, no disk I/O.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tzgeo_analyze/baseline.hpp"
+#include "tzgeo_analyze/driver.hpp"
+#include "tzgeo_analyze/fix.hpp"
+#include "tzgeo_analyze/sarif.hpp"
+#include "tzgeo_analyze/tokenizer.hpp"
+#include "tzgeo_analyze/types.hpp"
+
+namespace {
+
+using tzgeo::analyze::AnalyzeResult;
+using tzgeo::analyze::analyze_sources;
+using tzgeo::analyze::apply_baseline;
+using tzgeo::analyze::Baseline;
+using tzgeo::analyze::CmakeInput;
+using tzgeo::analyze::compute_fixes;
+using tzgeo::analyze::Finding;
+using tzgeo::analyze::fingerprint;
+using tzgeo::analyze::FixResult;
+using tzgeo::analyze::parse_baseline;
+using tzgeo::analyze::render_baseline;
+using tzgeo::analyze::sarif_check;
+using tzgeo::analyze::SourceFile;
+using tzgeo::analyze::to_sarif;
+using tzgeo::analyze::tokenize;
+using tzgeo::analyze::TokenizedSource;
+
+const std::vector<CmakeInput> kNoCmake;
+
+std::vector<Finding> of_rule(const AnalyzeResult& r, std::string_view rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+AnalyzeResult analyze_one(const SourceFile& file) {
+  return analyze_sources({file}, kNoCmake, "", /*lint_only=*/false);
+}
+
+// --- tokenizer -------------------------------------------------------
+
+TEST(Tokenizer, MarkersParseOnlyFromComments) {
+  const TokenizedSource hot = tokenize("// tzgeo: hot\nint x;\n");
+  EXPECT_TRUE(hot.hot_marked(1));
+  EXPECT_FALSE(hot.hot_marked(2));
+
+  // The same bytes inside a raw string literal are data, not a marker.
+  const TokenizedSource inert = tokenize("const char* s = R\"(// tzgeo: hot)\";\n");
+  EXPECT_FALSE(inert.hot_marked(1));
+
+  const TokenizedSource allow = tokenize("int h = 24;  // tzgeo-lint: allow(magic-hours)\n");
+  EXPECT_TRUE(allow.allowed(1, "magic-hours"));
+  EXPECT_FALSE(allow.allowed(1, "hot-alloc"));
+}
+
+TEST(Tokenizer, StrippingBlanksCommentsAndStringsInPlace) {
+  const std::string text = "int a = 1;  // 24 bins\nconst char* s = \"time(\";\n";
+  const TokenizedSource tok = tokenize(text);
+  // Positions are preserved byte-for-byte; only the content is blanked.
+  ASSERT_EQ(tok.stripped.size(), text.size());
+  EXPECT_EQ(tok.stripped.find("24"), std::string::npos);
+  EXPECT_EQ(tok.stripped.find("time("), std::string::npos);
+  EXPECT_NE(tok.stripped.find("int a = 1;"), std::string::npos);
+}
+
+TEST(Tokenizer, PreprocessorLinesProduceNoTokens) {
+  // An unbalanced brace inside a macro must not corrupt scope tracking.
+  const TokenizedSource tok = tokenize("#define OPEN {\nint a;\n");
+  for (const auto& token : tok.tokens) EXPECT_NE(token.text, "{");
+}
+
+// --- pass 1: include-graph layering ----------------------------------
+
+TEST(Layering, UnlinkedCrossModuleIncludeIsFlagged) {
+  const std::vector<CmakeInput> cmake = {
+      {"alpha", "add_library(tzgeo_alpha a.cpp)\n"
+                "target_link_libraries(tzgeo_alpha PRIVATE tzgeo_warnings)\n"},
+      {"beta", "add_library(tzgeo_beta b.cpp)\n"
+               "target_link_libraries(tzgeo_beta PUBLIC tzgeo_alpha)\n"}};
+  const std::vector<SourceFile> sources = {
+      {"src/alpha/a.cpp", "#include \"beta/b.hpp\"\n"},    // against the DAG: flagged
+      {"src/beta/b.cpp", "#include \"alpha/a.hpp\"\n"},    // along the link edge: clean
+      {"src/alpha/self.cpp", "#include \"alpha/a.hpp\"\n"}};  // intra-module: clean
+  const AnalyzeResult r = analyze_sources(sources, cmake, "", false);
+  const std::vector<Finding> hits = of_rule(r, "layer-include");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/alpha/a.cpp");
+  EXPECT_EQ(hits[0].line, 1u);
+  EXPECT_NE(hits[0].message.find("tzgeo_alpha"), std::string::npos);
+}
+
+TEST(Layering, TransitiveLinkClosureIsLegal) {
+  // gamma -> beta -> alpha: gamma may include alpha through the closure.
+  const std::vector<CmakeInput> cmake = {
+      {"alpha", "add_library(tzgeo_alpha a.cpp)\n"},
+      {"beta", "target_link_libraries(tzgeo_beta PUBLIC tzgeo_alpha)\n"},
+      {"gamma", "target_link_libraries(tzgeo_gamma PUBLIC tzgeo_beta)\n"}};
+  const std::vector<SourceFile> sources = {
+      {"src/gamma/g.cpp", "#include \"alpha/a.hpp\"\n"}};
+  const AnalyzeResult r = analyze_sources(sources, cmake, "", false);
+  EXPECT_TRUE(of_rule(r, "layer-include").empty());
+}
+
+TEST(Layering, LinkGraphCycleReportedOnce) {
+  const std::vector<CmakeInput> cmake = {
+      {"gamma", "target_link_libraries(tzgeo_gamma PUBLIC tzgeo_delta)\n"},
+      {"delta", "target_link_libraries(tzgeo_delta PUBLIC tzgeo_gamma)\n"}};
+  const AnalyzeResult r = analyze_sources({}, cmake, "", false);
+  const std::vector<Finding> hits = of_rule(r, "layer-cycle");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("gamma"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("delta"), std::string::npos);
+}
+
+// --- pass 2: lock-order ----------------------------------------------
+
+TEST(LockOrder, AbBaGuardCycleIsFlagged) {
+  const SourceFile file{"src/demo/locks.cpp", R"cpp(
+namespace demo {
+struct S {
+  void ab() {
+    std::lock_guard<std::mutex> g1(a_);
+    std::lock_guard<std::mutex> g2(b_);
+  }
+  void ba() {
+    std::lock_guard<std::mutex> g1(b_);
+    std::lock_guard<std::mutex> g2(a_);
+  }
+  std::mutex a_;
+  std::mutex b_;
+};
+}  // namespace demo
+)cpp"};
+  const std::vector<Finding> hits = of_rule(analyze_one(file), "lock-order");
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("inconsistent lock acquisition order"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("S::a_"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("S::b_"), std::string::npos);
+}
+
+TEST(LockOrder, ScopedLockMultiAcquireIsAtomic) {
+  // Opposite argument orders are fine: std::scoped_lock deadlock-avoids.
+  const SourceFile file{"src/demo/scoped.cpp", R"cpp(
+namespace demo {
+struct T {
+  void ab() { std::scoped_lock g(a_, b_); }
+  void ba() { std::scoped_lock g(b_, a_); }
+  std::mutex a_;
+  std::mutex b_;
+};
+}  // namespace demo
+)cpp"};
+  EXPECT_TRUE(of_rule(analyze_one(file), "lock-order").empty());
+}
+
+TEST(LockOrder, BlockScopedGuardReleasesBeforeReorder) {
+  const SourceFile file{"src/demo/blocks.cpp", R"cpp(
+namespace demo {
+struct B {
+  void s1() {
+    { std::lock_guard<std::mutex> g(a_); }
+    std::lock_guard<std::mutex> h(b_);
+  }
+  void s2() {
+    { std::lock_guard<std::mutex> g(b_); }
+    std::lock_guard<std::mutex> h(a_);
+  }
+  std::mutex a_;
+  std::mutex b_;
+};
+}  // namespace demo
+)cpp"};
+  EXPECT_TRUE(of_rule(analyze_one(file), "lock-order").empty());
+}
+
+TEST(LockOrder, CycleThroughCallEdgesIsFlagged) {
+  const SourceFile file{"src/demo/via_call.cpp", R"cpp(
+namespace demo {
+struct C {
+  void lock_a_then_call() {
+    std::lock_guard<std::mutex> g(a_);
+    takes_b();
+  }
+  void takes_b() { std::lock_guard<std::mutex> g(b_); }
+  void lock_b_then_call() {
+    std::lock_guard<std::mutex> g(b_);
+    takes_a();
+  }
+  void takes_a() { std::lock_guard<std::mutex> g(a_); }
+  std::mutex a_;
+  std::mutex b_;
+};
+}  // namespace demo
+)cpp"};
+  EXPECT_GE(of_rule(analyze_one(file), "lock-order").size(), 1u);
+}
+
+TEST(LockOrder, RecursiveSameMutexAcquisitionIsFlagged) {
+  const SourceFile file{"src/demo/recursive.cpp", R"cpp(
+namespace demo {
+struct R {
+  void f() {
+    std::lock_guard<std::mutex> g(m_);
+    std::lock_guard<std::mutex> h(m_);
+  }
+  std::mutex m_;
+};
+}  // namespace demo
+)cpp"};
+  const std::vector<Finding> hits = of_rule(analyze_one(file), "lock-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("recursive acquisition"), std::string::npos);
+  EXPECT_EQ(hits[0].line, 6u);
+}
+
+// --- pass 3: hot-path allocation -------------------------------------
+
+TEST(HotAlloc, GrowthInHotFunctionIsFlagged) {
+  const SourceFile file{"src/demo/hot.cpp", R"cpp(
+namespace demo {
+// tzgeo: hot
+void kernel(std::vector<int>& out) {
+  out.push_back(1);
+}
+}  // namespace demo
+)cpp"};
+  const std::vector<Finding> hits = of_rule(analyze_one(file), "hot-alloc");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("'push_back'"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("of kernel"), std::string::npos);
+}
+
+TEST(HotAlloc, CorrectIdiomsStaySilent) {
+  // Unmarked functions, reserve()-absolved growth, and waived lines are
+  // all legitimate; only the region below its marker fires.
+  const SourceFile file{"src/demo/idioms.cpp", R"cpp(
+namespace demo {
+void warm(std::vector<int>& out) {
+  out.push_back(1);
+}
+// tzgeo: hot
+void reserved(std::vector<int>& out) {
+  out.reserve(8);
+  out.push_back(1);
+}
+// tzgeo: hot
+void waived(std::vector<int>& out) {
+  out.push_back(1);  // tzgeo-lint: allow(hot-alloc)
+}
+void region(std::vector<int>& out) {
+  out.push_back(0);
+  // tzgeo: hot
+  out.push_back(1);
+}
+}  // namespace demo
+)cpp"};
+  const std::vector<Finding> hits = of_rule(analyze_one(file), "hot-alloc");
+  // Only the post-marker push_back in region() is hot and unabsolved.
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 18u);
+}
+
+TEST(HotAlloc, OperatorNewInHotFunctionIsFlagged) {
+  const SourceFile file{"src/demo/heap.cpp", R"cpp(
+namespace demo {
+// tzgeo: hot
+void heap() {
+  int* p = new int;
+  consume(p);
+}
+}  // namespace demo
+)cpp"};
+  const std::vector<Finding> hits = of_rule(analyze_one(file), "hot-alloc");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("'new'"), std::string::npos);
+}
+
+// --- pass 4: determinism ---------------------------------------------
+
+TEST(Determinism, UnorderedIterationFeedingSinkIsFlagged) {
+  const SourceFile file{"src/demo/det.cpp", R"cpp(
+namespace demo {
+struct W {
+  void save(Writer& w) {
+    for (const auto& kv : table_) {
+      w.write_row(kv.first);
+    }
+  }
+  std::unordered_map<int, int> table_;
+};
+}  // namespace demo
+)cpp"};
+  const std::vector<Finding> hits = of_rule(analyze_one(file), "det-unordered-output");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("table_"), std::string::npos);
+}
+
+TEST(Determinism, SinkReachedThroughCallClosureIsFlagged) {
+  // flush() mentions Checkpoint; emit() feeds it only via the call edge.
+  const SourceFile file{"src/demo/closure.cpp", R"cpp(
+namespace demo {
+struct X {
+  void flush() {
+    Checkpoint cp;
+    emit(cp);
+  }
+  void emit(Checkpoint& cp) {
+    for (const auto& kv : cache_) {
+      cp.add(kv.first);
+    }
+  }
+  std::unordered_map<int, int> cache_;
+};
+}  // namespace demo
+)cpp"};
+  EXPECT_EQ(of_rule(analyze_one(file), "det-unordered-output").size(), 1u);
+}
+
+TEST(Determinism, OrderedIterationAndNonSinkPathsAreClean) {
+  const SourceFile file{"src/demo/clean.cpp", R"cpp(
+namespace demo {
+struct Y {
+  void save_sorted(Writer& w) {
+    for (const auto& kv : ordered_) {
+      w.write_row(kv.first);
+    }
+  }
+  void debug_dump(Sink& s) {
+    for (const auto& kv : table_) {
+      s.consume(kv.first);
+    }
+  }
+  std::map<int, int> ordered_;
+  std::unordered_map<int, int> table_;
+};
+}  // namespace demo
+)cpp"};
+  EXPECT_TRUE(of_rule(analyze_one(file), "det-unordered-output").empty());
+}
+
+// --- baseline lifecycle ----------------------------------------------
+
+TEST(BaselineLifecycle, AddSuppressExpire) {
+  const std::vector<SourceFile> dirty = {{"src/demo/magic.cpp", "int bins = 24;\n"}};
+  AnalyzeResult first = analyze_sources(dirty, kNoCmake, "", true);
+  ASSERT_EQ(first.new_count(), 1u);
+
+  // --write-baseline grandfathers it; the same tree then gates clean.
+  const std::string baseline = render_baseline(first.findings);
+  const AnalyzeResult second = analyze_sources(dirty, kNoCmake, baseline, true);
+  EXPECT_EQ(second.new_count(), 0u);
+  EXPECT_EQ(second.baselined_count(), 1u);
+  EXPECT_TRUE(second.stale_baseline.empty());
+
+  // Fixing the flagged code expires the entry: stale, never fatal.
+  const std::vector<SourceFile> fixed = {{"src/demo/magic.cpp", "int bins = kHoursPerDay;\n"}};
+  const AnalyzeResult third = analyze_sources(fixed, kNoCmake, baseline, true);
+  EXPECT_EQ(third.new_count(), 0u);
+  EXPECT_EQ(third.stale_baseline.size(), 1u);
+}
+
+TEST(BaselineLifecycle, FingerprintSurvivesLineShifts) {
+  const std::vector<SourceFile> dirty = {{"src/demo/magic.cpp", "int bins = 24;\n"}};
+  AnalyzeResult first = analyze_sources(dirty, kNoCmake, "", true);
+  ASSERT_EQ(first.new_count(), 1u);
+  const std::string baseline = render_baseline(first.findings);
+
+  // Prepend unrelated lines: the finding moves but its fingerprint
+  // (rule|file|snippet, line-number independent) still matches.
+  const std::vector<SourceFile> shifted = {
+      {"src/demo/magic.cpp", "namespace demo {\n}  // namespace demo\nint bins = 24;\n"}};
+  const AnalyzeResult second = analyze_sources(shifted, kNoCmake, baseline, true);
+  EXPECT_EQ(second.new_count(), 0u);
+  EXPECT_EQ(second.baselined_count(), 1u);
+}
+
+TEST(BaselineLifecycle, CommentsAndBlanksIgnoredInFile) {
+  const Baseline parsed = parse_baseline("# header\n\n# another comment\n");
+  EXPECT_TRUE(parsed.entries.empty());
+
+  Finding f{"src/x.cpp", 3, "magic-hours", "msg", "int h = 24;", false};
+  const std::string rendered = render_baseline({f});
+  const Baseline round = parse_baseline(rendered);
+  ASSERT_EQ(round.entries.size(), 1u);
+  EXPECT_EQ(*round.entries.begin(), fingerprint(f));
+}
+
+// --- SARIF emission + validation -------------------------------------
+
+TEST(Sarif, EmittedReportValidatesAndCarriesLocations) {
+  const std::vector<Finding> findings = {
+      {"src/demo/magic.cpp", 3, "magic-hours", "bare 24 \"literal\"", "int x = 24;", false},
+      {"src/demo/locks.cpp", 7, "lock-order", "cycle a -> b -> a", "a -> b", false}};
+  const std::string sarif = to_sarif(findings);
+  std::string why;
+  EXPECT_TRUE(sarif_check(sarif, &why)) << why;
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"tzgeo_analyze\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(sarif.find("src/demo/locks.cpp"), std::string::npos);
+}
+
+TEST(Sarif, MalformedOrInconsistentReportsAreRejected) {
+  const std::vector<Finding> findings = {
+      {"src/demo/magic.cpp", 3, "magic-hours", "bare 24", "int x = 24;", false}};
+  const std::string sarif = to_sarif(findings);
+  std::string why;
+
+  std::string truncated = sarif;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(sarif_check(truncated, &why));
+
+  // A result whose ruleId has no matching descriptor fails the probe.
+  std::string bad_rule = sarif;
+  const std::size_t pos = bad_rule.find("\"ruleId\": \"magic-hours\"");
+  ASSERT_NE(pos, std::string::npos);
+  bad_rule.replace(pos, 23, "\"ruleId\": \"unknowable\"");
+  EXPECT_FALSE(sarif_check(bad_rule, &why));
+}
+
+TEST(Sarif, BaselinedFindingsAreExcluded) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 1, "magic-hours", "bare 24", "int x = 24;", /*baselined=*/true},
+      {"src/b.cpp", 2, "magic-hours", "bare 23", "int y = 23;", /*baselined=*/false}};
+  const std::string sarif = to_sarif(findings);
+  std::string why;
+  EXPECT_TRUE(sarif_check(sarif, &why)) << why;
+  EXPECT_EQ(sarif.find("src/a.cpp"), std::string::npos);
+  EXPECT_NE(sarif.find("src/b.cpp"), std::string::npos);
+}
+
+TEST(Sarif, EmptyReportValidates) {
+  std::string why;
+  EXPECT_TRUE(sarif_check(to_sarif({}), &why)) << why;
+}
+
+// --- fix mode --------------------------------------------------------
+
+TEST(Fix, HeaderGetsPragmaConstantAndInclude) {
+  const SourceFile file{"src/demo/width.hpp",
+                        "// widths\nnamespace demo {\ninline int width() { return 24; }\n"
+                        "}  // namespace demo\n"};
+  const FixResult fixed = compute_fixes(file, tokenize(file.text));
+  EXPECT_EQ(fixed.edits, 3);  // literal + pragma once + constants include
+  EXPECT_NE(fixed.new_text.find("#pragma once"), std::string::npos);
+  EXPECT_NE(fixed.new_text.find("#include \"util/constants.hpp\""), std::string::npos);
+  EXPECT_NE(fixed.new_text.find("return kHoursPerDay;"), std::string::npos);
+
+  // The rewritten file gates clean — the fix is the analyzer's own remedy.
+  const AnalyzeResult after =
+      analyze_sources({{file.path, fixed.new_text}}, kNoCmake, "", true);
+  EXPECT_TRUE(of_rule(after, "magic-hours").empty());
+  EXPECT_TRUE(of_rule(after, "pragma-once").empty());
+}
+
+TEST(Fix, DryRunDiffPairsAnchorToLines) {
+  const SourceFile file{"src/demo/span.cpp", "int span = 24;\n"};
+  const FixResult fixed = compute_fixes(file, tokenize(file.text));
+  EXPECT_EQ(fixed.edits, 2);  // literal rewrite + constants include
+  bool removed = false;
+  bool added = false;
+  for (const std::string& line : fixed.diff) {
+    removed =
+        removed || line.find("src/demo/span.cpp:1: - int span = 24;") != std::string::npos;
+    added = added || line.find("src/demo/span.cpp:1: + int span = kHoursPerDay;") !=
+                         std::string::npos;
+  }
+  EXPECT_TRUE(removed);
+  EXPECT_TRUE(added);
+}
+
+TEST(Fix, AmbiguousLiteralsAreNeverRewritten) {
+  // Suffixed and fractional forms are reported by the lint rule but the
+  // fixer must not guess: 24u, 24.5 and 25 stay byte-identical.
+  const SourceFile file{"src/demo/suffix.cpp",
+                        "unsigned u = 24u;\ndouble d = 24.5;\nint rolled = 25;\n"};
+  const FixResult fixed = compute_fixes(file, tokenize(file.text));
+  EXPECT_EQ(fixed.edits, 0);
+  EXPECT_EQ(fixed.new_text, file.text);
+}
+
+TEST(Fix, CommentAndStringLiteralsAreUntouched) {
+  const SourceFile file{"src/demo/strings.cpp",
+                        "// a day has 24 hours\nconst char* s = \"24\";\n"};
+  const FixResult fixed = compute_fixes(file, tokenize(file.text));
+  EXPECT_EQ(fixed.edits, 0);
+  EXPECT_EQ(fixed.new_text, file.text);
+}
+
+// --- whole-framework smoke -------------------------------------------
+
+TEST(Framework, SelfTestFixturesPass) {
+  std::vector<std::string> log;
+  const int failures = tzgeo::analyze::self_test(log);
+  for (const std::string& line : log) ADD_FAILURE() << line;
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(Framework, FindingsAreSortedDeterministically) {
+  // The driver's own output ordering is part of the contract: byte-stable
+  // reports regardless of input file order.
+  const std::vector<SourceFile> forward = {
+      {"src/demo/a.cpp", "int x = 24;\n"}, {"src/demo/b.cpp", "int y = 24;\nint z = 23;\n"}};
+  const std::vector<SourceFile> reversed = {forward[1], forward[0]};
+  const AnalyzeResult r1 = analyze_sources(forward, kNoCmake, "", true);
+  const AnalyzeResult r2 = analyze_sources(reversed, kNoCmake, "", true);
+  ASSERT_EQ(r1.findings.size(), r2.findings.size());
+  for (std::size_t i = 0; i < r1.findings.size(); ++i) {
+    EXPECT_EQ(r1.findings[i].file, r2.findings[i].file);
+    EXPECT_EQ(r1.findings[i].line, r2.findings[i].line);
+  }
+  ASSERT_GE(r1.findings.size(), 2u);
+  EXPECT_LE(r1.findings[0].file, r1.findings[1].file);
+}
+
+}  // namespace

@@ -250,7 +250,7 @@ TEST(ChaosKillResume, GeolocatorStateRidesInsideTheCheckpoint) {
   // atomically.  After kill/resume the final *geolocation report* must
   // match the uninterrupted run bit for bit.
   const auto make_geo = [] {
-    std::vector<double> counts(core::kProfileBins, 0.01);
+    std::vector<double> counts(kProfileBins, 0.01);
     counts[9] = 0.2;
     counts[19] = 0.3;
     counts[20] = 0.4;
@@ -422,7 +422,7 @@ TEST(ChaosCheckpointAbuse, CorruptFileAndWrongCampaignAreRejected) {
 }
 
 [[nodiscard]] core::IncrementalGeolocator sweep_geolocator() {
-  std::vector<double> counts(core::kProfileBins, 0.01);
+  std::vector<double> counts(kProfileBins, 0.01);
   counts[9] = 0.2;
   counts[19] = 0.3;
   counts[20] = 0.4;

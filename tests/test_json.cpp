@@ -135,8 +135,8 @@ TEST(ReportJson, GeolocationResultSerializes) {
   component.sigma = 2.5;
   component.nearest_zone = 1;
   result.components = {component};
-  result.placement.distribution.assign(core::kZoneCount, 1.0 / 24.0);
-  result.fitted_curve.assign(core::kZoneCount, 1.0 / 24.0);
+  result.placement.distribution.assign(kZoneCount, 1.0 / 24.0);
+  result.fitted_curve.assign(kZoneCount, 1.0 / 24.0);
   result.fit_metrics = {0.01, 0.008};
   result.baseline_metrics = {0.08, 0.06};
   result.confidence = {0.1, 0.09, 0.8};
@@ -152,7 +152,7 @@ TEST(ReportJson, GeolocationResultSerializes) {
   for (std::size_t pos = 0; (pos = json.find("\"fraction\"", pos)) != std::string::npos; ++pos) {
     ++zones;
   }
-  EXPECT_EQ(zones, core::kZoneCount);
+  EXPECT_EQ(zones, kZoneCount);
 }
 
 TEST(ReportJson, DossierSerializes) {
@@ -190,8 +190,8 @@ TEST(ReportJson, BootstrapResultSerializes) {
   interval.weight_hi = 0.67;
   interval.support = 1.0;
   result.components = {interval};
-  result.point.placement.distribution.assign(core::kZoneCount, 1.0 / 24.0);
-  result.point.fitted_curve.assign(core::kZoneCount, 1.0 / 24.0);
+  result.point.placement.distribution.assign(kZoneCount, 1.0 / 24.0);
+  result.point.fitted_curve.assign(kZoneCount, 1.0 / 24.0);
 
   const std::string json = core::to_json(result).dump();
   EXPECT_NE(json.find("\"resamples\":50"), std::string::npos);

@@ -101,8 +101,8 @@ TEST(PlacementProperties, ShiftEquivariance) {
     const auto placed_base = core::place_crowd(base, zones);
     const auto placed_shifted = core::place_crowd(shifted, zones);
     std::int32_t expected = placed_base.users[0].zone_hours - k;
-    while (expected < core::kMinZone) expected += 24;
-    while (expected > core::kMaxZone) expected -= 24;
+    while (expected < kMinZone) expected += 24;
+    while (expected > kMaxZone) expected -= 24;
     EXPECT_EQ(placed_shifted.users[0].zone_hours, expected) << "k=" << k;
   }
 }

@@ -1,0 +1,106 @@
+#include "tzgeo_analyze/baseline.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tzgeo::analyze {
+
+namespace {
+
+/// Collapses runs of whitespace to single spaces and trims the ends, so
+/// a re-indent does not change the fingerprint.
+[[nodiscard]] std::string collapse_ws(std::string_view s) {
+  std::string out;
+  bool pending_space = false;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+[[nodiscard]] std::string to_hex16(std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string fingerprint(const Finding& finding) {
+  const std::string key =
+      finding.rule + "|" + finding.file + "|" + collapse_ws(finding.snippet);
+  return finding.rule + "|" + finding.file + "|" + to_hex16(fnv1a64(key));
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline out;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    out.raw_lines.push_back(line);
+    // Fingerprint = first three |-separated fields; the trailing snippet
+    // is informational only.
+    std::size_t p1 = line.find('|');
+    std::size_t p2 = p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+    std::size_t p3 = p2 == std::string::npos ? p2 : line.find('|', p2 + 1);
+    if (p2 == std::string::npos) continue;
+    const std::size_t end = p3 == std::string::npos ? line.size() : p3;
+    out.entries.insert(line.substr(first, end - first));
+  }
+  return out;
+}
+
+std::vector<std::string> apply_baseline(const Baseline& baseline,
+                                        std::vector<Finding>& findings) {
+  std::set<std::string> used;
+  for (Finding& f : findings) {
+    const std::string fp = fingerprint(f);
+    if (baseline.entries.count(fp) > 0) {
+      f.baselined = true;
+      used.insert(fp);
+    }
+  }
+  std::vector<std::string> stale;
+  for (const std::string& entry : baseline.entries) {
+    if (used.count(entry) == 0) stale.push_back(entry);
+  }
+  return stale;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# tzgeo_analyze baseline — grandfathered findings, one per line:\n"
+      "#   rule|path|fnv1a64(rule|path|collapsed snippet)|snippet\n"
+      "# Regenerate with: tzgeo_analyze --write-baseline.  Entries are\n"
+      "# line-number independent; fixing the flagged code makes its entry\n"
+      "# stale (warned, pruned on the next --write-baseline).\n";
+  std::set<std::string> seen;
+  for (const Finding& f : findings) {
+    const std::string fp = fingerprint(f);
+    if (!seen.insert(fp).second) continue;
+    out += fp + "|" + collapse_ws(f.snippet) + "\n";
+  }
+  return out;
+}
+
+}  // namespace tzgeo::analyze

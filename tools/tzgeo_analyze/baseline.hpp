@@ -1,0 +1,49 @@
+// Baseline / suppression file.
+//
+// A committed baseline lets the analyzer land with pre-existing findings
+// grandfathered while still failing CI on anything NEW.  Each entry is a
+// line-number-independent fingerprint — FNV-1a 64 over
+// `rule|file|whitespace-collapsed snippet` — so unrelated edits that only
+// shift line numbers do not invalidate it, but fixing (or changing) the
+// flagged code does.  File format, one entry per line:
+//
+//   rule|path|16-hex-digest|collapsed snippet (informational)
+//
+// `#` lines and blank lines are comments.  Entries that no longer match
+// any finding are "stale": reported as warnings, pruned by
+// --write-baseline, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+/// FNV-1a 64-bit over `data`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+/// `rule|file|hash16` for one finding (snippet whitespace-collapsed).
+[[nodiscard]] std::string fingerprint(const Finding& finding);
+
+struct Baseline {
+  std::set<std::string> entries;  ///< fingerprints
+  std::vector<std::string> raw_lines;  ///< original lines, for diagnostics
+};
+
+/// Parses baseline text (e.g. read from tools/tzgeo_analyze/baseline.txt).
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+
+/// Marks findings whose fingerprint is baselined; returns the stale
+/// fingerprints (baselined but matched by no current finding).
+std::vector<std::string> apply_baseline(const Baseline& baseline,
+                                        std::vector<Finding>& findings);
+
+/// Renders a baseline file covering every finding (for --write-baseline).
+[[nodiscard]] std::string render_baseline(const std::vector<Finding>& findings);
+
+}  // namespace tzgeo::analyze

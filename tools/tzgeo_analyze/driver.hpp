@@ -1,0 +1,52 @@
+// Orchestration: tokenize every source once, run the line-oriented lint
+// rules and the whole-program passes over the shared artifacts, apply
+// the baseline, and render SARIF.  `analyze_sources` is the pure
+// in-memory core (tests and --self-test drive it directly);
+// `analyze_repo` wraps it with the directory scan, the
+// compile_commands.json TU selection, and src/*/CMakeLists.txt loading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tzgeo_analyze/baseline.hpp"
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+/// One src/<module>/CMakeLists.txt, for the layering pass.
+struct CmakeInput {
+  std::string module;
+  std::string text;
+};
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::vector<std::string> stale_baseline;
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] std::size_t new_count() const;
+  [[nodiscard]] std::size_t baselined_count() const;
+};
+
+/// Pure in-memory analysis over already-loaded sources.
+[[nodiscard]] AnalyzeResult analyze_sources(const std::vector<SourceFile>& sources,
+                                            const std::vector<CmakeInput>& cmake,
+                                            const std::string& baseline_text,
+                                            bool lint_only);
+
+/// Disk front-end: scans src/tools/tests/bench/examples under `root` for
+/// *.cpp/*.hpp (sorted), loads src/*/CMakeLists.txt for the layer graph,
+/// and optionally restricts src/*.cpp TUs to the "file" entries of a
+/// compile_commands.json.  Returns false (with `error` set) when `root`
+/// does not look like the repo.
+[[nodiscard]] bool analyze_repo(const std::string& root, const std::string& compile_commands,
+                                const std::string& baseline_text, bool lint_only,
+                                AnalyzeResult& result, std::string& error);
+
+/// In-memory fixture checks for the tokenizer, all four semantic passes,
+/// the baseline, SARIF, and the fixer.  Returns the failure count and
+/// appends one line per failed check to `log`.
+[[nodiscard]] int self_test(std::vector<std::string>& log);
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,533 @@
+#include "tzgeo_analyze/facts.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string_view>
+
+namespace tzgeo::analyze {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Names that look like calls but never are function definitions.
+[[nodiscard]] bool is_control_name(std::string_view name) {
+  static const std::set<std::string_view> kNames = {
+      "if",     "for",      "while",  "switch",        "catch",    "return",
+      "sizeof", "alignof",  "decltype", "static_assert", "requires", "noexcept",
+      "assert", "defined",  "throw",  "new",           "delete",   "operator",
+      "alignas", "typeid",  "co_await", "co_return",   "co_yield"};
+  return kNames.count(name) > 0;
+}
+
+[[nodiscard]] bool is_keyword_not_call(std::string_view name) {
+  static const std::set<std::string_view> kNames = {
+      "if",    "for",    "while",    "switch",   "catch",  "return", "sizeof",
+      "alignof", "decltype", "static_assert", "requires", "noexcept", "throw",
+      "alignas", "typeid", "new", "delete", "const_cast", "static_cast",
+      "dynamic_cast", "reinterpret_cast"};
+  return kNames.count(name) > 0;
+}
+
+/// Tokens whose presence in a function body marks it as feeding
+/// checkpoint, CRC, or exporter output (determinism pass roots).
+[[nodiscard]] bool is_sink_token(std::string_view name) {
+  static const std::set<std::string_view> kSinks = {
+      "Checkpoint",       "ByteWriter", "checkpoint_payload", "checkpoint_extra",
+      "crc32",            "to_json",    "prometheus",         "to_csv",
+      "write_row",        "chrome_trace_json", "to_sarif"};
+  return kSinks.count(name) > 0;
+}
+
+[[nodiscard]] bool is_alloc_call(std::string_view name) {
+  static const std::set<std::string_view> kAllocs = {
+      "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup", "to_string"};
+  return kAllocs.count(name) > 0;
+}
+
+[[nodiscard]] bool is_growth_member(std::string_view name) {
+  static const std::set<std::string_view> kGrowth = {
+      "push_back", "emplace_back", "append", "resize", "insert", "emplace"};
+  return kGrowth.count(name) > 0;
+}
+
+[[nodiscard]] bool is_unordered_type(std::string_view name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+/// Index just past the matching `)` for tokens[i] == "(".  Clamps at end.
+[[nodiscard]] std::size_t skip_parens(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+[[nodiscard]] std::size_t skip_braces(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}" && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+/// Index just past a balanced `<...>` starting at tokens[i] == "<".
+/// Returns i + 1 (the `<` was a comparison) when the scan hits a token
+/// that cannot appear inside a template argument list.
+[[nodiscard]] std::size_t skip_angles(const Tokens& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const std::string& x = t[j].text;
+    if (x == "<") ++depth;
+    if (x == ">" && --depth == 0) return j + 1;
+    if (x == ";" || x == "{" || x == "}") return i + 1;
+  }
+  return i + 1;
+}
+
+/// Walks a member-access chain backwards from index `i` (exclusive) and
+/// returns its normalized text, e.g. `out.rows` for `out.rows.push_back`.
+[[nodiscard]] std::string chain_before(const Tokens& t, std::size_t i) {
+  std::size_t begin = i;
+  bool expect_name = true;  // chains alternate name-ish and connector tokens
+  while (begin > 0) {
+    const std::string& x = t[begin - 1].text;
+    const bool name_like = t[begin - 1].kind == TokKind::kIdent || x == ")" || x == "]";
+    const bool connector = x == "." || x == "->" || x == "::";
+    if (expect_name ? !name_like : !connector) break;
+    if (x == ")" || x == "]") break;  // call/index results: stop at the group
+    expect_name = !expect_name;
+    --begin;
+  }
+  std::string out;
+  for (std::size_t j = begin; j < i; ++j) out += t[j].text;
+  return out;
+}
+
+/// The qualified name chain ending at the identifier `i` (inclusive),
+/// e.g. `Foo::bar` for tokens `Foo :: bar`.
+[[nodiscard]] std::string qualified_name_ending_at(const Tokens& t, std::size_t i) {
+  std::string name = t[i].text;
+  std::size_t j = i;
+  while (j >= 2 && t[j - 1].text == "::" && t[j - 2].kind == TokKind::kIdent) {
+    name = t[j - 2].text + "::" + name;
+    j -= 2;
+  }
+  if (j >= 1 && t[j - 1].text == "~") name = "~" + name;
+  return name;
+}
+
+struct Scope {
+  enum class Kind : std::uint8_t { kNamespace, kClass, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;
+  int open_depth = 0;        ///< brace depth after this scope's `{`
+  std::size_t func = kNpos;  ///< kFunction: index into TuFacts::functions
+};
+
+/// Splits the argument tokens of a guard constructor into normalized
+/// per-argument expressions (top-level commas only).
+[[nodiscard]] std::vector<std::string> split_args(const Tokens& t, std::size_t open,
+                                                  std::size_t close) {
+  std::vector<std::string> args;
+  std::string current;
+  int depth = 0;
+  for (std::size_t j = open + 1; j + 1 < close + 1 && j < close; ++j) {
+    const std::string& x = t[j].text;
+    if (x == "(" || x == "{" || x == "[") ++depth;
+    if (x == ")" || x == "}" || x == "]") --depth;
+    if (x == "," && depth == 0) {
+      if (!current.empty()) args.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += x;
+  }
+  if (!current.empty()) args.push_back(current);
+  return args;
+}
+
+[[nodiscard]] bool is_lock_tag(std::string_view arg) {
+  return arg.find("adopt_lock") != std::string_view::npos ||
+         arg.find("defer_lock") != std::string_view::npos ||
+         arg.find("try_to_lock") != std::string_view::npos;
+}
+
+}  // namespace
+
+TuFacts extract_facts(const SourceFile& file, const TokenizedSource& tok) {
+  TuFacts tu;
+  tu.path = file.path;
+  if (file.path.rfind("src/", 0) == 0) {
+    const std::size_t slash = file.path.find('/', 4);
+    if (slash != std::string::npos) tu.module = file.path.substr(4, slash - 4);
+  }
+
+  // Includes: the stripped line proves `#include` is code (not comment
+  // text); the raw line still carries the quoted path the tokenizer
+  // blanked.
+  {
+    std::size_t start = 0;
+    std::uint32_t line = 1;
+    while (start <= tok.stripped.size()) {
+      std::size_t end = tok.stripped.find('\n', start);
+      if (end == std::string::npos) end = tok.stripped.size();
+      const std::string_view sline(tok.stripped.data() + start, end - start);
+      const std::size_t hash = sline.find_first_not_of(" \t");
+      if (hash != std::string_view::npos && sline[hash] == '#' &&
+          sline.find("include", hash) != std::string_view::npos) {
+        const std::string_view raw(file.text.data() + start,
+                                   std::min(end - start, file.text.size() - start));
+        const std::size_t q1 = raw.find('"');
+        const std::size_t q2 = q1 == std::string_view::npos ? q1 : raw.find('"', q1 + 1);
+        if (q2 != std::string_view::npos) {
+          tu.includes.push_back(
+              IncludeFact{std::string(raw.substr(q1 + 1, q2 - q1 - 1)), line});
+        }
+      }
+      if (end == tok.stripped.size()) break;
+      start = end + 1;
+      ++line;
+    }
+  }
+
+  const Tokens& t = tok.tokens;
+
+  // Pre-pass: names declared with an unordered container type anywhere in
+  // the TU (members, locals, parameters).  `auto` deduction is invisible.
+  std::set<std::string> unordered_decls;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !is_unordered_type(t[i].text)) continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") j = skip_angles(t, j);
+    while (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        (j + 1 >= t.size() || t[j + 1].text != "(")) {
+      unordered_decls.insert(t[j].text);
+    }
+  }
+
+  std::vector<Scope> scopes;
+  int depth = 0;
+  bool pending_valid = false;
+  Scope pending;
+
+  const auto innermost_function = [&]() -> FunctionFacts* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return &tu.functions[it->func];
+      if (it->kind == Scope::Kind::kNamespace || it->kind == Scope::Kind::kClass) break;
+    }
+    return nullptr;
+  };
+  const auto function_open_depth = [&]() -> int {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return it->open_depth;
+      if (it->kind == Scope::Kind::kNamespace || it->kind == Scope::Kind::kClass) break;
+    }
+    return 0;
+  };
+  const auto innermost_class_name = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kClass) return it->name;
+      if (it->kind == Scope::Kind::kFunction) break;
+    }
+    return std::string();
+  };
+
+  // Attempts to recognize a function definition whose parameter list
+  // opens at `paren` (name identifier at `name_idx`).  On success returns
+  // the index of the body's `{`; kNpos otherwise.
+  const auto match_function = [&](std::size_t name_idx, std::size_t paren) -> std::size_t {
+    std::size_t k = skip_parens(t, paren);
+    bool saw_init_list = false;
+    while (k < t.size()) {
+      const std::string& x = t[k].text;
+      if (x == "{") return k;
+      if (x == ";" || x == "=" || x == "," || x == ")" || x == "}") return kNpos;
+      if (x == "(") {
+        k = skip_parens(t, k);
+        continue;
+      }
+      if (x == "<") {
+        k = skip_angles(t, k);
+        continue;
+      }
+      if (x == ":" && !saw_init_list) {
+        // Constructor initializer list: `name(args)` or `name{args}`
+        // items separated by commas, then the body brace.
+        saw_init_list = true;
+        ++k;
+        while (k < t.size()) {
+          while (k < t.size() &&
+                 (t[k].kind == TokKind::kIdent || t[k].text == "::" || t[k].text == "~")) {
+            ++k;
+            if (k < t.size() && t[k].text == "<") k = skip_angles(t, k);
+          }
+          if (k >= t.size()) return kNpos;
+          if (t[k].text == "(") {
+            k = skip_parens(t, k);
+          } else if (t[k].text == "{") {
+            k = skip_braces(t, k);
+          } else {
+            return kNpos;
+          }
+          if (k < t.size() && t[k].text == ",") {
+            ++k;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (t[k].kind == TokKind::kIdent || x == "::" || x == "->" || x == "&" || x == "*" ||
+          x == "[" || x == "]") {
+        ++k;
+        continue;
+      }
+      return kNpos;
+    }
+    (void)name_idx;
+    return kNpos;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& cur = t[i];
+    FunctionFacts* fn = innermost_function();
+
+    if (cur.text == "{") {
+      ++depth;
+      Scope s = pending_valid ? pending : Scope{};
+      pending_valid = false;
+      s.open_depth = depth;
+      if (s.kind == Scope::Kind::kFunction && s.func != kNpos) {
+        tu.functions[s.func].open_line = cur.line;
+        FunctionFacts& f = tu.functions[s.func];
+        for (std::uint32_t l = f.decl_line > 0 ? f.decl_line - 1 : 1; l <= f.open_line; ++l) {
+          if (tok.hot_marked(l)) f.hot = true;
+        }
+      }
+      scopes.push_back(std::move(s));
+      continue;
+    }
+    if (cur.text == "}") {
+      --depth;
+      while (!scopes.empty() && scopes.back().open_depth > depth) {
+        const Scope closed = scopes.back();
+        scopes.pop_back();
+        if (closed.kind == Scope::Kind::kFunction && closed.func != kNpos) {
+          FunctionFacts& f = tu.functions[closed.func];
+          f.end_line = cur.line;
+          for (std::uint32_t l = f.open_line + 1; l <= f.end_line; ++l) {
+            if (tok.hot_marked(l)) f.hot_region_starts.push_back(l);
+          }
+        } else if (closed.kind == Scope::Kind::kBlock) {
+          FunctionFacts* enclosing = innermost_function();
+          if (enclosing != nullptr) {
+            LockEvent ev;
+            ev.kind = LockEvent::Kind::kBlockClose;
+            ev.line = cur.line;
+            ev.depth = depth - function_open_depth() + 1;
+            enclosing->lock_events.push_back(std::move(ev));
+          }
+        }
+      }
+      continue;
+    }
+
+    if (fn == nullptr) {
+      // --- declaration context: namespaces, classes, function defs ------
+      if (cur.text == "namespace") {
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < t.size() && (t[j].kind == TokKind::kIdent || t[j].text == "::")) {
+          name += t[j].text;
+          ++j;
+        }
+        if (j < t.size() && t[j].text == "{") {
+          pending = Scope{Scope::Kind::kNamespace, name, 0, kNpos};
+          pending_valid = true;
+          i = j - 1;
+        } else {
+          i = j;  // alias or malformed; skip the name
+        }
+        continue;
+      }
+      if (cur.text == "class" || cur.text == "struct" || cur.text == "union" ||
+          cur.text == "enum") {
+        std::size_t j = i + 1;
+        if (j < t.size() && (t[j].text == "class" || t[j].text == "struct")) ++j;
+        std::string name;
+        if (j < t.size() && t[j].kind == TokKind::kIdent) {
+          name = t[j].text;
+          ++j;
+        }
+        if (j < t.size() && t[j].text == "<") j = skip_angles(t, j);
+        // Scan the base-class list / enum underlying type for the brace.
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";" && t[j].text != ")" &&
+               t[j].text != "=") {
+          if (t[j].text == "<") {
+            j = skip_angles(t, j);
+          } else {
+            ++j;
+          }
+        }
+        if (j < t.size() && t[j].text == "{") {
+          pending = Scope{Scope::Kind::kClass, name, 0, kNpos};
+          pending_valid = true;
+          i = j - 1;
+        }
+        continue;
+      }
+      if (cur.text == "template" && i + 1 < t.size() && t[i + 1].text == "<") {
+        i = skip_angles(t, i + 1) - 1;
+        continue;
+      }
+      if (cur.kind == TokKind::kIdent && i + 1 < t.size() && t[i + 1].text == "(" &&
+          !is_control_name(cur.text)) {
+        const std::size_t body = match_function(i, i + 1);
+        if (body != kNpos) {
+          FunctionFacts f;
+          f.name = qualified_name_ending_at(t, i);
+          const std::string cls = innermost_class_name();
+          if (!cls.empty() && f.name.find("::") == std::string::npos) {
+            f.name = cls + "::" + f.name;
+          }
+          f.decl_line = cur.line;
+          tu.functions.push_back(std::move(f));
+          pending = Scope{Scope::Kind::kFunction, tu.functions.back().name, 0,
+                          tu.functions.size() - 1};
+          pending_valid = true;
+          i = body - 1;
+        }
+        continue;
+      }
+      continue;
+    }
+
+    // --- inside a function body: collect events ------------------------
+    const int rel_depth = depth - function_open_depth() + 1;
+
+    if (cur.kind == TokKind::kIdent && is_sink_token(cur.text)) fn->mentions_sink = true;
+
+    if (cur.kind == TokKind::kIdent &&
+        (cur.text == "lock_guard" || cur.text == "unique_lock" || cur.text == "scoped_lock")) {
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].text == "<") j = skip_angles(t, j);
+      if (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // guard variable name
+      if (j < t.size() && t[j].text == "(") {
+        const std::size_t close = skip_parens(t, j) - 1;
+        std::vector<std::string> args = split_args(t, j, close);
+        bool deferred = false;
+        std::vector<std::string> mutexes;
+        for (std::string& arg : args) {
+          if (arg.find("defer_lock") != std::string::npos) deferred = true;
+          if (!is_lock_tag(arg)) mutexes.push_back(std::move(arg));
+        }
+        if (cur.text != "scoped_lock" && mutexes.size() > 1) mutexes.resize(1);
+        if (!deferred && !mutexes.empty()) {
+          LockEvent ev;
+          ev.kind = LockEvent::Kind::kAcquire;
+          ev.mutexes = std::move(mutexes);
+          ev.atomic_multi = cur.text == "scoped_lock";
+          ev.line = cur.line;
+          ev.depth = rel_depth;
+          fn->lock_events.push_back(std::move(ev));
+        }
+        i = close;  // the guard args are consumed; nothing else to see there
+        continue;
+      }
+      continue;
+    }
+
+    if (cur.text == "for" && i + 1 < t.size() && t[i + 1].text == "(") {
+      // Range-for over an unordered container?  Find the top-level `:`.
+      const std::size_t close = skip_parens(t, i + 1) - 1;
+      int pd = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        const std::string& x = t[j].text;
+        if (x == "(" || x == "[" || x == "{") ++pd;
+        if (x == ")" || x == "]" || x == "}") --pd;
+        if (x == ":" && pd == 1) {
+          std::string container;
+          std::string last_ident;
+          for (std::size_t k = j + 1; k < close; ++k) {
+            container += t[k].text;
+            if (t[k].kind == TokKind::kIdent) last_ident = t[k].text;
+          }
+          if (unordered_decls.count(last_ident) > 0) {
+            fn->unordered_iters.push_back(IterEvent{container, t[j].line});
+          }
+          break;
+        }
+      }
+      continue;
+    }
+
+    if (cur.text == "new") {
+      if (i + 1 < t.size() && t[i + 1].text != "(") {  // `new (ptr) T` is placement
+        fn->allocs.push_back(AllocEvent{"new", "", cur.line});
+      }
+      continue;
+    }
+
+    if (cur.kind == TokKind::kIdent && i + 1 < t.size() &&
+        (t[i + 1].text == "(" || (t[i + 1].text == "<" && skip_angles(t, i + 1) < t.size() &&
+                                  t[skip_angles(t, i + 1)].text == "("))) {
+      const bool member = i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+      if (member) {
+        const std::string receiver = chain_before(t, i - 1);
+        if (is_growth_member(cur.text) || cur.text == "reserve") {
+          fn->allocs.push_back(AllocEvent{cur.text, receiver, cur.line});
+        }
+        if ((cur.text == "begin" || cur.text == "cbegin") && !receiver.empty()) {
+          std::string root = receiver;
+          const std::size_t dot = root.find_last_of(".>");
+          if (dot != std::string::npos) root = root.substr(dot + 1);
+          if (unordered_decls.count(root) > 0) {
+            fn->unordered_iters.push_back(IterEvent{receiver, cur.line});
+          }
+        }
+        fn->calls.push_back(cur.text);
+      } else if (!is_keyword_not_call(cur.text)) {
+        if (is_alloc_call(cur.text)) {
+          fn->allocs.push_back(AllocEvent{cur.text, "", cur.line});
+        }
+        fn->calls.push_back(cur.text);
+        LockEvent ev;
+        ev.kind = LockEvent::Kind::kCall;
+        ev.callee = cur.text;
+        ev.line = cur.line;
+        ev.depth = rel_depth;
+        fn->lock_events.push_back(std::move(ev));
+      }
+      continue;
+    }
+
+    if (cur.text == "string" && i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std" &&
+        i + 1 < t.size() && t[i + 1].kind == TokKind::kIdent) {
+      fn->allocs.push_back(AllocEvent{"std::string", t[i + 1].text, cur.line});
+      continue;
+    }
+    if ((cur.text == "ostringstream" || cur.text == "stringstream") && i >= 2 &&
+        t[i - 1].text == "::" && t[i - 2].text == "std") {
+      fn->allocs.push_back(AllocEvent{"std::" + cur.text, "", cur.line});
+      continue;
+    }
+  }
+
+  // Deduplicate call lists (they are used as sets by the passes).
+  for (FunctionFacts& f : tu.functions) {
+    std::sort(f.calls.begin(), f.calls.end());
+    f.calls.erase(std::unique(f.calls.begin(), f.calls.end()), f.calls.end());
+  }
+  return tu;
+}
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,87 @@
+// Per-translation-unit fact extraction: an approximate structural parse
+// of the token stream into function-level facts the whole-program passes
+// consume.  "Approximate" is a design point, not an apology — the
+// extractor tracks namespaces, classes, function definitions (including
+// out-of-class `Class::name` definitions, constructors with initializer
+// lists, and templates), and brace depth, which is exactly enough to
+// answer the four questions the passes ask:
+//
+//   * which modules does this TU #include (layering pass)
+//   * which mutexes does each function acquire, in what nesting order,
+//     and which functions does it call while holding them (lock-order)
+//   * which allocation/growth tokens appear in each function, and where
+//     are its `tzgeo: hot` markers (hot-path allocation)
+//   * which functions iterate unordered containers, and which mention or
+//     reach checkpoint/CRC/exporter sinks (determinism)
+//
+// Known, accepted blind spots (documented in DESIGN.md §13): lambdas are
+// treated as blocks of their enclosing function; `operator` overloads are
+// not matched as definitions; manual mutex .lock()/.unlock() pairs are
+// invisible (the codebase uses RAII guards exclusively — a lint rule
+// could enforce that separately); `auto` container types defeat the
+// unordered-container declaration scan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tzgeo_analyze/tokenizer.hpp"
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+struct IncludeFact {
+  std::string path;  ///< the quoted include path, verbatim
+  std::uint32_t line = 0;
+};
+
+/// One event in a function's lock/call stream, replayed in order by the
+/// lock-order pass.
+struct LockEvent {
+  enum class Kind : std::uint8_t { kAcquire, kBlockClose, kCall };
+  Kind kind = Kind::kAcquire;
+  std::vector<std::string> mutexes;  ///< kAcquire: one, or several for scoped_lock
+  bool atomic_multi = false;         ///< scoped_lock multi-acquire (no internal order)
+  std::string callee;                ///< kCall: callee name (last component)
+  std::uint32_t line = 0;
+  int depth = 0;  ///< kAcquire: depth at declaration; kBlockClose: depth after the brace
+};
+
+/// One allocation/growth token, or a `reserve` event the hot-path pass
+/// uses to absolve later push_back/emplace_back on the same receiver.
+struct AllocEvent {
+  std::string what;      ///< "new", "make_unique", "push_back", "reserve", ...
+  std::string receiver;  ///< normalized receiver chain for member calls
+  std::uint32_t line = 0;
+};
+
+struct IterEvent {
+  std::string container;  ///< normalized expression iterated over
+  std::uint32_t line = 0;
+};
+
+struct FunctionFacts {
+  std::string name;  ///< best-effort qualified name (Class::name when known)
+  std::uint32_t decl_line = 0;  ///< line of the name token
+  std::uint32_t open_line = 0;  ///< line of the body's opening brace
+  std::uint32_t end_line = 0;   ///< line of the closing brace
+  bool hot = false;             ///< marker on the signature or opening line
+  std::vector<std::uint32_t> hot_region_starts;  ///< markers inside the body
+  std::vector<LockEvent> lock_events;
+  std::vector<AllocEvent> allocs;
+  std::vector<IterEvent> unordered_iters;
+  std::vector<std::string> calls;  ///< deduplicated callee names
+  bool mentions_sink = false;      ///< references checkpoint/CRC/exporter machinery
+};
+
+struct TuFacts {
+  std::string path;
+  std::string module;  ///< "core" for src/core/..., empty outside src/
+  std::vector<IncludeFact> includes;
+  std::vector<FunctionFacts> functions;
+};
+
+[[nodiscard]] TuFacts extract_facts(const SourceFile& file, const TokenizedSource& tok);
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,184 @@
+#include "tzgeo_analyze/fix.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "tzgeo_analyze/lint_rules.hpp"
+
+namespace tzgeo::analyze {
+
+namespace {
+
+[[nodiscard]] bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+struct LinePair {
+  std::string raw;
+  std::string stripped;
+};
+
+[[nodiscard]] std::vector<LinePair> split_lines(const std::string& raw,
+                                                const std::string& stripped) {
+  std::vector<LinePair> out;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string::npos) end = raw.size();
+    out.push_back(LinePair{raw.substr(start, end - start),
+                           stripped.substr(start, end - start)});
+    if (end == raw.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+/// Rewrites one raw line's fixable magic-hours literals, guided by its
+/// stripped twin (identical byte positions).  Returns the edit count.
+int fix_magic_hours_line(LinePair& line) {
+  int edits = 0;
+  std::string out_raw;
+  std::string out_stripped;
+  const std::string& s = line.stripped;
+  for (std::size_t i = 0; i < s.size();) {
+    bool replaced = false;
+    if (s[i] == '2' && i + 1 < s.size() && (s[i + 1] == '3' || s[i + 1] == '4') &&
+        (i == 0 || (!is_word_char(s[i - 1]) && s[i - 1] != '.'))) {
+      std::size_t end = i + 2;
+      bool float_form = false;
+      if (end < s.size() && s[end] == '.') {
+        std::size_t digits = end + 1;
+        while (digits < s.size() && s[digits] == '0') ++digits;
+        const bool zeros_only =
+            digits > end + 1 &&
+            (digits >= s.size() || std::isdigit(static_cast<unsigned char>(s[digits])) == 0);
+        if (zeros_only) {
+          float_form = true;
+          end = digits;
+        }
+      }
+      const bool clean_right =
+          end >= s.size() || (!is_word_char(s[end]) && s[end] != '.');
+      const bool small_int = !float_form;
+      if (clean_right && (float_form || small_int)) {
+        std::string replacement;
+        if (s[i + 1] == '4') {
+          replacement = float_form ? "kHoursPerDayF" : "kHoursPerDay";
+        } else if (!float_form) {
+          replacement = "kMaxHourOfDay";  // 23.0 has no named constant; leave it
+        }
+        if (!replacement.empty()) {
+          out_raw += replacement;
+          out_stripped += replacement;
+          i = end;
+          ++edits;
+          replaced = true;
+        }
+      }
+    }
+    if (!replaced) {
+      out_raw += line.raw[i];
+      out_stripped += s[i];
+      ++i;
+    }
+  }
+  if (edits > 0) {
+    line.raw = std::move(out_raw);
+    line.stripped = std::move(out_stripped);
+  }
+  return edits;
+}
+
+[[nodiscard]] bool rule_applies(const char* name, const std::string& path) {
+  for (const LintRule& rule : lint_rules()) {
+    if (rule.name == name) return rule.applies(path);
+  }
+  return false;
+}
+
+}  // namespace
+
+FixResult compute_fixes(const SourceFile& file, const TokenizedSource& tok) {
+  FixResult result;
+  std::vector<LinePair> lines = split_lines(file.text, tok.stripped);
+
+  const bool header = file.path.size() > 4 &&
+                      file.path.compare(file.path.size() - 4, 4, ".hpp") == 0;
+  const bool fix_hours = rule_applies("magic-hours", file.path);
+
+  bool has_constants_include = false;
+  bool needs_constants_include = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].raw.find("#include \"util/constants.hpp\"") != std::string::npos) {
+      has_constants_include = true;
+    }
+    if (!fix_hours) continue;
+    const std::uint32_t number = static_cast<std::uint32_t>(i + 1);
+    if (!has_magic_hours_literal(lines[i].stripped) || tok.allowed(number, "magic-hours")) {
+      continue;
+    }
+    const std::string before = lines[i].raw;
+    if (fix_magic_hours_line(lines[i]) > 0) {
+      ++result.edits;
+      needs_constants_include = true;
+      result.diff.push_back(file.path + ":" + std::to_string(number) + ": - " + before);
+      result.diff.push_back(file.path + ":" + std::to_string(number) + ": + " +
+                            lines[i].raw);
+    }
+  }
+
+  // Insert `#pragma once` before the first code line of a header lacking
+  // it (comment lines are blank in the stripped text, so they are
+  // skipped naturally).
+  if (header && tok.stripped.find("#pragma once") == std::string::npos) {
+    std::size_t insert_at = lines.size();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].stripped.find_first_not_of(" \t") != std::string::npos) {
+        insert_at = i;
+        break;
+      }
+    }
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                 LinePair{"#pragma once", "#pragma once"});
+    ++result.edits;
+    result.diff.push_back(file.path + ":" + std::to_string(insert_at + 1) +
+                          ": + #pragma once");
+  }
+
+  if (needs_constants_include && !has_constants_include) {
+    // After `#pragma once` in headers; after the last existing include
+    // (or at the top) otherwise.
+    std::size_t insert_at = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].stripped.find("#pragma once") != std::string::npos ||
+          lines[i].stripped.find("#include") != std::string::npos) {
+        insert_at = i + 1;
+      }
+    }
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                 LinePair{"#include \"util/constants.hpp\"",
+                          "#include \"util/constants.hpp\""});
+    ++result.edits;
+    result.diff.push_back(file.path + ":" + std::to_string(insert_at + 1) +
+                          ": + #include \"util/constants.hpp\"");
+  }
+
+  if (result.edits == 0) {
+    result.new_text = file.text;
+    return result;
+  }
+  std::string rebuilt;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    rebuilt += lines[i].raw;
+    if (i + 1 < lines.size()) rebuilt += '\n';
+  }
+  // Preserve a trailing newline if the original had one.
+  if (!file.text.empty() && file.text.back() == '\n' &&
+      (rebuilt.empty() || rebuilt.back() != '\n')) {
+    rebuilt += '\n';
+  }
+  result.new_text = std::move(rebuilt);
+  return result;
+}
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,36 @@
+// Mechanical fixes for the two rules whose remedy is unambiguous:
+//
+//   pragma-once  — insert `#pragma once` before the first code line of a
+//                  header that lacks it
+//   magic-hours  — replace bare 24 / 23 / 24.0 literals with
+//                  kHoursPerDay / kMaxHourOfDay / kHoursPerDayF and add
+//                  `#include "util/constants.hpp"` when missing (25 and
+//                  suffixed literals like 24u are reported but never
+//                  rewritten — their intent is ambiguous)
+//
+// Fixes are computed against the stripped text (so a "24" in a comment
+// or string is never touched — stripping preserves byte positions) and
+// applied to the raw text.  --fix-dry-run renders the line diff without
+// writing anything.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tzgeo_analyze/tokenizer.hpp"
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+struct FixResult {
+  std::string new_text;  ///< full rewritten file (equals input when edits == 0)
+  int edits = 0;
+  std::vector<std::string> diff;  ///< "path:N: -/+ line" pairs, for dry-run display
+};
+
+/// Computes fixes for one file.  Only rules applicable to `file.path`
+/// fire (magic-hours is src/-only, pragma-once headers-only), matching
+/// the analyzer's reporting exactly.
+[[nodiscard]] FixResult compute_fixes(const SourceFile& file, const TokenizedSource& tok);
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,163 @@
+#include "tzgeo_analyze/layering.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace tzgeo::analyze {
+
+namespace {
+
+[[nodiscard]] bool is_target_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Strips `#` comments from one CMake line.
+[[nodiscard]] std::string strip_cmake_comment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+}  // namespace
+
+void parse_cmake_deps(const std::string& module, const std::string& text, LayerGraph& graph) {
+  if (std::find(graph.modules.begin(), graph.modules.end(), module) == graph.modules.end()) {
+    graph.modules.push_back(module);
+  }
+  std::set<std::string>& deps = graph.deps[module];
+
+  // Flatten to one comment-free string so a call spanning several lines
+  // still parses.
+  std::string flat;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    flat += strip_cmake_comment(line);
+    flat += ' ';
+  }
+
+  const std::string kCall = "target_link_libraries";
+  std::size_t pos = 0;
+  while ((pos = flat.find(kCall, pos)) != std::string::npos) {
+    pos += kCall.size();
+    const std::size_t open = flat.find('(', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = flat.find(')', open);
+    if (close == std::string::npos) break;
+    std::istringstream args(flat.substr(open + 1, close - open - 1));
+    std::string word;
+    bool first = true;
+    bool ours = false;
+    while (args >> word) {
+      if (first) {
+        ours = word == "tzgeo_" + module;
+        first = false;
+        continue;
+      }
+      if (!ours) continue;
+      if (word == "PUBLIC" || word == "PRIVATE" || word == "INTERFACE") continue;
+      if (word.rfind("tzgeo_", 0) == 0 && word != "tzgeo_warnings" &&
+          std::all_of(word.begin(), word.end(), is_target_char)) {
+        deps.insert(word.substr(6));
+      }
+    }
+    pos = close;
+  }
+}
+
+void finalize_layer_graph(LayerGraph& graph) {
+  // Transitive closure by DFS per module; a back edge on the active path
+  // is a cycle.
+  for (const std::string& m : graph.modules) {
+    std::set<std::string>& out = graph.closure[m];
+    std::vector<std::string> stack(graph.deps[m].begin(), graph.deps[m].end());
+    while (!stack.empty()) {
+      const std::string d = stack.back();
+      stack.pop_back();
+      if (!out.insert(d).second) continue;
+      for (const std::string& dd : graph.deps[d]) stack.push_back(dd);
+    }
+    if (out.count(m) > 0 && graph.cycle.empty()) {
+      // Recover one concrete cycle path for the message.
+      std::vector<std::string> path{m};
+      std::set<std::string> seen{m};
+      std::string cur = m;
+      while (true) {
+        bool advanced = false;
+        for (const std::string& d : graph.deps[cur]) {
+          if (d == m) {
+            path.push_back(m);
+            graph.cycle = path;
+            return;
+          }
+          if (seen.count(d) == 0 && graph.closure[m].count(d) > 0 &&
+              graph.deps.count(d) > 0) {
+            // Only walk edges that can still reach m.
+            std::set<std::string> reach;
+            std::vector<std::string> s2{d};
+            while (!s2.empty()) {
+              const std::string x = s2.back();
+              s2.pop_back();
+              if (!reach.insert(x).second) continue;
+              for (const std::string& xx : graph.deps[x]) s2.push_back(xx);
+            }
+            if (reach.count(m) > 0) {
+              path.push_back(d);
+              seen.insert(d);
+              cur = d;
+              advanced = true;
+              break;
+            }
+          }
+        }
+        if (!advanced) break;
+      }
+      graph.cycle = {m};  // degenerate fallback: self-dependency
+      return;
+    }
+  }
+}
+
+void check_layering(const LayerGraph& graph, const std::vector<TuFacts>& tus,
+                    std::vector<Finding>& findings) {
+  if (!graph.cycle.empty()) {
+    std::string path;
+    for (const std::string& m : graph.cycle) {
+      if (!path.empty()) path += " -> ";
+      path += m;
+    }
+    Finding f;
+    f.file = "src/CMakeLists.txt";
+    f.line = 1;
+    f.rule = "layer-cycle";
+    f.message = "module link graph contains a cycle: " + path;
+    f.snippet = path;
+    findings.push_back(std::move(f));
+  }
+
+  const std::set<std::string> known(graph.modules.begin(), graph.modules.end());
+  for (const TuFacts& tu : tus) {
+    if (tu.module.empty()) continue;  // tools/tests/bench may include anything
+    const auto closure_it = graph.closure.find(tu.module);
+    for (const IncludeFact& inc : tu.includes) {
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string target = inc.path.substr(0, slash);
+      if (known.count(target) == 0 || target == tu.module) continue;
+      const bool linked =
+          closure_it != graph.closure.end() && closure_it->second.count(target) > 0;
+      if (linked) continue;
+      Finding f;
+      f.file = tu.path;
+      f.line = inc.line;
+      f.rule = "layer-include";
+      f.message = "module '" + tu.module + "' includes '" + inc.path +
+                  "' but tzgeo_" + tu.module + " does not link tzgeo_" + target +
+                  " (declare the dependency in src/" + tu.module +
+                  "/CMakeLists.txt or drop the include)";
+      f.snippet = "#include \"" + inc.path + "\"";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace tzgeo::analyze

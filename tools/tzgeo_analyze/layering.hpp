@@ -1,0 +1,41 @@
+// Include-graph layering: the allowed layer DAG is extracted from the
+// `target_link_libraries(tzgeo_<module> ...)` declarations in each
+// src/<module>/CMakeLists.txt, so the build system stays the single
+// source of truth.  A `#include "X/..."` from module m is legal only when
+// X == m or tzgeo_X is in the transitive link closure of tzgeo_m; a cycle
+// in the link graph itself is reported as `layer-cycle`.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tzgeo_analyze/facts.hpp"
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+struct LayerGraph {
+  std::vector<std::string> modules;                     ///< declaration order
+  std::map<std::string, std::set<std::string>> deps;    ///< direct link deps
+  std::map<std::string, std::set<std::string>> closure; ///< transitive deps
+  std::vector<std::string> cycle;  ///< non-empty when the link graph cycles
+};
+
+/// Parses one src/<module>/CMakeLists.txt and merges its link deps into
+/// `graph`.  `module` is the directory name; dependencies are the
+/// `tzgeo_<x>` targets named in target_link_libraries (tzgeo_warnings and
+/// non-tzgeo targets are ignored).
+void parse_cmake_deps(const std::string& module, const std::string& text, LayerGraph& graph);
+
+/// Computes the transitive closure and detects cycles.  Call once after
+/// all parse_cmake_deps calls.
+void finalize_layer_graph(LayerGraph& graph);
+
+/// Emits `layer-include` findings for every include that crosses layers
+/// illegally, and one `layer-cycle` finding when the graph cycles.
+void check_layering(const LayerGraph& graph, const std::vector<TuFacts>& tus,
+                    std::vector<Finding>& findings);
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,241 @@
+#include "tzgeo_analyze/lint_rules.hpp"
+
+#include <cctype>
+
+namespace tzgeo::analyze {
+
+namespace {
+
+[[nodiscard]] bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool under(const std::string& path, std::string_view top) {
+  return path.rfind(std::string(top) + "/", 0) == 0;
+}
+
+}  // namespace
+
+bool contains_token(std::string_view line, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool contains_prefix_token(std::string_view line, std::string_view prefix) {
+  std::size_t pos = 0;
+  while ((pos = line.find(prefix, pos)) != std::string_view::npos) {
+    if (pos == 0 || !is_word_char(line[pos - 1])) return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool contains_call(std::string_view line, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    std::size_t end = pos + name.size();
+    while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) ++end;
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool has_magic_hours_literal(std::string_view line) {
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i] != '2') continue;
+    const char second = line[i + 1];
+    if (second != '3' && second != '4' && second != '5') continue;
+    if (i > 0 && (is_word_char(line[i - 1]) || line[i - 1] == '.')) continue;
+    std::size_t end = i + 2;
+    if (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end])) != 0) {
+      continue;  // longer number (230, 245, ...)
+    }
+    if (end < line.size() && line[end] == '.') {
+      // Accept only the `.0`, `.00`, ... float forms as hour literals.
+      std::size_t digits = end + 1;
+      while (digits < line.size() && line[digits] == '0') ++digits;
+      if (digits == end + 1) continue;  // 24.5, 24. — not an hour literal
+      if (digits < line.size() &&
+          std::isdigit(static_cast<unsigned char>(line[digits])) != 0) {
+        continue;  // 24.05 — not an hour literal
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool has_bad_catch(std::string_view line) {
+  std::size_t pos = 0;
+  while ((pos = line.find("catch", pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    std::size_t open = pos + 5;
+    while (open < line.size() && (line[open] == ' ' || line[open] == '\t')) ++open;
+    if (!left_ok || open >= line.size() || line[open] != '(') {
+      ++pos;
+      continue;
+    }
+    const std::size_t close = line.find(')', open + 1);
+    const std::size_t stop = close == std::string_view::npos ? line.size() : close;
+    const std::string_view contents = line.substr(open + 1, stop - open - 1);
+    if (contents.find("...") != std::string_view::npos) return true;
+    if (contents.find('&') == std::string_view::npos &&
+        contents.find('*') == std::string_view::npos) {
+      return true;
+    }
+    pos = stop;
+  }
+  return false;
+}
+
+const std::vector<LintRule>& lint_rules() {
+  static const std::vector<LintRule> kRules = [] {
+    std::vector<LintRule> out;
+
+    out.push_back(LintRule{
+        "magic-hours",
+        "bare 23/24/25 literal; use the named constants from util/constants.hpp "
+        "(kProfileBins, kZoneCount, kHoursPerDay, kMaxHourOfDay)",
+        [](const std::string& rel) {
+          return under(rel, "src") && rel != "src/util/constants.hpp";
+        },
+        has_magic_hours_literal});
+
+    out.push_back(LintRule{
+        "rng-source",
+        "raw randomness/clock source; route randomness through util::Rng and time "
+        "through explicit UtcSeconds parameters",
+        [](const std::string& rel) {
+          return rel != "src/util/rng.hpp" && rel != "src/util/rng.cpp";
+        },
+        [](std::string_view line) {
+          return contains_token(line, "std::random_device") ||
+                 contains_token(line, "random_device") || contains_call(line, "rand") ||
+                 contains_call(line, "srand") || contains_token(line, "std::time") ||
+                 contains_call(line, "time");
+        }});
+
+    out.push_back(LintRule{
+        "stdout-io",
+        "stdout/stderr write in library code; return strings and let the tools print",
+        [](const std::string& rel) { return under(rel, "src"); },
+        [](std::string_view line) {
+          return contains_token(line, "std::cout") || contains_token(line, "std::cerr") ||
+                 contains_call(line, "printf") || contains_call(line, "fprintf") ||
+                 contains_call(line, "puts") || contains_call(line, "putchar");
+        }});
+
+    out.push_back(LintRule{
+        "sscanf-parse",
+        "sscanf in library code; use the fixed-format parsers "
+        "(tz::parse_civil_datetime, util::parse_int) — sscanf re-scans the format "
+        "string per call and has undefined behavior on overflow",
+        [](const std::string& rel) { return under(rel, "src"); },
+        [](std::string_view line) { return contains_call(line, "sscanf"); }});
+
+    out.push_back(LintRule{
+        "obs-clock",
+        "ad-hoc std::chrono clock read in library code; obs::Stopwatch "
+        "(src/obs/stopwatch.hpp) is the one sanctioned monotonic clock — shared "
+        "timing keeps benchmarks, metrics, and traces on the same timebase",
+        [](const std::string& rel) {
+          return under(rel, "src") && !under(rel, "src/obs");
+        },
+        [](std::string_view line) {
+          return contains_token(line, "steady_clock") ||
+                 contains_token(line, "high_resolution_clock") ||
+                 contains_token(line, "system_clock");
+        }});
+
+    out.push_back(LintRule{
+        "float-stats",
+        "float in a statistical kernel; the stats module is double-only",
+        [](const std::string& rel) {
+          return under(rel, "src") && rel.find("stats") != std::string::npos;
+        },
+        [](std::string_view line) { return contains_token(line, "float"); }});
+
+    out.push_back(LintRule{
+        "simd-shim",
+        "raw SIMD include or vector-register token outside src/core/simd/; all "
+        "ISA-specific code lives behind the dispatch shim (core/simd/simd.hpp) so "
+        "the scalar reference path stays the single source of truth",
+        [](const std::string& rel) { return !under(rel, "src/core/simd"); },
+        [](std::string_view line) {
+          return line.find("immintrin.h") != std::string_view::npos ||
+                 line.find("arm_neon.h") != std::string_view::npos ||
+                 contains_prefix_token(line, "__m128") ||
+                 contains_prefix_token(line, "__m256") ||
+                 contains_prefix_token(line, "__m512") ||
+                 contains_prefix_token(line, "__mmask") ||
+                 contains_prefix_token(line, "_mm_") ||
+                 contains_prefix_token(line, "_mm256_") ||
+                 contains_prefix_token(line, "_mm512_") ||
+                 contains_prefix_token(line, "vld1q") ||
+                 contains_prefix_token(line, "vst1q") ||
+                 contains_prefix_token(line, "float64x") ||
+                 contains_prefix_token(line, "uint64x");
+        }});
+
+    out.push_back(LintRule{
+        "catch-style",
+        "catch (...) or catch-by-value in library code; catch a concrete exception "
+        "type by (const) reference so recovery can dispatch on it (typed "
+        "forum::CrawlError categories drive the monitor's degradation ladder)",
+        [](const std::string& rel) { return under(rel, "src"); },
+        has_bad_catch});
+
+    return out;
+  }();
+  return kRules;
+}
+
+void run_lint_rules(const SourceFile& file, const TokenizedSource& tok,
+                    std::vector<Finding>& findings) {
+  const bool header = file.path.size() > 4 &&
+                      file.path.compare(file.path.size() - 4, 4, ".hpp") == 0;
+  if (header && tok.stripped.find("#pragma once") == std::string::npos &&
+      !tok.allowed(1, "pragma-once")) {
+    findings.push_back(
+        Finding{file.path, 1, "pragma-once", "header missing #pragma once", "", false});
+  }
+
+  std::vector<const LintRule*> applicable;
+  for (const LintRule& rule : lint_rules()) {
+    if (rule.applies(file.path)) applicable.push_back(&rule);
+  }
+  if (applicable.empty()) return;
+
+  std::size_t start = 0;
+  std::uint32_t number = 1;
+  while (start <= tok.stripped.size()) {
+    std::size_t end = tok.stripped.find('\n', start);
+    if (end == std::string::npos) end = tok.stripped.size();
+    const std::string_view line(tok.stripped.data() + start, end - start);
+    for (const LintRule* rule : applicable) {
+      if (!rule->match(line)) continue;
+      if (tok.allowed(number, rule->name)) continue;
+      Finding f;
+      f.file = file.path;
+      f.line = number;
+      f.rule = rule->name;
+      f.message = rule->message;
+      f.snippet = std::string(line);
+      findings.push_back(std::move(f));
+    }
+    if (end == tok.stripped.size()) break;
+    start = end + 1;
+    ++number;
+  }
+}
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,306 @@
+#include "tzgeo_analyze/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace tzgeo::analyze {
+
+namespace {
+
+/// The class prefix of a qualified function name ("" for free functions).
+[[nodiscard]] std::string class_of(const std::string& qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? std::string() : qualified.substr(0, pos);
+}
+
+[[nodiscard]] std::string last_component(const std::string& qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// Canonical lock-graph node for a mutex expression acquired inside
+/// `owner`.  Single-identifier expressions (members like `mutex_`) are
+/// qualified by the owning class so identically named members of
+/// different classes stay distinct nodes.
+[[nodiscard]] std::string mutex_node(const std::string& owner, const std::string& expr) {
+  const bool simple = std::all_of(expr.begin(), expr.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  });
+  const std::string cls = class_of(owner);
+  if (simple && !cls.empty()) return cls + "::" + expr;
+  return expr;
+}
+
+struct FnRef {
+  const TuFacts* tu = nullptr;
+  const FunctionFacts* fn = nullptr;
+};
+
+struct EdgeInfo {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string detail;  ///< "<fn> acquires B while holding A" etc.
+};
+
+}  // namespace
+
+void check_lock_order(const std::vector<TuFacts>& tus, std::vector<Finding>& findings) {
+  // Index every function by the last component of its name, for
+  // conservative call resolution (all same-named candidates are merged).
+  std::map<std::string, std::vector<FnRef>> by_name;
+  std::vector<FnRef> all;
+  for (const TuFacts& tu : tus) {
+    for (const FunctionFacts& fn : tu.functions) {
+      by_name[last_component(fn.name)].push_back(FnRef{&tu, &fn});
+      all.push_back(FnRef{&tu, &fn});
+    }
+  }
+
+  // Fixpoint: the set of lock nodes each function may acquire, directly
+  // or through any resolvable callee.
+  std::map<const FunctionFacts*, std::set<std::string>> may_lock;
+  for (const FnRef& r : all) {
+    std::set<std::string>& s = may_lock[r.fn];
+    for (const LockEvent& ev : r.fn->lock_events) {
+      if (ev.kind != LockEvent::Kind::kAcquire) continue;
+      for (const std::string& m : ev.mutexes) s.insert(mutex_node(r.fn->name, m));
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const FnRef& r : all) {
+      std::set<std::string>& s = may_lock[r.fn];
+      for (const std::string& callee : r.fn->calls) {
+        const auto it = by_name.find(callee);
+        if (it == by_name.end()) continue;
+        for (const FnRef& cand : it->second) {
+          for (const std::string& node : may_lock[cand.fn]) {
+            if (s.insert(node).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Replay each function's event stream to collect ordered edges.
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges;
+  struct Held {
+    std::string node;
+    int depth = 0;
+    int group = -1;  ///< scoped_lock group id; no edges within a group
+  };
+  int next_group = 0;
+  for (const FnRef& r : all) {
+    std::vector<Held> held;
+    for (const LockEvent& ev : r.fn->lock_events) {
+      switch (ev.kind) {
+        case LockEvent::Kind::kBlockClose: {
+          held.erase(std::remove_if(held.begin(), held.end(),
+                                    [&](const Held& h) { return h.depth > ev.depth; }),
+                     held.end());
+          break;
+        }
+        case LockEvent::Kind::kAcquire: {
+          const int group = ev.atomic_multi ? next_group++ : -1;
+          for (const std::string& m : ev.mutexes) {
+            const std::string node = mutex_node(r.fn->name, m);
+            for (const Held& h : held) {
+              if (group != -1 && h.group == group) continue;  // scoped_lock is atomic
+              if (h.node == node) {
+                Finding f;
+                f.file = r.tu->path;
+                f.line = ev.line;
+                f.rule = "lock-order";
+                f.message = "recursive acquisition of '" + node + "' in " + r.fn->name +
+                            " (already held; std::mutex deadlocks on re-lock)";
+                f.snippet = node;
+                findings.push_back(std::move(f));
+                continue;
+              }
+              edges.emplace(std::make_pair(h.node, node),
+                            EdgeInfo{r.tu->path, ev.line,
+                                     r.fn->name + " acquires '" + node +
+                                         "' while holding '" + h.node + "'"});
+            }
+            held.push_back(Held{node, ev.depth, group});
+          }
+          break;
+        }
+        case LockEvent::Kind::kCall: {
+          if (held.empty()) break;
+          const auto it = by_name.find(ev.callee);
+          if (it == by_name.end()) break;
+          std::set<std::string> callee_locks;
+          for (const FnRef& cand : it->second) {
+            // Calling a sibling method of the same class re-enters the
+            // same lock domain; that is the interesting case, but other
+            // candidates are merged too (conservative).
+            const std::set<std::string>& s = may_lock[cand.fn];
+            callee_locks.insert(s.begin(), s.end());
+          }
+          for (const std::string& node : callee_locks) {
+            for (const Held& h : held) {
+              if (h.node == node) continue;  // self-wait via call: too noisy
+              edges.emplace(std::make_pair(h.node, node),
+                            EdgeInfo{r.tu->path, ev.line,
+                                     r.fn->name + " calls " + ev.callee +
+                                         " (which may lock '" + node +
+                                         "') while holding '" + h.node + "'"});
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the edge graph; each cycle is reported once,
+  // keyed by its sorted node set.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [edge, info] : edges) adj[edge.first].insert(edge.second);
+  std::set<std::string> reported;
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    // Iterative DFS from `start` looking for a path back to `start`.
+    std::vector<std::pair<std::string, std::vector<std::string>>> stack;
+    stack.emplace_back(start, std::vector<std::string>{start});
+    std::set<std::string> visited;
+    while (!stack.empty()) {
+      auto [node, path] = stack.back();
+      stack.pop_back();
+      for (const std::string& next : adj[node]) {
+        if (next == start) {
+          std::vector<std::string> key_nodes = path;
+          std::sort(key_nodes.begin(), key_nodes.end());
+          std::string key;
+          for (const std::string& n : key_nodes) key += n + "|";
+          if (!reported.insert(key).second) continue;
+          std::string cyc;
+          for (const std::string& n : path) cyc += n + " -> ";
+          cyc += start;
+          const EdgeInfo& info = edges.at({path.back(), start});
+          Finding f;
+          f.file = info.file;
+          f.line = info.line;
+          f.rule = "lock-order";
+          f.message = "inconsistent lock acquisition order (potential deadlock): " + cyc +
+                      "; here " + info.detail;
+          f.snippet = cyc;
+          findings.push_back(std::move(f));
+          continue;
+        }
+        if (visited.insert(next).second) {
+          std::vector<std::string> next_path = path;
+          next_path.push_back(next);
+          stack.emplace_back(next, std::move(next_path));
+        }
+      }
+    }
+  }
+}
+
+void check_hot_alloc(const std::vector<TuFacts>& tus,
+                     const std::vector<TokenizedSource>& toks,
+                     std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    const TuFacts& tu = tus[i];
+    const TokenizedSource& tok = toks[i];
+    for (const FunctionFacts& fn : tu.functions) {
+      if (!fn.hot && fn.hot_region_starts.empty()) continue;
+      const auto in_hot_range = [&](std::uint32_t line) {
+        if (fn.hot && line >= fn.open_line && line <= fn.end_line) return true;
+        // A region marker opens a hot range that extends to the end of
+        // the function (regions are typically the tail loop of a kernel).
+        return std::any_of(fn.hot_region_starts.begin(), fn.hot_region_starts.end(),
+                           [&](std::uint32_t start) {
+                             return line >= start && line <= fn.end_line;
+                           });
+      };
+      std::set<std::string> reserved;  // receivers absolved by reserve/resize
+      for (const AllocEvent& ev : fn.allocs) {
+        if (ev.what == "reserve" || ev.what == "resize") {
+          if (!ev.receiver.empty()) reserved.insert(ev.receiver);
+          continue;
+        }
+        if (!in_hot_range(ev.line)) continue;
+        const bool growth = ev.what == "push_back" || ev.what == "emplace_back" ||
+                            ev.what == "append" || ev.what == "insert" ||
+                            ev.what == "emplace";
+        if (growth && reserved.count(ev.receiver) > 0) continue;
+        if (tok.allowed(ev.line, "hot-alloc")) continue;
+        Finding f;
+        f.file = tu.path;
+        f.line = ev.line;
+        f.rule = "hot-alloc";
+        f.message = "'" + ev.what + "'" +
+                    (ev.receiver.empty() ? std::string() : " on '" + ev.receiver + "'") +
+                    " inside hot region of " + fn.name +
+                    (growth ? " without a prior reserve() on the receiver"
+                            : " (heap allocation in a tzgeo: hot path)") +
+                    "; hoist it out, reserve up front, or annotate"
+                    " 'tzgeo-lint: allow(hot-alloc)' with a justification";
+        f.snippet = ev.what + (ev.receiver.empty() ? "" : " " + ev.receiver);
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+void check_determinism(const std::vector<TuFacts>& tus,
+                       const std::vector<TokenizedSource>& toks,
+                       std::vector<Finding>& findings) {
+  // Seed: functions that mention checkpoint/CRC/exporter machinery.
+  // Closure: anything they call (by name) also shapes the output bytes.
+  std::map<std::string, std::vector<const FunctionFacts*>> by_name;
+  std::vector<std::pair<const TuFacts*, const FunctionFacts*>> all;
+  for (const TuFacts& tu : tus) {
+    for (const FunctionFacts& fn : tu.functions) {
+      by_name[last_component(fn.name)].push_back(&fn);
+      all.emplace_back(&tu, &fn);
+    }
+  }
+  std::set<const FunctionFacts*> feeding;
+  for (const auto& [tu, fn] : all) {
+    (void)tu;
+    if (fn->mentions_sink) feeding.insert(fn);
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [tu, fn] : all) {
+      (void)tu;
+      if (feeding.count(fn) == 0) continue;
+      for (const std::string& callee : fn->calls) {
+        const auto it = by_name.find(callee);
+        if (it == by_name.end()) continue;
+        for (const FunctionFacts* cand : it->second) {
+          if (feeding.insert(cand).second) changed = true;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    const TuFacts& tu = tus[i];
+    const TokenizedSource& tok = toks[i];
+    for (const FunctionFacts& fn : tu.functions) {
+      if (feeding.count(&fn) == 0) continue;
+      for (const IterEvent& ev : fn.unordered_iters) {
+        if (tok.allowed(ev.line, "det-unordered-output")) continue;
+        Finding f;
+        f.file = tu.path;
+        f.line = ev.line;
+        f.rule = "det-unordered-output";
+        f.message = "iteration over unordered container '" + ev.container + "' in " +
+                    fn.name + ", which feeds checkpoint/CRC/exporter output;"
+                    " hash order is implementation-defined — sort keys first or use an"
+                    " ordered container";
+        f.snippet = ev.container;
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+}  // namespace tzgeo::analyze

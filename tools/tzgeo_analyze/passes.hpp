@@ -1,0 +1,44 @@
+// Whole-program semantic passes over the per-TU facts:
+//
+//   * check_lock_order — replays each function's guard-acquisition /
+//     block-close / call event stream, builds a global lock-order graph
+//     (edges held -> newly acquired, including acquisitions reached
+//     through calls made while holding a lock), and reports every cycle
+//     once.  std::scoped_lock multi-acquires are atomic: no internal
+//     edges are recorded between its mutexes.
+//
+//   * check_hot_alloc — inside `tzgeo: hot` functions/regions, flags
+//     allocation tokens (new, make_unique/make_shared, malloc family,
+//     to_string, std::string/stringstream construction) and container
+//     growth (push_back/emplace_back/append/resize/insert/emplace)
+//     unless an earlier reserve() on the same receiver absolves it or
+//     the line carries allow(hot-alloc).
+//
+//   * check_determinism — computes the set of functions that feed
+//     checkpoint/CRC/exporter output (sink mentions plus reverse call
+//     closure) and reports unordered_map/unordered_set iteration inside
+//     that set: hash iteration order is libstdc++-version-dependent, so
+//     it would silently break byte-stable checkpoints and golden files.
+#pragma once
+
+#include <vector>
+
+#include "tzgeo_analyze/facts.hpp"
+#include "tzgeo_analyze/tokenizer.hpp"
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+void check_lock_order(const std::vector<TuFacts>& tus, std::vector<Finding>& findings);
+
+/// `sources[i]`/`toks[i]` correspond to `tus[i]`; the tokenized marks are
+/// consulted for per-line allow(hot-alloc) waivers.
+void check_hot_alloc(const std::vector<TuFacts>& tus,
+                     const std::vector<TokenizedSource>& toks,
+                     std::vector<Finding>& findings);
+
+void check_determinism(const std::vector<TuFacts>& tus,
+                       const std::vector<TokenizedSource>& toks,
+                       std::vector<Finding>& findings);
+
+}  // namespace tzgeo::analyze

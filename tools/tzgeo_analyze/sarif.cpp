@@ -1,0 +1,311 @@
+#include "tzgeo_analyze/sarif.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string_view>
+
+namespace tzgeo::analyze {
+
+namespace {
+
+/// Minimal validating JSON scanner (RFC 8259 grammar, no semantics) —
+/// the same validation-only idiom tzgeo_obs_check uses.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  [[nodiscard]] bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  [[nodiscard]] bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"' || !string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool string() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string_view{"\"\\/bfnrt"}.find(esc) == std::string_view::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects every value of `"key": "..."` in already-validated JSON text.
+[[nodiscard]] std::set<std::string> string_values_of(const std::string& text,
+                                                     std::string_view key) {
+  std::set<std::string> out;
+  const std::string needle = "\"" + std::string(key) + "\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < text.size() && (text[p] == ' ' || text[p] == ':')) ++p;
+    if (p < text.size() && text[p] == '"') {
+      const std::size_t close = text.find('"', p + 1);
+      if (close != std::string::npos) out.insert(text.substr(p + 1, close - p - 1));
+    }
+    pos += needle.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Distinct rules in first-seen order, with a stable index for results.
+  std::vector<std::string> rule_order;
+  std::map<std::string, std::size_t> rule_index;
+  std::map<std::string, std::string> rule_message;
+  for (const Finding& f : findings) {
+    if (f.baselined) continue;
+    if (rule_index.emplace(f.rule, rule_order.size()).second) {
+      rule_order.push_back(f.rule);
+      rule_message[f.rule] = f.message;
+    }
+  }
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"tzgeo_analyze\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/tzgeo/tools/tzgeo_analyze\",\n"
+      "          \"rules\": [";
+  for (std::size_t i = 0; i < rule_order.size(); ++i) {
+    const std::string& rule = rule_order[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"" + json_escape(rule) +
+           "\", \"shortDescription\": {\"text\": \"" + json_escape(rule_message[rule]) +
+           "\"}}";
+  }
+  out += rule_order.empty() ? "]\n" : "\n          ]\n";
+  out +=
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (f.baselined) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(f.rule) + "\",\n";
+    out += "          \"ruleIndex\": " + std::to_string(rule_index[f.rule]) + ",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json_escape(f.message) + "\"},\n";
+    out +=
+        "          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": \"" +
+        json_escape(f.file) + "\"}, \"region\": {\"startLine\": " +
+        std::to_string(f.line) + "}}}]\n";
+    out += "        }";
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+bool sarif_check(const std::string& text, std::string* error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  JsonValidator validator(text);
+  if (!validator.valid()) return fail("not well-formed JSON");
+  if (text.find("\"version\": \"2.1.0\"") == std::string::npos) {
+    return fail("missing SARIF version 2.1.0");
+  }
+  if (text.find("\"name\": \"tzgeo_analyze\"") == std::string::npos) {
+    return fail("missing tool driver name");
+  }
+  if (text.find("\"runs\"") == std::string::npos) return fail("missing runs array");
+  if (text.find("\"results\"") == std::string::npos) return fail("missing results array");
+  // Every result's ruleId must have a matching rule descriptor id.
+  const std::set<std::string> rule_ids = string_values_of(text, "ruleId");
+  const std::set<std::string> declared = string_values_of(text, "id");
+  for (const std::string& id : rule_ids) {
+    if (declared.count(id) == 0) {
+      if (error != nullptr) *error = "result ruleId '" + id + "' has no rule descriptor";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tzgeo::analyze

@@ -1,0 +1,28 @@
+// SARIF 2.1.0 emission + self-contained validation.
+//
+// `to_sarif` renders the non-baselined findings as one SARIF run (tool
+// driver "tzgeo_analyze", one reportingDescriptor per distinct rule, one
+// result per finding at level "error").  `sarif_check` re-validates the
+// emitted text the same way tzgeo_obs_check validates observability
+// dumps: a minimal RFC 8259 scanner proves syntactic well-formedness,
+// then structural probes confirm the SARIF envelope (version, driver
+// name, and that every result's ruleId has a matching rule descriptor).
+// The emitter runs its own output through sarif_check before returning
+// it to the driver, so a malformed report can never reach CI upload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tzgeo_analyze/types.hpp"
+
+namespace tzgeo::analyze {
+
+/// Renders non-baselined findings as a SARIF 2.1.0 document.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Validates `text` as a well-formed SARIF 2.1.0 report.  On failure,
+/// `error` (if non-null) receives a one-line reason.
+[[nodiscard]] bool sarif_check(const std::string& text, std::string* error);
+
+}  // namespace tzgeo::analyze

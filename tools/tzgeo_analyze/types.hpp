@@ -1,0 +1,36 @@
+// Shared value types of the tzgeo_analyze framework.
+//
+// The analyzer is deliberately dependency-free (it links none of the tzgeo
+// libraries it inspects), so these are plain structs over std::string —
+// every component exchanges repo-relative paths and line numbers, nothing
+// richer.  A Finding is the one currency: tokenizer-level lint rules and
+// the whole-program semantic passes both emit them, and the baseline,
+// SARIF, and --fix layers consume them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tzgeo::analyze {
+
+/// One input file: a repo-relative path (generic separators) plus its
+/// full text.  Tests construct these in memory; the driver loads them
+/// from disk.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// One diagnostic.  `snippet` is the stripped source line the finding
+/// anchors to; the baseline fingerprints (rule, file, snippet), so a
+/// finding survives unrelated edits that only shift line numbers.
+struct Finding {
+  std::string file;
+  std::uint32_t line = 1;
+  std::string rule;
+  std::string message;
+  std::string snippet;
+  bool baselined = false;
+};
+
+}  // namespace tzgeo::analyze

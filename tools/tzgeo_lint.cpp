@@ -3,423 +3,42 @@
 // Generic linters cannot know that a tzgeo profile is *exactly* 24 hourly
 // bins, that determinism depends on every random draw flowing through
 // util::Rng, or that the libraries must never write to stdout (the CLI owns
-// the terminal).  This tool encodes those invariants as mechanical rules
-// over the source tree and fails the suite on any violation:
+// the terminal).  Those invariants live as the nine line rules of
+// tools/tzgeo_analyze/lint_rules.cpp (magic-hours, rng-source, stdout-io,
+// sscanf-parse, obs-clock, float-stats, simd-shim, catch-style,
+// pragma-once); this binary is the thin CLI wrapper that preserves the
+// historical interface:
 //
-//   pragma-once   every header under src/, tools/, tests/, bench/,
-//                 examples/ carries `#pragma once`
-//   magic-hours   integer literals 23/24/25 (and their `.0` float forms)
-//                 appear in src/ only inside core/constants.hpp — profile
-//                 widths and zone counts must come from the named constants
-//   rng-source    no rand()/srand()/std::time()/time(NULL)/
-//                 std::random_device outside src/util/rng.* — every other
-//                 source of randomness or wall-clock time breaks replay
-//   stdout-io     no std::cout / printf / puts in library code under src/
-//                 (snprintf into buffers is fine; the terminal belongs to
-//                 the tools)
-//   sscanf-parse  no sscanf in library code under src/ — timestamp and
-//                 integer parsing must go through tz::parse_civil_datetime
-//                 / util::parse_int (sscanf re-scans its format string per
-//                 call and has undefined behavior on numeric overflow)
-//   float-stats   no `float` in src/stats — the statistical kernels are
-//                 double-only (Eq. 1/2 profiles lose precision in float)
-//   catch-style   no `catch (...)` and no catch-by-value in src/ — a
-//                 bare ellipsis swallows typed recovery signals (the
-//                 monitor's degradation ladder dispatches on
-//                 forum::CrawlError categories) and catching by value
-//                 slices the exception object; catch by reference to a
-//                 concrete type instead
-//   simd-shim     no <immintrin.h>/<arm_neon.h> includes or raw vector
-//                 intrinsic tokens (__m256d, _mm512_*, vld1q_f64, ...)
-//                 outside src/core/simd/ — all ISA-specific code lives
-//                 behind the dispatch shim so the scalar reference path
-//                 and the bit-identity guarantee cannot rot
+//   tzgeo_lint [REPO_ROOT] [--self-test]
 //
-// Comments and string literals are stripped before matching, so prose like
-// "24-bin profile" never trips a rule.  A rule can be waived for one line
-// with a trailing `// tzgeo-lint: allow(<rule>)` comment naming the rule.
+// Comments and string literals are stripped once by the shared tokenizer
+// (tools/tzgeo_analyze/tokenizer.cpp), so prose like "24-bin profile"
+// never trips a rule, and a rule can still be waived for one line with a
+// trailing `// tzgeo-lint: allow(<rule>)` comment naming the rule.
 //
-// Adding a rule: append a Rule{} entry to rules() with a match function
-// over the stripped line, document it in the block above and in DESIGN.md
-// ("Verification matrix"), and add a case to tests if the rule has subtle
-// tokenization (see the self-checks at the bottom of main()).
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <functional>
+// The full analyzer (tzgeo_analyze) runs these same rules plus the
+// whole-program passes (layering, lock-order, hot-alloc, determinism);
+// keep using this entry point where only the fast line rules are wanted.
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "tzgeo_analyze/driver.hpp"
+#include "tzgeo_analyze/lint_rules.hpp"
+#include "tzgeo_analyze/tokenizer.hpp"
 
 namespace {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-/// Replaces comments, string literals, and char literals with spaces,
-/// preserving newlines (so line numbers survive).  Handles escapes and raw
-/// strings; good enough for a codebase that compiles.
-std::string strip_comments_and_strings(std::string_view text) {
-  std::string out(text);
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_terminator;  // ")delim\"" for the active raw string
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          // R"delim( ... )delim"
-          std::size_t open = text.find('(', i + 2);
-          if (open != std::string_view::npos) {
-            raw_terminator.assign(1, ')');
-            raw_terminator.append(text.substr(i + 2, open - (i + 2)));
-            raw_terminator.push_back('"');
-            state = State::kRawString;
-            for (std::size_t j = i; j <= open; ++j) {
-              if (out[j] != '\n') out[j] = ' ';
-            }
-            i = open;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
-          for (std::size_t j = 0; j < raw_terminator.size(); ++j) out[i + j] = ' ';
-          i += raw_terminator.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-[[nodiscard]] bool is_word_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `token` occurs in `line` with non-word characters (or line
-/// edges) on both sides.  `token` itself may contain punctuation (e.g.
-/// "std::cout"); only its boundary characters are checked.
-[[nodiscard]] bool contains_token(std::string_view line, std::string_view token) {
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
-    if (left_ok && right_ok) return true;
-    ++pos;
-  }
-  return false;
-}
-
-/// True when `prefix` occurs in `line` with a non-word character (or the
-/// line start) on its LEFT only.  Vector-register families share prefixes
-/// across many suffixed spellings (__m256 vs __m256d vs __m256i,
-/// _mm512_add_pd, vld1q_f64), so unlike contains_token the right side is
-/// deliberately unconstrained.
-[[nodiscard]] bool contains_prefix_token(std::string_view line, std::string_view prefix) {
-  std::size_t pos = 0;
-  while ((pos = line.find(prefix, pos)) != std::string_view::npos) {
-    if (pos == 0 || !is_word_char(line[pos - 1])) return true;
-    ++pos;
-  }
-  return false;
-}
-
-/// True when `line` calls `name(` as a free token (so `snprintf(` does not
-/// match `printf(`, and `uniform_int(` does not match `int(`).
-[[nodiscard]] bool contains_call(std::string_view line, std::string_view name) {
-  std::size_t pos = 0;
-  while ((pos = line.find(name, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
-    std::size_t end = pos + name.size();
-    while (end < line.size() && (line[end] == ' ' || line[end] == '\t')) ++end;
-    if (left_ok && end < line.size() && line[end] == '(') return true;
-    ++pos;
-  }
-  return false;
-}
-
-/// Finds a bare 23/24/25 integer literal (or 23.0/24.0/25.0) in the line.
-/// Literals embedded in identifiers (x24), larger numbers (124, 245),
-/// decimals (0.25), hex (0x24), and exponents (1e24) do not count.
-[[nodiscard]] bool has_magic_hours_literal(std::string_view line) {
-  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
-    if (line[i] != '2') continue;
-    const char second = line[i + 1];
-    if (second != '3' && second != '4' && second != '5') continue;
-    if (i > 0 && (is_word_char(line[i - 1]) || line[i - 1] == '.')) continue;
-    std::size_t end = i + 2;
-    if (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end])) != 0) {
-      continue;  // longer number (230, 245, ...)
-    }
-    if (end < line.size() && line[end] == '.') {
-      // Accept only the `.0`, `.00`, ... float forms as hour literals.
-      std::size_t digits = end + 1;
-      while (digits < line.size() && line[digits] == '0') ++digits;
-      if (digits == end + 1) continue;                   // 24.5, 24. — not an hour literal
-      if (digits < line.size() &&
-          std::isdigit(static_cast<unsigned char>(line[digits])) != 0) {
-        continue;  // 24.05 — not an hour literal
-      }
-    }
-    return true;
-  }
-  return false;
-}
-
-/// Finds a `catch (...)` or a catch-by-value clause.  The contents of each
-/// `catch (` ... `)` on the line are inspected: `...` matches everything
-/// (losing the type the recovery policy needs), and a clause without `&`
-/// or `*` binds the exception by value (slicing derived types).  A clause
-/// split across lines is judged by the part on the `catch` line.
-[[nodiscard]] bool has_bad_catch(std::string_view line) {
-  std::size_t pos = 0;
-  while ((pos = line.find("catch", pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
-    std::size_t open = pos + 5;
-    while (open < line.size() && (line[open] == ' ' || line[open] == '\t')) ++open;
-    if (!left_ok || open >= line.size() || line[open] != '(') {
-      ++pos;
-      continue;
-    }
-    const std::size_t close = line.find(')', open + 1);
-    const std::size_t stop = close == std::string_view::npos ? line.size() : close;
-    const std::string_view contents = line.substr(open + 1, stop - open - 1);
-    if (contents.find("...") != std::string_view::npos) return true;
-    if (contents.find('&') == std::string_view::npos &&
-        contents.find('*') == std::string_view::npos) {
-      return true;
-    }
-    pos = stop;
-  }
-  return false;
-}
-
-struct Rule {
-  std::string name;
-  std::string message;
-  /// Whether the rule applies to this file at all.
-  std::function<bool(const fs::path& relative)> applies;
-  /// Line-level matcher over the stripped source line.
-  std::function<bool(std::string_view stripped_line)> match;
-};
-
-[[nodiscard]] bool under(const fs::path& relative, std::string_view top) {
-  return !relative.empty() && relative.begin()->string() == top;
-}
-
-[[nodiscard]] std::vector<Rule> rules() {
-  std::vector<Rule> out;
-
-  out.push_back(Rule{
-      "magic-hours",
-      "bare 23/24/25 literal; use the named constants from core/constants.hpp "
-      "(kProfileBins, kZoneCount, kHoursPerDay, kMaxHourOfDay)",
-      [](const fs::path& rel) {
-        return under(rel, "src") && rel != fs::path("src") / "core" / "constants.hpp";
-      },
-      has_magic_hours_literal});
-
-  out.push_back(Rule{
-      "rng-source",
-      "raw randomness/clock source; route randomness through util::Rng and time "
-      "through explicit UtcSeconds parameters",
-      [](const fs::path& rel) {
-        return rel != fs::path("src") / "util" / "rng.hpp" &&
-               rel != fs::path("src") / "util" / "rng.cpp";
-      },
-      [](std::string_view line) {
-        return contains_token(line, "std::random_device") ||
-               contains_token(line, "random_device") || contains_call(line, "rand") ||
-               contains_call(line, "srand") || contains_token(line, "std::time") ||
-               contains_call(line, "time");
-      }});
-
-  out.push_back(Rule{
-      "stdout-io",
-      "stdout/stderr write in library code; return strings and let the tools print",
-      [](const fs::path& rel) { return under(rel, "src"); },
-      [](std::string_view line) {
-        return contains_token(line, "std::cout") || contains_token(line, "std::cerr") ||
-               contains_call(line, "printf") || contains_call(line, "fprintf") ||
-               contains_call(line, "puts") || contains_call(line, "putchar");
-      }});
-
-  out.push_back(Rule{
-      "sscanf-parse",
-      "sscanf in library code; use the fixed-format parsers "
-      "(tz::parse_civil_datetime, util::parse_int) — sscanf re-scans the format "
-      "string per call and has undefined behavior on overflow",
-      [](const fs::path& rel) { return under(rel, "src"); },
-      [](std::string_view line) { return contains_call(line, "sscanf"); }});
-
-  out.push_back(Rule{
-      "obs-clock",
-      "ad-hoc std::chrono clock read in library code; obs::Stopwatch "
-      "(src/obs/stopwatch.hpp) is the one sanctioned monotonic clock — shared "
-      "timing keeps benchmarks, metrics, and traces on the same timebase",
-      [](const fs::path& rel) {
-        if (!under(rel, "src")) return false;
-        auto it = rel.begin();
-        ++it;  // skip the "src" component
-        return it == rel.end() || it->string() != "obs";
-      },
-      [](std::string_view line) {
-        return contains_token(line, "steady_clock") ||
-               contains_token(line, "high_resolution_clock") ||
-               contains_token(line, "system_clock");
-      }});
-
-  out.push_back(Rule{
-      "float-stats",
-      "float in a statistical kernel; the stats module is double-only",
-      [](const fs::path& rel) { return under(rel, "src") && rel.string().find("stats") != std::string::npos; },
-      [](std::string_view line) { return contains_token(line, "float"); }});
-
-  out.push_back(Rule{
-      "simd-shim",
-      "raw SIMD include or vector-register token outside src/core/simd/; all "
-      "ISA-specific code lives behind the dispatch shim (core/simd/simd.hpp) so "
-      "the scalar reference path stays the single source of truth",
-      [](const fs::path& rel) {
-        const std::string shim = (fs::path("src") / "core" / "simd").generic_string();
-        return rel.generic_string().rfind(shim, 0) != 0;
-      },
-      [](std::string_view line) {
-        return line.find("immintrin.h") != std::string_view::npos ||
-               line.find("arm_neon.h") != std::string_view::npos ||
-               contains_prefix_token(line, "__m128") ||
-               contains_prefix_token(line, "__m256") ||
-               contains_prefix_token(line, "__m512") ||
-               contains_prefix_token(line, "__mmask") ||
-               contains_prefix_token(line, "_mm_") ||
-               contains_prefix_token(line, "_mm256_") ||
-               contains_prefix_token(line, "_mm512_") ||
-               contains_prefix_token(line, "vld1q") ||
-               contains_prefix_token(line, "vst1q") ||
-               contains_prefix_token(line, "float64x") ||
-               contains_prefix_token(line, "uint64x");
-      }});
-
-  out.push_back(Rule{
-      "catch-style",
-      "catch (...) or catch-by-value in library code; catch a concrete exception "
-      "type by (const) reference so recovery can dispatch on it (typed "
-      "forum::CrawlError categories drive the monitor's degradation ladder)",
-      [](const fs::path& rel) { return under(rel, "src"); },
-      has_bad_catch});
-
-  return out;
-}
-
-/// The directories scanned, relative to the repo root.
-constexpr const char* kScanRoots[] = {"src", "tools", "tests", "bench", "examples"};
-
-void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rule>& active,
-               std::vector<Finding>& findings) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  const std::string stripped = strip_comments_and_strings(text);
-  const fs::path relative = fs::relative(path, root);
-
-  // pragma-once is file-scoped, not line-scoped.
-  if (path.extension() == ".hpp" &&
-      stripped.find("#pragma once") == std::string::npos) {
-    findings.push_back(Finding{relative.generic_string(), 1, "pragma-once",
-                               "header missing #pragma once"});
-  }
-
-  std::vector<const Rule*> applicable;
-  for (const Rule& rule : active) {
-    if (rule.applies(relative)) applicable.push_back(&rule);
-  }
-  if (applicable.empty()) return;
-
-  std::istringstream raw_lines(text);
-  std::istringstream stripped_lines(stripped);
-  std::string raw_line;
-  std::string stripped_line;
-  std::size_t number = 0;
-  while (std::getline(raw_lines, raw_line) && std::getline(stripped_lines, stripped_line)) {
-    ++number;
-    for (const Rule* rule : applicable) {
-      if (!rule->match(stripped_line)) continue;
-      if (raw_line.find("tzgeo-lint: allow(" + rule->name + ")") != std::string::npos) {
-        continue;
-      }
-      findings.push_back(
-          Finding{relative.generic_string(), number, rule->name, rule->message});
-    }
-  }
-}
-
-/// Sanity checks on the tokenizer itself: run with --self-test.  Keeps the
-/// checker honest without needing a second build target.
+/// Sanity checks on the matching helpers: run with --self-test.  These
+/// are the original tzgeo-lint checks, now exercising the shared
+/// tzgeo_analyze implementations.
 [[nodiscard]] int self_test() {
+  using tzgeo::analyze::contains_call;
+  using tzgeo::analyze::contains_prefix_token;
+  using tzgeo::analyze::contains_token;
+  using tzgeo::analyze::has_bad_catch;
+  using tzgeo::analyze::has_magic_hours_literal;
+
   int failures = 0;
   const auto expect = [&failures](bool condition, const char* what) {
     if (!condition) {
@@ -479,8 +98,10 @@ void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rul
   expect(!contains_token("my_steady_clock_wrapper()", "steady_clock"),
          "identifier containing steady_clock not flagged");
 
-  const std::string stripped = strip_comments_and_strings(
-      "int a = 1; // 24 bins\nconst char* s = \"24\";\n/* 24 */ int b = 24;\n");
+  const std::string stripped =
+      tzgeo::analyze::tokenize(
+          "int a = 1; // 24 bins\nconst char* s = \"24\";\n/* 24 */ int b = 24;\n")
+          .stripped;
   expect(stripped.find("24") != std::string::npos, "code literal survives stripping");
   expect(stripped.rfind("24") == stripped.find("24"),
          "comment and string literals stripped");
@@ -492,7 +113,7 @@ void scan_file(const fs::path& root, const fs::path& path, const std::vector<Rul
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  std::string root = ".";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--self-test") return self_test();
@@ -503,33 +124,18 @@ int main(int argc, char** argv) {
     }
     root = arg;
   }
-  if (!fs::exists(root / fs::path("src"))) {
-    std::cout << "tzgeo-lint: no src/ under " << root << " — wrong root?\n";
+
+  tzgeo::analyze::AnalyzeResult result;
+  std::string error;
+  if (!tzgeo::analyze::analyze_repo(root, "", "", /*lint_only=*/true, result, error)) {
+    std::cout << "tzgeo-lint: " << error << "\n";
     return 2;
   }
-
-  const std::vector<Rule> active = rules();
-  std::vector<Finding> findings;
-  std::vector<fs::path> files;
-  for (const char* top : kScanRoots) {
-    const fs::path dir = root / top;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const fs::path& path = entry.path();
-      if (path.extension() == ".hpp" || path.extension() == ".cpp") {
-        files.push_back(path);
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& path : files) scan_file(root, path, active, findings);
-
-  for (const Finding& finding : findings) {
+  for (const tzgeo::analyze::Finding& finding : result.findings) {
     std::cout << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
               << finding.message << "\n";
   }
-  std::cout << "tzgeo-lint: " << files.size() << " files, " << findings.size()
-            << " finding(s)\n";
-  return findings.empty() ? 0 : 1;
+  std::cout << "tzgeo-lint: " << result.files_scanned << " files, "
+            << result.findings.size() << " finding(s)\n";
+  return result.findings.empty() ? 0 : 1;
 }
