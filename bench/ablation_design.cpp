@@ -59,7 +59,9 @@ struct PlacementError {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"ablation_design", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
 
   // --- A: metric ablation --------------------------------------------------

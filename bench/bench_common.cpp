@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "obs/stopwatch.hpp"
 #include "timezone/zone_db.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace tzgeo::bench {
@@ -64,17 +66,87 @@ core::ProfileSet profile_region(const std::string& region_name, std::size_t user
   return core::build_profiles(trace_of(dataset), build);
 }
 
+namespace {
+
+JsonReport* g_active_report = nullptr;
+
+// Section wall-clock state (see print_section); file-scope so the
+// JsonReport destructor can flush the final, bannerless section.
+obs::Stopwatch g_section_watch;
+bool g_in_section = false;
+std::string g_section_title;
+
+void flush_section() {
+  if (!g_in_section) return;
+  const double seconds = g_section_watch.elapsed_seconds();
+  std::printf("\n(previous section took %.2fs)\n", seconds);
+  if (JsonReport* report = JsonReport::active()) {
+    report->add("section:" + g_section_title, seconds);
+  }
+  g_in_section = false;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string binary, int& argc, char** argv)
+    : binary_(std::move(binary)), previous_(g_active_report) {
+  // Strip `--json PATH` wherever it appears so binaries with positional
+  // arguments (scale factors etc.) never see it.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--json" && i + 1 < argc) {
+      path_ = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  g_active_report = this;
+}
+
+JsonReport::~JsonReport() {
+  flush_section();
+  g_active_report = previous_;
+  if (path_.empty()) return;
+  util::JsonValue root = util::JsonValue::object();
+  root.set("schema", util::JsonValue::string("tzgeo-bench-v1"));
+  root.set("binary", util::JsonValue::string(binary_));
+  util::JsonValue results = util::JsonValue::array();
+  for (const Row& row : rows_) {
+    util::JsonValue entry = util::JsonValue::object();
+    entry.set("name", util::JsonValue::string(row.name));
+    entry.set("unit", util::JsonValue::string(row.unit));
+    entry.set("value", util::JsonValue::number(row.value));
+    if (row.max_ratio > 0.0) {
+      entry.set("max_ratio", util::JsonValue::number(row.max_ratio));
+    }
+    results.push(std::move(entry));
+  }
+  root.set("results", std::move(results));
+  std::ofstream out{path_, std::ios::binary};
+  if (out) {
+    out << root.dump(2) << "\n";
+  } else {
+    std::printf("bench: cannot write %s\n", path_.c_str());
+  }
+}
+
+void JsonReport::add(const std::string& name, double value, const std::string& unit,
+                     double max_ratio) {
+  rows_.push_back(Row{name, unit, value, max_ratio});
+}
+
+JsonReport* JsonReport::active() noexcept { return g_active_report; }
+
 void print_section(const std::string& title) {
   // Section banners double as coarse wall-clock markers: every banner after
   // the first reports how long the previous section took, using the same
-  // sanctioned obs::Stopwatch that the pipeline metrics use.
-  static obs::Stopwatch section_watch;
-  static bool first_section = true;
-  if (!first_section) {
-    std::printf("\n(previous section took %.2fs)\n", section_watch.elapsed_seconds());
-  }
-  first_section = false;
-  section_watch.reset();
+  // sanctioned obs::Stopwatch that the pipeline metrics use.  While a
+  // JsonReport is active the duration also lands in the report as a
+  // `section:<title>` row.
+  flush_section();
+  g_in_section = true;
+  g_section_title = title;
+  g_section_watch.reset();
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");

@@ -43,6 +43,52 @@ struct ReferenceProfiles {
 /// Prints a banner separating experiment sections.
 void print_section(const std::string& title);
 
+/// Perf-observatory JSON report (schema tzgeo-bench-v1).
+///
+/// Every bench binary accepts a trailing `--json PATH` pair: construct a
+/// JsonReport first thing in main and it strips the flag from argv (so
+/// positional-argument parsing stays untouched), collects named results,
+/// and writes the report on destruction.  Reports are diffed against the
+/// committed baselines in bench/baselines/ by tools/tzgeo_bench_diff —
+/// that pair is the CI perf-regression gate.
+///
+/// Section durations are reported automatically: while a JsonReport is
+/// active, print_section() adds a `section:<title>` row for each
+/// completed section, so the experiment binaries get coarse perf series
+/// without per-section plumbing.
+class JsonReport {
+ public:
+  /// `binary` names the report; argv is scanned for `--json PATH`.
+  JsonReport(std::string binary, int& argc, char** argv);
+  /// Writes the report file (if --json was given) and deactivates.
+  ~JsonReport();
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  /// Records one result row.  `max_ratio == 0` defers to the baseline
+  /// file's default tolerance.
+  void add(const std::string& name, double value, const std::string& unit = "s",
+           double max_ratio = 0.0);
+
+  /// True when `--json PATH` was supplied.
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// The innermost live JsonReport (nullptr outside main's guard).
+  [[nodiscard]] static JsonReport* active() noexcept;
+
+ private:
+  struct Row {
+    std::string name;
+    std::string unit;
+    double value = 0.0;
+    double max_ratio = 0.0;
+  };
+  std::string binary_;
+  std::string path_;
+  std::vector<Row> rows_;
+  JsonReport* previous_ = nullptr;
+};
+
 /// Persists a figure/table's data series as CSV under ./bench_out/, so
 /// every regenerated result can be re-plotted outside the terminal.
 /// Returns the path written (empty string when the directory cannot be

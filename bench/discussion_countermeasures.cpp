@@ -64,7 +64,9 @@ struct Rig {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"discussion_countermeasures", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.1, 2016);
 
   // --- A: random display delay -------------------------------------------

@@ -21,7 +21,9 @@
 
 using namespace tzgeo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"extension_weekend", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.1, 2016);
 
   bench::print_section(

@@ -27,7 +27,9 @@ void chart_profile(const std::string& title, const core::HourlyProfile& profile)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"fig1_2_profiles", argc, argv};
+
   bench::print_section("Fig. 1 — a German user profile");
   // DST-normalized, as the paper treats ground-truth regions ("we have
   // considered daylight saving time for all regions where it is used").

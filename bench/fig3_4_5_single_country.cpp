@@ -61,7 +61,9 @@ void chart(const std::string& title, const PlacementRun& run,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"fig3_4_5_single_country", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
 
   bench::print_section("Fig. 3 — EMD placement of the German Twitter crowd (expect UTC+1)");

@@ -25,7 +25,9 @@ void run_and_report(const std::string& caption, const std::vector<core::UserProf
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"fig6_multi_country", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
 
   bench::print_section(

@@ -12,7 +12,9 @@
 
 using namespace tzgeo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"fig7_flat_profiles", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
 
   bench::print_section("Fig. 7 — example of a flat (bot) profile");

@@ -101,6 +101,7 @@ void report(const ForumRun& run, const std::string& expectation) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReport json_report{"fig8_13_forums", argc, argv};
   const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
 

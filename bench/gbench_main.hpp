@@ -1,0 +1,56 @@
+// Shared main() for the google-benchmark binaries, adding the
+// perf-observatory `--json PATH` flag on top of the standard
+// --benchmark_* flags: every finished run is captured into a
+// tzgeo-bench-v1 JsonReport (name, adjusted real time, time unit)
+// alongside the normal console output.  Header-only so bench_common
+// stays free of a benchmark::benchmark link dependency.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace tzgeo::bench {
+
+/// Console reporter that also records each run into the active report.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(JsonReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.add(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonReport& report_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body.
+inline int run_benchmark_main(int argc, char** argv, const char* binary) {
+  JsonReport report{binary, argc, argv};  // strips --json before gbench parses
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (report.enabled()) {
+    JsonCaptureReporter reporter{report};
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
+}
+
+}  // namespace tzgeo::bench
+
+/// Expands to a main() that routes through run_benchmark_main.
+#define TZGEO_BENCHMARK_MAIN(binary)                              \
+  int main(int argc, char** argv) {                               \
+    return tzgeo::bench::run_benchmark_main(argc, argv, binary);  \
+  }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "gbench_main.hpp"
 #include "core/ingest.hpp"
 #include "core/profile_builder.hpp"
 #include "timezone/civil.hpp"
@@ -111,4 +112,4 @@ BENCHMARK(BM_BuildProfiles)->Arg(10'000)->Arg(100'000)->Arg(1'000'000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TZGEO_BENCHMARK_MAIN("ingest_perf")

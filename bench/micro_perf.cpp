@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "gbench_main.hpp"
 #include "core/parallel.hpp"
 #include "core/placement.hpp"
 #include "core/placement_engine.hpp"
@@ -304,4 +305,4 @@ BENCHMARK(BM_ZoneOffsetLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TZGEO_BENCHMARK_MAIN("micro_perf")

@@ -19,18 +19,41 @@
 //      recorded numbers live in BENCH_obs.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "bench_common.hpp"
 #include "core/ingest.hpp"
 #include "core/parallel.hpp"
+#include "gbench_main.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "synth/dataset.hpp"
 
 using namespace tzgeo;
 
 namespace {
+
+/// CI trip-proof knob: with TZGEO_BENCH_INJECT_REGRESSION=1 the counter
+/// benchmark burns a deliberate spin per iteration so the perf gate can
+/// demonstrate that it actually fails on a regression (the workflow sets
+/// the variable, asserts tzgeo_bench_diff exits non-zero, and unsets it).
+[[nodiscard]] bool inject_regression() {
+  static const bool injected = [] {
+    const char* value = std::getenv("TZGEO_BENCH_INJECT_REGRESSION");
+    return value != nullptr && value[0] != '\0' && value[0] != '0';
+  }();
+  return injected;
+}
+
+void maybe_injected_spin() {
+  if (!inject_regression()) return;
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 400; ++i) sink = sink + 1;
+}
 
 obs::MetricId bench_counter() {
   static const obs::MetricId id =
@@ -63,6 +86,7 @@ void BM_CounterAdd(benchmark::State& state) {
   const obs::MetricId id = bench_counter();
   for (auto _ : state) {
     registry.add(id);
+    maybe_injected_spin();
   }
 }
 BENCHMARK(BM_CounterAdd)->Arg(1)->Arg(0);  // 1 = enabled, 0 = quiesced
@@ -88,6 +112,59 @@ void BM_Span(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Span);
+
+void BM_LogWrite(benchmark::State& state) {
+  // Hot-path cost of a structured record: level gate + rate limiter +
+  // stack formatting + ring copy.  Unlimited rate so every iteration
+  // takes the full path; the ring wraps, which is the steady state.
+  obs::Log& log = obs::Log::global();
+  const obs::Log::SiteId site =
+      log.site("bench.obs.log_write", obs::LogLevel::kInfo, /*max_per_second=*/0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    log.write(site, "bench record",
+              {obs::field("iter", i), obs::field("stage", "bench")});
+    ++i;
+  }
+  log.clear();
+}
+BENCHMARK(BM_LogWrite);
+
+void BM_LogWriteSuppressed(benchmark::State& state) {
+  // The common case for a hot site: the rate limiter has already shut
+  // the window, so a write is one CAS-free load pair and a counter.
+  obs::Log& log = obs::Log::global();
+  const obs::Log::SiteId site =
+      log.site("bench.obs.log_suppressed", obs::LogLevel::kInfo, /*max_per_second=*/1);
+  for (auto _ : state) {
+    log.write(site, "bench record", {obs::field("stage", "bench")});
+  }
+  log.clear();
+}
+BENCHMARK(BM_LogWriteSuppressed);
+
+void BM_HealthBeat(benchmark::State& state) {
+  obs::Health& health = obs::Health::global();
+  const obs::Health::ComponentId id = health.component("bench.obs.heartbeat");
+  for (auto _ : state) {
+    health.beat(id);
+  }
+}
+BENCHMARK(BM_HealthBeat);
+
+void BM_RecorderSample(benchmark::State& state) {
+  // One dashboard tick: snapshot every registered metric into a ring
+  // row.  Steady-state (layout already built, rows already sized) must
+  // stay allocation-free.
+  obs::TimeSeriesRecorder recorder{64};
+  recorder.sample();  // builds the layout + sizes the first rows
+  for (auto _ : state) {
+    recorder.sample();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(obs::MetricsRegistry::global().size()));
+}
+BENCHMARK(BM_RecorderSample);
 
 // --- instrumented pipeline stages, enabled vs. quiesced --------------------
 
@@ -124,4 +201,4 @@ BENCHMARK(BM_IngestInstrumented)->Args({200, 1})->Args({200, 0});  // {users, ob
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TZGEO_BENCHMARK_MAIN("obs_overhead")

@@ -56,7 +56,9 @@ namespace {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"secVF_hemisphere", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.1, 2016);
 
   bench::print_section("Section V-F validation — top-5 users of UK, Germany, Italy, Brazil");

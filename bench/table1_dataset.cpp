@@ -15,6 +15,7 @@
 using namespace tzgeo;
 
 int main(int argc, char** argv) {
+  bench::JsonReport json_report{"table1_dataset", argc, argv};
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
   bench::print_section("Table I — Twitter dataset: active users by Country/State (scale " +
                        util::format_fixed(scale, 2) + ")");

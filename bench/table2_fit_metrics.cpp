@@ -61,7 +61,9 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json_report{"table2_fit_metrics", argc, argv};
+
   const bench::ReferenceProfiles reference = bench::build_reference_profiles(0.15, 2016);
   std::vector<Row> rows;
 

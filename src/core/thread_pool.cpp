@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 namespace tzgeo::core {
+
+namespace {
+
+// Pool liveness: a chunk that wedges (deadlocked fn, runaway loop)
+// shows up as in-flight work with a stale heartbeat.  10 s is generous
+// — pipeline chunks complete in microseconds to milliseconds.
+obs::Health::ComponentId pool_health() {
+  static const obs::Health::ComponentId id =
+      obs::Health::global().component("core.thread_pool", 10'000'000'000ull);
+  return id;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -43,6 +57,7 @@ void ThreadPool::drain(Job& job) {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!job.error) job.error = std::current_exception();
     }
+    obs::Health::global().beat(pool_health());
     if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
       // Lock pairs with the waiter's predicate check so the final
       // notification cannot slip between its check and its sleep.
@@ -76,6 +91,8 @@ void ThreadPool::for_chunks(std::size_t n, std::size_t max_chunks,
     fn(0, n);
     return;
   }
+
+  const obs::Health::WorkScope work(obs::Health::global(), pool_health());
 
   const auto job = std::make_shared<Job>();
   job->fn = &fn;

@@ -7,6 +7,8 @@
 
 #include "forum/error.hpp"
 #include "forum/parser.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/pipeline_metrics.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
@@ -15,6 +17,41 @@
 namespace tzgeo::forum {
 
 namespace {
+
+/// Campaign liveness: the heartbeat fires once per poll, so the stall
+/// threshold must cover one whole sweep (index + every thread walk)
+/// under simulated latency, not one page fetch.
+obs::Health::ComponentId monitor_health() {
+  static const obs::Health::ComponentId id =
+      obs::Health::global().component("forum.monitor", 120'000'000'000ull);
+  return id;
+}
+
+/// Diagnostic sites, registered once.  Levels are the event severity;
+/// per-second budgets keep a flapping forum from flooding the ring.
+struct MonitorLogSites {
+  obs::Log::SiteId resumed = obs::Log::kInvalidSite;
+  obs::Log::SiteId poll_failed = obs::Log::kInvalidSite;
+  obs::Log::SiteId thread_quarantined = obs::Log::kInvalidSite;
+  obs::Log::SiteId checkpoint_written = obs::Log::kInvalidSite;
+  obs::Log::SiteId budget_exhausted = obs::Log::kInvalidSite;
+  obs::Log::SiteId campaign_done = obs::Log::kInvalidSite;
+};
+
+const MonitorLogSites& monitor_log_sites() {
+  static const MonitorLogSites sites = [] {
+    obs::Log& log = obs::Log::global();
+    MonitorLogSites s;
+    s.resumed = log.site("forum.monitor.resumed", obs::LogLevel::kInfo);
+    s.poll_failed = log.site("forum.monitor.poll_failed", obs::LogLevel::kWarn);
+    s.thread_quarantined = log.site("forum.monitor.thread_quarantined", obs::LogLevel::kWarn);
+    s.checkpoint_written = log.site("forum.monitor.checkpoint_written", obs::LogLevel::kDebug);
+    s.budget_exhausted = log.site("forum.monitor.budget_exhausted", obs::LogLevel::kError, 0);
+    s.campaign_done = log.site("forum.monitor.campaign_done", obs::LogLevel::kInfo, 0);
+    return s;
+  }();
+  return sites;
+}
 
 /// Monitor checkpoint payload format generation (util::Checkpoint framing
 /// carries its own version on top; bump this when the payload layout
@@ -161,6 +198,10 @@ void write_monitor_checkpoint(const MonitorOptions& options, const MonitorState&
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   registry.add(metrics.forum_checkpoint_writes);
   registry.observe(metrics.forum_checkpoint_write_us, watch.elapsed_us());
+  obs::Log::global().write(monitor_log_sites().checkpoint_written, "monitor checkpoint persisted",
+                           {obs::field("next_poll", state.next_poll),
+                            obs::field("records", state.dump.records.size()),
+                            obs::field("write_us", watch.elapsed_us())});
 }
 
 /// Walks one thread tail-first, staging everything; throws CrawlError /
@@ -280,11 +321,21 @@ void walk_thread(tor::OnionTransport& transport, const std::string& onion,
         // cannot be fetched either.  Threads already committed stand.
         return SweepResult::kFailed;
       }
-      ++state.quarantine[thread.id];
+      const std::uint32_t strikes = ++state.quarantine[thread.id];
+      obs::Log::global().write(monitor_log_sites().thread_quarantined,
+                               "thread walk failed; strike recorded",
+                               {obs::field("thread", thread.id),
+                                obs::field("strikes", strikes),
+                                obs::field("error", error.what())});
       degraded = true;
       continue;
-    } catch (const std::exception&) {  // tor::TransportError and parser faults
-      ++state.quarantine[thread.id];
+    } catch (const std::exception& error) {  // tor::TransportError and parser faults
+      const std::uint32_t strikes = ++state.quarantine[thread.id];
+      obs::Log::global().write(monitor_log_sites().thread_quarantined,
+                               "thread walk failed; strike recorded",
+                               {obs::field("thread", thread.id),
+                                obs::field("strikes", strikes),
+                                obs::field("error", error.what())});
       degraded = true;
       continue;
     }
@@ -355,6 +406,10 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
     transport.clock().set_millis(clock_millis);
     if (options.restore_extra) options.restore_extra(extra);
     registry.add(metrics.forum_checkpoint_resumes);
+    obs::Log::global().write(monitor_log_sites().resumed, "campaign resumed from checkpoint",
+                             {obs::field("onion", onion),
+                              obs::field("next_poll", state.next_poll),
+                              obs::field("records", state.dump.records.size())});
     resumed = true;
   }
   if (!resumed) {
@@ -365,6 +420,9 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
 
   std::size_t attempts_this_run = 0;
   std::vector<ScrapeRecord> committed;
+  const obs::Health::WorkScope campaign_work(obs::Health::global(), monitor_health());
+  // A fresh campaign supersedes any failure latched by a previous one.
+  obs::Health::global().clear_failed(monitor_health());
   for (;;) {
     if (state.next_poll > 0 && transport.clock().now_seconds() >= state.end_time) break;
     // Poll n is pinned to its schedule slot: latency jitter from earlier
@@ -377,11 +435,15 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
     committed.clear();
     const SweepResult result =
         try_sweep(transport, onion, state, state.baseline_done, options, committed);
+    obs::Health::global().beat(monitor_health());
     bool budget_exhausted = false;
     if (result == SweepResult::kFailed) {
       ++state.consecutive_failed;
       budget_exhausted = options.max_consecutive_failed_polls > 0 &&
                          state.consecutive_failed >= options.max_consecutive_failed_polls;
+      obs::Log::global().write(monitor_log_sites().poll_failed, "poll sweep aborted",
+                               {obs::field("poll", state.next_poll),
+                                obs::field("consecutive_failed", state.consecutive_failed)});
     } else {
       if (state.consecutive_failed > 0) registry.add(metrics.forum_poll_recoveries);
       state.consecutive_failed = 0;
@@ -399,6 +461,11 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
       write_monitor_checkpoint(options, state, transport.clock().now_millis());
     }
     if (budget_exhausted) {
+      obs::Log::global().write(monitor_log_sites().budget_exhausted,
+                               "failure budget exhausted; campaign aborted",
+                               {obs::field("onion", onion),
+                                obs::field("consecutive_failed", state.consecutive_failed)});
+      obs::Health::global().mark_failed(monitor_health(), "consecutive failed polls");
       throw CrawlError(CrawlErrorCategory::kBudgetExhausted, onion, "",
                        std::to_string(state.consecutive_failed) +
                            " consecutive failed polls");
@@ -418,6 +485,11 @@ ScrapeDump monitor_forum(tor::OnionTransport& transport, const std::string& onio
     std::error_code ignored;
     std::filesystem::remove(options.checkpoint_path, ignored);
   }
+  obs::Log::global().write(monitor_log_sites().campaign_done, "campaign complete",
+                           {obs::field("onion", onion),
+                            obs::field("polls", state.dump.polls),
+                            obs::field("records", state.dump.records.size()),
+                            obs::field("polls_failed", state.dump.polls_failed)});
   return state.dump;
 }
 

@@ -87,6 +87,26 @@ HistogramSnapshot MetricsRegistry::histogram_value(MetricId id) const {
   return out;
 }
 
+std::string MetricsRegistry::name_of(MetricId id) const {
+  if (id >= registered_.load(std::memory_order_acquire)) return {};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[id].name;
+}
+
+bool MetricsRegistry::read_histogram(MetricId id, std::uint64_t* buckets,
+                                     std::uint64_t& sum,
+                                     std::uint64_t& count) const noexcept {
+  if (id >= registered_.load(std::memory_order_acquire)) return false;
+  const Slot& slot = slots_[id];
+  if (slot.hist == nullptr) return false;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] = (*slot.hist)[i].load(std::memory_order_relaxed);
+  }
+  sum = slot.hist_sum.load(std::memory_order_relaxed);
+  count = slot.hist_count.load(std::memory_order_relaxed);
+  return true;
+}
+
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
   const std::size_t count = registered_.load(std::memory_order_acquire);
   std::vector<MetricSample> out;
@@ -114,30 +134,34 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
 
 std::string MetricsRegistry::prometheus() const {
   // Built piecewise (no operator+ chains; see the GCC12 -Wrestrict note
-  // in trace_to_csv) into one growing buffer.
+  // in trace_to_csv) into one growing buffer.  Names and help strings
+  // pass through the exposition-format escapers: registrations normally
+  // follow the tzgeo_* scheme, but the scrape must stay parseable even
+  // if a caller registers something exotic.
   std::string out;
   for (const MetricSample& sample : snapshot()) {
+    const std::string name = prometheus_sanitize_name(sample.name);
     if (!sample.help.empty()) {
       out += "# HELP ";
-      out += sample.name;
+      out += name;
       out.push_back(' ');
-      out += sample.help;
+      out += prometheus_escape_help(sample.help);
       out.push_back('\n');
     }
     out += "# TYPE ";
-    out += sample.name;
+    out += name;
     out.push_back(' ');
     out += kind_name(sample.kind);
     out.push_back('\n');
     switch (sample.kind) {
       case MetricKind::kCounter:
-        out += sample.name;
+        out += name;
         out.push_back(' ');
         out += std::to_string(sample.value);
         out.push_back('\n');
         break;
       case MetricKind::kGauge:
-        out += sample.name;
+        out += name;
         out.push_back(' ');
         out += std::to_string(static_cast<std::int64_t>(sample.value));
         out.push_back('\n');
@@ -146,7 +170,7 @@ std::string MetricsRegistry::prometheus() const {
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < sample.histogram.buckets.size(); ++i) {
           cumulative += sample.histogram.buckets[i];
-          out += sample.name;
+          out += name;
           out += "_bucket{le=\"";
           if (i + 1 < sample.histogram.buckets.size()) {
             out += std::to_string(bucket_bound(i));
@@ -157,11 +181,11 @@ std::string MetricsRegistry::prometheus() const {
           out += std::to_string(cumulative);
           out.push_back('\n');
         }
-        out += sample.name;
+        out += name;
         out += "_sum ";
         out += std::to_string(sample.histogram.sum);
         out.push_back('\n');
-        out += sample.name;
+        out += name;
         out += "_count ";
         out += std::to_string(sample.histogram.count);
         out.push_back('\n');
@@ -222,6 +246,52 @@ void MetricsRegistry::reset() noexcept {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
+}
+
+std::string prometheus_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_label_value(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_sanitize_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    const bool ok = alpha || c == '_' || c == ':' || (digit && i != 0);
+    out.push_back(ok ? c : '_');
+  }
+  return out;
 }
 
 std::uint64_t approx_quantile(const HistogramSnapshot& histogram, double q) noexcept {

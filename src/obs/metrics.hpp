@@ -149,6 +149,23 @@ class MetricsRegistry {
   [[nodiscard]] std::int64_t gauge_value(MetricId id) const noexcept;
   [[nodiscard]] HistogramSnapshot histogram_value(MetricId id) const;
 
+  /// Kind of a registered metric (kCounter for out-of-range ids).  Kind
+  /// is immutable after registration, so no lock is needed once the id
+  /// is published via `registered_`.
+  [[nodiscard]] MetricKind kind_of(MetricId id) const noexcept {
+    if (id >= registered_.load(std::memory_order_acquire)) return MetricKind::kCounter;
+    return slots_[id].kind;
+  }
+
+  /// Name copy of a registered metric; empty for out-of-range ids.
+  [[nodiscard]] std::string name_of(MetricId id) const;
+
+  /// Non-allocating histogram read for periodic samplers: writes
+  /// kHistogramBuckets counts into `buckets` (must have room), then sum
+  /// and count.  Returns false (and writes nothing) for non-histograms.
+  bool read_histogram(MetricId id, std::uint64_t* buckets, std::uint64_t& sum,
+                      std::uint64_t& count) const noexcept;  // tzgeo: hot
+
   /// All registered metrics with their current values.
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
 
@@ -200,5 +217,19 @@ class MetricsRegistry {
 /// Approximate quantile from fixed-bucket counts (upper-bound of the
 /// bucket containing the q-th observation); 0 when empty.
 [[nodiscard]] std::uint64_t approx_quantile(const HistogramSnapshot& histogram, double q) noexcept;
+
+// --- Prometheus text-exposition helpers ------------------------------------
+// Shared by MetricsRegistry::prometheus() and the time-series recorder's
+// timestamped export; exposed so tests can pin the escaping rules.
+
+/// Escapes a HELP line payload: backslash and newline get backslash-escaped.
+[[nodiscard]] std::string prometheus_escape_help(std::string_view text);
+
+/// Escapes a label value: backslash, double-quote, and newline.
+[[nodiscard]] std::string prometheus_escape_label_value(std::string_view text);
+
+/// Maps arbitrary text to a valid metric name: [a-zA-Z_:][a-zA-Z0-9_:]*,
+/// replacing every invalid byte with '_' (empty input becomes "_").
+[[nodiscard]] std::string prometheus_sanitize_name(std::string_view name);
 
 }  // namespace tzgeo::obs

@@ -107,6 +107,14 @@ namespace {
   m.fault_injections =
       reg.counter("tzgeo_fault_injections_total", "chaos faults fired by the injector");
 
+  m.trace_spans_dropped = reg.counter("tzgeo_obs_trace_spans_dropped_total",
+                                      "spans overwritten in the global trace ring");
+  m.log_records_dropped = reg.counter("tzgeo_obs_log_records_dropped_total",
+                                      "log records overwritten in the global log ring");
+  m.log_records_suppressed =
+      reg.counter("tzgeo_obs_log_records_suppressed_total",
+                  "log writes dropped by level or per-site rate limits");
+
   return m;
 }
 

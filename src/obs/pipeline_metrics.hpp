@@ -78,6 +78,12 @@ struct PipelineMetrics {
   // fault injection (chaos harness)
   MetricId fault_injections = kInvalidMetric;
 
+  // observability self-metrics: losses inside the obs layer itself must
+  // be visible, or a saturated ring reads as a quiet system.
+  MetricId trace_spans_dropped = kInvalidMetric;    ///< global ring overwrites
+  MetricId log_records_dropped = kInvalidMetric;    ///< log ring overwrites
+  MetricId log_records_suppressed = kInvalidMetric; ///< level + rate-limit drops
+
   /// The shared instance, registered on MetricsRegistry::global() the
   /// first time any instrumented path runs.  Thread-safe (magic static).
   static const PipelineMetrics& get();

@@ -1,0 +1,367 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+
+namespace tzgeo::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::size_t capacity,
+                                       const MetricsRegistry* registry)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      registry_(registry != nullptr ? registry : &MetricsRegistry::global()) {
+  if constexpr (kDisabled) return;
+  ring_.resize(capacity_);  // rows; each row's flat vector grows on first fill
+}
+
+void TimeSeriesRecorder::rebuild_layout_locked() {
+  // Slow path: runs only when the registry grew since the last sample
+  // (metric registration happens at startup, so in steady state never).
+  const std::size_t count = registry_->size();
+  layout_.clear();
+  layout_.reserve(count);
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto id = static_cast<MetricId>(i);
+    Column column;
+    column.id = id;
+    column.kind = registry_->kind_of(id);
+    column.name = registry_->name_of(id);
+    column.offset = offset;
+    column.width =
+        column.kind == MetricKind::kHistogram ? MetricsRegistry::kHistogramBuckets + 2 : 1;
+    offset += column.width;
+    layout_.push_back(std::move(column));
+  }
+  row_width_ = offset;
+  layout_metrics_ = count;
+}
+
+void TimeSeriesRecorder::sample(std::uint64_t t_ns) {  // tzgeo: hot
+  if constexpr (kDisabled) {
+    (void)t_ns;
+  } else {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (registry_->size() != layout_metrics_) rebuild_layout_locked();
+    Row& row = ring_[next_];
+    next_ = (next_ + 1) % capacity_;
+    if (retained_ < capacity_) ++retained_;
+    ++taken_;
+    row.t_ns = t_ns;
+    row.values.resize(row_width_);
+    for (const Column& column : layout_) {
+      std::uint64_t* out = row.values.data() + column.offset;
+      if (column.kind == MetricKind::kHistogram) {
+        std::uint64_t sum = 0;
+        std::uint64_t count = 0;
+        if (!registry_->read_histogram(column.id, out, sum, count)) {
+          std::fill(out, out + column.width, std::uint64_t{0});
+          continue;
+        }
+        out[MetricsRegistry::kHistogramBuckets] = sum;
+        out[MetricsRegistry::kHistogramBuckets + 1] = count;
+      } else {
+        *out = registry_->counter_value(column.id);
+      }
+    }
+  }
+}
+
+std::size_t TimeSeriesRecorder::samples() const {
+  if constexpr (kDisabled) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return retained_;
+}
+
+std::uint64_t TimeSeriesRecorder::taken() const {
+  if constexpr (kDisabled) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return taken_;
+}
+
+const TimeSeriesRecorder::Column* TimeSeriesRecorder::column_locked(
+    std::string_view name) const {
+  for (const Column& column : layout_) {
+    if (column.name == name) return &column;
+  }
+  return nullptr;
+}
+
+const TimeSeriesRecorder::Row& TimeSeriesRecorder::row_locked(
+    std::size_t time_index) const {
+  // time_index 0 is the oldest retained row.
+  const std::size_t start = retained_ < capacity_ ? 0 : next_;
+  return ring_[(start + time_index) % capacity_];
+}
+
+std::size_t TimeSeriesRecorder::window_start_locked(std::uint64_t window_ns) const {
+  if (retained_ == 0) return static_cast<std::size_t>(-1);
+  if (window_ns == 0) return 0;
+  const std::uint64_t end = row_locked(retained_ - 1).t_ns;
+  const std::uint64_t cutoff = end >= window_ns ? end - window_ns : 0;
+  // Oldest row still inside [cutoff, end]; rows are time-ordered.
+  for (std::size_t i = 0; i < retained_; ++i) {
+    if (row_locked(i).t_ns >= cutoff) return i;
+  }
+  return retained_ - 1;
+}
+
+std::size_t TimeSeriesRecorder::covered_start_locked(std::size_t start,
+                                                     std::size_t end_offset) const {
+  for (std::size_t i = start; i < retained_; ++i) {
+    if (end_offset <= row_locked(i).values.size()) return i;
+  }
+  return retained_;
+}
+
+std::int64_t TimeSeriesRecorder::delta(std::string_view name,
+                                       std::uint64_t window_ns) const {
+  if constexpr (kDisabled) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Column* column = column_locked(name);
+  if (column == nullptr || column->kind == MetricKind::kHistogram || retained_ == 0) {
+    return 0;
+  }
+  const std::size_t start =
+      covered_start_locked(window_start_locked(window_ns), column->offset + 1);
+  if (start >= retained_) return 0;
+  const Row& first = row_locked(start);
+  const Row& last = row_locked(retained_ - 1);
+  return static_cast<std::int64_t>(last.values[column->offset]) -
+         static_cast<std::int64_t>(first.values[column->offset]);
+}
+
+double TimeSeriesRecorder::rate_per_second(std::string_view name,
+                                           std::uint64_t window_ns) const {
+  if constexpr (kDisabled) return 0.0;
+  std::int64_t diff = 0;
+  std::uint64_t elapsed_ns = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Column* column = column_locked(name);
+    if (column == nullptr || column->kind == MetricKind::kHistogram || retained_ < 2) {
+      return 0.0;
+    }
+    const std::size_t start =
+        covered_start_locked(window_start_locked(window_ns), column->offset + 1);
+    if (start + 1 >= retained_) return 0.0;  // need two covering rows for a rate
+    const Row& first = row_locked(start);
+    const Row& last = row_locked(retained_ - 1);
+    diff = static_cast<std::int64_t>(last.values[column->offset]) -
+           static_cast<std::int64_t>(first.values[column->offset]);
+    elapsed_ns = last.t_ns > first.t_ns ? last.t_ns - first.t_ns : 0;
+  }
+  if (elapsed_ns == 0) return 0.0;
+  return static_cast<double>(diff) * 1e9 / static_cast<double>(elapsed_ns);
+}
+
+HistogramSnapshot TimeSeriesRecorder::window_histogram(std::string_view name,
+                                                       std::uint64_t window_ns) const {
+  HistogramSnapshot out;
+  if constexpr (kDisabled) return out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Column* column = column_locked(name);
+  if (column == nullptr || column->kind != MetricKind::kHistogram || retained_ == 0) {
+    return out;
+  }
+  const std::size_t end_offset = column->offset + column->width;
+  const Row& last = row_locked(retained_ - 1);
+  if (end_offset > last.values.size()) return out;
+  const std::size_t start =
+      covered_start_locked(window_start_locked(window_ns), end_offset);
+  const Row& first = row_locked(start < retained_ ? start : retained_ - 1);
+  constexpr std::size_t kBuckets = MetricsRegistry::kHistogramBuckets;
+  out.buckets.assign(kBuckets, 0);
+  // Counters only grow, so the bucket-wise difference of two cumulative
+  // snapshots is exactly the observations that landed in the window.
+  // With a single covering row there is no baseline: the whole
+  // cumulative state counts as "inside the window".
+  const bool have_first = start + 1 < retained_;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t newest = last.values[column->offset + i];
+    const std::uint64_t oldest = have_first ? first.values[column->offset + i] : 0;
+    out.buckets[i] = newest >= oldest ? newest - oldest : 0;
+  }
+  const std::uint64_t sum_new = last.values[column->offset + kBuckets];
+  const std::uint64_t sum_old = have_first ? first.values[column->offset + kBuckets] : 0;
+  const std::uint64_t count_new = last.values[column->offset + kBuckets + 1];
+  const std::uint64_t count_old =
+      have_first ? first.values[column->offset + kBuckets + 1] : 0;
+  out.sum = sum_new >= sum_old ? sum_new - sum_old : 0;
+  out.count = count_new >= count_old ? count_new - count_old : 0;
+  return out;
+}
+
+std::uint64_t TimeSeriesRecorder::window_quantile(std::string_view name, double q,
+                                                  std::uint64_t window_ns) const {
+  return approx_quantile(window_histogram(name, window_ns), q);
+}
+
+std::vector<TimeSeriesRecorder::Point> TimeSeriesRecorder::series(
+    std::string_view name) const {
+  std::vector<Point> out;
+  if constexpr (kDisabled) return out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Column* column = column_locked(name);
+  if (column == nullptr) return out;
+  // Histograms chart their observation count.
+  const std::size_t offset = column->kind == MetricKind::kHistogram
+                                 ? column->offset + MetricsRegistry::kHistogramBuckets + 1
+                                 : column->offset;
+  out.reserve(retained_);
+  for (std::size_t i = 0; i < retained_; ++i) {
+    const Row& row = row_locked(i);
+    if (offset >= row.values.size()) continue;
+    out.push_back(Point{row.t_ns, row.values[offset]});
+  }
+  return out;
+}
+
+std::vector<double> TimeSeriesRecorder::rate_series(std::string_view name) const {
+  const std::vector<Point> points = series(name);
+  std::vector<double> out;
+  if (points.size() < 2) return out;
+  out.reserve(points.size() - 1);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const std::uint64_t dt = points[i].t_ns - points[i - 1].t_ns;
+    const auto dv = static_cast<double>(points[i].value) -
+                    static_cast<double>(points[i - 1].value);
+    out.push_back(dt == 0 ? 0.0 : dv * 1e9 / static_cast<double>(dt));
+  }
+  return out;
+}
+
+util::JsonValue TimeSeriesRecorder::to_json() const {
+  util::JsonValue root = util::JsonValue::object();
+  util::JsonValue series_json = util::JsonValue::array();
+  std::size_t sample_count = 0;
+  if constexpr (!kDisabled) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sample_count = retained_;
+    for (const Column& column : layout_) {
+      util::JsonValue entry = util::JsonValue::object();
+      entry.set("name", util::JsonValue::string(column.name));
+      const char* kind = column.kind == MetricKind::kHistogram ? "histogram"
+                         : column.kind == MetricKind::kGauge   ? "gauge"
+                                                               : "counter";
+      entry.set("kind", util::JsonValue::string(kind));
+      const std::size_t offset =
+          column.kind == MetricKind::kHistogram
+              ? column.offset + MetricsRegistry::kHistogramBuckets + 1
+              : column.offset;
+      util::JsonValue points = util::JsonValue::array();
+      for (std::size_t i = 0; i < retained_; ++i) {
+        const Row& row = row_locked(i);
+        if (offset >= row.values.size()) continue;
+        util::JsonValue point = util::JsonValue::array();
+        point.push(util::JsonValue::integer(static_cast<std::int64_t>(row.t_ns / 1'000'000ull)));
+        point.push(util::JsonValue::integer(static_cast<std::int64_t>(row.values[offset])));
+        points.push(std::move(point));
+      }
+      entry.set("points", std::move(points));
+      if (column.kind == MetricKind::kHistogram && retained_ > 0) {
+        const Row& last = row_locked(retained_ - 1);
+        if (column.offset + column.width <= last.values.size()) {
+          util::JsonValue buckets = util::JsonValue::array();
+          for (std::size_t i = 0; i < MetricsRegistry::kHistogramBuckets; ++i) {
+            buckets.push(util::JsonValue::integer(
+                static_cast<std::int64_t>(last.values[column.offset + i])));
+          }
+          entry.set("buckets", std::move(buckets));
+          entry.set("sum",
+                    util::JsonValue::integer(static_cast<std::int64_t>(
+                        last.values[column.offset + MetricsRegistry::kHistogramBuckets])));
+        }
+      }
+      series_json.push(std::move(entry));
+    }
+  }
+  root.set("samples", util::JsonValue::integer(static_cast<std::int64_t>(sample_count)));
+  root.set("series", std::move(series_json));
+  return root;
+}
+
+std::string TimeSeriesRecorder::prometheus() const {
+  // Exposition format with explicit timestamps: `name value ts_ms`.
+  // Built piecewise like MetricsRegistry::prometheus (GCC PR105651).
+  std::string out;
+  if constexpr (kDisabled) return out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Column& column : layout_) {
+    const std::string name = prometheus_sanitize_name(column.name);
+    const char* type = column.kind == MetricKind::kHistogram ? "histogram"
+                       : column.kind == MetricKind::kGauge   ? "gauge"
+                                                             : "counter";
+    out += "# TYPE ";
+    out += name;
+    out.push_back(' ');
+    out += type;
+    out.push_back('\n');
+    if (column.kind != MetricKind::kHistogram) {
+      for (std::size_t i = 0; i < retained_; ++i) {
+        const Row& row = row_locked(i);
+        if (column.offset >= row.values.size()) continue;
+        out += name;
+        out.push_back(' ');
+        if (column.kind == MetricKind::kGauge) {
+          out += std::to_string(static_cast<std::int64_t>(row.values[column.offset]));
+        } else {
+          out += std::to_string(row.values[column.offset]);
+        }
+        out.push_back(' ');
+        out += std::to_string(row.t_ns / 1'000'000ull);
+        out.push_back('\n');
+      }
+      continue;
+    }
+    constexpr std::size_t kBuckets = MetricsRegistry::kHistogramBuckets;
+    for (std::size_t i = 0; i < retained_; ++i) {
+      const Row& row = row_locked(i);
+      if (column.offset + column.width > row.values.size()) continue;
+      const std::string ts = std::to_string(row.t_ns / 1'000'000ull);
+      out += name;
+      out += "_sum ";
+      out += std::to_string(row.values[column.offset + kBuckets]);
+      out.push_back(' ');
+      out += ts;
+      out.push_back('\n');
+      out += name;
+      out += "_count ";
+      out += std::to_string(row.values[column.offset + kBuckets + 1]);
+      out.push_back(' ');
+      out += ts;
+      out.push_back('\n');
+    }
+    if (retained_ > 0) {
+      const Row& last = row_locked(retained_ - 1);
+      if (column.offset + column.width <= last.values.size()) {
+        const std::string ts = std::to_string(last.t_ns / 1'000'000ull);
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+          cumulative += last.values[column.offset + b];
+          out += name;
+          out += "_bucket{le=\"";
+          if (b + 1 < kBuckets) {
+            out += std::to_string(MetricsRegistry::bucket_bound(b));
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} ";
+          out += std::to_string(cumulative);
+          out.push_back(' ');
+          out += ts;
+          out.push_back('\n');
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void TimeSeriesRecorder::clear() {
+  if constexpr (kDisabled) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_ = 0;
+  retained_ = 0;
+  taken_ = 0;
+}
+
+}  // namespace tzgeo::obs

@@ -1,0 +1,145 @@
+// Time-series recorder: periodic MetricsRegistry snapshots with
+// windowed derivation.
+//
+// Point-in-time counters mislead on bursty, non-stationary workloads —
+// the regime dark-web forums actually exhibit — so dashboards need
+// *series*: deltas, rates, and rolling-window latency quantiles.  The
+// recorder keeps a fixed-capacity ring of flat value snapshots:
+//
+//   sample() —  one row per call: every registered metric's current
+//               value (counters/gauges one slot, histograms
+//               kHistogramBuckets + sum + count slots) copied into a
+//               pre-sized flat vector.  Steady state allocates nothing;
+//               the layout is rebuilt only when the registry has grown
+//               since the previous sample.
+//   windows —  delta / rate-per-second over the trailing window for
+//               counters, and bucket-wise histogram differences for
+//               rolling-window quantiles (approx_quantile over the
+//               diff), so "p99 over the last minute" is exact at
+//               bucket resolution rather than lifetime-cumulative.
+//   export  —  JSON series and Prometheus text exposition with
+//               timestamp suffixes (monotonic milliseconds from
+//               obs::Stopwatch — the process time base, suitable for
+//               offline diffing, not wall-clock scrape federation).
+//
+// Like the rest of the obs layer this compiles out under
+// TZGEO_OBS_DISABLED: sample() is a no-op and every query returns
+// empty/zero.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "util/json.hpp"
+
+namespace tzgeo::obs {
+
+class TimeSeriesRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 240;
+
+  /// `registry == nullptr` records MetricsRegistry::global().
+  explicit TimeSeriesRecorder(std::size_t capacity = kDefaultCapacity,
+                              const MetricsRegistry* registry = nullptr);
+
+  /// Takes one snapshot row.  Steady-state allocation-free; rebuilds
+  /// the layout (allocates) only when the registry grew.
+  void sample(std::uint64_t t_ns = Stopwatch::now_ns());
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Rows currently retained (<= capacity).
+  [[nodiscard]] std::size_t samples() const;
+  /// Rows ever taken; taken() - samples() rows have been overwritten.
+  [[nodiscard]] std::uint64_t taken() const;
+
+  // --- windowed derivation ------------------------------------------------
+  // All lookups are by metric name; a name that is unknown, of the
+  // wrong kind, or not yet sampled yields zero/empty.  `window_ns == 0`
+  // means "everything retained".
+
+  /// Newest value minus the value at the window start (counters/gauges).
+  [[nodiscard]] std::int64_t delta(std::string_view name, std::uint64_t window_ns = 0) const;
+
+  /// delta / elapsed-seconds over the same window; 0 when < 2 samples.
+  [[nodiscard]] double rate_per_second(std::string_view name,
+                                       std::uint64_t window_ns = 0) const;
+
+  /// Bucket-wise histogram difference over the window: observations
+  /// that happened *inside* it.
+  [[nodiscard]] HistogramSnapshot window_histogram(std::string_view name,
+                                                   std::uint64_t window_ns = 0) const;
+
+  /// approx_quantile over window_histogram — the rolling-window p50/p99.
+  [[nodiscard]] std::uint64_t window_quantile(std::string_view name, double q,
+                                              std::uint64_t window_ns = 0) const;
+
+  /// One point per retained sample (raw values, oldest first) — chart feed.
+  struct Point {
+    std::uint64_t t_ns = 0;
+    std::uint64_t value = 0;
+  };
+  [[nodiscard]] std::vector<Point> series(std::string_view name) const;
+
+  /// Pairwise rates between consecutive samples (size = samples() - 1).
+  [[nodiscard]] std::vector<double> rate_series(std::string_view name) const;
+
+  // --- export -------------------------------------------------------------
+
+  /// {"samples": N, "series": [{"name","kind","points":[[t_ms,v],...]}]}.
+  /// Histograms export their _count series plus newest sum/buckets.
+  [[nodiscard]] util::JsonValue to_json() const;
+
+  /// Prometheus text exposition with an explicit timestamp (monotonic
+  /// milliseconds) per sample line; counters/gauges get one line per
+  /// retained sample, histograms their _sum/_count series plus the
+  /// newest full bucket set.
+  [[nodiscard]] std::string prometheus() const;
+
+  /// Drops retained rows (layout survives).
+  void clear();
+
+ private:
+  struct Column {
+    MetricId id = kInvalidMetric;
+    MetricKind kind = MetricKind::kCounter;
+    std::size_t offset = 0;  ///< index into a row's flat value vector
+    std::size_t width = 0;   ///< 1, or kHistogramBuckets + 2 (.., sum, count)
+    std::string name;
+  };
+
+  struct Row {
+    std::uint64_t t_ns = 0;
+    std::vector<std::uint64_t> values;
+  };
+
+  void rebuild_layout_locked();
+  [[nodiscard]] const Column* column_locked(std::string_view name) const;
+  /// Oldest retained row index (into time order) covering the window
+  /// that ends at the newest row; SIZE_MAX when < 1 row retained.
+  [[nodiscard]] std::size_t window_start_locked(std::uint64_t window_ns) const;
+  /// First row index >= start whose flat vector covers [0, end_offset)
+  /// — rows taken before a metric was registered are too short to serve
+  /// as its baseline.  Returns retained_ when no row qualifies.
+  [[nodiscard]] std::size_t covered_start_locked(std::size_t start,
+                                                 std::size_t end_offset) const;
+  [[nodiscard]] const Row& row_locked(std::size_t time_index) const;
+
+  std::size_t capacity_;
+  const MetricsRegistry* registry_;
+
+  mutable std::mutex mutex_;
+  std::vector<Column> layout_;
+  std::size_t layout_metrics_ = 0;  ///< registry size the layout was built at
+  std::size_t row_width_ = 0;
+  std::vector<Row> ring_;
+  std::size_t next_ = 0;
+  std::size_t retained_ = 0;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace tzgeo::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/pipeline_metrics.hpp"
 #include "util/json.hpp"
 
 namespace tzgeo::obs {
@@ -29,14 +30,25 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
 }
 
 void TraceBuffer::record(SpanRecord record) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++total_;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(record));
-    return;
+  bool overwrote = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+    } else {
+      ring_[next_] = std::move(record);
+      next_ = (next_ + 1) % capacity_;
+      overwrote = true;
+    }
   }
-  ring_[next_] = std::move(record);
-  next_ = (next_ + 1) % capacity_;
+  // Silent trace loss must show up on dashboards.  Counted outside the
+  // ring lock (keeps the lock graph trace-mutex-free) and only for the
+  // global buffer — private sinks in tests/benches track their own
+  // dropped() and must not pollute the process-wide counter.
+  if (overwrote && this == &TraceBuffer::global()) {
+    MetricsRegistry::global().add(PipelineMetrics::get().trace_spans_dropped);
+  }
 }
 
 std::vector<SpanRecord> TraceBuffer::snapshot() const {

@@ -4,11 +4,27 @@
 #include <utility>
 
 #include "fault/injector.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
 #include "obs/pipeline_metrics.hpp"
 
 namespace tzgeo::tor {
 
 namespace {
+
+/// Transport liveness: one fetch (including retries and simulated
+/// backoff) should never sit silent for a minute of host time.
+obs::Health::ComponentId transport_health() {
+  static const obs::Health::ComponentId id =
+      obs::Health::global().component("tor.transport", 60'000'000'000ull);
+  return id;
+}
+
+obs::Log::SiteId retries_exhausted_site() {
+  static const obs::Log::SiteId id = obs::Log::global().site(
+      "tor.transport.retries_exhausted", obs::LogLevel::kError);
+  return id;
+}
 
 /// The censored client's private view: public relays plus its bridges.
 [[nodiscard]] Consensus augment_with_bridges(const Consensus& consensus,
@@ -103,6 +119,7 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
 
   const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const obs::Health::WorkScope fetch_work(obs::Health::global(), transport_health());
 
   int rate_limit_retries = 0;
   std::int64_t last_wait_seconds = 0;  // decorrelated-jitter backoff state
@@ -154,8 +171,12 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
       --attempt;
       continue;
     }
+    obs::Health::global().beat(transport_health());
     return response;
   }
+  obs::Log::global().write(retries_exhausted_site(), "request failed after retries",
+                           {obs::field("onion", onion), obs::field("path", request.path),
+                            obs::field("attempts", options_.max_retries + 1)});
   throw TransportError("request to " + onion + request.path + " failed after retries");
 }
 

@@ -1,12 +1,15 @@
-// Minimal JSON writing.
+// Minimal JSON writing and parsing.
 //
 // The CLI offers machine-readable output (`--json`) so investigation
-// results can feed scripts and dashboards; this is a small, dependency-free
-// *writer* (the library never needs to parse JSON).  Values are built
-// bottom-up; objects preserve insertion order.
+// results can feed scripts and dashboards; this is a small,
+// dependency-free writer plus a strict recursive-descent parser (added
+// for the bench observatory, whose comparator reads the `--json` reports
+// back).  Values are built bottom-up; objects preserve insertion order.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -17,7 +20,9 @@ namespace tzgeo::util {
 /// Escapes a string for embedding in a JSON document (adds the quotes).
 [[nodiscard]] std::string json_quote(std::string_view text);
 
-/// A JSON value under construction.
+/// A JSON value — buildable bottom-up for writing, inspectable after
+/// parsing.  Accessors are total: `as_*` return a zero value on kind
+/// mismatch so callers can chain lookups and validate once at the end.
 class JsonValue {
  public:
   /// Scalars.
@@ -31,10 +36,40 @@ class JsonValue {
   [[nodiscard]] static JsonValue array();
   [[nodiscard]] static JsonValue object();
 
+  /// Parses a complete JSON document (trailing garbage rejected).
+  /// Returns nullopt on malformed input or nesting deeper than 128.
+  [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
   /// Appends to an array value (must be an array).
   JsonValue& push(JsonValue value);
   /// Sets a key on an object value (must be an object).
   JsonValue& set(std::string_view key, JsonValue value);
+
+  /// Kind queries.
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Scalar reads; zero-valued on kind mismatch.
+  [[nodiscard]] bool as_bool() const { return is_bool() && bool_; }
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_integer() const;
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// Container reads.  `size` is item count (array) or field count
+  /// (object); zero for scalars.
+  [[nodiscard]] std::size_t size() const;
+  /// Array item / object field value by position; nullptr out of range.
+  [[nodiscard]] const JsonValue* at(std::size_t index) const;
+  /// Object field key by position; empty out of range or non-object.
+  [[nodiscard]] std::string_view key_at(std::size_t index) const;
+  /// First object field with this key; nullptr if absent or non-object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
 
   /// Serializes; `indent` > 0 pretty-prints with that many spaces.
   [[nodiscard]] std::string dump(int indent = 0) const;

@@ -201,5 +201,105 @@ TEST(ReportJson, BootstrapResultSerializes) {
   EXPECT_NE(json.find("\"zone\":\"UTC-6\""), std::string::npos);
 }
 
+// --- JsonValue::parse ------------------------------------------------------
+// The strict RFC 8259 parser added for the bench-diff / dashboard tooling:
+// it must accept everything dump() emits and reject the classic traps.
+
+TEST(JsonParse, Literals) {
+  EXPECT_TRUE(JsonValue::parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::parse("false")->as_bool());
+  EXPECT_TRUE(JsonValue::parse("  \t\n true \r ").has_value());
+  EXPECT_FALSE(JsonValue::parse("nul").has_value());
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+}
+
+TEST(JsonParse, Numbers) {
+  EXPECT_EQ(JsonValue::parse("42")->as_integer(), 42);
+  EXPECT_EQ(JsonValue::parse("-7")->as_integer(), -7);
+  EXPECT_EQ(JsonValue::parse("0")->as_integer(), 0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5")->as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1e3")->as_number(), -1000.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.25E+2")->as_number(), 125.0);
+  // Beyond int64 range degrades to double instead of failing.
+  EXPECT_DOUBLE_EQ(JsonValue::parse("99999999999999999999")->as_number(), 1e20);
+  // Leading zeros, bare signs, and trailing dots are malformed.
+  EXPECT_FALSE(JsonValue::parse("01").has_value());
+  EXPECT_FALSE(JsonValue::parse("-").has_value());
+  EXPECT_FALSE(JsonValue::parse("1.").has_value());
+  EXPECT_FALSE(JsonValue::parse("1e").has_value());
+  EXPECT_FALSE(JsonValue::parse("+1").has_value());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"a\\\"b\\\\c\\n\\t\"")->as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"")->as_string(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"")->as_string(), "\xC3\xA9");  // é
+  // Surrogate pair: U+1F600 needs \uD83D\uDE00 and decodes to 4 bytes.
+  EXPECT_EQ(JsonValue::parse("\"\\uD83D\\uDE00\"")->as_string(),
+            "\xF0\x9F\x98\x80");
+  // Unpaired surrogates, bad hex, and raw control bytes are rejected.
+  EXPECT_FALSE(JsonValue::parse("\"\\uD83D\"").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"\\uDE00\"").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"\\uZZZZ\"").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"\\q\"").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"a\nb\"").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"open").has_value());
+}
+
+TEST(JsonParse, ContainersAndNesting) {
+  const auto arr = JsonValue::parse("[1, [2, 3], {\"k\": \"v\"}]");
+  ASSERT_TRUE(arr.has_value());
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_EQ(arr->at(1)->at(0)->as_integer(), 2);
+  EXPECT_EQ(arr->at(2)->find("k")->as_string(), "v");
+  EXPECT_EQ(JsonValue::parse("{}")->size(), 0u);
+  EXPECT_EQ(JsonValue::parse("[]")->size(), 0u);
+  // Malformed containers: trailing commas, missing colon, bare key.
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"k\" 1}").has_value());
+  EXPECT_FALSE(JsonValue::parse("{k: 1}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1").has_value());
+}
+
+TEST(JsonParse, DepthLimitGuardsRecursion) {
+  // Within the limit parses; a 500-deep bomb is rejected, not a stack
+  // overflow.
+  EXPECT_TRUE(
+      JsonValue::parse(std::string(100, '[') + std::string(100, ']')).has_value());
+  EXPECT_FALSE(
+      JsonValue::parse(std::string(500, '[') + std::string(500, ']')).has_value());
+}
+
+TEST(JsonParse, TrailingGarbageRejected) {
+  EXPECT_FALSE(JsonValue::parse("42 x").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} {}").has_value());
+  EXPECT_FALSE(JsonValue::parse("true false").has_value());
+  EXPECT_TRUE(JsonValue::parse("42  \n").has_value());
+}
+
+TEST(JsonParse, DumpRoundTrips) {
+  JsonValue root = JsonValue::object();
+  root.set("name", JsonValue::string("quote\" slash\\ line\n"));
+  root.set("count", JsonValue::integer(-12));
+  root.set("ratio", JsonValue::number(0.25));
+  root.set("flag", JsonValue::boolean(true));
+  JsonValue items = JsonValue::array();
+  items.push(JsonValue::null());
+  items.push(JsonValue::integer(7));
+  root.set("items", std::move(items));
+
+  for (const int indent : {0, 2}) {
+    const auto parsed = JsonValue::parse(root.dump(indent));
+    ASSERT_TRUE(parsed.has_value()) << "indent=" << indent;
+    EXPECT_EQ(parsed->find("name")->as_string(), "quote\" slash\\ line\n");
+    EXPECT_EQ(parsed->find("count")->as_integer(), -12);
+    EXPECT_DOUBLE_EQ(parsed->find("ratio")->as_number(), 0.25);
+    EXPECT_TRUE(parsed->find("flag")->as_bool());
+    EXPECT_TRUE(parsed->find("items")->at(0)->is_null());
+    EXPECT_EQ(parsed->find("items")->at(1)->as_integer(), 7);
+  }
+}
+
 }  // namespace
 }  // namespace tzgeo

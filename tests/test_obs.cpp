@@ -239,6 +239,63 @@ TEST(MetricsRegistry, PrometheusExposition) {
   EXPECT_NE(text.find("tzgeo_test_us_count 1"), std::string::npos);
 }
 
+// The escaping helpers stay live under TZGEO_OBS_DISABLED (pure string
+// functions), so these tests never skip.
+
+TEST(PrometheusExposition, HelpEscapesBackslashAndNewline) {
+  EXPECT_EQ(prometheus_escape_help("plain help"), "plain help");
+  EXPECT_EQ(prometheus_escape_help("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(prometheus_escape_help("back\\slash"), "back\\\\slash");
+  // Double-quotes are legal in HELP payloads and pass through untouched.
+  EXPECT_EQ(prometheus_escape_help("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(prometheus_escape_help("\\\n"), "\\\\\\n");
+}
+
+TEST(PrometheusExposition, LabelValueEscapesQuoteBackslashNewline) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("q\"uote"), "q\\\"uote");
+  EXPECT_EQ(prometheus_escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape_label_value("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(prometheus_escape_label_value("\"\\\n"), "\\\"\\\\\\n");
+}
+
+TEST(PrometheusExposition, SanitizeNameMapsInvalidBytes) {
+  EXPECT_EQ(prometheus_sanitize_name("tzgeo_pages_total"), "tzgeo_pages_total");
+  EXPECT_EQ(prometheus_sanitize_name("ns:metric"), "ns:metric");
+  EXPECT_EQ(prometheus_sanitize_name("has-dash.dot"), "has_dash_dot");
+  EXPECT_EQ(prometheus_sanitize_name("sp ace\tand\nnl"), "sp_ace_and_nl");
+  // Digits are fine except in the lead byte; empty input yields "_".
+  EXPECT_EQ(prometheus_sanitize_name("v2_total"), "v2_total");
+  EXPECT_EQ(prometheus_sanitize_name("2fast"), "_fast");
+  EXPECT_EQ(prometheus_sanitize_name(""), "_");
+  EXPECT_EQ(prometheus_sanitize_name("\x01\xff"), "__");
+}
+
+TEST(PrometheusExposition, HostileNamesAndHelpAreEscapedInOutput) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  auto registry = make_registry();
+  // A name with spaces/dashes and a help string with a newline: the
+  // exposition must stay line-oriented and scrape-parseable.
+  registry->add(registry->counter("bad name-total", "first\nsecond \\ end"), 2);
+  const std::string text = registry->prometheus();
+  EXPECT_NE(text.find("# TYPE bad_name_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP bad_name_total first\\nsecond \\\\ end"),
+            std::string::npos);
+  EXPECT_NE(text.find("bad_name_total 2"), std::string::npos);
+  EXPECT_EQ(text.find("bad name"), std::string::npos);
+  // Every emitted line is either a comment or `name value`.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+}
+
 TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
   TZGEO_SKIP_IF_OBS_DISABLED();
   auto registry = make_registry();

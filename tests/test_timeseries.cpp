@@ -1,0 +1,256 @@
+// Tests for obs::TimeSeriesRecorder: snapshot rows, windowed deltas and
+// rates, rolling-window histogram quantiles (including bucket-boundary
+// observations merged across windows), ring retention, late-registered
+// metric baselines, and the JSON / timestamped-Prometheus exports.
+// Private registries and explicit sample timestamps keep everything
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "util/json.hpp"
+
+namespace tzgeo::obs {
+namespace {
+
+#define TZGEO_SKIP_IF_OBS_DISABLED() \
+  if (kDisabled) GTEST_SKIP() << "obs layer compiled out (TZGEO_OBS_DISABLED)"
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+struct Fixture {
+  std::unique_ptr<MetricsRegistry> registry = std::make_unique<MetricsRegistry>();
+  MetricId requests = registry->counter("tzgeo_test_requests_total");
+  MetricId depth = registry->gauge("tzgeo_test_depth");
+  MetricId latency = registry->histogram("tzgeo_test_latency_us");
+};
+
+TEST(TimeSeriesRecorder, DeltaAndRateOverRetainedWindow) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  recorder.sample(0);
+  fx.registry->add(fx.requests, 10);
+  recorder.sample(2 * kSecond);
+  fx.registry->add(fx.requests, 30);
+  recorder.sample(4 * kSecond);
+
+  EXPECT_EQ(recorder.samples(), 3u);
+  EXPECT_EQ(recorder.delta("tzgeo_test_requests_total"), 40);
+  // 40 requests over 4 seconds.
+  EXPECT_DOUBLE_EQ(recorder.rate_per_second("tzgeo_test_requests_total"), 10.0);
+  // A 2 s window sees only the last hop: 30 requests over 2 seconds.
+  EXPECT_EQ(recorder.delta("tzgeo_test_requests_total", 2 * kSecond), 30);
+  EXPECT_DOUBLE_EQ(recorder.rate_per_second("tzgeo_test_requests_total", 2 * kSecond),
+                   15.0);
+  // Unknown names and too-few samples yield zero, never UB.
+  EXPECT_EQ(recorder.delta("tzgeo_test_nope"), 0);
+  EXPECT_DOUBLE_EQ(recorder.rate_per_second("tzgeo_test_nope"), 0.0);
+}
+
+TEST(TimeSeriesRecorder, GaugeDeltaCanGoNegative) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  fx.registry->set(fx.depth, 7);
+  recorder.sample(0);
+  fx.registry->set(fx.depth, 3);
+  recorder.sample(kSecond);
+  EXPECT_EQ(recorder.delta("tzgeo_test_depth"), -4);
+}
+
+TEST(TimeSeriesRecorder, RingKeepsNewestRows) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{2, fx.registry.get()};
+  for (int i = 0; i < 5; ++i) {
+    fx.registry->add(fx.requests, 1);
+    recorder.sample(static_cast<std::uint64_t>(i) * kSecond);
+  }
+  EXPECT_EQ(recorder.samples(), 2u);
+  EXPECT_EQ(recorder.taken(), 5u);
+  const std::vector<TimeSeriesRecorder::Point> series =
+      recorder.series("tzgeo_test_requests_total");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].t_ns, 3 * kSecond);
+  EXPECT_EQ(series[0].value, 4u);
+  EXPECT_EQ(series[1].t_ns, 4 * kSecond);
+  EXPECT_EQ(series[1].value, 5u);
+}
+
+TEST(TimeSeriesRecorder, WindowQuantileSeesOnlyWindowObservations) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  recorder.sample(0);
+  // A thousand fast observations land before the 1 s window...
+  for (int i = 0; i < 1000; ++i) fx.registry->observe(fx.latency, 2);
+  recorder.sample(10 * kSecond);
+  // ...then three slow ones inside it.
+  for (int i = 0; i < 3; ++i) fx.registry->observe(fx.latency, 5000);
+  recorder.sample(11 * kSecond);
+
+  const HistogramSnapshot window =
+      recorder.window_histogram("tzgeo_test_latency_us", kSecond);
+  EXPECT_EQ(window.count, 3u);
+  EXPECT_EQ(window.sum, 15000u);
+  // The lifetime p50 is the fast bucket; the window p50 must be the
+  // slow one because the thousand old observations cancelled out.
+  EXPECT_EQ(recorder.window_quantile("tzgeo_test_latency_us", 0.5, kSecond),
+            MetricsRegistry::bucket_bound(MetricsRegistry::bucket_of(5000)));
+  EXPECT_EQ(recorder.window_quantile("tzgeo_test_latency_us", 0.5, 0),
+            MetricsRegistry::bucket_bound(MetricsRegistry::bucket_of(2)));
+}
+
+TEST(TimeSeriesRecorder, WindowQuantileAtBucketBoundariesMatchesFreshHistogram) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  // Observations exactly on power-of-two bucket boundaries, split across
+  // two sampling intervals: the windowed bucket-difference must agree
+  // with a fresh histogram holding only the window's observations, at
+  // every rank — including q=0 and q=1.
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  for (const std::uint64_t v : {1ull, 2ull, 4ull}) fx.registry->observe(fx.latency, v);
+  recorder.sample(0);
+  const std::vector<std::uint64_t> window_values = {8, 16, 16, 32, 1024};
+  for (const std::uint64_t v : window_values) fx.registry->observe(fx.latency, v);
+  recorder.sample(kSecond);
+
+  MetricsRegistry fresh;
+  const MetricId fresh_id = fresh.histogram("tzgeo_test_fresh_us");
+  for (const std::uint64_t v : window_values) fresh.observe(fresh_id, v);
+  std::uint64_t buckets[MetricsRegistry::kHistogramBuckets];
+  HistogramSnapshot expected;
+  ASSERT_TRUE(fresh.read_histogram(fresh_id, buckets, expected.sum, expected.count));
+  expected.buckets.assign(buckets, buckets + MetricsRegistry::kHistogramBuckets);
+
+  const HistogramSnapshot window =
+      recorder.window_histogram("tzgeo_test_latency_us", kSecond);
+  EXPECT_EQ(window.count, expected.count);
+  EXPECT_EQ(window.sum, expected.sum);
+  EXPECT_EQ(window.buckets, expected.buckets);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(recorder.window_quantile("tzgeo_test_latency_us", q, kSecond),
+              approx_quantile(expected, q))
+        << "q=" << q;
+  }
+}
+
+TEST(TimeSeriesRecorder, SingleCoveringRowCountsWholeCumulativeState) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  fx.registry->observe(fx.latency, 64);
+  recorder.sample(kSecond);
+  // One retained row: no baseline to subtract, so the window is the
+  // full cumulative histogram.
+  const HistogramSnapshot window = recorder.window_histogram("tzgeo_test_latency_us");
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.sum, 64u);
+}
+
+TEST(TimeSeriesRecorder, LateRegisteredMetricFindsCoveringBaseline) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  auto registry = std::make_unique<MetricsRegistry>();
+  TimeSeriesRecorder recorder{8, registry.get()};
+  recorder.sample(0);  // row taken before the metric exists
+  const MetricId late = registry->counter("tzgeo_test_late_total");
+  registry->add(late, 5);
+  recorder.sample(kSecond);
+  registry->add(late, 5);
+  recorder.sample(2 * kSecond);
+  // The too-short first row cannot serve as baseline; the delta and
+  // rate derive from the first covering row instead of collapsing to 0.
+  EXPECT_EQ(recorder.delta("tzgeo_test_late_total"), 5);
+  EXPECT_DOUBLE_EQ(recorder.rate_per_second("tzgeo_test_late_total"), 5.0);
+}
+
+TEST(TimeSeriesRecorder, RateSeriesIsPairwise) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  recorder.sample(0);
+  fx.registry->add(fx.requests, 4);
+  recorder.sample(2 * kSecond);
+  fx.registry->add(fx.requests, 6);
+  recorder.sample(4 * kSecond);
+  const std::vector<double> rates = recorder.rate_series("tzgeo_test_requests_total");
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 3.0);
+}
+
+TEST(TimeSeriesRecorder, ToJsonRoundTripsThroughParser) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  fx.registry->add(fx.requests, 2);
+  fx.registry->observe(fx.latency, 100);
+  recorder.sample(kSecond);
+  recorder.sample(2 * kSecond);
+
+  const util::JsonValue root = recorder.to_json();
+  EXPECT_EQ(root.find("samples")->as_integer(), 2);
+  const auto reparsed = util::JsonValue::parse(root.dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  const util::JsonValue* series = reparsed->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 3u);  // counter + gauge + histogram
+  bool found_counter = false;
+  for (std::size_t i = 0; i < series->size(); ++i) {
+    const util::JsonValue* entry = series->at(i);
+    if (entry->find("name")->as_string() != "tzgeo_test_requests_total") continue;
+    found_counter = true;
+    EXPECT_EQ(entry->find("kind")->as_string(), "counter");
+    const util::JsonValue* points = entry->find("points");
+    ASSERT_EQ(points->size(), 2u);
+    EXPECT_EQ(points->at(0)->at(0)->as_integer(), 1000);  // t_ms
+    EXPECT_EQ(points->at(0)->at(1)->as_integer(), 2);
+  }
+  EXPECT_TRUE(found_counter);
+}
+
+TEST(TimeSeriesRecorder, PrometheusLinesCarryTimestamps) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  fx.registry->add(fx.requests, 3);
+  fx.registry->observe(fx.latency, 7);
+  recorder.sample(1500 * 1'000'000ull);  // 1500 ms
+
+  const std::string text = recorder.prometheus();
+  EXPECT_NE(text.find("# TYPE tzgeo_test_requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("tzgeo_test_requests_total 3 1500\n"), std::string::npos);
+  EXPECT_NE(text.find("tzgeo_test_latency_us_count 1 1500\n"), std::string::npos);
+  EXPECT_NE(text.find("tzgeo_test_latency_us_sum 7 1500\n"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"8\"} 1 1500\n"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+}
+
+TEST(TimeSeriesRecorder, ClearDropsRowsButKeepsSampling) {
+  TZGEO_SKIP_IF_OBS_DISABLED();
+  Fixture fx;
+  TimeSeriesRecorder recorder{8, fx.registry.get()};
+  recorder.sample(kSecond);
+  recorder.clear();
+  EXPECT_EQ(recorder.samples(), 0u);
+  EXPECT_EQ(recorder.taken(), 0u);
+  recorder.sample(2 * kSecond);
+  EXPECT_EQ(recorder.samples(), 1u);
+}
+
+TEST(TimeSeriesRecorder, DisabledModeIsInert) {
+  if (!kDisabled) GTEST_SKIP() << "compiled-out behavior only";
+  TimeSeriesRecorder recorder{8};
+  recorder.sample(kSecond);
+  EXPECT_EQ(recorder.samples(), 0u);
+  EXPECT_EQ(recorder.delta("anything"), 0);
+  EXPECT_TRUE(recorder.prometheus().empty());
+}
+
+}  // namespace
+}  // namespace tzgeo::obs

@@ -126,12 +126,27 @@ const std::vector<LintRule>& lint_rules() {
 
     out.push_back(LintRule{
         "stdout-io",
-        "stdout/stderr write in library code; return strings and let the tools print",
+        "stdout write in library code; return strings and let the tools print",
         [](const std::string& rel) { return under(rel, "src"); },
         [](std::string_view line) {
-          return contains_token(line, "std::cout") || contains_token(line, "std::cerr") ||
-                 contains_call(line, "printf") || contains_call(line, "fprintf") ||
+          return contains_token(line, "std::cout") || contains_call(line, "printf") ||
+                 (contains_call(line, "fprintf") && !contains_token(line, "stderr")) ||
                  contains_call(line, "puts") || contains_call(line, "putchar");
+        }});
+
+    out.push_back(LintRule{
+        "stderr-log",
+        "raw stderr diagnostic in library code; emit a structured record through "
+        "obs::Log (src/obs/log.hpp) instead — records carry fields, levels, and "
+        "per-site rate limits, and land in the ring/JSONL sink where the "
+        "dashboard and tests can see them",
+        [](const std::string& rel) {
+          return under(rel, "src") && !under(rel, "src/obs");
+        },
+        [](std::string_view line) {
+          return contains_token(line, "std::cerr") ||
+                 (contains_call(line, "fprintf") && contains_token(line, "stderr")) ||
+                 contains_call(line, "perror");
         }});
 
     out.push_back(LintRule{

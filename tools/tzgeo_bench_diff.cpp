@@ -1,0 +1,267 @@
+// tzgeo_bench_diff: perf-regression gate over bench --json reports.
+//
+// Every bench binary emits a common schema with `--json PATH`:
+//
+//   {"schema": "tzgeo-bench-v1", "binary": "obs_overhead",
+//    "results": [{"name": "BM_CounterAdd/1_median", "unit": "ns",
+//                 "value": 6.09, "max_ratio": 6.0}, ...]}
+//
+// Baselines are the same document, committed under bench/baselines/,
+// with explicit noise tolerances: a result regresses when
+// current/baseline exceeds its `max_ratio` (falling back to the file's
+// `default_max_ratio`, then to --max-ratio, default 4.0 — wide enough
+// to absorb machine-to-machine variance while still catching the
+// order-of-magnitude slips that matter).  A baseline result missing
+// from the current run also fails: a benchmark that silently stops
+// reporting is how perf coverage rots.
+//
+// Exit codes: 0 within tolerance, 1 regression/missing, 2 usage or
+// unreadable/malformed input.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+using tzgeo::util::JsonValue;
+
+namespace {
+
+struct BenchResult {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+  std::optional<double> max_ratio;
+};
+
+struct BenchReport {
+  std::string binary;
+  std::optional<double> default_max_ratio;
+  std::vector<BenchResult> results;
+};
+
+[[nodiscard]] std::optional<BenchReport> parse_report(const JsonValue& root,
+                                                      std::string& error) {
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->as_string() != "tzgeo-bench-v1") {
+    error = "missing or unknown \"schema\" (want tzgeo-bench-v1)";
+    return std::nullopt;
+  }
+  BenchReport report;
+  if (const JsonValue* binary = root.find("binary")) report.binary = binary->as_string();
+  if (const JsonValue* ratio = root.find("default_max_ratio")) {
+    report.default_max_ratio = ratio->as_number();
+  }
+  const JsonValue* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    error = "missing \"results\" array";
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const JsonValue* entry = results->at(i);
+    const JsonValue* name = entry->find("name");
+    const JsonValue* value = entry->find("value");
+    if (name == nullptr || !name->is_string() || value == nullptr || !value->is_number()) {
+      error = "results[" + std::to_string(i) + "] needs string \"name\" and numeric \"value\"";
+      return std::nullopt;
+    }
+    BenchResult result;
+    result.name = name->as_string();
+    result.value = value->as_number();
+    if (const JsonValue* unit = entry->find("unit")) result.unit = unit->as_string();
+    if (const JsonValue* ratio = entry->find("max_ratio")) {
+      result.max_ratio = ratio->as_number();
+    }
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+[[nodiscard]] std::optional<BenchReport> load_report(const std::string& path,
+                                                     std::string& error) {
+  std::ifstream in{path};
+  if (!in) {
+    error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = JsonValue::parse(buffer.str());
+  if (!parsed) {
+    error = path + ": malformed JSON";
+    return std::nullopt;
+  }
+  auto report = parse_report(*parsed, error);
+  if (!report) error = path + ": " + error;
+  return report;
+}
+
+struct DiffStats {
+  int compared = 0;
+  int regressions = 0;
+  int missing = 0;
+  int skipped = 0;
+};
+
+/// Compares current against baseline, printing one line per result.
+[[nodiscard]] DiffStats diff_reports(const BenchReport& baseline,
+                                     const BenchReport& current,
+                                     double fallback_ratio, bool quiet) {
+  DiffStats stats;
+  for (const BenchResult& base : baseline.results) {
+    const BenchResult* now = nullptr;
+    for (const BenchResult& candidate : current.results) {
+      if (candidate.name == base.name) {
+        now = &candidate;
+        break;
+      }
+    }
+    if (now == nullptr) {
+      ++stats.missing;
+      std::printf("MISSING  %-48s baseline %.4g %s, absent from current run\n",
+                  base.name.c_str(), base.value, base.unit.c_str());
+      continue;
+    }
+    if (base.value <= 0.0 || now->value < 0.0) {
+      ++stats.skipped;
+      if (!quiet) {
+        std::printf("SKIP     %-48s non-positive baseline value\n", base.name.c_str());
+      }
+      continue;
+    }
+    const double allowed = base.max_ratio.value_or(
+        baseline.default_max_ratio.value_or(fallback_ratio));
+    const double ratio = now->value / base.value;
+    ++stats.compared;
+    if (ratio > allowed) {
+      ++stats.regressions;
+      std::printf("REGRESS  %-48s %.4g -> %.4g %s (%.2fx, allowed %.2fx)\n",
+                  base.name.c_str(), base.value, now->value, base.unit.c_str(), ratio,
+                  allowed);
+    } else if (!quiet) {
+      std::printf("ok       %-48s %.4g -> %.4g %s (%.2fx, allowed %.2fx)\n",
+                  base.name.c_str(), base.value, now->value, base.unit.c_str(), ratio,
+                  allowed);
+    }
+  }
+  return stats;
+}
+
+[[nodiscard]] int run_self_test() {
+  // The gate's own logic must be provably able to trip: an embedded
+  // pass case, a regression case, and a missing-result case.
+  const char* baseline_text = R"({
+    "schema": "tzgeo-bench-v1", "binary": "self_test", "default_max_ratio": 2.0,
+    "results": [
+      {"name": "fast", "unit": "ns", "value": 10.0},
+      {"name": "tight", "unit": "ns", "value": 100.0, "max_ratio": 1.5}
+    ]})";
+  const char* good_text = R"({
+    "schema": "tzgeo-bench-v1", "binary": "self_test",
+    "results": [
+      {"name": "fast", "unit": "ns", "value": 15.0},
+      {"name": "tight", "unit": "ns", "value": 120.0}
+    ]})";
+  const char* slow_text = R"({
+    "schema": "tzgeo-bench-v1", "binary": "self_test",
+    "results": [
+      {"name": "fast", "unit": "ns", "value": 25.0},
+      {"name": "tight", "unit": "ns", "value": 120.0}
+    ]})";
+  const char* partial_text = R"({
+    "schema": "tzgeo-bench-v1", "binary": "self_test",
+    "results": [{"name": "fast", "unit": "ns", "value": 11.0}]})";
+
+  std::string error;
+  const auto baseline = parse_report(*JsonValue::parse(baseline_text), error);
+  const auto good = parse_report(*JsonValue::parse(good_text), error);
+  const auto slow = parse_report(*JsonValue::parse(slow_text), error);
+  const auto partial = parse_report(*JsonValue::parse(partial_text), error);
+  if (!baseline || !good || !slow || !partial) {
+    std::printf("self-test FAILED: embedded reports did not parse (%s)\n", error.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  const DiffStats pass_stats = diff_reports(*baseline, *good, 4.0, true);
+  if (pass_stats.regressions != 0 || pass_stats.missing != 0 || pass_stats.compared != 2) {
+    std::printf("self-test FAILED: clean run flagged\n");
+    ++failures;
+  }
+  const DiffStats trip_stats = diff_reports(*baseline, *slow, 4.0, true);
+  if (trip_stats.regressions != 1) {
+    std::printf("self-test FAILED: 2.5x slip on a 2.0x budget not flagged\n");
+    ++failures;
+  }
+  const DiffStats missing_stats = diff_reports(*baseline, *partial, 4.0, true);
+  if (missing_stats.missing != 1) {
+    std::printf("self-test FAILED: vanished benchmark not flagged\n");
+    ++failures;
+  }
+  if (const auto malformed = JsonValue::parse("{\"schema\": \"nope\"")) {
+    std::printf("self-test FAILED: malformed JSON accepted\n");
+    ++failures;
+  }
+  if (failures == 0) std::printf("tzgeo_bench_diff self-test: all cases behaved\n");
+  return failures == 0 ? 0 : 1;
+}
+
+void print_usage() {
+  std::printf(
+      "usage: tzgeo_bench_diff --baseline FILE --current FILE [--max-ratio R] [--quiet]\n"
+      "       tzgeo_bench_diff --self-test\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double fallback_ratio = 4.0;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--self-test") return run_self_test();
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--max-ratio" && i + 1 < argc) {
+      fallback_ratio = std::atof(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      print_usage();
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || fallback_ratio <= 0.0) {
+    print_usage();
+    return 2;
+  }
+
+  std::string error;
+  const auto baseline = load_report(baseline_path, error);
+  if (!baseline) {
+    std::printf("tzgeo_bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+  const auto current = load_report(current_path, error);
+  if (!current) {
+    std::printf("tzgeo_bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  const DiffStats stats = diff_reports(*baseline, *current, fallback_ratio, quiet);
+  std::printf("%d compared, %d regressions, %d missing, %d skipped (baseline %s)\n",
+              stats.compared, stats.regressions, stats.missing, stats.skipped,
+              baseline->binary.c_str());
+  return stats.regressions == 0 && stats.missing == 0 ? 0 : 1;
+}

@@ -31,6 +31,7 @@
 #include "core/weekly.hpp"
 #include "forum/calibration.hpp"
 #include "forum/io.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "synth/dataset.hpp"
@@ -106,7 +107,8 @@ void print_usage() {
       "  --metrics-out FILE   write pipeline metrics on exit; *.json gets a JSON\n"
       "                       document, anything else Prometheus text exposition\n"
       "  --trace-out FILE     write the span trace in Chrome trace_event JSON\n"
-      "                       (open in chrome://tracing or https://ui.perfetto.dev)\n");
+      "                       (open in chrome://tracing or https://ui.perfetto.dev)\n"
+      "  --healthz-out FILE   write the component health report (healthz JSON)\n");
 }
 
 [[nodiscard]] core::TimeZoneProfiles reference_zones() {
@@ -335,9 +337,10 @@ void write_file_or_die(const std::string& path, const std::string& content) {
   if (!out) throw std::runtime_error("write failed for " + path);
 }
 
-/// Writes --metrics-out / --trace-out files after the command ran.
-/// Metrics: JSON when the filename ends in .json, Prometheus text
-/// exposition otherwise.  Trace: Chrome trace_event JSON.
+/// Writes --metrics-out / --trace-out / --healthz-out files after the
+/// command ran.  Metrics: JSON when the filename ends in .json,
+/// Prometheus text exposition otherwise.  Trace: Chrome trace_event
+/// JSON.  Healthz: the obs::Health machine-readable report.
 void write_obs_outputs(const Args& args) {
   const std::string metrics_path = args.get("metrics-out");
   if (!metrics_path.empty()) {
@@ -352,6 +355,11 @@ void write_obs_outputs(const Args& args) {
   if (!trace_path.empty()) {
     write_file_or_die(trace_path, obs::TraceBuffer::global().to_chrome_trace() + "\n");
     std::fprintf(stderr, "wrote chrome trace to %s\n", trace_path.c_str());
+  }
+  const std::string healthz_path = args.get("healthz-out");
+  if (!healthz_path.empty()) {
+    write_file_or_die(healthz_path, obs::Health::global().to_json().dump(2) + "\n");
+    std::fprintf(stderr, "wrote healthz report to %s\n", healthz_path.c_str());
   }
 }
 

@@ -3,9 +3,9 @@
 // Generic linters cannot know that a tzgeo profile is *exactly* 24 hourly
 // bins, that determinism depends on every random draw flowing through
 // util::Rng, or that the libraries must never write to stdout (the CLI owns
-// the terminal).  Those invariants live as the nine line rules of
+// the terminal).  Those invariants live as the ten line rules of
 // tools/tzgeo_analyze/lint_rules.cpp (magic-hours, rng-source, stdout-io,
-// sscanf-parse, obs-clock, float-stats, simd-shim, catch-style,
+// stderr-log, sscanf-parse, obs-clock, float-stats, simd-shim, catch-style,
 // pragma-once); this binary is the thin CLI wrapper that preserves the
 // historical interface:
 //
@@ -64,6 +64,16 @@ namespace {
   expect(!contains_call("rng.uniform_int(0, 3)", "int"), "uniform_int not matched by int");
   expect(contains_call("std::printf(\"x\")", "printf"), "std::printf flagged");
   expect(!contains_call("std::snprintf(b, n, \"x\")", "printf"), "snprintf not matched");
+  // The stdout-io/stderr-log split hinges on the stderr token: fprintf to
+  // stderr belongs to stderr-log, fprintf to any other FILE* to stdout-io.
+  expect(contains_call("std::fprintf(stderr, \"x\")", "fprintf") &&
+             contains_token("std::fprintf(stderr, \"x\")", "stderr"),
+         "fprintf(stderr, ...) classified as stderr diagnostic");
+  expect(!contains_token("std::fprintf(sink, \"x\")", "stderr"),
+         "fprintf to another FILE* not classified as stderr");
+  expect(!contains_token("g_stderr_like(x)", "stderr"),
+         "identifier containing stderr not matched");
+  expect(contains_call("perror(\"open\")", "perror"), "perror flagged");
   expect(contains_call("std::sscanf(s, \"%d\", &x)", "sscanf"), "std::sscanf flagged");
   expect(contains_call("sscanf (s, \"%d\", &x)", "sscanf"), "sscanf with space flagged");
   expect(!contains_call("vsscanf(s, f, ap)", "sscanf"), "vsscanf not matched by sscanf");
