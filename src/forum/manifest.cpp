@@ -1,0 +1,105 @@
+#include "forum/manifest.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace tzgeo::forum {
+
+namespace {
+
+/// Mixes one 64-bit word into a running hash (splitmix-style).
+[[nodiscard]] std::uint64_t mix(std::uint64_t h, std::uint64_t word) noexcept {
+  std::uint64_t s = h ^ word;
+  return util::splitmix64(s);
+}
+
+/// Chooses the agreed record between two observations of one post id.
+[[nodiscard]] const ScrapeRecord* resolve(const ScrapeRecord* a, const ScrapeRecord* b) {
+  const std::uint64_t hash_a = record_content_hash(*a);
+  const std::uint64_t hash_b = record_content_hash(*b);
+  if (hash_a == hash_b) {
+    // Same content on both sides; the earlier stamp carries less
+    // poll-interval error.
+    return b->observed_utc < a->observed_utc ? b : a;
+  }
+  // Content conflict (one side parsed a garbled page): no oracle knows
+  // which is true, so pick deterministically — both crawlers converge on
+  // the same answer without talking to each other.
+  return hash_b < hash_a ? b : a;
+}
+
+}  // namespace
+
+std::uint64_t record_content_hash(const ScrapeRecord& record) noexcept {
+  std::uint64_t h = mix(0x747a6d616e696601ull, record.post_id);  // "tzmanif" domain tag
+  h = mix(h, record.thread_id);
+  h = mix(h, util::hash64(record.author));
+  h = mix(h, record.display_time.has_value() ? 1u : 0u);
+  if (record.display_time.has_value()) {
+    const tz::CivilDateTime& when = *record.display_time;
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(when.date.year)));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(when.date.month)));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(when.date.day)));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(when.hour)));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(when.minute)));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(when.second)));
+  }
+  return h;
+}
+
+ScrapeManifest build_manifest(const ScrapeDump& dump) {
+  ScrapeManifest manifest;
+  manifest.onion = dump.onion;
+  manifest.forum_name = dump.forum_name;
+  // std::map both sorts by post id and deduplicates; ties keep the
+  // smaller content hash so build_manifest(converge(a, b)) is stable.
+  std::map<std::uint64_t, std::uint64_t> parts;
+  for (const ScrapeRecord& record : dump.records) {
+    const std::uint64_t hash = record_content_hash(record);
+    const auto [it, inserted] = parts.emplace(record.post_id, hash);
+    if (!inserted && hash < it->second) it->second = hash;
+  }
+  manifest.parts.reserve(parts.size());
+  std::uint64_t combined = mix(0x747a6d616e696602ull, parts.size());
+  for (const auto& [post_id, hash] : parts) {
+    manifest.parts.push_back(ManifestPart{post_id, hash});
+    combined = mix(combined, post_id);
+    combined = mix(combined, hash);
+  }
+  manifest.combined_hash = combined;
+  return manifest;
+}
+
+ScrapeDump converge(const ScrapeDump& a, const ScrapeDump& b) {
+  if (a.onion != b.onion) {
+    throw std::invalid_argument("converge: dumps are for different onions (" + a.onion +
+                                " vs " + b.onion + ")");
+  }
+  std::map<std::uint64_t, const ScrapeRecord*> agreed;
+  for (const ScrapeRecord& record : a.records) {
+    const auto [it, inserted] = agreed.emplace(record.post_id, &record);
+    if (!inserted) it->second = resolve(it->second, &record);
+  }
+  for (const ScrapeRecord& record : b.records) {
+    const auto [it, inserted] = agreed.emplace(record.post_id, &record);
+    if (!inserted) it->second = resolve(it->second, &record);
+  }
+
+  ScrapeDump out;
+  out.onion = a.onion;
+  out.forum_name = a.forum_name.empty() ? b.forum_name : a.forum_name;
+  out.records.reserve(agreed.size());
+  for (const auto& [post_id, record] : agreed) out.records.push_back(*record);
+  out.pages_fetched = a.pages_fetched + b.pages_fetched;
+  out.malformed_posts = a.malformed_posts + b.malformed_posts;
+  out.polls = a.polls + b.polls;
+  out.polls_failed = a.polls_failed + b.polls_failed;
+  out.polls_partial = a.polls_partial + b.polls_partial;
+  out.threads_quarantined = a.threads_quarantined + b.threads_quarantined;
+  return out;
+}
+
+}  // namespace tzgeo::forum

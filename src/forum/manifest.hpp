@@ -1,0 +1,65 @@
+// Scrape manifests and redundant-crawler convergence.
+//
+// A fleet campaign may point two independent crawlers at the same onion
+// (redundancy against long outages on either side).  In the spirit of
+// Gridcoin's scraper (ScraperFileManifest / ConvergedManifest:
+// independent scrapers publish hashed part-manifests and converge on
+// agreed state), each crawler's dump is summarized as a ScrapeManifest —
+// one content-hashed part per post — and converge() reconciles two dumps
+// into one agreed post set.
+//
+// The content hash deliberately covers only the *durable* fields of a
+// post (post id, thread id, author, displayed time): observed_utc is the
+// observer's own stamp and legitimately differs between two crawlers of
+// the same board, so it must not make identical content look divergent.
+// Two faulted crawlers therefore converge to the same manifest as one
+// fault-free crawler as long as each post survived on at least one side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forum/crawler.hpp"
+
+namespace tzgeo::forum {
+
+/// Stable 64-bit hash of a post's durable fields (everything except
+/// observed_utc).  The manifest key for dedup and conflict detection.
+[[nodiscard]] std::uint64_t record_content_hash(const ScrapeRecord& record) noexcept;
+
+/// One post's entry in a manifest.
+struct ManifestPart {
+  std::uint64_t post_id = 0;
+  std::uint64_t content_hash = 0;
+
+  [[nodiscard]] bool operator==(const ManifestPart& other) const = default;
+};
+
+/// The hashed summary of one crawler's dump: parts sorted by post id
+/// plus an order-sensitive combined hash over all of them.  Two
+/// manifests are "converged" when their combined hashes agree.
+struct ScrapeManifest {
+  std::string onion;
+  std::string forum_name;
+  std::vector<ManifestPart> parts;
+  std::uint64_t combined_hash = 0;
+
+  [[nodiscard]] bool operator==(const ScrapeManifest& other) const = default;
+};
+
+/// Builds the manifest of `dump` (sorts parts by post id; duplicate post
+/// ids keep the smaller content hash, mirroring converge()).
+[[nodiscard]] ScrapeManifest build_manifest(const ScrapeDump& dump);
+
+/// Reconciles two redundant crawls of the same onion into one agreed
+/// dump: the union of both post sets, deduplicated by post id.  A post
+/// seen by both sides with the same content keeps the earlier
+/// observed_utc (the better stamp); a content conflict (a garbled page
+/// that parsed) resolves deterministically to the smaller content hash.
+/// Records come back sorted by post id; page/poll counters are summed
+/// (both crawlers really did that work).  Throws std::invalid_argument
+/// when the dumps are for different onions.
+[[nodiscard]] ScrapeDump converge(const ScrapeDump& a, const ScrapeDump& b);
+
+}  // namespace tzgeo::forum

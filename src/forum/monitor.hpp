@@ -61,7 +61,10 @@ struct MonitorOptions {
   /// Degradation ladder: quarantine a thread after this many consecutive
   /// failed walks (0 disables quarantine)...
   std::size_t thread_quarantine_after = 3;
-  /// ...and re-probe quarantined threads every N-th poll (0 = never).
+  /// ...and re-probe each quarantined thread once per N-poll cooldown
+  /// window (0 = never), at a per-thread deterministic phase (jittered so
+  /// many quarantined threads spread their re-probes across the window
+  /// instead of herding onto the same poll; see forum/sweep.hpp).
   std::size_t thread_quarantine_cooldown_polls = 8;
   /// Error budget: abort the campaign (CrawlError kBudgetExhausted) after
   /// this many *consecutive* failed sweeps.  0 = never abort, keep polling.

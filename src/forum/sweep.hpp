@@ -1,0 +1,94 @@
+// One polling sweep of one forum, plus its serializable state.
+//
+// Extracted from the monitor so the same degradation ladder, per-thread
+// commit granularity, and checkpoint codec serve both the single-forum
+// campaign loop (monitor.cpp) and the fleet scheduler (fleet.cpp).  A
+// sweep walks the index and every thread tail-first, commits thread by
+// thread (a post marked seen is always either backlog or recorded, no
+// matter where the sweep stops), and reports one of three outcomes:
+// full, partial (threads skipped under quarantine), or failed (index
+// unreachable or page cap — nothing new committed).
+//
+// Quarantine re-probes are jittered: a quarantined thread is re-probed
+// on the poll where `poll % cooldown` equals a phase derived from
+// (jitter_key, thread id) — a pure function of the seed material, so
+// replay and kill/resume stay bit-identical, but a fleet of quarantined
+// threads spreads its re-probes across the cooldown window instead of
+// thundering back on the same poll.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "forum/crawler.hpp"
+#include "tor/transport.hpp"
+#include "util/checkpoint.hpp"
+
+namespace tzgeo::forum {
+
+/// Sweep-level policy (a strict subset of MonitorOptions; the monitor and
+/// the fleet both project their options down to this).
+struct SweepOptions {
+  std::size_t max_pages_per_poll = 50'000;
+  /// Quarantine a thread after this many consecutive failed walks
+  /// (0 disables quarantine)...
+  std::size_t thread_quarantine_after = 3;
+  /// ...and re-probe quarantined threads once per N-poll cooldown window
+  /// (0 = never), at a per-thread jittered phase.
+  std::size_t thread_quarantine_cooldown_polls = 8;
+  /// Seed material for the re-probe jitter; the monitor passes
+  /// hash64(onion), the fleet mixes its own seed in.
+  std::uint64_t jitter_key = 0;
+};
+
+/// Everything one forum campaign needs to continue after a crash.
+struct SweepState {
+  std::int64_t t0 = 0;         ///< campaign start (schedule origin)
+  std::int64_t end_time = 0;   ///< t0 + duration
+  std::int64_t next_poll = 0;  ///< index of the next scheduled poll
+  bool baseline_done = false;
+  std::size_t consecutive_failed = 0;
+  std::set<std::uint64_t> seen;
+  /// thread id -> consecutive failed walks (degradation ladder).
+  std::map<std::uint64_t, std::uint32_t> quarantine;
+  ScrapeDump dump;
+};
+
+enum class SweepResult {
+  kFull,     ///< every thread walked and committed
+  kPartial,  ///< some threads skipped/failed; the rest committed
+  kFailed,   ///< index unreachable or page cap: nothing new committed
+};
+
+/// The jittered re-probe phase for `key` within a cooldown window: a
+/// deterministic value in [0, cooldown).  Requires cooldown > 0.
+[[nodiscard]] std::uint64_t cooldown_phase(std::uint64_t key, std::uint64_t cooldown) noexcept;
+
+/// True when poll `poll` is the re-probe slot for `key` under an
+/// N-poll cooldown (false when cooldown is 0).
+[[nodiscard]] bool is_reprobe_poll(std::uint64_t poll, std::uint64_t cooldown,
+                                   std::uint64_t key) noexcept;
+
+/// Runs one sweep at the transport's current clock, committing into
+/// `state` and appending this sweep's newly committed records to
+/// `committed` (empty while `record` is false — the baseline census).
+/// Does the poll-level metrics accounting; never throws for per-thread
+/// failures (that is the ladder's job).
+[[nodiscard]] SweepResult try_sweep(tor::OnionTransport& transport, const std::string& onion,
+                                    SweepState& state, bool record, const SweepOptions& options,
+                                    std::vector<ScrapeRecord>& committed);
+
+/// Serializes `state` (including the dump) into `writer`; the inverse of
+/// decode_sweep_state.  Field-for-field, so the monitor and the fleet
+/// share one codec and one set of corruption tests.
+void encode_sweep_state(util::ByteWriter& writer, const SweepState& state);
+
+/// Decodes a sweep state; throws util::CheckpointError{kTruncated/
+/// kMalformed} on anything off (impossible counters included).  The
+/// caller checks campaign identity (onion) on top.
+void decode_sweep_state(util::ByteReader& reader, SweepState& state);
+
+}  // namespace tzgeo::forum

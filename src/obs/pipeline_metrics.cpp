@@ -94,6 +94,27 @@ namespace {
   m.forum_checkpoint_write_us =
       reg.histogram("tzgeo_forum_checkpoint_write_us", "checkpoint serialize+fsync time");
 
+  m.fleet_forums_active = reg.gauge("tzgeo_fleet_forums_active", "fleet forums polling");
+  m.fleet_forums_quarantined =
+      reg.gauge("tzgeo_fleet_forums_quarantined", "fleet forums in cooldown quarantine");
+  m.fleet_forums_parked =
+      reg.gauge("tzgeo_fleet_forums_parked", "fleet forums parked for the campaign");
+  m.fleet_rounds = reg.counter("tzgeo_fleet_rounds_total", "fleet poll rounds completed");
+  m.fleet_round_us = reg.histogram("tzgeo_fleet_round_us", "whole-round wall time");
+  m.fleet_forum_poll_us =
+      reg.histogram("tzgeo_fleet_forum_poll_us", "per-forum poll wall time inside a round");
+  m.fleet_polls_skipped = reg.counter("tzgeo_fleet_polls_skipped_total",
+                                      "forum polls skipped while quarantined or parked");
+  m.fleet_checkpoint_writes =
+      reg.counter("tzgeo_fleet_checkpoint_writes_total", "fleet manifest checkpoints persisted");
+  m.fleet_checkpoint_write_us =
+      reg.histogram("tzgeo_fleet_checkpoint_write_us", "fleet checkpoint serialize+fsync time");
+  m.fleet_checkpoint_resumes =
+      reg.counter("tzgeo_fleet_checkpoint_resumes_total", "fleet campaigns resumed from disk");
+  m.fleet_sub_entries_quarantined =
+      reg.counter("tzgeo_fleet_sub_entries_quarantined_total",
+                  "corrupt per-forum checkpoint sub-entries parked on resume");
+
   m.tor_requests = reg.counter("tzgeo_tor_requests_total", "hidden-service round trips");
   m.tor_request_failures =
       reg.counter("tzgeo_tor_request_failures_total", "circuit drops mid-request");

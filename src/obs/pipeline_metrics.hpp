@@ -67,6 +67,19 @@ struct PipelineMetrics {
   MetricId forum_checkpoint_resumes = kInvalidMetric;
   MetricId forum_checkpoint_write_us = kInvalidMetric;
 
+  // forum fleet scheduler
+  MetricId fleet_forums_active = kInvalidMetric;       ///< gauge
+  MetricId fleet_forums_quarantined = kInvalidMetric;  ///< gauge
+  MetricId fleet_forums_parked = kInvalidMetric;       ///< gauge
+  MetricId fleet_rounds = kInvalidMetric;
+  MetricId fleet_round_us = kInvalidMetric;
+  MetricId fleet_forum_poll_us = kInvalidMetric;  ///< per-forum poll latency
+  MetricId fleet_polls_skipped = kInvalidMetric;  ///< quarantine/park skips
+  MetricId fleet_checkpoint_writes = kInvalidMetric;
+  MetricId fleet_checkpoint_write_us = kInvalidMetric;
+  MetricId fleet_checkpoint_resumes = kInvalidMetric;
+  MetricId fleet_sub_entries_quarantined = kInvalidMetric;  ///< corrupt on resume
+
   // tor transport
   MetricId tor_requests = kInvalidMetric;
   MetricId tor_request_failures = kInvalidMetric;

@@ -72,6 +72,7 @@ void OnionTransport::begin_epoch(std::uint64_t epoch) {
   rng_ = parent.split(epoch);
   connections_.clear();
   requests_on_circuit_.clear();
+  epoch_requests_ = 0;
   if (options_.fault_injector != nullptr) options_.fault_injector->begin_epoch(epoch);
 }
 
@@ -116,6 +117,14 @@ Response OnionTransport::fetch(const std::string& onion, const Request& request)
   if (handler_it == handlers_.end()) {
     throw TransportError("onion address not found: " + onion);
   }
+  // Shared-budget enforcement (the fleet hands each forum a fair share of
+  // the round's request budget): counted per fetch, not per retry, so the
+  // allowance is a pure function of crawl behavior, never of luck.
+  if (epoch_allowance_ > 0 && epoch_requests_ >= epoch_allowance_) {
+    throw TransportError("epoch request allowance exhausted (" +
+                         std::to_string(epoch_allowance_) + " fetches this epoch)");
+  }
+  ++epoch_requests_;
 
   const obs::PipelineMetrics& metrics = obs::PipelineMetrics::get();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();

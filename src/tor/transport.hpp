@@ -112,6 +112,17 @@ class OnionTransport {
   /// requests earlier sweeps made.
   void begin_epoch(std::uint64_t epoch);
 
+  /// Caps fetches within the current and every following epoch (0 =
+  /// unlimited).  Exceeding the allowance throws TransportError; counted
+  /// per fetch() call (retries ride the same unit), and begin_epoch
+  /// resets the spent count.  The fleet scheduler uses this to divide a
+  /// fleet-wide request budget fairly across forums each round.
+  void set_epoch_request_allowance(std::size_t allowance) noexcept {
+    epoch_allowance_ = allowance;
+  }
+  /// Fetches spent in the current epoch.
+  [[nodiscard]] std::size_t epoch_requests() const noexcept { return epoch_requests_; }
+
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Consensus& consensus() const noexcept { return consensus_; }
   [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
@@ -132,6 +143,8 @@ class OnionTransport {
   std::uint64_t seed_;  ///< construction seed, re-mixed by begin_epoch()
   TransportOptions options_;
   TransportStats stats_;
+  std::size_t epoch_allowance_ = 0;  ///< 0 = unlimited
+  std::size_t epoch_requests_ = 0;
   std::uint64_t guard_id_ = 0;
   std::map<std::string, ServiceHandler> handlers_;
   std::map<std::string, RendezvousConnection> connections_;

@@ -7,19 +7,37 @@
 // bit, an operator can point the resume at the wrong file — so every
 // checkpoint carries a magic tag, a format version, an explicit payload
 // length, and a CRC-32 over everything, and the reader refuses to surface
-// bytes unless all four check out.  Writes are atomic: the file is staged
-// as `<path>.tmp` and renamed over the target, so a crash mid-write leaves
-// the previous checkpoint intact.
+// bytes unless all four check out.
 //
-// Layout (little-endian):
+// Durability: writes are atomic AND power-loss safe.  The file is staged
+// as `<path>.tmp`, fsync'd, renamed over the target, and the containing
+// directory is fsync'd after the rename — without that last step a crash
+// can persist the data blocks but drop the directory entry, losing the
+// rename.  A failure at any point leaves the previous checkpoint intact.
+// (On platforms without POSIX fds the directory fsync degrades to a
+// stream flush; the atomic-rename guarantee still holds.)
+//
+// Single-frame layout (little-endian):
 //   "TZCK" | u32 version | u64 payload_size | payload bytes | u32 crc32
 // The CRC covers magic, version, payload_size, and payload.
+//
+// Manifest-frame layout ("TZCM", for fleet checkpoints): one atomic file
+// carrying many independently-CRC'd sub-entries, so one flipped bit
+// quarantines one entry instead of discarding the whole fleet:
+//   "TZCM" | u32 version | u32 entry_count
+//   | directory: per entry  u64 key_len | key | u64 payload_size | u32 payload_crc
+//   | u32 directory_crc     (covers magic through the directory)
+//   | payload blobs, concatenated in directory order
+// Directory corruption is a whole-file error (the directory is a few
+// dozen bytes per entry — small surface); payload corruption or a
+// truncated tail surfaces per entry via ManifestEntryStatus.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace tzgeo::util {
 
@@ -91,9 +109,10 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
-/// Writes `payload` to `path` atomically (stage to `<path>.tmp`, flush,
-/// rename over).  Throws CheckpointError{kIo} on any filesystem failure;
-/// on failure the previous checkpoint at `path` is left untouched.
+/// Writes `payload` to `path` atomically and durably (stage to
+/// `<path>.tmp`, fsync, rename over, fsync the containing directory).
+/// Throws CheckpointError{kIo} on any filesystem failure; on failure the
+/// previous checkpoint at `path` is left untouched.
 void write_checkpoint_file(const std::string& path, std::string_view payload,
                            std::uint32_t version);
 
@@ -103,5 +122,38 @@ void write_checkpoint_file(const std::string& path, std::string_view payload,
 /// `expected_version`.
 [[nodiscard]] std::string read_checkpoint_file(const std::string& path,
                                                std::uint32_t expected_version);
+
+/// One sub-state in a manifest checkpoint (a fleet forum, keyed by name).
+struct ManifestEntry {
+  std::string key;
+  std::string payload;
+};
+
+/// Decode verdict for one manifest sub-entry.  `ok` means the entry's
+/// bytes passed their own CRC; otherwise `error`/`detail` say why and
+/// `payload` is empty.  The caller decides the blast radius (the fleet
+/// parks that one forum and resumes everything else).
+struct ManifestEntryStatus {
+  std::string key;
+  bool ok = false;
+  std::string payload;
+  CheckpointErrorCode error = CheckpointErrorCode::kBadCrc;
+  std::string detail;
+};
+
+/// Writes a manifest checkpoint (layout in the header comment) with the
+/// same atomicity + durability guarantees as write_checkpoint_file.
+/// Duplicate keys throw CheckpointError{kMalformed}.
+void write_manifest_checkpoint_file(const std::string& path,
+                                    const std::vector<ManifestEntry>& entries,
+                                    std::uint32_t version);
+
+/// Reads a manifest checkpoint.  File-level problems (missing file, bad
+/// magic, wrong version, corrupt/truncated directory, trailing junk)
+/// throw CheckpointError; per-entry payload corruption or a truncated
+/// blob tail is reported in that entry's status instead, leaving every
+/// other entry readable.  Entries come back in directory (write) order.
+[[nodiscard]] std::vector<ManifestEntryStatus> read_manifest_checkpoint_file(
+    const std::string& path, std::uint32_t expected_version);
 
 }  // namespace tzgeo::util

@@ -20,6 +20,7 @@
 // Registered under the `chaos` ctest label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -34,7 +35,9 @@
 #include "fault/plan.hpp"
 #include "forum/engine.hpp"
 #include "forum/error.hpp"
+#include "forum/fleet.hpp"
 #include "forum/io.hpp"
+#include "forum/manifest.hpp"
 #include "forum/monitor.hpp"
 #include "synth/dataset.hpp"
 #include "synth/region_presets.hpp"
@@ -303,11 +306,13 @@ TEST(ChaosKillResume, GeolocatorStateRidesInsideTheCheckpoint) {
 }
 
 TEST(ChaosLadder, BrokenThreadIsQuarantinedNotFatal) {
-  // One thread serves 500s for twelve hours mid-campaign.  The ladder must
+  // One thread serves 500s for eight hours mid-campaign.  The ladder must
   // keep every other thread recording (partial sweeps, zero failed
   // sweeps), quarantine the bad thread after repeated strikes, re-probe it
-  // on a cooldown poll after it heals, and still collect its backlog —
-  // every post exactly once.
+  // on its jittered cooldown slot after it heals, and still collect its
+  // backlog — every post exactly once.  The fault clears by poll 10 so
+  // that whatever phase the jitter lands on, a post-heal re-probe slot
+  // (one per 8-poll window) still falls inside the 21-poll campaign.
   Env reference_env;
   const ScrapeDump reference = monitor_forum(reference_env.transport, reference_env.onion,
                                              chaos_options(""));
@@ -319,7 +324,7 @@ TEST(ChaosLadder, BrokenThreadIsQuarantinedNotFatal) {
   const std::string prefix = "/thread/" + std::to_string(broken_thread) + "?";
   const auto inner = env.handler;
   env.handler = [inner, prefix, t0](const tor::Request& request, std::int64_t now) {
-    if (now >= t0 + 2 * kInterval && now < t0 + 14 * kInterval &&
+    if (now >= t0 + 2 * kInterval && now < t0 + 10 * kInterval &&
         request.path.rfind(prefix, 0) == 0) {
       return tor::Response{500, "thread database is on fire"};
     }
@@ -515,6 +520,222 @@ TEST(ChaosFaultSweep, RandomSchedulesNeverLeakAndStillGeolocate) {
     EXPECT_GE(dump.records.size() + 25, clean_dump.records.size())
         << "faults permanently lost a large share of posts";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet chaos: the same crash-equivalence and fault-sweep guarantees, but
+// for a 20-forum campaign multiplexed by forum::Fleet — one converged
+// checkpoint frame, parallel sweeps, fleet-level quarantine ladder.
+
+constexpr std::size_t kFleetForums = 20;
+constexpr std::size_t kFleetRounds = 21;  // baseline + 20 intervals
+
+[[nodiscard]] synth::Dataset fleet_crowd(std::size_t index) {
+  synth::DatasetOptions options;
+  options.seed = 3000 + index;
+  options.inactive_fraction = 0.0;
+  options.active_volume_floor = 1200.0;
+  options.trace.start = tz::CivilDate{2016, 3, 1};
+  options.trace.end = tz::CivilDate{2016, 3, 12};
+  const char* zones[] = {"Europe/Moscow", "America/New_York", "Asia/Tokyo", "Europe/Berlin"};
+  const synth::RegionSpec spec{"Fleet" + std::to_string(index), zones[index % 4], 5};
+  return synth::make_region_dataset(spec, 5, options);
+}
+
+/// The server side of a fleet campaign: 20 independent forums.  Unlike
+/// the process-side Env, this deliberately SURVIVES crashes — the hidden
+/// services keep running while the crawler process dies and resumes, so
+/// one FleetEnv serves every lifetime of a storm.
+struct FleetEnv {
+  tor::Consensus consensus;
+  std::vector<std::unique_ptr<ForumEngine>> engines;
+
+  FleetEnv()
+      : consensus([] {
+          util::Rng rng{500};
+          return tor::Consensus::synthetic(100, rng);
+        }()) {
+    engines.reserve(kFleetForums);
+    for (std::size_t i = 0; i < kFleetForums; ++i) {
+      ForumConfig config = chaos_forum_config();
+      config.name = "Fleet Forum " + std::to_string(i);
+      engines.push_back(std::make_unique<ForumEngine>(config, fleet_crowd(i)));
+    }
+  }
+
+  [[nodiscard]] std::vector<FleetForumSpec> specs(
+      const std::vector<fault::FaultPlan>* plans = nullptr) const {
+    std::vector<FleetForumSpec> out;
+    out.reserve(kFleetForums);
+    for (std::size_t i = 0; i < kFleetForums; ++i) {
+      FleetForumSpec spec;
+      spec.name = "fleet-" + std::to_string(i);
+      ForumEngine* const engine = engines[i].get();
+      spec.handler = [engine](const tor::Request& request, std::int64_t now) {
+        return engine->handle(request, now);
+      };
+      spec.service_key = 100 + i;
+      if (plans != nullptr) spec.fault_plan = &(*plans)[i];
+      out.push_back(std::move(spec));
+    }
+    return out;
+  }
+};
+
+[[nodiscard]] FleetOptions fleet_chaos_options(const std::string& checkpoint_path) {
+  FleetOptions options;
+  options.start_time_seconds = campaign_start();
+  options.poll_interval_seconds = kInterval;
+  options.duration_seconds = kDuration;
+  options.seed = 4242;
+  options.checkpoint_path = checkpoint_path;
+  return options;
+}
+
+void expect_fleet_identical(const FleetResult& actual, const FleetResult& reference,
+                            const std::string& context) {
+  ASSERT_EQ(actual.forums.size(), reference.forums.size()) << context;
+  for (std::size_t i = 0; i < actual.forums.size(); ++i) {
+    const FleetForumOutcome& a = actual.forums[i];
+    const FleetForumOutcome& r = reference.forums[i];
+    const std::string where = context + ", forum " + a.name;
+    EXPECT_EQ(a.status, r.status) << where;
+    EXPECT_TRUE(a.manifest == r.manifest) << where;
+    expect_dumps_identical(a.dump, r.dump, where);
+    EXPECT_EQ(a.rounds_skipped, r.rounds_skipped) << where;
+  }
+  EXPECT_EQ(actual.active, reference.active) << context;
+  EXPECT_EQ(actual.quarantined, reference.quarantined) << context;
+  EXPECT_EQ(actual.parked, reference.parked) << context;
+}
+
+TEST(FleetChaos, CrashStormEveryRoundByteIdenticalAcrossSeeds) {
+  // The tentpole proof: a 20-forum campaign, every forum under its own
+  // randomized fault schedule, where the whole fleet process is killed
+  // after EVERY round and resumed from the converged checkpoint.  For
+  // each seed the surviving chain must produce byte-identical per-forum
+  // dumps, manifests, and geolocator payloads vs an uninterrupted run —
+  // including the fleet ladder's quarantine/park decisions.
+  const std::int64_t t0 = campaign_start();
+  for (const std::uint64_t seed : sweep_seeds()) {
+    SCOPED_TRACE("fleet chaos seed " + std::to_string(seed));
+    std::vector<fault::FaultPlan> plans;
+    plans.reserve(kFleetForums);
+    for (std::size_t i = 0; i < kFleetForums; ++i) {
+      plans.push_back(fault::FaultPlan::random(seed ^ (0x9e3779b97f4a7c15ull * (i + 1)), t0,
+                                               t0 + kDuration / 2));
+    }
+    FleetEnv env;
+
+    // A fleet-wide geolocator streams every forum's commits; its payload
+    // rides inside forum 0's checkpoint sub-entry, so crawler state and
+    // analysis state commit atomically.
+    const auto wire = [](FleetOptions& options, core::IncrementalGeolocator& geo) {
+      options.on_commit = [&geo](std::size_t forum, const std::vector<ScrapeRecord>& records) {
+        for (const auto& record : records) {
+          geo.observe(std::to_string(forum) + "/" + record.author, record.observed_utc);
+        }
+      };
+      options.checkpoint_extra = [&geo](std::size_t forum) {
+        return forum == 0 ? geo.checkpoint_payload() : std::string{};
+      };
+      options.restore_extra = [&geo](std::size_t forum, std::string_view payload) {
+        if (forum == 0 && !payload.empty()) geo.restore_checkpoint(payload);
+      };
+    };
+
+    core::IncrementalGeolocator reference_geo = sweep_geolocator();
+    FleetOptions reference_options = fleet_chaos_options("");
+    wire(reference_options, reference_geo);
+    Fleet reference_fleet{env.consensus, env.specs(&plans), reference_options};
+    const FleetResult reference = reference_fleet.run();
+    ASSERT_EQ(reference.rounds, kFleetRounds);
+    std::size_t total_records = 0;
+    for (const auto& forum : reference.forums) total_records += forum.dump.records.size();
+    ASSERT_GT(total_records, 200u) << "fleet campaign too quiet to prove anything";
+
+    const std::string path =
+        temp_checkpoint("fleet_storm_" + std::to_string(seed) + ".ckpt");
+    remove_checkpoint(path);
+    FleetResult final_result;
+    std::string final_geo_payload;
+    bool completed = false;
+    std::size_t lifetimes = 0;
+    while (!completed) {
+      ASSERT_LT(lifetimes, kFleetRounds + 5) << "fleet crash storm made no progress";
+      ++lifetimes;
+      core::IncrementalGeolocator geo = sweep_geolocator();
+      FleetOptions options = fleet_chaos_options(path);
+      options.halt_after_rounds = 1;
+      wire(options, geo);
+      Fleet fleet{env.consensus, env.specs(&plans), options};
+      try {
+        final_result = fleet.run();
+        final_geo_payload = geo.checkpoint_payload();
+        completed = true;
+      } catch (const CrawlError& error) {
+        ASSERT_EQ(error.category(), CrawlErrorCategory::kHalted) << error.what();
+        ASSERT_TRUE(fs::exists(path));
+      }
+    }
+    EXPECT_EQ(lifetimes, kFleetRounds) << "one round per lifetime";
+    EXPECT_FALSE(fs::exists(path)) << "completed fleet must remove its checkpoint";
+    expect_fleet_identical(final_result, reference, "crash storm seed " + std::to_string(seed));
+    EXPECT_EQ(final_geo_payload, reference_geo.checkpoint_payload())
+        << "geolocator state diverged across fleet kill/resume";
+  }
+}
+
+TEST(FleetConvergence, RedundantCrawlersConvergeToFaultFreeManifest) {
+  // Redundant crawling (Gridcoin scraper spirit): two independent
+  // crawlers watch the same forum; each permanently loses a different
+  // thread mid-campaign, so each individual manifest is short.  The
+  // converged manifest must equal what a fault-free crawler collects —
+  // every post survived on at least one side.
+  Env reference_env;
+  const ScrapeDump clean =
+      monitor_forum(reference_env.transport, reference_env.onion, chaos_options(""));
+  const ScrapeManifest clean_manifest = build_manifest(clean);
+  const std::int64_t t0 = campaign_start();
+
+  // Two distinct threads that still receive posts late in the campaign —
+  // posts a crawler that lost the thread at hour 5 can never collect.
+  std::vector<std::uint64_t> victims;
+  for (const auto& record : clean.records) {
+    if (record.observed_utc < t0 + 8 * kInterval) continue;
+    if (std::find(victims.begin(), victims.end(), record.thread_id) == victims.end()) {
+      victims.push_back(record.thread_id);
+    }
+    if (victims.size() == 2) break;
+  }
+  ASSERT_EQ(victims.size(), 2u) << "campaign too quiet to stage divergent losses";
+
+  const auto crawl_with_dead_thread = [&](std::uint64_t thread_id) {
+    Env env;
+    const std::string prefix = "/thread/" + std::to_string(thread_id) + "?";
+    const auto inner = env.handler;
+    env.handler = [inner, prefix, t0](const tor::Request& request, std::int64_t now) {
+      if (now >= t0 + 5 * kInterval && request.path.rfind(prefix, 0) == 0) {
+        return tor::Response{500, "thread database lost"};
+      }
+      return inner(request, now);
+    };
+    return monitor_forum(env.transport, env.onion, chaos_options(""));
+  };
+  const ScrapeDump dump_a = crawl_with_dead_thread(victims[0]);
+  const ScrapeDump dump_b = crawl_with_dead_thread(victims[1]);
+
+  const ScrapeManifest manifest_a = build_manifest(dump_a);
+  const ScrapeManifest manifest_b = build_manifest(dump_b);
+  EXPECT_FALSE(manifest_a == clean_manifest) << "crawler A lost nothing; test proves nothing";
+  EXPECT_FALSE(manifest_b == clean_manifest) << "crawler B lost nothing; test proves nothing";
+  EXPECT_FALSE(manifest_a == manifest_b);
+
+  const ScrapeDump converged = converge(dump_a, dump_b);
+  EXPECT_TRUE(build_manifest(converged) == clean_manifest)
+      << "converged manifest must equal the fault-free manifest";
+  EXPECT_EQ(post_ids(converged), post_ids(clean));
+  EXPECT_EQ(converged.records.size(), clean.records.size());
 }
 
 }  // namespace

@@ -228,4 +228,219 @@ TEST_F(CheckpointFile, RandomCorruptionFuzz) {
   }
 }
 
+TEST_F(CheckpointFile, UnwritableDirectoryIsIoError) {
+  const std::string bad = (fs::path(::testing::TempDir()) / "no_such_dir" / "x.ckpt").string();
+  try {
+    tzgeo::util::write_checkpoint_file(bad, "payload", kVersion);
+    FAIL() << "write into a missing directory succeeded";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.code(), CheckpointErrorCode::kIo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest frames ("TZCM"): one atomic file, many independently-CRC'd
+// sub-entries.  The contract under test: directory damage is a whole-file
+// typed error, payload damage is contained to the entry it hit — every
+// other entry reads back byte-identical.
+
+using tzgeo::util::ManifestEntry;
+using tzgeo::util::ManifestEntryStatus;
+
+class ManifestFile : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::error_code ignored;
+    fs::remove(path_, ignored);
+    fs::remove(path_ + ".tmp", ignored);
+  }
+
+  [[nodiscard]] static std::vector<ManifestEntry> sample_entries() {
+    return {{"__fleet__", "round 7, three forums"},
+            {"alpha", std::string("alpha state with \0 inside", 25)},
+            {"beta", ""},  // empty payloads are legal sub-states
+            {"gamma", "gamma has the longest payload of the lot, by some margin"}};
+  }
+
+  /// Byte offset where the concatenated payload blobs start: header,
+  /// directory (u64 key_len | key | u64 payload_size | u32 crc per
+  /// entry), directory CRC.
+  [[nodiscard]] static std::size_t blobs_offset(const std::vector<ManifestEntry>& entries) {
+    std::size_t offset = 12;  // magic + version + entry_count
+    for (const auto& entry : entries) offset += 8 + entry.key.size() + 8 + 4;
+    return offset + 4;  // directory CRC
+  }
+
+  std::string path_ = temp_path("manifest_test.bin");
+};
+
+TEST_F(ManifestFile, RoundTripPreservesOrderAndPayloads) {
+  const auto entries = sample_entries();
+  tzgeo::util::write_manifest_checkpoint_file(path_, entries, kVersion);
+  EXPECT_FALSE(fs::exists(path_ + ".tmp")) << "staging file left behind";
+
+  const auto statuses = tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+  ASSERT_EQ(statuses.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(statuses[i].key, entries[i].key);
+    EXPECT_TRUE(statuses[i].ok) << statuses[i].detail;
+    EXPECT_EQ(statuses[i].payload, entries[i].payload);
+  }
+}
+
+TEST_F(ManifestFile, EmptyManifestRoundTrips) {
+  tzgeo::util::write_manifest_checkpoint_file(path_, {}, kVersion);
+  EXPECT_TRUE(tzgeo::util::read_manifest_checkpoint_file(path_, kVersion).empty());
+}
+
+TEST_F(ManifestFile, OverwriteIsAtomicReplacement) {
+  tzgeo::util::write_manifest_checkpoint_file(path_, {{"k", "first"}}, kVersion);
+  tzgeo::util::write_manifest_checkpoint_file(path_, {{"k", "second"}}, kVersion);
+  const auto statuses = tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].payload, "second");
+}
+
+TEST_F(ManifestFile, DuplicateKeysRefusedOnWrite) {
+  try {
+    tzgeo::util::write_manifest_checkpoint_file(path_, {{"twin", "a"}, {"twin", "b"}},
+                                                kVersion);
+    FAIL() << "duplicate manifest keys accepted";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.code(), CheckpointErrorCode::kMalformed);
+  }
+}
+
+TEST_F(ManifestFile, WrongVersionIsRefusedWhole) {
+  tzgeo::util::write_manifest_checkpoint_file(path_, sample_entries(), kVersion + 1);
+  try {
+    (void)tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+    FAIL() << "wrong-version manifest accepted";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.code(), CheckpointErrorCode::kBadVersion);
+  }
+}
+
+TEST_F(ManifestFile, SingleFrameMagicIsRefused) {
+  // Pointing the fleet resume at a single-frame ("TZCK") checkpoint must
+  // be a clean bad-magic refusal, not a parse of the wrong layout.
+  tzgeo::util::write_checkpoint_file(path_, "monitor payload", kVersion);
+  try {
+    (void)tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+    FAIL() << "single-frame file accepted as a manifest";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.code(), CheckpointErrorCode::kBadMagic);
+  }
+}
+
+TEST_F(ManifestFile, EveryTruncationPrefixIsContained) {
+  // A crash can stop the (non-atomic, pre-rename) write at any byte.  A
+  // prefix that loses directory bytes must be refused whole; a prefix
+  // that only loses blob bytes must quarantine exactly the entries whose
+  // blobs were cut — earlier entries read back byte-identical.
+  const auto entries = sample_entries();
+  tzgeo::util::write_manifest_checkpoint_file(path_, entries, kVersion);
+  const std::string full = read_raw(path_);
+  const std::size_t blobs_at = blobs_offset(entries);
+  ASSERT_GT(full.size(), blobs_at);
+
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    write_raw(path_, full.substr(0, keep));
+    if (keep < blobs_at) {
+      try {
+        (void)tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+        FAIL() << "prefix of " << keep << " bytes (inside the directory) accepted";
+      } catch (const CheckpointError&) {
+        // Typed refusal; the exact code depends on which field was cut.
+      }
+      continue;
+    }
+    const auto statuses = tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+    ASSERT_EQ(statuses.size(), entries.size()) << "prefix " << keep;
+    // Model of the reader: entries are consumed in order from the
+    // surviving blob bytes; the first cut entry pins the cursor to the
+    // end, so every later non-empty entry is truncated too (an empty
+    // blob is trivially intact — it has no bytes to lose).
+    const std::size_t avail = keep - blobs_at;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::size_t size = entries[i].payload.size();
+      const bool intact = pos + size <= avail;
+      if (intact) pos += size; else pos = avail;
+      if (intact) {
+        EXPECT_TRUE(statuses[i].ok) << "prefix " << keep << " entry " << entries[i].key;
+        EXPECT_EQ(statuses[i].payload, entries[i].payload);
+      } else {
+        EXPECT_FALSE(statuses[i].ok) << "prefix " << keep << " entry " << entries[i].key;
+        EXPECT_EQ(statuses[i].error, CheckpointErrorCode::kTruncated);
+        EXPECT_TRUE(statuses[i].payload.empty());
+      }
+    }
+  }
+}
+
+TEST_F(ManifestFile, SingleBitFlipQuarantinesExactlyOneEntry) {
+  // Flip every bit of the file in turn.  In the header/directory region
+  // every mutant must be refused whole (typed error).  In the blob region
+  // every mutant must quarantine exactly the entry that owns the byte —
+  // all other entries byte-identical.  This is the blast-radius contract
+  // the fleet's partial resume stands on.
+  const auto entries = sample_entries();
+  tzgeo::util::write_manifest_checkpoint_file(path_, entries, kVersion);
+  const std::string full = read_raw(path_);
+  const std::size_t blobs_at = blobs_offset(entries);
+
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutant = full;
+      mutant[byte] = static_cast<char>(mutant[byte] ^ (1 << bit));
+      write_raw(path_, mutant);
+      if (byte < blobs_at) {
+        try {
+          (void)tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+          FAIL() << "bit " << bit << " of directory byte " << byte << " flipped undetected";
+        } catch (const CheckpointError&) {
+        }
+        continue;
+      }
+      std::size_t owner = entries.size();
+      std::size_t blob_end = blobs_at;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        blob_end += entries[i].payload.size();
+        if (byte < blob_end) {
+          owner = i;
+          break;
+        }
+      }
+      ASSERT_LT(owner, entries.size());
+      const auto statuses = tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+      ASSERT_EQ(statuses.size(), entries.size());
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i == owner) {
+          EXPECT_FALSE(statuses[i].ok)
+              << "bit " << bit << " of blob byte " << byte << " undetected";
+          EXPECT_EQ(statuses[i].error, CheckpointErrorCode::kBadCrc);
+        } else {
+          EXPECT_TRUE(statuses[i].ok) << "entry " << entries[i].key
+                                      << " collateral damage from byte " << byte;
+          EXPECT_EQ(statuses[i].payload, entries[i].payload);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ManifestFile, TrailingJunkIsRefusedWhole) {
+  tzgeo::util::write_manifest_checkpoint_file(path_, sample_entries(), kVersion);
+  std::string blob = read_raw(path_);
+  blob.push_back('\x5A');
+  write_raw(path_, blob);
+  try {
+    (void)tzgeo::util::read_manifest_checkpoint_file(path_, kVersion);
+    FAIL() << "trailing junk accepted";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.code(), CheckpointErrorCode::kMalformed);
+  }
+}
+
 }  // namespace

@@ -14,18 +14,29 @@
 // per-second-of-campaign-time and the whole run is deterministic —
 // `--frames 2` in CI exercises every render path byte-stably.
 //
+// With `--fleet N` the workload is a forum::Fleet of N staggered forums
+// instead of a single monitor, and each frame adds a fleet table view:
+// one row per forum (status, polls, failures, records, skips — from
+// Fleet::snapshot()) plus the fleet gauges and round/poll latency
+// quantiles.  One forum is scripted through a circuit-drop window so the
+// quarantine ladder is visible on screen.
+//
 // Flags:
 //   --frames N           dashboard frames to render (default 6)
-//   --polls-per-frame N  monitor polls between samples (default 48)
+//   --polls-per-frame N  monitor polls/fleet rounds between samples (default 48)
 //   --interval S         simulated seconds between polls (default 1800)
+//   --fleet N            drive a fleet of N forums instead of one monitor
 //   --ansi               clear the screen between frames (live top feel)
 //   --series-out FILE    write the recorder's JSON series on exit
 //   --prom-out FILE      write the timestamped Prometheus exposition
 //   --jsonl-out FILE     stream structured log records to FILE
+//   --healthz-out FILE   write the final healthz JSON body (includes the
+//                        per-forum fleet.<name> components)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +44,7 @@
 #include "fault/plan.hpp"
 #include "forum/engine.hpp"
 #include "forum/error.hpp"
+#include "forum/fleet.hpp"
 #include "forum/monitor.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
@@ -40,6 +52,7 @@
 #include "obs/pipeline_metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "synth/dataset.hpp"
+#include "synth/region_presets.hpp"
 #include "tor/transport.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/strings.hpp"
@@ -52,16 +65,19 @@ struct Options {
   int frames = 6;
   int polls_per_frame = 48;
   std::int64_t interval_seconds = 1800;
+  int fleet = 0;  ///< 0 = single-forum monitor workload
   bool ansi = false;
   std::string series_out;
   std::string prom_out;
   std::string jsonl_out;
+  std::string healthz_out;
 };
 
 void print_usage() {
   std::printf(
-      "usage: tzgeo_top [--frames N] [--polls-per-frame N] [--interval S] [--ansi]\n"
-      "                 [--series-out FILE] [--prom-out FILE] [--jsonl-out FILE]\n");
+      "usage: tzgeo_top [--frames N] [--polls-per-frame N] [--interval S] [--fleet N]\n"
+      "                 [--ansi] [--series-out FILE] [--prom-out FILE]\n"
+      "                 [--jsonl-out FILE] [--healthz-out FILE]\n");
 }
 
 [[nodiscard]] bool parse_args(int argc, char** argv, Options& options) {
@@ -96,6 +112,15 @@ void print_usage() {
       const char* v = value();
       if (v == nullptr) return false;
       options.jsonl_out = v;
+    } else if (arg == "--fleet") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.fleet = std::atoi(v);
+      if (options.fleet <= 0) return false;
+    } else if (arg == "--healthz-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.healthz_out = v;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       std::exit(0);
@@ -180,19 +205,159 @@ void render_frame(int frame, int frames, const obs::TimeSeriesRecorder& recorder
   std::printf("\n");
 }
 
-}  // namespace
+/// The fleet table view: one row per forum plus the fleet counters and
+/// the round/poll latency quantiles.
+void render_fleet_frame(int frame, int frames, const forum::Fleet& fleet,
+                        const obs::TimeSeriesRecorder& recorder, std::uint64_t elapsed_ns,
+                        bool ansi) {
+  if (ansi) std::printf("\x1b[2J\x1b[H");
+  std::printf("tzgeo_top — fleet frame %d/%d (%llu h of campaign time, round %zu/%zu)\n",
+              frame, frames,
+              static_cast<unsigned long long>(elapsed_ns / 3'600'000'000'000ull),
+              fleet.next_round(), fleet.rounds_total());
 
-int main(int argc, char** argv) {
-  Options options;
-  if (!parse_args(argc, argv, options)) {
-    print_usage();
-    return 2;
+  const obs::Health::Report health = obs::Health::global().report();
+  std::printf("health: %s (%zu components)\n\n", obs::health_state_name(health.overall),
+              health.components.size());
+
+  const std::vector<forum::Fleet::ForumSnapshot> snapshots = fleet.snapshot();
+  std::size_t active = 0;
+  std::size_t quarantined = 0;
+  std::size_t parked = 0;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& snap : snapshots) {
+    switch (snap.status) {
+      case forum::ForumStatus::kActive: ++active; break;
+      case forum::ForumStatus::kQuarantined: ++quarantined; break;
+      case forum::ForumStatus::kParked: ++parked; break;
+    }
+    rows.push_back({snap.name, forum::to_string(snap.status), std::to_string(snap.polls),
+                    std::to_string(snap.polls_failed), std::to_string(snap.records),
+                    std::to_string(snap.rounds_skipped),
+                    snap.park_reason.empty() ? "-" : snap.park_reason});
   }
-  if constexpr (obs::kDisabled) {
-    std::printf("tzgeo_top: observability compiled out (TZGEO_OBS_DISABLED); nothing to show\n");
-    return 0;
+  const std::vector<std::string> header = {"forum",   "status",  "polls", "failed",
+                                           "records", "skipped", "park reason"};
+  std::printf("fleet: %zu active, %zu quarantined, %zu parked\n", active, quarantined,
+              parked);
+  std::printf("%s\n", util::text_table(header, rows).c_str());
+
+  const std::uint64_t window_ns = 0;  // everything retained in the ring
+  const auto hourly = [&recorder](const char* name) {
+    return format_rate(recorder.rate_per_second(name, 0) * 3600.0);
+  };
+  const std::vector<std::string> metric_header = {"metric", "rate/h (sim)", "window p50us",
+                                                  "window p99us"};
+  std::vector<std::vector<std::string>> metric_rows;
+  metric_rows.push_back({"fleet rounds", hourly("tzgeo_fleet_rounds_total"), "-", "-"});
+  metric_rows.push_back(
+      {"fleet polls skipped", hourly("tzgeo_fleet_polls_skipped_total"), "-", "-"});
+  metric_rows.push_back({"forum pages fetched", hourly("tzgeo_forum_pages_fetched_total"),
+                         "-", "-"});
+  metric_rows.push_back(
+      {"round latency", "-",
+       std::to_string(recorder.window_quantile("tzgeo_fleet_round_us", 0.5, window_ns)),
+       std::to_string(recorder.window_quantile("tzgeo_fleet_round_us", 0.99, window_ns))});
+  metric_rows.push_back(
+      {"forum poll latency", "-",
+       std::to_string(recorder.window_quantile("tzgeo_fleet_forum_poll_us", 0.5, window_ns)),
+       std::to_string(
+           recorder.window_quantile("tzgeo_fleet_forum_poll_us", 0.99, window_ns))});
+  std::printf("%s\n", util::text_table(metric_header, metric_rows).c_str());
+
+  const std::vector<obs::Log::RecordView> records = obs::Log::global().snapshot();
+  const std::size_t tail = records.size() < 5 ? records.size() : 5;
+  std::printf("log tail (%zu retained):\n", records.size());
+  for (std::size_t i = records.size() - tail; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::printf("  %-5s %-34s %s\n", obs::log_level_name(r.level), r.site.c_str(),
+                r.message.c_str());
+  }
+  std::printf("\n");
+}
+
+/// The --fleet workload: N small staggered forums, one of them scripted
+/// through a mid-campaign circuit-drop window so the fleet ladder shows.
+void run_fleet_dashboard(const Options& options, obs::TimeSeriesRecorder& recorder) {
+  const auto forums = static_cast<std::size_t>(options.fleet);
+  util::Rng consensus_rng{300};
+  const tor::Consensus consensus = tor::Consensus::synthetic(120, consensus_rng);
+  const tz::UtcSeconds t0 = tz::to_utc_seconds({tz::CivilDate{2016, 1, 10}, 0, 0, 0});
+  const std::int64_t frame_seconds = options.interval_seconds * options.polls_per_frame;
+
+  std::vector<std::unique_ptr<forum::ForumEngine>> engines;
+  const char* zones[] = {"Europe/Moscow", "America/New_York", "Asia/Tokyo", "Europe/Berlin"};
+  for (std::size_t i = 0; i < forums; ++i) {
+    synth::DatasetOptions dataset_options;
+    dataset_options.seed = 2100 + i;
+    dataset_options.inactive_fraction = 0.0;
+    dataset_options.active_volume_floor = 4000.0;
+    dataset_options.trace.start = tz::CivilDate{2016, 1, 9};
+    dataset_options.trace.end = tz::CivilDate{2016, 1, 20};
+    const synth::RegionSpec region{"Top" + std::to_string(i), zones[i % 4], 3};
+    forum::ForumConfig config;
+    config.name = "Fleet Board " + std::to_string(i);
+    config.policy = forum::TimestampPolicy::kHidden;
+    engines.push_back(
+        std::make_unique<forum::ForumEngine>(config, synth::make_region_dataset(region, 3, dataset_options)));
   }
 
+  // One forum gets battered mid-campaign so the quarantine column moves.
+  fault::FaultPlan plan;
+  plan.seed = 1307;
+  plan.circuit_drops(t0 + frame_seconds, t0 + 3 * frame_seconds, 0.9);
+
+  std::vector<forum::FleetForumSpec> specs;
+  for (std::size_t i = 0; i < forums; ++i) {
+    forum::FleetForumSpec spec;
+    spec.name = "board" + std::to_string(i);
+    forum::ForumEngine* const engine = engines[i].get();
+    spec.handler = [engine](const tor::Request& request, std::int64_t now) {
+      return engine->handle(request, now);
+    };
+    spec.service_key = 500 + i;
+    if (i == 1 % forums) spec.fault_plan = &plan;
+    specs.push_back(std::move(spec));
+  }
+
+  forum::FleetOptions fleet_options;
+  fleet_options.start_time_seconds = t0;
+  fleet_options.poll_interval_seconds = options.interval_seconds;
+  fleet_options.duration_seconds =
+      frame_seconds * options.frames;
+  fleet_options.seed = 46;
+  fleet_options.forum_quarantine_after = 3;
+  fleet_options.forum_quarantine_cooldown_rounds = 4;
+  forum::Fleet fleet{consensus, std::move(specs), fleet_options};
+
+  // The fleet's forums run on internal per-forum clocks; the dashboard
+  // samples on the campaign schedule instead.
+  const auto round_ns = [&](std::size_t round) {
+    return static_cast<std::uint64_t>(t0 + static_cast<std::int64_t>(round) *
+                                               options.interval_seconds) *
+           1'000'000'000ull;
+  };
+  const std::uint64_t start_ns = round_ns(0);
+  recorder.sample(start_ns);
+
+  for (int frame = 1; frame <= options.frames; ++frame) {
+    for (int i = 0; i < options.polls_per_frame && !fleet.done(); ++i) {
+      fleet.poll_round();
+    }
+    recorder.sample(round_ns(fleet.next_round()));
+    render_fleet_frame(frame, options.frames, fleet, recorder,
+                       round_ns(fleet.next_round()) - start_ns, options.ansi);
+  }
+  if (fleet.done()) {
+    const forum::FleetResult result = fleet.finish();
+    std::printf("campaign verdict: %zu rounds, %zu active, %zu quarantined, %zu parked%s\n",
+                result.rounds, result.active, result.quarantined, result.parked,
+                result.full_fleet() ? " (full fleet)" : "");
+  }
+}
+
+/// The default workload: one synthetic forum behind a faulty transport.
+void run_monitor_dashboard(const Options& options, obs::TimeSeriesRecorder& recorder) {
   // Workload: one synthetic Russian-speaking forum with hidden
   // timestamps behind the simulated transport — the same shape as
   // examples/live_monitor, scaled down so a frame renders in tens of
@@ -228,16 +393,6 @@ int main(int argc, char** argv) {
                        return engine.handle(request, now);
                      });
 
-  if (!options.jsonl_out.empty() &&
-      !obs::Log::global().open_jsonl_sink(options.jsonl_out)) {
-    std::fprintf(stderr, "tzgeo_top: cannot open %s\n", options.jsonl_out.c_str());
-    return 2;
-  }
-
-  // Register the pipeline metrics before the first sample so the
-  // baseline row already covers every column.
-  (void)obs::PipelineMetrics::get();
-  obs::TimeSeriesRecorder recorder{256};
   const auto sim_now_ns = [&clock] {
     return static_cast<std::uint64_t>(clock.now_millis()) * 1'000'000ull;
   };
@@ -257,6 +412,36 @@ int main(int argc, char** argv) {
     recorder.sample(sim_now_ns());
     render_frame(frame, options.frames, recorder, sim_now_ns() - start_ns, options.ansi);
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage();
+    return 2;
+  }
+  if constexpr (obs::kDisabled) {
+    std::printf("tzgeo_top: observability compiled out (TZGEO_OBS_DISABLED); nothing to show\n");
+    return 0;
+  }
+
+  if (!options.jsonl_out.empty() &&
+      !obs::Log::global().open_jsonl_sink(options.jsonl_out)) {
+    std::fprintf(stderr, "tzgeo_top: cannot open %s\n", options.jsonl_out.c_str());
+    return 2;
+  }
+
+  // Register the pipeline metrics before the first sample so the
+  // baseline row already covers every column.
+  (void)obs::PipelineMetrics::get();
+  obs::TimeSeriesRecorder recorder{256};
+  if (options.fleet > 0) {
+    run_fleet_dashboard(options, recorder);
+  } else {
+    run_monitor_dashboard(options, recorder);
+  }
 
   if (!options.series_out.empty()) {
     std::ofstream out{options.series_out};
@@ -271,6 +456,14 @@ int main(int argc, char** argv) {
     out << recorder.prometheus();
     if (!out) {
       std::fprintf(stderr, "tzgeo_top: cannot write %s\n", options.prom_out.c_str());
+      return 2;
+    }
+  }
+  if (!options.healthz_out.empty()) {
+    std::ofstream out{options.healthz_out};
+    out << obs::Health::global().to_json().dump(2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "tzgeo_top: cannot write %s\n", options.healthz_out.c_str());
       return 2;
     }
   }
